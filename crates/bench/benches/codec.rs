@@ -1,0 +1,55 @@
+//! Criterion bench for the compression codecs: the `Fast` (Snappy-profile)
+//! codec must be markedly faster than `Deep` (Gzip-profile), and `Deep` must
+//! compress better — the cost-profile substitution Figs 18–20 rely on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use presto_parquet::Codec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn test_payloads() -> Vec<(&'static str, Vec<u8>)> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut text = Vec::new();
+    for i in 0..20_000 {
+        text.extend_from_slice(
+            format!("driver_uuid=d{:05} city={} status=completed ", i % 700, i % 40).as_bytes(),
+        );
+    }
+    let random: Vec<u8> = (0..1_000_000).map(|_| rng.gen()).collect();
+    let mut ints = Vec::new();
+    for i in 0..125_000i64 {
+        ints.extend_from_slice(&(i % 1000).to_le_bytes());
+    }
+    vec![("text", text), ("random", random), ("bigint_le", ints)]
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    for (payload_name, data) in test_payloads() {
+        let mut group = c.benchmark_group(format!("codec/{payload_name}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        for codec in [Codec::Fast, Codec::Deep] {
+            let label = match codec {
+                Codec::Fast => "fast_compress",
+                Codec::Deep => "deep_compress",
+                Codec::None => unreachable!(),
+            };
+            group.bench_function(label, |b| {
+                b.iter(|| std::hint::black_box(codec.compress(&data).len()));
+            });
+            let compressed = codec.compress(&data);
+            let label = match codec {
+                Codec::Fast => "fast_decompress",
+                Codec::Deep => "deep_decompress",
+                Codec::None => unreachable!(),
+            };
+            group.bench_function(label, |b| {
+                b.iter(|| std::hint::black_box(codec.decompress(&compressed).unwrap().len()));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

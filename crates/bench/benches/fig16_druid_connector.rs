@@ -1,0 +1,68 @@
+//! Criterion bench for Fig 16: Druid native vs Presto-Druid connector.
+//!
+//! Wall-clock CPU time of both paths on representative queries from the
+//! 20-query mix (the full figure with virtual-latency accounting is printed
+//! by `paper-experiments fig16`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presto_bench::fig16;
+use presto_core::Session;
+
+fn bench_fig16(c: &mut Criterion) {
+    let workload = fig16::build(50_000);
+    let session = Session::new("druid", "prod");
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(20);
+    // one aggregation query, one limit query, one scan
+    for idx in [0usize, 12, 17] {
+        let query = &workload.queries[idx];
+        group.bench_function(format!("{}_native", query.name), |b| {
+            b.iter(|| match &query.native_scan_columns {
+                None => {
+                    std::hint::black_box(
+                        workload
+                            .connector
+                            .store()
+                            .execute_native("prod", "events", &query.native, None)
+                            .unwrap()
+                            .rows
+                            .len(),
+                    );
+                }
+                Some(cols) => {
+                    std::hint::black_box(
+                        workload
+                            .connector
+                            .store()
+                            .scan_segments(
+                                "prod",
+                                "events",
+                                cols,
+                                &query.native.filters,
+                                query.native.limit,
+                                None,
+                            )
+                            .unwrap()
+                            .0
+                            .len(),
+                    );
+                }
+            });
+        });
+        group.bench_function(format!("{}_connector", query.name), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    workload
+                        .engine
+                        .execute_with_session(&query.sql, &session)
+                        .unwrap()
+                        .row_count(),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig16);
+criterion_main!(benches);

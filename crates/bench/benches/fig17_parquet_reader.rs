@@ -1,0 +1,83 @@
+//! Criterion bench for Fig 17: legacy vs new Parquet reader, including the
+//! per-optimization ablation (§V.D–§V.I) the paper's reader work motivates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presto_bench::fig17;
+use presto_connectors::hive::HiveReaderConfig;
+use presto_core::Session;
+
+fn bench_readers(c: &mut Criterion) {
+    let workload = fig17::build(20_000);
+    let session = Session::new("hive", "rawdata");
+    let mut group = c.benchmark_group("fig17");
+    group.sample_size(10);
+    // one representative query per category
+    for idx in [0usize, 2, 4, 9] {
+        let query = &workload.queries[idx];
+        for (label, legacy) in [("old_reader", true), ("new_reader", false)] {
+            group.bench_function(format!("{}_{label}", query.name), |b| {
+                workload.hive.set_reader_config(HiveReaderConfig {
+                    use_legacy_reader: legacy,
+                    ..HiveReaderConfig::default()
+                });
+                b.iter(|| {
+                    std::hint::black_box(
+                        workload
+                            .engine
+                            .execute_with_session(&query.sql, &session)
+                            .unwrap()
+                            .row_count(),
+                    );
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Ablation: the needle-in-a-haystack query with each new-reader feature
+/// disabled in turn — the design-choice breakdown of §V.
+fn bench_ablation(c: &mut Criterion) {
+    let workload = fig17::build(20_000);
+    let session = Session::new("hive", "rawdata");
+    let needle = &workload.queries[2]; // q03
+    let mut group = c.benchmark_group("fig17_ablation");
+    group.sample_size(10);
+    let configs: Vec<(&str, HiveReaderConfig)> = vec![
+        ("all_on", HiveReaderConfig::default()),
+        (
+            "no_stats_pushdown",
+            HiveReaderConfig { stats_pushdown: false, ..HiveReaderConfig::default() },
+        ),
+        (
+            "no_dictionary_pushdown",
+            HiveReaderConfig { dictionary_pushdown: false, ..HiveReaderConfig::default() },
+        ),
+        (
+            "no_lazy_reads",
+            HiveReaderConfig { lazy_reads: false, ..HiveReaderConfig::default() },
+        ),
+        (
+            "no_vectorization",
+            HiveReaderConfig { vectorized: false, ..HiveReaderConfig::default() },
+        ),
+    ];
+    for (label, config) in configs {
+        group.bench_function(label, |b| {
+            workload.hive.set_reader_config(config.clone());
+            b.iter(|| {
+                std::hint::black_box(
+                    workload
+                        .engine
+                        .execute_with_session(&needle.sql, &session)
+                        .unwrap()
+                        .row_count(),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_readers, bench_ablation);
+criterion_main!(benches);

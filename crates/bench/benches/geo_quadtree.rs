@@ -1,0 +1,40 @@
+//! Criterion bench for the §VI geospatial experiment: QuadTree vs brute
+//! force point-in-geofence matching (paper: >50x).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presto_geo::generator::GeoWorkload;
+use presto_geo::index::GeofenceIndex;
+
+fn bench_geo(c: &mut Criterion) {
+    let workload = GeoWorkload::generate(1_000, 5_000, 150, 7);
+    let index = GeofenceIndex::build(workload.cities.clone()).unwrap();
+    let mut group = c.benchmark_group("geo");
+    group.sample_size(10);
+    group.bench_function("quadtree", |b| {
+        b.iter(|| {
+            let mut matched = 0usize;
+            for p in &workload.trips {
+                matched += index.find_containing(p).len();
+            }
+            std::hint::black_box(matched)
+        });
+    });
+    group.bench_function("brute_force", |b| {
+        b.iter(|| {
+            let mut matched = 0usize;
+            for p in &workload.trips {
+                matched += index.find_containing_brute_force(p).len();
+            }
+            std::hint::black_box(matched)
+        });
+    });
+    group.bench_function("build_geo_index", |b| {
+        b.iter(|| {
+            std::hint::black_box(GeofenceIndex::build(workload.cities.clone()).unwrap().len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_geo);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for Figs 18–20: legacy vs native Parquet writer across
+//! the 11 column workloads × 3 codecs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use presto_bench::writers::write_once;
+use presto_common::Page;
+use presto_connectors::tpch::{writer_workload, writer_workload_names};
+use presto_parquet::{Codec, WriterMode};
+
+fn bench_writers(c: &mut Criterion) {
+    for (codec, figure) in [
+        (Codec::Fast, "fig18_snappy"),
+        (Codec::Deep, "fig19_gzip"),
+        (Codec::None, "fig20_none"),
+    ] {
+        let mut group = c.benchmark_group(figure);
+        group.sample_size(10);
+        for name in writer_workload_names() {
+            let (schema, page) = writer_workload(name, 30_000, 42).unwrap();
+            let pages = vec![page];
+            let bytes: usize = pages.iter().map(Page::memory_size).sum();
+            group.throughput(Throughput::Bytes(bytes as u64));
+            group.bench_function(format!("{name}/old_writer"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        write_once(&schema, &pages, WriterMode::Legacy, codec).1,
+                    )
+                });
+            });
+            group.bench_function(format!("{name}/native_writer"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        write_once(&schema, &pages, WriterMode::Native, codec).1,
+                    )
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_writers);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! §VI experiment: QuadTree vs brute-force geospatial join.
+//!
+//! "Compared with the brute force Hive MapReduce execution, our Presto
+//! Geospatial Plugin is more than 50X faster." The cost asymmetry is
+//! algorithmic: brute force evaluates `st_contains` for every (trip,
+//! geofence) pair; the QuadTree filters to the handful of candidate fences
+//! whose bounding boxes contain the point.
+
+use std::time::{Duration, Instant};
+
+use presto_geo::generator::GeoWorkload;
+use presto_geo::index::GeofenceIndex;
+
+/// Results of one geo run.
+#[derive(Debug, Clone)]
+pub struct GeoResult {
+    /// Number of geofences.
+    pub cities: usize,
+    /// Number of trip points.
+    pub trips: usize,
+    /// Vertices per geofence.
+    pub vertices: usize,
+    /// QuadTree path elapsed.
+    pub quadtree: Duration,
+    /// Brute-force path elapsed.
+    pub brute_force: Duration,
+    /// st_contains evaluations, QuadTree path.
+    pub quadtree_contains_calls: u64,
+    /// st_contains evaluations, brute force.
+    pub brute_contains_calls: u64,
+}
+
+impl GeoResult {
+    /// Wall-clock speedup.
+    pub fn speedup(&self) -> f64 {
+        self.brute_force.as_secs_f64() / self.quadtree.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Count trips per city both ways and compare.
+pub fn run(cities: usize, trips: usize, vertices: usize, seed: u64) -> GeoResult {
+    let workload = GeoWorkload::generate(cities, trips, vertices, seed);
+    let index = GeofenceIndex::build(workload.cities.clone()).expect("geofences are valid");
+
+    // QuadTree path (the build_geo_index plan of Fig 13)
+    let start = Instant::now();
+    let mut quad_counts = vec![0u64; cities];
+    for p in &workload.trips {
+        for id in index.find_containing(p) {
+            quad_counts[id as usize] += 1;
+        }
+    }
+    let quadtree = start.elapsed();
+    let quadtree_contains_calls = index.contains_calls();
+
+    // brute force (§VI.C's Hive MapReduce execution shape)
+    let start = Instant::now();
+    let mut brute_counts = vec![0u64; cities];
+    for p in &workload.trips {
+        for id in index.find_containing_brute_force(p) {
+            brute_counts[id as usize] += 1;
+        }
+    }
+    let brute_force = start.elapsed();
+    let brute_contains_calls = index.contains_calls() - quadtree_contains_calls;
+
+    assert_eq!(quad_counts, brute_counts, "paths must agree");
+    GeoResult {
+        cities,
+        trips,
+        vertices,
+        quadtree,
+        brute_force,
+        quadtree_contains_calls,
+        brute_contains_calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadtree_beats_brute_force_substantially() {
+        let r = run(2_000, 1_000, 60, 7);
+        assert!(
+            r.quadtree_contains_calls * 10 <= r.brute_contains_calls,
+            "filter must remove the vast majority of candidates: {} vs {}",
+            r.quadtree_contains_calls,
+            r.brute_contains_calls
+        );
+        assert!(r.speedup() > 2.0, "speedup was only {:.1}x", r.speedup());
+    }
+}

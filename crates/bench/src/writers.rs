@@ -1,0 +1,131 @@
+//! Figs 18–20: legacy vs native Parquet writer throughput under three
+//! codecs.
+//!
+//! "We run the experiments by using Presto writing a list of pages with
+//! millions of rows. The following figures show various types of data
+//! throughput with Snappy compression, Gzip compression, and no compression.
+//! ... our native Parquet writer could consistently achieve more than 20%
+//! throughput \[gain\]. For bigint type with Gzip compression, our native
+//! parquet writer performs best ... When writing all columns of TPCH
+//! LINEITEM, the throughput gain is around 50%."
+//!
+//! Throughput = in-memory page bytes / wall time, as MB/s, matching the
+//! figures' y-axis.
+
+use std::time::{Duration, Instant};
+
+use presto_common::{Page, Schema};
+use presto_connectors::tpch::{writer_workload, writer_workload_names};
+use presto_parquet::{Codec, FileWriter, WriterMode, WriterProperties};
+
+/// One workload × codec × writer measurement.
+#[derive(Debug, Clone)]
+pub struct WriterResult {
+    /// Workload name (the figures' x-axis labels).
+    pub workload: String,
+    /// Codec.
+    pub codec: Codec,
+    /// Bytes of page data written.
+    pub input_bytes: usize,
+    /// Legacy writer elapsed.
+    pub old_elapsed: Duration,
+    /// Native writer elapsed.
+    pub native_elapsed: Duration,
+}
+
+impl WriterResult {
+    /// Legacy throughput (MB/s).
+    pub fn old_mbps(&self) -> f64 {
+        self.input_bytes as f64 / (1024.0 * 1024.0) / self.old_elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Native throughput (MB/s).
+    pub fn native_mbps(&self) -> f64 {
+        self.input_bytes as f64
+            / (1024.0 * 1024.0)
+            / self.native_elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Native gain over legacy, in percent.
+    pub fn gain_pct(&self) -> f64 {
+        (self.native_mbps() / self.old_mbps().max(1e-9) - 1.0) * 100.0
+    }
+}
+
+/// Write `pages` with the given writer mode and codec; returns elapsed time
+/// and output size.
+pub fn write_once(
+    schema: &Schema,
+    pages: &[Page],
+    mode: WriterMode,
+    codec: Codec,
+) -> (Duration, usize) {
+    let props = WriterProperties { codec, row_group_rows: 10_000, ..WriterProperties::default() };
+    let start = Instant::now();
+    let mut writer = FileWriter::new(schema.clone(), props, mode).expect("schema is valid");
+    for page in pages {
+        writer.write_page(page).expect("write_page");
+    }
+    let bytes = writer.finish().expect("finish");
+    (start.elapsed(), bytes.len())
+}
+
+/// Measure one workload under one codec, both writers.
+pub fn run_workload(name: &str, rows: usize, codec: Codec, seed: u64) -> WriterResult {
+    let (schema, page) = writer_workload(name, rows, seed).expect("known workload");
+    let pages = vec![page];
+    let input_bytes: usize = pages.iter().map(Page::memory_size).sum();
+    // alternate to be fair to caches; single measured pass each (the
+    // paper-experiments binary repeats; criterion does proper sampling)
+    let (old_elapsed, old_size) = write_once(&schema, &pages, WriterMode::Legacy, codec);
+    let (native_elapsed, native_size) = write_once(&schema, &pages, WriterMode::Native, codec);
+    assert_eq!(old_size, native_size, "writers must produce identical files");
+    WriterResult {
+        workload: name.to_string(),
+        codec,
+        input_bytes,
+        old_elapsed,
+        native_elapsed,
+    }
+}
+
+/// Run a whole figure (one codec over all 11 workloads).
+pub fn run_figure(codec: Codec, rows: usize) -> Vec<WriterResult> {
+    writer_workload_names()
+        .iter()
+        .map(|name| run_workload(name, rows, codec, 42))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writers_produce_identical_bytes_for_every_workload_and_codec() {
+        for name in writer_workload_names() {
+            for codec in [Codec::None, Codec::Fast, Codec::Deep] {
+                let (schema, page) = writer_workload(name, 300, 7).unwrap();
+                let props =
+                    WriterProperties { codec, ..WriterProperties::default() };
+                let mut old =
+                    FileWriter::new(schema.clone(), props.clone(), WriterMode::Legacy).unwrap();
+                old.write_page(&page).unwrap();
+                let old_bytes = old.finish().unwrap();
+                let mut native =
+                    FileWriter::new(schema.clone(), props, WriterMode::Native).unwrap();
+                native.write_page(&page).unwrap();
+                let native_bytes = native.finish().unwrap();
+                assert_eq!(old_bytes, native_bytes, "{name} under {codec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_machinery_works() {
+        let r = run_workload("bigint_sequential", 5_000, Codec::Fast, 1);
+        assert!(r.input_bytes > 0);
+        assert!(r.old_mbps() > 0.0);
+        assert!(r.native_mbps() > 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Worker-side data cache (§VII: "A number of cache techniques are developed
+//! for Presto, including ... Alluxio data cache").
+//!
+//! [`CachedFileSystem`] wraps a remote [`FileSystem`] and keeps recently read
+//! byte ranges in memory. Parquet readers re-fetch the same footer and column
+//! chunk ranges across queries; with affinity scheduling (same split → same
+//! worker) those ranges hit local memory instead of HDFS/S3. Writes and
+//! deletes invalidate the file's cached ranges.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use presto_common::metrics::CounterSet;
+use presto_common::Result;
+use presto_storage::fs::normalize;
+use presto_storage::{FileStatus, FileSystem};
+
+use crate::lru::LruCache;
+
+/// Cache key: one exact byte range of one file.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RangeKey {
+    path: String,
+    offset: u64,
+    len: u64,
+}
+
+/// Per-path invalidation bookkeeping: a generation counter (bumped on every
+/// write/delete) plus the range keys currently cached for the path.
+#[derive(Default)]
+struct PathState {
+    generation: u64,
+    keys: Vec<RangeKey>,
+}
+
+/// A byte-range caching filesystem wrapper.
+///
+/// Counters: `dc.hits`, `dc.misses`, `dc.bytes_saved`.
+#[derive(Clone)]
+pub struct CachedFileSystem {
+    inner: Arc<dyn FileSystem>,
+    ranges: LruCache<RangeKey, Vec<u8>>,
+    by_path: Arc<Mutex<HashMap<String, PathState>>>,
+    metrics: CounterSet,
+}
+
+impl CachedFileSystem {
+    /// Wrap `inner` with a cache of at most `capacity` ranges.
+    pub fn new(
+        inner: Arc<dyn FileSystem>,
+        capacity: usize,
+        metrics: CounterSet,
+    ) -> CachedFileSystem {
+        CachedFileSystem {
+            inner,
+            ranges: LruCache::new(capacity),
+            by_path: Arc::new(Mutex::new(HashMap::new())),
+            metrics,
+        }
+    }
+
+    /// The wrapped filesystem.
+    pub fn inner(&self) -> &Arc<dyn FileSystem> {
+        &self.inner
+    }
+
+    /// The shared counters.
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+
+    fn invalidate_path(&self, path: &str) {
+        let mut by_path = self.by_path.lock();
+        let state = by_path.entry(path.to_string()).or_default();
+        // the bump makes in-flight reads that started before this write
+        // refuse to cache their (now possibly stale) bytes
+        state.generation += 1;
+        for key in state.keys.drain(..) {
+            self.ranges.invalidate(&key);
+        }
+    }
+}
+
+impl FileSystem for CachedFileSystem {
+    fn list_files(&self, dir: &str) -> Result<Vec<FileStatus>> {
+        // metadata calls pass through (the §VII.A/§VII.B caches own those)
+        self.inner.list_files(dir)
+    }
+
+    fn get_file_info(&self, path: &str) -> Result<FileStatus> {
+        self.inner.get_file_info(path)
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        // keys use the normalized path so reads and write-invalidations
+        // agree regardless of how the caller spelled the path
+        let norm = normalize(path);
+        let key = RangeKey { path: norm.clone(), offset, len };
+        if let Some(hit) = self.ranges.get(&key) {
+            self.metrics.incr("dc.hits");
+            self.metrics.add("dc.bytes_saved", len);
+            return Ok(hit.as_ref().clone());
+        }
+        self.metrics.incr("dc.misses");
+        let generation_before = self
+            .by_path
+            .lock()
+            .get(&norm)
+            .map(|s| s.generation)
+            .unwrap_or(0);
+        let data = self.inner.read_range(path, offset, len)?;
+        {
+            let mut by_path = self.by_path.lock();
+            let state = by_path.entry(norm).or_default();
+            // a write raced the fetch: these bytes may be stale — serve
+            // them to this caller but do not cache them
+            if state.generation == generation_before {
+                state.keys.push(key.clone());
+                self.ranges.put(key, Arc::new(data.clone()));
+            }
+        }
+        Ok(data)
+    }
+
+    fn write(&self, path: &str, data: &[u8]) -> Result<()> {
+        // order matters: the write completes first, then cached ranges are
+        // dropped, so no reader can re-cache pre-write bytes afterwards
+        // (the generation bump covers readers mid-fetch)
+        self.invalidate_path(&normalize(path));
+        let result = self.inner.write(path, data);
+        self.invalidate_path(&normalize(path));
+        result
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.invalidate_path(&normalize(path));
+        let result = self.inner.delete(path);
+        self.invalidate_path(&normalize(path));
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_storage::HdfsFileSystem;
+
+    fn cached_hdfs() -> (CachedFileSystem, HdfsFileSystem) {
+        let hdfs = HdfsFileSystem::with_defaults();
+        hdfs.backing_store().write("/t/f", &(0..=255u8).collect::<Vec<_>>()).unwrap();
+        let cached =
+            CachedFileSystem::new(Arc::new(hdfs.clone()), 64, CounterSet::new());
+        (cached, hdfs)
+    }
+
+    #[test]
+    fn repeated_ranges_hit_memory() {
+        let (cached, hdfs) = cached_hdfs();
+        for _ in 0..5 {
+            assert_eq!(cached.read_range("/t/f", 10, 4).unwrap(), vec![10, 11, 12, 13]);
+        }
+        assert_eq!(cached.metrics().get("dc.misses"), 1);
+        assert_eq!(cached.metrics().get("dc.hits"), 4);
+        assert_eq!(cached.metrics().get("dc.bytes_saved"), 16);
+        assert_eq!(hdfs.metrics().get("hdfs.read_ops"), 1);
+    }
+
+    #[test]
+    fn distinct_ranges_are_distinct_entries() {
+        let (cached, hdfs) = cached_hdfs();
+        cached.read_range("/t/f", 0, 8).unwrap();
+        cached.read_range("/t/f", 8, 8).unwrap();
+        cached.read_range("/t/f", 0, 8).unwrap();
+        assert_eq!(hdfs.metrics().get("hdfs.read_ops"), 2);
+    }
+
+    #[test]
+    fn writes_invalidate_cached_ranges() {
+        let (cached, _) = cached_hdfs();
+        assert_eq!(cached.read_range("/t/f", 0, 2).unwrap(), vec![0, 1]);
+        cached.write("/t/f", &[9, 9, 9, 9]).unwrap();
+        assert_eq!(cached.read_range("/t/f", 0, 2).unwrap(), vec![9, 9]);
+    }
+
+    #[test]
+    fn metadata_calls_pass_through() {
+        let (cached, hdfs) = cached_hdfs();
+        cached.get_file_info("/t/f").unwrap();
+        cached.get_file_info("/t/f").unwrap();
+        assert_eq!(hdfs.metrics().get("hdfs.get_file_info"), 2);
+        assert_eq!(cached.list_files("/t").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Fragment result cache + affinity scheduling (§VII).
+//!
+//! "A number of cache techniques are developed for Presto, including
+//! Metastore versioned cache, fragment result cache, Alluxio data cache, and
+//! affinity scheduler" — this module supplies two of them:
+//!
+//! - [`FragmentResultCache`]: a **worker-side** cache of the pages a leaf
+//!   fragment produced for one (fragment, split) pair. Dashboards re-issue
+//!   the same scan shapes against the same sealed splits all day; a hit
+//!   skips the connector entirely.
+//! - [`affinity_worker`]: rendezvous (highest-random-weight) hashing of
+//!   splits onto workers, so a given split lands on the same worker across
+//!   queries — without it, per-worker caches are useless the moment the
+//!   worker set changes, because round-robin reshuffles everything.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use presto_common::metrics::CounterSet;
+use presto_common::Page;
+
+use crate::lru::LruCache;
+
+/// Cache key: a fingerprint of the fragment's plan (including every pushdown
+/// in its scan request) plus the identity of the split it ran over.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FragmentKey {
+    /// Fingerprint of the fragment plan (pushdowns included — two queries
+    /// only share results if their pushed-down scans are identical).
+    pub plan_fingerprint: u64,
+    /// Split identity (e.g. the file path for a Hive split).
+    pub split_identity: String,
+}
+
+/// Worker-side cache of leaf-fragment results.
+///
+/// Counters: `frc.hits`, `frc.misses`. Cloning shares the cache.
+#[derive(Clone)]
+pub struct FragmentResultCache {
+    cache: LruCache<FragmentKey, Vec<Page>>,
+    metrics: CounterSet,
+}
+
+impl FragmentResultCache {
+    /// Cache holding at most `capacity` fragment results.
+    pub fn new(capacity: usize, metrics: CounterSet) -> FragmentResultCache {
+        FragmentResultCache { cache: LruCache::new(capacity), metrics }
+    }
+
+    /// Look up a (fragment, split) result.
+    pub fn get(&self, key: &FragmentKey) -> Option<Arc<Vec<Page>>> {
+        match self.cache.get(key) {
+            Some(hit) => {
+                self.metrics.incr("frc.hits");
+                Some(hit)
+            }
+            None => {
+                self.metrics.incr("frc.misses");
+                None
+            }
+        }
+    }
+
+    /// Store a (fragment, split) result. Only cache *sealed* data — the
+    /// caller decides (open partitions must bypass, like §VII.A's file
+    /// lists).
+    pub fn put(&self, key: FragmentKey, pages: Vec<Page>) {
+        self.cache.put(key, Arc::new(pages));
+    }
+
+    /// Drop every cached result for a split (e.g. after compaction rewrote
+    /// the file).
+    pub fn invalidate_split(&self, _split_identity: &str) {
+        // LRU has no secondary index; a production implementation versions
+        // the split identity instead (identity strings embed a version, so
+        // rewritten splits simply stop being looked up). Provided for API
+        // completeness: clearing is always safe.
+        self.cache.clear();
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The shared counters.
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+}
+
+/// Stable hash helper for fingerprints.
+pub fn fingerprint<T: Hash>(value: &T) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Affinity scheduling: pick the worker for a split by rendezvous hashing.
+///
+/// Returns the index into `workers` (identified by stable ids) with the
+/// highest hash weight for this split. Properties the paper's affinity
+/// scheduler needs: deterministic (same split → same worker while the fleet
+/// is stable) and minimally disruptive (adding/removing one worker only
+/// moves the splits that hashed to it).
+pub fn affinity_worker(split_identity: &str, worker_ids: &[u32]) -> Option<usize> {
+    worker_ids
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &worker)| {
+            let mut hasher = DefaultHasher::new();
+            split_identity.hash(&mut hasher);
+            worker.hash(&mut hasher);
+            hasher.finish()
+        })
+        .map(|(index, _)| index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::Block;
+
+    fn sample_pages() -> Vec<Page> {
+        vec![Page::new(vec![Block::bigint(vec![1, 2, 3])]).unwrap()]
+    }
+
+    #[test]
+    fn hit_after_put_miss_before() {
+        let cache = FragmentResultCache::new(16, CounterSet::new());
+        let key = FragmentKey { plan_fingerprint: 42, split_identity: "/t/part-0".into() };
+        assert!(cache.get(&key).is_none());
+        cache.put(key.clone(), sample_pages());
+        let hit = cache.get(&key).unwrap();
+        assert_eq!(hit[0].positions(), 3);
+        assert_eq!(cache.metrics().get("frc.hits"), 1);
+        assert_eq!(cache.metrics().get("frc.misses"), 1);
+    }
+
+    #[test]
+    fn different_pushdowns_never_share_results() {
+        let cache = FragmentResultCache::new(16, CounterSet::new());
+        let a = FragmentKey { plan_fingerprint: 1, split_identity: "/t/part-0".into() };
+        let b = FragmentKey { plan_fingerprint: 2, split_identity: "/t/part-0".into() };
+        cache.put(a.clone(), sample_pages());
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&a).is_some());
+    }
+
+    #[test]
+    fn invalidation_clears() {
+        let cache = FragmentResultCache::new(16, CounterSet::new());
+        let key = FragmentKey { plan_fingerprint: 1, split_identity: "/t/part-0".into() };
+        cache.put(key.clone(), sample_pages());
+        cache.invalidate_split("/t/part-0");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn affinity_is_deterministic_and_balanced() {
+        let workers = vec![0u32, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            let split = format!("/warehouse/t/part-{i}");
+            let w = affinity_worker(&split, &workers).unwrap();
+            assert_eq!(affinity_worker(&split, &workers), Some(w), "deterministic");
+            counts[w] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 150, "roughly balanced, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn affinity_moves_few_splits_when_fleet_changes() {
+        let before = vec![0u32, 1, 2, 3];
+        let after = vec![0u32, 1, 2, 3, 4]; // one worker added
+        let mut moved = 0;
+        let total = 1000;
+        for i in 0..total {
+            let split = format!("/warehouse/t/part-{i}");
+            let w_before = before[affinity_worker(&split, &before).unwrap()];
+            let w_after = after[affinity_worker(&split, &after).unwrap()];
+            if w_before != w_after {
+                moved += 1;
+                // anything that moved must have moved to the new worker
+                assert_eq!(w_after, 4);
+            }
+        }
+        // rendezvous hashing moves ~1/5 of splits; round-robin would move ~4/5
+        assert!(moved < total / 3, "moved {moved} of {total}");
+        assert!(moved > total / 10, "the new worker must take a fair share");
+    }
+
+    #[test]
+    fn empty_fleet_has_no_affinity() {
+        assert_eq!(affinity_worker("/x", &[]), None);
+    }
+}

@@ -1,0 +1,523 @@
+//! One Presto cluster: a coordinator and N workers (§III), with graceful
+//! expansion and shrink (§IX).
+//!
+//! Distributed execution model: the coordinator plans and fragments the
+//! query; each leaf (scan) fragment's connector splits are assigned
+//! round-robin to ACTIVE workers and executed on real threads; intermediate
+//! pages flow back as exchanges; the root fragment runs on the coordinator.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use presto_cache::fragment::{affinity_worker, fingerprint, FragmentKey, FragmentResultCache};
+use presto_common::metrics::CounterSet;
+use presto_common::{Page, PrestoError, Result, SimClock};
+use presto_connectors::SplitPayload;
+use presto_core::{PrestoEngine, QueryResult, Session};
+use presto_plan::LogicalPlan;
+
+use crate::worker::{Worker, WorkerState, DEFAULT_GRACE_PERIOD};
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Workers started at launch.
+    pub initial_workers: u32,
+    /// `shutdown.grace-period` (§IX; the paper's default is 2 minutes).
+    pub grace_period: Duration,
+    /// §VII affinity scheduler: route each split to the same worker via
+    /// rendezvous hashing (instead of round-robin), so worker-side caches
+    /// stay hot across queries and fleet changes.
+    pub affinity_scheduling: bool,
+    /// §VII fragment result cache: per-worker entries (0 = disabled). Only
+    /// immutable splits (warehouse files, generated data) are cached.
+    pub fragment_cache_entries: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            initial_workers: 4,
+            grace_period: DEFAULT_GRACE_PERIOD,
+            affinity_scheduling: false,
+            fragment_cache_entries: 0,
+        }
+    }
+}
+
+/// A cluster: coordinator state + worker pool.
+///
+/// Counters: `cluster.queries`, `cluster.tasks`, `cluster.queries_failed`.
+pub struct PrestoCluster {
+    name: String,
+    engine: PrestoEngine,
+    workers: RwLock<Vec<Arc<Worker>>>,
+    next_worker_id: AtomicU32,
+    clock: SimClock,
+    config: ClusterConfig,
+    metrics: CounterSet,
+    /// Administrators drain whole clusters for maintenance (§VIII); a
+    /// draining cluster refuses new queries so the gateway re-routes.
+    maintenance: RwLock<bool>,
+    queries_started: AtomicU64,
+    /// Per-worker fragment result caches (die with their worker, like any
+    /// worker-side memory cache).
+    fragment_caches: RwLock<HashMap<u32, FragmentResultCache>>,
+}
+
+impl PrestoCluster {
+    /// Launch a cluster.
+    pub fn new(
+        name: impl Into<String>,
+        engine: PrestoEngine,
+        config: ClusterConfig,
+        clock: SimClock,
+    ) -> Arc<PrestoCluster> {
+        let cluster = PrestoCluster {
+            name: name.into(),
+            engine,
+            workers: RwLock::new(Vec::new()),
+            next_worker_id: AtomicU32::new(0),
+            clock,
+            config,
+            metrics: CounterSet::new(),
+            maintenance: RwLock::new(false),
+            queries_started: AtomicU64::new(0),
+            fragment_caches: RwLock::new(HashMap::new()),
+        };
+        let cluster = Arc::new(cluster);
+        cluster.expand(cluster.config.initial_workers);
+        cluster
+    }
+
+    /// Cluster name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The engine (catalog registration etc.).
+    pub fn engine(&self) -> &PrestoEngine {
+        &self.engine
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The counters.
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+
+    /// §IX expansion: "we could simply add more workers, configured with
+    /// the same coordinator. New workers are automatically added to the
+    /// existing cluster."
+    pub fn expand(&self, count: u32) {
+        let mut workers = self.workers.write();
+        let mut caches = self.fragment_caches.write();
+        for _ in 0..count {
+            let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
+            workers.push(Worker::new(id, self.clock.clone(), self.config.grace_period));
+            if self.config.fragment_cache_entries > 0 {
+                caches.insert(
+                    id,
+                    FragmentResultCache::new(
+                        self.config.fragment_cache_entries,
+                        self.metrics.clone(),
+                    ),
+                );
+            }
+        }
+    }
+
+    /// All workers (any state).
+    pub fn workers(&self) -> Vec<Arc<Worker>> {
+        self.workers.read().clone()
+    }
+
+    /// Workers currently accepting tasks.
+    pub fn active_workers(&self) -> Vec<Arc<Worker>> {
+        self.workers.read().iter().filter(|w| w.accepts_tasks()).cloned().collect()
+    }
+
+    /// §IX shrink: send the shutdown command to one worker.
+    pub fn request_worker_shutdown(&self, worker_id: u32) -> Result<()> {
+        let workers = self.workers.read();
+        let worker = workers
+            .iter()
+            .find(|w| w.id == worker_id)
+            .ok_or_else(|| PrestoError::Execution(format!("no worker {worker_id}")))?;
+        worker.request_shutdown();
+        Ok(())
+    }
+
+    /// Advance worker state machines; reap terminated workers. Returns the
+    /// number of live workers remaining.
+    pub fn tick(&self) -> usize {
+        let mut workers = self.workers.write();
+        for w in workers.iter() {
+            w.tick();
+        }
+        let mut caches = self.fragment_caches.write();
+        workers.retain(|w| {
+            let live = w.state() != WorkerState::Terminated;
+            if !live {
+                // a terminated worker takes its in-memory caches with it
+                caches.remove(&w.id);
+            }
+            live
+        });
+        workers.len()
+    }
+
+    /// Enter/exit maintenance (drain) mode.
+    pub fn set_maintenance(&self, on: bool) {
+        *self.maintenance.write() = on;
+    }
+
+    /// Is the cluster refusing new queries?
+    pub fn in_maintenance(&self) -> bool {
+        *self.maintenance.read()
+    }
+
+    /// Queries executed so far.
+    pub fn queries_started(&self) -> u64 {
+        self.queries_started.load(Ordering::Relaxed)
+    }
+
+    /// Execute a query with distributed scan fragments.
+    pub fn execute(&self, sql: &str, session: &Session) -> Result<QueryResult> {
+        if self.in_maintenance() {
+            return Err(PrestoError::Execution(format!(
+                "cluster {} is in maintenance",
+                self.name
+            )));
+        }
+        self.queries_started.fetch_add(1, Ordering::Relaxed);
+        self.metrics.incr("cluster.queries");
+        let result = self.execute_inner(sql, session);
+        if result.is_err() {
+            self.metrics.incr("cluster.queries_failed");
+        }
+        result
+    }
+
+    fn execute_inner(&self, sql: &str, session: &Session) -> Result<QueryResult> {
+        let fragments = self.engine.fragment(sql, session)?;
+        let schema = fragments[0].plan.output_schema()?;
+
+        // Execute leaf (scan) fragments with splits spread across workers.
+        let mut exchanges: Vec<(u32, Vec<Page>)> = Vec::new();
+        for fragment in &fragments[1..] {
+            let LogicalPlan::TableScan { catalog, schema: sch, table, request, .. } =
+                &fragment.plan
+            else {
+                // non-scan fragment (not produced by the current fragmenter)
+                let pages = self.engine.execute_fragment(fragment, vec![], session)?;
+                exchanges.push((fragment.id, pages));
+                continue;
+            };
+            let connector = self.engine.catalogs().get(catalog)?;
+            let splits = connector.splits(sch, table, request)?;
+            self.metrics.add("cluster.tasks", splits.len() as u64);
+
+            let workers = self.active_workers();
+            if workers.is_empty() {
+                return Err(PrestoError::Execution(format!(
+                    "cluster {} has no active workers",
+                    self.name
+                )));
+            }
+            // Split assignment: affinity scheduling (§VII) routes each split
+            // to a stable worker via rendezvous hashing; otherwise splits
+            // round-robin. Scan tasks run on real threads, one per worker (a
+            // worker's splits run serially on it).
+            let worker_ids: Vec<u32> = workers.iter().map(|w| w.id).collect();
+            let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
+            for (i, split) in splits.iter().enumerate() {
+                let w = if self.config.affinity_scheduling {
+                    affinity_worker(&split_identity(&split.payload), &worker_ids)
+                        .expect("workers is non-empty")
+                } else {
+                    i % workers.len()
+                };
+                per_worker[w].push(i);
+            }
+            let assignments: Vec<(Arc<Worker>, Vec<usize>)> = workers
+                .iter()
+                .cloned()
+                .zip(per_worker)
+                .collect();
+            // Pushdowns are part of the fragment identity: two queries only
+            // share cached results when their pushed-down scans agree.
+            let plan_fingerprint = fingerprint(&format!("{:?}", fragment.plan));
+            type SplitResults = Vec<Result<Vec<(usize, Vec<Page>)>>>;
+            let results: SplitResults =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = assignments
+                        .iter()
+                        .map(|(worker, split_ids)| {
+                            let connector = connector.clone();
+                            let splits = &splits;
+                            let cache = self
+                                .fragment_caches
+                                .read()
+                                .get(&worker.id)
+                                .cloned();
+                            scope.spawn(move || {
+                                let mut out = Vec::new();
+                                for &i in split_ids {
+                                    let _task = worker.begin_task()?;
+                                    let key = FragmentKey {
+                                        plan_fingerprint,
+                                        split_identity: split_identity(&splits[i].payload),
+                                    };
+                                    let cacheable = cache.is_some()
+                                        && is_immutable_split(&splits[i].payload);
+                                    if cacheable {
+                                        if let Some(hit) =
+                                            cache.as_ref().and_then(|c| c.get(&key))
+                                        {
+                                            out.push((i, hit.as_ref().clone()));
+                                            continue;
+                                        }
+                                    }
+                                    let pages = connector.scan_split(&splits[i], request)?;
+                                    if cacheable {
+                                        if let Some(c) = &cache {
+                                            c.put(key, pages.clone());
+                                        }
+                                    }
+                                    out.push((i, pages));
+                                }
+                                Ok(out)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                });
+            // splits stay ordered so results are deterministic
+            let mut indexed: Vec<(usize, Vec<Page>)> = Vec::new();
+            for r in results {
+                indexed.extend(r?);
+            }
+            indexed.sort_by_key(|(i, _)| *i);
+            let pages: Vec<Page> =
+                indexed.into_iter().flat_map(|(_, pages)| pages).collect();
+            exchanges.push((fragment.id, pages));
+        }
+
+        // Root fragment runs on the coordinator.
+        let pages = self.engine.execute_fragment(&fragments[0], exchanges, session)?;
+        Ok(QueryResult { schema, pages })
+    }
+}
+
+/// Stable identity of a split, for affinity hashing and cache keys.
+fn split_identity(payload: &SplitPayload) -> String {
+    match payload {
+        SplitPayload::HiveFile { path, .. } => format!("hive:{path}"),
+        SplitPayload::Memory { chunk } => format!("memory:{chunk}"),
+        SplitPayload::MySql => "mysql".to_string(),
+        SplitPayload::Segments { start, end } => format!("segments:{start}-{end}"),
+        SplitPayload::Tpch { start, count } => format!("tpch:{start}+{count}"),
+    }
+}
+
+/// Only splits over immutable data may be result-cached: warehouse files
+/// never change in place, generated TPC-H data is deterministic. Memory and
+/// MySQL tables mutate; real-time segments keep arriving.
+fn is_immutable_split(payload: &SplitPayload) -> bool {
+    matches!(payload, SplitPayload::HiveFile { .. } | SplitPayload::Tpch { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::{Block, DataType, Field, Schema, Value};
+    use presto_connectors::memory::MemoryConnector;
+
+    fn cluster() -> Arc<PrestoCluster> {
+        let engine = PrestoEngine::new();
+        let memory = MemoryConnector::new();
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Bigint),
+            Field::new("city", DataType::Varchar),
+        ])
+        .unwrap();
+        // several pages → several splits → distributed scan
+        let pages: Vec<Page> = (0..8)
+            .map(|p| {
+                Page::new(vec![
+                    Block::bigint((p * 10..p * 10 + 10).collect()),
+                    Block::varchar(&["sf"; 10]),
+                ])
+                .unwrap()
+            })
+            .collect();
+        memory.create_table("default", "t", schema, pages).unwrap();
+        engine.register_catalog("memory", Arc::new(memory));
+        PrestoCluster::new(
+            "test",
+            engine,
+            ClusterConfig { initial_workers: 3, grace_period: Duration::from_secs(2), ..ClusterConfig::default() },
+            SimClock::new(),
+        )
+    }
+
+    #[test]
+    fn distributed_query_spreads_tasks_over_workers() {
+        let c = cluster();
+        let result = c
+            .execute("SELECT count(*) FROM t", &Session::default())
+            .unwrap();
+        assert_eq!(result.rows(), vec![vec![Value::Bigint(80)]]);
+        assert_eq!(c.metrics().get("cluster.tasks"), 8);
+        // every worker did some splits
+        let done: Vec<usize> =
+            c.workers().iter().map(|w| w.completed_tasks()).collect();
+        assert!(done.iter().all(|&d| d > 0), "{done:?}");
+        assert_eq!(done.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn expansion_adds_capacity() {
+        let c = cluster();
+        assert_eq!(c.active_workers().len(), 3);
+        c.expand(2);
+        assert_eq!(c.active_workers().len(), 5);
+        // new workers participate immediately
+        c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+        assert!(c.workers().iter().any(|w| w.id >= 3 && w.completed_tasks() > 0));
+    }
+
+    #[test]
+    fn graceful_shrink_never_fails_queries() {
+        let c = cluster();
+        c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+        // drain worker 0
+        c.request_worker_shutdown(0).unwrap();
+        // queries keep running while the worker drains
+        for _ in 0..5 {
+            c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+            c.clock().advance(Duration::from_secs(1));
+            c.tick();
+        }
+        // finish both grace periods
+        c.clock().advance(Duration::from_secs(5));
+        c.tick();
+        c.clock().advance(Duration::from_secs(5));
+        let remaining = c.tick();
+        assert_eq!(remaining, 2, "worker 0 terminated");
+        assert_eq!(c.metrics().get("cluster.queries_failed"), 0);
+        // and the cluster still works
+        let result = c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+        assert_eq!(result.rows(), vec![vec![Value::Bigint(80)]]);
+    }
+
+    #[test]
+    fn fragment_result_cache_serves_repeat_queries() {
+        let engine = PrestoEngine::new();
+        engine.register_catalog(
+            "tpch",
+            Arc::new(presto_connectors::tpch::TpchConnector::new()),
+        );
+        let c = PrestoCluster::new(
+            "cached",
+            engine,
+            ClusterConfig {
+                initial_workers: 3,
+                affinity_scheduling: true,
+                fragment_cache_entries: 64,
+                ..ClusterConfig::default()
+            },
+            SimClock::new(),
+        );
+        let session = Session::new("tpch", "tiny");
+        let sql = "SELECT returnflag, count(*) FROM lineitem GROUP BY 1";
+        let first = c.execute(sql, &session).unwrap();
+        assert_eq!(c.metrics().get("frc.hits"), 0);
+        let misses_after_first = c.metrics().get("frc.misses");
+        assert!(misses_after_first > 0, "first run populates the cache");
+
+        // the dashboard refreshes: identical query, all splits served from
+        // worker memory
+        let second = c.execute(sql, &session).unwrap();
+        assert_eq!(first.rows(), second.rows());
+        assert_eq!(c.metrics().get("frc.misses"), misses_after_first);
+        assert_eq!(c.metrics().get("frc.hits"), misses_after_first);
+
+        // a different pushdown shape must not share results
+        let other = "SELECT returnflag, count(*) FROM lineitem \
+                     WHERE linestatus = 'O' GROUP BY 1";
+        c.execute(other, &session).unwrap();
+        assert!(c.metrics().get("frc.misses") > misses_after_first);
+    }
+
+    #[test]
+    fn affinity_keeps_caches_warm_through_expansion() {
+        let engine = PrestoEngine::new();
+        engine.register_catalog(
+            "tpch",
+            Arc::new(presto_connectors::tpch::TpchConnector::new()),
+        );
+        let mk = |affinity: bool| {
+            let c = PrestoCluster::new(
+                "t",
+                engine.clone(),
+                ClusterConfig {
+                    initial_workers: 4,
+                    affinity_scheduling: affinity,
+                    fragment_cache_entries: 64,
+                    ..ClusterConfig::default()
+                },
+                SimClock::new(),
+            );
+            let session = Session::new("tpch", "small");
+            let sql = "SELECT count(*) FROM lineitem";
+            c.execute(sql, &session).unwrap(); // warm caches
+            c.metrics().reset();
+            c.expand(1); // fleet change
+            c.execute(sql, &session).unwrap();
+            (c.metrics().get("frc.hits"), c.metrics().get("frc.misses"))
+        };
+        // with affinity, most splits still land on their warm worker
+        let (affinity_hits, affinity_misses) = mk(true);
+        assert!(
+            affinity_hits > affinity_misses,
+            "affinity should keep most splits warm: {affinity_hits} hits vs {affinity_misses} misses"
+        );
+        // round-robin reshuffles on expansion, losing most of the cache
+        let (rr_hits, _) = mk(false);
+        assert!(
+            affinity_hits > rr_hits,
+            "affinity ({affinity_hits}) must beat round-robin ({rr_hits})"
+        );
+    }
+
+    #[test]
+    fn maintenance_refuses_queries() {
+        let c = cluster();
+        c.set_maintenance(true);
+        assert!(c.execute("SELECT 1", &Session::default()).is_err());
+        c.set_maintenance(false);
+        assert!(c.execute("SELECT 1", &Session::default()).is_ok());
+    }
+
+    #[test]
+    fn no_active_workers_is_an_error() {
+        let c = cluster();
+        for w in c.workers() {
+            w.request_shutdown();
+        }
+        c.clock().advance(Duration::from_secs(3));
+        c.tick();
+        let err = c.execute("SELECT count(*) FROM t", &Session::default()).unwrap_err();
+        assert!(err.message().contains("no active workers"));
+    }
+}

@@ -1,0 +1,221 @@
+//! The federation gateway (§VIII).
+//!
+//! "Using HTTP Redirect, we developed a presto gateway. The gateway will
+//! redirect incoming queries to specific presto clusters, based on user name
+//! and group information. The user and group to cluster mapping data is
+//! stored in MySQL. Presto administrators could play with MySQL to
+//! dynamically redirect any traffic to any cluster."
+//!
+//! Per the §XII.B lesson ("A general gateway is hard" — a proxying gateway
+//! became the bottleneck), this gateway only issues *redirects*: clients
+//! then talk to the cluster directly. [`PrestoGateway::submit`] models a
+//! client that follows the redirect.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use presto_common::metrics::CounterSet;
+use presto_common::{PrestoError, Result, Schema, Value};
+use presto_connectors::mysql::MySqlConnector;
+use presto_core::{QueryResult, Session};
+
+use crate::cluster::PrestoCluster;
+
+/// Schema/table where routes live in MySQL.
+const ROUTING_SCHEMA: &str = "presto";
+const ROUTING_TABLE: &str = "routing";
+/// Route used when a group has no explicit mapping ("A few big clusters are
+/// shared by all teams").
+pub const DEFAULT_GROUP: &str = "*";
+
+/// An HTTP-redirect-style response: which cluster the client should use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Redirect {
+    /// Target cluster name (the Location header, morally).
+    pub cluster: String,
+}
+
+/// The federation gateway.
+pub struct PrestoGateway {
+    routing: MySqlConnector,
+    clusters: RwLock<BTreeMap<String, Arc<PrestoCluster>>>,
+    metrics: CounterSet,
+}
+
+impl PrestoGateway {
+    /// Gateway with a fresh routing table in the given MySQL instance.
+    pub fn new(routing: MySqlConnector) -> Result<PrestoGateway> {
+        routing.create_table(
+            ROUTING_SCHEMA,
+            ROUTING_TABLE,
+            Schema::new(vec![
+                presto_common::Field::new("user_group", presto_common::DataType::Varchar),
+                presto_common::Field::new("cluster", presto_common::DataType::Varchar),
+            ])?,
+        )?;
+        Ok(PrestoGateway {
+            routing,
+            clusters: RwLock::new(BTreeMap::new()),
+            metrics: CounterSet::new(),
+        })
+    }
+
+    /// The counters (`gateway.redirects`, `gateway.rerouted_maintenance`).
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+
+    /// Register a cluster with the gateway.
+    pub fn add_cluster(&self, cluster: Arc<PrestoCluster>) {
+        self.clusters.write().insert(cluster.name().to_string(), cluster);
+    }
+
+    /// Administrator: set (or replace) a group's route — an UPDATE/INSERT
+    /// against MySQL, effective for the very next query.
+    pub fn set_route(&self, group: &str, cluster: &str) -> Result<()> {
+        let changed = self.routing.update_where(
+            ROUTING_SCHEMA,
+            ROUTING_TABLE,
+            "cluster",
+            Value::Varchar(cluster.into()),
+            "user_group",
+            &Value::Varchar(group.into()),
+        )?;
+        if changed == 0 {
+            self.routing.insert(
+                ROUTING_SCHEMA,
+                ROUTING_TABLE,
+                vec![vec![Value::Varchar(group.into()), Value::Varchar(cluster.into())]],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Resolve a redirect for a user group. Routes pointing at clusters in
+    /// maintenance fall back to the default (`*`) route, which is what makes
+    /// "redirect traffic ... to guarantee no downtime" work (§VIII).
+    pub fn route(&self, group: &str) -> Result<Redirect> {
+        self.metrics.incr("gateway.redirects");
+        let lookup = |g: &str| -> Result<Option<String>> {
+            Ok(self
+                .routing
+                .lookup(ROUTING_SCHEMA, ROUTING_TABLE, "user_group", &Value::Varchar(g.into()))?
+                .map(|row| row[1].as_str().unwrap_or_default().to_string()))
+        };
+        let primary = match lookup(group)? {
+            Some(c) => c,
+            None => lookup(DEFAULT_GROUP)?.ok_or_else(|| {
+                PrestoError::Execution(format!(
+                    "no route for group '{group}' and no default route"
+                ))
+            })?,
+        };
+        let clusters = self.clusters.read();
+        let healthy = |name: &str| {
+            clusters.get(name).map(|c| !c.in_maintenance()).unwrap_or(false)
+        };
+        if healthy(&primary) {
+            return Ok(Redirect { cluster: primary });
+        }
+        // primary down/draining: re-route to the shared default
+        self.metrics.incr("gateway.rerouted_maintenance");
+        let fallback = lookup(DEFAULT_GROUP)?.ok_or_else(|| {
+            PrestoError::Execution(format!(
+                "cluster '{primary}' unavailable and no default route"
+            ))
+        })?;
+        if fallback != primary && healthy(&fallback) {
+            return Ok(Redirect { cluster: fallback });
+        }
+        Err(PrestoError::Execution(format!(
+            "no healthy cluster for group '{group}'"
+        )))
+    }
+
+    /// Client helper: resolve the redirect, then run the query *directly on
+    /// the cluster* (the gateway never proxies data, §XII.B).
+    pub fn submit(&self, group: &str, sql: &str, session: &Session) -> Result<QueryResult> {
+        let redirect = self.route(group)?;
+        let cluster = self
+            .clusters
+            .read()
+            .get(&redirect.cluster)
+            .cloned()
+            .ok_or_else(|| {
+                PrestoError::Execution(format!("unknown cluster '{}'", redirect.cluster))
+            })?;
+        cluster.execute(sql, session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use presto_common::SimClock;
+    use presto_core::PrestoEngine;
+    use std::time::Duration;
+
+    fn gateway_with_clusters() -> (PrestoGateway, Arc<PrestoCluster>, Arc<PrestoCluster>) {
+        let gateway = PrestoGateway::new(MySqlConnector::new()).unwrap();
+        let mk = |name: &str| {
+            PrestoCluster::new(
+                name,
+                PrestoEngine::new(),
+                ClusterConfig { initial_workers: 2, grace_period: Duration::from_secs(1), ..ClusterConfig::default() },
+                SimClock::new(),
+            )
+        };
+        let dedicated = mk("dedicated-1");
+        let shared = mk("shared");
+        gateway.add_cluster(dedicated.clone());
+        gateway.add_cluster(shared.clone());
+        gateway.set_route(DEFAULT_GROUP, "shared").unwrap();
+        gateway.set_route("ads", "dedicated-1").unwrap();
+        (gateway, dedicated, shared)
+    }
+
+    #[test]
+    fn routes_by_group_with_default_fallback() {
+        let (gateway, _, _) = gateway_with_clusters();
+        assert_eq!(gateway.route("ads").unwrap().cluster, "dedicated-1");
+        assert_eq!(gateway.route("unknown-team").unwrap().cluster, "shared");
+    }
+
+    #[test]
+    fn dynamic_rerouting_is_immediate() {
+        let (gateway, _, _) = gateway_with_clusters();
+        gateway.set_route("ads", "shared").unwrap();
+        assert_eq!(gateway.route("ads").unwrap().cluster, "shared");
+        gateway.set_route("ads", "dedicated-1").unwrap();
+        assert_eq!(gateway.route("ads").unwrap().cluster, "dedicated-1");
+    }
+
+    #[test]
+    fn maintenance_reroutes_with_zero_downtime() {
+        let (gateway, dedicated, shared) = gateway_with_clusters();
+        // queries flow to the dedicated cluster
+        gateway.submit("ads", "SELECT 1", &Session::default()).unwrap();
+        assert_eq!(dedicated.queries_started(), 1);
+
+        // drain the dedicated cluster for an upgrade
+        dedicated.set_maintenance(true);
+        for _ in 0..3 {
+            gateway.submit("ads", "SELECT 1", &Session::default()).unwrap();
+        }
+        assert_eq!(shared.queries_started(), 3, "traffic moved to the shared cluster");
+        assert_eq!(gateway.metrics().get("gateway.rerouted_maintenance"), 3);
+
+        // upgrade done
+        dedicated.set_maintenance(false);
+        gateway.submit("ads", "SELECT 1", &Session::default()).unwrap();
+        assert_eq!(dedicated.queries_started(), 2);
+    }
+
+    #[test]
+    fn no_route_errors() {
+        let gateway = PrestoGateway::new(MySqlConnector::new()).unwrap();
+        assert!(gateway.route("anyone").is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Worker nodes and the graceful-shutdown state machine (§IX).
+//!
+//! "Upon receiving the command, presto worker will enter SHUTTING_DOWN
+//! state: sleep for shutdown.grace-period, which defaults to 2 minutes.
+//! After this, the coordinator is aware of the shutdown and stops sending
+//! tasks to the worker. The worker will block until all active tasks are
+//! complete. The worker will sleep for the grace period again in order to
+//! ensure the coordinator sees all tasks are complete. Finally, the presto
+//! worker will shut down."
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use presto_common::{PrestoError, Result, SimClock};
+
+/// Default `shutdown.grace-period` (the paper's 2 minutes).
+pub const DEFAULT_GRACE_PERIOD: Duration = Duration::from_secs(120);
+
+/// Worker lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Accepting tasks.
+    Active,
+    /// Draining: sleeping the first grace period (coordinator may not have
+    /// noticed yet).
+    ShuttingDownGrace1,
+    /// Draining: grace elapsed, waiting for active tasks to finish.
+    ShuttingDownDraining,
+    /// Tasks done: sleeping the second grace period so the coordinator sees
+    /// completion.
+    ShuttingDownGrace2,
+    /// Gone.
+    Terminated,
+}
+
+struct WorkerInner {
+    state: WorkerState,
+    /// Virtual time the current shutdown phase started.
+    phase_started: Duration,
+}
+
+/// One worker node.
+pub struct Worker {
+    /// Worker id within its cluster.
+    pub id: u32,
+    inner: Mutex<WorkerInner>,
+    active_tasks: AtomicUsize,
+    completed_tasks: AtomicUsize,
+    clock: SimClock,
+    grace_period: Duration,
+}
+
+impl Worker {
+    /// New active worker on a shared virtual clock.
+    pub fn new(id: u32, clock: SimClock, grace_period: Duration) -> Arc<Worker> {
+        Arc::new(Worker {
+            id,
+            inner: Mutex::new(WorkerInner {
+                state: WorkerState::Active,
+                phase_started: clock.now(),
+            }),
+            active_tasks: AtomicUsize::new(0),
+            completed_tasks: AtomicUsize::new(0),
+            clock,
+            grace_period,
+        })
+    }
+
+    /// Current state.
+    pub fn state(&self) -> WorkerState {
+        self.inner.lock().state
+    }
+
+    /// Tasks currently running.
+    pub fn active_tasks(&self) -> usize {
+        self.active_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Tasks completed over the worker's lifetime.
+    pub fn completed_tasks(&self) -> usize {
+        self.completed_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Can the scheduler assign new tasks here? Only ACTIVE workers accept
+    /// ("the coordinator ... stops sending tasks to the worker").
+    pub fn accepts_tasks(&self) -> bool {
+        self.state() == WorkerState::Active
+    }
+
+    /// Begin a task. Errors if the worker is not accepting.
+    pub fn begin_task(&self) -> Result<TaskGuard<'_>> {
+        // The task count must rise while the state lock is held: otherwise a
+        // concurrent tick() between the state check and the increment could
+        // see zero active tasks and advance Draining → Grace2 with a task
+        // about to run.
+        let inner = self.inner.lock();
+        // During the first grace period the coordinator may not know yet;
+        // tasks assigned in that window are still accepted and drained —
+        // that is the point of the grace period.
+        match inner.state {
+            WorkerState::Active | WorkerState::ShuttingDownGrace1 => {}
+            other => {
+                return Err(PrestoError::Execution(format!(
+                    "worker {} is {:?}, cannot accept tasks",
+                    self.id, other
+                )))
+            }
+        }
+        self.active_tasks.fetch_add(1, Ordering::SeqCst);
+        drop(inner);
+        Ok(TaskGuard { worker: self })
+    }
+
+    /// Administrator command: begin graceful shutdown.
+    pub fn request_shutdown(&self) {
+        let mut inner = self.inner.lock();
+        if inner.state == WorkerState::Active {
+            inner.state = WorkerState::ShuttingDownGrace1;
+            inner.phase_started = self.clock.now();
+        }
+    }
+
+    /// Advance the shutdown state machine against the virtual clock.
+    /// Transitions cascade within one tick when their conditions already
+    /// hold (e.g. grace 1 elapsed *and* no tasks → straight to grace 2).
+    /// Returns the (possibly new) state.
+    pub fn tick(&self) -> WorkerState {
+        let mut inner = self.inner.lock();
+        loop {
+            let now = self.clock.now();
+            let elapsed = now.saturating_sub(inner.phase_started);
+            let next = match inner.state {
+                WorkerState::ShuttingDownGrace1 if elapsed >= self.grace_period => {
+                    WorkerState::ShuttingDownDraining
+                }
+                WorkerState::ShuttingDownDraining
+                    if self.active_tasks.load(Ordering::SeqCst) == 0 =>
+                {
+                    WorkerState::ShuttingDownGrace2
+                }
+                WorkerState::ShuttingDownGrace2 if elapsed >= self.grace_period => {
+                    WorkerState::Terminated
+                }
+                stable => return stable,
+            };
+            inner.state = next;
+            inner.phase_started = now;
+        }
+    }
+}
+
+/// RAII guard for a running task.
+pub struct TaskGuard<'a> {
+    worker: &'a Worker,
+}
+
+impl Drop for TaskGuard<'_> {
+    fn drop(&mut self) {
+        self.worker.active_tasks.fetch_sub(1, Ordering::SeqCst);
+        self.worker.completed_tasks.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_walks_every_state() {
+        let clock = SimClock::new();
+        let grace = Duration::from_secs(120);
+        let worker = Worker::new(1, clock.clone(), grace);
+        assert_eq!(worker.state(), WorkerState::Active);
+        assert!(worker.accepts_tasks());
+
+        // a task is running when shutdown is requested
+        let task = worker.begin_task().unwrap();
+        worker.request_shutdown();
+        assert_eq!(worker.state(), WorkerState::ShuttingDownGrace1);
+        assert!(!worker.accepts_tasks());
+
+        // the first grace period must fully elapse
+        clock.advance(grace / 2);
+        assert_eq!(worker.tick(), WorkerState::ShuttingDownGrace1);
+        clock.advance(grace / 2);
+        assert_eq!(worker.tick(), WorkerState::ShuttingDownDraining);
+
+        // cannot terminate while the task runs
+        clock.advance(grace * 10);
+        assert_eq!(worker.tick(), WorkerState::ShuttingDownDraining);
+        drop(task);
+        assert_eq!(worker.tick(), WorkerState::ShuttingDownGrace2);
+
+        // second grace period
+        assert_eq!(worker.tick(), WorkerState::ShuttingDownGrace2);
+        clock.advance(grace);
+        assert_eq!(worker.tick(), WorkerState::Terminated);
+        assert_eq!(worker.completed_tasks(), 1);
+        assert_eq!(worker.active_tasks(), 0);
+    }
+
+    #[test]
+    fn grace1_still_accepts_straggler_tasks() {
+        // §IX: during the first grace period the coordinator may not yet
+        // know about the shutdown; tasks it sends must still be served.
+        let clock = SimClock::new();
+        let worker = Worker::new(1, clock.clone(), Duration::from_secs(10));
+        worker.request_shutdown();
+        let task = worker.begin_task().unwrap();
+        drop(task);
+        clock.advance(Duration::from_secs(10));
+        worker.tick();
+        // after grace 1, new tasks are refused
+        assert!(worker.begin_task().is_err());
+    }
+}

@@ -1,0 +1,782 @@
+//! Columnar blocks — the in-memory vectorized representation.
+//!
+//! §III: "Internally, Presto is a vectorized engine, which processes a bunch
+//! of in memory encoded column values vectorized, instead of row by row."
+//! A [`Block`] is one column's worth of values for a batch of rows. Nested
+//! types are *columnar all the way down*: a `ROW` block holds one child block
+//! per field, an `ARRAY` block holds offsets plus a flattened element block —
+//! the same shape the new Parquet reader (§V.E) builds directly from disk.
+//!
+//! [`Block::Dictionary`] is the encoding dictionary pushdown (§V.G) and lazy
+//! dictionary-preserving reads produce.
+
+use crate::error::{PrestoError, Result};
+use crate::types::{DataType, Field};
+use crate::value::Value;
+
+/// Validity mask: `true` means NULL at that position. `None` means no nulls.
+pub type NullMask = Option<Vec<bool>>;
+
+/// One column of a batch of rows, in columnar layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// BOOLEAN column.
+    Boolean {
+        /// Values; positions where `nulls` is true hold an arbitrary value.
+        values: Vec<bool>,
+        /// Null mask.
+        nulls: NullMask,
+    },
+    /// BIGINT column.
+    Bigint {
+        /// Values.
+        values: Vec<i64>,
+        /// Null mask.
+        nulls: NullMask,
+    },
+    /// INTEGER column.
+    Integer {
+        /// Values.
+        values: Vec<i32>,
+        /// Null mask.
+        nulls: NullMask,
+    },
+    /// DOUBLE column.
+    Double {
+        /// Values.
+        values: Vec<f64>,
+        /// Null mask.
+        nulls: NullMask,
+    },
+    /// VARCHAR column stored as flat bytes + offsets (not `Vec<String>`),
+    /// which is what makes string columns cheap to scan and slice.
+    Varchar {
+        /// `offsets.len() == row_count + 1`; row `i` is
+        /// `bytes[offsets[i]..offsets[i+1]]`.
+        offsets: Vec<u32>,
+        /// Concatenated UTF-8 payload.
+        bytes: Vec<u8>,
+        /// Null mask.
+        nulls: NullMask,
+    },
+    /// DATE column (days since epoch).
+    Date {
+        /// Values.
+        values: Vec<i32>,
+        /// Null mask.
+        nulls: NullMask,
+    },
+    /// TIMESTAMP column (millis since epoch).
+    Timestamp {
+        /// Values.
+        values: Vec<i64>,
+        /// Null mask.
+        nulls: NullMask,
+    },
+    /// ARRAY column: offsets into a flattened element block.
+    Array {
+        /// Element type (needed when the block is empty).
+        element_type: DataType,
+        /// `offsets.len() == row_count + 1`.
+        offsets: Vec<u32>,
+        /// Flattened elements of every row.
+        elements: Box<Block>,
+        /// Null mask.
+        nulls: NullMask,
+    },
+    /// MAP column: offsets into flattened key/value blocks.
+    Map {
+        /// Key type.
+        key_type: DataType,
+        /// Value type.
+        value_type: DataType,
+        /// `offsets.len() == row_count + 1`.
+        offsets: Vec<u32>,
+        /// Flattened keys.
+        keys: Box<Block>,
+        /// Flattened values.
+        values: Box<Block>,
+        /// Null mask.
+        nulls: NullMask,
+    },
+    /// ROW (struct) column: one child block per field, all the same length.
+    Row {
+        /// Field definitions.
+        fields: Vec<Field>,
+        /// Child blocks, parallel to `fields`.
+        children: Vec<Block>,
+        /// Row count (kept explicitly so empty-field rows still have a length).
+        len: usize,
+        /// Null mask for the struct itself.
+        nulls: NullMask,
+    },
+    /// Dictionary-encoded column: positions are ids into a (usually small)
+    /// dictionary block. NULLs live in the dictionary.
+    Dictionary {
+        /// The distinct values.
+        dictionary: Box<Block>,
+        /// One id per row.
+        ids: Vec<u32>,
+    },
+}
+
+impl Block {
+    // ---------------------------------------------------------------- ctors
+
+    /// Non-null BIGINT block.
+    pub fn bigint(values: Vec<i64>) -> Block {
+        Block::Bigint { values, nulls: None }
+    }
+
+    /// Non-null INTEGER block.
+    pub fn integer(values: Vec<i32>) -> Block {
+        Block::Integer { values, nulls: None }
+    }
+
+    /// Non-null DOUBLE block.
+    pub fn double(values: Vec<f64>) -> Block {
+        Block::Double { values, nulls: None }
+    }
+
+    /// Non-null BOOLEAN block.
+    pub fn boolean(values: Vec<bool>) -> Block {
+        Block::Boolean { values, nulls: None }
+    }
+
+    /// Non-null VARCHAR block from string slices.
+    pub fn varchar<S: AsRef<str>>(values: &[S]) -> Block {
+        let mut offsets = Vec::with_capacity(values.len() + 1);
+        let mut bytes = Vec::new();
+        offsets.push(0u32);
+        for v in values {
+            bytes.extend_from_slice(v.as_ref().as_bytes());
+            offsets.push(bytes.len() as u32);
+        }
+        Block::Varchar { offsets, bytes, nulls: None }
+    }
+
+    /// An all-NULL block of the given type and length.
+    pub fn nulls(data_type: &DataType, len: usize) -> Block {
+        Self::from_values(data_type, &vec![Value::Null; len])
+            .expect("null block construction cannot fail")
+    }
+
+    /// Build a block of `data_type` from scalar values. This is the generic
+    /// (slow-path) builder used by literals, the legacy row-based reader, and
+    /// tests; hot paths construct typed blocks directly.
+    pub fn from_values(data_type: &DataType, values: &[Value]) -> Result<Block> {
+        fn mask(values: &[Value]) -> NullMask {
+            if values.iter().any(Value::is_null) {
+                Some(values.iter().map(Value::is_null).collect())
+            } else {
+                None
+            }
+        }
+        let wrong = |v: &Value| {
+            PrestoError::Internal(format!("value {v} does not match block type {data_type}"))
+        };
+        match data_type {
+            DataType::Boolean => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Boolean(b) => *b,
+                        Value::Null => false,
+                        other => return Err(wrong(other)),
+                    });
+                }
+                Ok(Block::Boolean { values: out, nulls: mask(values) })
+            }
+            DataType::Bigint => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Bigint(x) => *x,
+                        Value::Integer(x) => *x as i64,
+                        Value::Null => 0,
+                        other => return Err(wrong(other)),
+                    });
+                }
+                Ok(Block::Bigint { values: out, nulls: mask(values) })
+            }
+            DataType::Integer => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Integer(x) => *x,
+                        Value::Null => 0,
+                        other => return Err(wrong(other)),
+                    });
+                }
+                Ok(Block::Integer { values: out, nulls: mask(values) })
+            }
+            DataType::Double => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Double(x) => *x,
+                        Value::Bigint(x) => *x as f64,
+                        Value::Integer(x) => *x as f64,
+                        Value::Null => 0.0,
+                        other => return Err(wrong(other)),
+                    });
+                }
+                Ok(Block::Double { values: out, nulls: mask(values) })
+            }
+            DataType::Varchar => {
+                let mut offsets = Vec::with_capacity(values.len() + 1);
+                let mut bytes = Vec::new();
+                offsets.push(0u32);
+                for v in values {
+                    match v {
+                        Value::Varchar(s) => bytes.extend_from_slice(s.as_bytes()),
+                        Value::Null => {}
+                        other => return Err(wrong(other)),
+                    }
+                    offsets.push(bytes.len() as u32);
+                }
+                Ok(Block::Varchar { offsets, bytes, nulls: mask(values) })
+            }
+            DataType::Date => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Date(x) => *x,
+                        Value::Null => 0,
+                        other => return Err(wrong(other)),
+                    });
+                }
+                Ok(Block::Date { values: out, nulls: mask(values) })
+            }
+            DataType::Timestamp => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Timestamp(x) => *x,
+                        Value::Null => 0,
+                        other => return Err(wrong(other)),
+                    });
+                }
+                Ok(Block::Timestamp { values: out, nulls: mask(values) })
+            }
+            DataType::Array(elem) => {
+                let mut offsets = Vec::with_capacity(values.len() + 1);
+                let mut flat = Vec::new();
+                offsets.push(0u32);
+                for v in values {
+                    match v {
+                        Value::Array(items) => flat.extend_from_slice(items),
+                        Value::Null => {}
+                        other => return Err(wrong(other)),
+                    }
+                    offsets.push(flat.len() as u32);
+                }
+                Ok(Block::Array {
+                    element_type: (**elem).clone(),
+                    offsets,
+                    elements: Box::new(Block::from_values(elem, &flat)?),
+                    nulls: mask(values),
+                })
+            }
+            DataType::Map(kt, vt) => {
+                let mut offsets = Vec::with_capacity(values.len() + 1);
+                let mut flat_k = Vec::new();
+                let mut flat_v = Vec::new();
+                offsets.push(0u32);
+                for v in values {
+                    match v {
+                        Value::Map(entries) => {
+                            for (k, val) in entries {
+                                flat_k.push(k.clone());
+                                flat_v.push(val.clone());
+                            }
+                        }
+                        Value::Null => {}
+                        other => return Err(wrong(other)),
+                    }
+                    offsets.push(flat_k.len() as u32);
+                }
+                Ok(Block::Map {
+                    key_type: (**kt).clone(),
+                    value_type: (**vt).clone(),
+                    offsets,
+                    keys: Box::new(Block::from_values(kt, &flat_k)?),
+                    values: Box::new(Block::from_values(vt, &flat_v)?),
+                    nulls: mask(values),
+                })
+            }
+            DataType::Row(fields) => {
+                let mut columns: Vec<Vec<Value>> =
+                    fields.iter().map(|_| Vec::with_capacity(values.len())).collect();
+                for v in values {
+                    match v {
+                        Value::Row(items) => {
+                            if items.len() != fields.len() {
+                                return Err(PrestoError::Internal(format!(
+                                    "row value has {} fields, type has {}",
+                                    items.len(),
+                                    fields.len()
+                                )));
+                            }
+                            for (col, item) in columns.iter_mut().zip(items.iter()) {
+                                col.push(item.clone());
+                            }
+                        }
+                        // A NULL struct contributes NULL to every child column.
+                        Value::Null => {
+                            for col in columns.iter_mut() {
+                                col.push(Value::Null);
+                            }
+                        }
+                        other => return Err(wrong(other)),
+                    }
+                }
+                let children = fields
+                    .iter()
+                    .zip(columns.iter())
+                    .map(|(f, col)| Block::from_values(&f.data_type, col))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Block::Row { fields: fields.clone(), children, len: values.len(), nulls: mask(values) })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// Number of rows in this block.
+    pub fn len(&self) -> usize {
+        match self {
+            Block::Boolean { values, .. } => values.len(),
+            Block::Bigint { values, .. } => values.len(),
+            Block::Integer { values, .. } => values.len(),
+            Block::Double { values, .. } => values.len(),
+            Block::Varchar { offsets, .. } => offsets.len() - 1,
+            Block::Date { values, .. } => values.len(),
+            Block::Timestamp { values, .. } => values.len(),
+            Block::Array { offsets, .. } => offsets.len() - 1,
+            Block::Map { offsets, .. } => offsets.len() - 1,
+            Block::Row { len, .. } => *len,
+            Block::Dictionary { ids, .. } => ids.len(),
+        }
+    }
+
+    /// True when the block has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The SQL type of this block.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Block::Boolean { .. } => DataType::Boolean,
+            Block::Bigint { .. } => DataType::Bigint,
+            Block::Integer { .. } => DataType::Integer,
+            Block::Double { .. } => DataType::Double,
+            Block::Varchar { .. } => DataType::Varchar,
+            Block::Date { .. } => DataType::Date,
+            Block::Timestamp { .. } => DataType::Timestamp,
+            Block::Array { element_type, .. } => DataType::array(element_type.clone()),
+            Block::Map { key_type, value_type, .. } => {
+                DataType::map(key_type.clone(), value_type.clone())
+            }
+            Block::Row { fields, .. } => DataType::Row(fields.clone()),
+            Block::Dictionary { dictionary, .. } => dictionary.data_type(),
+        }
+    }
+
+    /// Is the value at position `i` NULL?
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Block::Boolean { nulls, .. }
+            | Block::Bigint { nulls, .. }
+            | Block::Integer { nulls, .. }
+            | Block::Double { nulls, .. }
+            | Block::Varchar { nulls, .. }
+            | Block::Date { nulls, .. }
+            | Block::Timestamp { nulls, .. }
+            | Block::Array { nulls, .. }
+            | Block::Map { nulls, .. }
+            | Block::Row { nulls, .. } => nulls.as_ref().map(|n| n[i]).unwrap_or(false),
+            Block::Dictionary { dictionary, ids } => dictionary.is_null(ids[i] as usize),
+        }
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        (0..self.len()).filter(|&i| self.is_null(i)).count()
+    }
+
+    /// Materialize row `i` as a scalar [`Value`]. Slow path — used for
+    /// result display, group keys, and test oracles.
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self {
+            Block::Boolean { values, .. } => Value::Boolean(values[i]),
+            Block::Bigint { values, .. } => Value::Bigint(values[i]),
+            Block::Integer { values, .. } => Value::Integer(values[i]),
+            Block::Double { values, .. } => Value::Double(values[i]),
+            Block::Varchar { offsets, bytes, .. } => {
+                let s = &bytes[offsets[i] as usize..offsets[i + 1] as usize];
+                Value::Varchar(String::from_utf8_lossy(s).into_owned())
+            }
+            Block::Date { values, .. } => Value::Date(values[i]),
+            Block::Timestamp { values, .. } => Value::Timestamp(values[i]),
+            Block::Array { offsets, elements, .. } => {
+                let items = (offsets[i] as usize..offsets[i + 1] as usize)
+                    .map(|j| elements.value(j))
+                    .collect();
+                Value::Array(items)
+            }
+            Block::Map { offsets, keys, values, .. } => {
+                let entries = (offsets[i] as usize..offsets[i + 1] as usize)
+                    .map(|j| (keys.value(j), values.value(j)))
+                    .collect();
+                Value::Map(entries)
+            }
+            Block::Row { children, .. } => {
+                Value::Row(children.iter().map(|c| c.value(i)).collect())
+            }
+            Block::Dictionary { dictionary, ids } => dictionary.value(ids[i] as usize),
+        }
+    }
+
+    /// String slice at position `i` for VARCHAR blocks (fast path, no alloc).
+    pub fn str_at(&self, i: usize) -> Option<&str> {
+        match self {
+            Block::Varchar { offsets, bytes, nulls } => {
+                if nulls.as_ref().map(|n| n[i]).unwrap_or(false) {
+                    return None;
+                }
+                std::str::from_utf8(&bytes[offsets[i] as usize..offsets[i + 1] as usize]).ok()
+            }
+            Block::Dictionary { dictionary, ids } => dictionary.str_at(ids[i] as usize),
+            _ => None,
+        }
+    }
+
+    /// All rows of the block as scalar values.
+    pub fn to_values(&self) -> Vec<Value> {
+        (0..self.len()).map(|i| self.value(i)).collect()
+    }
+
+    // ------------------------------------------------------------- reshapes
+
+    /// Gather the given row indices into a new block.
+    pub fn take(&self, indices: &[usize]) -> Block {
+        fn take_mask(nulls: &NullMask, indices: &[usize]) -> NullMask {
+            nulls.as_ref().and_then(|n| {
+                let taken: Vec<bool> = indices.iter().map(|&i| n[i]).collect();
+                if taken.iter().any(|&b| b) {
+                    Some(taken)
+                } else {
+                    None
+                }
+            })
+        }
+        match self {
+            Block::Boolean { values, nulls } => Block::Boolean {
+                values: indices.iter().map(|&i| values[i]).collect(),
+                nulls: take_mask(nulls, indices),
+            },
+            Block::Bigint { values, nulls } => Block::Bigint {
+                values: indices.iter().map(|&i| values[i]).collect(),
+                nulls: take_mask(nulls, indices),
+            },
+            Block::Integer { values, nulls } => Block::Integer {
+                values: indices.iter().map(|&i| values[i]).collect(),
+                nulls: take_mask(nulls, indices),
+            },
+            Block::Double { values, nulls } => Block::Double {
+                values: indices.iter().map(|&i| values[i]).collect(),
+                nulls: take_mask(nulls, indices),
+            },
+            Block::Date { values, nulls } => Block::Date {
+                values: indices.iter().map(|&i| values[i]).collect(),
+                nulls: take_mask(nulls, indices),
+            },
+            Block::Timestamp { values, nulls } => Block::Timestamp {
+                values: indices.iter().map(|&i| values[i]).collect(),
+                nulls: take_mask(nulls, indices),
+            },
+            Block::Varchar { offsets, bytes, nulls } => {
+                let mut new_offsets = Vec::with_capacity(indices.len() + 1);
+                let mut new_bytes = Vec::new();
+                new_offsets.push(0u32);
+                for &i in indices {
+                    new_bytes
+                        .extend_from_slice(&bytes[offsets[i] as usize..offsets[i + 1] as usize]);
+                    new_offsets.push(new_bytes.len() as u32);
+                }
+                Block::Varchar {
+                    offsets: new_offsets,
+                    bytes: new_bytes,
+                    nulls: take_mask(nulls, indices),
+                }
+            }
+            Block::Array { element_type, offsets, elements, nulls } => {
+                let mut new_offsets = Vec::with_capacity(indices.len() + 1);
+                let mut elem_indices = Vec::new();
+                new_offsets.push(0u32);
+                for &i in indices {
+                    elem_indices.extend(offsets[i] as usize..offsets[i + 1] as usize);
+                    new_offsets.push(elem_indices.len() as u32);
+                }
+                Block::Array {
+                    element_type: element_type.clone(),
+                    offsets: new_offsets,
+                    elements: Box::new(elements.take(&elem_indices)),
+                    nulls: take_mask(nulls, indices),
+                }
+            }
+            Block::Map { key_type, value_type, offsets, keys, values, nulls } => {
+                let mut new_offsets = Vec::with_capacity(indices.len() + 1);
+                let mut entry_indices = Vec::new();
+                new_offsets.push(0u32);
+                for &i in indices {
+                    entry_indices.extend(offsets[i] as usize..offsets[i + 1] as usize);
+                    new_offsets.push(entry_indices.len() as u32);
+                }
+                Block::Map {
+                    key_type: key_type.clone(),
+                    value_type: value_type.clone(),
+                    offsets: new_offsets,
+                    keys: Box::new(keys.take(&entry_indices)),
+                    values: Box::new(values.take(&entry_indices)),
+                    nulls: take_mask(nulls, indices),
+                }
+            }
+            Block::Row { fields, children, nulls, .. } => Block::Row {
+                fields: fields.clone(),
+                children: children.iter().map(|c| c.take(indices)).collect(),
+                len: indices.len(),
+                nulls: take_mask(nulls, indices),
+            },
+            Block::Dictionary { dictionary, ids } => Block::Dictionary {
+                dictionary: dictionary.clone(),
+                ids: indices.iter().map(|&i| ids[i]).collect(),
+            },
+        }
+    }
+
+    /// Keep rows where `selection` is true. `selection.len()` must equal
+    /// `self.len()`.
+    pub fn filter(&self, selection: &[bool]) -> Block {
+        debug_assert_eq!(selection.len(), self.len());
+        let indices: Vec<usize> =
+            selection.iter().enumerate().filter(|(_, &keep)| keep).map(|(i, _)| i).collect();
+        self.take(&indices)
+    }
+
+    /// Contiguous slice `[offset, offset + len)`.
+    pub fn slice(&self, offset: usize, len: usize) -> Block {
+        let indices: Vec<usize> = (offset..offset + len).collect();
+        self.take(&indices)
+    }
+
+    /// Concatenate blocks of the same type.
+    pub fn concat(blocks: &[Block]) -> Result<Block> {
+        let first = blocks
+            .first()
+            .ok_or_else(|| PrestoError::Internal("concat of zero blocks".into()))?;
+        let dt = first.data_type();
+        // Slow generic path via values keeps nested cases correct; the scalar
+        // fast paths below cover the hot columns.
+        match (&dt, blocks.len()) {
+            (_, 1) => return Ok(first.clone()),
+            (DataType::Bigint, _) if blocks.iter().all(|b| matches!(b, Block::Bigint { nulls: None, .. })) => {
+                let mut values = Vec::new();
+                for b in blocks {
+                    if let Block::Bigint { values: v, .. } = b {
+                        values.extend_from_slice(v);
+                    }
+                }
+                return Ok(Block::bigint(values));
+            }
+            (DataType::Double, _) if blocks.iter().all(|b| matches!(b, Block::Double { nulls: None, .. })) => {
+                let mut values = Vec::new();
+                for b in blocks {
+                    if let Block::Double { values: v, .. } = b {
+                        values.extend_from_slice(v);
+                    }
+                }
+                return Ok(Block::double(values));
+            }
+            _ => {}
+        }
+        let mut all = Vec::new();
+        for b in blocks {
+            if b.data_type() != dt {
+                return Err(PrestoError::Internal(format!(
+                    "concat of mismatched block types {dt} vs {}",
+                    b.data_type()
+                )));
+            }
+            all.extend(b.to_values());
+        }
+        Block::from_values(&dt, &all)
+    }
+
+    /// Flatten a dictionary block to its plain encoding; other blocks are
+    /// returned unchanged.
+    pub fn decode_dictionary(&self) -> Block {
+        match self {
+            Block::Dictionary { dictionary, ids } => {
+                let indices: Vec<usize> = ids.iter().map(|&id| id as usize).collect();
+                dictionary.take(&indices)
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Approximate heap size in bytes, used for memory accounting (the
+    /// "Insufficient Resource" budget of §XII.C).
+    pub fn memory_size(&self) -> usize {
+        let mask = |nulls: &NullMask| nulls.as_ref().map(|n| n.len()).unwrap_or(0);
+        match self {
+            Block::Boolean { values, nulls } => values.len() + mask(nulls),
+            Block::Bigint { values, nulls } => values.len() * 8 + mask(nulls),
+            Block::Integer { values, nulls } => values.len() * 4 + mask(nulls),
+            Block::Double { values, nulls } => values.len() * 8 + mask(nulls),
+            Block::Date { values, nulls } => values.len() * 4 + mask(nulls),
+            Block::Timestamp { values, nulls } => values.len() * 8 + mask(nulls),
+            Block::Varchar { offsets, bytes, nulls } => {
+                offsets.len() * 4 + bytes.len() + mask(nulls)
+            }
+            Block::Array { offsets, elements, nulls, .. } => {
+                offsets.len() * 4 + elements.memory_size() + mask(nulls)
+            }
+            Block::Map { offsets, keys, values, nulls, .. } => {
+                offsets.len() * 4 + keys.memory_size() + values.memory_size() + mask(nulls)
+            }
+            Block::Row { children, nulls, .. } => {
+                children.iter().map(Block::memory_size).sum::<usize>() + mask(nulls)
+            }
+            Block::Dictionary { dictionary, ids } => dictionary.memory_size() + ids.len() * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested_type() -> DataType {
+        DataType::row(vec![
+            Field::new("id", DataType::Bigint),
+            Field::new("tags", DataType::array(DataType::Varchar)),
+        ])
+    }
+
+    fn nested_values() -> Vec<Value> {
+        vec![
+            Value::Row(vec![Value::Bigint(1), Value::Array(vec!["a".into(), "b".into()])]),
+            Value::Null,
+            Value::Row(vec![Value::Bigint(3), Value::Array(vec![])]),
+        ]
+    }
+
+    #[test]
+    fn from_values_round_trips_scalars() {
+        let vals =
+            vec![Value::Bigint(1), Value::Null, Value::Bigint(3), Value::Bigint(-7)];
+        let block = Block::from_values(&DataType::Bigint, &vals).unwrap();
+        assert_eq!(block.len(), 4);
+        assert_eq!(block.null_count(), 1);
+        assert_eq!(block.to_values(), vals);
+    }
+
+    #[test]
+    fn from_values_round_trips_varchar() {
+        let vals = vec![Value::Varchar("hello".into()), Value::Null, Value::Varchar("".into())];
+        let block = Block::from_values(&DataType::Varchar, &vals).unwrap();
+        assert_eq!(block.to_values(), vals);
+        assert_eq!(block.str_at(0), Some("hello"));
+        assert_eq!(block.str_at(1), None);
+        assert_eq!(block.str_at(2), Some(""));
+    }
+
+    #[test]
+    fn from_values_round_trips_nested() {
+        let block = Block::from_values(&nested_type(), &nested_values()).unwrap();
+        assert_eq!(block.len(), 3);
+        assert_eq!(block.to_values(), nested_values());
+        assert_eq!(block.data_type(), nested_type());
+    }
+
+    #[test]
+    fn from_values_rejects_type_mismatch() {
+        let err = Block::from_values(&DataType::Bigint, &[Value::Varchar("x".into())]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn take_and_filter_gather_rows() {
+        let block = Block::bigint(vec![10, 20, 30, 40]);
+        let taken = block.take(&[3, 0, 0]);
+        assert_eq!(taken.to_values(), vec![40i64.into(), 10i64.into(), 10i64.into()]);
+
+        let filtered = block.filter(&[true, false, true, false]);
+        assert_eq!(filtered.to_values(), vec![10i64.into(), 30i64.into()]);
+    }
+
+    #[test]
+    fn take_preserves_nested_structure() {
+        let block = Block::from_values(&nested_type(), &nested_values()).unwrap();
+        let taken = block.take(&[2, 0]);
+        assert_eq!(
+            taken.to_values(),
+            vec![
+                Value::Row(vec![Value::Bigint(3), Value::Array(vec![])]),
+                Value::Row(vec![Value::Bigint(1), Value::Array(vec!["a".into(), "b".into()])]),
+            ]
+        );
+    }
+
+    #[test]
+    fn slice_is_contiguous_take() {
+        let block = Block::varchar(&["a", "bb", "ccc", "dddd"]);
+        let s = block.slice(1, 2);
+        assert_eq!(s.to_values(), vec!["bb".into(), "ccc".into()]);
+    }
+
+    #[test]
+    fn concat_joins_blocks() {
+        let a = Block::bigint(vec![1, 2]);
+        let b = Block::bigint(vec![3]);
+        let c = Block::concat(&[a, b]).unwrap();
+        assert_eq!(c.to_values(), vec![1i64.into(), 2i64.into(), 3i64.into()]);
+
+        let bad = Block::concat(&[Block::bigint(vec![1]), Block::double(vec![1.0])]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn dictionary_block_reads_through() {
+        let dict = Block::varchar(&["SFO", "NYC", "LAX"]);
+        let block = Block::Dictionary { dictionary: Box::new(dict), ids: vec![2, 0, 0, 1] };
+        assert_eq!(block.len(), 4);
+        assert_eq!(block.value(0), "LAX".into());
+        assert_eq!(block.str_at(1), Some("SFO"));
+        let decoded = block.decode_dictionary();
+        assert!(matches!(decoded, Block::Varchar { .. }));
+        assert_eq!(decoded.to_values(), block.to_values());
+        let taken = block.take(&[3, 3]);
+        assert_eq!(taken.to_values(), vec!["NYC".into(), "NYC".into()]);
+    }
+
+    #[test]
+    fn null_struct_masks_children() {
+        let block = Block::from_values(&nested_type(), &nested_values()).unwrap();
+        assert!(block.is_null(1));
+        assert_eq!(block.value(1), Value::Null);
+    }
+
+    #[test]
+    fn memory_size_tracks_payload() {
+        let small = Block::bigint(vec![1]);
+        let big = Block::bigint((0..1000).collect());
+        assert!(big.memory_size() > small.memory_size());
+    }
+}

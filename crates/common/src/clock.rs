@@ -1,0 +1,113 @@
+//! Virtual clock for deterministic latency simulation.
+//!
+//! The paper's storage-layer results (§VII cache hit rates under NameNode
+//! degradation, §IX S3 request latency) depend on per-operation latencies of
+//! remote systems we cannot run. Instead of wall-clock sleeps, every
+//! simulated remote call *advances* a shared [`SimClock`]; experiments then
+//! report virtual elapsed time. This keeps benchmarks deterministic and fast
+//! while preserving the relative cost structure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonically advancing virtual clock shared by simulators.
+///
+/// Cloning shares the underlying clock.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A new clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current virtual time since start.
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// Advance the clock by `d`, returning the new time. Concurrent advances
+    /// accumulate (they model serialized work on a contended resource, e.g.
+    /// a single NameNode).
+    pub fn advance(&self, d: Duration) -> Duration {
+        let nanos = d.as_nanos() as u64;
+        let new = self.nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
+        Duration::from_nanos(new)
+    }
+
+    /// Convenience: advance by microseconds.
+    pub fn advance_micros(&self, micros: u64) -> Duration {
+        self.advance(Duration::from_micros(micros))
+    }
+
+    /// Convenience: advance by milliseconds.
+    pub fn advance_millis(&self, millis: u64) -> Duration {
+        self.advance(Duration::from_millis(millis))
+    }
+}
+
+/// A stopwatch over a [`SimClock`].
+#[derive(Debug)]
+pub struct SimStopwatch {
+    clock: SimClock,
+    start: Duration,
+}
+
+impl SimStopwatch {
+    /// Start timing now.
+    pub fn start(clock: &SimClock) -> SimStopwatch {
+        SimStopwatch { clock: clock.clone(), start: clock.now() }
+    }
+
+    /// Virtual time elapsed since `start`.
+    pub fn elapsed(&self) -> Duration {
+        self.clock.now() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_is_shared() {
+        let clock = SimClock::new();
+        let alias = clock.clone();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance_millis(5);
+        alias.advance_micros(250);
+        assert_eq!(clock.now(), Duration::from_micros(5250));
+    }
+
+    #[test]
+    fn stopwatch_measures_virtual_spans() {
+        let clock = SimClock::new();
+        clock.advance_millis(10);
+        let watch = SimStopwatch::start(&clock);
+        clock.advance_millis(7);
+        assert_eq!(watch.elapsed(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let clock = SimClock::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = clock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance_micros(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(clock.now(), Duration::from_micros(8000));
+    }
+}

@@ -1,0 +1,67 @@
+//! Identifiers for queries, stages, tasks and splits (Fig. 1 of the paper:
+//! plan → fragments → stages → tasks → splits).
+
+use std::fmt;
+
+/// Identifies one query submitted to a coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// Identifies one stage (a running plan fragment) within a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StageId {
+    /// Owning query.
+    pub query: QueryId,
+    /// Fragment number within the query.
+    pub stage: u32,
+}
+
+/// Identifies one task (a stage's work on one worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId {
+    /// Owning stage.
+    pub stage: StageId,
+    /// Task number within the stage.
+    pub task: u32,
+}
+
+/// Identifies one split — "one processing unit, or one shard of underlying
+/// data" (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SplitId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.s{}", self.query, self.stage)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.t{}", self.stage, self.task)
+    }
+}
+
+impl fmt::Display for SplitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "split{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_hierarchically() {
+        let task = TaskId { stage: StageId { query: QueryId(7), stage: 2 }, task: 4 };
+        assert_eq!(task.to_string(), "q7.s2.t4");
+        assert_eq!(SplitId(9).to_string(), "split9");
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Core types shared by every crate in the Presto-at-scale reproduction.
+//!
+//! This crate defines the vocabulary of the engine described in
+//! *"From Batch Processing to Real Time Analytics: Running Presto at Scale"*
+//! (ICDE 2022):
+//!
+//! - [`types::DataType`] — the SQL type system, including arbitrarily nested
+//!   `ROW` / `ARRAY` / `MAP` types (§V of the paper is about nested data).
+//! - [`block::Block`] — in-memory **columnar** vectors. Presto is a vectorized
+//!   engine that processes "a bunch of in memory encoded column values
+//!   vectorized, instead of row by row" (§III); blocks are that encoding,
+//!   including dictionary-encoded blocks.
+//! - [`page::Page`] — a horizontal slice of blocks, the unit streamed between
+//!   operators and connectors.
+//! - [`value::Value`] — scalar values used for literals, row-at-a-time paths
+//!   (the *legacy* Parquet reader operates on these) and test oracles.
+//! - [`clock::SimClock`] — a virtual clock used by the storage and cluster
+//!   simulators so latency experiments are deterministic.
+//! - [`metrics::CounterSet`] — named counters used to report call-count
+//!   results (e.g. §VII's "listFiles calls reduced to less than 40%").
+
+pub mod block;
+pub mod clock;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+pub mod page;
+pub mod types;
+pub mod value;
+
+pub use block::Block;
+pub use clock::SimClock;
+pub use error::{PrestoError, Result};
+pub use page::Page;
+pub use types::{DataType, Field, Schema};
+pub use value::Value;

@@ -1,0 +1,113 @@
+//! Named counters for reporting call-count experiments.
+//!
+//! Several of the paper's results are expressed as call-count reductions
+//! ("overall listFile calls is reduced to less than 40%", "almost 90% of
+//! getFileInfo calls could be reduced", §VII). Simulators increment counters
+//! here; experiments snapshot and compare them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A set of named, thread-safe monotonically increasing counters.
+///
+/// Cloning shares the underlying counters.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSet {
+    counters: Arc<RwLock<BTreeMap<String, Arc<AtomicU64>>>>,
+}
+
+impl CounterSet {
+    /// New, empty counter set.
+    pub fn new() -> CounterSet {
+        CounterSet::default()
+    }
+
+    fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        let mut write = self.counters.write();
+        write.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0))).clone()
+    }
+
+    /// Increment `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment `name` by `delta`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.read().get(name).map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Reset every counter to zero (between experiment phases).
+    pub fn reset(&self) {
+        for c in self.counters.read().values() {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = CounterSet::new();
+        m.incr("list_files");
+        m.add("list_files", 4);
+        m.incr("get_file_info");
+        assert_eq!(m.get("list_files"), 5);
+        assert_eq!(m.get("missing"), 0);
+        let snap = m.snapshot();
+        assert_eq!(snap["list_files"], 5);
+        assert_eq!(snap["get_file_info"], 1);
+    }
+
+    #[test]
+    fn clones_share_state_and_reset_works() {
+        let m = CounterSet::new();
+        let alias = m.clone();
+        alias.incr("x");
+        assert_eq!(m.get("x"), 1);
+        m.reset();
+        assert_eq!(alias.get("x"), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_counts() {
+        let m = CounterSet::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr("hits");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.get("hits"), 8000);
+    }
+}

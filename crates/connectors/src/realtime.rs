@@ -1,0 +1,906 @@
+//! Real-time OLAP store simulator — the substrate behind the Druid and
+//! Pinot connectors (§IV.B).
+//!
+//! "Druid and Pinot are real time systems, which have in memory bitmap
+//! indices, inverted indices, pre-aggregations or dictionaries, enabling
+//! sub-second query latency." This store models exactly those mechanisms:
+//!
+//! - data lands in immutable **segments** of dictionary-encoded dimension
+//!   columns with **inverted indexes** (value id → row ids) plus raw metric
+//!   columns;
+//! - a **native query API** ([`RealtimeStore::execute_native`]) evaluates
+//!   filter + group-by + aggregate *inside* the store using the indexes and
+//!   returns aggregated rows with a virtual cost — the sub-second path;
+//! - a **raw scan API** ([`RealtimeStore::scan_segments`]) streams (filtered,
+//!   projected) rows out, charging per streamed row — what a connector
+//!   without aggregation pushdown falls back to.
+//!
+//! Virtual costs are returned per call so benchmarks can model parallel
+//! split execution (latency = max over splits) rather than serializing on a
+//! global clock.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use presto_common::metrics::CounterSet;
+use presto_common::{DataType, PrestoError, Result, Schema, Value};
+use presto_expr::{Accumulator, AggregateFunction};
+use presto_parquet::ScalarPredicate;
+
+/// Store cost model (virtual time).
+#[derive(Debug, Clone)]
+pub struct RealtimeCostModel {
+    /// Fixed broker/query-planning overhead per native query per segment.
+    pub per_segment_base: Duration,
+    /// Cost per row that survives the index filter and is aggregated.
+    pub per_matched_row: Duration,
+    /// Cost per row streamed out of the raw scan path.
+    pub per_streamed_row: Duration,
+}
+
+impl Default for RealtimeCostModel {
+    fn default() -> Self {
+        RealtimeCostModel {
+            per_segment_base: Duration::from_micros(500),
+            per_matched_row: Duration::from_nanos(150),
+            per_streamed_row: Duration::from_micros(2),
+        }
+    }
+}
+
+/// One dictionary-encoded dimension column with its inverted index.
+#[derive(Debug)]
+struct DimColumn {
+    dictionary: Vec<String>,
+    ids: Vec<u32>,
+    /// value id → sorted row ids (the "in memory bitmap index").
+    inverted: HashMap<u32, Vec<u32>>,
+}
+
+/// One immutable segment.
+#[derive(Debug)]
+pub struct Segment {
+    rows: usize,
+    /// Event timestamps (millis), ascending within the segment.
+    time: Vec<i64>,
+    dims: Vec<DimColumn>,
+    metrics: Vec<Vec<f64>>,
+}
+
+/// A table: time column + dimension columns (varchar) + metric columns
+/// (bigint/double), the classic Druid/Pinot shape.
+pub struct RealtimeTable {
+    schema: Schema,
+    /// Indices into `schema` for dims, parallel to `Segment::dims`.
+    dim_cols: Vec<usize>,
+    /// Indices into `schema` for metrics, parallel to `Segment::metrics`.
+    metric_cols: Vec<usize>,
+    /// Index into `schema` of the time column.
+    time_col: usize,
+    segments: Vec<Segment>,
+}
+
+impl RealtimeTable {
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total rows.
+    pub fn row_count(&self) -> usize {
+        self.segments.iter().map(|s| s.rows).sum()
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+/// A native filter + group-by + aggregate query.
+#[derive(Debug, Clone, Default)]
+pub struct NativeQuery {
+    /// Conjunctive filters by column name.
+    pub filters: Vec<(String, ScalarPredicate)>,
+    /// GROUP BY dimension names.
+    pub group_by: Vec<String>,
+    /// Aggregates: function + metric name (`None` = count(*)).
+    pub aggregates: Vec<(AggregateFunction, Option<String>)>,
+    /// LIMIT on output rows.
+    pub limit: Option<usize>,
+}
+
+/// Virtual cost of one scan, decomposed so latency models can treat the
+/// per-segment filter work as parallel and the stream-out as serialized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanCost {
+    /// Slowest segment's filter/aggregate work (parallel across segments).
+    pub filter: Duration,
+    /// Rows-over-the-wire cost (serialized toward the consumer).
+    pub stream: Duration,
+}
+
+impl ScanCost {
+    /// Total as a single duration.
+    pub fn total(&self) -> Duration {
+        self.filter + self.stream
+    }
+}
+
+/// Result of a native query: output rows plus the virtual cost incurred.
+#[derive(Debug)]
+pub struct NativeResult {
+    /// Output rows: group-by values then aggregate values.
+    pub rows: Vec<Vec<Value>>,
+    /// Virtual execution cost.
+    pub cost: Duration,
+    /// Rows that survived the index filter (work actually done).
+    pub rows_matched: u64,
+}
+
+/// Counters recorded: `rt.native_queries`, `rt.rows_matched`,
+/// `rt.rows_streamed`.
+type RealtimeTables = BTreeMap<(String, String), Arc<RealtimeTable>>;
+
+/// The store: named tables of segments. Cloning shares the data.
+#[derive(Clone)]
+pub struct RealtimeStore {
+    kind: &'static str,
+    tables: Arc<RwLock<RealtimeTables>>,
+    cost: Arc<RealtimeCostModel>,
+    metrics: CounterSet,
+    rows_per_segment: usize,
+}
+
+impl RealtimeStore {
+    /// New store; `kind` is `druid` or `pinot` (for messages/metrics only).
+    pub fn new(kind: &'static str, rows_per_segment: usize, cost: RealtimeCostModel) -> RealtimeStore {
+        RealtimeStore {
+            kind,
+            tables: Arc::new(RwLock::new(BTreeMap::new())),
+            cost: Arc::new(cost),
+            metrics: CounterSet::new(),
+            rows_per_segment: rows_per_segment.max(1),
+        }
+    }
+
+    /// Store kind name.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// The shared counters.
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+
+    /// Create a table. The schema must be: one `timestamp` column, then any
+    /// number of varchar dimensions and numeric metrics.
+    pub fn create_table(&self, schema_name: &str, table: &str, schema: Schema) -> Result<()> {
+        let mut time_col = None;
+        let mut dim_cols = Vec::new();
+        let mut metric_cols = Vec::new();
+        for (i, f) in schema.fields().iter().enumerate() {
+            match &f.data_type {
+                DataType::Timestamp if time_col.is_none() => time_col = Some(i),
+                DataType::Varchar => dim_cols.push(i),
+                DataType::Bigint | DataType::Double | DataType::Integer => metric_cols.push(i),
+                other => {
+                    return Err(PrestoError::Connector(format!(
+                        "{} does not support column type {other}",
+                        self.kind
+                    )))
+                }
+            }
+        }
+        let time_col = time_col.ok_or_else(|| {
+            PrestoError::Connector(format!("{} tables need a timestamp column", self.kind))
+        })?;
+        self.tables.write().insert(
+            (schema_name.into(), table.into()),
+            Arc::new(RealtimeTable { schema, dim_cols, metric_cols, time_col, segments: Vec::new() }),
+        );
+        Ok(())
+    }
+
+    /// Ingest rows (in event-time order), sealing segments of
+    /// `rows_per_segment` with dictionaries and inverted indexes.
+    ///
+    /// Columns are effectively NOT NULL, like Druid's default ingestion:
+    /// NULL dimensions coerce to `""` and NULL metrics to `0` at ingest.
+    /// Queries (pushed down or not) see the coerced values consistently.
+    pub fn ingest(&self, schema_name: &str, table: &str, rows: Vec<Vec<Value>>) -> Result<()> {
+        let mut tables = self.tables.write();
+        let key = (schema_name.to_string(), table.to_string());
+        let existing = tables
+            .get(&key)
+            .ok_or_else(|| PrestoError::Connector(format!("no table {schema_name}.{table}")))?;
+        // Rebuild with appended segments (tables are Arc-shared snapshots).
+        let mut segments: Vec<Segment> = Vec::with_capacity(
+            existing.segments.len() + rows.len() / self.rows_per_segment + 1,
+        );
+        let old = tables.remove(&key).expect("checked above");
+        let old = match Arc::try_unwrap(old) {
+            Ok(table) => table,
+            Err(shared) => {
+                // a scan holds a snapshot: put the table back untouched
+                // before erroring, or it would vanish from the catalog
+                tables.insert(key, shared);
+                return Err(PrestoError::Connector(
+                    "cannot ingest while scans hold table snapshots".into(),
+                ));
+            }
+        };
+        let RealtimeTable { schema, dim_cols, metric_cols, time_col, segments: old_segments } = old;
+        segments.extend(old_segments);
+        for chunk in rows.chunks(self.rows_per_segment) {
+            segments.push(build_segment(&schema, &dim_cols, &metric_cols, time_col, chunk)?);
+        }
+        tables.insert(
+            key,
+            Arc::new(RealtimeTable { schema, dim_cols, metric_cols, time_col, segments }),
+        );
+        Ok(())
+    }
+
+    /// Look up a table snapshot.
+    pub fn table(&self, schema_name: &str, table: &str) -> Result<Arc<RealtimeTable>> {
+        self.tables
+            .read()
+            .get(&(schema_name.to_string(), table.to_string()))
+            .cloned()
+            .ok_or_else(|| {
+                PrestoError::Analysis(format!(
+                    "table {}.{schema_name}.{table} does not exist",
+                    self.kind
+                ))
+            })
+    }
+
+    /// All `(schema, table)` names.
+    pub fn table_names(&self) -> Vec<(String, String)> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Execute a native query over a segment range (`None` = all segments).
+    /// This is the sub-second path: inverted indexes produce matching row
+    /// ids, only those rows are aggregated.
+    pub fn execute_native(
+        &self,
+        schema_name: &str,
+        table: &str,
+        query: &NativeQuery,
+        segment_range: Option<(usize, usize)>,
+    ) -> Result<NativeResult> {
+        self.metrics.incr("rt.native_queries");
+        let t = self.table(schema_name, table)?;
+        let (start, end) = segment_range.unwrap_or((0, t.segments.len()));
+        // Segments are scanned by parallel historicals: the query's latency
+        // is the slowest segment's cost, not the sum.
+        let mut cost = Duration::ZERO;
+        let mut matched_total = 0u64;
+
+        // group key → accumulators
+        let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+        let make_accs = |q: &NativeQuery| -> Vec<Accumulator> {
+            q.aggregates.iter().map(|(f, _)| f.new_accumulator()).collect()
+        };
+
+        for seg in &t.segments[start..end.min(t.segments.len())] {
+            let matching = match_rows(&t, seg, &query.filters)?;
+            matched_total += matching.len() as u64;
+            let seg_cost =
+                self.cost.per_segment_base + self.cost.per_matched_row * matching.len() as u32;
+            cost = cost.max(seg_cost);
+            for &row in &matching {
+                let key: Vec<Value> = query
+                    .group_by
+                    .iter()
+                    .map(|d| column_value(&t, seg, d, row as usize))
+                    .collect::<Result<Vec<_>>>()?;
+                let accs = groups.entry(key).or_insert_with(|| make_accs(query));
+                for (acc, (func, arg)) in accs.iter_mut().zip(query.aggregates.iter()) {
+                    match (func, arg) {
+                        (AggregateFunction::CountStar, _) | (_, None) => acc.add_count(1),
+                        (_, Some(metric)) => {
+                            acc.add(&column_value(&t, seg, metric, row as usize)?)
+                        }
+                    }
+                }
+            }
+        }
+        self.metrics.add("rt.rows_matched", matched_total);
+
+        let mut rows: Vec<Vec<Value>> = groups
+            .into_iter()
+            .map(|(mut key, accs)| {
+                key.extend(accs.iter().map(Accumulator::finish));
+                key
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if let Some(limit) = query.limit {
+            rows.truncate(limit);
+        }
+        Ok(NativeResult { rows, cost, rows_matched: matched_total })
+    }
+
+    /// Raw scan of a segment range: stream (filtered, projected) rows out —
+    /// the no-aggregation-pushdown path. Returns rows plus virtual cost.
+    #[allow(clippy::type_complexity)]
+    pub fn scan_segments(
+        &self,
+        schema_name: &str,
+        table: &str,
+        columns: &[String],
+        filters: &[(String, ScalarPredicate)],
+        limit: Option<usize>,
+        segment_range: Option<(usize, usize)>,
+    ) -> Result<(Vec<Vec<Value>>, ScanCost)> {
+        let t = self.table(schema_name, table)?;
+        let (start, end) = segment_range.unwrap_or((0, t.segments.len()));
+        let mut out = Vec::new();
+        // parallel historicals again: max per-segment filter cost, plus
+        // serialized stream-out of every row that crosses the wire
+        let mut filter_cost = Duration::ZERO;
+        'segments: for seg in &t.segments[start..end.min(t.segments.len())] {
+            let matching = match_rows(&t, seg, filters)?;
+            let seg_cost = self.cost.per_segment_base
+                + self.cost.per_matched_row * matching.len() as u32;
+            filter_cost = filter_cost.max(seg_cost);
+            for &row in &matching {
+                let mut record = Vec::with_capacity(columns.len());
+                for c in columns {
+                    record.push(column_value(&t, seg, c, row as usize)?);
+                }
+                out.push(record);
+                if let Some(l) = limit {
+                    if out.len() >= l {
+                        break 'segments;
+                    }
+                }
+            }
+        }
+        self.metrics.add("rt.rows_streamed", out.len() as u64);
+        let stream = self.cost.per_streamed_row * out.len() as u32;
+        Ok((out, ScanCost { filter: filter_cost, stream }))
+    }
+}
+
+/// Build one sealed segment from raw rows.
+fn build_segment(
+    schema: &Schema,
+    dim_cols: &[usize],
+    metric_cols: &[usize],
+    time_col: usize,
+    rows: &[Vec<Value>],
+) -> Result<Segment> {
+    let mut time = Vec::with_capacity(rows.len());
+    for r in rows {
+        if r.len() != schema.len() {
+            return Err(PrestoError::Connector("row width mismatch at ingest".into()));
+        }
+        time.push(r[time_col].as_i64().unwrap_or(0));
+    }
+    let mut dims = Vec::with_capacity(dim_cols.len());
+    for &c in dim_cols {
+        let mut dictionary: Vec<String> = Vec::new();
+        let mut index: HashMap<String, u32> = HashMap::new();
+        let mut ids = Vec::with_capacity(rows.len());
+        let mut inverted: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (row_id, r) in rows.iter().enumerate() {
+            let s = r[c].as_str().unwrap_or("").to_string();
+            let id = *index.entry(s.clone()).or_insert_with(|| {
+                dictionary.push(s);
+                (dictionary.len() - 1) as u32
+            });
+            ids.push(id);
+            inverted.entry(id).or_default().push(row_id as u32);
+        }
+        dims.push(DimColumn { dictionary, ids, inverted });
+    }
+    let mut metrics = Vec::with_capacity(metric_cols.len());
+    for &c in metric_cols {
+        metrics.push(rows.iter().map(|r| r[c].as_f64().unwrap_or(0.0)).collect());
+    }
+    Ok(Segment { rows: rows.len(), time, dims, metrics })
+}
+
+/// Row ids in a segment matching all filters, using inverted indexes for
+/// dimension equality/IN and scans otherwise.
+fn match_rows(t: &RealtimeTable, seg: &Segment, filters: &[(String, ScalarPredicate)]) -> Result<Vec<u32>> {
+    // Start from the most selective index-answerable filter.
+    let mut candidate: Option<Vec<u32>> = None;
+    let mut residual: Vec<(&String, &ScalarPredicate)> = Vec::new();
+    for (col, pred) in filters {
+        if let Some(dim_pos) = t.dim_cols.iter().position(|&c| t.schema.field_at(c).name == *col)
+        {
+            let dim = &seg.dims[dim_pos];
+            match pred {
+                ScalarPredicate::Eq(Value::Varchar(s)) => {
+                    let rows = dim
+                        .dictionary
+                        .iter()
+                        .position(|d| d == s)
+                        .and_then(|id| dim.inverted.get(&(id as u32)))
+                        .cloned()
+                        .unwrap_or_default();
+                    candidate = Some(intersect(candidate, rows));
+                    continue;
+                }
+                ScalarPredicate::In(values) => {
+                    let mut rows: Vec<u32> = Vec::new();
+                    for v in values {
+                        if let Value::Varchar(s) = v {
+                            if let Some(id) = dim.dictionary.iter().position(|d| d == s) {
+                                if let Some(r) = dim.inverted.get(&(id as u32)) {
+                                    rows.extend_from_slice(r);
+                                }
+                            }
+                        }
+                    }
+                    rows.sort_unstable();
+                    rows.dedup();
+                    candidate = Some(intersect(candidate, rows));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        residual.push((col, pred));
+    }
+    let base: Vec<u32> = match candidate {
+        Some(rows) => rows,
+        None => (0..seg.rows as u32).collect(),
+    };
+    if residual.is_empty() {
+        return Ok(base);
+    }
+    let mut out = Vec::with_capacity(base.len());
+    for row in base {
+        let mut keep = true;
+        for (col, pred) in &residual {
+            let v = column_value(t, seg, col, row as usize)?;
+            if !pred.matches(&v) {
+                keep = false;
+                break;
+            }
+        }
+        if keep {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+fn intersect(acc: Option<Vec<u32>>, rows: Vec<u32>) -> Vec<u32> {
+    match acc {
+        None => rows,
+        Some(prev) => {
+            let set: std::collections::HashSet<u32> = rows.into_iter().collect();
+            prev.into_iter().filter(|r| set.contains(r)).collect()
+        }
+    }
+}
+
+/// Read one cell from a segment by column name.
+fn column_value(t: &RealtimeTable, seg: &Segment, column: &str, row: usize) -> Result<Value> {
+    let idx = t
+        .schema
+        .index_of(column)
+        .ok_or_else(|| PrestoError::Connector(format!("no column '{column}'")))?;
+    if idx == t.time_col {
+        return Ok(Value::Timestamp(seg.time[row]));
+    }
+    if let Some(pos) = t.dim_cols.iter().position(|&c| c == idx) {
+        let dim = &seg.dims[pos];
+        return Ok(Value::Varchar(dim.dictionary[dim.ids[row] as usize].clone()));
+    }
+    if let Some(pos) = t.metric_cols.iter().position(|&c| c == idx) {
+        let raw = seg.metrics[pos][row];
+        return Ok(match t.schema.field_at(idx).data_type {
+            DataType::Double => Value::Double(raw),
+            DataType::Integer => Value::Integer(raw as i32),
+            _ => Value::Bigint(raw as i64),
+        });
+    }
+    Err(PrestoError::Internal(format!("column '{column}' not classified")))
+}
+
+// --------------------------------------------------------------- connector
+
+use crate::spi::{
+    Connector, ConnectorSplit, ScanCapabilities, ScanRequest, SplitPayload,
+};
+use presto_common::ids::SplitId;
+use presto_common::{Block, Page};
+
+/// Segments per split when the split manager shards a table.
+const SEGMENTS_PER_SPLIT: usize = 4;
+
+/// The Presto connector over a [`RealtimeStore`] — shared by the Druid and
+/// Pinot connectors, which differ only in store personality.
+///
+/// With **aggregation pushdown** (§IV.B, Fig 2), each split executes the
+/// partial aggregation natively in the store ("only stream aggregated
+/// results to Presto"); without it, splits stream raw (filtered, projected)
+/// rows the slow way. The virtual cost of store work for the *last* scan is
+/// exposed via [`RealtimeConnector::take_last_scan_cost`] so benchmarks can
+/// model parallel splits.
+#[derive(Clone)]
+pub struct RealtimeConnector {
+    store: RealtimeStore,
+    last_scan_costs: Arc<RwLock<Vec<ScanCost>>>,
+}
+
+impl RealtimeConnector {
+    /// Wrap a store.
+    pub fn new(store: RealtimeStore) -> RealtimeConnector {
+        RealtimeConnector { store, last_scan_costs: Arc::new(RwLock::new(Vec::new())) }
+    }
+
+    /// The underlying store (for ingest and native-path baselines).
+    pub fn store(&self) -> &RealtimeStore {
+        &self.store
+    }
+
+    /// Total virtual store cost accumulated since the last call.
+    pub fn take_last_scan_cost(&self) -> Duration {
+        self.take_last_scan_costs().into_iter().map(|c| c.total()).sum()
+    }
+
+    /// Per-split virtual costs since the last call. Splits execute on
+    /// parallel workers, so a latency model takes the max of the filter
+    /// parts and (for unlimited scans) the sum of the stream parts.
+    pub fn take_last_scan_costs(&self) -> Vec<ScanCost> {
+        std::mem::take(&mut *self.last_scan_costs.write())
+    }
+
+    fn add_cost(&self, c: ScanCost) {
+        self.last_scan_costs.write().push(c);
+    }
+
+    fn request_filters(request: &ScanRequest) -> Result<Vec<(String, ScalarPredicate)>> {
+        request
+            .predicate
+            .iter()
+            .map(|p| {
+                if !p.target.path.is_empty() {
+                    return Err(PrestoError::Connector(
+                        "realtime stores have flat columns; nested predicate unsupported".into(),
+                    ));
+                }
+                Ok((p.target.column.clone(), p.predicate.clone()))
+            })
+            .collect()
+    }
+}
+
+impl Connector for RealtimeConnector {
+    fn name(&self) -> &str {
+        self.store.kind()
+    }
+
+    fn list_schemas(&self) -> Vec<String> {
+        let mut out: Vec<String> =
+            self.store.table_names().into_iter().map(|(s, _)| s).collect();
+        out.dedup();
+        out
+    }
+
+    fn list_tables(&self, schema: &str) -> Result<Vec<String>> {
+        Ok(self
+            .store
+            .table_names()
+            .into_iter()
+            .filter(|(s, _)| s == schema)
+            .map(|(_, t)| t)
+            .collect())
+    }
+
+    fn table_schema(&self, schema: &str, table: &str) -> Result<Schema> {
+        Ok(self.store.table(schema, table)?.schema().clone())
+    }
+
+    fn capabilities(&self) -> ScanCapabilities {
+        ScanCapabilities {
+            projection: true,
+            nested_pruning: false,
+            predicate: true,
+            limit: true,
+            aggregation: true,
+        }
+    }
+
+    fn splits(
+        &self,
+        schema: &str,
+        table: &str,
+        _request: &ScanRequest,
+    ) -> Result<Vec<ConnectorSplit>> {
+        let t = self.store.table(schema, table)?;
+        let n = t.segment_count().max(1);
+        let mut splits = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let end = (start + SEGMENTS_PER_SPLIT).min(n);
+            splits.push(ConnectorSplit {
+                id: SplitId(splits.len() as u64),
+                schema: schema.to_string(),
+                table: table.to_string(),
+                payload: SplitPayload::Segments { start, end },
+            });
+            start = end;
+        }
+        Ok(splits)
+    }
+
+    fn scan_split(&self, split: &ConnectorSplit, request: &ScanRequest) -> Result<Vec<Page>> {
+        let (start, end) = match &split.payload {
+            SplitPayload::Segments { start, end } => (*start, *end),
+            other => {
+                return Err(PrestoError::Connector(format!(
+                    "{} connector got foreign split {other:?}",
+                    self.name()
+                )))
+            }
+        };
+        let table_schema = self.table_schema(&split.schema, &split.table)?;
+        let filters = Self::request_filters(request)?;
+
+        match &request.aggregation {
+            Some(agg) => {
+                // Aggregation pushdown: run the partial aggregation natively
+                // per split; stream only aggregated rows (Fig 2 right side).
+                let query = NativeQuery {
+                    filters,
+                    group_by: agg.group_by.iter().map(|g| g.column.clone()).collect(),
+                    aggregates: agg
+                        .aggregates
+                        .iter()
+                        .map(|(f, arg)| (*f, arg.as_ref().map(|a| a.column.clone())))
+                        .collect(),
+                    // limits cannot be applied to partials before the final
+                    // aggregation, so they stay in the engine
+                    limit: None,
+                };
+                let result = self.store.execute_native(
+                    &split.schema,
+                    &split.table,
+                    &query,
+                    Some((start, end)),
+                )?;
+                self.add_cost(ScanCost { filter: result.cost, stream: Duration::ZERO });
+                let out_schema = request.output_schema(&table_schema)?;
+                Ok(vec![rows_to_page(&out_schema, &result.rows)?])
+            }
+            None => {
+                let columns: Vec<String> =
+                    request.columns.iter().map(|c| c.column.clone()).collect();
+                let (rows, cost) = self.store.scan_segments(
+                    &split.schema,
+                    &split.table,
+                    &columns,
+                    &filters,
+                    request.limit,
+                    Some((start, end)),
+                )?;
+                self.add_cost(cost);
+                let out_schema = request.output_schema(&table_schema)?;
+                Ok(vec![rows_to_page(&out_schema, &rows)?])
+            }
+        }
+    }
+}
+
+/// Columnarize result rows.
+fn rows_to_page(schema: &Schema, rows: &[Vec<Value>]) -> Result<Page> {
+    if schema.is_empty() {
+        return Ok(Page::zero_column(rows.len()));
+    }
+    let mut blocks = Vec::with_capacity(schema.len());
+    for (c, field) in schema.fields().iter().enumerate() {
+        let column: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
+        blocks.push(Block::from_values(&field.data_type, &column)?);
+    }
+    Page::new(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::Field;
+
+    fn events_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("ts", DataType::Timestamp),
+            Field::new("country", DataType::Varchar),
+            Field::new("device", DataType::Varchar),
+            Field::new("clicks", DataType::Bigint),
+            Field::new("revenue", DataType::Double),
+        ])
+        .unwrap()
+    }
+
+    fn store_with_events(rows: usize, rows_per_segment: usize) -> RealtimeStore {
+        let store = RealtimeStore::new("druid", rows_per_segment, RealtimeCostModel::default());
+        store.create_table("default", "events", events_schema()).unwrap();
+        let countries = ["us", "in", "br", "de"];
+        let devices = ["ios", "android"];
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| {
+                vec![
+                    Value::Timestamp(i as i64 * 1000),
+                    Value::Varchar(countries[i % 4].into()),
+                    Value::Varchar(devices[i % 2].into()),
+                    Value::Bigint((i % 10) as i64),
+                    Value::Double(i as f64 * 0.5),
+                ]
+            })
+            .collect();
+        store.ingest("default", "events", data).unwrap();
+        store
+    }
+
+    #[test]
+    fn ingest_builds_segments_with_dictionaries() {
+        let store = store_with_events(1000, 250);
+        let t = store.table("default", "events").unwrap();
+        assert_eq!(t.segment_count(), 4);
+        assert_eq!(t.row_count(), 1000);
+    }
+
+    #[test]
+    fn native_group_by_aggregation() {
+        let store = store_with_events(1000, 250);
+        let q = NativeQuery {
+            filters: vec![],
+            group_by: vec!["country".into()],
+            aggregates: vec![
+                (AggregateFunction::CountStar, None),
+                (AggregateFunction::Sum, Some("clicks".into())),
+            ],
+            limit: None,
+        };
+        let result = store.execute_native("default", "events", &q, None).unwrap();
+        assert_eq!(result.rows.len(), 4);
+        // each country has 250 rows
+        for row in &result.rows {
+            assert_eq!(row[1], Value::Bigint(250));
+        }
+        assert_eq!(result.rows_matched, 1000);
+        assert!(result.cost > Duration::ZERO);
+    }
+
+    #[test]
+    fn inverted_index_filter_reduces_matched_rows() {
+        let store = store_with_events(1000, 250);
+        let q = NativeQuery {
+            filters: vec![("country".into(), ScalarPredicate::Eq(Value::Varchar("us".into())))],
+            group_by: vec!["device".into()],
+            aggregates: vec![(AggregateFunction::CountStar, None)],
+            limit: None,
+        };
+        let result = store.execute_native("default", "events", &q, None).unwrap();
+        assert_eq!(result.rows_matched, 250, "index must narrow to the us rows only");
+        let total: i64 = result
+            .rows
+            .iter()
+            .map(|r| r[1].as_i64().unwrap())
+            .sum();
+        assert_eq!(total, 250);
+    }
+
+    #[test]
+    fn compound_filters_intersect_indexes_and_residuals() {
+        let store = store_with_events(1000, 250);
+        let q = NativeQuery {
+            filters: vec![
+                ("country".into(), ScalarPredicate::In(vec!["us".into(), "in".into()])),
+                ("device".into(), ScalarPredicate::Eq(Value::Varchar("ios".into()))),
+                (
+                    "clicks".into(),
+                    ScalarPredicate::Range { min: Some(Value::Bigint(5)), max: None },
+                ),
+            ],
+            group_by: vec![],
+            aggregates: vec![(AggregateFunction::CountStar, None)],
+            limit: None,
+        };
+        let result = store.execute_native("default", "events", &q, None).unwrap();
+        // oracle
+        let expected = (0..1000)
+            .filter(|i| (i % 4 == 0 || i % 4 == 1) && i % 2 == 0 && i % 10 >= 5)
+            .count() as i64;
+        assert_eq!(result.rows[0][0], Value::Bigint(expected));
+    }
+
+    #[test]
+    fn segment_ranges_partition_the_work() {
+        let store = store_with_events(1000, 250);
+        let q = NativeQuery {
+            filters: vec![],
+            group_by: vec![],
+            aggregates: vec![(AggregateFunction::Sum, Some("clicks".into()))],
+            limit: None,
+        };
+        let whole = store.execute_native("default", "events", &q, None).unwrap();
+        let a = store.execute_native("default", "events", &q, Some((0, 2))).unwrap();
+        let b = store.execute_native("default", "events", &q, Some((2, 4))).unwrap();
+        let sum = |r: &NativeResult| r.rows[0][0].as_i64().unwrap();
+        assert_eq!(sum(&whole), sum(&a) + sum(&b));
+    }
+
+    #[test]
+    fn raw_scan_streams_filtered_rows_with_cost() {
+        let store = store_with_events(1000, 250);
+        let (rows, cost) = store
+            .scan_segments(
+                "default",
+                "events",
+                &["country".into(), "revenue".into()],
+                &[("device".into(), ScalarPredicate::Eq(Value::Varchar("ios".into())))],
+                None,
+                None,
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 500);
+        assert!(cost.total() > Duration::ZERO);
+        // limit stops the stream early
+        let (limited, _) = store
+            .scan_segments("default", "events", &["country".into()], &[], Some(10), None)
+            .unwrap();
+        assert_eq!(limited.len(), 10);
+    }
+
+    #[test]
+    fn scan_is_costlier_than_native_for_aggregations() {
+        // The §IV.B argument: streaming raw rows out costs far more than
+        // shipping the aggregation to the store.
+        let store = store_with_events(10_000, 1000);
+        let q = NativeQuery {
+            filters: vec![],
+            group_by: vec!["country".into()],
+            aggregates: vec![(AggregateFunction::Sum, Some("revenue".into()))],
+            limit: None,
+        };
+        let native = store.execute_native("default", "events", &q, None).unwrap();
+        let (_, scan_cost) = store
+            .scan_segments(
+                "default",
+                "events",
+                &["country".into(), "revenue".into()],
+                &[],
+                None,
+                None,
+            )
+            .unwrap();
+        assert!(
+            scan_cost.total() > native.cost * 3,
+            "raw streaming ({scan_cost:?}) should dwarf native ({:?})",
+            native.cost
+        );
+    }
+
+    #[test]
+    fn rejects_bad_schemas_and_unknown_tables() {
+        let store = RealtimeStore::new("pinot", 100, RealtimeCostModel::default());
+        let no_time = Schema::new(vec![Field::new("d", DataType::Varchar)]).unwrap();
+        assert!(store.create_table("s", "t", no_time).is_err());
+        let nested = Schema::new(vec![
+            Field::new("ts", DataType::Timestamp),
+            Field::new("x", DataType::array(DataType::Bigint)),
+        ])
+        .unwrap();
+        assert!(store.create_table("s", "t", nested).is_err());
+        assert!(store.table("s", "missing").is_err());
+    }
+}

@@ -1,0 +1,383 @@
+//! TPC-H data generator and connector.
+//!
+//! Figures 18–20 benchmark the Parquet writers on "All Lineitem columns" —
+//! this module generates a faithful LINEITEM table (16 columns, realistic
+//! value distributions, correlated dates) plus the narrower synthetic column
+//! workloads the figures name (bigint sequential/random, small/large
+//! varchar, dictionary varchar, maps, arrays).
+
+use presto_common::ids::SplitId;
+use presto_common::{Block, DataType, Field, Page, PrestoError, Result, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spi::{Connector, ConnectorSplit, ScanCapabilities, ScanRequest, SplitPayload};
+
+/// The LINEITEM schema (TPC-H column order).
+pub fn lineitem_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("orderkey", DataType::Bigint),
+        Field::new("partkey", DataType::Bigint),
+        Field::new("suppkey", DataType::Bigint),
+        Field::new("linenumber", DataType::Integer),
+        Field::new("quantity", DataType::Double),
+        Field::new("extendedprice", DataType::Double),
+        Field::new("discount", DataType::Double),
+        Field::new("tax", DataType::Double),
+        Field::new("returnflag", DataType::Varchar),
+        Field::new("linestatus", DataType::Varchar),
+        Field::new("shipdate", DataType::Date),
+        Field::new("commitdate", DataType::Date),
+        Field::new("receiptdate", DataType::Date),
+        Field::new("shipinstruct", DataType::Varchar),
+        Field::new("shipmode", DataType::Varchar),
+        Field::new("comment", DataType::Varchar),
+    ])
+    .unwrap()
+}
+
+const RETURN_FLAGS: [&str; 3] = ["R", "A", "N"];
+const LINE_STATUS: [&str; 2] = ["O", "F"];
+const SHIP_INSTRUCT: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIP_MODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const COMMENT_WORDS: [&str; 12] = [
+    "carefully", "quickly", "furiously", "final", "pending", "ironic", "express", "deposits",
+    "requests", "accounts", "packages", "theodolites",
+];
+
+/// Generate `rows` LINEITEM rows starting at `start_row`, as one page.
+pub fn generate_lineitem(start_row: usize, rows: usize, seed: u64) -> Result<Page> {
+    let mut rng = StdRng::seed_from_u64(seed ^ start_row as u64);
+    let mut orderkey = Vec::with_capacity(rows);
+    let mut partkey = Vec::with_capacity(rows);
+    let mut suppkey = Vec::with_capacity(rows);
+    let mut linenumber = Vec::with_capacity(rows);
+    let mut quantity = Vec::with_capacity(rows);
+    let mut extendedprice = Vec::with_capacity(rows);
+    let mut discount = Vec::with_capacity(rows);
+    let mut tax = Vec::with_capacity(rows);
+    let mut returnflag = Vec::with_capacity(rows);
+    let mut linestatus = Vec::with_capacity(rows);
+    let mut shipdate = Vec::with_capacity(rows);
+    let mut commitdate = Vec::with_capacity(rows);
+    let mut receiptdate = Vec::with_capacity(rows);
+    let mut shipinstruct = Vec::with_capacity(rows);
+    let mut shipmode = Vec::with_capacity(rows);
+    let mut comment: Vec<String> = Vec::with_capacity(rows);
+
+    for i in 0..rows {
+        let row = start_row + i;
+        orderkey.push((row / 4) as i64 + 1);
+        partkey.push(rng.gen_range(1..200_000i64));
+        suppkey.push(rng.gen_range(1..10_000i64));
+        linenumber.push((row % 4) as i32 + 1);
+        let q = rng.gen_range(1..=50) as f64;
+        quantity.push(q);
+        extendedprice.push((q * rng.gen_range(900.0..100_000.0) / 50.0 * 100.0).round() / 100.0);
+        discount.push(rng.gen_range(0..=10) as f64 / 100.0);
+        tax.push(rng.gen_range(0..=8) as f64 / 100.0);
+        returnflag.push(RETURN_FLAGS[rng.gen_range(0..3)]);
+        linestatus.push(LINE_STATUS[rng.gen_range(0..2)]);
+        let ship = rng.gen_range(8766..11322); // 1994..2001 in days-since-epoch
+        shipdate.push(ship);
+        commitdate.push(ship + rng.gen_range(-30..60));
+        receiptdate.push(ship + rng.gen_range(1..30));
+        shipinstruct.push(SHIP_INSTRUCT[rng.gen_range(0..4)]);
+        shipmode.push(SHIP_MODE[rng.gen_range(0..7)]);
+        let words = rng.gen_range(3..9);
+        let mut c = String::new();
+        for w in 0..words {
+            if w > 0 {
+                c.push(' ');
+            }
+            c.push_str(COMMENT_WORDS[rng.gen_range(0..12)]);
+        }
+        comment.push(c);
+    }
+
+    Page::new(vec![
+        Block::bigint(orderkey),
+        Block::bigint(partkey),
+        Block::bigint(suppkey),
+        Block::integer(linenumber),
+        Block::double(quantity),
+        Block::double(extendedprice),
+        Block::double(discount),
+        Block::double(tax),
+        Block::varchar(&returnflag),
+        Block::varchar(&linestatus),
+        Block::Date { values: shipdate, nulls: None },
+        Block::Date { values: commitdate, nulls: None },
+        Block::Date { values: receiptdate, nulls: None },
+        Block::varchar(&shipinstruct),
+        Block::varchar(&shipmode),
+        Block::varchar(&comment),
+    ])
+}
+
+/// Rows per generated split.
+const ROWS_PER_SPLIT: usize = 10_000;
+
+/// A connector serving generated TPC-H data: `tpch.<schema>.lineitem`, where
+/// the schema names a scale (`tiny` = 20k rows, `small` = 100k, `sf1`-ish
+/// sizes are out of scope for a laptop reproduction).
+pub struct TpchConnector {
+    seed: u64,
+}
+
+impl Default for TpchConnector {
+    fn default() -> Self {
+        TpchConnector { seed: 42 }
+    }
+}
+
+impl TpchConnector {
+    /// Connector with the default seed.
+    pub fn new() -> TpchConnector {
+        TpchConnector::default()
+    }
+
+    fn scale_rows(schema: &str) -> Result<usize> {
+        match schema {
+            "tiny" => Ok(20_000),
+            "small" => Ok(100_000),
+            other => Err(PrestoError::Analysis(format!("unknown tpch schema '{other}'"))),
+        }
+    }
+}
+
+impl Connector for TpchConnector {
+    fn name(&self) -> &str {
+        "tpch"
+    }
+
+    fn list_schemas(&self) -> Vec<String> {
+        vec!["tiny".into(), "small".into()]
+    }
+
+    fn list_tables(&self, _schema: &str) -> Result<Vec<String>> {
+        Ok(vec!["lineitem".into()])
+    }
+
+    fn table_schema(&self, schema: &str, table: &str) -> Result<Schema> {
+        Self::scale_rows(schema)?;
+        if table != "lineitem" {
+            return Err(PrestoError::Analysis(format!("unknown tpch table '{table}'")));
+        }
+        Ok(lineitem_schema())
+    }
+
+    fn capabilities(&self) -> ScanCapabilities {
+        ScanCapabilities {
+            projection: true,
+            nested_pruning: false,
+            predicate: true,
+            limit: true,
+            aggregation: false,
+        }
+    }
+
+    fn splits(
+        &self,
+        schema: &str,
+        table: &str,
+        _request: &ScanRequest,
+    ) -> Result<Vec<ConnectorSplit>> {
+        let rows = Self::scale_rows(schema)?;
+        if table != "lineitem" {
+            return Err(PrestoError::Analysis(format!("unknown tpch table '{table}'")));
+        }
+        let mut splits = Vec::new();
+        let mut start = 0;
+        while start < rows {
+            let count = ROWS_PER_SPLIT.min(rows - start);
+            splits.push(ConnectorSplit {
+                id: SplitId(splits.len() as u64),
+                schema: schema.to_string(),
+                table: table.to_string(),
+                payload: SplitPayload::Tpch { start, count },
+            });
+            start += count;
+        }
+        Ok(splits)
+    }
+
+    fn scan_split(&self, split: &ConnectorSplit, request: &ScanRequest) -> Result<Vec<Page>> {
+        let (start, count) = match &split.payload {
+            SplitPayload::Tpch { start, count } => (*start, *count),
+            other => {
+                return Err(PrestoError::Connector(format!(
+                    "tpch connector got foreign split {other:?}"
+                )))
+            }
+        };
+        let page = generate_lineitem(start, count, self.seed)?;
+        let schema = lineitem_schema();
+        Ok(vec![crate::memory::apply_request(&schema, &page, request)?])
+    }
+}
+
+// ------------------------------------------------- writer bench workloads
+
+/// The column workloads of Figs 18–20, by the paper's series names.
+pub fn writer_workload(name: &str, rows: usize, seed: u64) -> Result<(Schema, Page)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema_of = |dt: DataType| Schema::new(vec![Field::new("c", dt)]).unwrap();
+    match name {
+        "all_lineitem_columns" => {
+            let page = generate_lineitem(0, rows, seed)?;
+            Ok((lineitem_schema(), page))
+        }
+        "bigint_sequential" => {
+            let page = Page::new(vec![Block::bigint((0..rows as i64).collect())])?;
+            Ok((schema_of(DataType::Bigint), page))
+        }
+        "bigint_random" => {
+            let values: Vec<i64> = (0..rows).map(|_| rng.gen()).collect();
+            Ok((schema_of(DataType::Bigint), Page::new(vec![Block::bigint(values)])?))
+        }
+        "small_varchar" => {
+            let values: Vec<String> =
+                (0..rows).map(|_| format!("{:06x}", rng.gen::<u32>() & 0xFFFFFF)).collect();
+            Ok((schema_of(DataType::Varchar), Page::new(vec![Block::varchar(&values)])?))
+        }
+        "large_varchar" => {
+            let values: Vec<String> = (0..rows)
+                .map(|_| {
+                    (0..16)
+                        .map(|_| COMMENT_WORDS[rng.gen_range(0..12)])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect();
+            Ok((schema_of(DataType::Varchar), Page::new(vec![Block::varchar(&values)])?))
+        }
+        "varchar_dictionary" => {
+            let values: Vec<&str> = (0..rows).map(|_| SHIP_MODE[rng.gen_range(0..7)]).collect();
+            Ok((schema_of(DataType::Varchar), Page::new(vec![Block::varchar(&values)])?))
+        }
+        "map_varchar_to_double" => map_workload(rows, &mut rng, 4, false),
+        "large_map_varchar_to_double" => map_workload(rows, &mut rng, 20, false),
+        "map_int_to_double" => map_workload(rows, &mut rng, 4, true),
+        "large_map_int_to_double" => map_workload(rows, &mut rng, 20, true),
+        "array_varchar" => {
+            let dt = DataType::array(DataType::Varchar);
+            let values: Vec<Value> = (0..rows)
+                .map(|_| {
+                    let n = rng.gen_range(0..6);
+                    Value::Array(
+                        (0..n)
+                            .map(|_| Value::Varchar(COMMENT_WORDS[rng.gen_range(0..12)].into()))
+                            .collect(),
+                    )
+                })
+                .collect();
+            let block = Block::from_values(&dt, &values)?;
+            Ok((schema_of(dt), Page::new(vec![block])?))
+        }
+        other => Err(PrestoError::Analysis(format!("unknown writer workload '{other}'"))),
+    }
+}
+
+/// Every workload name of Figs 18–20, in the figures' order.
+pub fn writer_workload_names() -> &'static [&'static str] {
+    &[
+        "all_lineitem_columns",
+        "bigint_sequential",
+        "bigint_random",
+        "small_varchar",
+        "large_varchar",
+        "varchar_dictionary",
+        "map_varchar_to_double",
+        "large_map_varchar_to_double",
+        "map_int_to_double",
+        "large_map_int_to_double",
+        "array_varchar",
+    ]
+}
+
+fn map_workload(
+    rows: usize,
+    rng: &mut StdRng,
+    entries: usize,
+    int_keys: bool,
+) -> Result<(Schema, Page)> {
+    let key_type = if int_keys { DataType::Bigint } else { DataType::Varchar };
+    let dt = DataType::map(key_type, DataType::Double);
+    let values: Vec<Value> = (0..rows)
+        .map(|_| {
+            Value::Map(
+                (0..entries)
+                    .map(|k| {
+                        let key = if int_keys {
+                            Value::Bigint(k as i64)
+                        } else {
+                            Value::Varchar(format!("feature_{k}"))
+                        };
+                        (key, Value::Double(rng.gen()))
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let block = Block::from_values(&dt, &values)?;
+    Ok((Schema::new(vec![Field::new("c", dt)]).unwrap(), Page::new(vec![block])?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spi::{ColumnPath, PushdownPredicate};
+    use presto_parquet::ScalarPredicate;
+
+    #[test]
+    fn lineitem_generation_is_deterministic_and_shaped() {
+        let a = generate_lineitem(0, 100, 42).unwrap();
+        let b = generate_lineitem(0, 100, 42).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.column_count(), 16);
+        // orderkey groups of 4, linenumber cycles 1..4
+        assert_eq!(a.row(0)[0], Value::Bigint(1));
+        assert_eq!(a.row(5)[3], Value::Integer(2));
+        // receiptdate after shipdate
+        for i in 0..100 {
+            let row = a.row(i);
+            let ship = row[10].as_i64().unwrap();
+            let receipt = row[12].as_i64().unwrap();
+            assert!(receipt > ship);
+        }
+    }
+
+    #[test]
+    fn connector_scans_with_pushdown() {
+        let c = TpchConnector::new();
+        assert_eq!(c.table_schema("tiny", "lineitem").unwrap().len(), 16);
+        let request = ScanRequest {
+            columns: vec![ColumnPath::whole("returnflag")],
+            predicate: vec![PushdownPredicate {
+                target: ColumnPath::whole("returnflag"),
+                predicate: ScalarPredicate::Eq(Value::Varchar("R".into())),
+            }],
+            limit: Some(50),
+            aggregation: None,
+        };
+        let splits = c.splits("tiny", "lineitem", &request).unwrap();
+        assert_eq!(splits.len(), 2);
+        let pages = c.scan_split(&splits[0], &request).unwrap();
+        assert_eq!(pages[0].positions(), 50);
+        assert!(pages[0].rows().iter().all(|r| r[0] == Value::Varchar("R".into())));
+        assert!(c.table_schema("huge", "lineitem").is_err());
+        assert!(c.table_schema("tiny", "orders").is_err());
+    }
+
+    #[test]
+    fn every_writer_workload_generates() {
+        for name in writer_workload_names() {
+            let (schema, page) = writer_workload(name, 500, 7).unwrap();
+            assert_eq!(page.positions(), 500, "workload {name}");
+            assert_eq!(page.column_count(), schema.len());
+        }
+        assert!(writer_workload("bogus", 10, 0).is_err());
+    }
+}

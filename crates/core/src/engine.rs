@@ -1,0 +1,429 @@
+//! `PrestoEngine`: the coordinator-in-a-box.
+//!
+//! Fig 1's lifecycle, end to end: SQL → tokens → AST → analyzer → logical
+//! plan → optimizer rounds → (optionally) fragmenter → execution. The local
+//! engine executes unfragmented plans directly; the cluster runtime
+//! ([`presto-cluster`](https://crates.io)) uses [`PrestoEngine::plan`] +
+//! [`presto_plan::fragment_plan`] to run fragments on simulated workers.
+
+use std::sync::Arc;
+
+use presto_common::{Page, PrestoError, Result, Schema, Value};
+use presto_connectors::{CatalogRegistry, Connector};
+use presto_exec::{execute, ExecutionContext};
+use presto_expr::{Evaluator, FunctionRegistry};
+use presto_plan::{explain, fragment_plan, optimize, LogicalPlan, PlanFragment};
+use presto_sql::{analyze, parse_sql, AnalyzerContext, Statement};
+
+use crate::plugin::register_geospatial_plugin;
+use crate::session::Session;
+
+/// A completed query's output.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column names and types.
+    pub schema: Schema,
+    /// Output pages.
+    pub pages: Vec<Page>,
+}
+
+impl QueryResult {
+    /// Total output rows.
+    pub fn row_count(&self) -> usize {
+        self.pages.iter().map(Page::positions).sum()
+    }
+
+    /// Materialize all rows (for display and tests).
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        self.pages.iter().flat_map(|p| p.rows()).collect()
+    }
+
+    /// Render as a simple text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let names: Vec<&str> =
+            self.schema.fields().iter().map(|f| f.name.as_str()).collect();
+        out.push_str(&names.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for row in self.rows() {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The engine: catalogs + functions + optimizer + executor.
+///
+/// Cloning shares catalogs and functions (an engine is one "cluster brain";
+/// the cluster crate instantiates several for federation).
+///
+/// ```
+/// use std::sync::Arc;
+/// use presto_core::PrestoEngine;
+/// use presto_connectors::memory::MemoryConnector;
+/// use presto_common::{Block, DataType, Field, Page, Schema, Value};
+///
+/// let engine = PrestoEngine::new();
+/// let memory = MemoryConnector::new();
+/// memory.create_table(
+///     "default", "trips",
+///     Schema::new(vec![
+///         Field::new("city", DataType::Varchar),
+///         Field::new("fare", DataType::Double),
+///     ])?,
+///     vec![Page::new(vec![
+///         Block::varchar(&["sf", "nyc", "sf"]),
+///         Block::double(vec![10.0, 20.0, 30.0]),
+///     ])?],
+/// )?;
+/// engine.register_catalog("memory", Arc::new(memory));
+///
+/// let result = engine.execute(
+///     "SELECT city, sum(fare) AS revenue FROM trips GROUP BY city ORDER BY 2 DESC",
+/// )?;
+/// assert_eq!(result.rows()[0], vec![Value::from("sf"), Value::Double(40.0)]);
+/// # Ok::<(), presto_common::PrestoError>(())
+/// ```
+#[derive(Clone)]
+pub struct PrestoEngine {
+    catalogs: CatalogRegistry,
+    registry: FunctionRegistry,
+}
+
+impl Default for PrestoEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrestoEngine {
+    /// Engine with built-in functions and the geospatial plugin registered.
+    pub fn new() -> PrestoEngine {
+        let registry = FunctionRegistry::new();
+        register_geospatial_plugin(&registry);
+        PrestoEngine { catalogs: CatalogRegistry::new(), registry }
+    }
+
+    /// Register a connector under a catalog name.
+    pub fn register_catalog(&self, name: impl Into<String>, connector: Arc<dyn Connector>) {
+        self.catalogs.register(name, connector);
+    }
+
+    /// The catalog registry.
+    pub fn catalogs(&self) -> &CatalogRegistry {
+        &self.catalogs
+    }
+
+    /// The function registry (for further plugin registration).
+    pub fn functions(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// Parse + analyze + optimize into a logical plan.
+    pub fn plan(&self, sql: &str, session: &Session) -> Result<LogicalPlan> {
+        let statement = parse_sql(sql)?;
+        let query = match &statement {
+            Statement::Query(q) | Statement::Explain(q) => q,
+        };
+        let analyzer_ctx = AnalyzerContext {
+            catalogs: self.catalogs.clone(),
+            registry: self.registry.clone(),
+            default_catalog: session.catalog.clone(),
+            default_schema: session.schema.clone(),
+        };
+        let plan = analyze(query, &analyzer_ctx)?;
+        let evaluator = Evaluator::new(self.registry.clone());
+        optimize(plan, &self.catalogs, &evaluator, &session.optimizer)
+    }
+
+    /// Fragment an optimized plan into stages (§III).
+    pub fn fragment(&self, sql: &str, session: &Session) -> Result<Vec<PlanFragment>> {
+        fragment_plan(self.plan(sql, session)?)
+    }
+
+    /// EXPLAIN: the optimized plan as text.
+    pub fn explain(&self, sql: &str, session: &Session) -> Result<String> {
+        Ok(explain(&self.plan(sql, session)?))
+    }
+
+    /// Execute a query under a session.
+    pub fn execute_with_session(&self, sql: &str, session: &Session) -> Result<QueryResult> {
+        let statement = parse_sql(sql)?;
+        if let Statement::Explain(_) = statement {
+            let text = self.explain(sql, session)?;
+            let schema = Schema::new(vec![presto_common::Field::new(
+                "plan",
+                presto_common::DataType::Varchar,
+            )])?;
+            let block = presto_common::Block::varchar(&[text.as_str()]);
+            return Ok(QueryResult { schema, pages: vec![Page::new(vec![block])?] });
+        }
+        let plan = self.plan(sql, session)?;
+        let schema = plan.output_schema()?;
+        let mut ctx =
+            ExecutionContext::with_registry(self.catalogs.clone(), self.registry.clone());
+        if let Some(budget) = session.memory_budget {
+            ctx = ctx.with_memory_budget(budget);
+        }
+        let pages = execute(&plan, &ctx)?;
+        Ok(QueryResult { schema, pages })
+    }
+
+    /// Execute with the default session.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_with_session(sql, &Session::default())
+    }
+
+    /// Execute one fragment with bound remote sources — the worker-side
+    /// entry point used by the cluster runtime.
+    pub fn execute_fragment(
+        &self,
+        fragment: &PlanFragment,
+        remote_inputs: Vec<(u32, Vec<Page>)>,
+        session: &Session,
+    ) -> Result<Vec<Page>> {
+        let mut ctx =
+            ExecutionContext::with_registry(self.catalogs.clone(), self.registry.clone());
+        if let Some(budget) = session.memory_budget {
+            ctx = ctx.with_memory_budget(budget);
+        }
+        for (id, pages) in remote_inputs {
+            ctx.bind_remote_source(id, pages);
+        }
+        execute(&fragment.plan, &ctx)
+    }
+
+    /// Execute with automatic fallback to a batch engine on
+    /// `"Insufficient Resource"` (§XII.C).
+    ///
+    /// "We need to resolve the problem either via: adding fault tolerance to
+    /// Presto, or automatically translate failed Presto queries to other
+    /// systems. Presto on Spark is a good option, which enables users
+    /// writing the same Presto SQL, with automatic translation." The
+    /// fallback here re-runs the *same plan* without the interactive
+    /// session's memory ceiling — the defining property of the batch tier
+    /// (disk-backed shuffles trade latency for capacity). Returns the result
+    /// plus a flag telling the caller which tier served it.
+    pub fn execute_with_batch_fallback(
+        &self,
+        sql: &str,
+        session: &Session,
+    ) -> Result<(QueryResult, bool)> {
+        match self.execute_with_session(sql, session) {
+            Err(PrestoError::InsufficientResources(_)) => {
+                let batch_session = Session {
+                    memory_budget: None,
+                    ..session.clone()
+                };
+                let result = self.execute_with_session(sql, &batch_session)?;
+                Ok((result, true))
+            }
+            other => Ok((other?, false)),
+        }
+    }
+
+    /// Convenience: single-row, single-column query result.
+    pub fn execute_scalar(&self, sql: &str) -> Result<Value> {
+        let result = self.execute(sql)?;
+        let rows = result.rows();
+        match rows.len() {
+            1 if rows[0].len() == 1 => Ok(rows[0][0].clone()),
+            n => Err(PrestoError::Execution(format!(
+                "expected a single scalar, got {n} row(s)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::{Block, DataType, Field};
+    use presto_connectors::memory::MemoryConnector;
+
+    fn engine_with_data() -> PrestoEngine {
+        let engine = PrestoEngine::new();
+        let memory = MemoryConnector::new();
+        let trips_schema = Schema::new(vec![
+            Field::new("datestr", DataType::Varchar),
+            Field::new(
+                "base",
+                DataType::row(vec![
+                    Field::new("driver_uuid", DataType::Varchar),
+                    Field::new("city_id", DataType::Bigint),
+                ]),
+            ),
+            Field::new("fare", DataType::Double),
+        ])
+        .unwrap();
+        let base_type = trips_schema.field_at(1).data_type.clone();
+        let base = Block::from_values(
+            &base_type,
+            &(0..20)
+                .map(|i| {
+                    Value::Row(vec![
+                        Value::Varchar(format!("drv{i}")),
+                        Value::Bigint(i % 5),
+                    ])
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let page = Page::new(vec![
+            Block::varchar(
+                &(0..20)
+                    .map(|i| if i % 2 == 0 { "2017-03-01" } else { "2017-03-02" })
+                    .collect::<Vec<_>>(),
+            ),
+            base,
+            Block::double((0..20).map(|i| i as f64).collect()),
+        ])
+        .unwrap();
+        memory.create_table("default", "trips", trips_schema, vec![page]).unwrap();
+        engine.register_catalog("memory", Arc::new(memory));
+        engine
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let engine = engine_with_data();
+        let result = engine
+            .execute(
+                "SELECT base.driver_uuid FROM trips \
+                 WHERE datestr = '2017-03-02' AND base.city_id IN (1)",
+            )
+            .unwrap();
+        assert_eq!(result.schema.fields()[0].name, "driver_uuid");
+        let rows = result.rows();
+        assert_eq!(rows.len(), 2); // i in {1, 11}: odd i with i%5==1
+        assert_eq!(rows[0][0], Value::Varchar("drv1".into()));
+        assert_eq!(rows[1][0], Value::Varchar("drv11".into()));
+    }
+
+    #[test]
+    fn end_to_end_aggregation_and_order() {
+        let engine = engine_with_data();
+        let result = engine
+            .execute(
+                "SELECT datestr, count(*) AS cnt, sum(fare) AS total FROM trips \
+                 GROUP BY 1 ORDER BY 1",
+            )
+            .unwrap();
+        let rows = result.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec!["2017-03-01".into(), Value::Bigint(10), Value::Double(90.0)]);
+        assert_eq!(rows[1][1], Value::Bigint(10));
+    }
+
+    #[test]
+    fn scalar_and_expressions() {
+        let engine = engine_with_data();
+        assert_eq!(engine.execute_scalar("SELECT 2 + 3 * 4").unwrap(), Value::Bigint(14));
+        assert_eq!(
+            engine.execute_scalar("SELECT upper('presto')").unwrap(),
+            Value::Varchar("PRESTO".into())
+        );
+        assert_eq!(
+            engine
+                .execute_scalar("SELECT st_contains('POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))', st_point(1.0, 1.0))")
+                .unwrap(),
+            Value::Boolean(true)
+        );
+        assert!(engine.execute_scalar("SELECT * FROM trips").is_err());
+    }
+
+    #[test]
+    fn explain_shows_pushdowns() {
+        let engine = engine_with_data();
+        let result = engine
+            .execute("EXPLAIN SELECT base.city_id FROM trips WHERE datestr = '2017-03-01'")
+            .unwrap();
+        let text = result.rows()[0][0].to_string();
+        assert!(text.contains("TableScan"), "{text}");
+        assert!(text.contains("predicate"), "{text}");
+        assert!(text.contains("nested pruning"), "{text}");
+    }
+
+    #[test]
+    fn insufficient_resources_surfaces() {
+        let engine = engine_with_data();
+        let session = Session::default().with_memory_budget(16);
+        let err = engine
+            .execute_with_session(
+                "SELECT a.fare FROM trips a JOIN trips b ON a.datestr = b.datestr",
+                &session,
+            )
+            .unwrap_err();
+        assert_eq!(err.code(), "INSUFFICIENT_RESOURCES");
+    }
+
+    #[test]
+    fn case_and_union_all_end_to_end() {
+        let engine = engine_with_data();
+        let result = engine
+            .execute(
+                "SELECT CASE WHEN fare >= 10.0 THEN 'high' ELSE 'low' END AS bucket, count(*)                  FROM trips GROUP BY 1 ORDER BY 1",
+            )
+            .unwrap();
+        assert_eq!(
+            result.rows(),
+            vec![
+                vec!["high".into(), Value::Bigint(10)],
+                vec!["low".into(), Value::Bigint(10)],
+            ]
+        );
+        let union = engine
+            .execute(
+                "SELECT count(*) FROM trips WHERE datestr = '2017-03-01'                  UNION ALL SELECT count(*) FROM trips WHERE datestr = '2017-03-02'",
+            )
+            .unwrap();
+        assert_eq!(union.rows(), vec![vec![Value::Bigint(10)], vec![Value::Bigint(10)]]);
+    }
+
+    #[test]
+    fn batch_fallback_rescues_big_joins() {
+        let engine = engine_with_data();
+        let session = Session::default().with_memory_budget(512);
+        let sql = "SELECT count(*) FROM trips a JOIN trips b ON a.datestr = b.datestr";
+        // the interactive tier fails...
+        assert_eq!(
+            engine.execute_with_session(sql, &session).unwrap_err().code(),
+            "INSUFFICIENT_RESOURCES"
+        );
+        // ...the fallback runs the same SQL on the batch tier
+        let (result, fell_back) = engine.execute_with_batch_fallback(sql, &session).unwrap();
+        assert!(fell_back);
+        assert_eq!(result.rows(), vec![vec![Value::Bigint(200)]]); // 10+10 per datestr → 100+100 pairs
+        // small queries stay interactive
+        let (_, fell_back) = engine
+            .execute_with_batch_fallback("SELECT count(*) FROM trips", &session)
+            .unwrap();
+        assert!(!fell_back);
+        // non-resource errors are not retried
+        assert!(engine
+            .execute_with_batch_fallback("SELECT bogus FROM trips", &session)
+            .is_err());
+    }
+
+    #[test]
+    fn fragments_for_distributed_execution() {
+        let engine = engine_with_data();
+        let fragments = engine
+            .fragment("SELECT count(*) FROM trips", &Session::default())
+            .unwrap();
+        assert_eq!(fragments.len(), 2);
+        // run the scan fragment, feed it to the root fragment
+        let session = Session::default();
+        let scan_out = engine
+            .execute_fragment(&fragments[1], vec![], &session)
+            .unwrap();
+        let root_out = engine
+            .execute_fragment(&fragments[0], vec![(1, scan_out)], &session)
+            .unwrap();
+        assert_eq!(root_out[0].row(0), vec![Value::Bigint(20)]);
+    }
+}

@@ -1,0 +1,115 @@
+//! The Presto Geospatial plugin (§VI.E): scalar geo functions registered
+//! through the plugin framework ([`presto_expr::FunctionRegistry`]).
+//!
+//! These are the *naive-path* functions — `st_contains` parses and tests one
+//! (shape, point) pair per call, which is exactly the per-pair cost §VI.C
+//! complains about. The optimizer's GeoJoin rewrite replaces repeated
+//! `st_contains` evaluation with the QuadTree index; these functions remain
+//! for non-join usage and as the semantics oracle for the rewrite.
+
+use std::sync::Arc;
+
+use presto_common::{DataType, PrestoError, Value};
+use presto_expr::FunctionRegistry;
+use presto_geo::wkt::{parse_wkt, to_wkt};
+use presto_geo::{Geometry, Point};
+
+/// Register `st_point`, `st_contains`, `st_x`, `st_y` into a registry.
+pub fn register_geospatial_plugin(registry: &FunctionRegistry) {
+    registry.register_custom(
+        "st_point",
+        Arc::new(|args: &[DataType]| {
+            (args.len() == 2 && args.iter().all(DataType::is_numeric))
+                .then_some(DataType::Varchar)
+        }),
+        Arc::new(|args: &[Value]| {
+            let (Some(lng), Some(lat)) = (args[0].as_f64(), args[1].as_f64()) else {
+                return Ok(Value::Null);
+            };
+            Ok(Value::Varchar(to_wkt(&Geometry::Point(Point::new(lng, lat)))))
+        }),
+    );
+    registry.register_custom(
+        "st_contains",
+        Arc::new(|args: &[DataType]| {
+            (args == [DataType::Varchar, DataType::Varchar]).then_some(DataType::Boolean)
+        }),
+        Arc::new(|args: &[Value]| {
+            let (Some(shape), Some(point)) = (args[0].as_str(), args[1].as_str()) else {
+                return Ok(Value::Null);
+            };
+            let shape = parse_wkt(shape)
+                .map_err(|e| PrestoError::Execution(format!("st_contains: {e}")))?;
+            let point = parse_wkt(point)
+                .map_err(|e| PrestoError::Execution(format!("st_contains: {e}")))?;
+            let Geometry::Point(p) = point else {
+                return Err(PrestoError::Execution(
+                    "st_contains: second argument must be a point".into(),
+                ));
+            };
+            Ok(Value::Boolean(shape.contains(&p)))
+        }),
+    );
+    registry.register_custom(
+        "st_x",
+        Arc::new(|args: &[DataType]| {
+            (args == [DataType::Varchar]).then_some(DataType::Double)
+        }),
+        Arc::new(|args: &[Value]| match args[0].as_str() {
+            Some(wkt) => match parse_wkt(wkt) {
+                Ok(Geometry::Point(p)) => Ok(Value::Double(p.lng)),
+                _ => Ok(Value::Null),
+            },
+            None => Ok(Value::Null),
+        }),
+    );
+    registry.register_custom(
+        "st_y",
+        Arc::new(|args: &[DataType]| {
+            (args == [DataType::Varchar]).then_some(DataType::Double)
+        }),
+        Arc::new(|args: &[Value]| match args[0].as_str() {
+            Some(wkt) => match parse_wkt(wkt) {
+                Ok(Geometry::Point(p)) => Ok(Value::Double(p.lat)),
+                _ => Ok(Value::Null),
+            },
+            None => Ok(Value::Null),
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_register_and_evaluate() {
+        let registry = FunctionRegistry::new();
+        register_geospatial_plugin(&registry);
+        assert!(registry.contains("st_point"));
+        assert!(registry.contains("st_contains"));
+
+        let st_point = registry.custom("st_point").unwrap();
+        let p = (st_point.eval)(&[Value::Double(0.5), Value::Double(0.5)]).unwrap();
+        assert_eq!(p, Value::Varchar("POINT (0.5 0.5)".into()));
+
+        let st_contains = registry.custom("st_contains").unwrap();
+        let square = Value::Varchar("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))".into());
+        assert_eq!(
+            (st_contains.eval)(&[square.clone(), p]).unwrap(),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            (st_contains.eval)(&[square.clone(), Value::Varchar("POINT (5 5)".into())])
+                .unwrap(),
+            Value::Boolean(false)
+        );
+        assert!((st_contains.eval)(&[square, Value::Varchar("garbage".into())]).is_err());
+
+        let st_x = registry.custom("st_x").unwrap();
+        assert_eq!(
+            (st_x.eval)(&[Value::Varchar("POINT (3 4)".into())]).unwrap(),
+            Value::Double(3.0)
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Execution context: catalogs, functions, memory budget, exchange bindings.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use presto_common::metrics::CounterSet;
+use presto_common::{Page, PrestoError, Result};
+use presto_connectors::CatalogRegistry;
+use presto_expr::{Evaluator, FunctionRegistry};
+
+/// Everything an executing plan needs.
+#[derive(Clone)]
+pub struct ExecutionContext {
+    /// Registered connectors.
+    pub catalogs: CatalogRegistry,
+    /// Expression evaluator (shares the session's function registry).
+    pub evaluator: Evaluator,
+    /// Bytes of materialized state (join builds, aggregation tables, sort
+    /// buffers) allowed before `"Insufficient Resource"`; `None` = unlimited.
+    pub memory_budget: Option<usize>,
+    /// Pages bound for `RemoteSource` leaves, keyed by fragment id —
+    /// populated by the cluster runtime when executing upper fragments.
+    pub remote_sources: HashMap<u32, Vec<Page>>,
+    /// Execution counters (`exec.rows_scanned`, `exec.splits`, ...).
+    pub metrics: CounterSet,
+    reserved: Arc<AtomicUsize>,
+}
+
+impl ExecutionContext {
+    /// Context over catalogs with a default function registry and no budget.
+    pub fn new(catalogs: CatalogRegistry) -> ExecutionContext {
+        ExecutionContext::with_registry(catalogs, FunctionRegistry::new())
+    }
+
+    /// Context with an explicit function registry (plugins registered).
+    pub fn with_registry(
+        catalogs: CatalogRegistry,
+        registry: FunctionRegistry,
+    ) -> ExecutionContext {
+        ExecutionContext {
+            catalogs,
+            evaluator: Evaluator::new(registry),
+            memory_budget: None,
+            remote_sources: HashMap::new(),
+            metrics: CounterSet::new(),
+            reserved: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Set the memory budget.
+    pub fn with_memory_budget(mut self, bytes: usize) -> ExecutionContext {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Bind pages for a `RemoteSource` fragment.
+    pub fn bind_remote_source(&mut self, fragment: u32, pages: Vec<Page>) {
+        self.remote_sources.insert(fragment, pages);
+    }
+
+    /// Reserve materialized-state memory; errors with the §XII.C message
+    /// when the session budget is exceeded.
+    pub fn reserve_memory(&self, bytes: usize) -> Result<()> {
+        let total = self.reserved.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if let Some(budget) = self.memory_budget {
+            if total > budget {
+                self.reserved.fetch_sub(bytes, Ordering::Relaxed);
+                return Err(PrestoError::InsufficientResources(format!(
+                    "Insufficient Resource: query requires {total} bytes of memory, \
+                     budget is {budget} bytes (consider running this query on Spark/Hive)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Release previously reserved memory.
+    pub fn release_memory(&self, bytes: usize) {
+        self.reserved.fetch_sub(bytes.min(self.reserved.load(Ordering::Relaxed)), Ordering::Relaxed);
+    }
+
+    /// Bytes currently reserved.
+    pub fn reserved_memory(&self) -> usize {
+        self.reserved.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_budget_enforced() {
+        let ctx = ExecutionContext::new(CatalogRegistry::new()).with_memory_budget(1000);
+        ctx.reserve_memory(600).unwrap();
+        let err = ctx.reserve_memory(600).unwrap_err();
+        assert_eq!(err.code(), "INSUFFICIENT_RESOURCES");
+        assert!(err.message().contains("Insufficient Resource"));
+        // the failed reservation was rolled back
+        assert_eq!(ctx.reserved_memory(), 600);
+        ctx.release_memory(600);
+        assert_eq!(ctx.reserved_memory(), 0);
+        ctx.reserve_memory(900).unwrap();
+    }
+
+    #[test]
+    fn unlimited_without_budget() {
+        let ctx = ExecutionContext::new(CatalogRegistry::new());
+        ctx.reserve_memory(usize::MAX / 2).unwrap();
+    }
+}

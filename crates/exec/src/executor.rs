@@ -1,0 +1,861 @@
+//! The recursive plan executor.
+
+use std::collections::HashMap;
+
+use presto_common::{Block, Page, PrestoError, Result, Value};
+use presto_expr::{Accumulator, AggregateFunction, RowExpression};
+use presto_geo::index::GeofenceIndex;
+use presto_plan::logical::{AggregateExpr, AggregateStep, JoinKind, LogicalPlan, SortKey};
+
+use crate::context::ExecutionContext;
+
+/// Execute a plan to completion, returning its output pages.
+pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> {
+    match plan {
+        LogicalPlan::TableScan { catalog, schema, table, request, .. } => {
+            let connector = ctx.catalogs.get(catalog)?;
+            let splits = connector.splits(schema, table, request)?;
+            ctx.metrics.add("exec.splits", splits.len() as u64);
+            let mut pages = Vec::new();
+            for split in &splits {
+                for page in connector.scan_split(split, request)? {
+                    ctx.metrics.add("exec.rows_scanned", page.positions() as u64);
+                    if !page.is_empty() {
+                        pages.push(page);
+                    }
+                }
+            }
+            Ok(pages)
+        }
+        LogicalPlan::Values { schema, rows } => {
+            if rows.is_empty() {
+                return Ok(Vec::new());
+            }
+            let mut blocks = Vec::with_capacity(schema.len());
+            for (c, field) in schema.fields().iter().enumerate() {
+                let column: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
+                blocks.push(Block::from_values(&field.data_type, &column)?);
+            }
+            Ok(vec![if blocks.is_empty() {
+                Page::zero_column(rows.len())
+            } else {
+                Page::new(blocks)?
+            }])
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let pages = execute(input, ctx)?;
+            let mut out = Vec::with_capacity(pages.len());
+            for page in pages {
+                let mask_block = ctx.evaluator.evaluate(predicate, &page)?;
+                let mask: Vec<bool> = (0..page.positions())
+                    .map(|i| {
+                        !mask_block.is_null(i) && mask_block.value(i).as_bool() == Some(true)
+                    })
+                    .collect();
+                let filtered = page.filter(&mask);
+                if !filtered.is_empty() {
+                    out.push(filtered);
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Project { input, expressions } => {
+            let pages = execute(input, ctx)?;
+            let mut out = Vec::with_capacity(pages.len());
+            for page in pages {
+                let mut blocks = Vec::with_capacity(expressions.len());
+                for (_, e) in expressions {
+                    blocks.push(ctx.evaluator.evaluate(e, &page)?);
+                }
+                out.push(if blocks.is_empty() {
+                    Page::zero_column(page.positions())
+                } else {
+                    Page::new(blocks)?
+                });
+            }
+            Ok(out)
+        }
+        LogicalPlan::Aggregate { input, group_by, aggregates, step } => {
+            execute_aggregate(input, group_by, aggregates, *step, plan, ctx)
+        }
+        LogicalPlan::Join { left, right, kind, on, residual } => {
+            execute_join(left, right, *kind, on, residual.as_ref(), ctx)
+        }
+        LogicalPlan::GeoJoin { probe, fences, probe_lng, probe_lat, fence_shape } => {
+            execute_geo_join(probe, fences, probe_lng, probe_lat, fence_shape, ctx)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let (page, indices) = sorted_indices(input, keys, ctx)?;
+            Ok(match page {
+                Some(p) => vec![p.take(&indices)],
+                None => Vec::new(),
+            })
+        }
+        LogicalPlan::TopN { input, keys, count } => {
+            let (page, mut indices) = sorted_indices(input, keys, ctx)?;
+            indices.truncate(*count);
+            Ok(match page {
+                Some(p) => vec![p.take(&indices)],
+                None => Vec::new(),
+            })
+        }
+        LogicalPlan::Limit { input, count } => {
+            let pages = execute(input, ctx)?;
+            let mut out = Vec::new();
+            let mut kept = 0;
+            for page in pages {
+                if kept >= *count {
+                    break;
+                }
+                let take = (*count - kept).min(page.positions());
+                kept += take;
+                out.push(if take == page.positions() {
+                    page
+                } else {
+                    page.slice(0, take)
+                });
+            }
+            Ok(out)
+        }
+        LogicalPlan::Output { input, .. } => execute(input, ctx),
+        LogicalPlan::Union { inputs } => {
+            let mut out = Vec::new();
+            for input in inputs {
+                out.extend(execute(input, ctx)?);
+            }
+            Ok(out)
+        }
+        LogicalPlan::RemoteSource { fragment, .. } => {
+            ctx.remote_sources.get(fragment).cloned().ok_or_else(|| {
+                PrestoError::Execution(format!("remote source fragment {fragment} not bound"))
+            })
+        }
+    }
+}
+
+// ------------------------------------------------------------- aggregation
+
+fn execute_aggregate(
+    input: &LogicalPlan,
+    group_by: &[RowExpression],
+    aggregates: &[AggregateExpr],
+    step: AggregateStep,
+    plan: &LogicalPlan,
+    ctx: &ExecutionContext,
+) -> Result<Vec<Page>> {
+    let pages = execute(input, ctx)?;
+    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+    let mut reserved = 0usize;
+
+    for page in &pages {
+        // vectorized: evaluate keys and arguments once per page
+        let key_blocks = group_by
+            .iter()
+            .map(|e| ctx.evaluator.evaluate(e, page))
+            .collect::<Result<Vec<_>>>()?;
+        let arg_blocks = aggregates
+            .iter()
+            .map(|a| a.argument.as_ref().map(|e| ctx.evaluator.evaluate(e, page)).transpose())
+            .collect::<Result<Vec<_>>>()?;
+        for i in 0..page.positions() {
+            let key: Vec<Value> = key_blocks.iter().map(|b| b.value(i)).collect();
+            let accs = groups.entry(key).or_insert_with(|| {
+                reserved += 64 + aggregates.len() * 48;
+                aggregates.iter().map(|a| a.function.new_accumulator()).collect()
+            });
+            for ((acc, agg), arg) in accs.iter_mut().zip(aggregates).zip(&arg_blocks) {
+                match step {
+                    AggregateStep::Single => match arg {
+                        None => acc.add_count(1),
+                        Some(block) => acc.add(&block.value(i)),
+                    },
+                    // Fig 2: merge connector-produced partials — counts sum,
+                    // sums sum, min/max re-compare.
+                    AggregateStep::FinalOverPartial => {
+                        let partial = arg
+                            .as_ref()
+                            .ok_or_else(|| {
+                                PrestoError::Internal(
+                                    "final aggregation needs partial columns".into(),
+                                )
+                            })?
+                            .value(i);
+                        match agg.function {
+                            AggregateFunction::Count | AggregateFunction::CountStar => {
+                                acc.add_count(partial.as_i64().unwrap_or(0));
+                            }
+                            _ => acc.add(&partial),
+                        }
+                    }
+                }
+            }
+        }
+        // coarse memory accounting on the hash table
+        if reserved > 0 {
+            ctx.reserve_memory(reserved)?;
+            reserved = 0;
+        }
+    }
+
+    // Global aggregation over zero rows still yields one output row.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.insert(
+            Vec::new(),
+            aggregates.iter().map(|a| a.function.new_accumulator()).collect(),
+        );
+    }
+
+    let mut rows: Vec<Vec<Value>> = groups
+        .into_iter()
+        .map(|(mut key, accs)| {
+            key.extend(accs.iter().map(Accumulator::finish));
+            key
+        })
+        .collect();
+    rows.sort_by(|a, b|
+
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal));
+
+    let schema = plan.output_schema()?;
+    let mut blocks = Vec::with_capacity(schema.len());
+    for (c, field) in schema.fields().iter().enumerate() {
+        let column: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
+        blocks.push(Block::from_values(&field.data_type, &column)?);
+    }
+    Ok(vec![if blocks.is_empty() {
+        Page::zero_column(rows.len())
+    } else {
+        Page::new(blocks)?
+    }])
+}
+
+// -------------------------------------------------------------------- join
+
+fn execute_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    kind: JoinKind,
+    on: &[(RowExpression, RowExpression)],
+    residual: Option<&RowExpression>,
+    ctx: &ExecutionContext,
+) -> Result<Vec<Page>> {
+    let left_pages = execute(left, ctx)?;
+    let right_pages = execute(right, ctx)?;
+    // Build side: the right input, materialized (distributed hash join is
+    // the production default, §XII.A).
+    let build = match right_pages.len() {
+        0 => {
+            let schema = right.output_schema()?;
+            empty_page(&schema)?
+        }
+        _ => Page::concat(&right_pages)?,
+    };
+    ctx.reserve_memory(build.memory_size())?;
+
+    let mut out = Vec::new();
+    if on.is_empty() {
+        // Nested-loop cross join with optional residual — the shape the
+        // geospatial rewrite replaces (§VI.C's "brute force" plan).
+        for probe in &left_pages {
+            let mut probe_idx = Vec::new();
+            let mut build_idx = Vec::new();
+            for i in 0..probe.positions() {
+                for j in 0..build.positions() {
+                    probe_idx.push(i);
+                    build_idx.push(j);
+                }
+            }
+            let page = stitch(probe, &probe_idx, &build, &build_idx)?;
+            let page = apply_residual(page, residual, ctx)?;
+            if !page.is_empty() {
+                out.push(page);
+            }
+        }
+        ctx.release_memory(build.memory_size());
+        return Ok(out);
+    }
+
+    // Hash join on equi keys.
+    let build_keys = on
+        .iter()
+        .map(|(_, r)| ctx.evaluator.evaluate(r, &build))
+        .collect::<Result<Vec<_>>>()?;
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for j in 0..build.positions() {
+        let key: Vec<Value> = build_keys.iter().map(|b| b.value(j)).collect();
+        if key.iter().any(Value::is_null) {
+            continue; // SQL equi-join never matches NULL keys
+        }
+        table.entry(key).or_default().push(j);
+    }
+    ctx.reserve_memory(table.len() * 48)?;
+
+    for probe in &left_pages {
+        let probe_keys = on
+            .iter()
+            .map(|(l, _)| ctx.evaluator.evaluate(l, probe))
+            .collect::<Result<Vec<_>>>()?;
+        // Key-matched candidate pairs; probe rows with no key match are
+        // remembered separately so LEFT joins can null-extend them.
+        let mut cand_probe = Vec::new();
+        let mut cand_build = Vec::new();
+        for i in 0..probe.positions() {
+            let key: Vec<Value> = probe_keys.iter().map(|b| b.value(i)).collect();
+            let matches = if key.iter().any(Value::is_null) {
+                None
+            } else {
+                table.get(&key)
+            };
+            if let Some(rows) = matches {
+                for &j in rows {
+                    cand_probe.push(i);
+                    cand_build.push(j);
+                }
+            }
+        }
+        // ON-clause residual filters *candidate pairs*, before outer-join
+        // null extension — a pair failing the residual is not a match, so
+        // its LEFT row must still appear null-extended.
+        let survivors: Vec<bool> = match residual {
+            None => vec![true; cand_probe.len()],
+            Some(expr) => {
+                let pairs = stitch(probe, &cand_probe, &build, &cand_build)?;
+                let mask_block = ctx.evaluator.evaluate(expr, &pairs)?;
+                (0..pairs.positions())
+                    .map(|i| {
+                        !mask_block.is_null(i) && mask_block.value(i).as_bool() == Some(true)
+                    })
+                    .collect()
+            }
+        };
+        let mut probe_idx = Vec::new();
+        let mut build_idx: Vec<Option<usize>> = Vec::new();
+        let mut matched = vec![false; probe.positions()];
+        for (pair, keep) in survivors.iter().enumerate() {
+            if *keep {
+                matched[cand_probe[pair]] = true;
+                probe_idx.push(cand_probe[pair]);
+                build_idx.push(Some(cand_build[pair]));
+            }
+        }
+        if kind == JoinKind::Left {
+            for (i, was_matched) in matched.iter().enumerate() {
+                if !was_matched {
+                    probe_idx.push(i);
+                    build_idx.push(None);
+                }
+            }
+        }
+        let page = stitch_nullable(probe, &probe_idx, &build, &build_idx, right)?;
+        if !page.is_empty() {
+            out.push(page);
+        }
+    }
+    ctx.release_memory(build.memory_size());
+    Ok(out)
+}
+
+fn apply_residual(
+    page: Page,
+    residual: Option<&RowExpression>,
+    ctx: &ExecutionContext,
+) -> Result<Page> {
+    match residual {
+        None => Ok(page),
+        Some(expr) => {
+            if page.is_empty() {
+                return Ok(page);
+            }
+            let mask_block = ctx.evaluator.evaluate(expr, &page)?;
+            let mask: Vec<bool> = (0..page.positions())
+                .map(|i| !mask_block.is_null(i) && mask_block.value(i).as_bool() == Some(true))
+                .collect();
+            Ok(page.filter(&mask))
+        }
+    }
+}
+
+/// Combine probe rows and build rows side by side.
+fn stitch(probe: &Page, probe_idx: &[usize], build: &Page, build_idx: &[usize]) -> Result<Page> {
+    let left = probe.take(probe_idx);
+    let right = build.take(build_idx);
+    let mut blocks = left.into_blocks();
+    blocks.extend(right.into_blocks());
+    if blocks.is_empty() {
+        Ok(Page::zero_column(probe_idx.len()))
+    } else {
+        Page::new(blocks)
+    }
+}
+
+/// Like [`stitch`] but build-side misses become NULL rows (left join).
+fn stitch_nullable(
+    probe: &Page,
+    probe_idx: &[usize],
+    build: &Page,
+    build_idx: &[Option<usize>],
+    right_plan: &LogicalPlan,
+) -> Result<Page> {
+    if build_idx.iter().all(Option::is_some) {
+        let plain: Vec<usize> = build_idx.iter().map(|o| o.unwrap()).collect();
+        return stitch(probe, probe_idx, build, &plain);
+    }
+    let left = probe.take(probe_idx);
+    let right_schema = right_plan.output_schema()?;
+    let mut blocks = left.into_blocks();
+    for (c, field) in right_schema.fields().iter().enumerate() {
+        let column: Vec<Value> = build_idx
+            .iter()
+            .map(|o| match o {
+                Some(j) => build.block(c).value(*j),
+                None => Value::Null,
+            })
+            .collect();
+        blocks.push(Block::from_values(&field.data_type, &column)?);
+    }
+    if blocks.is_empty() {
+        Ok(Page::zero_column(probe_idx.len()))
+    } else {
+        Page::new(blocks)
+    }
+}
+
+// ---------------------------------------------------------------- geo join
+
+fn execute_geo_join(
+    probe: &LogicalPlan,
+    fences: &LogicalPlan,
+    probe_lng: &RowExpression,
+    probe_lat: &RowExpression,
+    fence_shape: &RowExpression,
+    ctx: &ExecutionContext,
+) -> Result<Vec<Page>> {
+    // build_geo_index (§VI.E): consume the fence side, parse WKT shapes,
+    // build the QuadTree on the fly.
+    let fence_pages = execute(fences, ctx)?;
+    let fence_page = match fence_pages.len() {
+        0 => empty_page(&fences.output_schema()?)?,
+        _ => Page::concat(&fence_pages)?,
+    };
+    ctx.reserve_memory(fence_page.memory_size())?;
+    let shapes = ctx.evaluator.evaluate(fence_shape, &fence_page)?;
+    let mut rows_with_shapes = Vec::with_capacity(fence_page.positions());
+    for j in 0..fence_page.positions() {
+        if let Some(wkt) = shapes.str_at(j) {
+            rows_with_shapes.push((j as i64, wkt.to_string()));
+        }
+    }
+    let index = GeofenceIndex::build_from_wkt(rows_with_shapes)?;
+    ctx.metrics.add("exec.geo_index_fences", index.len() as u64);
+
+    let probe_pages = execute(probe, ctx)?;
+    let mut out = Vec::new();
+    for page in &probe_pages {
+        let lng = ctx.evaluator.evaluate(probe_lng, page)?;
+        let lat = ctx.evaluator.evaluate(probe_lat, page)?;
+        let mut probe_idx = Vec::new();
+        let mut fence_idx = Vec::new();
+        for i in 0..page.positions() {
+            let (Some(x), Some(y)) = (lng.value(i).as_f64(), lat.value(i).as_f64()) else {
+                continue;
+            };
+            for fence_row in index.find_containing(&presto_geo::Point::new(x, y)) {
+                probe_idx.push(i);
+                fence_idx.push(fence_row as usize);
+            }
+        }
+        ctx.metrics.add("exec.geo_contains_calls", index.contains_calls());
+        let stitched = stitch(page, &probe_idx, &fence_page, &fence_idx)?;
+        if !stitched.is_empty() {
+            out.push(stitched);
+        }
+    }
+    ctx.release_memory(fence_page.memory_size());
+    Ok(out)
+}
+
+// -------------------------------------------------------------------- sort
+
+fn sorted_indices(
+    input: &LogicalPlan,
+    keys: &[SortKey],
+    ctx: &ExecutionContext,
+) -> Result<(Option<Page>, Vec<usize>)> {
+    let pages = execute(input, ctx)?;
+    if pages.is_empty() {
+        return Ok((None, Vec::new()));
+    }
+    let page = Page::concat(&pages)?;
+    ctx.reserve_memory(page.memory_size())?;
+    let key_blocks = keys
+        .iter()
+        .map(|k| ctx.evaluator.evaluate(&k.expr, &page))
+        .collect::<Result<Vec<_>>>()?;
+    let mut indices: Vec<usize> = (0..page.positions()).collect();
+    indices.sort_by(|&a, &b| {
+        for (block, key) in key_blocks.iter().zip(keys) {
+            let ord = block.value(a).total_cmp(&block.value(b));
+            let ord = if key.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    ctx.release_memory(page.memory_size());
+    Ok((Some(page), indices))
+}
+
+fn empty_page(schema: &presto_common::Schema) -> Result<Page> {
+    let blocks: Vec<Block> = schema
+        .fields()
+        .iter()
+        .map(|f| Block::from_values(&f.data_type, &[]))
+        .collect::<Result<Vec<_>>>()?;
+    if blocks.is_empty() {
+        Ok(Page::zero_column(0))
+    } else {
+        Page::new(blocks)
+    }
+}
+
+// A convenience used by tests and the engine facade.
+/// Gather all output rows of a plan (materializing).
+pub fn execute_to_rows(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Vec<Value>>> {
+    Ok(execute(plan, ctx)?.iter().flat_map(|p| p.rows()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::{DataType, Field, Schema};
+    use presto_connectors::memory::MemoryConnector;
+    use presto_connectors::{CatalogRegistry, ColumnPath, ScanRequest};
+    use presto_expr::FunctionHandle;
+    use std::sync::Arc;
+
+    fn ctx_with_table() -> ExecutionContext {
+        let registry = CatalogRegistry::new();
+        let memory = MemoryConnector::new();
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Bigint),
+            Field::new("city", DataType::Varchar),
+            Field::new("fare", DataType::Double),
+        ])
+        .unwrap();
+        let page = Page::new(vec![
+            Block::bigint(vec![1, 2, 3, 4, 5, 6]),
+            Block::varchar(&["sf", "nyc", "sf", "la", "nyc", "sf"]),
+            Block::double(vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]),
+        ])
+        .unwrap();
+        memory.create_table("default", "trips", schema, vec![page]).unwrap();
+        registry.register("memory", Arc::new(memory));
+        ExecutionContext::new(registry)
+    }
+
+    fn trips_scan() -> LogicalPlan {
+        LogicalPlan::TableScan {
+            catalog: "memory".into(),
+            schema: "default".into(),
+            table: "trips".into(),
+            table_schema: Schema::new(vec![
+                Field::new("id", DataType::Bigint),
+                Field::new("city", DataType::Varchar),
+                Field::new("fare", DataType::Double),
+            ])
+            .unwrap(),
+            request: ScanRequest::project(vec![
+                ColumnPath::whole("id"),
+                ColumnPath::whole("city"),
+                ColumnPath::whole("fare"),
+            ]),
+        }
+    }
+
+    fn eq(l: RowExpression, r: RowExpression) -> RowExpression {
+        RowExpression::Call {
+            handle: FunctionHandle::new(
+                "eq",
+                vec![l.data_type(), r.data_type()],
+                DataType::Boolean,
+            ),
+            args: vec![l, r],
+        }
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let ctx = ctx_with_table();
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(trips_scan()),
+                predicate: eq(
+                    RowExpression::column("city", 1, DataType::Varchar),
+                    RowExpression::varchar("sf"),
+                ),
+            }),
+            expressions: vec![("id".into(), RowExpression::column("id", 0, DataType::Bigint))],
+        };
+        let rows = execute_to_rows(&plan, &ctx).unwrap();
+        assert_eq!(rows, vec![vec![Value::Bigint(1)], vec![Value::Bigint(3)], vec![Value::Bigint(6)]]);
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let ctx = ctx_with_table();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(trips_scan()),
+            group_by: vec![RowExpression::column("city", 1, DataType::Varchar)],
+            aggregates: vec![
+                AggregateExpr {
+                    function: AggregateFunction::CountStar,
+                    argument: None,
+                    name: "cnt".into(),
+                },
+                AggregateExpr {
+                    function: AggregateFunction::Sum,
+                    argument: Some(RowExpression::column("fare", 2, DataType::Double)),
+                    name: "total".into(),
+                },
+            ],
+            step: AggregateStep::Single,
+        };
+        let rows = execute_to_rows(&plan, &ctx).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec!["la".into(), Value::Bigint(1), Value::Double(40.0)],
+                vec!["nyc".into(), Value::Bigint(2), Value::Double(70.0)],
+                vec!["sf".into(), Value::Bigint(3), Value::Double(100.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn global_aggregation_on_empty_input_yields_one_row() {
+        let ctx = ctx_with_table();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(trips_scan()),
+                predicate: eq(
+                    RowExpression::column("city", 1, DataType::Varchar),
+                    RowExpression::varchar("nowhere"),
+                ),
+            }),
+            group_by: vec![],
+            aggregates: vec![AggregateExpr {
+                function: AggregateFunction::CountStar,
+                argument: None,
+                name: "cnt".into(),
+            }],
+            step: AggregateStep::Single,
+        };
+        let rows = execute_to_rows(&plan, &ctx).unwrap();
+        assert_eq!(rows, vec![vec![Value::Bigint(0)]]);
+    }
+
+    #[test]
+    fn final_over_partial_merges_counts() {
+        let ctx = ctx_with_table();
+        // partials: (city, partial_count) from two "splits"
+        let partials = LogicalPlan::Values {
+            schema: Schema::new(vec![
+                Field::new("city", DataType::Varchar),
+                Field::new("cnt", DataType::Bigint),
+            ])
+            .unwrap(),
+            rows: vec![
+                vec!["sf".into(), Value::Bigint(2)],
+                vec!["sf".into(), Value::Bigint(3)],
+                vec!["la".into(), Value::Bigint(1)],
+            ],
+        };
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(partials),
+            group_by: vec![RowExpression::column("city", 0, DataType::Varchar)],
+            aggregates: vec![AggregateExpr {
+                function: AggregateFunction::Count,
+                argument: Some(RowExpression::column("cnt", 1, DataType::Bigint)),
+                name: "cnt".into(),
+            }],
+            step: AggregateStep::FinalOverPartial,
+        };
+        let rows = execute_to_rows(&plan, &ctx).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec!["la".into(), Value::Bigint(1)],
+                vec!["sf".into(), Value::Bigint(5)],
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_join_inner_and_left() {
+        let ctx = ctx_with_table();
+        let cities = LogicalPlan::Values {
+            schema: Schema::new(vec![
+                Field::new("name", DataType::Varchar),
+                Field::new("state", DataType::Varchar),
+            ])
+            .unwrap(),
+            rows: vec![
+                vec!["sf".into(), "CA".into()],
+                vec!["nyc".into(), "NY".into()],
+            ],
+        };
+        let join = |kind| LogicalPlan::Join {
+            left: Box::new(trips_scan()),
+            right: Box::new(cities.clone()),
+            kind,
+            on: vec![(
+                RowExpression::column("city", 1, DataType::Varchar),
+                RowExpression::column("name", 0, DataType::Varchar),
+            )],
+            residual: None,
+        };
+        let inner = execute_to_rows(&join(JoinKind::Inner), &ctx).unwrap();
+        assert_eq!(inner.len(), 5); // la has no match
+        let left = execute_to_rows(&join(JoinKind::Left), &ctx).unwrap();
+        assert_eq!(left.len(), 6);
+        let la_row = left.iter().find(|r| r[1] == "la".into()).unwrap();
+        assert_eq!(la_row[3], Value::Null);
+        assert_eq!(la_row[4], Value::Null);
+    }
+
+    #[test]
+    fn cross_join_with_residual() {
+        let ctx = ctx_with_table();
+        let nums = LogicalPlan::Values {
+            schema: Schema::new(vec![Field::new("n", DataType::Bigint)]).unwrap(),
+            rows: vec![vec![Value::Bigint(1)], vec![Value::Bigint(2)]],
+        };
+        let plan = LogicalPlan::Join {
+            left: Box::new(nums.clone()),
+            right: Box::new(nums),
+            kind: JoinKind::Inner,
+            on: vec![],
+            residual: Some(RowExpression::Call {
+                handle: FunctionHandle::new(
+                    "lt",
+                    vec![DataType::Bigint, DataType::Bigint],
+                    DataType::Boolean,
+                ),
+                args: vec![
+                    RowExpression::column("n", 0, DataType::Bigint),
+                    RowExpression::column("n2", 1, DataType::Bigint),
+                ],
+            }),
+        };
+        let rows = execute_to_rows(&plan, &ctx).unwrap();
+        assert_eq!(rows, vec![vec![Value::Bigint(1), Value::Bigint(2)]]);
+    }
+
+    #[test]
+    fn geo_join_matches_points_to_fences() {
+        let ctx = ctx_with_table();
+        let trips = LogicalPlan::Values {
+            schema: Schema::new(vec![
+                Field::new("lng", DataType::Double),
+                Field::new("lat", DataType::Double),
+            ])
+            .unwrap(),
+            rows: vec![
+                vec![Value::Double(0.5), Value::Double(0.5)],
+                vec![Value::Double(5.5), Value::Double(5.5)],
+                vec![Value::Double(99.0), Value::Double(99.0)],
+            ],
+        };
+        let cities = LogicalPlan::Values {
+            schema: Schema::new(vec![
+                Field::new("city_id", DataType::Bigint),
+                Field::new("shape", DataType::Varchar),
+            ])
+            .unwrap(),
+            rows: vec![
+                vec![Value::Bigint(1), "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))".into()],
+                vec![Value::Bigint(2), "POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))".into()],
+            ],
+        };
+        let plan = LogicalPlan::GeoJoin {
+            probe: Box::new(trips),
+            fences: Box::new(cities),
+            probe_lng: RowExpression::column("lng", 0, DataType::Double),
+            probe_lat: RowExpression::column("lat", 1, DataType::Double),
+            fence_shape: RowExpression::column("shape", 1, DataType::Varchar),
+        };
+        let rows = execute_to_rows(&plan, &ctx).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][2], Value::Bigint(1)); // first point in city 1
+        assert_eq!(rows[1][2], Value::Bigint(2));
+    }
+
+    #[test]
+    fn sort_topn_limit() {
+        let ctx = ctx_with_table();
+        let keys = vec![SortKey {
+            expr: RowExpression::column("fare", 2, DataType::Double),
+            descending: true,
+        }];
+        let sorted = execute_to_rows(
+            &LogicalPlan::Sort { input: Box::new(trips_scan()), keys: keys.clone() },
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(sorted[0][2], Value::Double(60.0));
+        assert_eq!(sorted[5][2], Value::Double(10.0));
+
+        let top2 = execute_to_rows(
+            &LogicalPlan::TopN { input: Box::new(trips_scan()), keys, count: 2 },
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[1][2], Value::Double(50.0));
+
+        let limited = execute_to_rows(
+            &LogicalPlan::Limit { input: Box::new(trips_scan()), count: 4 },
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(limited.len(), 4);
+    }
+
+    #[test]
+    fn big_join_raises_insufficient_resources() {
+        let ctx = ctx_with_table().with_memory_budget(64);
+        let plan = LogicalPlan::Join {
+            left: Box::new(trips_scan()),
+            right: Box::new(trips_scan()),
+            kind: JoinKind::Inner,
+            on: vec![(
+                RowExpression::column("id", 0, DataType::Bigint),
+                RowExpression::column("id", 0, DataType::Bigint),
+            )],
+            residual: None,
+        };
+        let err = execute(&plan, &ctx).unwrap_err();
+        assert_eq!(err.code(), "INSUFFICIENT_RESOURCES");
+    }
+
+    #[test]
+    fn remote_source_binds_pages() {
+        let mut ctx = ctx_with_table();
+        let schema = Schema::new(vec![Field::new("x", DataType::Bigint)]).unwrap();
+        let page = Page::new(vec![Block::bigint(vec![7])]).unwrap();
+        ctx.bind_remote_source(3, vec![page]);
+        let plan = LogicalPlan::RemoteSource { fragment: 3, schema };
+        let rows = execute_to_rows(&plan, &ctx).unwrap();
+        assert_eq!(rows, vec![vec![Value::Bigint(7)]]);
+        let unbound = LogicalPlan::RemoteSource {
+            fragment: 9,
+            schema: Schema::empty(),
+        };
+        assert!(execute(&unbound, &ctx).is_err());
+    }
+}

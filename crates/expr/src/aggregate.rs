@@ -1,0 +1,336 @@
+//! Aggregate functions shared by the execution engine's hash aggregation and
+//! connector **aggregation pushdown** (§IV.B, Fig. 2): when a connector
+//! advertises the capability, the partial aggregation runs inside the
+//! connector (Druid/Pinot) and only aggregated rows stream into Presto.
+
+use presto_common::{DataType, PrestoError, Result, Value};
+
+/// The aggregate function vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateFunction {
+    /// `count(x)` — non-null count.
+    Count,
+    /// `count(*)` — row count.
+    CountStar,
+    /// `sum(x)`.
+    Sum,
+    /// `avg(x)`.
+    Avg,
+    /// `min(x)`.
+    Min,
+    /// `max(x)`.
+    Max,
+}
+
+impl AggregateFunction {
+    /// Parse from SQL name (`count`, `sum`, ...). `count(*)` is recognized by
+    /// the analyzer, not here.
+    pub fn from_name(name: &str) -> Option<AggregateFunction> {
+        match name {
+            "count" => Some(AggregateFunction::Count),
+            "sum" => Some(AggregateFunction::Sum),
+            "avg" => Some(AggregateFunction::Avg),
+            "min" => Some(AggregateFunction::Min),
+            "max" => Some(AggregateFunction::Max),
+            _ => None,
+        }
+    }
+
+    /// SQL name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregateFunction::Count => "count",
+            AggregateFunction::CountStar => "count",
+            AggregateFunction::Sum => "sum",
+            AggregateFunction::Avg => "avg",
+            AggregateFunction::Min => "min",
+            AggregateFunction::Max => "max",
+        }
+    }
+
+    /// Output type given the input column type (`None` for `count(*)`).
+    pub fn return_type(&self, input: Option<&DataType>) -> Result<DataType> {
+        match self {
+            AggregateFunction::Count | AggregateFunction::CountStar => Ok(DataType::Bigint),
+            AggregateFunction::Avg => Ok(DataType::Double),
+            AggregateFunction::Sum => match input {
+                Some(DataType::Double) => Ok(DataType::Double),
+                Some(t) if t.is_numeric() => Ok(DataType::Bigint),
+                Some(t) => Err(PrestoError::Analysis(format!("cannot sum {t}"))),
+                None => Err(PrestoError::Analysis("sum requires an argument".into())),
+            },
+            AggregateFunction::Min | AggregateFunction::Max => match input {
+                Some(t) if t.is_orderable() => Ok(t.clone()),
+                Some(t) => Err(PrestoError::Analysis(format!("cannot order {t}"))),
+                None => Err(PrestoError::Analysis("min/max require an argument".into())),
+            },
+        }
+    }
+
+    /// Fresh accumulator for this function.
+    pub fn new_accumulator(&self) -> Accumulator {
+        match self {
+            AggregateFunction::Count | AggregateFunction::CountStar => {
+                Accumulator::Count { count: 0 }
+            }
+            AggregateFunction::Sum => Accumulator::Sum { int: 0, float: 0.0, saw_float: false, any: false },
+            AggregateFunction::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
+            AggregateFunction::Min => Accumulator::MinMax { best: None, is_min: true },
+            AggregateFunction::Max => Accumulator::MinMax { best: None, is_min: false },
+        }
+    }
+}
+
+/// Incremental aggregation state.
+///
+/// Accumulators are *mergeable*, which is what lets aggregation split into a
+/// partial step (inside a connector or a scan-side stage) and a final step
+/// (Fig. 2's "final aggregation max(columnB)" above the connector).
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    /// count / count(*)
+    Count {
+        /// Rows (or non-null values) seen.
+        count: i64,
+    },
+    /// sum with integer/double personalities
+    Sum {
+        /// Integer accumulator.
+        int: i64,
+        /// Float accumulator.
+        float: f64,
+        /// True once any double was added (result becomes DOUBLE).
+        saw_float: bool,
+        /// True once any non-null value was added (else result is NULL).
+        any: bool,
+    },
+    /// avg = sum/count in double space
+    Avg {
+        /// Running sum.
+        sum: f64,
+        /// Non-null count.
+        count: i64,
+    },
+    /// min or max
+    MinMax {
+        /// Best value so far.
+        best: Option<Value>,
+        /// True for min, false for max.
+        is_min: bool,
+    },
+}
+
+impl Accumulator {
+    /// Add one value. For `count(*)` pass any non-null placeholder.
+    pub fn add(&mut self, v: &Value) {
+        match self {
+            Accumulator::Count { count } => {
+                if !v.is_null() {
+                    *count += 1;
+                }
+            }
+            Accumulator::Sum { int, float, saw_float, any } => match v {
+                Value::Null => {}
+                Value::Double(x) => {
+                    *float += x;
+                    *saw_float = true;
+                    *any = true;
+                }
+                other => {
+                    if let Some(x) = other.as_i64() {
+                        *int = int.wrapping_add(x);
+                        *any = true;
+                    }
+                }
+            },
+            Accumulator::Avg { sum, count } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+            Accumulator::MinMax { best, is_min } => {
+                if v.is_null() {
+                    return;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => match v.sql_cmp(b) {
+                        Some(std::cmp::Ordering::Less) => *is_min,
+                        Some(std::cmp::Ordering::Greater) => !*is_min,
+                        _ => false,
+                    },
+                };
+                if better {
+                    *best = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Add `n` rows at once for `count(*)`.
+    pub fn add_count(&mut self, n: i64) {
+        if let Accumulator::Count { count } = self {
+            *count += n;
+        }
+    }
+
+    /// Merge another accumulator of the same kind (partial → final step).
+    pub fn merge(&mut self, other: &Accumulator) -> Result<()> {
+        match (self, other) {
+            (Accumulator::Count { count }, Accumulator::Count { count: o }) => {
+                *count += o;
+                Ok(())
+            }
+            (
+                Accumulator::Sum { int, float, saw_float, any },
+                Accumulator::Sum { int: oi, float: of, saw_float: osf, any: oany },
+            ) => {
+                *int = int.wrapping_add(*oi);
+                *float += of;
+                *saw_float |= osf;
+                *any |= oany;
+                Ok(())
+            }
+            (Accumulator::Avg { sum, count }, Accumulator::Avg { sum: os, count: oc }) => {
+                *sum += os;
+                *count += oc;
+                Ok(())
+            }
+            (
+                Accumulator::MinMax { best, is_min },
+                Accumulator::MinMax { best: ob, is_min: oim },
+            ) if *is_min == *oim => {
+                if let Some(v) = ob {
+                    let mut tmp = Accumulator::MinMax { best: best.take(), is_min: *is_min };
+                    tmp.add(v);
+                    if let Accumulator::MinMax { best: b, .. } = tmp {
+                        *best = b;
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(PrestoError::Internal("merge of mismatched accumulators".into())),
+        }
+    }
+
+    /// Finish the aggregation.
+    pub fn finish(&self) -> Value {
+        match self {
+            Accumulator::Count { count } => Value::Bigint(*count),
+            Accumulator::Sum { int, float, saw_float, any } => {
+                if !any {
+                    Value::Null
+                } else if *saw_float {
+                    Value::Double(*float + *int as f64)
+                } else {
+                    Value::Bigint(*int)
+                }
+            }
+            Accumulator::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(sum / *count as f64)
+                }
+            }
+            Accumulator::MinMax { best, .. } => best.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_skips_nulls_count_star_does_not() {
+        let mut c = AggregateFunction::Count.new_accumulator();
+        c.add(&Value::Bigint(1));
+        c.add(&Value::Null);
+        assert_eq!(c.finish(), Value::Bigint(1));
+
+        let mut cs = AggregateFunction::CountStar.new_accumulator();
+        cs.add_count(5);
+        assert_eq!(cs.finish(), Value::Bigint(5));
+    }
+
+    #[test]
+    fn sum_is_typed_and_null_on_empty() {
+        let mut s = AggregateFunction::Sum.new_accumulator();
+        assert_eq!(s.finish(), Value::Null);
+        s.add(&Value::Bigint(2));
+        s.add(&Value::Bigint(3));
+        assert_eq!(s.finish(), Value::Bigint(5));
+        s.add(&Value::Double(0.5));
+        assert_eq!(s.finish(), Value::Double(5.5));
+    }
+
+    #[test]
+    fn min_max_and_avg() {
+        let mut mn = AggregateFunction::Min.new_accumulator();
+        let mut mx = AggregateFunction::Max.new_accumulator();
+        for v in [Value::Bigint(3), Value::Null, Value::Bigint(-1), Value::Bigint(10)] {
+            mn.add(&v);
+            mx.add(&v);
+        }
+        assert_eq!(mn.finish(), Value::Bigint(-1));
+        assert_eq!(mx.finish(), Value::Bigint(10));
+
+        let mut avg = AggregateFunction::Avg.new_accumulator();
+        avg.add(&Value::Bigint(1));
+        avg.add(&Value::Bigint(2));
+        assert_eq!(avg.finish(), Value::Double(1.5));
+    }
+
+    #[test]
+    fn partial_final_merge_equals_single_pass() {
+        // the Fig. 2 split: connector computes partials, engine merges
+        let data: Vec<i64> = (0..100).collect();
+        let mut single = AggregateFunction::Sum.new_accumulator();
+        for &v in &data {
+            single.add(&Value::Bigint(v));
+        }
+        let mut part1 = AggregateFunction::Sum.new_accumulator();
+        let mut part2 = AggregateFunction::Sum.new_accumulator();
+        for &v in &data[..50] {
+            part1.add(&Value::Bigint(v));
+        }
+        for &v in &data[50..] {
+            part2.add(&Value::Bigint(v));
+        }
+        part1.merge(&part2).unwrap();
+        assert_eq!(part1.finish(), single.finish());
+
+        let mut mn1 = AggregateFunction::Min.new_accumulator();
+        let mut mn2 = AggregateFunction::Min.new_accumulator();
+        mn1.add(&Value::Bigint(5));
+        mn2.add(&Value::Bigint(2));
+        mn1.merge(&mn2).unwrap();
+        assert_eq!(mn1.finish(), Value::Bigint(2));
+
+        let bad = AggregateFunction::Count.new_accumulator();
+        let mut s = AggregateFunction::Sum.new_accumulator();
+        assert!(s.merge(&bad).is_err());
+    }
+
+    #[test]
+    fn return_types() {
+        assert_eq!(
+            AggregateFunction::Sum.return_type(Some(&DataType::Integer)).unwrap(),
+            DataType::Bigint
+        );
+        assert_eq!(
+            AggregateFunction::Sum.return_type(Some(&DataType::Double)).unwrap(),
+            DataType::Double
+        );
+        assert_eq!(
+            AggregateFunction::Min.return_type(Some(&DataType::Varchar)).unwrap(),
+            DataType::Varchar
+        );
+        assert!(AggregateFunction::Sum.return_type(Some(&DataType::Varchar)).is_err());
+        assert_eq!(AggregateFunction::CountStar.return_type(None).unwrap(), DataType::Bigint);
+        assert_eq!(AggregateFunction::from_name("avg"), Some(AggregateFunction::Avg));
+        assert_eq!(AggregateFunction::from_name("median"), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! Synthetic geofence / trip workload generator.
+//!
+//! The paper's geospatial numbers come from Uber production tables: a cities
+//! table whose geofences have "hundreds or thousands of points" and a trips
+//! table with "millions of Uber trips ... each day across hundreds of
+//! cities" (§VI.C). This generator produces the same shape at configurable
+//! scale: star-convex city polygons with a chosen vertex count scattered on
+//! a plane, plus trip points biased to land inside cities.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geometry::{Geometry, Point, Polygon};
+
+/// A generated workload: cities (geofences) and trip destination points.
+pub struct GeoWorkload {
+    /// `(city_id, geofence)` rows of the cities table.
+    pub cities: Vec<(i64, Geometry)>,
+    /// Trip destination points.
+    pub trips: Vec<Point>,
+}
+
+/// A star-convex polygon around `(cx, cy)` with `vertices` vertices and mean
+/// radius `radius` — a plausible city boundary.
+pub fn city_polygon(cx: f64, cy: f64, radius: f64, vertices: usize) -> Polygon {
+    // Deterministic per-city wobble so the polygon is irregular but stable.
+    let mut ring = Vec::with_capacity(vertices);
+    for i in 0..vertices {
+        let angle = (i as f64) / (vertices as f64) * std::f64::consts::TAU;
+        // radius wobble in [0.7, 1.3] from a cheap hash of (cx, cy, i)
+        let h = ((cx * 73.0 + cy * 179.0 + i as f64 * 283.0).sin() * 0.3).abs();
+        let r = radius * (0.7 + 2.0 * h);
+        ring.push(Point::new(cx + r * angle.cos(), cy + r * angle.sin()));
+    }
+    Polygon::new(ring).expect("generated ring has >= 3 points")
+}
+
+impl GeoWorkload {
+    /// Generate `num_cities` geofences of ~`vertices_per_city` vertices on a
+    /// grid, plus `num_trips` points (80% inside some city, 20% anywhere).
+    pub fn generate(
+        num_cities: usize,
+        num_trips: usize,
+        vertices_per_city: usize,
+        seed: u64,
+    ) -> GeoWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grid = (num_cities as f64).sqrt().ceil() as usize;
+        let spacing = 10.0;
+        let mut cities = Vec::with_capacity(num_cities);
+        for id in 0..num_cities {
+            let gx = (id % grid) as f64 * spacing + spacing / 2.0;
+            let gy = (id / grid) as f64 * spacing + spacing / 2.0;
+            let radius = rng.gen_range(1.5..4.0);
+            let poly = city_polygon(gx, gy, radius, vertices_per_city.max(3));
+            cities.push((id as i64, Geometry::Polygon(poly)));
+        }
+        let extent = grid as f64 * spacing;
+        let mut trips = Vec::with_capacity(num_trips);
+        for _ in 0..num_trips {
+            if rng.gen_bool(0.8) && !cities.is_empty() {
+                // inside (the bounding box of) a random city — dense urban trips
+                let (_, g) = &cities[rng.gen_range(0..cities.len())];
+                let b = g.bbox().expect("city has bbox");
+                trips.push(Point::new(
+                    rng.gen_range(b.min_lng..b.max_lng),
+                    rng.gen_range(b.min_lat..b.max_lat),
+                ));
+            } else {
+                trips.push(Point::new(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)));
+            }
+        }
+        GeoWorkload { cities, trips }
+    }
+
+    /// Total vertex count across all geofences (the brute-force cost driver).
+    pub fn total_vertices(&self) -> usize {
+        self.cities.iter().map(|(_, g)| g.vertex_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = GeoWorkload::generate(10, 50, 20, 42);
+        let b = GeoWorkload::generate(10, 50, 20, 42);
+        assert_eq!(a.cities.len(), b.cities.len());
+        assert_eq!(a.trips.len(), 50);
+        assert_eq!(a.cities[3].1, b.cities[3].1);
+        assert_eq!(a.trips[17], b.trips[17]);
+        let c = GeoWorkload::generate(10, 50, 20, 43);
+        assert_ne!(a.trips[17], c.trips[17]);
+    }
+
+    #[test]
+    fn cities_have_requested_vertex_counts() {
+        let w = GeoWorkload::generate(5, 10, 250, 1);
+        for (_, g) in &w.cities {
+            assert_eq!(g.vertex_count(), 250);
+        }
+        assert_eq!(w.total_vertices(), 5 * 250);
+    }
+
+    #[test]
+    fn most_trips_land_inside_some_city() {
+        let w = GeoWorkload::generate(25, 400, 30, 9);
+        let inside = w
+            .trips
+            .iter()
+            .filter(|p| w.cities.iter().any(|(_, g)| g.contains(p)))
+            .count();
+        // 80% target inside city bounding boxes; well over a third must hit
+        assert!(inside > w.trips.len() / 3, "only {inside} inside");
+    }
+}

@@ -1,0 +1,298 @@
+//! Geometry model: points, polygons, multi-polygons (§VI.A).
+//!
+//! "A point represents a single location in a two-dimensional space.
+//! Internally, we store each point as a pair of (longitude, latitude)." A
+//! polygon is "a collection of points, such that the start point and the end
+//! point match"; a geofence is a polygon or multi-polygon.
+
+/// A (longitude, latitude) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Longitude (x).
+    pub lng: f64,
+    /// Latitude (y).
+    pub lat: f64,
+}
+
+impl Point {
+    /// Construct `st_point(lng, lat)`.
+    pub fn new(lng: f64, lat: f64) -> Point {
+        Point { lng, lat }
+    }
+}
+
+/// An axis-aligned bounding box, the unit the QuadTree partitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Minimum longitude.
+    pub min_lng: f64,
+    /// Minimum latitude.
+    pub min_lat: f64,
+    /// Maximum longitude.
+    pub max_lng: f64,
+    /// Maximum latitude.
+    pub max_lat: f64,
+}
+
+impl BoundingBox {
+    /// Box from corners.
+    pub fn new(min_lng: f64, min_lat: f64, max_lng: f64, max_lat: f64) -> BoundingBox {
+        BoundingBox { min_lng, min_lat, max_lng, max_lat }
+    }
+
+    /// Smallest box covering a ring of points. `None` for an empty ring.
+    pub fn of_points(points: &[Point]) -> Option<BoundingBox> {
+        let first = points.first()?;
+        let mut b = BoundingBox::new(first.lng, first.lat, first.lng, first.lat);
+        for p in &points[1..] {
+            b.min_lng = b.min_lng.min(p.lng);
+            b.min_lat = b.min_lat.min(p.lat);
+            b.max_lng = b.max_lng.max(p.lng);
+            b.max_lat = b.max_lat.max(p.lat);
+        }
+        Some(b)
+    }
+
+    /// Point containment (inclusive edges).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.lng >= self.min_lng && p.lng <= self.max_lng && p.lat >= self.min_lat && p.lat <= self.max_lat
+    }
+
+    /// Box intersection (touching counts).
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.min_lng <= other.max_lng
+            && self.max_lng >= other.min_lng
+            && self.min_lat <= other.max_lat
+            && self.max_lat >= other.min_lat
+    }
+
+    /// Union of two boxes.
+    pub fn union(&self, other: &BoundingBox) -> BoundingBox {
+        BoundingBox {
+            min_lng: self.min_lng.min(other.min_lng),
+            min_lat: self.min_lat.min(other.min_lat),
+            max_lng: self.max_lng.max(other.max_lng),
+            max_lat: self.max_lat.max(other.max_lat),
+        }
+    }
+
+    /// The four quadrants of this box (NW, NE, SW, SE).
+    pub fn quadrants(&self) -> [BoundingBox; 4] {
+        let mid_lng = (self.min_lng + self.max_lng) / 2.0;
+        let mid_lat = (self.min_lat + self.max_lat) / 2.0;
+        [
+            BoundingBox::new(self.min_lng, mid_lat, mid_lng, self.max_lat),
+            BoundingBox::new(mid_lng, mid_lat, self.max_lng, self.max_lat),
+            BoundingBox::new(self.min_lng, self.min_lat, mid_lng, mid_lat),
+            BoundingBox::new(mid_lng, self.min_lat, self.max_lng, mid_lat),
+        ]
+    }
+}
+
+/// A simple polygon (no holes), stored as a closed ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    ring: Vec<Point>,
+    bbox: BoundingBox,
+}
+
+impl Polygon {
+    /// Build from a ring. The ring is closed automatically if the last point
+    /// differs from the first. Needs at least 3 distinct points.
+    pub fn new(mut ring: Vec<Point>) -> Option<Polygon> {
+        if ring.len() < 3 {
+            return None;
+        }
+        if ring.first() != ring.last() {
+            let first = ring[0];
+            ring.push(first);
+        }
+        let bbox = BoundingBox::of_points(&ring)?;
+        Some(Polygon { ring, bbox })
+    }
+
+    /// The closed ring.
+    pub fn ring(&self) -> &[Point] {
+        &self.ring
+    }
+
+    /// Vertex count (excluding the closing duplicate).
+    pub fn vertex_count(&self) -> usize {
+        self.ring.len() - 1
+    }
+
+    /// Bounding box.
+    pub fn bbox(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// `st_contains(polygon, point)` with a bounding-box short-circuit in
+    /// front of the ray cast.
+    pub fn contains(&self, p: &Point) -> bool {
+        if !self.bbox.contains_point(p) {
+            return false;
+        }
+        self.contains_exhaustive(p)
+    }
+
+    /// Full ray-casting containment with no bounding-box short-circuit.
+    /// Cost is linear in the vertex count — "the time cost of executing
+    /// st_contains for one pair of point and geofence is proportional to the
+    /// number of points in the geofence" (§VI.C). This is the per-pair cost
+    /// profile of the brute-force Hive baseline; the QuadTree pre-filter
+    /// exists to avoid paying it for every pair.
+    pub fn contains_exhaustive(&self, p: &Point) -> bool {
+        let mut inside = false;
+        let n = self.ring.len() - 1;
+        for i in 0..n {
+            let a = self.ring[i];
+            let b = self.ring[i + 1];
+            // edge crosses the horizontal ray at p.lat?
+            if (a.lat > p.lat) != (b.lat > p.lat) {
+                let t = (p.lat - a.lat) / (b.lat - a.lat);
+                let x = a.lng + t * (b.lng - a.lng);
+                if x > p.lng {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+}
+
+/// A geofence: point, polygon or multi-polygon (§VI.B: "a geofence is either
+/// a polygon or a multi-polygon").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Geometry {
+    /// A single point.
+    Point(Point),
+    /// A single polygon.
+    Polygon(Polygon),
+    /// A disjoint union of polygons.
+    MultiPolygon(Vec<Polygon>),
+}
+
+impl Geometry {
+    /// Bounding box (`None` for empty multi-polygons).
+    pub fn bbox(&self) -> Option<BoundingBox> {
+        match self {
+            Geometry::Point(p) => Some(BoundingBox::new(p.lng, p.lat, p.lng, p.lat)),
+            Geometry::Polygon(poly) => Some(*poly.bbox()),
+            Geometry::MultiPolygon(polys) => {
+                let mut it = polys.iter().map(|p| *p.bbox());
+                let first = it.next()?;
+                Some(it.fold(first, |acc, b| acc.union(&b)))
+            }
+        }
+    }
+
+    /// `st_contains(self, point)`.
+    pub fn contains(&self, p: &Point) -> bool {
+        match self {
+            Geometry::Point(q) => q == p,
+            Geometry::Polygon(poly) => poly.contains(p),
+            Geometry::MultiPolygon(polys) => polys.iter().any(|poly| poly.contains(p)),
+        }
+    }
+
+    /// `st_contains` with no bounding-box short-circuit (the §VI.C
+    /// vertex-proportional cost profile).
+    pub fn contains_exhaustive(&self, p: &Point) -> bool {
+        match self {
+            Geometry::Point(q) => q == p,
+            Geometry::Polygon(poly) => poly.contains_exhaustive(p),
+            Geometry::MultiPolygon(polys) => {
+                polys.iter().any(|poly| poly.contains_exhaustive(p))
+            }
+        }
+    }
+
+    /// Total vertex count — the `st_contains` cost driver.
+    pub fn vertex_count(&self) -> usize {
+        match self {
+            Geometry::Point(_) => 1,
+            Geometry::Polygon(p) => p.vertex_count(),
+            Geometry::MultiPolygon(ps) => ps.iter().map(Polygon::vertex_count).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ray_casting_point_in_polygon() {
+        let sq = unit_square();
+        assert!(sq.contains(&Point::new(0.5, 0.5)));
+        assert!(!sq.contains(&Point::new(1.5, 0.5)));
+        assert!(!sq.contains(&Point::new(-0.1, 0.5)));
+        assert!(!sq.contains(&Point::new(0.5, 2.0)));
+    }
+
+    #[test]
+    fn concave_polygon() {
+        // an L-shape: the notch at (1.5, 1.5) is outside
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(l.contains(&Point::new(0.5, 1.5)));
+        assert!(l.contains(&Point::new(1.5, 0.5)));
+        assert!(!l.contains(&Point::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn polygon_closes_ring_and_validates() {
+        let p = unit_square();
+        assert_eq!(p.ring().first(), p.ring().last());
+        assert_eq!(p.vertex_count(), 4);
+        assert!(Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn bbox_operations() {
+        let a = BoundingBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BoundingBox::new(1.0, 1.0, 3.0, 3.0);
+        let c = BoundingBox::new(5.0, 5.0, 6.0, 6.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let u = a.union(&c);
+        assert_eq!(u, BoundingBox::new(0.0, 0.0, 6.0, 6.0));
+        let quads = a.quadrants();
+        assert!(quads[0].contains_point(&Point::new(0.5, 1.5)));
+        assert!(quads[3].contains_point(&Point::new(1.5, 0.5)));
+    }
+
+    #[test]
+    fn multipolygon_contains_and_bbox() {
+        let far = Polygon::new(vec![
+            Point::new(10.0, 10.0),
+            Point::new(11.0, 10.0),
+            Point::new(11.0, 11.0),
+            Point::new(10.0, 11.0),
+        ])
+        .unwrap();
+        let geo = Geometry::MultiPolygon(vec![unit_square(), far]);
+        assert!(geo.contains(&Point::new(0.5, 0.5)));
+        assert!(geo.contains(&Point::new(10.5, 10.5)));
+        assert!(!geo.contains(&Point::new(5.0, 5.0)));
+        assert_eq!(geo.bbox().unwrap(), BoundingBox::new(0.0, 0.0, 11.0, 11.0));
+        assert_eq!(geo.vertex_count(), 8);
+    }
+}

@@ -1,0 +1,189 @@
+//! The geofence index built by the `build_geo_index` aggregation (§VI.E).
+//!
+//! "One of them is a Presto aggregation function, build_geo_index, which
+//! serializes/deserializes geospatial polygons into a QuadTree. During query
+//! execution, we build a QuadTree on the fly. QuadTree is used to filter out
+//! geofences that do not contain target point ... Finally, we run
+//! st_contains for remaining geofences."
+
+use presto_common::{PrestoError, Result};
+
+use crate::geometry::{BoundingBox, Geometry, Point};
+use crate::quadtree::QuadTree;
+use crate::wkt::parse_wkt;
+
+/// An immutable index over geofences, built on the fly per query.
+pub struct GeofenceIndex {
+    fences: Vec<(i64, Geometry)>,
+    tree: QuadTree,
+    /// `st_contains` evaluations performed through this index (filter
+    /// effectiveness metric for the §VI experiment).
+    contains_calls: std::cell::Cell<u64>,
+}
+
+// The Cell is only a counter; the index itself is read-only after build.
+unsafe impl Sync for GeofenceIndex {}
+
+impl GeofenceIndex {
+    /// Build from `(city_id, geometry)` pairs — the aggregation's finish
+    /// step.
+    pub fn build(fences: Vec<(i64, Geometry)>) -> Result<GeofenceIndex> {
+        let mut bounds: Option<BoundingBox> = None;
+        for (_, g) in &fences {
+            if let Some(b) = g.bbox() {
+                bounds = Some(match bounds {
+                    None => b,
+                    Some(acc) => acc.union(&b),
+                });
+            }
+        }
+        let bounds = bounds.unwrap_or(BoundingBox::new(0.0, 0.0, 1.0, 1.0));
+        let mut tree = QuadTree::new(bounds);
+        for (i, (_, g)) in fences.iter().enumerate() {
+            if let Some(b) = g.bbox() {
+                tree.insert(i as u32, b);
+            }
+        }
+        Ok(GeofenceIndex { fences, tree, contains_calls: std::cell::Cell::new(0) })
+    }
+
+    /// Build from `(city_id, wkt)` pairs — what the aggregation sees when
+    /// geofences are stored as WKT strings in the cities table.
+    pub fn build_from_wkt(rows: Vec<(i64, String)>) -> Result<GeofenceIndex> {
+        let fences = rows
+            .into_iter()
+            .map(|(id, wkt)| {
+                let g = parse_wkt(&wkt)
+                    .map_err(|e| PrestoError::Execution(format!("bad geofence WKT: {e}")))?;
+                Ok((id, g))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        GeofenceIndex::build(fences)
+    }
+
+    /// Number of indexed geofences.
+    pub fn len(&self) -> usize {
+        self.fences.len()
+    }
+
+    /// True when no geofences are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.fences.is_empty()
+    }
+
+    /// Ids of geofences containing `p`: QuadTree candidate filter, then
+    /// exact `st_contains` on the survivors.
+    pub fn find_containing(&self, p: &Point) -> Vec<i64> {
+        let candidates = self.tree.query_point(p);
+        self.contains_calls.set(self.contains_calls.get() + candidates.len() as u64);
+        candidates
+            .into_iter()
+            .filter(|&i| self.fences[i as usize].1.contains(p))
+            .map(|i| self.fences[i as usize].0)
+            .collect()
+    }
+
+    /// Brute-force baseline: full `st_contains` against *every* geofence —
+    /// the Hive MapReduce execution model of §VI.C, whose per-pair cost is
+    /// proportional to the geofence's vertex count (no index, no
+    /// bounding-box pre-filter).
+    pub fn find_containing_brute_force(&self, p: &Point) -> Vec<i64> {
+        self.contains_calls.set(self.contains_calls.get() + self.fences.len() as u64);
+        self.fences
+            .iter()
+            .filter(|(_, g)| g.contains_exhaustive(p))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Cumulative `st_contains` evaluations (both paths).
+    pub fn contains_calls(&self) -> u64 {
+        self.contains_calls.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{city_polygon, GeoWorkload};
+
+    fn squares() -> GeofenceIndex {
+        // 10×10 grid of unit-square "cities", id = x * 100 + y
+        let mut fences = Vec::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                let poly = crate::geometry::Polygon::new(vec![
+                    Point::new(x as f64, y as f64),
+                    Point::new(x as f64 + 1.0, y as f64),
+                    Point::new(x as f64 + 1.0, y as f64 + 1.0),
+                    Point::new(x as f64, y as f64 + 1.0),
+                ])
+                .unwrap();
+                fences.push(((x * 100 + y) as i64, Geometry::Polygon(poly)));
+            }
+        }
+        GeofenceIndex::build(fences).unwrap()
+    }
+
+    #[test]
+    fn quadtree_path_matches_brute_force() {
+        let index = squares();
+        for (x, y) in [(0.5, 0.5), (3.2, 7.8), (9.9, 9.9), (15.0, 15.0)] {
+            let p = Point::new(x, y);
+            let mut fast = index.find_containing(&p);
+            let mut brute = index.find_containing_brute_force(&p);
+            fast.sort_unstable();
+            brute.sort_unstable();
+            assert_eq!(fast, brute, "mismatch at ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn quadtree_does_dramatically_fewer_contains_calls() {
+        let index = squares();
+        let p = Point::new(4.5, 4.5);
+        index.find_containing(&p);
+        let fast_calls = index.contains_calls();
+        index.find_containing_brute_force(&p);
+        let brute_calls = index.contains_calls() - fast_calls;
+        assert!(
+            fast_calls * 10 <= brute_calls,
+            "quadtree {fast_calls} vs brute {brute_calls}"
+        );
+    }
+
+    #[test]
+    fn builds_from_wkt_rows() {
+        let rows = vec![
+            (1i64, "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))".to_string()),
+            (2i64, "POLYGON ((5 5, 7 5, 7 7, 5 7, 5 5))".to_string()),
+        ];
+        let index = GeofenceIndex::build_from_wkt(rows).unwrap();
+        assert_eq!(index.find_containing(&Point::new(1.0, 1.0)), vec![1]);
+        assert_eq!(index.find_containing(&Point::new(6.0, 6.0)), vec![2]);
+        assert!(index.find_containing(&Point::new(3.0, 3.0)).is_empty());
+
+        let bad = vec![(1i64, "NOT WKT".to_string())];
+        assert!(GeofenceIndex::build_from_wkt(bad).is_err());
+    }
+
+    #[test]
+    fn generated_city_workload_agrees_across_paths() {
+        let workload = GeoWorkload::generate(60, 200, 40, 7);
+        let index = GeofenceIndex::build(
+            workload.cities.iter().map(|(id, g)| (*id, g.clone())).collect(),
+        )
+        .unwrap();
+        for p in &workload.trips {
+            let mut fast = index.find_containing(p);
+            let mut brute = index.find_containing_brute_force(p);
+            fast.sort_unstable();
+            brute.sort_unstable();
+            assert_eq!(fast, brute);
+        }
+        // sanity: generated cities are real polygons
+        let (_, g) = &workload.cities[0];
+        assert!(g.vertex_count() >= 3);
+        let _ = city_polygon(0.0, 0.0, 1.0, 12);
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Geospatial substrate (§VI): geometry model, WKT, point-in-polygon, and
+//! the QuadTree index behind the Presto Geospatial plugin.
+//!
+//! The paper's workload: a `trips` table with start/end coordinates joined
+//! against a `cities` table of geofences via
+//! `st_contains(geo_shape, st_point(lng, lat))`. Brute force costs
+//! |trips| × |geofences| × |vertices| point operations; the plugin's
+//! `build_geo_index` aggregation builds a [`quadtree::QuadTree`] on the fly
+//! and filters out "the majority of bounded rectangles that do not contain
+//! \[the\] target point", a >50× speedup in production.
+
+pub mod generator;
+pub mod geometry;
+pub mod index;
+pub mod quadtree;
+pub mod wkt;
+
+pub use geometry::{BoundingBox, Geometry, Point, Polygon};
+pub use index::GeofenceIndex;
+pub use quadtree::QuadTree;

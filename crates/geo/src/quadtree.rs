@@ -1,0 +1,272 @@
+//! The QuadTree (§VI.D).
+//!
+//! "Quadtrees represent a partition of space in two dimensions by
+//! decomposing the region into four quadrants, sub-quadrants, and so on
+//! until the contents of the cells meet some criterion of data occupancy."
+//! Items are stored with their bounding boxes; a point query walks the
+//! quadrants containing the point and returns the ids of every item whose
+//! box contains it — the candidate set for exact `st_contains`.
+
+use crate::geometry::{BoundingBox, Point};
+
+/// Default per-node occupancy before subdividing.
+pub const DEFAULT_NODE_CAPACITY: usize = 8;
+/// Default maximum depth.
+pub const DEFAULT_MAX_DEPTH: usize = 16;
+
+/// A QuadTree over items identified by `u32` ids with bounding boxes.
+#[derive(Debug)]
+pub struct QuadTree {
+    root: Node,
+    bounds: BoundingBox,
+    capacity: usize,
+    max_depth: usize,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    /// Items resident at this node (either because it is a leaf, or because
+    /// they span multiple children).
+    items: Vec<(u32, BoundingBox)>,
+    /// NW / NE / SW / SE children, populated after subdivision.
+    children: Option<Box<[Node; 4]>>,
+}
+
+impl Node {
+    fn leaf() -> Node {
+        Node { items: Vec::new(), children: None }
+    }
+}
+
+impl QuadTree {
+    /// Empty tree covering `bounds` with default tuning.
+    pub fn new(bounds: BoundingBox) -> QuadTree {
+        QuadTree::with_tuning(bounds, DEFAULT_NODE_CAPACITY, DEFAULT_MAX_DEPTH)
+    }
+
+    /// Empty tree with explicit occupancy criterion and depth cap.
+    pub fn with_tuning(bounds: BoundingBox, capacity: usize, max_depth: usize) -> QuadTree {
+        QuadTree {
+            root: Node::leaf(),
+            bounds,
+            capacity: capacity.max(1),
+            max_depth,
+            len: 0,
+        }
+    }
+
+    /// Number of items inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no items were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The covered region.
+    pub fn bounds(&self) -> &BoundingBox {
+        &self.bounds
+    }
+
+    /// Insert an item by id and bounding box.
+    pub fn insert(&mut self, id: u32, bbox: BoundingBox) {
+        insert_into(
+            &mut self.root,
+            self.bounds,
+            id,
+            bbox,
+            0,
+            self.capacity,
+            self.max_depth,
+        );
+        self.len += 1;
+    }
+
+    /// Ids of items whose bounding box contains `p` — the QuadTree filter
+    /// step; exact `st_contains` runs only on these survivors.
+    pub fn query_point(&self, p: &Point) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.bounds.contains_point(p) {
+            query_node(&self.root, self.bounds, p, &mut out);
+        }
+        out
+    }
+
+    /// Number of nodes (for tests and diagnostics).
+    pub fn node_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            1 + n.children.as_ref().map(|c| c.iter().map(count).sum()).unwrap_or(0)
+        }
+        count(&self.root)
+    }
+}
+
+fn insert_into(
+    node: &mut Node,
+    node_bounds: BoundingBox,
+    id: u32,
+    bbox: BoundingBox,
+    depth: usize,
+    capacity: usize,
+    max_depth: usize,
+) {
+    if node.children.is_none() {
+        node.items.push((id, bbox));
+        // Occupancy criterion met → subdivide and push items down.
+        if node.items.len() > capacity && depth < max_depth {
+            node.children = Some(Box::new([Node::leaf(), Node::leaf(), Node::leaf(), Node::leaf()]));
+            let quadrants = node_bounds.quadrants();
+            let items = std::mem::take(&mut node.items);
+            for (item_id, item_box) in items {
+                place(node, &quadrants, item_id, item_box, depth, capacity, max_depth);
+            }
+        }
+        return;
+    }
+    let quadrants = node_bounds.quadrants();
+    place(node, &quadrants, id, bbox, depth, capacity, max_depth);
+}
+
+/// Put an item into exactly one child when a single quadrant fully contains
+/// it; items spanning quadrant boundaries stay at this node.
+fn place(
+    node: &mut Node,
+    quadrants: &[BoundingBox; 4],
+    id: u32,
+    bbox: BoundingBox,
+    depth: usize,
+    capacity: usize,
+    max_depth: usize,
+) {
+    let children = node.children.as_mut().expect("place on subdivided node");
+    let mut target = None;
+    for (i, q) in quadrants.iter().enumerate() {
+        if q.min_lng <= bbox.min_lng
+            && q.max_lng >= bbox.max_lng
+            && q.min_lat <= bbox.min_lat
+            && q.max_lat >= bbox.max_lat
+        {
+            target = Some(i);
+            break;
+        }
+    }
+    match target {
+        Some(i) => insert_into(
+            &mut children[i],
+            quadrants[i],
+            id,
+            bbox,
+            depth + 1,
+            capacity,
+            max_depth,
+        ),
+        None => node.items.push((id, bbox)),
+    }
+}
+
+fn query_node(node: &Node, node_bounds: BoundingBox, p: &Point, out: &mut Vec<u32>) {
+    for (id, bbox) in &node.items {
+        if bbox.contains_point(p) {
+            out.push(*id);
+        }
+    }
+    if let Some(children) = &node.children {
+        for (child, q) in children.iter().zip(node_bounds.quadrants()) {
+            if q.contains_point(p) {
+                query_node(child, q, p, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> BoundingBox {
+        BoundingBox::new(0.0, 0.0, 16.0, 16.0)
+    }
+
+    fn cell(x: f64, y: f64) -> BoundingBox {
+        BoundingBox::new(x, y, x + 1.0, y + 1.0)
+    }
+
+    #[test]
+    fn indexes_the_4x4_grid_of_fig_11() {
+        // Fig 11: a QuadTree over a 4×4 square space of unit cells.
+        let mut tree = QuadTree::with_tuning(BoundingBox::new(0.0, 0.0, 4.0, 4.0), 2, 8);
+        let mut id = 0;
+        for x in 0..4 {
+            for y in 0..4 {
+                tree.insert(id, cell(x as f64, y as f64));
+                id += 1;
+            }
+        }
+        assert_eq!(tree.len(), 16);
+        assert!(tree.node_count() > 1, "occupancy criterion must subdivide");
+        // a point interior to cell (2, 1)
+        let hits = tree.query_point(&Point::new(2.5, 1.5));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0], 2 * 4 + 1);
+    }
+
+    #[test]
+    fn query_equals_brute_force_scan() {
+        // deterministic pseudo-random boxes
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0 * 15.0
+        };
+        let mut tree = QuadTree::new(world());
+        let mut boxes = Vec::new();
+        for id in 0..500 {
+            let x = rand();
+            let y = rand();
+            let b = BoundingBox::new(x, y, x + rand() / 10.0 + 0.01, y + rand() / 10.0 + 0.01);
+            tree.insert(id, b);
+            boxes.push((id, b));
+        }
+        for _ in 0..200 {
+            let p = Point::new(rand(), rand());
+            let mut expected: Vec<u32> = boxes
+                .iter()
+                .filter(|(_, b)| b.contains_point(&p))
+                .map(|(id, _)| *id)
+                .collect();
+            let mut got = tree.query_point(&p);
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn majority_of_items_filtered_out() {
+        // §VI.D: "the majority of bounded rectangles that do not contain
+        // target point could be filtered out"
+        let mut tree = QuadTree::new(world());
+        for id in 0..1000 {
+            let x = (id % 16) as f64;
+            let y = ((id / 16) % 16) as f64;
+            tree.insert(id, BoundingBox::new(x, y, x + 0.9, y + 0.9));
+        }
+        let hits = tree.query_point(&Point::new(3.5, 3.5));
+        assert!(hits.len() < 20, "expected few candidates, got {}", hits.len());
+    }
+
+    #[test]
+    fn empty_and_out_of_bounds() {
+        let tree = QuadTree::new(world());
+        assert!(tree.is_empty());
+        assert!(tree.query_point(&Point::new(1.0, 1.0)).is_empty());
+        let mut tree = QuadTree::new(world());
+        tree.insert(1, cell(0.0, 0.0));
+        assert!(tree.query_point(&Point::new(-5.0, -5.0)).is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Well-Known Text (WKT) parsing and formatting (§VI.A: "we use the
+//! Well-Known Text (WKT) ... to represent geometries").
+//!
+//! Supported forms, matching the paper's examples:
+//!
+//! ```text
+//! POINT (77.3548351 28.6973627)
+//! POLYGON ((36.81 -1.31, 36.81 -1.31, ...))
+//! MULTIPOLYGON (((...)), ((...)))
+//! ```
+
+use presto_common::{PrestoError, Result};
+
+use crate::geometry::{Geometry, Point, Polygon};
+
+/// Format a geometry as WKT.
+pub fn to_wkt(g: &Geometry) -> String {
+    match g {
+        Geometry::Point(p) => format!("POINT ({} {})", p.lng, p.lat),
+        Geometry::Polygon(poly) => format!("POLYGON ({})", ring_wkt(poly)),
+        Geometry::MultiPolygon(polys) => {
+            let parts: Vec<String> = polys.iter().map(|p| format!("({})", ring_wkt(p))).collect();
+            format!("MULTIPOLYGON ({})", parts.join(", "))
+        }
+    }
+}
+
+fn ring_wkt(poly: &Polygon) -> String {
+    let pts: Vec<String> =
+        poly.ring().iter().map(|p| format!("{} {}", p.lng, p.lat)).collect();
+    format!("({})", pts.join(", "))
+}
+
+/// Parse WKT text into a geometry.
+pub fn parse_wkt(text: &str) -> Result<Geometry> {
+    let mut p = WktParser { input: text.as_bytes(), pos: 0 };
+    let g = p.parse()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(g)
+}
+
+struct WktParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WktParser<'a> {
+    fn err(&self, msg: &str) -> PrestoError {
+        PrestoError::Analysis(format!("invalid WKT at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn keyword(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.input[start..self.pos]).to_uppercase()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        self.skip_ws();
+        if self.input.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && matches!(self.input[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("expected number"))
+    }
+
+    fn point_pair(&mut self) -> Result<Point> {
+        let lng = self.number()?;
+        let lat = self.number()?;
+        Ok(Point::new(lng, lat))
+    }
+
+    fn ring(&mut self) -> Result<Vec<Point>> {
+        self.expect(b'(')?;
+        let mut pts = vec![self.point_pair()?];
+        while self.peek() == Some(b',') {
+            self.pos += 1;
+            pts.push(self.point_pair()?);
+        }
+        self.expect(b')')?;
+        Ok(pts)
+    }
+
+    fn polygon_body(&mut self) -> Result<Polygon> {
+        self.expect(b'(')?;
+        let ring = self.ring()?;
+        // Interior rings (holes) are not supported by the simplified model;
+        // reject rather than silently drop them.
+        if self.peek() == Some(b',') {
+            return Err(self.err("polygon holes are not supported"));
+        }
+        self.expect(b')')?;
+        Polygon::new(ring).ok_or_else(|| self.err("polygon needs at least 3 points"))
+    }
+
+    fn parse(&mut self) -> Result<Geometry> {
+        match self.keyword().as_str() {
+            "POINT" => {
+                self.expect(b'(')?;
+                let p = self.point_pair()?;
+                self.expect(b')')?;
+                Ok(Geometry::Point(p))
+            }
+            "POLYGON" => Ok(Geometry::Polygon(self.polygon_body()?)),
+            "MULTIPOLYGON" => {
+                self.expect(b'(')?;
+                let mut polys = vec![self.polygon_body()?];
+                while self.peek() == Some(b',') {
+                    self.pos += 1;
+                    polys.push(self.polygon_body()?);
+                }
+                self.expect(b')')?;
+                Ok(Geometry::MultiPolygon(polys))
+            }
+            other => Err(self.err(&format!("unknown geometry type '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_examples() {
+        let p = parse_wkt("POINT (77.3548351 28.6973627)").unwrap();
+        assert_eq!(p, Geometry::Point(Point::new(77.3548351, 28.6973627)));
+
+        let poly = parse_wkt(
+            "POLYGON ((36.814155579 -1.3174386070000002, \
+              36.814863682 -1.317545867, \
+              36.814863682 -1.318221605, \
+              36.813973188 -1.317910551, \
+              36.814155579 -1.3174386070000002))",
+        )
+        .unwrap();
+        match &poly {
+            Geometry::Polygon(p) => assert_eq!(p.vertex_count(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        for text in [
+            "POINT (1 2)",
+            "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))",
+        ] {
+            let g = parse_wkt(text).unwrap();
+            let again = parse_wkt(&to_wkt(&g)).unwrap();
+            assert_eq!(g, again);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_wkt() {
+        assert!(parse_wkt("CIRCLE (0 0 5)").is_err());
+        assert!(parse_wkt("POINT (1)").is_err());
+        assert!(parse_wkt("POLYGON ((0 0, 1 1))").is_err()); // too few points
+        assert!(parse_wkt("POINT (1 2) junk").is_err());
+        assert!(parse_wkt("POLYGON ((0 0, 1 0, 1 1), (0 0, 1 0, 1 1))").is_err()); // holes
+    }
+}

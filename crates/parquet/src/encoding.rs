@@ -1,0 +1,348 @@
+//! Byte-level encoding primitives: little-endian scalars, varints,
+//! length-prefixed byte strings, and the RLE/bit-hybrid run encoding used for
+//! repetition levels, definition levels and dictionary ids.
+
+use presto_common::{PrestoError, Result};
+
+/// Append-only binary writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// New empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Take the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the buffer.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write u16 LE.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write u32 LE.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write u64 LE.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write i32 LE.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write i64 LE.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write f64 LE.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write LEB128 varint.
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Write varint length + raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.varint(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write raw bytes with no length prefix.
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a UTF-8 string (varint length + bytes).
+    pub fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Sequential binary reader with bounds checking.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let slice = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| PrestoError::Format(format!("truncated input at byte {}", self.pos)))?;
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read u16 LE.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read u32 LE.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read u64 LE.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read i32 LE.
+    pub fn i32(&mut self) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read i64 LE.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read f64 LE.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0;
+        loop {
+            let byte = self.u8()?;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(PrestoError::Format("varint too long".into()));
+            }
+        }
+    }
+
+    /// Read varint length + bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.varint()? as usize;
+        self.take(n)
+    }
+
+    /// Read `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Read a UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| PrestoError::Format("invalid utf-8 string".into()))
+    }
+}
+
+/// RLE-encode a stream of small integers (levels, dictionary ids).
+///
+/// Format: repeated groups of `varint header` where header = `count << 1 |
+/// is_run`. A run group is followed by a single varint value; a literal
+/// group by `count` varint values. Nested data's levels are extremely
+/// run-heavy (flat non-null data is one giant run), which is why the fast
+/// non-nested path of the vectorized reader (§V.I) can skip level decoding
+/// almost entirely.
+pub fn rle_encode(values: &[u32], out: &mut ByteWriter) {
+    out.varint(values.len() as u64);
+    let mut i = 0;
+    while i < values.len() {
+        // measure run
+        let mut run = 1;
+        while i + run < values.len() && values[i + run] == values[i] {
+            run += 1;
+        }
+        if run >= 4 {
+            out.varint(((run as u64) << 1) | 1);
+            out.varint(values[i] as u64);
+            i += run;
+        } else {
+            // gather literals until the next long run
+            let start = i;
+            i += run;
+            while i < values.len() {
+                let mut next_run = 1;
+                while i + next_run < values.len() && values[i + next_run] == values[i] {
+                    next_run += 1;
+                }
+                if next_run >= 4 {
+                    break;
+                }
+                i += next_run;
+            }
+            out.varint(((i - start) as u64) << 1);
+            for &v in &values[start..i] {
+                out.varint(v as u64);
+            }
+        }
+    }
+}
+
+/// Decode an [`rle_encode`]d stream.
+pub fn rle_decode(reader: &mut ByteReader<'_>) -> Result<Vec<u32>> {
+    let total = reader.varint()? as usize;
+    // the count is untrusted input: cap the up-front reservation so a
+    // corrupted varint cannot force a giant allocation before any data is
+    // validated (the vec still grows to `total` if the stream really is
+    // that long)
+    let mut out = Vec::with_capacity(total.min(1 << 16));
+    while out.len() < total {
+        let header = reader.varint()?;
+        let count = (header >> 1) as usize;
+        if count == 0 {
+            return Err(PrestoError::Format("zero-length RLE group".into()));
+        }
+        if header & 1 == 1 {
+            let v = reader.varint()? as u32;
+            out.resize(out.len() + count, v);
+        } else {
+            for _ in 0..count {
+                out.push(reader.varint()? as u32);
+            }
+        }
+    }
+    if out.len() != total {
+        return Err(PrestoError::Format("RLE stream length mismatch".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(65535);
+        w.u32(123456);
+        w.u64(u64::MAX);
+        w.i32(-5);
+        w.i64(i64::MIN);
+        w.f64(3.5);
+        w.varint(300);
+        w.string("héllo");
+        w.bytes(b"\x00\x01");
+        let data = w.into_bytes();
+        let mut r = ByteReader::new(&data);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65535);
+        assert_eq!(r.u32().unwrap(), 123456);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i32().unwrap(), -5);
+        assert_eq!(r.i64().unwrap(), i64::MIN);
+        assert_eq!(r.f64().unwrap(), 3.5);
+        assert_eq!(r.varint().unwrap(), 300);
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), b"\x00\x01");
+        assert_eq!(r.remaining(), 0);
+        assert!(r.u8().is_err());
+    }
+
+    #[test]
+    fn rle_round_trips() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![1],
+            vec![1, 1, 1, 1, 1, 1],
+            vec![1, 2, 3, 4, 5],
+            vec![0; 100_000],
+            vec![5, 5, 5, 5, 9, 1, 2, 3, 7, 7, 7, 7, 7, 0],
+        ];
+        for case in cases {
+            let mut w = ByteWriter::new();
+            rle_encode(&case, &mut w);
+            let data = w.into_bytes();
+            let mut r = ByteReader::new(&data);
+            assert_eq!(rle_decode(&mut r).unwrap(), case);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn rle_runs_compress_well() {
+        let run = vec![3u32; 100_000];
+        let mut w = ByteWriter::new();
+        rle_encode(&run, &mut w);
+        assert!(w.len() < 16, "a single run must be tiny, got {}", w.len());
+    }
+
+    #[test]
+    fn rle_rejects_corruption() {
+        let mut w = ByteWriter::new();
+        rle_encode(&[1, 2, 3, 4, 5, 6, 7, 8], &mut w);
+        let data = w.into_bytes();
+        let mut r = ByteReader::new(&data[..data.len() - 2]);
+        assert!(rle_decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! File footer metadata.
+//!
+//! "Each Parquet file has a footer that stores codecs, encoding information,
+//! as well as column-level statistics, e.g., the minimum and maximum number
+//! of column values" (§V.B). The footer is what the new reader's predicate
+//! pushdown (Fig 7) consults to skip row groups, and what the worker-side
+//! footer cache (§VII.B) keeps hot ("footers ... are the indexes to the data
+//! itself").
+//!
+//! Physical file layout:
+//!
+//! ```text
+//! "UPQ1" | row group 0 chunks | row group 1 chunks | ... | footer | footer_len: u32 | "UPQ1"
+//! ```
+
+use presto_common::{DataType, PrestoError, Result, Value};
+
+use crate::codec::Codec;
+use crate::encoding::{ByteReader, ByteWriter};
+use crate::schema::{read_schema, write_schema};
+use presto_common::Schema;
+
+/// File magic, both leading and trailing.
+pub const MAGIC: &[u8; 4] = b"UPQ1";
+/// Footer format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Value encoding of a data page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Values stored inline.
+    Plain,
+    /// Values are RLE ids into the chunk's dictionary page.
+    Dictionary,
+}
+
+impl Encoding {
+    /// Stable on-disk tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::Dictionary => 1,
+        }
+    }
+
+    /// Parse an on-disk tag.
+    pub fn from_tag(t: u8) -> Result<Encoding> {
+        match t {
+            0 => Ok(Encoding::Plain),
+            1 => Ok(Encoding::Dictionary),
+            other => Err(PrestoError::Format(format!("unknown encoding tag {other}"))),
+        }
+    }
+}
+
+/// Column-level statistics stored per chunk.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnStats {
+    /// Minimum defined value (absent when the chunk is all-null).
+    pub min: Option<Value>,
+    /// Maximum defined value.
+    pub max: Option<Value>,
+    /// Number of null (undefined) triplets.
+    pub null_count: u64,
+}
+
+/// Metadata for one leaf column chunk within a row group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnChunkMeta {
+    /// Index into the flattened schema's leaves.
+    pub leaf_index: u32,
+    /// Codec for both dictionary and data pages.
+    pub codec: Codec,
+    /// Value encoding of the data page.
+    pub encoding: Encoding,
+    /// Number of triplets (levels) in the chunk.
+    pub num_triplets: u64,
+    /// Dictionary page location (offset, compressed length); `None` when
+    /// plain-encoded.
+    pub dictionary_page: Option<(u64, u64)>,
+    /// Number of dictionary entries.
+    pub dictionary_count: u32,
+    /// Data page location (offset, compressed length).
+    pub data_page: (u64, u64),
+    /// Column statistics.
+    pub stats: ColumnStats,
+}
+
+/// Metadata for one row group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowGroupMeta {
+    /// Top-level row count of the group.
+    pub num_rows: u64,
+    /// One chunk per leaf column, in leaf order.
+    pub columns: Vec<ColumnChunkMeta>,
+}
+
+/// The file footer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileMetadata {
+    /// Format version.
+    pub version: u16,
+    /// The file's (nested) schema.
+    pub schema: Schema,
+    /// Total top-level rows.
+    pub num_rows: u64,
+    /// Row groups in file order.
+    pub row_groups: Vec<RowGroupMeta>,
+}
+
+impl FileMetadata {
+    /// Serialize the footer body (without length/magic trailer).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u16(self.version);
+        write_schema(&self.schema, &mut w);
+        w.u64(self.num_rows);
+        w.varint(self.row_groups.len() as u64);
+        for rg in &self.row_groups {
+            w.u64(rg.num_rows);
+            w.varint(rg.columns.len() as u64);
+            for c in &rg.columns {
+                w.u32(c.leaf_index);
+                w.u8(c.codec.tag());
+                w.u8(c.encoding.tag());
+                w.u64(c.num_triplets);
+                match c.dictionary_page {
+                    Some((off, len)) => {
+                        w.u8(1);
+                        w.u64(off);
+                        w.u64(len);
+                    }
+                    None => w.u8(0),
+                }
+                w.u32(c.dictionary_count);
+                w.u64(c.data_page.0);
+                w.u64(c.data_page.1);
+                write_stats(&c.stats, &mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parse a footer body.
+    pub fn deserialize(data: &[u8]) -> Result<FileMetadata> {
+        let mut r = ByteReader::new(data);
+        let version = r.u16()?;
+        if version != FORMAT_VERSION {
+            return Err(PrestoError::Format(format!("unsupported format version {version}")));
+        }
+        let schema = read_schema(&mut r)?;
+        let num_rows = r.u64()?;
+        let n_groups = r.varint()? as usize;
+        let mut row_groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let rows = r.u64()?;
+            let n_cols = r.varint()? as usize;
+            let mut columns = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                let leaf_index = r.u32()?;
+                let codec = Codec::from_tag(r.u8()?)?;
+                let encoding = Encoding::from_tag(r.u8()?)?;
+                let num_triplets = r.u64()?;
+                let dictionary_page = if r.u8()? == 1 {
+                    Some((r.u64()?, r.u64()?))
+                } else {
+                    None
+                };
+                let dictionary_count = r.u32()?;
+                let data_page = (r.u64()?, r.u64()?);
+                let stats = read_stats(&mut r)?;
+                columns.push(ColumnChunkMeta {
+                    leaf_index,
+                    codec,
+                    encoding,
+                    num_triplets,
+                    dictionary_page,
+                    dictionary_count,
+                    data_page,
+                    stats,
+                });
+            }
+            row_groups.push(RowGroupMeta { num_rows: rows, columns });
+        }
+        Ok(FileMetadata { version, schema, num_rows, row_groups })
+    }
+
+    /// Approximate in-memory footprint, used by the footer cache's budget.
+    pub fn memory_size(&self) -> usize {
+        64 + self.row_groups.iter().map(|rg| 16 + rg.columns.len() * 128).sum::<usize>()
+    }
+}
+
+fn write_stats(stats: &ColumnStats, w: &mut ByteWriter) {
+    w.u64(stats.null_count);
+    write_opt_value(&stats.min, w);
+    write_opt_value(&stats.max, w);
+}
+
+fn read_stats(r: &mut ByteReader<'_>) -> Result<ColumnStats> {
+    let null_count = r.u64()?;
+    let min = read_opt_value(r)?;
+    let max = read_opt_value(r)?;
+    Ok(ColumnStats { min, max, null_count })
+}
+
+fn write_opt_value(v: &Option<Value>, w: &mut ByteWriter) {
+    match v {
+        None => w.u8(0),
+        Some(Value::Boolean(b)) => {
+            w.u8(1);
+            w.u8(*b as u8);
+        }
+        Some(Value::Integer(x)) => {
+            w.u8(2);
+            w.i32(*x);
+        }
+        Some(Value::Bigint(x)) => {
+            w.u8(3);
+            w.i64(*x);
+        }
+        Some(Value::Double(x)) => {
+            w.u8(4);
+            w.f64(*x);
+        }
+        Some(Value::Varchar(s)) => {
+            w.u8(5);
+            // already bounded by update_stats; truncating here would break
+            // the min-lower-bound / max-upper-bound invariants it maintains
+            w.string(s);
+        }
+        Some(Value::Date(x)) => {
+            w.u8(6);
+            w.i32(*x);
+        }
+        Some(Value::Timestamp(x)) => {
+            w.u8(7);
+            w.i64(*x);
+        }
+        // nested values never appear in stats
+        Some(_) => w.u8(0),
+    }
+}
+
+fn read_opt_value(r: &mut ByteReader<'_>) -> Result<Option<Value>> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(Value::Boolean(r.u8()? != 0)),
+        2 => Some(Value::Integer(r.i32()?)),
+        3 => Some(Value::Bigint(r.i64()?)),
+        4 => Some(Value::Double(r.f64()?)),
+        5 => Some(Value::Varchar(r.string()?)),
+        6 => Some(Value::Date(r.i32()?)),
+        7 => Some(Value::Timestamp(r.i64()?)),
+        other => return Err(PrestoError::Format(format!("unknown stats value tag {other}"))),
+    })
+}
+
+/// Update running min/max stats with a defined value.
+pub fn update_stats(stats: &mut ColumnStats, v: &Value) {
+    if v.is_null() {
+        stats.null_count += 1;
+        return;
+    }
+    // NaN is unordered: feeding it into min/max would poison the stats (no
+    // later value ever replaces it via sql_cmp) and make pushdown skip row
+    // groups it must read. NaN rows simply don't contribute to stats.
+    if matches!(v, Value::Double(d) if d.is_nan()) {
+        return;
+    }
+    // Nested values carry no stats (matching Parquet, which only keeps
+    // leaf-level min/max — and our leaves are always scalars).
+    let better_min = match &stats.min {
+        None => true,
+        Some(m) => v.sql_cmp(m) == Some(std::cmp::Ordering::Less),
+    };
+    if better_min {
+        stats.min = Some(truncate_min_for_stats(v));
+    }
+    let better_max = match &stats.max {
+        None => true,
+        Some(m) => v.sql_cmp(m) == Some(std::cmp::Ordering::Greater),
+    };
+    if better_max {
+        stats.max = Some(truncate_max_for_stats(v));
+    }
+}
+
+/// A prefix of a string is lexicographically ≤ the string, so plain
+/// truncation is a valid *lower* bound.
+fn truncate_min_for_stats(v: &Value) -> Value {
+    match v {
+        Value::Varchar(s) if s.chars().count() > 64 => {
+            Value::Varchar(s.chars().take(64).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+/// A truncated prefix is lexicographically *smaller* than the value, so a
+/// max stat must round up: append the maximum char, which sorts above any
+/// continuation of the 63-char prefix. Otherwise stats pushdown would skip
+/// row groups containing long strings above the truncated max.
+fn truncate_max_for_stats(v: &Value) -> Value {
+    match v {
+        Value::Varchar(s) if s.chars().count() > 64 => {
+            let mut upper: String = s.chars().take(63).collect();
+            upper.push(char::MAX);
+            Value::Varchar(upper)
+        }
+        other => other.clone(),
+    }
+}
+
+/// The scalar type a stats value should be read as, given a leaf logical type.
+pub fn stats_compatible(stats_value: &Value, leaf_type: &DataType) -> bool {
+    matches!(
+        (stats_value, leaf_type),
+        (Value::Boolean(_), DataType::Boolean)
+            | (Value::Integer(_), DataType::Integer)
+            | (Value::Bigint(_), DataType::Bigint)
+            | (Value::Double(_), DataType::Double)
+            | (Value::Varchar(_), DataType::Varchar)
+            | (Value::Date(_), DataType::Date)
+            | (Value::Timestamp(_), DataType::Timestamp)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::Field;
+
+    fn sample_metadata() -> FileMetadata {
+        FileMetadata {
+            version: FORMAT_VERSION,
+            schema: Schema::new(vec![
+                Field::new("a", DataType::Bigint),
+                Field::new("b", DataType::Varchar),
+            ])
+            .unwrap(),
+            num_rows: 100,
+            row_groups: vec![RowGroupMeta {
+                num_rows: 100,
+                columns: vec![
+                    ColumnChunkMeta {
+                        leaf_index: 0,
+                        codec: Codec::Fast,
+                        encoding: Encoding::Plain,
+                        num_triplets: 100,
+                        dictionary_page: None,
+                        dictionary_count: 0,
+                        data_page: (4, 320),
+                        stats: ColumnStats {
+                            min: Some(Value::Bigint(-5)),
+                            max: Some(Value::Bigint(99)),
+                            null_count: 3,
+                        },
+                    },
+                    ColumnChunkMeta {
+                        leaf_index: 1,
+                        codec: Codec::Deep,
+                        encoding: Encoding::Dictionary,
+                        num_triplets: 100,
+                        dictionary_page: Some((324, 50)),
+                        dictionary_count: 7,
+                        data_page: (374, 60),
+                        stats: ColumnStats {
+                            min: Some(Value::Varchar("aaa".into())),
+                            max: Some(Value::Varchar("zzz".into())),
+                            null_count: 0,
+                        },
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn footer_round_trips() {
+        let meta = sample_metadata();
+        let bytes = meta.serialize();
+        let back = FileMetadata::deserialize(&bytes).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn footer_rejects_bad_version_and_truncation() {
+        let meta = sample_metadata();
+        let mut bytes = meta.serialize();
+        assert!(FileMetadata::deserialize(&bytes[..bytes.len() - 4]).is_err());
+        bytes[0] = 0xFF;
+        assert!(FileMetadata::deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn stats_update_and_truncate() {
+        let mut stats = ColumnStats::default();
+        update_stats(&mut stats, &Value::Bigint(5));
+        update_stats(&mut stats, &Value::Null);
+        update_stats(&mut stats, &Value::Bigint(-2));
+        update_stats(&mut stats, &Value::Bigint(10));
+        assert_eq!(stats.min, Some(Value::Bigint(-2)));
+        assert_eq!(stats.max, Some(Value::Bigint(10)));
+        assert_eq!(stats.null_count, 1);
+
+        let mut s = ColumnStats::default();
+        let long = "x".repeat(200);
+        update_stats(&mut s, &Value::Varchar(long.clone()));
+        match &s.min {
+            Some(Value::Varchar(v)) => {
+                assert_eq!(v.chars().count(), 64);
+                assert!(v.as_str() <= long.as_str(), "min must stay a lower bound");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &s.max {
+            Some(Value::Varchar(v)) => {
+                assert!(v.as_str() >= long.as_str(), "max must stay an upper bound");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_does_not_poison_double_stats() {
+        let mut s = ColumnStats::default();
+        update_stats(&mut s, &Value::Double(f64::NAN));
+        update_stats(&mut s, &Value::Double(3.0));
+        update_stats(&mut s, &Value::Double(-1.0));
+        assert_eq!(s.min, Some(Value::Double(-1.0)));
+        assert_eq!(s.max, Some(Value::Double(3.0)));
+    }
+}

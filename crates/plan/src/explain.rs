@@ -1,0 +1,42 @@
+//! EXPLAIN-style plan rendering — how the Fig 2 / Fig 13 plan-shape claims
+//! are demonstrated in examples and tests.
+
+use crate::logical::LogicalPlan;
+
+/// Render a plan as an indented tree.
+pub fn explain(plan: &LogicalPlan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn render(plan: &LogicalPlan, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(&plan.label());
+    out.push('\n');
+    for child in plan.children() {
+        render(child, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::{DataType, Field, Schema};
+
+    #[test]
+    fn renders_nested_tree() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Values {
+                schema: Schema::new(vec![Field::new("x", DataType::Bigint)]).unwrap(),
+                rows: vec![],
+            }),
+            count: 5,
+        };
+        let text = explain(&plan);
+        assert!(text.starts_with("Limit[5]\n"));
+        assert!(text.contains("\n  Values[0 rows]\n"));
+    }
+}

@@ -1,0 +1,170 @@
+//! The plan fragmenter (§III: "The fragmenter divides the plan into
+//! fragments. Each running plan fragment is called a stage, which could be
+//! executed in parallel. Stage consists of tasks, which are processing one
+//! or many splits of input data.").
+//!
+//! Fragmentation model: every [`LogicalPlan::TableScan`] becomes its own
+//! *leaf fragment* (whose tasks are parallelized over connector splits by
+//! the scheduler), and is replaced in the parent plan by a
+//! [`LogicalPlan::RemoteSource`]. Fragment 0 is the root/output fragment.
+
+use presto_common::Result;
+
+use crate::logical::LogicalPlan;
+
+/// One plan fragment (a stage template).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanFragment {
+    /// Fragment id; 0 is the root.
+    pub id: u32,
+    /// The fragment's plan; leaf fragments hold the scan, upper fragments
+    /// reference children through `RemoteSource`.
+    pub plan: LogicalPlan,
+}
+
+impl PlanFragment {
+    /// True when this fragment scans a connector (parallelizable by split).
+    pub fn is_leaf_scan(&self) -> bool {
+        fn has_scan(p: &LogicalPlan) -> bool {
+            matches!(p, LogicalPlan::TableScan { .. })
+                || p.children().into_iter().any(has_scan)
+        }
+        has_scan(&self.plan)
+    }
+}
+
+/// Split `plan` into fragments. Returns fragments ordered root-first;
+/// fragment ids match `RemoteSource.fragment` references.
+pub fn fragment_plan(plan: LogicalPlan) -> Result<Vec<PlanFragment>> {
+    let mut fragments: Vec<Option<PlanFragment>> = vec![None];
+    let root = extract_scans(plan, &mut fragments)?;
+    fragments[0] = Some(PlanFragment { id: 0, plan: root });
+    Ok(fragments.into_iter().map(|f| f.expect("all fragments filled")).collect())
+}
+
+fn extract_scans(
+    plan: LogicalPlan,
+    fragments: &mut Vec<Option<PlanFragment>>,
+) -> Result<LogicalPlan> {
+    match plan {
+        scan @ LogicalPlan::TableScan { .. } => {
+            let schema = scan.output_schema()?;
+            let id = fragments.len() as u32;
+            fragments.push(Some(PlanFragment { id, plan: scan }));
+            Ok(LogicalPlan::RemoteSource { fragment: id, schema })
+        }
+        other => map_children_fragment(other, fragments),
+    }
+}
+
+fn map_children_fragment(
+    plan: LogicalPlan,
+    fragments: &mut Vec<Option<PlanFragment>>,
+) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(extract_scans(*input, fragments)?),
+            predicate,
+        },
+        LogicalPlan::Project { input, expressions } => LogicalPlan::Project {
+            input: Box::new(extract_scans(*input, fragments)?),
+            expressions,
+        },
+        LogicalPlan::Aggregate { input, group_by, aggregates, step } => LogicalPlan::Aggregate {
+            input: Box::new(extract_scans(*input, fragments)?),
+            group_by,
+            aggregates,
+            step,
+        },
+        LogicalPlan::Join { left, right, kind, on, residual } => LogicalPlan::Join {
+            left: Box::new(extract_scans(*left, fragments)?),
+            right: Box::new(extract_scans(*right, fragments)?),
+            kind,
+            on,
+            residual,
+        },
+        LogicalPlan::GeoJoin { probe, fences, probe_lng, probe_lat, fence_shape } => {
+            LogicalPlan::GeoJoin {
+                probe: Box::new(extract_scans(*probe, fragments)?),
+                fences: Box::new(extract_scans(*fences, fragments)?),
+                probe_lng,
+                probe_lat,
+                fence_shape,
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(extract_scans(*input, fragments)?), keys }
+        }
+        LogicalPlan::TopN { input, keys, count } => LogicalPlan::TopN {
+            input: Box::new(extract_scans(*input, fragments)?),
+            keys,
+            count,
+        },
+        LogicalPlan::Limit { input, count } => {
+            LogicalPlan::Limit { input: Box::new(extract_scans(*input, fragments)?), count }
+        }
+        LogicalPlan::Output { input, names } => {
+            LogicalPlan::Output { input: Box::new(extract_scans(*input, fragments)?), names }
+        }
+        LogicalPlan::Union { inputs } => LogicalPlan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(|i| extract_scans(i, fragments))
+                .collect::<Result<Vec<_>>>()?,
+        },
+        leaf => leaf,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::{DataType, Field, Schema};
+    use presto_connectors::{ColumnPath, ScanRequest};
+
+    fn scan(table: &str) -> LogicalPlan {
+        LogicalPlan::TableScan {
+            catalog: "memory".into(),
+            schema: "default".into(),
+            table: table.into(),
+            table_schema: Schema::new(vec![Field::new("x", DataType::Bigint)]).unwrap(),
+            request: ScanRequest::project(vec![ColumnPath::whole("x")]),
+        }
+    }
+
+    #[test]
+    fn join_fragments_into_three_stages() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan("a")),
+            right: Box::new(scan("b")),
+            kind: crate::logical::JoinKind::Inner,
+            on: vec![],
+            residual: None,
+        };
+        let fragments = fragment_plan(plan).unwrap();
+        assert_eq!(fragments.len(), 3);
+        // root references fragments 1 and 2
+        let LogicalPlan::Join { left, right, .. } = &fragments[0].plan else {
+            panic!("root should be the join");
+        };
+        assert!(matches!(**left, LogicalPlan::RemoteSource { fragment: 1, .. }));
+        assert!(matches!(**right, LogicalPlan::RemoteSource { fragment: 2, .. }));
+        assert!(fragments[1].is_leaf_scan());
+        assert!(fragments[2].is_leaf_scan());
+        assert!(!fragments[0].is_leaf_scan());
+    }
+
+    #[test]
+    fn scan_only_plan_has_two_fragments() {
+        let fragments = fragment_plan(LogicalPlan::Limit {
+            input: Box::new(scan("a")),
+            count: 1,
+        })
+        .unwrap();
+        assert_eq!(fragments.len(), 2);
+        assert!(matches!(
+            fragments[0].plan,
+            LogicalPlan::Limit { .. }
+        ));
+    }
+}

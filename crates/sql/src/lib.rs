@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! SQL frontend: lexer → parser → AST → analyzer → logical plan (Fig 1:
+//! "Presto coordinator parses incoming SQL, and tokenizes it into Abstract
+//! Syntax Tree (AST). Analyzer generates logical plan from AST").
+//!
+//! Supported surface (everything the paper's example queries need, §V.C and
+//! §VI.C, plus joins/subqueries/aggregations):
+//!
+//! ```sql
+//! SELECT [DISTINCT] items FROM catalog.schema.table [alias]
+//!   [ [LEFT|CROSS] JOIN t2 ON cond ] ...
+//!   [WHERE cond] [GROUP BY exprs|ordinals] [HAVING cond]
+//!   [ORDER BY exprs [DESC]] [LIMIT n]
+//! ```
+//!
+//! with `UNION ALL` between SELECTs, nested field dereference
+//! (`base.city_id`), IN lists, BETWEEN, LIKE, IS \[NOT\] NULL, CAST,
+//! CASE WHEN, arithmetic, function calls (including the plugin functions
+//! `st_point` / `st_contains`), `count(*)`, and derived tables.
+
+pub mod analyzer;
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use analyzer::{analyze, AnalyzerContext};
+pub use ast::{Expr, Query, SelectItem, Statement, TableRef};
+pub use parser::parse_sql;

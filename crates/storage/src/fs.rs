@@ -1,0 +1,80 @@
+//! The filesystem abstraction.
+//!
+//! Everything the engine knows about remote storage goes through this trait:
+//! the Hive connector lists partitions (`list_files` — the call the §VII.A
+//! file-list cache protects), the split manager stats files
+//! (`get_file_info` — the §VII.B file-handle/footer cache protects), and the
+//! Parquet readers issue ranged reads.
+
+use presto_common::Result;
+
+/// Metadata about one file, as returned by `listFiles` / `getFileInfo`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStatus {
+    /// Full path of the file.
+    pub path: String,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// A (simulated) distributed filesystem.
+///
+/// Directory convention: paths are `/`-separated; a directory is any path
+/// prefix. `list_files` is non-recursive over immediate children files.
+pub trait FileSystem: Send + Sync {
+    /// List the files directly under `dir` (HDFS `listStatus`).
+    fn list_files(&self, dir: &str) -> Result<Vec<FileStatus>>;
+
+    /// Stat one file (HDFS `getFileInfo`).
+    fn get_file_info(&self, path: &str) -> Result<FileStatus>;
+
+    /// Read the whole file.
+    fn read(&self, path: &str) -> Result<Vec<u8>> {
+        let info = self.get_file_info(path)?;
+        self.read_range(path, 0, info.size)
+    }
+
+    /// Read `len` bytes starting at `offset`.
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>>;
+
+    /// Create or replace a file with `data`.
+    fn write(&self, path: &str, data: &[u8]) -> Result<()>;
+
+    /// Delete a file. Deleting a missing file is an error.
+    fn delete(&self, path: &str) -> Result<()>;
+}
+
+/// Normalize a path: ensure a single leading `/`, no trailing `/`.
+pub fn normalize(path: &str) -> String {
+    let trimmed = path.trim_matches('/');
+    format!("/{trimmed}")
+}
+
+/// The directory portion of a path (parent), normalized.
+pub fn parent(path: &str) -> String {
+    let norm = normalize(path);
+    match norm.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(i) => norm[..i].to_string(),
+    }
+}
+
+/// True when `path` sits directly inside `dir`.
+pub fn is_direct_child(dir: &str, path: &str) -> bool {
+    parent(path) == normalize(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_helpers() {
+        assert_eq!(normalize("warehouse/trips/"), "/warehouse/trips");
+        assert_eq!(normalize("/a"), "/a");
+        assert_eq!(parent("/a/b/c.parquet"), "/a/b");
+        assert_eq!(parent("/a"), "/");
+        assert!(is_direct_child("/a/b", "/a/b/file"));
+        assert!(!is_direct_child("/a", "/a/b/file"));
+    }
+}

@@ -1,0 +1,193 @@
+//! HDFS simulator with a single NameNode cost model.
+//!
+//! §VII: "we found the single Hadoop Distributed File System (HDFS) NameNode
+//! listFiles performance degradation, could hurt Presto performance badly."
+//! This simulator routes every metadata operation (`list_files`,
+//! `get_file_info`) through one NameNode whose virtual latency grows with
+//! directory size and with how many metadata calls are in flight — the
+//! contention that motivates the §VII caches. Data reads go to (simulated)
+//! DataNodes and are charged per byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use presto_common::metrics::CounterSet;
+use presto_common::{Result, SimClock};
+
+use crate::fs::{FileStatus, FileSystem};
+use crate::memory::InMemoryFileSystem;
+
+/// NameNode / DataNode cost model.
+#[derive(Debug, Clone)]
+pub struct HdfsConfig {
+    /// Fixed NameNode RPC cost.
+    pub namenode_base_latency: Duration,
+    /// Additional `list_files` cost per directory entry.
+    pub list_per_entry: Duration,
+    /// Extra multiplier applied per concurrently outstanding metadata call —
+    /// the "single NameNode" degradation under load.
+    pub contention_factor: f64,
+    /// Fixed DataNode round-trip cost per read request.
+    pub read_base_latency: Duration,
+    /// DataNode read cost per megabyte.
+    pub read_per_mb: Duration,
+}
+
+impl Default for HdfsConfig {
+    fn default() -> Self {
+        HdfsConfig {
+            namenode_base_latency: Duration::from_micros(500),
+            list_per_entry: Duration::from_micros(20),
+            contention_factor: 0.5,
+            read_base_latency: Duration::from_millis(1),
+            read_per_mb: Duration::from_millis(8),
+        }
+    }
+}
+
+/// The HDFS simulator. Cloning shares the filesystem, clock and counters.
+///
+/// Counters recorded: `hdfs.list_files`, `hdfs.get_file_info`,
+/// `hdfs.read_ops`, `hdfs.read_bytes`, `hdfs.write_ops`.
+#[derive(Clone)]
+pub struct HdfsFileSystem {
+    store: InMemoryFileSystem,
+    config: Arc<HdfsConfig>,
+    clock: SimClock,
+    metrics: CounterSet,
+    inflight_metadata: Arc<AtomicU64>,
+}
+
+impl HdfsFileSystem {
+    /// New simulator over a fresh in-memory store.
+    pub fn new(config: HdfsConfig, clock: SimClock, metrics: CounterSet) -> HdfsFileSystem {
+        HdfsFileSystem {
+            store: InMemoryFileSystem::new(),
+            config: Arc::new(config),
+            clock,
+            metrics,
+            inflight_metadata: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Simulator with default config and private clock/metrics.
+    pub fn with_defaults() -> HdfsFileSystem {
+        HdfsFileSystem::new(HdfsConfig::default(), SimClock::new(), CounterSet::new())
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The shared call counters.
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+
+    /// Direct access to the backing store (bypasses the cost model); used by
+    /// test fixtures that need to seed data without charging virtual time.
+    pub fn backing_store(&self) -> &InMemoryFileSystem {
+        &self.store
+    }
+
+    fn charge_namenode(&self, entries: usize) {
+        let outstanding = self.inflight_metadata.fetch_add(1, Ordering::Relaxed);
+        let base = self.config.namenode_base_latency
+            + self.config.list_per_entry * entries as u32;
+        // Load-dependent degradation: each outstanding metadata call inflates
+        // the cost. This is what makes uncached listFiles storms hurt (§VII).
+        let multiplier = 1.0 + self.config.contention_factor * outstanding as f64;
+        let cost = Duration::from_nanos((base.as_nanos() as f64 * multiplier) as u64);
+        self.clock.advance(cost);
+        self.inflight_metadata.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl FileSystem for HdfsFileSystem {
+    fn list_files(&self, dir: &str) -> Result<Vec<FileStatus>> {
+        self.metrics.incr("hdfs.list_files");
+        let listed = self.store.list_files(dir)?;
+        self.charge_namenode(listed.len());
+        Ok(listed)
+    }
+
+    fn get_file_info(&self, path: &str) -> Result<FileStatus> {
+        self.metrics.incr("hdfs.get_file_info");
+        self.charge_namenode(1);
+        self.store.get_file_info(path)
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.metrics.incr("hdfs.read_ops");
+        self.metrics.add("hdfs.read_bytes", len);
+        let per_mb = self.config.read_per_mb.as_nanos() as f64;
+        let cost = per_mb * (len as f64 / (1024.0 * 1024.0));
+        self.clock.advance(self.config.read_base_latency + Duration::from_nanos(cost as u64));
+        self.store.read_range(path, offset, len)
+    }
+
+    fn write(&self, path: &str, data: &[u8]) -> Result<()> {
+        self.metrics.incr("hdfs.write_ops");
+        self.charge_namenode(1);
+        self.store.write(path, data)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.metrics.incr("hdfs.delete_ops");
+        self.charge_namenode(1);
+        self.store.delete(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_calls_are_counted_and_charged() {
+        let hdfs = HdfsFileSystem::with_defaults();
+        hdfs.write("/t/p1/f1", b"abc").unwrap();
+        hdfs.write("/t/p1/f2", b"defg").unwrap();
+
+        let before = hdfs.clock().now();
+        let listed = hdfs.list_files("/t/p1").unwrap();
+        assert_eq!(listed.len(), 2);
+        assert!(hdfs.clock().now() > before, "listFiles must cost virtual time");
+        assert_eq!(hdfs.metrics().get("hdfs.list_files"), 1);
+
+        hdfs.get_file_info("/t/p1/f1").unwrap();
+        assert_eq!(hdfs.metrics().get("hdfs.get_file_info"), 1);
+    }
+
+    #[test]
+    fn bigger_directories_cost_more_to_list() {
+        let small = HdfsFileSystem::with_defaults();
+        small.backing_store().write("/d/f0", b"x").unwrap();
+        let t0 = small.clock().now();
+        small.list_files("/d").unwrap();
+        let small_cost = small.clock().now() - t0;
+
+        let big = HdfsFileSystem::with_defaults();
+        for i in 0..1000 {
+            big.backing_store().write(&format!("/d/f{i}"), b"x").unwrap();
+        }
+        let t0 = big.clock().now();
+        big.list_files("/d").unwrap();
+        let big_cost = big.clock().now() - t0;
+
+        assert!(big_cost > small_cost * 10, "{big_cost:?} vs {small_cost:?}");
+    }
+
+    #[test]
+    fn reads_charge_per_byte_and_count() {
+        let hdfs = HdfsFileSystem::with_defaults();
+        hdfs.backing_store().write("/f", &vec![0u8; 2 * 1024 * 1024]).unwrap();
+        let t0 = hdfs.clock().now();
+        let data = hdfs.read_range("/f", 0, 1024 * 1024).unwrap();
+        assert_eq!(data.len(), 1024 * 1024);
+        assert!(hdfs.clock().now() - t0 >= Duration::from_millis(7));
+        assert_eq!(hdfs.metrics().get("hdfs.read_bytes"), 1024 * 1024);
+    }
+}

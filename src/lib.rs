@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+
+//! Root package of the *Running Presto at Scale* reproduction.
+//!
+//! The library crates live under `crates/`; this package hosts the runnable
+//! examples (`examples/`), the cross-crate integration tests (`tests/`), and
+//! the shared [`fixtures`] they build on — a small "company data platform"
+//! with a Hive warehouse on simulated HDFS, a MySQL store, a Druid cluster,
+//! and geospatial reference data, mirroring the heterogeneous-storage story
+//! of §II/§IV.
+
+pub mod fixtures;

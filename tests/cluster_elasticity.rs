@@ -1,0 +1,102 @@
+//! §IX integration test: graceful expansion and shrink under a live query
+//! stream — "The worker will block until all active tasks are complete."
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use presto_cluster::{ClusterConfig, PrestoCluster, WorkerState};
+use presto_common::{Block, DataType, Field, Page, Schema, SimClock, Value};
+use presto_connectors::memory::MemoryConnector;
+use presto_core::{PrestoEngine, Session};
+
+fn cluster(workers: u32) -> Arc<PrestoCluster> {
+    let engine = PrestoEngine::new();
+    let memory = MemoryConnector::new();
+    let schema = Schema::new(vec![Field::new("x", DataType::Bigint)]).unwrap();
+    let pages: Vec<Page> = (0..12)
+        .map(|p| Page::new(vec![Block::bigint((p * 50..p * 50 + 50).collect())]).unwrap())
+        .collect();
+    memory.create_table("default", "t", schema, pages).unwrap();
+    engine.register_catalog("memory", Arc::new(memory));
+    PrestoCluster::new(
+        "elastic",
+        engine,
+        ClusterConfig { initial_workers: workers, grace_period: Duration::from_secs(120), ..ClusterConfig::default() },
+        SimClock::new(),
+    )
+}
+
+#[test]
+fn expansion_takes_effect_without_restart() {
+    let c = cluster(1);
+    let session = Session::default();
+    c.execute("SELECT count(*) FROM t", &session).unwrap();
+    let before: usize = c.workers().iter().map(|w| w.completed_tasks()).sum();
+    assert_eq!(before, 12);
+    c.expand(3);
+    c.execute("SELECT count(*) FROM t", &session).unwrap();
+    // new workers picked up splits on the very next query
+    let newcomers: usize = c
+        .workers()
+        .iter()
+        .filter(|w| w.id > 0)
+        .map(|w| w.completed_tasks())
+        .sum();
+    assert!(newcomers > 0);
+}
+
+#[test]
+fn shrink_follows_the_paper_state_machine() {
+    let c = cluster(4);
+    let session = Session::default();
+    c.request_worker_shutdown(3).unwrap();
+    let worker = c.workers().into_iter().find(|w| w.id == 3).unwrap();
+    assert_eq!(worker.state(), WorkerState::ShuttingDownGrace1);
+
+    // first grace period: 2 minutes
+    c.clock().advance(Duration::from_secs(120));
+    c.tick();
+    assert_eq!(worker.state(), WorkerState::ShuttingDownGrace2); // no tasks → drained immediately
+
+    // second grace period
+    c.clock().advance(Duration::from_secs(120));
+    let live = c.tick();
+    assert_eq!(worker.state(), WorkerState::Terminated);
+    assert_eq!(live, 3);
+
+    // cluster still answers correctly
+    let result = c.execute("SELECT count(*) FROM t", &session).unwrap();
+    assert_eq!(result.rows(), vec![vec![Value::Bigint(600)]]);
+    assert_eq!(c.metrics().get("cluster.queries_failed"), 0);
+}
+
+#[test]
+fn queries_running_during_shrink_never_fail() {
+    let c = cluster(4);
+    let session = Session::default();
+    // drain half the fleet while querying
+    c.request_worker_shutdown(2).unwrap();
+    c.request_worker_shutdown(3).unwrap();
+    for _ in 0..20 {
+        let result = c.execute("SELECT sum(x) FROM t", &session).unwrap();
+        assert_eq!(result.rows()[0][0], Value::Bigint((0..600).sum::<i64>()));
+        c.clock().advance(Duration::from_secs(30));
+        c.tick();
+    }
+    assert_eq!(c.metrics().get("cluster.queries_failed"), 0);
+    assert_eq!(c.active_workers().len(), 2);
+}
+
+#[test]
+fn distributed_results_match_single_node_engine() {
+    let c = cluster(3);
+    let session = Session::default();
+    let distributed = c
+        .execute("SELECT count(*), sum(x), min(x), max(x) FROM t", &session)
+        .unwrap();
+    let local = c
+        .engine()
+        .execute_with_session("SELECT count(*), sum(x), min(x), max(x) FROM t", &session)
+        .unwrap();
+    assert_eq!(distributed.rows(), local.rows());
+}

@@ -1,0 +1,226 @@
+//! End-to-end SQL over the demo platform: every connector, nested data,
+//! pushdowns, and result correctness against hand-computed oracles.
+
+use presto_at_scale::fixtures::{demo_platform, DemoPlatform};
+use presto_common::Value;
+use presto_core::Session;
+use presto_plan::OptimizerConfig;
+
+fn platform() -> DemoPlatform {
+    demo_platform(400)
+}
+
+#[test]
+fn nested_predicate_and_projection() {
+    let p = platform();
+    let session = Session::new("hive", "rawdata");
+    let result = p
+        .engine
+        .execute_with_session(
+            "SELECT base.driver_uuid, base.fare FROM trips \
+             WHERE datestr = '2017-03-01' AND base.city_id = 12 AND base.fare >= 10.0",
+            &session,
+        )
+        .unwrap();
+    // oracle: day index d=0, city = (i*7+0)%25 == 12 → i ≡ 16 (mod 25)... walk it
+    let expected: Vec<usize> = (0..400)
+        .filter(|i| (i * 7) % 25 == 12 && 5.0 + (i % 50) as f64 >= 10.0)
+        .collect();
+    assert_eq!(result.row_count(), expected.len());
+    for (row, i) in result.rows().iter().zip(expected.iter()) {
+        assert_eq!(row[0], Value::Varchar(format!("driver-2017-03-01-{i}")));
+    }
+}
+
+#[test]
+fn cross_connector_join_and_aggregation() {
+    let p = platform();
+    let session = Session::new("hive", "rawdata");
+    let result = p
+        .engine
+        .execute_with_session(
+            "SELECT count(*) FROM hive.rawdata.trips t \
+             JOIN mysql.ops.cities c ON t.base.city_id = c.city_id \
+             WHERE t.datestr = '2017-03-02'",
+            &session,
+        )
+        .unwrap();
+    // every trip's city_id ∈ [0, 25) and cities has all 25 ids
+    assert_eq!(result.rows(), vec![vec![Value::Bigint(400)]]);
+}
+
+#[test]
+fn druid_aggregation_pushdown_matches_engine_aggregation() {
+    let p = platform();
+    let session = Session::new("druid", "realtime");
+    let sql = "SELECT city, count(*) AS orders, sum(amount) AS gmv FROM orders \
+               WHERE status = 'completed' GROUP BY city ORDER BY city";
+    let pushed = p.engine.execute_with_session(sql, &session).unwrap();
+    let no_push = session.clone().with_optimizer(OptimizerConfig {
+        aggregation_pushdown: false,
+        ..OptimizerConfig::default()
+    });
+    let unpushed = p.engine.execute_with_session(sql, &no_push).unwrap();
+    assert_eq!(pushed.rows(), unpushed.rows());
+    assert!(pushed.row_count() > 0);
+}
+
+#[test]
+fn optimizer_on_and_off_agree_across_query_battery() {
+    let p = platform();
+    let session = Session::new("hive", "rawdata");
+    let unoptimized = session.clone().with_optimizer(OptimizerConfig {
+        constant_folding: false,
+        topn_fusion: false,
+        geo_rewrite: false,
+        predicate_pushdown: false,
+        projection_pushdown: false,
+        aggregation_pushdown: false,
+        limit_pushdown: false,
+    });
+    let battery = [
+        "SELECT base.city_id, count(*) FROM trips GROUP BY 1 ORDER BY 1",
+        "SELECT base.status, sum(base.fare) FROM trips WHERE datestr = '2017-03-01' GROUP BY 1 ORDER BY 1",
+        "SELECT base.driver_uuid FROM trips WHERE base.city_id IN (1, 2, 3) AND datestr = '2017-03-02' ORDER BY 1 LIMIT 25",
+        "SELECT c.city_id, count(*) FROM hive.rawdata.trips t JOIN mysql.ops.cities c \
+         ON t.base.city_id = c.city_id GROUP BY 1 ORDER BY 1",
+        "SELECT base.vehicle_id, max(base.fare), min(base.fare) FROM trips \
+         WHERE base.fare BETWEEN 10.0 AND 30.0 GROUP BY 1 ORDER BY 1 LIMIT 10",
+        "SELECT count(*) FROM trips WHERE base.status <> 'completed'",
+        "SELECT DISTINCT base.status FROM trips ORDER BY 1",
+    ];
+    for sql in battery {
+        let on = p.engine.execute_with_session(sql, &session).unwrap();
+        let off = p.engine.execute_with_session(sql, &unoptimized).unwrap();
+        assert_eq!(on.rows(), off.rows(), "optimizer changed results for: {sql}");
+    }
+}
+
+#[test]
+fn geospatial_rewrite_agrees_with_naive_st_contains() {
+    let p = platform();
+    let session = Session::new("hive", "rawdata");
+    let sql = "SELECT c.city_id, count(*) FROM hive.rawdata.trips t \
+               JOIN mysql.ops.cities c \
+               ON st_contains(c.geo_shape, st_point(t.base.dest_lng, t.base.dest_lat)) \
+               WHERE t.datestr = '2017-03-01' GROUP BY 1 ORDER BY 1";
+    let rewritten = p.engine.execute_with_session(sql, &session).unwrap();
+    let naive_session = session.clone().with_optimizer(OptimizerConfig {
+        geo_rewrite: false,
+        ..OptimizerConfig::default()
+    });
+    let naive = p.engine.execute_with_session(sql, &naive_session).unwrap();
+    assert_eq!(rewritten.rows(), naive.rows());
+    assert!(rewritten.row_count() > 0, "some trips must land in geofences");
+    // and the rewrite actually fired
+    let plan = p.engine.explain(sql, &session).unwrap();
+    assert!(plan.contains("GeoJoin"), "{plan}");
+}
+
+#[test]
+fn tpch_lineitem_pricing_summary() {
+    // the shape of TPC-H Q1 over the generated lineitem
+    let p = platform();
+    let session = Session::new("tpch", "tiny");
+    let result = p
+        .engine
+        .execute_with_session(
+            "SELECT returnflag, linestatus, count(*) AS cnt, sum(quantity) AS qty \
+             FROM lineitem GROUP BY returnflag, linestatus ORDER BY 1, 2",
+            &session,
+        )
+        .unwrap();
+    assert_eq!(result.row_count(), 6); // 3 flags × 2 statuses
+    let total: i64 = result.rows().iter().map(|r| r[2].as_i64().unwrap()).sum();
+    assert_eq!(total, 20_000);
+}
+
+#[test]
+fn insufficient_resources_on_big_join() {
+    let p = platform();
+    let session = Session::new("hive", "rawdata").with_memory_budget(1024);
+    let err = p
+        .engine
+        .execute_with_session(
+            "SELECT count(*) FROM trips a JOIN trips b ON a.base.city_id = b.base.city_id",
+            &session,
+        )
+        .unwrap_err();
+    assert_eq!(err.code(), "INSUFFICIENT_RESOURCES");
+    assert!(err.message().contains("Insufficient Resource"));
+}
+
+#[test]
+fn explain_surfaces_every_pushdown() {
+    let p = platform();
+    let session = Session::new("hive", "rawdata");
+    let plan = p
+        .engine
+        .explain(
+            "SELECT base.driver_uuid FROM trips WHERE datestr = '2017-03-02' \
+             AND base.city_id = 3 LIMIT 10",
+            &session,
+        )
+        .unwrap();
+    assert!(plan.contains("predicate"), "{plan}");
+    assert!(plan.contains("nested pruning"), "{plan}");
+    assert!(plan.contains("limit 10"), "{plan}");
+}
+
+#[test]
+fn left_join_on_residual_null_extends_instead_of_dropping() {
+    // A LEFT JOIN's ON residual decides matching, not row survival: rows
+    // whose residual fails must appear null-extended.
+    let p = platform();
+    let session = Session::new("mysql", "ops");
+    // cities: 25 rows with ids 0..25; self left-join with an ON conjunct
+    // that can never hold keeps every left row exactly once, null-extended.
+    let result = p
+        .engine
+        .execute_with_session(
+            "SELECT count(*) FROM cities a LEFT JOIN cities b \
+             ON a.city_id = b.city_id AND a.city_id > 100",
+            &session,
+        )
+        .unwrap();
+    assert_eq!(result.rows(), vec![vec![Value::Bigint(25)]]);
+
+    // and a residual that holds for some: matched rows joined, others kept
+    let result = p
+        .engine
+        .execute_with_session(
+            "SELECT a.city_id, b.city_id FROM cities a LEFT JOIN cities b \
+             ON a.city_id = b.city_id AND a.city_id < 3 ORDER BY 1",
+            &session,
+        )
+        .unwrap();
+    let rows = result.rows();
+    assert_eq!(rows.len(), 25);
+    for row in &rows {
+        let a = row[0].as_i64().unwrap();
+        if a < 3 {
+            assert_eq!(row[1], Value::Bigint(a));
+        } else {
+            assert!(row[1].is_null(), "city {a} must be null-extended");
+        }
+    }
+}
+
+#[test]
+fn case_when_end_to_end_over_warehouse() {
+    let p = platform();
+    let session = Session::new("hive", "rawdata");
+    let result = p
+        .engine
+        .execute_with_session(
+            "SELECT CASE WHEN base.fare >= 30.0 THEN 'premium' \
+                         WHEN base.fare >= 15.0 THEN 'standard' \
+                         ELSE 'budget' END AS tier, count(*) \
+             FROM trips GROUP BY 1 ORDER BY 1",
+            &session,
+        )
+        .unwrap();
+    let total: i64 = result.rows().iter().map(|r| r[1].as_i64().unwrap()).sum();
+    assert_eq!(total, 1200); // 3 partitions x 400 rows
+    assert_eq!(result.rows().len(), 3);
+}

@@ -1,0 +1,348 @@
+//! Property-based tests over the core invariants:
+//! - codec round trip on arbitrary bytes;
+//! - Parquet write→read round trip on arbitrary nested values (both writer
+//!   generations, both reader generations);
+//! - old-reader ≡ new-reader result equivalence under arbitrary predicates;
+//! - QuadTree query ≡ brute-force scan;
+//! - RowExpression serialization round trip;
+//! - vectorized expression evaluation ≡ the scalar oracle.
+
+use proptest::prelude::*;
+
+use presto_common::{Block, DataType, Field, Page, Schema, Value};
+use presto_geo::geometry::{BoundingBox, Point};
+use presto_geo::QuadTree;
+use presto_parquet::reader::BytesSource;
+use presto_parquet::reader_new::{ProjectedColumn, ReadOptions};
+use presto_parquet::{
+    reader_old, Codec, FilePredicate, FileWriter, ScalarPredicate, WriterMode, WriterProperties,
+};
+
+// ------------------------------------------------------------------ codecs
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_round_trips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for codec in [Codec::None, Codec::Fast, Codec::Deep] {
+            let compressed = codec.compress(&data);
+            let back = codec.decompress(&compressed).unwrap();
+            prop_assert_eq!(&back, &data);
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_compressible_bytes(
+        pattern in proptest::collection::vec(any::<u8>(), 1..32),
+        repeats in 1usize..200,
+    ) {
+        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * repeats).copied().collect();
+        for codec in [Codec::Fast, Codec::Deep] {
+            let compressed = codec.compress(&data);
+            prop_assert_eq!(codec.decompress(&compressed).unwrap(), data.clone());
+        }
+    }
+}
+
+// ------------------------------------------------- nested value generation
+
+fn arb_scalar(dt: &DataType) -> BoxedStrategy<Value> {
+    match dt {
+        DataType::Bigint => prop_oneof![
+            3 => any::<i64>().prop_map(Value::Bigint),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Double => prop_oneof![
+            3 => (-1e9f64..1e9).prop_map(Value::Double),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Varchar => prop_oneof![
+            3 => "[a-z0-9]{0,12}".prop_map(Value::Varchar),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Boolean => prop_oneof![
+            3 => any::<bool>().prop_map(Value::Boolean),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        other => panic!("no generator for {other}"),
+    }
+}
+
+fn nested_test_type() -> DataType {
+    DataType::row(vec![
+        Field::new("id", DataType::Bigint),
+        Field::new("name", DataType::Varchar),
+        Field::new("tags", DataType::array(DataType::Varchar)),
+        Field::new(
+            "inner",
+            DataType::row(vec![
+                Field::new("score", DataType::Double),
+                Field::new("flags", DataType::array(DataType::Bigint)),
+            ]),
+        ),
+        Field::new("props", DataType::map(DataType::Varchar, DataType::Double)),
+    ])
+}
+
+fn arb_nested_value() -> BoxedStrategy<Value> {
+    let inner = (
+        arb_scalar(&DataType::Double),
+        proptest::collection::vec(arb_scalar(&DataType::Bigint), 0..4),
+    )
+        .prop_map(|(score, flags)| Value::Row(vec![score, Value::Array(flags)]));
+    let row = (
+        arb_scalar(&DataType::Bigint),
+        arb_scalar(&DataType::Varchar),
+        proptest::collection::vec(arb_scalar(&DataType::Varchar), 0..4),
+        inner,
+        proptest::collection::vec(
+            ("[a-c]", arb_scalar(&DataType::Double)),
+            0..3,
+        ),
+    )
+        .prop_map(|(id, name, tags, inner, props)| {
+            Value::Row(vec![
+                id,
+                name,
+                Value::Array(tags),
+                inner,
+                Value::Map(
+                    props
+                        .into_iter()
+                        .map(|(k, v)| (Value::Varchar(k), v))
+                        .collect(),
+                ),
+            ])
+        });
+    prop_oneof![9 => row, 1 => Just(Value::Null)].boxed()
+}
+
+fn file_for(values: &[Value], mode: WriterMode, codec: Codec) -> Vec<u8> {
+    let schema = Schema::new(vec![Field::new("base", nested_test_type())]).unwrap();
+    let block = Block::from_values(&nested_test_type(), values).unwrap();
+    let mut writer = FileWriter::new(
+        schema,
+        WriterProperties { codec, row_group_rows: 7, ..WriterProperties::default() },
+        mode,
+    )
+    .unwrap();
+    writer.write_page(&Page::new(vec![block]).unwrap()).unwrap();
+    writer.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parquet_round_trips_arbitrary_nested_values(
+        values in proptest::collection::vec(arb_nested_value(), 1..30),
+        native in any::<bool>(),
+        codec_pick in 0u8..3,
+    ) {
+        let codec = match codec_pick { 0 => Codec::None, 1 => Codec::Fast, _ => Codec::Deep };
+        let mode = if native { WriterMode::Native } else { WriterMode::Legacy };
+        let schema = Schema::new(vec![Field::new("base", nested_test_type())]).unwrap();
+        let bytes = file_for(&values, mode, codec);
+        let source = BytesSource::new(bytes);
+
+        // legacy reader
+        let (old_pages, _) = reader_old::read(&source, &schema, &["base".into()]).unwrap();
+        let old_values: Vec<Value> =
+            old_pages.iter().flat_map(|p| p.rows()).map(|mut r| r.remove(0)).collect();
+        prop_assert_eq!(&old_values, &values);
+
+        // new reader
+        let options = ReadOptions::new(vec![ProjectedColumn::whole("base")]);
+        let (new_pages, _) = presto_parquet::reader_new::read(&source, &schema, &options).unwrap();
+        let new_values: Vec<Value> =
+            new_pages.iter().flat_map(|p| p.rows()).map(|mut r| r.remove(0)).collect();
+        prop_assert_eq!(&new_values, &values);
+    }
+
+    #[test]
+    fn readers_agree_under_arbitrary_predicates(
+        values in proptest::collection::vec(arb_nested_value(), 1..40),
+        threshold in any::<i64>(),
+    ) {
+        let schema = Schema::new(vec![Field::new("base", nested_test_type())]).unwrap();
+        let bytes = file_for(&values, WriterMode::Native, Codec::Fast);
+        let source = BytesSource::new(bytes);
+
+        // new reader with pushed predicate base.id >= threshold
+        let options = ReadOptions::new(vec![ProjectedColumn::path("base", &["id"])])
+            .with_predicate(FilePredicate::single(
+                "base.id",
+                ScalarPredicate::Range { min: Some(Value::Bigint(threshold)), max: None },
+            ));
+        let (pages, _) = presto_parquet::reader_new::read(&source, &schema, &options).unwrap();
+        let got: Vec<Value> =
+            pages.iter().flat_map(|p| p.rows()).map(|mut r| r.remove(0)).collect();
+
+        // oracle: filter the original values
+        let expected: Vec<Value> = values
+            .iter()
+            .filter_map(|v| match v {
+                Value::Row(fields) => match &fields[0] {
+                    Value::Bigint(id) if *id >= threshold => Some(Value::Bigint(*id)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}
+
+// ---------------------------------------------------------------- quadtree
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quadtree_equals_brute_force(
+        boxes in proptest::collection::vec(
+            (0.0f64..100.0, 0.0f64..100.0, 0.1f64..20.0, 0.1f64..20.0),
+            1..60,
+        ),
+        queries in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..20),
+    ) {
+        let mut tree = QuadTree::new(BoundingBox::new(0.0, 0.0, 120.0, 120.0));
+        let built: Vec<BoundingBox> = boxes
+            .iter()
+            .map(|&(x, y, w, h)| BoundingBox::new(x, y, x + w, y + h))
+            .collect();
+        for (i, b) in built.iter().enumerate() {
+            tree.insert(i as u32, *b);
+        }
+        for (qx, qy) in queries {
+            let p = Point::new(qx, qy);
+            let mut got = tree.query_point(&p);
+            got.sort_unstable();
+            let expected: Vec<u32> = built
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.contains_point(&p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}
+
+// ------------------------------------------------------------- expressions
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn row_expression_serialization_round_trips(
+        value in arb_nested_value(),
+    ) {
+        use presto_expr::RowExpression;
+        let expr = RowExpression::Constant { value, data_type: nested_test_type() };
+        let text = expr.serialize();
+        prop_assert_eq!(RowExpression::deserialize(&text).unwrap(), expr);
+    }
+
+    #[test]
+    fn vectorized_eval_matches_scalar_oracle(
+        lhs in proptest::collection::vec(arb_scalar(&DataType::Bigint), 1..50),
+        constant in any::<i64>(),
+    ) {
+        use presto_expr::{Evaluator, FunctionHandle, FunctionRegistry, RowExpression};
+        let evaluator = Evaluator::new(FunctionRegistry::new());
+        let block = Block::from_values(&DataType::Bigint, &lhs).unwrap();
+        let page = Page::new(vec![block]).unwrap();
+        for fn_name in ["eq", "lt", "gte", "add", "mul"] {
+            let ret = if matches!(fn_name, "add" | "mul") {
+                DataType::Bigint
+            } else {
+                DataType::Boolean
+            };
+            let expr = RowExpression::Call {
+                handle: FunctionHandle::new(
+                    fn_name,
+                    vec![DataType::Bigint, DataType::Bigint],
+                    ret,
+                ),
+                args: vec![
+                    RowExpression::column("x", 0, DataType::Bigint),
+                    RowExpression::bigint(constant),
+                ],
+            };
+            let vectorized = evaluator.evaluate(&expr, &page).unwrap();
+            for i in 0..page.positions() {
+                let row = page.row(i);
+                let scalar = evaluator.evaluate_scalar(&expr, &row).unwrap();
+                prop_assert_eq!(vectorized.value(i), scalar, "{} at {}", fn_name, i);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ parser
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The SQL frontend must never panic, whatever bytes arrive (§II: 2M+
+    /// queries/day of arbitrary user input).
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,120}") {
+        let _ = presto_sql::parse_sql(&input);
+    }
+
+    /// ... including inputs that start out looking like real queries.
+    #[test]
+    fn parser_never_panics_on_query_like_input(
+        tail in "[a-z0-9_ .,'()=<>*]{0,80}",
+    ) {
+        let _ = presto_sql::parse_sql(&format!("SELECT {tail}"));
+        let _ = presto_sql::parse_sql(&format!("SELECT a FROM t WHERE {tail}"));
+    }
+}
+
+// ------------------------------------------------------------------ blocks
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Columnar gather must agree with the scalar oracle for any nested
+    /// values and any index set (the reshaping primitive under every join,
+    /// sort and filter).
+    #[test]
+    fn block_take_matches_value_gather(
+        values in proptest::collection::vec(arb_nested_value(), 1..20),
+        picks in proptest::collection::vec(any::<proptest::sample::Index>(), 0..40),
+    ) {
+        let block = Block::from_values(&nested_test_type(), &values).unwrap();
+        let indices: Vec<usize> = picks.iter().map(|p| p.index(values.len())).collect();
+        let taken = block.take(&indices);
+        let expected: Vec<Value> = indices.iter().map(|&i| values[i].clone()).collect();
+        prop_assert_eq!(taken.to_values(), expected);
+    }
+
+    /// Filter ≡ take-of-selected-indices ≡ scalar filtering.
+    #[test]
+    fn block_filter_matches_oracle(
+        values in proptest::collection::vec(arb_nested_value(), 1..20),
+        mask_seed in proptest::collection::vec(any::<bool>(), 1..20),
+    ) {
+        let mask: Vec<bool> =
+            (0..values.len()).map(|i| mask_seed[i % mask_seed.len()]).collect();
+        let block = Block::from_values(&nested_test_type(), &values).unwrap();
+        let filtered = block.filter(&mask);
+        let expected: Vec<Value> = values
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &keep)| keep)
+            .map(|(v, _)| v.clone())
+            .collect();
+        prop_assert_eq!(filtered.to_values(), expected);
+    }
+}
