@@ -15,7 +15,7 @@ fn test_payloads() -> Vec<(&'static str, Vec<u8>)> {
             format!("driver_uuid=d{:05} city={} status=completed ", i % 700, i % 40).as_bytes(),
         );
     }
-    let random: Vec<u8> = (0..1_000_000).map(|_| rng.gen()).collect();
+    let random: Vec<u8> = (0..1_000_000).map(|_| rng.gen::<u64>() as u8).collect();
     let mut ints = Vec::new();
     for i in 0..125_000i64 {
         ints.extend_from_slice(&(i % 1000).to_le_bytes());

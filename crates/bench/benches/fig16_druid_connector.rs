@@ -52,11 +52,7 @@ fn bench_fig16(c: &mut Criterion) {
         group.bench_function(format!("{}_connector", query.name), |b| {
             b.iter(|| {
                 std::hint::black_box(
-                    workload
-                        .engine
-                        .execute_with_session(&query.sql, &session)
-                        .unwrap()
-                        .row_count(),
+                    workload.engine.execute_with_session(&query.sql, &session).unwrap().row_count(),
                 );
             });
         });

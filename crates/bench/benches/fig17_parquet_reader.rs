@@ -53,14 +53,8 @@ fn bench_ablation(c: &mut Criterion) {
             "no_dictionary_pushdown",
             HiveReaderConfig { dictionary_pushdown: false, ..HiveReaderConfig::default() },
         ),
-        (
-            "no_lazy_reads",
-            HiveReaderConfig { lazy_reads: false, ..HiveReaderConfig::default() },
-        ),
-        (
-            "no_vectorization",
-            HiveReaderConfig { vectorized: false, ..HiveReaderConfig::default() },
-        ),
+        ("no_lazy_reads", HiveReaderConfig { lazy_reads: false, ..HiveReaderConfig::default() }),
+        ("no_vectorization", HiveReaderConfig { vectorized: false, ..HiveReaderConfig::default() }),
     ];
     for (label, config) in configs {
         group.bench_function(label, |b| {

@@ -8,11 +8,9 @@ use presto_connectors::tpch::{writer_workload, writer_workload_names};
 use presto_parquet::{Codec, WriterMode};
 
 fn bench_writers(c: &mut Criterion) {
-    for (codec, figure) in [
-        (Codec::Fast, "fig18_snappy"),
-        (Codec::Deep, "fig19_gzip"),
-        (Codec::None, "fig20_none"),
-    ] {
+    for (codec, figure) in
+        [(Codec::Fast, "fig18_snappy"), (Codec::Deep, "fig19_gzip"), (Codec::None, "fig20_none")]
+    {
         let mut group = c.benchmark_group(figure);
         group.sample_size(10);
         for name in writer_workload_names() {
@@ -22,16 +20,12 @@ fn bench_writers(c: &mut Criterion) {
             group.throughput(Throughput::Bytes(bytes as u64));
             group.bench_function(format!("{name}/old_writer"), |b| {
                 b.iter(|| {
-                    std::hint::black_box(
-                        write_once(&schema, &pages, WriterMode::Legacy, codec).1,
-                    )
+                    std::hint::black_box(write_once(&schema, &pages, WriterMode::Legacy, codec).1)
                 });
             });
             group.bench_function(format!("{name}/native_writer"), |b| {
                 b.iter(|| {
-                    std::hint::black_box(
-                        write_once(&schema, &pages, WriterMode::Native, codec).1,
-                    )
+                    std::hint::black_box(write_once(&schema, &pages, WriterMode::Native, codec).1)
                 });
             });
         }

@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //! ```text
-//! paper-experiments [fig16|fig17|fig18|fig19|fig20|geo|cache|s3|shrink|gateway|all]
+//! paper-experiments [fig16|fig17|fig18|fig19|fig20|geo|cache|s3|shrink|gateway|resource|all]
 //! ```
 //! Run `--release`; the reader/writer figures measure real CPU work.
 
@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use presto_bench::report::{mbps, ms, Table};
-use presto_bench::{cache_exp, fig16, fig17, geo_exp, s3_exp, writers};
+use presto_bench::{cache_exp, fig16, fig17, geo_exp, resource_exp, s3_exp, writers};
 use presto_cluster::{ClusterConfig, PrestoCluster, PrestoGateway};
 use presto_common::{Block, DataType, Field, Page, Schema, SimClock};
 use presto_connectors::memory::MemoryConnector;
@@ -19,9 +19,9 @@ use presto_connectors::mysql::MySqlConnector;
 use presto_core::{PrestoEngine, Session};
 use presto_parquet::Codec;
 
-const EXPERIMENTS: [&str; 11] = [
+const EXPERIMENTS: [&str; 12] = [
     "fig16", "fig17", "fig18", "fig19", "fig20", "geo", "cache", "s3", "shrink", "gateway",
-    "all",
+    "resource", "all",
 ];
 
 fn main() {
@@ -62,6 +62,52 @@ fn main() {
     if all || arg == "gateway" {
         run_gateway();
     }
+    if all || arg == "resource" {
+        run_resource();
+    }
+}
+
+fn run_resource() {
+    println!("\n=== §XII.C: memory pools + spill-to-disk on the Fig 17 joins ===");
+    println!("each join capped at half its unconstrained peak; spill on local disk\n");
+    let spill_dir =
+        presto_storage::LocalFileSystem::temp("resource-exp").expect("create spill tempdir");
+    let spill_root = spill_dir.root().to_path_buf();
+    let results = resource_exp::run(20_000, Arc::new(spill_dir));
+    let mut table = Table::new(
+        "12 joins, budget = peak/2",
+        &[
+            "query",
+            "peak",
+            "budget",
+            "without subsystem",
+            "with subsystem",
+            "spilled",
+            "rows match",
+        ],
+    );
+    let mut killed = 0;
+    let mut completed = 0;
+    let mut spilled_total = 0;
+    for r in &results {
+        killed += r.unmanaged_killed() as usize;
+        completed += r.managed_ok as usize;
+        spilled_total += r.spilled_bytes;
+        table.row(vec![
+            r.name.clone(),
+            format!("{} B", r.peak_bytes),
+            format!("{} B", r.budget_bytes),
+            r.unmanaged_error.clone().unwrap_or_else(|| "completed".into()),
+            if r.managed_ok { "completed".into() } else { "failed".into() },
+            format!("{} B / {} files", r.spilled_bytes, r.spill_files),
+            r.rows_match.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "without subsystem: {killed}/12 killed; with subsystem: {completed}/12 completed, {spilled_total} bytes spilled\n"
+    );
+    let _ = std::fs::remove_dir_all(spill_root);
 }
 
 fn run_fig16() {
@@ -85,8 +131,7 @@ fn run_fig16() {
     println!("{}", table.render());
     overheads.sort_by(f64::total_cmp);
     let median = overheads[overheads.len() / 2];
-    let sub_second =
-        results.iter().filter(|r| r.connector < Duration::from_secs(1)).count();
+    let sub_second = results.iter().filter(|r| r.connector < Duration::from_secs(1)).count();
     println!("median overhead: {median:+.1}%  (paper: <15%)");
     println!("queries under 1s through the connector: {sub_second}/20\n");
 }
@@ -143,9 +188,18 @@ fn run_geo() {
     println!("paper claim: Presto Geospatial plugin >50x faster than brute force\n");
     let mut table = Table::new(
         "trips-in-city counting",
-        &["cities", "trips", "vertices", "quadtree", "brute force", "speedup", "st_contains calls (quad vs brute)"],
+        &[
+            "cities",
+            "trips",
+            "vertices",
+            "quadtree",
+            "brute force",
+            "speedup",
+            "st_contains calls (quad vs brute)",
+        ],
     );
-    for (cities, trips, vertices) in [(500, 20_000, 100), (2_000, 20_000, 200), (5_000, 5_000, 400)] {
+    for (cities, trips, vertices) in [(500, 20_000, 100), (2_000, 20_000, 200), (5_000, 5_000, 400)]
+    {
         let r = geo_exp::run(cities, trips, vertices, 7);
         table.row(vec![
             cities.to_string(),
@@ -216,10 +270,7 @@ fn run_s3() {
     println!("{}", table.render());
 
     let select = s3_exp::s3_select(20_000);
-    let mut table = Table::new(
-        "S3 Select (project 2 of 8 columns)",
-        &["path", "bytes out of S3"],
-    );
+    let mut table = Table::new("S3 Select (project 2 of 8 columns)", &["path", "bytes out of S3"]);
     table.row(vec!["full GET".into(), select.full_bytes.to_string()]);
     table.row(vec!["S3 Select".into(), select.select_bytes.to_string()]);
     println!("{}", table.render());
@@ -257,14 +308,16 @@ fn run_shrink() {
     let cluster = PrestoCluster::new(
         "elastic",
         engine,
-        ClusterConfig { initial_workers: 2, grace_period: Duration::from_secs(120), ..ClusterConfig::default() },
+        ClusterConfig {
+            initial_workers: 2,
+            grace_period: Duration::from_secs(120),
+            ..ClusterConfig::default()
+        },
         clock.clone(),
     );
     let session = Session::default();
-    let mut table = Table::new(
-        "timeline",
-        &["event", "active workers", "queries ok", "queries failed"],
-    );
+    let mut table =
+        Table::new("timeline", &["event", "active workers", "queries ok", "queries failed"]);
     let snapshot = |cluster: &PrestoCluster, event: &str, table: &mut Table| {
         table.row(vec![
             event.to_string(),
@@ -302,7 +355,11 @@ fn run_gateway() {
         PrestoCluster::new(
             name,
             PrestoEngine::new(),
-            ClusterConfig { initial_workers: 2, grace_period: Duration::from_secs(10), ..ClusterConfig::default() },
+            ClusterConfig {
+                initial_workers: 2,
+                grace_period: Duration::from_secs(10),
+                ..ClusterConfig::default()
+            },
             SimClock::new(),
         )
     };
@@ -320,11 +377,7 @@ fn run_gateway() {
     let session = Session::default();
     let mut table = Table::new("routing under maintenance", &["phase", "group", "served by"]);
     for group in ["ads", "eats", "random-team"] {
-        table.row(vec![
-            "normal".into(),
-            group.into(),
-            gateway.route(group).unwrap().cluster,
-        ]);
+        table.row(vec!["normal".into(), group.into(), gateway.route(group).unwrap().cluster]);
     }
     clusters[0].set_maintenance(true); // upgrade dedicated-ads
     for group in ["ads", "eats"] {
@@ -336,11 +389,7 @@ fn run_gateway() {
         ]);
     }
     clusters[0].set_maintenance(false);
-    table.row(vec![
-        "after upgrade".into(),
-        "ads".into(),
-        gateway.route("ads").unwrap().cluster,
-    ]);
+    table.row(vec!["after upgrade".into(), "ads".into(), gateway.route("ads").unwrap().cluster]);
     println!("{}", table.render());
     println!(
         "queries failed during the whole exercise: {}",

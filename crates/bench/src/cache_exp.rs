@@ -77,8 +77,7 @@ impl CacheResult {
 
     /// getFileInfo reduction percent (paper: ~90%).
     pub fn getinfo_reduction_pct(&self) -> f64 {
-        (1.0 - self.getinfo_calls_cached as f64 / self.getinfo_calls_baseline.max(1) as f64)
-            * 100.0
+        (1.0 - self.getinfo_calls_cached as f64 / self.getinfo_calls_baseline.max(1) as f64) * 100.0
     }
 }
 

@@ -98,13 +98,17 @@ pub fn build(rows: usize) -> Fig16Workload {
     // (q13–q16 predicated), q18–q20 scans (q18 predicated) → 14 predicates,
     // 5 limits, 12 aggregations, as in the paper.
     type Filters = Vec<(String, ScalarPredicate)>;
-    type AggSpec<'a> =
-        (&'a str, Filters, Vec<&'a str>, Vec<(AggregateFunction, Option<String>)>);
+    type AggSpec<'a> = (&'a str, Filters, Vec<&'a str>, Vec<(AggregateFunction, Option<String>)>);
     let mut queries = Vec::new();
     let agg_specs: Vec<AggSpec<'_>> = vec![
         ("q01", vec![eq("country", "us")], vec!["device"], vec![agg_count.clone()]),
         ("q02", vec![eq("country", "in")], vec!["device"], vec![sum_clicks.clone()]),
-        ("q03", vec![eq("device", "ios")], vec!["country"], vec![agg_count.clone(), sum_clicks.clone()]),
+        (
+            "q03",
+            vec![eq("device", "ios")],
+            vec!["country"],
+            vec![agg_count.clone(), sum_clicks.clone()],
+        ),
         ("q04", vec![eq("device", "android")], vec!["country"], vec![max_rev.clone()]),
         ("q05", vec![eq("country", "br"), eq("device", "web")], vec![], vec![agg_count.clone()]),
         ("q06", vec![eq("campaign", "camp7")], vec!["country"], vec![sum_clicks.clone()]),
@@ -167,20 +171,14 @@ pub fn build(rows: usize) -> Fig16Workload {
         let where_sql = filters_to_sql(&filters);
         queries.push(Fig16Query {
             name: name.to_string(),
-            sql: format!(
-                "SELECT country, device, clicks FROM events{where_sql} LIMIT {limit}"
-            ),
+            sql: format!("SELECT country, device, clicks FROM events{where_sql} LIMIT {limit}"),
             native: NativeQuery {
                 filters: filters.clone(),
                 group_by: vec![],
                 aggregates: vec![],
                 limit: Some(limit),
             },
-            native_scan_columns: Some(vec![
-                "country".into(),
-                "device".into(),
-                "clicks".into(),
-            ]),
+            native_scan_columns: Some(vec!["country".into(), "device".into(), "clicks".into()]),
         });
     }
     // projection scans (bounded output via a selective predicate on q18;
@@ -250,15 +248,13 @@ pub fn run_query(workload: &Fig16Workload, query: &Fig16Query) -> Fig16Result {
                 .expect("native query")
                 .cost
         }
-        Some(cols) => {
-            workload
-                .connector
-                .store()
-                .scan_segments("prod", "events", cols, &query.native.filters, query.native.limit, None)
-                .expect("native scan")
-                .1
-                .total()
-        }
+        Some(cols) => workload
+            .connector
+            .store()
+            .scan_segments("prod", "events", cols, &query.native.filters, query.native.limit, None)
+            .expect("native scan")
+            .1
+            .total(),
     };
     let native = start.elapsed() + virtual_cost;
 
@@ -276,8 +272,7 @@ pub fn run_query(workload: &Fig16Workload, query: &Fig16Query) -> Fig16Result {
     // Filter work runs on parallel workers (max); stream-out is serialized
     // toward the client (sum) — except for limit queries, where the client
     // cancels the remaining splits once the limit is satisfied (max).
-    let filter: Duration =
-        split_costs.iter().map(|c| c.filter).max().unwrap_or_default();
+    let filter: Duration = split_costs.iter().map(|c| c.filter).max().unwrap_or_default();
     let stream: Duration = if query.native.limit.is_some() {
         split_costs.iter().map(|c| c.stream).max().unwrap_or_default()
     } else {
@@ -285,8 +280,7 @@ pub fn run_query(workload: &Fig16Workload, query: &Fig16Query) -> Fig16Result {
     };
     let connector = start.elapsed() + filter + stream;
 
-    let overhead_pct =
-        (connector.as_secs_f64() / native.as_secs_f64().max(1e-12) - 1.0) * 100.0;
+    let overhead_pct = (connector.as_secs_f64() / native.as_secs_f64().max(1e-12) - 1.0) * 100.0;
     Fig16Result { name: query.name.clone(), native, connector, overhead_pct }
 }
 
@@ -304,11 +298,9 @@ mod tests {
     fn query_mix_matches_the_paper() {
         let w = build(5_000);
         assert_eq!(w.queries.len(), 20);
-        let with_predicates =
-            w.queries.iter().filter(|q| !q.native.filters.is_empty()).count();
+        let with_predicates = w.queries.iter().filter(|q| !q.native.filters.is_empty()).count();
         let with_limits = w.queries.iter().filter(|q| q.native.limit.is_some()).count();
-        let aggregations =
-            w.queries.iter().filter(|q| !q.native.aggregates.is_empty()).count();
+        let aggregations = w.queries.iter().filter(|q| !q.native.aggregates.is_empty()).count();
         assert_eq!(with_predicates, 14);
         assert_eq!(with_limits, 5);
         assert_eq!(aggregations, 12);
@@ -319,11 +311,7 @@ mod tests {
         let w = build(10_000);
         // q10: group by country, count + sum — compare result content
         let q = &w.queries[9];
-        let native = w
-            .connector
-            .store()
-            .execute_native("prod", "events", &q.native, None)
-            .unwrap();
+        let native = w.connector.store().execute_native("prod", "events", &q.native, None).unwrap();
         let session = Session::new("druid", "prod");
         let sql_result = w.engine.execute_with_session(&q.sql, &session).unwrap();
         let mut sql_rows = sql_result.rows();

@@ -161,7 +161,10 @@ pub fn build(rows_per_partition: usize) -> Fig17Workload {
             "part-0.upq",
             &[page],
             WriterMode::Native,
-            WriterProperties { row_group_rows: rows_per_partition / 16, ..WriterProperties::default() },
+            WriterProperties {
+                row_group_rows: rows_per_partition / 16,
+                ..WriterProperties::default()
+            },
         )
         .unwrap();
     }
@@ -265,10 +268,7 @@ pub fn time_query(workload: &Fig17Workload, sql: &str, legacy: bool) -> Duration
     let session = Session::new("hive", "rawdata");
     let io_before = workload.hdfs.clock().now();
     let start = Instant::now();
-    workload
-        .engine
-        .execute_with_session(sql, &session)
-        .unwrap_or_else(|e| panic!("{sql}: {e}"));
+    workload.engine.execute_with_session(sql, &session).unwrap_or_else(|e| panic!("{sql}: {e}"));
     start.elapsed() + (workload.hdfs.clock().now() - io_before)
 }
 
@@ -319,14 +319,19 @@ mod tests {
                 use_legacy_reader: true,
                 ..HiveReaderConfig::default()
             });
-            let old = w.engine.execute_with_session(&q.sql, &session)
+            let old = w
+                .engine
+                .execute_with_session(&q.sql, &session)
                 .unwrap_or_else(|e| panic!("{} (legacy): {e}", q.name));
             w.hive.set_reader_config(HiveReaderConfig::default());
-            let new = w.engine.execute_with_session(&q.sql, &session)
+            let new = w
+                .engine
+                .execute_with_session(&q.sql, &session)
                 .unwrap_or_else(|e| panic!("{} (new): {e}", q.name));
             let mut old_rows = old.rows();
             let mut new_rows = new.rows();
-            let key = |r: &Vec<Value>| r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("|");
+            let key =
+                |r: &Vec<Value>| r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("|");
             old_rows.sort_by_key(key);
             new_rows.sort_by_key(key);
             assert_eq!(old_rows, new_rows, "query {} disagrees", q.name);

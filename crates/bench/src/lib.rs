@@ -16,5 +16,6 @@ pub mod fig16;
 pub mod fig17;
 pub mod geo_exp;
 pub mod report;
+pub mod resource_exp;
 pub mod s3_exp;
 pub mod writers;

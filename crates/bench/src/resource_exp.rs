@@ -1,0 +1,149 @@
+//! §XII.C: resource management — the Fig 17 join workload under a capped
+//! per-query memory budget, with and without the resource subsystem.
+//!
+//! Without per-query pools and spill, a query that outgrows its budget dies
+//! with `INSUFFICIENT_RESOURCES` ("consider running this query on
+//! Spark/Hive" — the paper's batch-fallback advice). With the subsystem
+//! enabled the same query under the same cap spills its blocking operators
+//! (hash join build, aggregation table, sort buffer) to the spill
+//! filesystem, completes, and returns the same rows.
+//!
+//! The cap is self-calibrating: each query first runs unconstrained and the
+//! constrained runs get half its `memory.reserved_peak`.
+
+use std::sync::Arc;
+
+use presto_common::{SimClock, Value};
+use presto_core::Session;
+use presto_resource::{ResourceConfig, ResourceManager};
+use presto_storage::FileSystem;
+
+use crate::fig17::{self, QueryKind};
+
+/// One join query's fate under each regime.
+#[derive(Debug, Clone)]
+pub struct ResourceResult {
+    /// Query label (`q10`..`q21`).
+    pub name: String,
+    /// Unconstrained peak memory reservation in bytes.
+    pub peak_bytes: u64,
+    /// The cap applied to both constrained runs (half the peak).
+    pub budget_bytes: usize,
+    /// Error code of the capped run WITHOUT the subsystem (`None` =
+    /// completed within budget).
+    pub unmanaged_error: Option<String>,
+    /// Whether the capped run WITH spill enabled completed.
+    pub managed_ok: bool,
+    /// Bytes the managed run wrote to the spill filesystem.
+    pub spilled_bytes: u64,
+    /// Spill files the managed run created.
+    pub spill_files: u64,
+    /// Whether the managed run returned exactly the unconstrained rows.
+    pub rows_match: bool,
+}
+
+impl ResourceResult {
+    /// `true` when the unmanaged capped run was killed.
+    pub fn unmanaged_killed(&self) -> bool {
+        self.unmanaged_error.is_some()
+    }
+}
+
+/// Row equality with a relative tolerance on doubles: spilling reorders
+/// floating-point sums, which is correct but not bit-identical.
+fn rows_approx_eq(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(va, vb)| match (va, vb) {
+                    (Value::Double(x), Value::Double(y)) => {
+                        (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+                    }
+                    _ => va == vb,
+                })
+        })
+}
+
+/// Run the 12 Fig 17 joins at `rows_per_partition`, each capped at half its
+/// unconstrained peak, spilling onto `spill_fs`.
+pub fn run(rows_per_partition: usize, spill_fs: Arc<dyn FileSystem>) -> Vec<ResourceResult> {
+    let workload = fig17::build(rows_per_partition);
+    let engine = workload.engine.clone().with_resources(ResourceManager::with_spill_fs(
+        ResourceConfig::default(),
+        SimClock::new(),
+        spill_fs,
+    ));
+    let session = Session::new("hive", "rawdata");
+    workload
+        .queries
+        .iter()
+        .filter(|q| q.kind == QueryKind::Join)
+        .map(|q| {
+            let unconstrained = engine
+                .execute_with_session(&q.sql, &session)
+                .unwrap_or_else(|e| panic!("{} (unconstrained): {e}", q.name));
+            let expected: Vec<Vec<Value>> = unconstrained.rows();
+            // LIMIT without ORDER BY may keep any N rows; spilling reorders
+            // the join output, so only the row count is comparable there.
+            let deterministic = !q.sql.contains("LIMIT") || q.sql.contains("ORDER BY");
+            let peak = unconstrained.metrics.get("memory.reserved_peak");
+            let budget = (peak / 2) as usize;
+
+            let capped = session.clone().with_memory_budget(budget);
+            let unmanaged_error =
+                engine.execute_with_session(&q.sql, &capped).err().map(|e| e.code().to_string());
+
+            let managed = engine.execute_with_session(&q.sql, &capped.with_spill(true));
+            let (managed_ok, spilled_bytes, spill_files, rows_match) = match managed {
+                Ok(result) => {
+                    let rows = result.rows();
+                    let rows_match = if deterministic {
+                        rows_approx_eq(&rows, &expected)
+                    } else {
+                        rows.len() == expected.len()
+                    };
+                    (
+                        true,
+                        result.metrics.get("spill.bytes_written"),
+                        result.metrics.get("spill.files"),
+                        rows_match,
+                    )
+                }
+                Err(_) => (false, 0, 0, false),
+            };
+            ResourceResult {
+                name: q.name.clone(),
+                peak_bytes: peak,
+                budget_bytes: budget,
+                unmanaged_error,
+                managed_ok,
+                spilled_bytes,
+                spill_files,
+                rows_match,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_storage::InMemoryFileSystem;
+
+    #[test]
+    fn managed_runs_complete_where_unmanaged_runs_die() {
+        let results = run(2_000, Arc::new(InMemoryFileSystem::new()));
+        assert_eq!(results.len(), 12);
+        for r in &results {
+            assert!(r.peak_bytes > 0, "{}: joins must reserve memory", r.name);
+            assert!(r.unmanaged_killed(), "{}: half the peak must not fit without spill", r.name);
+            assert_eq!(r.unmanaged_error.as_deref(), Some("INSUFFICIENT_RESOURCES"), "{}", r.name);
+            assert!(r.managed_ok, "{}: spill must rescue the capped run", r.name);
+            assert!(r.rows_match, "{}: spilled rows must match", r.name);
+        }
+        assert!(
+            results.iter().any(|r| r.spilled_bytes > 0),
+            "at least one join must actually spill"
+        );
+    }
+}

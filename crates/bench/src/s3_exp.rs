@@ -102,12 +102,7 @@ pub fn backoff(reads: usize, fail_every: u64) -> BackoffResult {
     };
     let (completed_with_retries, retries, backoff_time) = run(6);
     let (completed_without_retries, _, _) = run(0);
-    BackoffResult {
-        completed_with_retries,
-        completed_without_retries,
-        retries,
-        backoff_time,
-    }
+    BackoffResult { completed_with_retries, completed_without_retries, retries, backoff_time }
 }
 
 /// S3-Select comparison: bytes out with projection pushed to storage.
@@ -167,10 +162,7 @@ pub fn multipart(mb: usize) -> MultipartResult {
         fs.write("/b/big", &data).unwrap();
         clock.now() - t0
     };
-    MultipartResult {
-        single_put: run(usize::MAX),
-        multipart: run(1),
-    }
+    MultipartResult { single_put: run(usize::MAX), multipart: run(1) }
 }
 
 #[cfg(test)]

@@ -41,9 +41,7 @@ impl WriterResult {
 
     /// Native throughput (MB/s).
     pub fn native_mbps(&self) -> f64 {
-        self.input_bytes as f64
-            / (1024.0 * 1024.0)
-            / self.native_elapsed.as_secs_f64().max(1e-9)
+        self.input_bytes as f64 / (1024.0 * 1024.0) / self.native_elapsed.as_secs_f64().max(1e-9)
     }
 
     /// Native gain over legacy, in percent.
@@ -80,21 +78,12 @@ pub fn run_workload(name: &str, rows: usize, codec: Codec, seed: u64) -> WriterR
     let (old_elapsed, old_size) = write_once(&schema, &pages, WriterMode::Legacy, codec);
     let (native_elapsed, native_size) = write_once(&schema, &pages, WriterMode::Native, codec);
     assert_eq!(old_size, native_size, "writers must produce identical files");
-    WriterResult {
-        workload: name.to_string(),
-        codec,
-        input_bytes,
-        old_elapsed,
-        native_elapsed,
-    }
+    WriterResult { workload: name.to_string(), codec, input_bytes, old_elapsed, native_elapsed }
 }
 
 /// Run a whole figure (one codec over all 11 workloads).
 pub fn run_figure(codec: Codec, rows: usize) -> Vec<WriterResult> {
-    writer_workload_names()
-        .iter()
-        .map(|name| run_workload(name, rows, codec, 42))
-        .collect()
+    writer_workload_names().iter().map(|name| run_workload(name, rows, codec, 42)).collect()
 }
 
 #[cfg(test)]
@@ -106,8 +95,7 @@ mod tests {
         for name in writer_workload_names() {
             for codec in [Codec::None, Codec::Fast, Codec::Deep] {
                 let (schema, page) = writer_workload(name, 300, 7).unwrap();
-                let props =
-                    WriterProperties { codec, ..WriterProperties::default() };
+                let props = WriterProperties { codec, ..WriterProperties::default() };
                 let mut old =
                     FileWriter::new(schema.clone(), props.clone(), WriterMode::Legacy).unwrap();
                 old.write_page(&page).unwrap();

@@ -103,12 +103,7 @@ impl FileSystem for CachedFileSystem {
             return Ok(hit.as_ref().clone());
         }
         self.metrics.incr("dc.misses");
-        let generation_before = self
-            .by_path
-            .lock()
-            .get(&norm)
-            .map(|s| s.generation)
-            .unwrap_or(0);
+        let generation_before = self.by_path.lock().get(&norm).map(|s| s.generation).unwrap_or(0);
         let data = self.inner.read_range(path, offset, len)?;
         {
             let mut by_path = self.by_path.lock();
@@ -149,8 +144,7 @@ mod tests {
     fn cached_hdfs() -> (CachedFileSystem, HdfsFileSystem) {
         let hdfs = HdfsFileSystem::with_defaults();
         hdfs.backing_store().write("/t/f", &(0..=255u8).collect::<Vec<_>>()).unwrap();
-        let cached =
-            CachedFileSystem::new(Arc::new(hdfs.clone()), 64, CounterSet::new());
+        let cached = CachedFileSystem::new(Arc::new(hdfs.clone()), 64, CounterSet::new());
         (cached, hdfs)
     }
 

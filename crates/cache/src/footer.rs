@@ -85,8 +85,7 @@ impl FooterCache {
         }
         self.metrics.incr("ftc.misses");
         let status = self.handles.get_file_info(path)?;
-        let source =
-            FsSource::open_with_size(self.handles.filesystem().clone(), path, status.size);
+        let source = FsSource::open_with_size(self.handles.filesystem().clone(), path, status.size);
         let meta = Arc::new(read_metadata(&source)?);
         self.cache.put(path.to_string(), meta.clone());
         Ok(meta)

@@ -19,6 +19,7 @@ use presto_common::{Page, PrestoError, Result, SimClock};
 use presto_connectors::SplitPayload;
 use presto_core::{PrestoEngine, QueryResult, Session};
 use presto_plan::LogicalPlan;
+use presto_resource::{AdmissionConfig, ResourceConfig, ResourceManager};
 
 use crate::worker::{Worker, WorkerState, DEFAULT_GRACE_PERIOD};
 
@@ -36,6 +37,10 @@ pub struct ClusterConfig {
     /// §VII fragment result cache: per-worker entries (0 = disabled). Only
     /// immutable splits (warehouse files, generated data) are cached.
     pub fragment_cache_entries: usize,
+    /// Cluster-wide memory pool in bytes (`None` = unbounded).
+    pub cluster_memory_bytes: Option<usize>,
+    /// Coordinator admission control (defaults admit everything at once).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ClusterConfig {
@@ -45,6 +50,8 @@ impl Default for ClusterConfig {
             grace_period: DEFAULT_GRACE_PERIOD,
             affinity_scheduling: false,
             fragment_cache_entries: 0,
+            cluster_memory_bytes: None,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -77,6 +84,16 @@ impl PrestoCluster {
         config: ClusterConfig,
         clock: SimClock,
     ) -> Arc<PrestoCluster> {
+        // The coordinator owns the cluster-wide resource manager: one
+        // memory pool and one admission queue shared by every query this
+        // cluster runs. The engine's fragments account against it.
+        let engine = engine.with_resources(ResourceManager::new(
+            ResourceConfig {
+                cluster_memory_bytes: config.cluster_memory_bytes,
+                admission: config.admission.clone(),
+            },
+            clock.clone(),
+        ));
         let cluster = PrestoCluster {
             name: name.into(),
             engine,
@@ -191,23 +208,34 @@ impl PrestoCluster {
     }
 
     /// Execute a query with distributed scan fragments.
+    ///
+    /// Queries pass the coordinator's admission queue first; the RAII
+    /// permit is held for the query's whole distributed run.
     pub fn execute(&self, sql: &str, session: &Session) -> Result<QueryResult> {
         if self.in_maintenance() {
-            return Err(PrestoError::Execution(format!(
-                "cluster {} is in maintenance",
-                self.name
-            )));
+            return Err(PrestoError::Execution(format!("cluster {} is in maintenance", self.name)));
         }
         self.queries_started.fetch_add(1, Ordering::Relaxed);
         self.metrics.incr("cluster.queries");
-        let result = self.execute_inner(sql, session);
+        let query_metrics = CounterSet::new();
+        let result = self
+            .engine
+            .resources()
+            .admission()
+            .admit(&session.user, session.priority, &query_metrics)
+            .and_then(|_permit| self.execute_inner(sql, session, &query_metrics));
         if result.is_err() {
             self.metrics.incr("cluster.queries_failed");
         }
         result
     }
 
-    fn execute_inner(&self, sql: &str, session: &Session) -> Result<QueryResult> {
+    fn execute_inner(
+        &self,
+        sql: &str,
+        session: &Session,
+        query_metrics: &CounterSet,
+    ) -> Result<QueryResult> {
         let fragments = self.engine.fragment(sql, session)?;
         let schema = fragments[0].plan.output_schema()?;
 
@@ -218,7 +246,12 @@ impl PrestoCluster {
                 &fragment.plan
             else {
                 // non-scan fragment (not produced by the current fragmenter)
-                let pages = self.engine.execute_fragment(fragment, vec![], session)?;
+                let pages = self.engine.execute_fragment_with_metrics(
+                    fragment,
+                    vec![],
+                    session,
+                    query_metrics,
+                )?;
                 exchanges.push((fragment.id, pages));
                 continue;
             };
@@ -248,73 +281,67 @@ impl PrestoCluster {
                 };
                 per_worker[w].push(i);
             }
-            let assignments: Vec<(Arc<Worker>, Vec<usize>)> = workers
-                .iter()
-                .cloned()
-                .zip(per_worker)
-                .collect();
+            let assignments: Vec<(Arc<Worker>, Vec<usize>)> =
+                workers.iter().cloned().zip(per_worker).collect();
             // Pushdowns are part of the fragment identity: two queries only
             // share cached results when their pushed-down scans agree.
             let plan_fingerprint = fingerprint(&format!("{:?}", fragment.plan));
             type SplitResults = Vec<Result<Vec<(usize, Vec<Page>)>>>;
-            let results: SplitResults =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = assignments
-                        .iter()
-                        .map(|(worker, split_ids)| {
-                            let connector = connector.clone();
-                            let splits = &splits;
-                            let cache = self
-                                .fragment_caches
-                                .read()
-                                .get(&worker.id)
-                                .cloned();
-                            scope.spawn(move || {
-                                let mut out = Vec::new();
-                                for &i in split_ids {
-                                    let _task = worker.begin_task()?;
-                                    let key = FragmentKey {
-                                        plan_fingerprint,
-                                        split_identity: split_identity(&splits[i].payload),
-                                    };
-                                    let cacheable = cache.is_some()
-                                        && is_immutable_split(&splits[i].payload);
-                                    if cacheable {
-                                        if let Some(hit) =
-                                            cache.as_ref().and_then(|c| c.get(&key))
-                                        {
-                                            out.push((i, hit.as_ref().clone()));
-                                            continue;
-                                        }
+            let results: SplitResults = std::thread::scope(|scope| {
+                let handles: Vec<_> = assignments
+                    .iter()
+                    .map(|(worker, split_ids)| {
+                        let connector = connector.clone();
+                        let splits = &splits;
+                        let cache = self.fragment_caches.read().get(&worker.id).cloned();
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            for &i in split_ids {
+                                let _task = worker.begin_task()?;
+                                let key = FragmentKey {
+                                    plan_fingerprint,
+                                    split_identity: split_identity(&splits[i].payload),
+                                };
+                                let cacheable =
+                                    cache.is_some() && is_immutable_split(&splits[i].payload);
+                                if cacheable {
+                                    if let Some(hit) = cache.as_ref().and_then(|c| c.get(&key)) {
+                                        out.push((i, hit.as_ref().clone()));
+                                        continue;
                                     }
-                                    let pages = connector.scan_split(&splits[i], request)?;
-                                    if cacheable {
-                                        if let Some(c) = &cache {
-                                            c.put(key, pages.clone());
-                                        }
-                                    }
-                                    out.push((i, pages));
                                 }
-                                Ok(out)
-                            })
+                                let pages = connector.scan_split(&splits[i], request)?;
+                                if cacheable {
+                                    if let Some(c) = &cache {
+                                        c.put(key, pages.clone());
+                                    }
+                                }
+                                out.push((i, pages));
+                            }
+                            Ok(out)
                         })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-                });
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
             // splits stay ordered so results are deterministic
             let mut indexed: Vec<(usize, Vec<Page>)> = Vec::new();
             for r in results {
                 indexed.extend(r?);
             }
             indexed.sort_by_key(|(i, _)| *i);
-            let pages: Vec<Page> =
-                indexed.into_iter().flat_map(|(_, pages)| pages).collect();
+            let pages: Vec<Page> = indexed.into_iter().flat_map(|(_, pages)| pages).collect();
             exchanges.push((fragment.id, pages));
         }
 
         // Root fragment runs on the coordinator.
-        let pages = self.engine.execute_fragment(&fragments[0], exchanges, session)?;
-        Ok(QueryResult { schema, pages })
+        let pages = self.engine.execute_fragment_with_metrics(
+            &fragments[0],
+            exchanges,
+            session,
+            query_metrics,
+        )?;
+        Ok(QueryResult { schema, pages, metrics: query_metrics.clone() })
     }
 }
 
@@ -365,7 +392,11 @@ mod tests {
         PrestoCluster::new(
             "test",
             engine,
-            ClusterConfig { initial_workers: 3, grace_period: Duration::from_secs(2), ..ClusterConfig::default() },
+            ClusterConfig {
+                initial_workers: 3,
+                grace_period: Duration::from_secs(2),
+                ..ClusterConfig::default()
+            },
             SimClock::new(),
         )
     }
@@ -373,14 +404,11 @@ mod tests {
     #[test]
     fn distributed_query_spreads_tasks_over_workers() {
         let c = cluster();
-        let result = c
-            .execute("SELECT count(*) FROM t", &Session::default())
-            .unwrap();
+        let result = c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
         assert_eq!(result.rows(), vec![vec![Value::Bigint(80)]]);
         assert_eq!(c.metrics().get("cluster.tasks"), 8);
         // every worker did some splits
-        let done: Vec<usize> =
-            c.workers().iter().map(|w| w.completed_tasks()).collect();
+        let done: Vec<usize> = c.workers().iter().map(|w| w.completed_tasks()).collect();
         assert!(done.iter().all(|&d| d > 0), "{done:?}");
         assert_eq!(done.iter().sum::<usize>(), 8);
     }
@@ -423,10 +451,7 @@ mod tests {
     #[test]
     fn fragment_result_cache_serves_repeat_queries() {
         let engine = PrestoEngine::new();
-        engine.register_catalog(
-            "tpch",
-            Arc::new(presto_connectors::tpch::TpchConnector::new()),
-        );
+        engine.register_catalog("tpch", Arc::new(presto_connectors::tpch::TpchConnector::new()));
         let c = PrestoCluster::new(
             "cached",
             engine,
@@ -462,10 +487,7 @@ mod tests {
     #[test]
     fn affinity_keeps_caches_warm_through_expansion() {
         let engine = PrestoEngine::new();
-        engine.register_catalog(
-            "tpch",
-            Arc::new(presto_connectors::tpch::TpchConnector::new()),
-        );
+        engine.register_catalog("tpch", Arc::new(presto_connectors::tpch::TpchConnector::new()));
         let mk = |affinity: bool| {
             let c = PrestoCluster::new(
                 "t",

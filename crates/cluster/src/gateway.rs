@@ -106,45 +106,32 @@ impl PrestoGateway {
         let primary = match lookup(group)? {
             Some(c) => c,
             None => lookup(DEFAULT_GROUP)?.ok_or_else(|| {
-                PrestoError::Execution(format!(
-                    "no route for group '{group}' and no default route"
-                ))
+                PrestoError::Execution(format!("no route for group '{group}' and no default route"))
             })?,
         };
         let clusters = self.clusters.read();
-        let healthy = |name: &str| {
-            clusters.get(name).map(|c| !c.in_maintenance()).unwrap_or(false)
-        };
+        let healthy = |name: &str| clusters.get(name).map(|c| !c.in_maintenance()).unwrap_or(false);
         if healthy(&primary) {
             return Ok(Redirect { cluster: primary });
         }
         // primary down/draining: re-route to the shared default
         self.metrics.incr("gateway.rerouted_maintenance");
         let fallback = lookup(DEFAULT_GROUP)?.ok_or_else(|| {
-            PrestoError::Execution(format!(
-                "cluster '{primary}' unavailable and no default route"
-            ))
+            PrestoError::Execution(format!("cluster '{primary}' unavailable and no default route"))
         })?;
         if fallback != primary && healthy(&fallback) {
             return Ok(Redirect { cluster: fallback });
         }
-        Err(PrestoError::Execution(format!(
-            "no healthy cluster for group '{group}'"
-        )))
+        Err(PrestoError::Execution(format!("no healthy cluster for group '{group}'")))
     }
 
     /// Client helper: resolve the redirect, then run the query *directly on
     /// the cluster* (the gateway never proxies data, §XII.B).
     pub fn submit(&self, group: &str, sql: &str, session: &Session) -> Result<QueryResult> {
         let redirect = self.route(group)?;
-        let cluster = self
-            .clusters
-            .read()
-            .get(&redirect.cluster)
-            .cloned()
-            .ok_or_else(|| {
-                PrestoError::Execution(format!("unknown cluster '{}'", redirect.cluster))
-            })?;
+        let cluster = self.clusters.read().get(&redirect.cluster).cloned().ok_or_else(|| {
+            PrestoError::Execution(format!("unknown cluster '{}'", redirect.cluster))
+        })?;
         cluster.execute(sql, session)
     }
 }
@@ -163,7 +150,11 @@ mod tests {
             PrestoCluster::new(
                 name,
                 PrestoEngine::new(),
-                ClusterConfig { initial_workers: 2, grace_period: Duration::from_secs(1), ..ClusterConfig::default() },
+                ClusterConfig {
+                    initial_workers: 2,
+                    grace_period: Duration::from_secs(1),
+                    ..ClusterConfig::default()
+                },
                 SimClock::new(),
             )
         };

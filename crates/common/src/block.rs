@@ -336,7 +336,12 @@ impl Block {
                     .zip(columns.iter())
                     .map(|(f, col)| Block::from_values(&f.data_type, col))
                     .collect::<Result<Vec<_>>>()?;
-                Ok(Block::Row { fields: fields.clone(), children, len: values.len(), nulls: mask(values) })
+                Ok(Block::Row {
+                    fields: fields.clone(),
+                    children,
+                    len: values.len(),
+                    nulls: mask(values),
+                })
             }
         }
     }
@@ -577,15 +582,16 @@ impl Block {
 
     /// Concatenate blocks of the same type.
     pub fn concat(blocks: &[Block]) -> Result<Block> {
-        let first = blocks
-            .first()
-            .ok_or_else(|| PrestoError::Internal("concat of zero blocks".into()))?;
+        let first =
+            blocks.first().ok_or_else(|| PrestoError::Internal("concat of zero blocks".into()))?;
         let dt = first.data_type();
         // Slow generic path via values keeps nested cases correct; the scalar
         // fast paths below cover the hot columns.
         match (&dt, blocks.len()) {
             (_, 1) => return Ok(first.clone()),
-            (DataType::Bigint, _) if blocks.iter().all(|b| matches!(b, Block::Bigint { nulls: None, .. })) => {
+            (DataType::Bigint, _)
+                if blocks.iter().all(|b| matches!(b, Block::Bigint { nulls: None, .. })) =>
+            {
                 let mut values = Vec::new();
                 for b in blocks {
                     if let Block::Bigint { values: v, .. } = b {
@@ -594,7 +600,9 @@ impl Block {
                 }
                 return Ok(Block::bigint(values));
             }
-            (DataType::Double, _) if blocks.iter().all(|b| matches!(b, Block::Double { nulls: None, .. })) => {
+            (DataType::Double, _)
+                if blocks.iter().all(|b| matches!(b, Block::Double { nulls: None, .. })) =>
+            {
                 let mut values = Vec::new();
                 for b in blocks {
                     if let Block::Double { values: v, .. } = b {
@@ -679,8 +687,7 @@ mod tests {
 
     #[test]
     fn from_values_round_trips_scalars() {
-        let vals =
-            vec![Value::Bigint(1), Value::Null, Value::Bigint(3), Value::Bigint(-7)];
+        let vals = vec![Value::Bigint(1), Value::Null, Value::Bigint(3), Value::Bigint(-7)];
         let block = Block::from_values(&DataType::Bigint, &vals).unwrap();
         assert_eq!(block.len(), 4);
         assert_eq!(block.null_count(), 1);

@@ -34,6 +34,10 @@ pub enum PrestoError {
     /// big joins (§XII.C). Raised when a query exceeds the session memory
     /// budget.
     InsufficientResources(String),
+    /// The cluster memory pool ran dry and the OOM arbiter chose this query
+    /// as the victim: it held the most memory and nothing was revocable
+    /// (spillable) anywhere, so killing it frees the most capacity.
+    ExceededMemoryLimit(String),
     /// Feature not supported by this reproduction.
     NotSupported(String),
     /// Invariant violation — a bug in the engine itself.
@@ -53,6 +57,7 @@ impl PrestoError {
             PrestoError::Format(_) => "FORMAT_ERROR",
             PrestoError::SchemaEvolution(_) => "SCHEMA_EVOLUTION_ERROR",
             PrestoError::InsufficientResources(_) => "INSUFFICIENT_RESOURCES",
+            PrestoError::ExceededMemoryLimit(_) => "EXCEEDED_MEMORY_LIMIT",
             PrestoError::NotSupported(_) => "NOT_SUPPORTED",
             PrestoError::Internal(_) => "INTERNAL_ERROR",
         }
@@ -70,6 +75,7 @@ impl PrestoError {
             | PrestoError::Format(m)
             | PrestoError::SchemaEvolution(m)
             | PrestoError::InsufficientResources(m)
+            | PrestoError::ExceededMemoryLimit(m)
             | PrestoError::NotSupported(m)
             | PrestoError::Internal(m) => m,
         }
@@ -108,6 +114,7 @@ mod tests {
             PrestoError::Format(String::new()),
             PrestoError::SchemaEvolution(String::new()),
             PrestoError::InsufficientResources(String::new()),
+            PrestoError::ExceededMemoryLimit(String::new()),
             PrestoError::NotSupported(String::new()),
             PrestoError::Internal(String::new()),
         ];

@@ -50,11 +50,7 @@ impl CounterSet {
 
     /// Snapshot of all counters.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.counters
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
-            .collect()
+        self.counters.read().iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
     }
 
     /// Reset every counter to zero (between experiment phases).

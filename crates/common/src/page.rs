@@ -132,9 +132,8 @@ impl Page {
 
     /// Vertically concatenate pages with identical column layouts.
     pub fn concat(pages: &[Page]) -> Result<Page> {
-        let first = pages
-            .first()
-            .ok_or_else(|| PrestoError::Internal("concat of zero pages".into()))?;
+        let first =
+            pages.first().ok_or_else(|| PrestoError::Internal("concat of zero pages".into()))?;
         let ncols = first.column_count();
         if pages.iter().any(|p| p.column_count() != ncols) {
             return Err(PrestoError::Internal("concat of pages with different widths".into()));
@@ -161,11 +160,7 @@ mod tests {
     use super::*;
 
     fn page() -> Page {
-        Page::new(vec![
-            Block::bigint(vec![1, 2, 3]),
-            Block::varchar(&["a", "b", "c"]),
-        ])
-        .unwrap()
+        Page::new(vec![Block::bigint(vec![1, 2, 3]), Block::varchar(&["a", "b", "c"])]).unwrap()
     }
 
     #[test]

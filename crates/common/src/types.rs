@@ -296,10 +296,8 @@ mod tests {
         assert_eq!(projected.len(), 1);
         assert!(schema.project(&["missing"]).is_err());
 
-        let dup = Schema::new(vec![
-            Field::new("a", DataType::Bigint),
-            Field::new("a", DataType::Double),
-        ]);
+        let dup =
+            Schema::new(vec![Field::new("a", DataType::Bigint), Field::new("a", DataType::Double)]);
         assert!(dup.is_err());
     }
 

@@ -146,9 +146,9 @@ impl Value {
             (true, true) => Ordering::Equal,
             (true, false) => Ordering::Greater,
             (false, true) => Ordering::Less,
-            (false, false) => self
-                .sql_cmp(other)
-                .unwrap_or_else(|| self.type_tag().cmp(&other.type_tag())),
+            (false, false) => {
+                self.sql_cmp(other).unwrap_or_else(|| self.type_tag().cmp(&other.type_tag()))
+            }
         }
     }
 

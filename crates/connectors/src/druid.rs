@@ -109,11 +109,7 @@ mod tests {
         let total: usize = splits
             .iter()
             .map(|s| {
-                c.scan_split(s, &request)
-                    .unwrap()
-                    .iter()
-                    .map(|p| p.positions())
-                    .sum::<usize>()
+                c.scan_split(s, &request).unwrap().iter().map(|p| p.positions()).sum::<usize>()
             })
             .sum();
         // every 7th row is c3

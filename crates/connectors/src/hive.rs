@@ -24,9 +24,7 @@ use presto_common::{Block, Page, PrestoError, Result, Schema, Value};
 use presto_parquet::reader::FsSource;
 use presto_parquet::reader_new::{self, ProjectedColumn, ReadOptions};
 use presto_parquet::reader_old;
-use presto_parquet::{
-    ColumnPredicate, FilePredicate, FileWriter, WriterMode, WriterProperties,
-};
+use presto_parquet::{ColumnPredicate, FilePredicate, FileWriter, WriterMode, WriterProperties};
 use presto_storage::FileSystem;
 
 use crate::memory::{predicate_mask, project_column};
@@ -169,9 +167,10 @@ impl HiveConnector {
         let def = tables
             .get_mut(&(schema_name.to_string(), table.to_string()))
             .ok_or_else(|| PrestoError::Connector(format!("no table {schema_name}.{table}")))?;
-        let col = def.partition_column.clone().ok_or_else(|| {
-            PrestoError::Connector(format!("table {table} is not partitioned"))
-        })?;
+        let col = def
+            .partition_column
+            .clone()
+            .ok_or_else(|| PrestoError::Connector(format!("table {table} is not partitioned")))?;
         let path = format!("{}/{col}={value}", def.location);
         def.partitions.push(HivePartition { value: value.to_string(), path: path.clone(), sealed });
         Ok(path)
@@ -234,13 +233,9 @@ impl HiveConnector {
     }
 
     fn table_def(&self, schema: &str, table: &str) -> Result<HiveTableDef> {
-        self.tables
-            .read()
-            .get(&(schema.to_string(), table.to_string()))
-            .cloned()
-            .ok_or_else(|| {
-                PrestoError::Analysis(format!("table hive.{schema}.{table} does not exist"))
-            })
+        self.tables.read().get(&(schema.to_string(), table.to_string())).cloned().ok_or_else(|| {
+            PrestoError::Analysis(format!("table hive.{schema}.{table} does not exist"))
+        })
     }
 }
 
@@ -250,20 +245,13 @@ impl Connector for HiveConnector {
     }
 
     fn list_schemas(&self) -> Vec<String> {
-        let mut out: Vec<String> =
-            self.tables.read().keys().map(|(s, _)| s.clone()).collect();
+        let mut out: Vec<String> = self.tables.read().keys().map(|(s, _)| s.clone()).collect();
         out.dedup();
         out
     }
 
     fn list_tables(&self, schema: &str) -> Result<Vec<String>> {
-        Ok(self
-            .tables
-            .read()
-            .keys()
-            .filter(|(s, _)| s == schema)
-            .map(|(_, t)| t.clone())
-            .collect())
+        Ok(self.tables.read().keys().filter(|(s, _)| s == schema).map(|(_, t)| t.clone()).collect())
     }
 
     fn table_schema(&self, schema: &str, table: &str) -> Result<Schema> {
@@ -356,11 +344,8 @@ impl Connector for HiveConnector {
         // Separate partition-column projections/predicates (virtual column)
         // from file-column ones.
         let part_col = partition.as_ref().map(|(c, _)| c.as_str());
-        let file_columns: Vec<&ColumnPath> = request
-            .columns
-            .iter()
-            .filter(|c| Some(c.column.as_str()) != part_col)
-            .collect();
+        let file_columns: Vec<&ColumnPath> =
+            request.columns.iter().filter(|c| Some(c.column.as_str()) != part_col).collect();
         let file_predicates: Vec<&PushdownPredicate> = request
             .predicate
             .iter()
@@ -370,9 +355,7 @@ impl Connector for HiveConnector {
         // not have pruned exactly — re-verify against the value.
         if let Some((col, value)) = partition {
             for p in &request.predicate {
-                if p.target.column == *col
-                    && !p.predicate.matches(&Value::Varchar(value.clone()))
-                {
+                if p.target.column == *col && !p.predicate.matches(&Value::Varchar(value.clone())) {
                     return Ok(Vec::new());
                 }
             }
@@ -397,9 +380,9 @@ impl Connector for HiveConnector {
                     top_columns.push(p.target.column.clone());
                 }
             }
-            let read_schema = def.file_schema.project(
-                &top_columns.iter().map(String::as_str).collect::<Vec<_>>(),
-            )?;
+            let read_schema = def
+                .file_schema
+                .project(&top_columns.iter().map(String::as_str).collect::<Vec<_>>())?;
             let (raw_pages, stats) = reader_old::read(&source, &def.file_schema, &top_columns)?;
             self.metrics.add("hive.leaves_decoded", stats.leaves_decoded as u64);
             let mut out = Vec::with_capacity(raw_pages.len());
@@ -427,10 +410,7 @@ impl Connector for HiveConnector {
             // New reader: pruned projections + pushed predicate.
             let projections: Vec<ProjectedColumn> = file_columns
                 .iter()
-                .map(|c| ProjectedColumn {
-                    column: c.column.clone(),
-                    sub_path: c.path.clone(),
-                })
+                .map(|c| ProjectedColumn { column: c.column.clone(), sub_path: c.path.clone() })
                 .collect();
             let predicate = FilePredicate {
                 conjuncts: file_predicates
@@ -469,11 +449,7 @@ impl Connector for HiveConnector {
                 }
                 let take = (limit - kept).min(page.positions());
                 kept += take;
-                truncated.push(if take == page.positions() {
-                    page
-                } else {
-                    page.slice(0, take)
-                });
+                truncated.push(if take == page.positions() { page } else { page.slice(0, take) });
             }
             pages = truncated;
         }
@@ -515,8 +491,8 @@ impl Connector for HiveConnector {
 mod tests {
     use super::*;
     use presto_common::{DataType, Field};
-    use presto_storage::HdfsFileSystem;
     use presto_parquet::ScalarPredicate;
+    use presto_storage::HdfsFileSystem;
 
     fn trips_file_schema() -> Schema {
         Schema::new(vec![Field::new(
@@ -552,8 +528,7 @@ mod tests {
                     ])
                 })
                 .collect();
-            let page =
-                Page::new(vec![Block::from_values(&base_type, &rows).unwrap()]).unwrap();
+            let page = Page::new(vec![Block::from_values(&base_type, &rows).unwrap()]).unwrap();
             hive.write_data_file(
                 "rawdata",
                 "trips",
@@ -619,9 +594,7 @@ mod tests {
         assert_eq!(new_rows, old_rows);
         // city_id in (12): rows 12, 32, 52, 72, 92 → 5 rows
         assert_eq!(new_rows.len(), 5);
-        assert!(new_rows
-            .iter()
-            .all(|r| r[0].as_str().unwrap().starts_with("drv-2017-03-02-")));
+        assert!(new_rows.iter().all(|r| r[0].as_str().unwrap().starts_with("drv-2017-03-02-")));
     }
 
     #[test]
@@ -656,10 +629,7 @@ mod tests {
     fn partition_column_projects_as_constant() {
         let (hive, _) = loaded_hive();
         let request = ScanRequest {
-            columns: vec![
-                ColumnPath::whole("datestr"),
-                ColumnPath::nested("base", &["city_id"]),
-            ],
+            columns: vec![ColumnPath::whole("datestr"), ColumnPath::nested("base", &["city_id"])],
             predicate: vec![PushdownPredicate {
                 target: ColumnPath::whole("datestr"),
                 predicate: ScalarPredicate::Eq(Value::Varchar("2017-03-01".into())),
@@ -685,20 +655,32 @@ mod tests {
         let schema = Schema::new(vec![Field::new("x", DataType::Bigint)]).unwrap();
         hive.register_table("s", "flat", schema, "/w/flat", None);
         let one_page = || {
-            Page::new(vec![Block::from_values(
-                &DataType::Bigint,
-                &[Value::Bigint(1)],
-            )
-            .unwrap()])
-            .unwrap()
+            Page::new(vec![Block::from_values(&DataType::Bigint, &[Value::Bigint(1)]).unwrap()])
+                .unwrap()
         };
-        hive.write_data_file("s", "flat", None, "part-0.upq", &[one_page()],
-            WriterMode::Native, WriterProperties::default()).unwrap();
+        hive.write_data_file(
+            "s",
+            "flat",
+            None,
+            "part-0.upq",
+            &[one_page()],
+            WriterMode::Native,
+            WriterProperties::default(),
+        )
+        .unwrap();
         let request = ScanRequest::project(vec![ColumnPath::whole("x")]);
         assert_eq!(hive.splits("s", "flat", &request).unwrap().len(), 1);
         // a new file arrives: the next scan must see it, not the cached list
-        hive.write_data_file("s", "flat", None, "part-1.upq", &[one_page()],
-            WriterMode::Native, WriterProperties::default()).unwrap();
+        hive.write_data_file(
+            "s",
+            "flat",
+            None,
+            "part-1.upq",
+            &[one_page()],
+            WriterMode::Native,
+            WriterProperties::default(),
+        )
+        .unwrap();
         assert_eq!(hive.splits("s", "flat", &request).unwrap().len(), 2);
     }
 

@@ -57,13 +57,9 @@ impl MemoryConnector {
     }
 
     fn table(&self, schema: &str, table: &str) -> Result<Arc<MemoryTable>> {
-        self.tables
-            .read()
-            .get(&(schema.to_string(), table.to_string()))
-            .cloned()
-            .ok_or_else(|| {
-                PrestoError::Analysis(format!("table memory.{schema}.{table} does not exist"))
-            })
+        self.tables.read().get(&(schema.to_string(), table.to_string())).cloned().ok_or_else(|| {
+            PrestoError::Analysis(format!("table memory.{schema}.{table} does not exist"))
+        })
     }
 }
 
@@ -73,20 +69,13 @@ impl Connector for MemoryConnector {
     }
 
     fn list_schemas(&self) -> Vec<String> {
-        let mut out: Vec<String> =
-            self.tables.read().keys().map(|(s, _)| s.clone()).collect();
+        let mut out: Vec<String> = self.tables.read().keys().map(|(s, _)| s.clone()).collect();
         out.dedup();
         out
     }
 
     fn list_tables(&self, schema: &str) -> Result<Vec<String>> {
-        Ok(self
-            .tables
-            .read()
-            .keys()
-            .filter(|(s, _)| s == schema)
-            .map(|(_, t)| t.clone())
-            .collect())
+        Ok(self.tables.read().keys().filter(|(s, _)| s == schema).map(|(_, t)| t.clone()).collect())
     }
 
     fn table_schema(&self, schema: &str, table: &str) -> Result<Schema> {
@@ -247,11 +236,8 @@ mod tests {
         ])
         .unwrap();
         let pages = vec![
-            Page::new(vec![
-                Block::bigint(vec![1, 2, 3]),
-                Block::varchar(&["sf", "nyc", "sf"]),
-            ])
-            .unwrap(),
+            Page::new(vec![Block::bigint(vec![1, 2, 3]), Block::varchar(&["sf", "nyc", "sf"])])
+                .unwrap(),
             Page::new(vec![Block::bigint(vec![4]), Block::varchar(&["la"])]).unwrap(),
         ];
         connector.create_table("default", "t", schema, pages).unwrap();

@@ -21,9 +21,7 @@ use presto_common::metrics::CounterSet;
 use presto_common::{Block, Page, PrestoError, Result, Schema, Value};
 
 use crate::memory::{predicate_mask, project_column};
-use crate::spi::{
-    Connector, ConnectorSplit, ScanCapabilities, ScanRequest, SplitPayload,
-};
+use crate::spi::{Connector, ConnectorSplit, ScanCapabilities, ScanRequest, SplitPayload};
 
 struct MySqlTable {
     schema: Schema,
@@ -177,20 +175,13 @@ impl Connector for MySqlConnector {
     }
 
     fn list_schemas(&self) -> Vec<String> {
-        let mut out: Vec<String> =
-            self.tables.read().keys().map(|(s, _)| s.clone()).collect();
+        let mut out: Vec<String> = self.tables.read().keys().map(|(s, _)| s.clone()).collect();
         out.dedup();
         out
     }
 
     fn list_tables(&self, schema: &str) -> Result<Vec<String>> {
-        Ok(self
-            .tables
-            .read()
-            .keys()
-            .filter(|(s, _)| s == schema)
-            .map(|(_, t)| t.clone())
-            .collect())
+        Ok(self.tables.read().keys().filter(|(s, _)| s == schema).map(|(_, t)| t.clone()).collect())
     }
 
     fn table_schema(&self, schema: &str, table: &str) -> Result<Schema> {
@@ -198,7 +189,9 @@ impl Connector for MySqlConnector {
             .read()
             .get(&(schema.to_string(), table.to_string()))
             .map(|t| t.schema.clone())
-            .ok_or_else(|| PrestoError::Analysis(format!("table mysql.{schema}.{table} does not exist")))
+            .ok_or_else(|| {
+                PrestoError::Analysis(format!("table mysql.{schema}.{table} does not exist"))
+            })
     }
 
     fn capabilities(&self) -> ScanCapabilities {
@@ -301,8 +294,15 @@ mod tests {
             Value::Varchar("dedicated-1".into())
         );
         assert_eq!(
-            c.update_where("presto", "routing", "cluster", "shared".into(), "user_group", &"ads".into())
-                .unwrap(),
+            c.update_where(
+                "presto",
+                "routing",
+                "cluster",
+                "shared".into(),
+                "user_group",
+                &"ads".into()
+            )
+            .unwrap(),
             1
         );
         assert_eq!(

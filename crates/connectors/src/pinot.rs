@@ -79,8 +79,7 @@ mod tests {
             for p in c.scan_split(s, &request).unwrap() {
                 for i in 0..p.positions() {
                     let row = p.row(i);
-                    *totals.entry(row[0].to_string()).or_insert(0i64) +=
-                        row[1].as_i64().unwrap();
+                    *totals.entry(row[0].to_string()).or_insert(0i64) += row[1].as_i64().unwrap();
                 }
             }
         }

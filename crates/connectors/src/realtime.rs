@@ -156,7 +156,11 @@ pub struct RealtimeStore {
 
 impl RealtimeStore {
     /// New store; `kind` is `druid` or `pinot` (for messages/metrics only).
-    pub fn new(kind: &'static str, rows_per_segment: usize, cost: RealtimeCostModel) -> RealtimeStore {
+    pub fn new(
+        kind: &'static str,
+        rows_per_segment: usize,
+        cost: RealtimeCostModel,
+    ) -> RealtimeStore {
         RealtimeStore {
             kind,
             tables: Arc::new(RwLock::new(BTreeMap::new())),
@@ -200,7 +204,13 @@ impl RealtimeStore {
         })?;
         self.tables.write().insert(
             (schema_name.into(), table.into()),
-            Arc::new(RealtimeTable { schema, dim_cols, metric_cols, time_col, segments: Vec::new() }),
+            Arc::new(RealtimeTable {
+                schema,
+                dim_cols,
+                metric_cols,
+                time_col,
+                segments: Vec::new(),
+            }),
         );
         Ok(())
     }
@@ -218,9 +228,8 @@ impl RealtimeStore {
             .get(&key)
             .ok_or_else(|| PrestoError::Connector(format!("no table {schema_name}.{table}")))?;
         // Rebuild with appended segments (tables are Arc-shared snapshots).
-        let mut segments: Vec<Segment> = Vec::with_capacity(
-            existing.segments.len() + rows.len() / self.rows_per_segment + 1,
-        );
+        let mut segments: Vec<Segment> =
+            Vec::with_capacity(existing.segments.len() + rows.len() / self.rows_per_segment + 1);
         let old = tables.remove(&key).expect("checked above");
         let old = match Arc::try_unwrap(old) {
             Ok(table) => table,
@@ -247,16 +256,14 @@ impl RealtimeStore {
 
     /// Look up a table snapshot.
     pub fn table(&self, schema_name: &str, table: &str) -> Result<Arc<RealtimeTable>> {
-        self.tables
-            .read()
-            .get(&(schema_name.to_string(), table.to_string()))
-            .cloned()
-            .ok_or_else(|| {
+        self.tables.read().get(&(schema_name.to_string(), table.to_string())).cloned().ok_or_else(
+            || {
                 PrestoError::Analysis(format!(
                     "table {}.{schema_name}.{table} does not exist",
                     self.kind
                 ))
-            })
+            },
+        )
     }
 
     /// All `(schema, table)` names.
@@ -304,9 +311,7 @@ impl RealtimeStore {
                 for (acc, (func, arg)) in accs.iter_mut().zip(query.aggregates.iter()) {
                     match (func, arg) {
                         (AggregateFunction::CountStar, _) | (_, None) => acc.add_count(1),
-                        (_, Some(metric)) => {
-                            acc.add(&column_value(&t, seg, metric, row as usize)?)
-                        }
+                        (_, Some(metric)) => acc.add(&column_value(&t, seg, metric, row as usize)?),
                     }
                 }
             }
@@ -353,8 +358,8 @@ impl RealtimeStore {
         let mut filter_cost = Duration::ZERO;
         'segments: for seg in &t.segments[start..end.min(t.segments.len())] {
             let matching = match_rows(&t, seg, filters)?;
-            let seg_cost = self.cost.per_segment_base
-                + self.cost.per_matched_row * matching.len() as u32;
+            let seg_cost =
+                self.cost.per_segment_base + self.cost.per_matched_row * matching.len() as u32;
             filter_cost = filter_cost.max(seg_cost);
             for &row in &matching {
                 let mut record = Vec::with_capacity(columns.len());
@@ -416,13 +421,16 @@ fn build_segment(
 
 /// Row ids in a segment matching all filters, using inverted indexes for
 /// dimension equality/IN and scans otherwise.
-fn match_rows(t: &RealtimeTable, seg: &Segment, filters: &[(String, ScalarPredicate)]) -> Result<Vec<u32>> {
+fn match_rows(
+    t: &RealtimeTable,
+    seg: &Segment,
+    filters: &[(String, ScalarPredicate)],
+) -> Result<Vec<u32>> {
     // Start from the most selective index-answerable filter.
     let mut candidate: Option<Vec<u32>> = None;
     let mut residual: Vec<(&String, &ScalarPredicate)> = Vec::new();
     for (col, pred) in filters {
-        if let Some(dim_pos) = t.dim_cols.iter().position(|&c| t.schema.field_at(c).name == *col)
-        {
+        if let Some(dim_pos) = t.dim_cols.iter().position(|&c| t.schema.field_at(c).name == *col) {
             let dim = &seg.dims[dim_pos];
             match pred {
                 ScalarPredicate::Eq(Value::Varchar(s)) => {
@@ -517,9 +525,7 @@ fn column_value(t: &RealtimeTable, seg: &Segment, column: &str, row: usize) -> R
 
 // --------------------------------------------------------------- connector
 
-use crate::spi::{
-    Connector, ConnectorSplit, ScanCapabilities, ScanRequest, SplitPayload,
-};
+use crate::spi::{Connector, ConnectorSplit, ScanCapabilities, ScanRequest, SplitPayload};
 use presto_common::ids::SplitId;
 use presto_common::{Block, Page};
 
@@ -590,8 +596,7 @@ impl Connector for RealtimeConnector {
     }
 
     fn list_schemas(&self) -> Vec<String> {
-        let mut out: Vec<String> =
-            self.store.table_names().into_iter().map(|(s, _)| s).collect();
+        let mut out: Vec<String> = self.store.table_names().into_iter().map(|(s, _)| s).collect();
         out.dedup();
         out
     }
@@ -791,11 +796,7 @@ mod tests {
         };
         let result = store.execute_native("default", "events", &q, None).unwrap();
         assert_eq!(result.rows_matched, 250, "index must narrow to the us rows only");
-        let total: i64 = result
-            .rows
-            .iter()
-            .map(|r| r[1].as_i64().unwrap())
-            .sum();
+        let total: i64 = result.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
         assert_eq!(total, 250);
     }
 

@@ -32,10 +32,7 @@ impl ColumnPath {
 
     /// Nested path.
     pub fn nested(column: impl Into<String>, path: &[&str]) -> ColumnPath {
-        ColumnPath {
-            column: column.into(),
-            path: path.iter().map(|s| s.to_string()).collect(),
-        }
+        ColumnPath { column: column.into(), path: path.iter().map(|s| s.to_string()).collect() }
     }
 
     /// Dotted display / leaf-path form (`base.city_id`).
@@ -107,7 +104,8 @@ impl ScanRequest {
             Some(agg) => {
                 let mut fields = Vec::new();
                 for g in &agg.group_by {
-                    fields.push(presto_common::Field::new(g.dotted(), g.resolve_type(table_schema)?));
+                    fields
+                        .push(presto_common::Field::new(g.dotted(), g.resolve_type(table_schema)?));
                 }
                 for (i, (func, arg)) in agg.aggregates.iter().enumerate() {
                     let input = match arg {
@@ -122,7 +120,8 @@ impl ScanRequest {
             None => {
                 let mut fields = Vec::new();
                 for c in &self.columns {
-                    fields.push(presto_common::Field::new(c.dotted(), c.resolve_type(table_schema)?));
+                    fields
+                        .push(presto_common::Field::new(c.dotted(), c.resolve_type(table_schema)?));
                 }
                 Schema::new(fields)
             }
@@ -214,7 +213,12 @@ pub trait Connector: Send + Sync {
     /// ConnectorSplitManager: divide the scan into parallel splits. The
     /// request is visible so split pruning (e.g. Hive partition pruning) can
     /// use the predicate.
-    fn splits(&self, schema: &str, table: &str, request: &ScanRequest) -> Result<Vec<ConnectorSplit>>;
+    fn splits(
+        &self,
+        schema: &str,
+        table: &str,
+        request: &ScanRequest,
+    ) -> Result<Vec<ConnectorSplit>>;
 
     /// ConnectorRecordSetProvider: stream one split as engine pages, with
     /// every pushdown in `request` applied.
@@ -229,10 +233,7 @@ mod tests {
     fn schema() -> Schema {
         Schema::new(vec![
             Field::new("city", DataType::Varchar),
-            Field::new(
-                "base",
-                DataType::row(vec![Field::new("city_id", DataType::Bigint)]),
-            ),
+            Field::new("base", DataType::row(vec![Field::new("city_id", DataType::Bigint)])),
             Field::new("fare", DataType::Double),
         ])
         .unwrap()

@@ -38,12 +38,21 @@ pub fn lineitem_schema() -> Schema {
 
 const RETURN_FLAGS: [&str; 3] = ["R", "A", "N"];
 const LINE_STATUS: [&str; 2] = ["O", "F"];
-const SHIP_INSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIP_INSTRUCT: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 const SHIP_MODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const COMMENT_WORDS: [&str; 12] = [
-    "carefully", "quickly", "furiously", "final", "pending", "ironic", "express", "deposits",
-    "requests", "accounts", "packages", "theodolites",
+    "carefully",
+    "quickly",
+    "furiously",
+    "final",
+    "pending",
+    "ironic",
+    "express",
+    "deposits",
+    "requests",
+    "accounts",
+    "packages",
+    "theodolites",
 ];
 
 /// Generate `rows` LINEITEM rows starting at `start_row`, as one page.

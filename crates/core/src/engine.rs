@@ -8,11 +8,13 @@
 
 use std::sync::Arc;
 
+use presto_common::metrics::CounterSet;
 use presto_common::{Page, PrestoError, Result, Schema, Value};
 use presto_connectors::{CatalogRegistry, Connector};
 use presto_exec::{execute, ExecutionContext};
 use presto_expr::{Evaluator, FunctionRegistry};
 use presto_plan::{explain, fragment_plan, optimize, LogicalPlan, PlanFragment};
+use presto_resource::{QueryPool, ResourceManager, SpillManager};
 use presto_sql::{analyze, parse_sql, AnalyzerContext, Statement};
 
 use crate::plugin::register_geospatial_plugin;
@@ -25,6 +27,10 @@ pub struct QueryResult {
     pub schema: Schema,
     /// Output pages.
     pub pages: Vec<Page>,
+    /// Per-query counters: `memory.reserved_peak`, `spill.bytes_written`,
+    /// `spill.files`, `admission.queued`, `admission.wait_virtual_ms`, plus
+    /// the executor's `exec.*` counters.
+    pub metrics: CounterSet,
 }
 
 impl QueryResult {
@@ -41,8 +47,7 @@ impl QueryResult {
     /// Render as a simple text table.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
-        let names: Vec<&str> =
-            self.schema.fields().iter().map(|f| f.name.as_str()).collect();
+        let names: Vec<&str> = self.schema.fields().iter().map(|f| f.name.as_str()).collect();
         out.push_str(&names.join(" | "));
         out.push('\n');
         out.push_str(&"-".repeat(out.len().saturating_sub(1)));
@@ -92,6 +97,7 @@ impl QueryResult {
 pub struct PrestoEngine {
     catalogs: CatalogRegistry,
     registry: FunctionRegistry,
+    resources: ResourceManager,
 }
 
 impl Default for PrestoEngine {
@@ -102,10 +108,28 @@ impl Default for PrestoEngine {
 
 impl PrestoEngine {
     /// Engine with built-in functions and the geospatial plugin registered.
+    /// Resource management defaults to unbounded (no admission queue, no
+    /// cluster memory cap).
     pub fn new() -> PrestoEngine {
         let registry = FunctionRegistry::new();
         register_geospatial_plugin(&registry);
-        PrestoEngine { catalogs: CatalogRegistry::new(), registry }
+        PrestoEngine {
+            catalogs: CatalogRegistry::new(),
+            registry,
+            resources: ResourceManager::unbounded(),
+        }
+    }
+
+    /// Swap in a configured resource manager (cluster memory pool,
+    /// admission control, spill filesystem). Clones of the engine share it.
+    pub fn with_resources(mut self, resources: ResourceManager) -> PrestoEngine {
+        self.resources = resources;
+        self
+    }
+
+    /// The engine's resource manager.
+    pub fn resources(&self) -> &ResourceManager {
+        &self.resources
     }
 
     /// Register a connector under a catalog name.
@@ -151,6 +175,10 @@ impl PrestoEngine {
     }
 
     /// Execute a query under a session.
+    ///
+    /// The query first passes admission control (§XII), then runs under a
+    /// per-query slice of the engine's cluster memory pool. Queue-wait,
+    /// peak-memory, and spill counters land on [`QueryResult::metrics`].
     pub fn execute_with_session(&self, sql: &str, session: &Session) -> Result<QueryResult> {
         let statement = parse_sql(sql)?;
         if let Statement::Explain(_) = statement {
@@ -160,17 +188,40 @@ impl PrestoEngine {
                 presto_common::DataType::Varchar,
             )])?;
             let block = presto_common::Block::varchar(&[text.as_str()]);
-            return Ok(QueryResult { schema, pages: vec![Page::new(vec![block])?] });
+            return Ok(QueryResult {
+                schema,
+                pages: vec![Page::new(vec![block])?],
+                metrics: CounterSet::new(),
+            });
         }
         let plan = self.plan(sql, session)?;
         let schema = plan.output_schema()?;
-        let mut ctx =
-            ExecutionContext::with_registry(self.catalogs.clone(), self.registry.clone());
-        if let Some(budget) = session.memory_budget {
-            ctx = ctx.with_memory_budget(budget);
-        }
-        let pages = execute(&plan, &ctx)?;
-        Ok(QueryResult { schema, pages })
+        let metrics = CounterSet::new();
+        let _permit =
+            self.resources.admission().admit(&session.user, session.priority, &metrics)?;
+        let (ctx, pool) = self.execution_context(session, &metrics);
+        let result = execute(&plan, &ctx);
+        metrics.add("memory.reserved_peak", pool.peak() as u64);
+        debug_assert_eq!(pool.reserved(), 0, "query left memory reserved after completion");
+        Ok(QueryResult { schema, pages: result?, metrics })
+    }
+
+    /// Build a per-query execution context: a fresh query slice of the
+    /// shared cluster memory pool, plus a spill manager when the session
+    /// allows spilling.
+    fn execution_context(
+        &self,
+        session: &Session,
+        metrics: &CounterSet,
+    ) -> (ExecutionContext, Arc<QueryPool>) {
+        let pool = self.resources.pool().register_query(session.memory_budget);
+        let spill: Option<Arc<SpillManager>> = session
+            .spill_enabled
+            .then(|| Arc::new(self.resources.spill_manager(pool.query_id(), metrics.clone())));
+        let mut ctx = ExecutionContext::with_registry(self.catalogs.clone(), self.registry.clone());
+        ctx.metrics = metrics.clone();
+        let ctx = ctx.with_resources(pool.clone(), spill);
+        (ctx, pool)
     }
 
     /// Execute with the default session.
@@ -186,15 +237,28 @@ impl PrestoEngine {
         remote_inputs: Vec<(u32, Vec<Page>)>,
         session: &Session,
     ) -> Result<Vec<Page>> {
-        let mut ctx =
-            ExecutionContext::with_registry(self.catalogs.clone(), self.registry.clone());
-        if let Some(budget) = session.memory_budget {
-            ctx = ctx.with_memory_budget(budget);
-        }
+        self.execute_fragment_with_metrics(fragment, remote_inputs, session, &CounterSet::new())
+    }
+
+    /// As [`PrestoEngine::execute_fragment`], but accounting into the
+    /// caller's per-query counter set — the cluster runtime shares one set
+    /// across all of a query's fragments. Fragments skip admission (the
+    /// enclosing query already holds the run slot).
+    pub fn execute_fragment_with_metrics(
+        &self,
+        fragment: &PlanFragment,
+        remote_inputs: Vec<(u32, Vec<Page>)>,
+        session: &Session,
+        metrics: &CounterSet,
+    ) -> Result<Vec<Page>> {
+        let (mut ctx, pool) = self.execution_context(session, metrics);
         for (id, pages) in remote_inputs {
             ctx.bind_remote_source(id, pages);
         }
-        execute(&fragment.plan, &ctx)
+        let result = execute(&fragment.plan, &ctx);
+        metrics.add("memory.reserved_peak", pool.peak() as u64);
+        debug_assert_eq!(pool.reserved(), 0, "fragment left memory reserved after completion");
+        result
     }
 
     /// Execute with automatic fallback to a batch engine on
@@ -215,10 +279,7 @@ impl PrestoEngine {
     ) -> Result<(QueryResult, bool)> {
         match self.execute_with_session(sql, session) {
             Err(PrestoError::InsufficientResources(_)) => {
-                let batch_session = Session {
-                    memory_budget: None,
-                    ..session.clone()
-                };
+                let batch_session = Session { memory_budget: None, ..session.clone() };
                 let result = self.execute_with_session(sql, &batch_session)?;
                 Ok((result, true))
             }
@@ -232,9 +293,7 @@ impl PrestoEngine {
         let rows = result.rows();
         match rows.len() {
             1 if rows[0].len() == 1 => Ok(rows[0][0].clone()),
-            n => Err(PrestoError::Execution(format!(
-                "expected a single scalar, got {n} row(s)"
-            ))),
+            n => Err(PrestoError::Execution(format!("expected a single scalar, got {n} row(s)"))),
         }
     }
 }
@@ -264,12 +323,7 @@ mod tests {
         let base = Block::from_values(
             &base_type,
             &(0..20)
-                .map(|i| {
-                    Value::Row(vec![
-                        Value::Varchar(format!("drv{i}")),
-                        Value::Bigint(i % 5),
-                    ])
-                })
+                .map(|i| Value::Row(vec![Value::Varchar(format!("drv{i}")), Value::Bigint(i % 5)]))
                 .collect::<Vec<_>>(),
         )
         .unwrap();
@@ -329,7 +383,9 @@ mod tests {
         );
         assert_eq!(
             engine
-                .execute_scalar("SELECT st_contains('POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))', st_point(1.0, 1.0))")
+                .execute_scalar(
+                    "SELECT st_contains('POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))', st_point(1.0, 1.0))"
+                )
                 .unwrap(),
             Value::Boolean(true)
         );
@@ -371,10 +427,7 @@ mod tests {
             .unwrap();
         assert_eq!(
             result.rows(),
-            vec![
-                vec!["high".into(), Value::Bigint(10)],
-                vec!["low".into(), Value::Bigint(10)],
-            ]
+            vec![vec!["high".into(), Value::Bigint(10)], vec!["low".into(), Value::Bigint(10)],]
         );
         let union = engine
             .execute(
@@ -398,32 +451,43 @@ mod tests {
         let (result, fell_back) = engine.execute_with_batch_fallback(sql, &session).unwrap();
         assert!(fell_back);
         assert_eq!(result.rows(), vec![vec![Value::Bigint(200)]]); // 10+10 per datestr → 100+100 pairs
-        // small queries stay interactive
-        let (_, fell_back) = engine
-            .execute_with_batch_fallback("SELECT count(*) FROM trips", &session)
-            .unwrap();
+                                                                   // small queries stay interactive
+        let (_, fell_back) =
+            engine.execute_with_batch_fallback("SELECT count(*) FROM trips", &session).unwrap();
         assert!(!fell_back);
         // non-resource errors are not retried
-        assert!(engine
-            .execute_with_batch_fallback("SELECT bogus FROM trips", &session)
-            .is_err());
+        assert!(engine.execute_with_batch_fallback("SELECT bogus FROM trips", &session).is_err());
+    }
+
+    #[test]
+    fn spill_rescues_big_joins_without_fallback() {
+        let engine = engine_with_data();
+        let sql = "SELECT count(*) FROM trips a JOIN trips b ON a.datestr = b.datestr";
+        let session = Session::default().with_memory_budget(512);
+        // same budget that fails the interactive tier...
+        assert_eq!(
+            engine.execute_with_session(sql, &session).unwrap_err().code(),
+            "INSUFFICIENT_RESOURCES"
+        );
+        // ...succeeds in place once the session allows spilling
+        let session = session.with_spill(true);
+        let result = engine.execute_with_session(sql, &session).unwrap();
+        assert_eq!(result.rows(), vec![vec![Value::Bigint(200)]]);
+        assert!(result.metrics.get("spill.files") > 0, "join did not spill");
+        assert!(result.metrics.get("spill.bytes_written") > 0);
+        assert!(result.metrics.get("memory.reserved_peak") > 0);
     }
 
     #[test]
     fn fragments_for_distributed_execution() {
         let engine = engine_with_data();
-        let fragments = engine
-            .fragment("SELECT count(*) FROM trips", &Session::default())
-            .unwrap();
+        let fragments = engine.fragment("SELECT count(*) FROM trips", &Session::default()).unwrap();
         assert_eq!(fragments.len(), 2);
         // run the scan fragment, feed it to the root fragment
         let session = Session::default();
-        let scan_out = engine
-            .execute_fragment(&fragments[1], vec![], &session)
-            .unwrap();
-        let root_out = engine
-            .execute_fragment(&fragments[0], vec![(1, scan_out)], &session)
-            .unwrap();
+        let scan_out = engine.execute_fragment(&fragments[1], vec![], &session).unwrap();
+        let root_out =
+            engine.execute_fragment(&fragments[0], vec![(1, scan_out)], &session).unwrap();
         assert_eq!(root_out[0].row(0), vec![Value::Bigint(20)]);
     }
 }

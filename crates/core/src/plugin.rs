@@ -19,8 +19,7 @@ pub fn register_geospatial_plugin(registry: &FunctionRegistry) {
     registry.register_custom(
         "st_point",
         Arc::new(|args: &[DataType]| {
-            (args.len() == 2 && args.iter().all(DataType::is_numeric))
-                .then_some(DataType::Varchar)
+            (args.len() == 2 && args.iter().all(DataType::is_numeric)).then_some(DataType::Varchar)
         }),
         Arc::new(|args: &[Value]| {
             let (Some(lng), Some(lat)) = (args[0].as_f64(), args[1].as_f64()) else {
@@ -52,9 +51,7 @@ pub fn register_geospatial_plugin(registry: &FunctionRegistry) {
     );
     registry.register_custom(
         "st_x",
-        Arc::new(|args: &[DataType]| {
-            (args == [DataType::Varchar]).then_some(DataType::Double)
-        }),
+        Arc::new(|args: &[DataType]| (args == [DataType::Varchar]).then_some(DataType::Double)),
         Arc::new(|args: &[Value]| match args[0].as_str() {
             Some(wkt) => match parse_wkt(wkt) {
                 Ok(Geometry::Point(p)) => Ok(Value::Double(p.lng)),
@@ -65,9 +62,7 @@ pub fn register_geospatial_plugin(registry: &FunctionRegistry) {
     );
     registry.register_custom(
         "st_y",
-        Arc::new(|args: &[DataType]| {
-            (args == [DataType::Varchar]).then_some(DataType::Double)
-        }),
+        Arc::new(|args: &[DataType]| (args == [DataType::Varchar]).then_some(DataType::Double)),
         Arc::new(|args: &[Value]| match args[0].as_str() {
             Some(wkt) => match parse_wkt(wkt) {
                 Ok(Geometry::Point(p)) => Ok(Value::Double(p.lat)),
@@ -95,13 +90,9 @@ mod tests {
 
         let st_contains = registry.custom("st_contains").unwrap();
         let square = Value::Varchar("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))".into());
+        assert_eq!((st_contains.eval)(&[square.clone(), p]).unwrap(), Value::Boolean(true));
         assert_eq!(
-            (st_contains.eval)(&[square.clone(), p]).unwrap(),
-            Value::Boolean(true)
-        );
-        assert_eq!(
-            (st_contains.eval)(&[square.clone(), Value::Varchar("POINT (5 5)".into())])
-                .unwrap(),
+            (st_contains.eval)(&[square.clone(), Value::Varchar("POINT (5 5)".into())]).unwrap(),
             Value::Boolean(false)
         );
         assert!((st_contains.eval)(&[square, Value::Varchar("garbage".into())]).is_err());

@@ -6,6 +6,7 @@
 //! (default namespace, memory budget, optimizer rule toggles).
 
 use presto_plan::OptimizerConfig;
+use presto_resource::QueryPriority;
 
 /// Per-query session settings.
 #[derive(Debug, Clone)]
@@ -19,6 +20,13 @@ pub struct Session {
     pub memory_budget: Option<usize>,
     /// Optimizer rule toggles (session properties).
     pub optimizer: OptimizerConfig,
+    /// Session principal, for per-user admission caps.
+    pub user: String,
+    /// Admission lane (§XII: dashboards jump the batch queue).
+    pub priority: QueryPriority,
+    /// Allow blocking operators to spill to disk instead of failing with
+    /// `"Insufficient Resource"` when the memory budget is hit.
+    pub spill_enabled: bool,
 }
 
 impl Default for Session {
@@ -28,6 +36,9 @@ impl Default for Session {
             schema: "default".into(),
             memory_budget: None,
             optimizer: OptimizerConfig::default(),
+            user: "user".into(),
+            priority: QueryPriority::Normal,
+            spill_enabled: false,
         }
     }
 }
@@ -47,6 +58,24 @@ impl Session {
     /// Override optimizer toggles.
     pub fn with_optimizer(mut self, optimizer: OptimizerConfig) -> Session {
         self.optimizer = optimizer;
+        self
+    }
+
+    /// Set the session principal.
+    pub fn with_user(mut self, user: impl Into<String>) -> Session {
+        self.user = user.into();
+        self
+    }
+
+    /// Set the admission lane.
+    pub fn with_priority(mut self, priority: QueryPriority) -> Session {
+        self.priority = priority;
+        self
+    }
+
+    /// Let blocking operators spill to disk under memory pressure.
+    pub fn with_spill(mut self, enabled: bool) -> Session {
+        self.spill_enabled = enabled;
         self
     }
 }

@@ -1,13 +1,13 @@
-//! Execution context: catalogs, functions, memory budget, exchange bindings.
+//! Execution context: catalogs, functions, memory pool, exchange bindings.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use presto_common::metrics::CounterSet;
-use presto_common::{Page, PrestoError, Result};
+use presto_common::{Page, Result};
 use presto_connectors::CatalogRegistry;
 use presto_expr::{Evaluator, FunctionRegistry};
+use presto_resource::{MemoryPool, QueryPool, ReservationKind, SpillManager};
 
 /// Everything an executing plan needs.
 #[derive(Clone)]
@@ -18,13 +18,19 @@ pub struct ExecutionContext {
     pub evaluator: Evaluator,
     /// Bytes of materialized state (join builds, aggregation tables, sort
     /// buffers) allowed before `"Insufficient Resource"`; `None` = unlimited.
+    /// Mirrors the per-query limit on [`ExecutionContext::pool`].
     pub memory_budget: Option<usize>,
     /// Pages bound for `RemoteSource` leaves, keyed by fragment id —
     /// populated by the cluster runtime when executing upper fragments.
     pub remote_sources: HashMap<u32, Vec<Page>>,
     /// Execution counters (`exec.rows_scanned`, `exec.splits`, ...).
     pub metrics: CounterSet,
-    reserved: Arc<AtomicUsize>,
+    /// This query's slice of the (cluster) memory pool. Blocking operators
+    /// hold RAII reservations against it.
+    pub pool: Arc<QueryPool>,
+    /// Spill manager for blocking operators; `None` disables spilling (the
+    /// operator fails with `"Insufficient Resource"` instead).
+    pub spill: Option<Arc<SpillManager>>,
 }
 
 impl ExecutionContext {
@@ -44,13 +50,30 @@ impl ExecutionContext {
             memory_budget: None,
             remote_sources: HashMap::new(),
             metrics: CounterSet::new(),
-            reserved: Arc::new(AtomicUsize::new(0)),
+            pool: MemoryPool::unbounded().register_query(None),
+            spill: None,
         }
     }
 
-    /// Set the memory budget.
+    /// Set the memory budget (standalone contexts: re-registers this query
+    /// on a private unbounded cluster pool with the given per-query limit).
     pub fn with_memory_budget(mut self, bytes: usize) -> ExecutionContext {
         self.memory_budget = Some(bytes);
+        self.pool = MemoryPool::unbounded().register_query(Some(bytes));
+        self
+    }
+
+    /// Attach this query to an externally managed pool slice (the engine
+    /// registers the query on the shared cluster pool) and optionally a
+    /// spill manager.
+    pub fn with_resources(
+        mut self,
+        pool: Arc<QueryPool>,
+        spill: Option<Arc<SpillManager>>,
+    ) -> ExecutionContext {
+        self.memory_budget = pool.limit();
+        self.pool = pool;
+        self.spill = spill;
         self
     }
 
@@ -61,28 +84,32 @@ impl ExecutionContext {
 
     /// Reserve materialized-state memory; errors with the §XII.C message
     /// when the session budget is exceeded.
+    ///
+    /// Legacy non-RAII entry point — operator code should prefer
+    /// [`QueryPool::reserve`] guards, which release on early-error unwinds.
     pub fn reserve_memory(&self, bytes: usize) -> Result<()> {
-        let total = self.reserved.fetch_add(bytes, Ordering::Relaxed) + bytes;
-        if let Some(budget) = self.memory_budget {
-            if total > budget {
-                self.reserved.fetch_sub(bytes, Ordering::Relaxed);
-                return Err(PrestoError::InsufficientResources(format!(
-                    "Insufficient Resource: query requires {total} bytes of memory, \
-                     budget is {budget} bytes (consider running this query on Spark/Hive)"
-                )));
-            }
-        }
-        Ok(())
+        self.pool.try_reserve(bytes, ReservationKind::User)
     }
 
     /// Release previously reserved memory.
     pub fn release_memory(&self, bytes: usize) {
-        self.reserved.fetch_sub(bytes.min(self.reserved.load(Ordering::Relaxed)), Ordering::Relaxed);
+        self.pool.release(bytes, ReservationKind::User);
     }
 
     /// Bytes currently reserved.
     pub fn reserved_memory(&self) -> usize {
-        self.reserved.load(Ordering::Relaxed)
+        self.pool.reserved()
+    }
+
+    /// The reservation kind blocking operators should use: revocable when a
+    /// spill manager is attached (the arbiter can then ask for the memory
+    /// back), plain user memory otherwise.
+    pub fn operator_reservation_kind(&self) -> ReservationKind {
+        if self.spill.is_some() {
+            ReservationKind::Revocable
+        } else {
+            ReservationKind::User
+        }
     }
 }
 
@@ -108,5 +135,18 @@ mod tests {
     fn unlimited_without_budget() {
         let ctx = ExecutionContext::new(CatalogRegistry::new());
         ctx.reserve_memory(usize::MAX / 2).unwrap();
+    }
+
+    #[test]
+    fn externally_managed_pool_is_adopted() {
+        let cluster = MemoryPool::new(Some(1 << 20));
+        let query = cluster.register_query(Some(4096));
+        let ctx = ExecutionContext::new(CatalogRegistry::new()).with_resources(query, None);
+        assert_eq!(ctx.memory_budget, Some(4096));
+        ctx.reserve_memory(4096).unwrap();
+        assert_eq!(cluster.used(), 4096);
+        assert!(ctx.reserve_memory(1).is_err());
+        ctx.release_memory(4096);
+        assert_eq!(cluster.used(), 0);
     }
 }

@@ -1,16 +1,36 @@
 //! The recursive plan executor.
+//!
+//! Blocking operators (hash aggregation, hash-join build, sort) account
+//! their materialized state against the query's memory pool through RAII
+//! [`presto_resource::Reservation`] guards — reservations release on every
+//! exit path, including early `?` unwinds. When the context carries a spill
+//! manager, those operators reserve *revocable* memory and fall back to
+//! Grace-style partitioned spilling when a reservation fails instead of
+//! surfacing `"Insufficient Resource"`.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use presto_common::{Block, Page, PrestoError, Result, Value};
 use presto_expr::{Accumulator, AggregateFunction, RowExpression};
 use presto_geo::index::GeofenceIndex;
 use presto_plan::logical::{AggregateExpr, AggregateStep, JoinKind, LogicalPlan, SortKey};
+use presto_resource::{ReservationKind, SpillFile};
 
 use crate::context::ExecutionContext;
 
+/// Fan-out of Grace partitioning when an operator spills.
+const SPILL_PARTITIONS: usize = 8;
+
+fn is_insufficient(e: &PrestoError) -> bool {
+    matches!(e, PrestoError::InsufficientResources(_))
+}
+
 /// Execute a plan to completion, returning its output pages.
 pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> {
+    // An OOM-arbiter victim unwinds at the next operator boundary, freeing
+    // its reservations for the queries that were starved.
+    ctx.pool.check_killed()?;
     match plan {
         LogicalPlan::TableScan { catalog, schema, table, request, .. } => {
             let connector = ctx.catalogs.get(catalog)?;
@@ -48,9 +68,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> 
             for page in pages {
                 let mask_block = ctx.evaluator.evaluate(predicate, &page)?;
                 let mask: Vec<bool> = (0..page.positions())
-                    .map(|i| {
-                        !mask_block.is_null(i) && mask_block.value(i).as_bool() == Some(true)
-                    })
+                    .map(|i| !mask_block.is_null(i) && mask_block.value(i).as_bool() == Some(true))
                     .collect();
                 let filtered = page.filter(&mask);
                 if !filtered.is_empty() {
@@ -109,11 +127,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> 
                 }
                 let take = (*count - kept).min(page.positions());
                 kept += take;
-                out.push(if take == page.positions() {
-                    page
-                } else {
-                    page.slice(0, take)
-                });
+                out.push(if take == page.positions() { page } else { page.slice(0, take) });
             }
             Ok(out)
         }
@@ -144,15 +158,39 @@ fn execute_aggregate(
     ctx: &ExecutionContext,
 ) -> Result<Vec<Page>> {
     let pages = execute(input, ctx)?;
+    let rows = match aggregate_rows(&pages, group_by, aggregates, step, ctx) {
+        Ok(rows) => rows,
+        // Grace fallback needs equi keys to partition on and columns to
+        // spill; a global aggregate's state is one row and never spills.
+        Err(e) if is_insufficient(&e) && ctx.spill.is_some() && !group_by.is_empty() => {
+            match spillable_schema(input) {
+                Some(schema) => spill_aggregate(&pages, &schema, group_by, aggregates, step, ctx)?,
+                None => return Err(e),
+            }
+        }
+        Err(e) => return Err(e),
+    };
+    emit_aggregate_rows(rows, plan)
+}
+
+/// In-memory hash aggregation over `pages`, returning one unsorted row per
+/// group. The hash table is accounted through an RAII reservation that
+/// grows as groups appear and releases when the rows are handed back.
+fn aggregate_rows(
+    pages: &[Page],
+    group_by: &[RowExpression],
+    aggregates: &[AggregateExpr],
+    step: AggregateStep,
+    ctx: &ExecutionContext,
+) -> Result<Vec<Vec<Value>>> {
+    let mut table_memory = ctx.pool.reserve(0, ctx.operator_reservation_kind())?;
     let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
     let mut reserved = 0usize;
 
-    for page in &pages {
+    for page in pages {
         // vectorized: evaluate keys and arguments once per page
-        let key_blocks = group_by
-            .iter()
-            .map(|e| ctx.evaluator.evaluate(e, page))
-            .collect::<Result<Vec<_>>>()?;
+        let key_blocks =
+            group_by.iter().map(|e| ctx.evaluator.evaluate(e, page)).collect::<Result<Vec<_>>>()?;
         let arg_blocks = aggregates
             .iter()
             .map(|a| a.argument.as_ref().map(|e| ctx.evaluator.evaluate(e, page)).transpose())
@@ -192,33 +230,67 @@ fn execute_aggregate(
         }
         // coarse memory accounting on the hash table
         if reserved > 0 {
-            ctx.reserve_memory(reserved)?;
+            table_memory.grow(reserved)?;
             reserved = 0;
         }
     }
 
     // Global aggregation over zero rows still yields one output row.
     if groups.is_empty() && group_by.is_empty() {
-        groups.insert(
-            Vec::new(),
-            aggregates.iter().map(|a| a.function.new_accumulator()).collect(),
-        );
+        groups
+            .insert(Vec::new(), aggregates.iter().map(|a| a.function.new_accumulator()).collect());
     }
 
-    let mut rows: Vec<Vec<Value>> = groups
+    Ok(groups
         .into_iter()
         .map(|(mut key, accs)| {
             key.extend(accs.iter().map(Accumulator::finish));
             key
         })
-        .collect();
-    rows.sort_by(|a, b|
+        .collect())
+}
 
+/// Grace aggregation: hash-partition the input on the group keys, spill each
+/// partition, then aggregate the partitions one at a time — peak memory is
+/// one partition's hash table instead of the whole table.
+fn spill_aggregate(
+    pages: &[Page],
+    input_schema: &presto_common::Schema,
+    group_by: &[RowExpression],
+    aggregates: &[AggregateExpr],
+    step: AggregateStep,
+    ctx: &ExecutionContext,
+) -> Result<Vec<Vec<Value>>> {
+    let spill = ctx.spill.as_ref().expect("caller checked spill").clone();
+    let key_exprs: Vec<&RowExpression> = group_by.iter().collect();
+    let parts = partition_pages(pages, &key_exprs, ctx)?;
+    let mut files = Vec::with_capacity(SPILL_PARTITIONS);
+    for part in &parts {
+        files.push(if part.is_empty() {
+            None
+        } else {
+            Some(spill.spill_pages(input_schema, part)?)
+        });
+    }
+    drop(parts);
+    let mut rows = Vec::new();
+    for file in files.into_iter().flatten() {
+        let part_pages = spill.read(&file)?;
+        rows.extend(aggregate_rows(&part_pages, group_by, aggregates, step, ctx)?);
+        spill.remove(file)?;
+    }
+    Ok(rows)
+}
+
+/// Sort the result rows deterministically and lay them out as pages.
+fn emit_aggregate_rows(mut rows: Vec<Vec<Value>>, plan: &LogicalPlan) -> Result<Vec<Page>> {
+    rows.sort_by(|a, b| {
         a.iter()
             .zip(b.iter())
             .map(|(x, y)| x.total_cmp(y))
             .find(|o| *o != std::cmp::Ordering::Equal)
-            .unwrap_or(std::cmp::Ordering::Equal));
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let schema = plan.output_schema()?;
     let mut blocks = Vec::with_capacity(schema.len());
@@ -226,11 +298,7 @@ fn execute_aggregate(
         let column: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
         blocks.push(Block::from_values(&field.data_type, &column)?);
     }
-    Ok(vec![if blocks.is_empty() {
-        Page::zero_column(rows.len())
-    } else {
-        Page::new(blocks)?
-    }])
+    Ok(vec![if blocks.is_empty() { Page::zero_column(rows.len()) } else { Page::new(blocks)? }])
 }
 
 // -------------------------------------------------------------------- join
@@ -254,12 +322,14 @@ fn execute_join(
         }
         _ => Page::concat(&right_pages)?,
     };
-    ctx.reserve_memory(build.memory_size())?;
 
-    let mut out = Vec::new();
     if on.is_empty() {
         // Nested-loop cross join with optional residual — the shape the
-        // geospatial rewrite replaces (§VI.C's "brute force" plan).
+        // geospatial rewrite replaces (§VI.C's "brute force" plan). Without
+        // equi keys there is nothing to Grace-partition on, so this path
+        // never spills.
+        let _build_memory = ctx.pool.reserve(build.memory_size(), ReservationKind::User)?;
+        let mut out = Vec::new();
         for probe in &left_pages {
             let mut probe_idx = Vec::new();
             let mut build_idx = Vec::new();
@@ -275,15 +345,49 @@ fn execute_join(
                 out.push(page);
             }
         }
-        ctx.release_memory(build.memory_size());
         return Ok(out);
     }
 
+    match hash_join_pages(&left_pages, &build, kind, on, residual, right, ctx) {
+        Ok(out) => Ok(out),
+        Err(e) if is_insufficient(&e) && ctx.spill.is_some() => {
+            match (spillable_schema(left), spillable_schema(right)) {
+                (Some(probe_schema), Some(build_schema)) => grace_hash_join(
+                    &left_pages,
+                    &right_pages,
+                    kind,
+                    on,
+                    residual,
+                    &probe_schema,
+                    &build_schema,
+                    right,
+                    ctx,
+                ),
+                _ => Err(e),
+            }
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Hash join `probe_pages` against a materialized `build` page. Build-side
+/// state (the concatenated build page plus the hash table) is held under an
+/// RAII reservation for the duration of the probe.
+fn hash_join_pages(
+    probe_pages: &[Page],
+    build: &Page,
+    kind: JoinKind,
+    on: &[(RowExpression, RowExpression)],
+    residual: Option<&RowExpression>,
+    right_plan: &LogicalPlan,
+    ctx: &ExecutionContext,
+) -> Result<Vec<Page>> {
+    let mut build_memory =
+        ctx.pool.reserve(build.memory_size(), ctx.operator_reservation_kind())?;
+
     // Hash join on equi keys.
-    let build_keys = on
-        .iter()
-        .map(|(_, r)| ctx.evaluator.evaluate(r, &build))
-        .collect::<Result<Vec<_>>>()?;
+    let build_keys =
+        on.iter().map(|(_, r)| ctx.evaluator.evaluate(r, build)).collect::<Result<Vec<_>>>()?;
     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
     for j in 0..build.positions() {
         let key: Vec<Value> = build_keys.iter().map(|b| b.value(j)).collect();
@@ -292,24 +396,19 @@ fn execute_join(
         }
         table.entry(key).or_default().push(j);
     }
-    ctx.reserve_memory(table.len() * 48)?;
+    build_memory.grow(table.len() * 48)?;
 
-    for probe in &left_pages {
-        let probe_keys = on
-            .iter()
-            .map(|(l, _)| ctx.evaluator.evaluate(l, probe))
-            .collect::<Result<Vec<_>>>()?;
+    let mut out = Vec::new();
+    for probe in probe_pages {
+        let probe_keys =
+            on.iter().map(|(l, _)| ctx.evaluator.evaluate(l, probe)).collect::<Result<Vec<_>>>()?;
         // Key-matched candidate pairs; probe rows with no key match are
         // remembered separately so LEFT joins can null-extend them.
         let mut cand_probe = Vec::new();
         let mut cand_build = Vec::new();
         for i in 0..probe.positions() {
             let key: Vec<Value> = probe_keys.iter().map(|b| b.value(i)).collect();
-            let matches = if key.iter().any(Value::is_null) {
-                None
-            } else {
-                table.get(&key)
-            };
+            let matches = if key.iter().any(Value::is_null) { None } else { table.get(&key) };
             if let Some(rows) = matches {
                 for &j in rows {
                     cand_probe.push(i);
@@ -323,12 +422,10 @@ fn execute_join(
         let survivors: Vec<bool> = match residual {
             None => vec![true; cand_probe.len()],
             Some(expr) => {
-                let pairs = stitch(probe, &cand_probe, &build, &cand_build)?;
+                let pairs = stitch(probe, &cand_probe, build, &cand_build)?;
                 let mask_block = ctx.evaluator.evaluate(expr, &pairs)?;
                 (0..pairs.positions())
-                    .map(|i| {
-                        !mask_block.is_null(i) && mask_block.value(i).as_bool() == Some(true)
-                    })
+                    .map(|i| !mask_block.is_null(i) && mask_block.value(i).as_bool() == Some(true))
                     .collect()
             }
         };
@@ -350,13 +447,131 @@ fn execute_join(
                 }
             }
         }
-        let page = stitch_nullable(probe, &probe_idx, &build, &build_idx, right)?;
+        let page = stitch_nullable(probe, &probe_idx, build, &build_idx, right_plan)?;
         if !page.is_empty() {
             out.push(page);
         }
     }
-    ctx.release_memory(build.memory_size());
     Ok(out)
+}
+
+/// Grace hash join: both sides are hash-partitioned on the join keys and
+/// spilled, then each partition pair is joined independently — peak memory
+/// is one partition's build side instead of the whole build side.
+///
+/// Probe rows with NULL keys go to partition 0 (see [`partition_of`]) so
+/// LEFT joins still null-extend them; matching rows always share a
+/// partition because both sides hash the same key values.
+#[allow(clippy::too_many_arguments)]
+fn grace_hash_join(
+    probe_pages: &[Page],
+    build_pages: &[Page],
+    kind: JoinKind,
+    on: &[(RowExpression, RowExpression)],
+    residual: Option<&RowExpression>,
+    probe_schema: &presto_common::Schema,
+    build_schema: &presto_common::Schema,
+    right_plan: &LogicalPlan,
+    ctx: &ExecutionContext,
+) -> Result<Vec<Page>> {
+    let spill = ctx.spill.as_ref().expect("caller checked spill").clone();
+    let probe_exprs: Vec<&RowExpression> = on.iter().map(|(l, _)| l).collect();
+    let build_exprs: Vec<&RowExpression> = on.iter().map(|(_, r)| r).collect();
+    let probe_parts = partition_pages(probe_pages, &probe_exprs, ctx)?;
+    let build_parts = partition_pages(build_pages, &build_exprs, ctx)?;
+
+    let mut files: Vec<(Option<SpillFile>, Option<SpillFile>)> =
+        Vec::with_capacity(SPILL_PARTITIONS);
+    for p in 0..SPILL_PARTITIONS {
+        let probe_file = if probe_parts[p].is_empty() {
+            None
+        } else {
+            Some(spill.spill_pages(probe_schema, &probe_parts[p])?)
+        };
+        let build_file = if build_parts[p].is_empty() {
+            None
+        } else {
+            Some(spill.spill_pages(build_schema, &build_parts[p])?)
+        };
+        files.push((probe_file, build_file));
+    }
+    drop(probe_parts);
+    drop(build_parts);
+
+    let mut out = Vec::new();
+    for (probe_file, build_file) in files {
+        let probe = match &probe_file {
+            Some(f) => spill.read(f)?,
+            None => Vec::new(),
+        };
+        if !probe.is_empty() {
+            let build_part = match &build_file {
+                Some(f) => spill.read(f)?,
+                None => Vec::new(),
+            };
+            let build = if build_part.is_empty() {
+                empty_page(build_schema)?
+            } else {
+                Page::concat(&build_part)?
+            };
+            out.extend(hash_join_pages(&probe, &build, kind, on, residual, right_plan, ctx)?);
+        }
+        if let Some(f) = probe_file {
+            spill.remove(f)?;
+        }
+        if let Some(f) = build_file {
+            spill.remove(f)?;
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------- spill partitioning
+
+/// Hash-partition pages into [`SPILL_PARTITIONS`] buckets by key columns.
+fn partition_pages(
+    pages: &[Page],
+    key_exprs: &[&RowExpression],
+    ctx: &ExecutionContext,
+) -> Result<Vec<Vec<Page>>> {
+    let mut parts: Vec<Vec<Page>> = vec![Vec::new(); SPILL_PARTITIONS];
+    for page in pages {
+        let key_blocks = key_exprs
+            .iter()
+            .map(|e| ctx.evaluator.evaluate(e, page))
+            .collect::<Result<Vec<_>>>()?;
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); SPILL_PARTITIONS];
+        for i in 0..page.positions() {
+            let key: Vec<Value> = key_blocks.iter().map(|b| b.value(i)).collect();
+            buckets[partition_of(&key)].push(i);
+        }
+        for (part, indices) in parts.iter_mut().zip(&buckets) {
+            if !indices.is_empty() {
+                part.push(page.take(indices));
+            }
+        }
+    }
+    Ok(parts)
+}
+
+/// Deterministic partition for a key. NULL-containing keys never hash-match
+/// anything, so they are parked together in partition 0.
+fn partition_of(key: &[Value]) -> usize {
+    if key.iter().any(Value::is_null) {
+        return 0;
+    }
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % SPILL_PARTITIONS
+}
+
+/// The input's schema if its pages can be spilled (parquet needs at least
+/// one column); `None` keeps the original reservation error.
+fn spillable_schema(plan: &LogicalPlan) -> Option<presto_common::Schema> {
+    match plan.output_schema() {
+        Ok(schema) if !schema.is_empty() => Some(schema),
+        _ => None,
+    }
 }
 
 fn apply_residual(
@@ -441,7 +656,9 @@ fn execute_geo_join(
         0 => empty_page(&fences.output_schema()?)?,
         _ => Page::concat(&fence_pages)?,
     };
-    ctx.reserve_memory(fence_page.memory_size())?;
+    // RAII: the fence-side reservation releases even when an early `?`
+    // (bad WKT, evaluation error) unwinds out of this function.
+    let _fence_memory = ctx.pool.reserve(fence_page.memory_size(), ReservationKind::User)?;
     let shapes = ctx.evaluator.evaluate(fence_shape, &fence_page)?;
     let mut rows_with_shapes = Vec::with_capacity(fence_page.positions());
     for j in 0..fence_page.positions() {
@@ -474,7 +691,6 @@ fn execute_geo_join(
             out.push(stitched);
         }
     }
-    ctx.release_memory(fence_page.memory_size());
     Ok(out)
 }
 
@@ -489,12 +705,25 @@ fn sorted_indices(
     if pages.is_empty() {
         return Ok((None, Vec::new()));
     }
+    let total: usize = pages.iter().map(|p| p.memory_size()).sum();
+    let _sort_memory = match ctx.pool.reserve(total, ctx.operator_reservation_kind()) {
+        Ok(reservation) => reservation,
+        Err(e) if is_insufficient(&e) && ctx.spill.is_some() => {
+            return match spillable_schema(input) {
+                Some(schema) => {
+                    let sorted = external_sort(&pages, keys, &schema, ctx)?;
+                    let n = sorted.positions();
+                    // identity permutation: TopN truncates it as usual
+                    Ok((Some(sorted), (0..n).collect()))
+                }
+                None => Err(e),
+            };
+        }
+        Err(e) => return Err(e),
+    };
     let page = Page::concat(&pages)?;
-    ctx.reserve_memory(page.memory_size())?;
-    let key_blocks = keys
-        .iter()
-        .map(|k| ctx.evaluator.evaluate(&k.expr, &page))
-        .collect::<Result<Vec<_>>>()?;
+    let key_blocks =
+        keys.iter().map(|k| ctx.evaluator.evaluate(&k.expr, &page)).collect::<Result<Vec<_>>>()?;
     let mut indices: Vec<usize> = (0..page.positions()).collect();
     indices.sort_by(|&a, &b| {
         for (block, key) in key_blocks.iter().zip(keys) {
@@ -506,8 +735,110 @@ fn sorted_indices(
         }
         std::cmp::Ordering::Equal
     });
-    ctx.release_memory(page.memory_size());
     Ok((Some(page), indices))
+}
+
+/// External merge sort: each input page becomes a spilled sorted run (only
+/// one page is reserved at a time), then the runs are k-way merged. Ties
+/// break by (run order, row order), reproducing exactly what a stable sort
+/// over the concatenated input would produce.
+fn external_sort(
+    pages: &[Page],
+    keys: &[SortKey],
+    schema: &presto_common::Schema,
+    ctx: &ExecutionContext,
+) -> Result<Page> {
+    let spill = ctx.spill.as_ref().expect("caller checked spill").clone();
+
+    // Phase 1: sorted runs. A page that alone exceeds the budget is halved
+    // (recursively, in order — run order must stay the row order) until its
+    // pieces fit, so even a single oversized input page can sort.
+    let mut worklist: Vec<Page> = pages.iter().rev().filter(|p| !p.is_empty()).cloned().collect();
+    let mut run_files = Vec::new();
+    while let Some(page) = worklist.pop() {
+        let _run_memory =
+            match ctx.pool.reserve(page.memory_size(), ctx.operator_reservation_kind()) {
+                Ok(reservation) => reservation,
+                Err(e) if is_insufficient(&e) && page.positions() > 1 => {
+                    let mid = page.positions() / 2;
+                    worklist.push(page.slice(mid, page.positions() - mid));
+                    worklist.push(page.slice(0, mid));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+        let key_blocks = keys
+            .iter()
+            .map(|k| ctx.evaluator.evaluate(&k.expr, &page))
+            .collect::<Result<Vec<_>>>()?;
+        let mut indices: Vec<usize> = (0..page.positions()).collect();
+        indices.sort_by(|&a, &b| {
+            for (block, key) in key_blocks.iter().zip(keys) {
+                let ord = block.value(a).total_cmp(&block.value(b));
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        run_files.push(spill.spill_pages(schema, &[page.take(&indices)])?);
+    }
+
+    // Phase 2: k-way merge.
+    struct Run {
+        rows: Vec<Vec<Value>>,
+        keys: Vec<Block>,
+        cursor: usize,
+    }
+    let mut runs = Vec::with_capacity(run_files.len());
+    for file in &run_files {
+        let run_pages = spill.read(file)?;
+        let page = Page::concat(&run_pages)?;
+        let key_blocks = keys
+            .iter()
+            .map(|k| ctx.evaluator.evaluate(&k.expr, &page))
+            .collect::<Result<Vec<_>>>()?;
+        runs.push(Run { rows: page.rows(), keys: key_blocks, cursor: 0 });
+    }
+    let run_less = |a: &Run, b: &Run| -> bool {
+        for (k, key) in keys.iter().enumerate() {
+            let ord = a.keys[k].value(a.cursor).total_cmp(&b.keys[k].value(b.cursor));
+            let ord = if key.descending { ord.reverse() } else { ord };
+            match ord {
+                std::cmp::Ordering::Less => return true,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        false // equal keys: the earlier run wins (stability)
+    };
+    let total_rows: usize = runs.iter().map(|r| r.rows.len()).sum();
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(total_rows);
+    for _ in 0..total_rows {
+        let mut best = usize::MAX;
+        for r in 0..runs.len() {
+            if runs[r].cursor >= runs[r].rows.len() {
+                continue;
+            }
+            if best == usize::MAX || run_less(&runs[r], &runs[best]) {
+                best = r;
+            }
+        }
+        let run = &mut runs[best];
+        rows.push(run.rows[run.cursor].clone());
+        run.cursor += 1;
+    }
+    for file in run_files {
+        spill.remove(file)?;
+    }
+
+    let mut blocks = Vec::with_capacity(schema.len());
+    for (c, field) in schema.fields().iter().enumerate() {
+        let column: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
+        blocks.push(Block::from_values(&field.data_type, &column)?);
+    }
+    Page::new(blocks)
 }
 
 fn empty_page(schema: &presto_common::Schema) -> Result<Page> {
@@ -602,7 +933,10 @@ mod tests {
             expressions: vec![("id".into(), RowExpression::column("id", 0, DataType::Bigint))],
         };
         let rows = execute_to_rows(&plan, &ctx).unwrap();
-        assert_eq!(rows, vec![vec![Value::Bigint(1)], vec![Value::Bigint(3)], vec![Value::Bigint(6)]]);
+        assert_eq!(
+            rows,
+            vec![vec![Value::Bigint(1)], vec![Value::Bigint(3)], vec![Value::Bigint(6)]]
+        );
     }
 
     #[test]
@@ -688,10 +1022,7 @@ mod tests {
         let rows = execute_to_rows(&plan, &ctx).unwrap();
         assert_eq!(
             rows,
-            vec![
-                vec!["la".into(), Value::Bigint(1)],
-                vec!["sf".into(), Value::Bigint(5)],
-            ]
+            vec![vec!["la".into(), Value::Bigint(1)], vec!["sf".into(), Value::Bigint(5)],]
         );
     }
 
@@ -704,10 +1035,7 @@ mod tests {
                 Field::new("state", DataType::Varchar),
             ])
             .unwrap(),
-            rows: vec![
-                vec!["sf".into(), "CA".into()],
-                vec!["nyc".into(), "NY".into()],
-            ],
+            rows: vec![vec!["sf".into(), "CA".into()], vec!["nyc".into(), "NY".into()]],
         };
         let join = |kind| LogicalPlan::Join {
             left: Box::new(trips_scan()),
@@ -818,12 +1146,112 @@ mod tests {
         assert_eq!(top2.len(), 2);
         assert_eq!(top2[1][2], Value::Double(50.0));
 
-        let limited = execute_to_rows(
-            &LogicalPlan::Limit { input: Box::new(trips_scan()), count: 4 },
-            &ctx,
-        )
-        .unwrap();
+        let limited =
+            execute_to_rows(&LogicalPlan::Limit { input: Box::new(trips_scan()), count: 4 }, &ctx)
+                .unwrap();
         assert_eq!(limited.len(), 4);
+    }
+
+    /// Budget-capped context with an in-memory spill manager attached, so
+    /// blocking operators spill instead of failing.
+    fn ctx_with_spill(budget: usize) -> ExecutionContext {
+        let ctx = ctx_with_table().with_memory_budget(budget);
+        let spill = presto_resource::SpillManager::in_memory(ctx.metrics.clone());
+        let pool = ctx.pool.clone();
+        ctx.with_resources(pool, Some(Arc::new(spill)))
+    }
+
+    fn sorted_rows(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort_by(|a, b| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows
+    }
+
+    #[test]
+    fn spilled_aggregation_matches_in_memory() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(trips_scan()),
+            group_by: vec![RowExpression::column("city", 1, DataType::Varchar)],
+            aggregates: vec![
+                AggregateExpr {
+                    function: AggregateFunction::CountStar,
+                    argument: None,
+                    name: "cnt".into(),
+                },
+                AggregateExpr {
+                    function: AggregateFunction::Sum,
+                    argument: Some(RowExpression::column("fare", 2, DataType::Double)),
+                    name: "total".into(),
+                },
+            ],
+            step: AggregateStep::Single,
+        };
+        let unconstrained = execute_to_rows(&plan, &ctx_with_table()).unwrap();
+        // 3 groups need 3 * (64 + 2*48) = 480 bytes; budget 400 forces the
+        // Grace fallback, and each partition's slice fits.
+        let ctx = ctx_with_spill(400);
+        let spilled = execute_to_rows(&plan, &ctx).unwrap();
+        assert_eq!(spilled, unconstrained);
+        assert!(ctx.metrics.get("spill.files") > 0, "aggregation did not spill");
+        assert_eq!(ctx.reserved_memory(), 0, "reservation leaked");
+    }
+
+    #[test]
+    fn spilled_join_matches_in_memory() {
+        // Large enough that a partition's build slice is much smaller than
+        // the whole build side (page overhead doesn't shrink with rows).
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::Bigint), Field::new("v", DataType::Double)])
+                .unwrap();
+        let mut rows: Vec<Vec<Value>> =
+            (0..128i64).map(|i| vec![Value::Bigint(i % 8), Value::Double(i as f64)]).collect();
+        // NULL probe keys must survive the LEFT join via partition 0
+        rows.push(vec![Value::Null, Value::Double(-1.0)]);
+        let big = LogicalPlan::Values { schema, rows };
+        let plan = LogicalPlan::Join {
+            left: Box::new(big.clone()),
+            right: Box::new(big.clone()),
+            kind: JoinKind::Left,
+            on: vec![(
+                RowExpression::column("k", 0, DataType::Bigint),
+                RowExpression::column("k", 0, DataType::Bigint),
+            )],
+            residual: None,
+        };
+        let unconstrained = execute_to_rows(&plan, &ctx_with_table()).unwrap();
+        // one byte short of the materialized build side
+        let build_size = execute(&big, &ctx_with_table()).unwrap()[0].memory_size();
+        let ctx = ctx_with_spill(build_size - 1);
+        let spilled = execute_to_rows(&plan, &ctx).unwrap();
+        // Grace partitioning reorders rows across partitions
+        assert_eq!(sorted_rows(spilled), sorted_rows(unconstrained));
+        assert!(ctx.metrics.get("spill.files") > 0, "join did not spill");
+        assert_eq!(ctx.reserved_memory(), 0, "reservation leaked");
+    }
+
+    #[test]
+    fn spilled_sort_matches_in_memory() {
+        // two input pages, so the external sort can hold one run at a time
+        let two_scans = LogicalPlan::Union { inputs: vec![trips_scan(), trips_scan()] };
+        let keys = vec![SortKey {
+            expr: RowExpression::column("fare", 2, DataType::Double),
+            descending: true,
+        }];
+        let plan = LogicalPlan::Sort { input: Box::new(two_scans), keys };
+        let unconstrained = execute_to_rows(&plan, &ctx_with_table()).unwrap();
+        let page_size = execute(&trips_scan(), &ctx_with_table()).unwrap()[0].memory_size();
+        // fits one page (a run) but not both
+        let ctx = ctx_with_spill(page_size + page_size / 2);
+        let spilled = execute_to_rows(&plan, &ctx).unwrap();
+        // external merge sort must reproduce the stable in-memory order exactly
+        assert_eq!(spilled, unconstrained);
+        assert!(ctx.metrics.get("spill.files") > 0, "sort did not spill");
+        assert_eq!(ctx.reserved_memory(), 0, "reservation leaked");
     }
 
     #[test]
@@ -852,10 +1280,7 @@ mod tests {
         let plan = LogicalPlan::RemoteSource { fragment: 3, schema };
         let rows = execute_to_rows(&plan, &ctx).unwrap();
         assert_eq!(rows, vec![vec![Value::Bigint(7)]]);
-        let unbound = LogicalPlan::RemoteSource {
-            fragment: 9,
-            schema: Schema::empty(),
-        };
+        let unbound = LogicalPlan::RemoteSource { fragment: 9, schema: Schema::empty() };
         assert!(execute(&unbound, &ctx).is_err());
     }
 }

@@ -73,7 +73,9 @@ impl AggregateFunction {
             AggregateFunction::Count | AggregateFunction::CountStar => {
                 Accumulator::Count { count: 0 }
             }
-            AggregateFunction::Sum => Accumulator::Sum { int: 0, float: 0.0, saw_float: false, any: false },
+            AggregateFunction::Sum => {
+                Accumulator::Sum { int: 0, float: 0.0, saw_float: false, any: false }
+            }
             AggregateFunction::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
             AggregateFunction::Min => Accumulator::MinMax { best: None, is_min: true },
             AggregateFunction::Max => Accumulator::MinMax { best: None, is_min: false },

@@ -74,7 +74,12 @@ impl Evaluator {
                 if let Some(lambda_pos) =
                     args.iter().position(|a| matches!(a, RowExpression::LambdaDefinition { .. }))
                 {
-                    return self.evaluate_higher_order_scalar(handle.name.as_str(), args, lambda_pos, row);
+                    return self.evaluate_higher_order_scalar(
+                        handle.name.as_str(),
+                        args,
+                        lambda_pos,
+                        row,
+                    );
                 }
                 let arg_values = args
                     .iter()
@@ -114,8 +119,7 @@ impl Evaluator {
             return self.evaluate_higher_order(handle, args, page);
         }
 
-        let arg_blocks =
-            args.iter().map(|a| self.evaluate(a, page)).collect::<Result<Vec<_>>>()?;
+        let arg_blocks = args.iter().map(|a| self.evaluate(a, page)).collect::<Result<Vec<_>>>()?;
 
         let builtin = self.registry.builtin(&handle.name);
 
@@ -127,11 +131,9 @@ impl Evaluator {
             // Dictionary-aware: unary f(dict) => dict of f(values).
             if arg_blocks.len() == 1 {
                 if let Block::Dictionary { dictionary, ids } = &arg_blocks[0] {
-                    let inner = self.call_block(b, &[(**dictionary).clone()], &handle.return_type)?;
-                    return Ok(Block::Dictionary {
-                        dictionary: Box::new(inner),
-                        ids: ids.clone(),
-                    });
+                    let inner =
+                        self.call_block(b, &[(**dictionary).clone()], &handle.return_type)?;
+                    return Ok(Block::Dictionary { dictionary: Box::new(inner), ids: ids.clone() });
                 }
             }
             // Dictionary-aware: binary f(dict, constant-expr).
@@ -153,9 +155,10 @@ impl Evaluator {
         }
 
         // Custom function: row-at-a-time over the argument blocks.
-        let custom = self.registry.custom(&handle.name).ok_or_else(|| {
-            PrestoError::Execution(format!("unknown function '{}'", handle.name))
-        })?;
+        let custom = self
+            .registry
+            .custom(&handle.name)
+            .ok_or_else(|| PrestoError::Execution(format!("unknown function '{}'", handle.name)))?;
         let rows = page.positions();
         let mut out = Vec::with_capacity(rows);
         let mut arg_values = vec![Value::Null; arg_blocks.len()];
@@ -201,16 +204,11 @@ impl Evaluator {
             SpecialForm::And | SpecialForm::Or => {
                 let is_and = matches!(form, SpecialForm::And);
                 // Kleene three-valued logic, vectorized over tri-state lanes.
-                let mut state: Vec<Option<bool>> =
-                    vec![Some(is_and); rows];
+                let mut state: Vec<Option<bool>> = vec![Some(is_and); rows];
                 for arg in args {
                     let block = self.evaluate(arg, page)?;
                     for (i, lane) in state.iter_mut().enumerate() {
-                        let v = if block.is_null(i) {
-                            None
-                        } else {
-                            block.value(i).as_bool()
-                        };
+                        let v = if block.is_null(i) { None } else { block.value(i).as_bool() };
                         *lane = kleene(is_and, *lane, v);
                     }
                 }
@@ -274,10 +272,8 @@ impl Evaluator {
             }
             SpecialForm::In => {
                 let needle = self.evaluate(&args[0], page)?;
-                let haystack = args[1..]
-                    .iter()
-                    .map(|a| self.evaluate(a, page))
-                    .collect::<Result<Vec<_>>>()?;
+                let haystack =
+                    args[1..].iter().map(|a| self.evaluate(a, page)).collect::<Result<Vec<_>>>()?;
                 let mut out: Vec<Option<bool>> = Vec::with_capacity(rows);
                 for i in 0..rows {
                     if needle.is_null(i) {
@@ -341,15 +337,16 @@ impl Evaluator {
                         match nulls {
                             None => Ok(child),
                             Some(parent_nulls) => {
-                                let vals: Vec<Value> = (0..child.len())
-                                    .map(|i| {
-                                        if parent_nulls[i] {
-                                            Value::Null
-                                        } else {
-                                            child.value(i)
-                                        }
-                                    })
-                                    .collect();
+                                let vals: Vec<Value> =
+                                    (0..child.len())
+                                        .map(|i| {
+                                            if parent_nulls[i] {
+                                                Value::Null
+                                            } else {
+                                                child.value(i)
+                                            }
+                                        })
+                                        .collect();
                                 Block::from_values(return_type, &vals)
                             }
                         }
@@ -436,9 +433,9 @@ impl Evaluator {
                     Value::Row(fields) => fields.get(*field_index).cloned().ok_or_else(|| {
                         PrestoError::Internal("dereference field out of range".into())
                     }),
-                    other => Err(PrestoError::Execution(format!(
-                        "DEREFERENCE of non-row value {other}"
-                    ))),
+                    other => {
+                        Err(PrestoError::Execution(format!("DEREFERENCE of non-row value {other}")))
+                    }
                 }
             }
         }
@@ -502,9 +499,9 @@ impl Evaluator {
                 }
                 Ok(Value::Array(kept))
             }
-            other => Err(PrestoError::Execution(format!(
-                "unknown higher-order function '{other}'"
-            ))),
+            other => {
+                Err(PrestoError::Execution(format!("unknown higher-order function '{other}'")))
+            }
         }
     }
 }
@@ -533,10 +530,8 @@ fn kleene(is_and: bool, acc: Option<bool>, next: Option<bool>) -> Option<bool> {
 }
 
 fn tri_state_block(state: &[Option<bool>]) -> Result<Block> {
-    let values: Vec<Value> = state
-        .iter()
-        .map(|s| s.map(Value::Boolean).unwrap_or(Value::Null))
-        .collect();
+    let values: Vec<Value> =
+        state.iter().map(|s| s.map(Value::Boolean).unwrap_or(Value::Null)).collect();
     Block::from_values(&DataType::Boolean, &values)
 }
 
@@ -622,19 +617,13 @@ mod tests {
     #[test]
     fn fast_path_comparison_matches_scalar_oracle() {
         let ev = evaluator();
-        let page = Page::new(vec![
-            Block::bigint(vec![10, 12, 12, 5]),
-        ])
-        .unwrap();
+        let page = Page::new(vec![Block::bigint(vec![10, 12, 12, 5])]).unwrap();
         let expr = eq_call(
             RowExpression::column("city_id", 0, DataType::Bigint),
             RowExpression::bigint(12),
         );
         let block = ev.evaluate(&expr, &page).unwrap();
-        assert_eq!(
-            block.to_values(),
-            vec![false.into(), true.into(), true.into(), false.into()]
-        );
+        assert_eq!(block.to_values(), vec![false.into(), true.into(), true.into(), false.into()]);
         // oracle agreement
         for (i, expect) in [false, true, true, false].iter().enumerate() {
             let row = page.row(i);
@@ -645,13 +634,11 @@ mod tests {
     #[test]
     fn kleene_and_or_semantics() {
         let ev = evaluator();
-        let page = Page::new(vec![
-            Block::from_values(
-                &DataType::Boolean,
-                &[true.into(), false.into(), Value::Null],
-            )
-            .unwrap(),
-        ])
+        let page = Page::new(vec![Block::from_values(
+            &DataType::Boolean,
+            &[true.into(), false.into(), Value::Null],
+        )
+        .unwrap()])
         .unwrap();
         let col = RowExpression::column("b", 0, DataType::Boolean);
         let and_null = RowExpression::SpecialForm {
@@ -684,11 +671,7 @@ mod tests {
         let col = RowExpression::column("x", 0, DataType::Bigint);
         let in_expr = RowExpression::SpecialForm {
             form: SpecialForm::In,
-            args: vec![
-                col,
-                RowExpression::bigint(1),
-                RowExpression::null(DataType::Bigint),
-            ],
+            args: vec![col, RowExpression::bigint(1), RowExpression::null(DataType::Bigint)],
             return_type: DataType::Boolean,
         };
         let b = ev.evaluate(&in_expr, &page).unwrap();
@@ -739,15 +722,10 @@ mod tests {
         // and the dictionary path preserved the encoding
         assert!(matches!(via_dict, Block::Dictionary { .. }));
 
-        let cmp = eq_call(
-            RowExpression::column("c", 0, DataType::Varchar),
-            RowExpression::varchar("sf"),
-        );
+        let cmp =
+            eq_call(RowExpression::column("c", 0, DataType::Varchar), RowExpression::varchar("sf"));
         let via_dict = ev.evaluate(&cmp, &page_dict).unwrap();
-        assert_eq!(
-            via_dict.to_values(),
-            vec![true.into(), false.into(), true.into(), true.into()]
-        );
+        assert_eq!(via_dict.to_values(), vec![true.into(), false.into(), true.into(), true.into()]);
     }
 
     #[test]
@@ -785,10 +763,7 @@ mod tests {
         let b = ev.evaluate(&transform, &page).unwrap();
         assert_eq!(
             b.to_values(),
-            vec![
-                Value::Array(vec![11i64.into(), 12i64.into(), 13i64.into()]),
-                Value::Null
-            ]
+            vec![Value::Array(vec![11i64.into(), 12i64.into(), 13i64.into()]), Value::Null]
         );
 
         let filter_lambda = RowExpression::LambdaDefinition {
@@ -814,10 +789,7 @@ mod tests {
             args: vec![RowExpression::column("a", 0, arr_type), filter_lambda],
         };
         let b = ev.evaluate(&filter, &page).unwrap();
-        assert_eq!(
-            b.to_values(),
-            vec![Value::Array(vec![2i64.into(), 3i64.into()]), Value::Null]
-        );
+        assert_eq!(b.to_values(), vec![Value::Array(vec![2i64.into(), 3i64.into()]), Value::Null]);
     }
 
     #[test]
@@ -841,10 +813,7 @@ mod tests {
             return_type: DataType::Bigint,
         };
         let out = ev.evaluate(&safe_div, &page).unwrap();
-        assert_eq!(
-            out.to_values(),
-            vec![(-1i64).into(), 50i64.into(), 25i64.into()]
-        );
+        assert_eq!(out.to_values(), vec![(-1i64).into(), 50i64.into(), 25i64.into()]);
     }
 
     #[test]
@@ -875,11 +844,7 @@ mod tests {
 
         let iff = RowExpression::SpecialForm {
             form: SpecialForm::If,
-            args: vec![
-                between,
-                RowExpression::varchar("in"),
-                RowExpression::varchar("out"),
-            ],
+            args: vec![between, RowExpression::varchar("in"), RowExpression::varchar("out")],
             return_type: DataType::Varchar,
         };
         let b = ev.evaluate(&iff, &page).unwrap();

@@ -817,8 +817,7 @@ mod tests {
         let b = RowExpression::boolean(false);
         let c = RowExpression::column("c", 0, DataType::Boolean);
         let and_ab = RowExpression::combine_conjuncts(vec![a.clone(), b.clone()]).unwrap();
-        let nested =
-            RowExpression::combine_conjuncts(vec![and_ab.clone(), c.clone()]).unwrap();
+        let nested = RowExpression::combine_conjuncts(vec![and_ab.clone(), c.clone()]).unwrap();
         assert_eq!(nested.conjuncts(), vec![a.clone(), b, c]);
         assert_eq!(RowExpression::combine_conjuncts(vec![]), None);
         assert_eq!(RowExpression::combine_conjuncts(vec![a.clone()]), Some(a));
@@ -850,9 +849,7 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert!(
-            sample_call().to_string().contains("eq("),
-        );
+        assert!(sample_call().to_string().contains("eq("),);
         let l = RowExpression::LambdaDefinition {
             parameters: vec![("x".into(), DataType::Bigint)],
             body: Box::new(RowExpression::column("x", 0, DataType::Bigint)),

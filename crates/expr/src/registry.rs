@@ -122,9 +122,36 @@ impl Builtin {
     fn all() -> &'static [Builtin] {
         use Builtin::*;
         &[
-            Eq, Neq, Lt, Lte, Gt, Gte, Add, Sub, Mul, Div, Mod, Negate, Not, Concat, Lower,
-            Upper, Length, Substr, Like, Abs, Floor, Ceil, Round, Sqrt, Cast, Cardinality,
-            ElementAt, Contains, Transform, Filter,
+            Eq,
+            Neq,
+            Lt,
+            Lte,
+            Gt,
+            Gte,
+            Add,
+            Sub,
+            Mul,
+            Div,
+            Mod,
+            Negate,
+            Not,
+            Concat,
+            Lower,
+            Upper,
+            Length,
+            Substr,
+            Like,
+            Abs,
+            Floor,
+            Ceil,
+            Round,
+            Sqrt,
+            Cast,
+            Cardinality,
+            ElementAt,
+            Contains,
+            Transform,
+            Filter,
         ]
     }
 
@@ -275,9 +302,11 @@ impl Builtin {
                 if null_in {
                     return Ok(Value::Null);
                 }
-                Ok(Value::Boolean(!args[0].as_bool().ok_or_else(|| {
-                    PrestoError::Execution("NOT requires boolean".into())
-                })?))
+                Ok(Value::Boolean(
+                    !args[0]
+                        .as_bool()
+                        .ok_or_else(|| PrestoError::Execution("NOT requires boolean".into()))?,
+                ))
             }
             Concat => {
                 if null_in {
@@ -343,9 +372,9 @@ impl Builtin {
                 match &args[0] {
                     Value::Array(items) => Ok(Value::Bigint(items.len() as i64)),
                     Value::Map(entries) => Ok(Value::Bigint(entries.len() as i64)),
-                    other => {
-                        Err(PrestoError::Execution(format!("cardinality of non-collection {other}")))
-                    }
+                    other => Err(PrestoError::Execution(format!(
+                        "cardinality of non-collection {other}"
+                    ))),
                 }
             }
             ElementAt => {
@@ -381,9 +410,7 @@ impl Builtin {
                         for item in items {
                             if item.is_null() {
                                 saw_null = true;
-                            } else if item.sql_cmp(&args[1])
-                                == Some(std::cmp::Ordering::Equal)
-                            {
+                            } else if item.sql_cmp(&args[1]) == Some(std::cmp::Ordering::Equal) {
                                 return Ok(Value::Boolean(true));
                             }
                         }
@@ -489,9 +516,7 @@ pub fn cast_value(v: &Value, target: &DataType) -> Result<Value> {
     if v.is_null() {
         return Ok(Value::Null);
     }
-    let fail = || {
-        PrestoError::Execution(format!("cannot cast {v} to {target}"))
-    };
+    let fail = || PrestoError::Execution(format!("cannot cast {v} to {target}"));
     match target {
         DataType::Bigint => match v {
             Value::Bigint(x) => Ok(Value::Bigint(*x)),
@@ -798,9 +823,7 @@ mod tests {
             Value::Bigint(6)
         );
         assert_eq!(
-            Builtin::Contains
-                .eval_scalar(&[arr, Value::Bigint(7)], &DataType::Boolean)
-                .unwrap(),
+            Builtin::Contains.eval_scalar(&[arr, Value::Bigint(7)], &DataType::Boolean).unwrap(),
             Value::Boolean(false)
         );
     }

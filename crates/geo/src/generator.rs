@@ -107,11 +107,7 @@ mod tests {
     #[test]
     fn most_trips_land_inside_some_city() {
         let w = GeoWorkload::generate(25, 400, 30, 9);
-        let inside = w
-            .trips
-            .iter()
-            .filter(|p| w.cities.iter().any(|(_, g)| g.contains(p)))
-            .count();
+        let inside = w.trips.iter().filter(|p| w.cities.iter().any(|(_, g)| g.contains(p))).count();
         // 80% target inside city bounding boxes; well over a third must hit
         assert!(inside > w.trips.len() / 3, "only {inside} inside");
     }

@@ -55,7 +55,10 @@ impl BoundingBox {
 
     /// Point containment (inclusive edges).
     pub fn contains_point(&self, p: &Point) -> bool {
-        p.lng >= self.min_lng && p.lng <= self.max_lng && p.lat >= self.min_lat && p.lat <= self.max_lat
+        p.lng >= self.min_lng
+            && p.lng <= self.max_lng
+            && p.lat >= self.min_lat
+            && p.lat <= self.max_lat
     }
 
     /// Box intersection (touching counts).
@@ -201,9 +204,7 @@ impl Geometry {
         match self {
             Geometry::Point(q) => q == p,
             Geometry::Polygon(poly) => poly.contains_exhaustive(p),
-            Geometry::MultiPolygon(polys) => {
-                polys.iter().any(|poly| poly.contains_exhaustive(p))
-            }
+            Geometry::MultiPolygon(polys) => polys.iter().any(|poly| poly.contains_exhaustive(p)),
         }
     }
 

@@ -89,11 +89,7 @@ impl GeofenceIndex {
     /// bounding-box pre-filter).
     pub fn find_containing_brute_force(&self, p: &Point) -> Vec<i64> {
         self.contains_calls.set(self.contains_calls.get() + self.fences.len() as u64);
-        self.fences
-            .iter()
-            .filter(|(_, g)| g.contains_exhaustive(p))
-            .map(|(id, _)| *id)
-            .collect()
+        self.fences.iter().filter(|(_, g)| g.contains_exhaustive(p)).map(|(id, _)| *id).collect()
     }
 
     /// Cumulative `st_contains` evaluations (both paths).
@@ -146,10 +142,7 @@ mod tests {
         let fast_calls = index.contains_calls();
         index.find_containing_brute_force(&p);
         let brute_calls = index.contains_calls() - fast_calls;
-        assert!(
-            fast_calls * 10 <= brute_calls,
-            "quadtree {fast_calls} vs brute {brute_calls}"
-        );
+        assert!(fast_calls * 10 <= brute_calls, "quadtree {fast_calls} vs brute {brute_calls}");
     }
 
     #[test]
@@ -170,10 +163,9 @@ mod tests {
     #[test]
     fn generated_city_workload_agrees_across_paths() {
         let workload = GeoWorkload::generate(60, 200, 40, 7);
-        let index = GeofenceIndex::build(
-            workload.cities.iter().map(|(id, g)| (*id, g.clone())).collect(),
-        )
-        .unwrap();
+        let index =
+            GeofenceIndex::build(workload.cities.iter().map(|(id, g)| (*id, g.clone())).collect())
+                .unwrap();
         for p in &workload.trips {
             let mut fast = index.find_containing(p);
             let mut brute = index.find_containing_brute_force(p);

@@ -47,13 +47,7 @@ impl QuadTree {
 
     /// Empty tree with explicit occupancy criterion and depth cap.
     pub fn with_tuning(bounds: BoundingBox, capacity: usize, max_depth: usize) -> QuadTree {
-        QuadTree {
-            root: Node::leaf(),
-            bounds,
-            capacity: capacity.max(1),
-            max_depth,
-            len: 0,
-        }
+        QuadTree { root: Node::leaf(), bounds, capacity: capacity.max(1), max_depth, len: 0 }
     }
 
     /// Number of items inserted.
@@ -73,15 +67,7 @@ impl QuadTree {
 
     /// Insert an item by id and bounding box.
     pub fn insert(&mut self, id: u32, bbox: BoundingBox) {
-        insert_into(
-            &mut self.root,
-            self.bounds,
-            id,
-            bbox,
-            0,
-            self.capacity,
-            self.max_depth,
-        );
+        insert_into(&mut self.root, self.bounds, id, bbox, 0, self.capacity, self.max_depth);
         self.len += 1;
     }
 
@@ -117,7 +103,8 @@ fn insert_into(
         node.items.push((id, bbox));
         // Occupancy criterion met → subdivide and push items down.
         if node.items.len() > capacity && depth < max_depth {
-            node.children = Some(Box::new([Node::leaf(), Node::leaf(), Node::leaf(), Node::leaf()]));
+            node.children =
+                Some(Box::new([Node::leaf(), Node::leaf(), Node::leaf(), Node::leaf()]));
             let quadrants = node_bounds.quadrants();
             let items = std::mem::take(&mut node.items);
             for (item_id, item_box) in items {
@@ -154,15 +141,9 @@ fn place(
         }
     }
     match target {
-        Some(i) => insert_into(
-            &mut children[i],
-            quadrants[i],
-            id,
-            bbox,
-            depth + 1,
-            capacity,
-            max_depth,
-        ),
+        Some(i) => {
+            insert_into(&mut children[i], quadrants[i], id, bbox, depth + 1, capacity, max_depth)
+        }
         None => node.items.push((id, bbox)),
     }
 }
@@ -234,11 +215,8 @@ mod tests {
         }
         for _ in 0..200 {
             let p = Point::new(rand(), rand());
-            let mut expected: Vec<u32> = boxes
-                .iter()
-                .filter(|(_, b)| b.contains_point(&p))
-                .map(|(id, _)| *id)
-                .collect();
+            let mut expected: Vec<u32> =
+                boxes.iter().filter(|(_, b)| b.contains_point(&p)).map(|(id, _)| *id).collect();
             let mut got = tree.query_point(&p);
             expected.sort_unstable();
             got.sort_unstable();

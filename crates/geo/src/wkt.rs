@@ -26,8 +26,7 @@ pub fn to_wkt(g: &Geometry) -> String {
 }
 
 fn ring_wkt(poly: &Polygon) -> String {
-    let pts: Vec<String> =
-        poly.ring().iter().map(|p| format!("{} {}", p.lng, p.lat)).collect();
+    let pts: Vec<String> = poly.ring().iter().map(|p| format!("{} {}", p.lng, p.lat)).collect();
     format!("({})", pts.join(", "))
 }
 
@@ -191,6 +190,7 @@ mod tests {
         assert!(parse_wkt("POINT (1)").is_err());
         assert!(parse_wkt("POLYGON ((0 0, 1 1))").is_err()); // too few points
         assert!(parse_wkt("POINT (1 2) junk").is_err());
-        assert!(parse_wkt("POLYGON ((0 0, 1 0, 1 1), (0 0, 1 0, 1 1))").is_err()); // holes
+        assert!(parse_wkt("POLYGON ((0 0, 1 0, 1 1), (0 0, 1 0, 1 1))").is_err());
+        // holes
     }
 }

@@ -97,9 +97,7 @@ fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v: u64 = 0;
     let mut shift = 0;
     loop {
-        let byte = *data
-            .get(*pos)
-            .ok_or_else(|| PrestoError::Format("truncated varint".into()))?;
+        let byte = *data.get(*pos).ok_or_else(|| PrestoError::Format("truncated varint".into()))?;
         *pos += 1;
         v |= ((byte & 0x7f) as u64) << shift;
         if byte & 0x80 == 0 {
@@ -237,9 +235,8 @@ fn lz_decompress(data: &[u8]) -> Result<Vec<u8>> {
     // token stream itself
     let mut out = Vec::with_capacity(total.min(1 << 20));
     while out.len() < total {
-        let tag = *data
-            .get(pos)
-            .ok_or_else(|| PrestoError::Format("truncated LZ stream".into()))?;
+        let tag =
+            *data.get(pos).ok_or_else(|| PrestoError::Format("truncated LZ stream".into()))?;
         pos += 1;
         if tag & 1 == 0 {
             let n = (tag >> 1) as usize + 1;

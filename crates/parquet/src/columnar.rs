@@ -55,9 +55,7 @@ fn build_repetition_free(node: &SchemaNode, leaf_data: &[LeafData]) -> Result<Bl
             let nulls = if nulls.iter().any(|&b| b) { Some(nulls) } else { None };
             Ok(Block::Row { fields: row_fields.clone(), children, len, nulls })
         }
-        _ => Err(PrestoError::Internal(
-            "build_repetition_free called on repeated subtree".into(),
-        )),
+        _ => Err(PrestoError::Internal("build_repetition_free called on repeated subtree".into())),
     }
 }
 
@@ -66,11 +64,8 @@ fn build_repetition_free(node: &SchemaNode, leaf_data: &[LeafData]) -> Result<Bl
 fn build_leaf_block(data: &LeafData, scalar_type: &DataType, max_def: u16) -> Result<Block> {
     let len = data.defs.len();
     let no_nulls = data.defs.iter().all(|&d| d == max_def);
-    let nulls: Option<Vec<bool>> = if no_nulls {
-        None
-    } else {
-        Some(data.defs.iter().map(|&d| d < max_def).collect())
-    };
+    let nulls: Option<Vec<bool>> =
+        if no_nulls { None } else { Some(data.defs.iter().map(|&d| d < max_def).collect()) };
     macro_rules! expand {
         ($vals:expr, $default:expr) => {{
             if no_nulls {
@@ -417,11 +412,7 @@ mod tests {
     fn repeated_types_round_trip_via_fallback() {
         round_trip_via_blocks(
             DataType::array(DataType::Bigint),
-            vec![
-                Value::Array(vec![1i64.into(), 2i64.into()]),
-                Value::Array(vec![]),
-                Value::Null,
-            ],
+            vec![Value::Array(vec![1i64.into(), 2i64.into()]), Value::Array(vec![]), Value::Null],
         );
         round_trip_via_blocks(
             DataType::map(DataType::Varchar, DataType::Double),

@@ -161,11 +161,7 @@ impl FileMetadata {
                 let codec = Codec::from_tag(r.u8()?)?;
                 let encoding = Encoding::from_tag(r.u8()?)?;
                 let num_triplets = r.u64()?;
-                let dictionary_page = if r.u8()? == 1 {
-                    Some((r.u64()?, r.u64()?))
-                } else {
-                    None
-                };
+                let dictionary_page = if r.u8()? == 1 { Some((r.u64()?, r.u64()?)) } else { None };
                 let dictionary_count = r.u32()?;
                 let data_page = (r.u64()?, r.u64()?);
                 let stats = read_stats(&mut r)?;
@@ -290,9 +286,7 @@ pub fn update_stats(stats: &mut ColumnStats, v: &Value) {
 /// truncation is a valid *lower* bound.
 fn truncate_min_for_stats(v: &Value) -> Value {
     match v {
-        Value::Varchar(s) if s.chars().count() > 64 => {
-            Value::Varchar(s.chars().take(64).collect())
-        }
+        Value::Varchar(s) if s.chars().count() > 64 => Value::Varchar(s.chars().take(64).collect()),
         other => other.clone(),
     }
 }

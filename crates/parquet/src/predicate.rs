@@ -35,12 +35,10 @@ impl ScalarPredicate {
             return false;
         }
         match self {
-            ScalarPredicate::Eq(target) => {
-                v.sql_cmp(target) == Some(std::cmp::Ordering::Equal)
+            ScalarPredicate::Eq(target) => v.sql_cmp(target) == Some(std::cmp::Ordering::Equal),
+            ScalarPredicate::In(targets) => {
+                targets.iter().any(|t| v.sql_cmp(t) == Some(std::cmp::Ordering::Equal))
             }
-            ScalarPredicate::In(targets) => targets
-                .iter()
-                .any(|t| v.sql_cmp(t) == Some(std::cmp::Ordering::Equal)),
             ScalarPredicate::Range { min, max } => {
                 if let Some(lo) = min {
                     match v.sql_cmp(lo) {
@@ -179,10 +177,7 @@ mod tests {
         assert!(!eq.matches(&Value::Bigint(10)));
         assert!(!eq.matches(&Value::Null));
 
-        let range = ScalarPredicate::Range {
-            min: Some(Value::Bigint(5)),
-            max: None,
-        };
+        let range = ScalarPredicate::Range { min: Some(Value::Bigint(5)), max: None };
         assert!(range.matches(&Value::Bigint(5)));
         assert!(!range.matches(&Value::Bigint(4)));
 
@@ -202,10 +197,8 @@ mod tests {
 
     #[test]
     fn range_stats_intersection() {
-        let pred = ScalarPredicate::Range {
-            min: Some(Value::Bigint(100)),
-            max: Some(Value::Bigint(200)),
-        };
+        let pred =
+            ScalarPredicate::Range { min: Some(Value::Bigint(100)), max: Some(Value::Bigint(200)) };
         assert!(!pred.maybe_matches_stats(&stats(0, 99, 0), 10));
         assert!(!pred.maybe_matches_stats(&stats(201, 300, 0), 10));
         assert!(pred.maybe_matches_stats(&stats(150, 160, 0), 10));

@@ -352,7 +352,9 @@ mod tests {
 
     #[test]
     fn metadata_reads_back() {
-        for codec in [crate::codec::Codec::None, crate::codec::Codec::Fast, crate::codec::Codec::Deep] {
+        for codec in
+            [crate::codec::Codec::None, crate::codec::Codec::Fast, crate::codec::Codec::Deep]
+        {
             let bytes = write_sample(codec);
             let source = BytesSource::new(bytes);
             let meta = read_metadata(&source).unwrap();

@@ -238,10 +238,7 @@ pub fn read(
                 if chunk.dictionary_page.is_some() {
                     let leaf = &file_flat.leaves[*leaf_idx];
                     if let Some(dict) = read_dictionary(source, chunk, leaf)? {
-                        if !conjunct
-                            .predicate
-                            .matches_any_in_dictionary(&dict, &leaf.scalar_type)
-                        {
+                        if !conjunct.predicate.matches_any_in_dictionary(&dict, &leaf.scalar_type) {
                             stats.skipped_by_dictionary += 1;
                             continue 'groups;
                         }
@@ -255,7 +252,8 @@ pub fn read(
         let mut mask: Option<Vec<bool>> = None;
         for (leaf_idx, conjunct) in &predicate_leaves {
             let chunk = chunk_for(rg, *leaf_idx)?;
-            let data = decode_chunk(source, chunk, &file_flat.leaves[*leaf_idx], options.vectorized)?;
+            let data =
+                decode_chunk(source, chunk, &file_flat.leaves[*leaf_idx], options.vectorized)?;
             stats.leaves_decoded += 1;
             let flags = conjunct.predicate.evaluate_leaf(&data)?;
             mask = Some(match mask {
@@ -306,11 +304,7 @@ pub fn read(
                 }
             }
         }
-        pages.push(if blocks.is_empty() {
-            Page::zero_column(kept)
-        } else {
-            Page::new(blocks)?
-        });
+        pages.push(if blocks.is_empty() { Page::zero_column(kept) } else { Page::new(blocks)? });
     }
     Ok((pages, stats))
 }
@@ -430,13 +424,10 @@ mod tests {
     fn predicate_pushdown_skips_row_groups_by_stats() {
         let source = BytesSource::new(sample_file());
         // city_id = 12 only exists in group 1 (cities 10..12)
-        let options = ReadOptions::new(vec![
-            ProjectedColumn::path("base", &["driver_uuid"]),
-        ])
-        .with_predicate(FilePredicate::single(
-            "base.city_id",
-            ScalarPredicate::Eq(Value::Bigint(12)),
-        ));
+        let options =
+            ReadOptions::new(vec![ProjectedColumn::path("base", &["driver_uuid"])]).with_predicate(
+                FilePredicate::single("base.city_id", ScalarPredicate::Eq(Value::Bigint(12))),
+            );
         let (pages, stats) = read(&source, &trips_schema(), &options).unwrap();
         assert_eq!(stats.skipped_by_stats, 3);
         let rows: usize = pages.iter().map(Page::positions).sum();
@@ -520,12 +511,9 @@ mod tests {
             ProjectedColumn::whole("base"),
         ]);
         let (new_pages, _) = read(&source, &trips_schema(), &options).unwrap();
-        let (old_pages, _) = crate::reader_old::read(
-            &source,
-            &trips_schema(),
-            &["datestr".into(), "base".into()],
-        )
-        .unwrap();
+        let (old_pages, _) =
+            crate::reader_old::read(&source, &trips_schema(), &["datestr".into(), "base".into()])
+                .unwrap();
         let new_rows: Vec<_> = new_pages.iter().flat_map(|p| p.rows()).collect();
         let old_rows: Vec<_> = old_pages.iter().flat_map(|p| p.rows()).collect();
         assert_eq!(new_rows, old_rows);
@@ -537,11 +525,9 @@ mod tests {
         evolved_fields.push(Field::new("new_col", DataType::Bigint));
         let evolved = Schema::new(evolved_fields).unwrap();
         let source = BytesSource::new(sample_file());
-        let options = ReadOptions::new(vec![ProjectedColumn::whole("datestr")])
-            .with_predicate(FilePredicate::single(
-                "new_col",
-                ScalarPredicate::Eq(Value::Bigint(1)),
-            ));
+        let options = ReadOptions::new(vec![ProjectedColumn::whole("datestr")]).with_predicate(
+            FilePredicate::single("new_col", ScalarPredicate::Eq(Value::Bigint(1))),
+        );
         let (pages, _) = read(&source, &evolved, &options).unwrap();
         assert!(pages.is_empty());
     }

@@ -44,8 +44,8 @@ pub fn read(
     let meta = read_metadata(source)?;
     let file_flat = FlatSchema::new(meta.schema.clone())?;
 
-    let projected_table = table_schema
-        .project(&columns.iter().map(String::as_str).collect::<Vec<_>>())?;
+    let projected_table =
+        table_schema.project(&columns.iter().map(String::as_str).collect::<Vec<_>>())?;
     let resolutions = resolve_schemas(&projected_table, &meta.schema)?;
 
     let mut stats = LegacyReadStats::default();
@@ -77,10 +77,10 @@ pub fn read(
                             .iter()
                             .find(|c| c.leaf_index as usize == leaf_idx)
                             .ok_or_else(|| {
-                                PrestoError::Format(format!(
-                                    "row group missing chunk for leaf {leaf_idx}"
-                                ))
-                            })?;
+                            PrestoError::Format(format!(
+                                "row group missing chunk for leaf {leaf_idx}"
+                            ))
+                        })?;
                         leaf_data[leaf_idx] = decode_chunk(
                             source,
                             chunk,
@@ -110,11 +110,7 @@ pub fn read(
             }
         }
 
-        pages.push(if blocks.is_empty() {
-            Page::zero_column(rows)
-        } else {
-            Page::new(blocks)?
-        });
+        pages.push(if blocks.is_empty() { Page::zero_column(rows) } else { Page::new(blocks)? });
     }
     Ok((pages, stats))
 }
@@ -173,12 +169,8 @@ mod tests {
     #[test]
     fn reads_all_rows_in_all_groups() {
         let source = BytesSource::new(sample_file());
-        let (pages, stats) = read(
-            &source,
-            &nested_schema(),
-            &["datestr".into(), "base".into()],
-        )
-        .unwrap();
+        let (pages, stats) =
+            read(&source, &nested_schema(), &["datestr".into(), "base".into()]).unwrap();
         assert_eq!(pages.iter().map(Page::positions).sum::<usize>(), 100);
         assert_eq!(stats.row_groups_read, 2);
         // 3 leaves (datestr + 2 under base) per row group
@@ -186,10 +178,7 @@ mod tests {
         assert_eq!(stats.records_assembled, 200); // both columns, all rows
         let first = pages[0].row(0);
         assert_eq!(first[0], Value::Varchar("2017-03-01".into()));
-        assert_eq!(
-            first[1],
-            Value::Row(vec![Value::Varchar("driver-0".into()), Value::Bigint(0)])
-        );
+        assert_eq!(first[1], Value::Row(vec![Value::Varchar("driver-0".into()), Value::Bigint(0)]));
     }
 
     #[test]

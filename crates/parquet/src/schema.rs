@@ -185,10 +185,8 @@ impl SchemaNode {
         }
         match self {
             SchemaNode::Row { fields, .. } => {
-                let (_, child) = fields
-                    .iter()
-                    .find(|(name, _)| name == sub_path[0])
-                    .ok_or_else(|| {
+                let (_, child) =
+                    fields.iter().find(|(name, _)| name == sub_path[0]).ok_or_else(|| {
                         PrestoError::Analysis(format!("no field '{}' in struct", sub_path[0]))
                     })?;
                 child.descend(&sub_path[1..])
@@ -308,11 +306,7 @@ fn flatten(
                 max_def: def + 1,
                 max_rep: rep,
             });
-            Ok(SchemaNode::Leaf {
-                leaf_index,
-                scalar_type: scalar.clone(),
-                max_def: def + 1,
-            })
+            Ok(SchemaNode::Leaf { leaf_index, scalar_type: scalar.clone(), max_def: def + 1 })
         }
     }
 }

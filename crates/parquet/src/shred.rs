@@ -349,11 +349,7 @@ pub fn assemble_column(node: &SchemaNode, cursors: &mut [LeafCursor<'_>]) -> Res
 }
 
 #[allow(clippy::only_used_in_recursion)]
-fn assemble_value(
-    node: &SchemaNode,
-    cursors: &mut [LeafCursor<'_>],
-    def: u16,
-) -> Result<Value> {
+fn assemble_value(node: &SchemaNode, cursors: &mut [LeafCursor<'_>], def: u16) -> Result<Value> {
     match node {
         SchemaNode::Leaf { leaf_index, .. } => {
             let (_, _, value) = cursors[*leaf_index].advance()?;
@@ -456,10 +452,7 @@ mod tests {
 
     #[test]
     fn scalar_round_trip_with_nulls() {
-        round_trip(
-            DataType::Bigint,
-            vec![Value::Bigint(1), Value::Null, Value::Bigint(3)],
-        );
+        round_trip(DataType::Bigint, vec![Value::Bigint(1), Value::Null, Value::Bigint(3)]);
         round_trip(
             DataType::Varchar,
             vec![Value::Varchar("a".into()), Value::Null, Value::Varchar("".into())],
@@ -573,8 +566,7 @@ mod tests {
     #[test]
     fn levels_match_dremel_expectations() {
         // array(bigint): leaf max_def=3 (list present, slot, value non-null)
-        let schema =
-            Schema::new(vec![Field::new("a", DataType::array(DataType::Bigint))]).unwrap();
+        let schema = Schema::new(vec![Field::new("a", DataType::array(DataType::Bigint))]).unwrap();
         let flat = FlatSchema::new(schema).unwrap();
         let mut sinks: Vec<LeafData> = flat.leaves.iter().map(LeafData::new).collect();
         shred_column(

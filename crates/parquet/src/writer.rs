@@ -21,8 +21,8 @@ use crate::codec::Codec;
 use crate::columnar::shred_block;
 use crate::encoding::{rle_encode, ByteWriter};
 use crate::metadata::{
-    update_stats, ColumnChunkMeta, ColumnStats, Encoding, FileMetadata, RowGroupMeta, MAGIC,
-    FORMAT_VERSION,
+    update_stats, ColumnChunkMeta, ColumnStats, Encoding, FileMetadata, RowGroupMeta,
+    FORMAT_VERSION, MAGIC,
 };
 use crate::schema::{FlatSchema, PhysicalType};
 use crate::shred::{shred_one, LeafData, LeafValues};
@@ -145,7 +145,13 @@ impl FileWriter {
         let sinks = std::mem::replace(&mut self.sinks, fresh);
         for (leaf_idx, data) in sinks.into_iter().enumerate() {
             let leaf = &self.flat.leaves[leaf_idx];
-            columns.push(write_chunk(&mut self.out, leaf_idx as u32, leaf.physical, &data, &self.props)?);
+            columns.push(write_chunk(
+                &mut self.out,
+                leaf_idx as u32,
+                leaf.physical,
+                &data,
+                &self.props,
+            )?);
         }
         self.row_groups.push(RowGroupMeta { num_rows: self.rows_buffered as u64, columns });
         self.rows_buffered = 0;
@@ -365,11 +371,8 @@ mod tests {
     use presto_common::{Block, DataType, Field};
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Field::new("id", DataType::Bigint),
-            Field::new("city", DataType::Varchar),
-        ])
-        .unwrap()
+        Schema::new(vec![Field::new("id", DataType::Bigint), Field::new("city", DataType::Varchar)])
+            .unwrap()
     }
 
     fn page() -> Page {
@@ -425,9 +428,8 @@ mod tests {
         let footer_len =
             u32::from_le_bytes(bytes[bytes.len() - 8..bytes.len() - 4].try_into().unwrap())
                 as usize;
-        let meta =
-            FileMetadata::deserialize(&bytes[bytes.len() - 8 - footer_len..bytes.len() - 8])
-                .unwrap();
+        let meta = FileMetadata::deserialize(&bytes[bytes.len() - 8 - footer_len..bytes.len() - 8])
+            .unwrap();
         // 100 buffered rows flush as one 100-row group (flush drains buffer),
         // since pages arrive whole.
         assert_eq!(meta.num_rows, 100);

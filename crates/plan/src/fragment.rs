@@ -26,8 +26,7 @@ impl PlanFragment {
     /// True when this fragment scans a connector (parallelizable by split).
     pub fn is_leaf_scan(&self) -> bool {
         fn has_scan(p: &LogicalPlan) -> bool {
-            matches!(p, LogicalPlan::TableScan { .. })
-                || p.children().into_iter().any(has_scan)
+            matches!(p, LogicalPlan::TableScan { .. }) || p.children().into_iter().any(has_scan)
         }
         has_scan(&self.plan)
     }
@@ -62,14 +61,12 @@ fn map_children_fragment(
     fragments: &mut Vec<Option<PlanFragment>>,
 ) -> Result<LogicalPlan> {
     Ok(match plan {
-        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
-            input: Box::new(extract_scans(*input, fragments)?),
-            predicate,
-        },
-        LogicalPlan::Project { input, expressions } => LogicalPlan::Project {
-            input: Box::new(extract_scans(*input, fragments)?),
-            expressions,
-        },
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: Box::new(extract_scans(*input, fragments)?), predicate }
+        }
+        LogicalPlan::Project { input, expressions } => {
+            LogicalPlan::Project { input: Box::new(extract_scans(*input, fragments)?), expressions }
+        }
         LogicalPlan::Aggregate { input, group_by, aggregates, step } => LogicalPlan::Aggregate {
             input: Box::new(extract_scans(*input, fragments)?),
             group_by,
@@ -95,11 +92,9 @@ fn map_children_fragment(
         LogicalPlan::Sort { input, keys } => {
             LogicalPlan::Sort { input: Box::new(extract_scans(*input, fragments)?), keys }
         }
-        LogicalPlan::TopN { input, keys, count } => LogicalPlan::TopN {
-            input: Box::new(extract_scans(*input, fragments)?),
-            keys,
-            count,
-        },
+        LogicalPlan::TopN { input, keys, count } => {
+            LogicalPlan::TopN { input: Box::new(extract_scans(*input, fragments)?), keys, count }
+        }
         LogicalPlan::Limit { input, count } => {
             LogicalPlan::Limit { input: Box::new(extract_scans(*input, fragments)?), count }
         }
@@ -156,15 +151,9 @@ mod tests {
 
     #[test]
     fn scan_only_plan_has_two_fragments() {
-        let fragments = fragment_plan(LogicalPlan::Limit {
-            input: Box::new(scan("a")),
-            count: 1,
-        })
-        .unwrap();
+        let fragments =
+            fragment_plan(LogicalPlan::Limit { input: Box::new(scan("a")), count: 1 }).unwrap();
         assert_eq!(fragments.len(), 2);
-        assert!(matches!(
-            fragments[0].plan,
-            LogicalPlan::Limit { .. }
-        ));
+        assert!(matches!(fragments[0].plan, LogicalPlan::Limit { .. }));
     }
 }

@@ -310,11 +310,7 @@ impl LogicalPlan {
                 if let Some(l) = request.limit {
                     parts.push(format!("limit {l}"));
                 }
-                let nested = request
-                    .columns
-                    .iter()
-                    .filter(|c| !c.path.is_empty())
-                    .count();
+                let nested = request.columns.iter().filter(|c| !c.path.is_empty()).count();
                 if nested > 0 {
                     parts.push(format!("nested pruning ×{nested}"));
                 }
@@ -327,8 +323,7 @@ impl LogicalPlan {
             LogicalPlan::Values { rows, .. } => format!("Values[{} rows]", rows.len()),
             LogicalPlan::Filter { predicate, .. } => format!("Filter[{predicate}]"),
             LogicalPlan::Project { expressions, .. } => {
-                let names: Vec<&str> =
-                    expressions.iter().map(|(n, _)| n.as_str()).collect();
+                let names: Vec<&str> = expressions.iter().map(|(n, _)| n.as_str()).collect();
                 format!("Project[{}]", names.join(", "))
             }
             LogicalPlan::Aggregate { group_by, aggregates, step, .. } => {
@@ -350,9 +345,7 @@ impl LogicalPlan {
                 s.push(']');
                 s
             }
-            LogicalPlan::GeoJoin { .. } => {
-                "GeoJoin[build_geo_index → geo_contains]".to_string()
-            }
+            LogicalPlan::GeoJoin { .. } => "GeoJoin[build_geo_index → geo_contains]".to_string(),
             LogicalPlan::Sort { keys, .. } => format!("Sort[{} keys]", keys.len()),
             LogicalPlan::TopN { keys, count, .. } => {
                 format!("TopN[{count} rows, {} keys]", keys.len())
@@ -382,10 +375,7 @@ mod tests {
                 Field::new("b", DataType::Varchar),
             ])
             .unwrap(),
-            request: ScanRequest::project(vec![
-                ColumnPath::whole("a"),
-                ColumnPath::whole("b"),
-            ]),
+            request: ScanRequest::project(vec![ColumnPath::whole("a"), ColumnPath::whole("b")]),
         }
     }
 

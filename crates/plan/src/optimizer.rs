@@ -5,7 +5,6 @@
 //! pushdown → limit pushdown); each rule is individually toggleable so
 //! experiments can ablate them.
 
-
 use presto_common::{DataType, Result, Value};
 use presto_connectors::{
     AggregationPushdown, CatalogRegistry, ColumnPath, PushdownPredicate, ScanRequest,
@@ -113,12 +112,9 @@ fn map_children(
         LogicalPlan::Project { input, expressions } => {
             LogicalPlan::Project { input: Box::new(f(*input)?), expressions }
         }
-        LogicalPlan::Aggregate { input, group_by, aggregates, step } => LogicalPlan::Aggregate {
-            input: Box::new(f(*input)?),
-            group_by,
-            aggregates,
-            step,
-        },
+        LogicalPlan::Aggregate { input, group_by, aggregates, step } => {
+            LogicalPlan::Aggregate { input: Box::new(f(*input)?), group_by, aggregates, step }
+        }
         LogicalPlan::Join { left, right, kind, on, residual } => LogicalPlan::Join {
             left: Box::new(f(*left)?),
             right: Box::new(f(*right)?),
@@ -147,9 +143,9 @@ fn map_children(
         LogicalPlan::Output { input, names } => {
             LogicalPlan::Output { input: Box::new(f(*input)?), names }
         }
-        LogicalPlan::Union { inputs } => LogicalPlan::Union {
-            inputs: inputs.into_iter().map(f).collect::<Result<Vec<_>>>()?,
-        },
+        LogicalPlan::Union { inputs } => {
+            LogicalPlan::Union { inputs: inputs.into_iter().map(f).collect::<Result<Vec<_>>>()? }
+        }
         leaf => leaf,
     })
 }
@@ -171,10 +167,7 @@ fn rewrite_expressions(
         },
         LogicalPlan::Project { input, expressions } => LogicalPlan::Project {
             input: Box::new(rewrite_expressions(*input, f)),
-            expressions: expressions
-                .into_iter()
-                .map(|(n, e)| (n, e.rewrite(f)))
-                .collect(),
+            expressions: expressions.into_iter().map(|(n, e)| (n, e.rewrite(f))).collect(),
         },
         LogicalPlan::Aggregate { input, group_by, aggregates, step } => LogicalPlan::Aggregate {
             input: Box::new(rewrite_expressions(*input, f)),
@@ -274,13 +267,7 @@ fn rewrite_geo_join(plan: LogicalPlan) -> Result<LogicalPlan> {
     };
     if !on.is_empty() {
         return Ok(LogicalPlan::Filter {
-            input: Box::new(LogicalPlan::Join {
-                left,
-                right,
-                kind: JoinKind::Inner,
-                on,
-                residual,
-            }),
+            input: Box::new(LogicalPlan::Join { left, right, kind: JoinKind::Inner, on, residual }),
             predicate,
         });
     }
@@ -325,10 +312,7 @@ fn rewrite_geo_join(plan: LogicalPlan) -> Result<LogicalPlan> {
         fence_shape: shape_local,
     };
     Ok(match RowExpression::combine_conjuncts(rest) {
-        Some(remaining) => LogicalPlan::Filter {
-            input: Box::new(geo_join),
-            predicate: remaining,
-        },
+        Some(remaining) => LogicalPlan::Filter { input: Box::new(geo_join), predicate: remaining },
         None => geo_join,
     })
 }
@@ -538,14 +522,13 @@ fn convert_to_pushdown(
     };
     match conjunct {
         RowExpression::Call { handle, args } if args.len() == 2 => {
-            let (target, value, flipped) =
-                match (column_of(&args[0]), literal_of(&args[1])) {
-                    (Some(c), Some(v)) => (c, v, false),
-                    _ => match (column_of(&args[1]), literal_of(&args[0])) {
-                        (Some(c), Some(v)) => (c, v, true),
-                        _ => return None,
-                    },
-                };
+            let (target, value, flipped) = match (column_of(&args[0]), literal_of(&args[1])) {
+                (Some(c), Some(v)) => (c, v, false),
+                _ => match (column_of(&args[1]), literal_of(&args[0])) {
+                    (Some(c), Some(v)) => (c, v, true),
+                    _ => return None,
+                },
+            };
             let predicate = match (handle.name.as_str(), flipped) {
                 ("eq", _) => ScalarPredicate::Eq(value),
                 ("gte", false) | ("lte", true) => {
@@ -583,7 +566,9 @@ fn convert_to_pushdown(
 fn deref_chain(expr: &RowExpression, request: &ScanRequest) -> Option<ColumnPath> {
     match expr {
         RowExpression::VariableReference { index, .. } => request.columns.get(*index).cloned(),
-        RowExpression::SpecialForm { form: SpecialForm::Dereference { field_index }, args, .. } => {
+        RowExpression::SpecialForm {
+            form: SpecialForm::Dereference { field_index }, args, ..
+        } => {
             let base = deref_chain(&args[0], request)?;
             // recover the field name from the base expression's row type
             let base_type = args[0].data_type();
@@ -637,11 +622,7 @@ fn collect_access_exprs(e: &RowExpression, out: &mut Vec<RowExpression>) {
 
 /// Replace each occurrence of `accesses[i]` in `e` with a reference to
 /// channel `base + i`.
-fn replace_accesses(
-    e: &RowExpression,
-    accesses: &[RowExpression],
-    base: usize,
-) -> RowExpression {
+fn replace_accesses(e: &RowExpression, accesses: &[RowExpression], base: usize) -> RowExpression {
     if let Some(i) = accesses.iter().position(|a| a == e) {
         return RowExpression::column(access_name(&accesses[i]), base + i, e.data_type());
     }
@@ -663,7 +644,9 @@ fn replace_accesses(
 fn access_name(e: &RowExpression) -> String {
     match e {
         RowExpression::VariableReference { name, .. } => name.clone(),
-        RowExpression::SpecialForm { form: SpecialForm::Dereference { field_index }, args, .. } => {
+        RowExpression::SpecialForm {
+            form: SpecialForm::Dereference { field_index }, args, ..
+        } => {
             let base = access_name(&args[0]);
             match args[0].data_type() {
                 DataType::Row(fields) => {
@@ -680,9 +663,9 @@ fn access_name(e: &RowExpression) -> String {
 /// input (so wrapping in a Project would be useless churn).
 fn is_identity_access_list(accesses: &[RowExpression], width: usize) -> bool {
     accesses.len() == width
-        && accesses.iter().enumerate().all(|(i, a)| {
-            matches!(a, RowExpression::VariableReference { index, .. } if *index == i)
-        })
+        && accesses.iter().enumerate().all(
+            |(i, a)| matches!(a, RowExpression::VariableReference { index, .. } if *index == i),
+        )
 }
 
 /// Insert an explicit Project naming the accesses an Aggregate uses, so the
@@ -772,9 +755,7 @@ fn push_project_into_join(plan: LogicalPlan) -> Result<LogicalPlan> {
     }
 
     // Nothing to prune when both sides would keep everything.
-    if is_identity_access_list(&left_accesses, lw)
-        && is_identity_access_list(&right_accesses, rw)
-    {
+    if is_identity_access_list(&left_accesses, lw) && is_identity_access_list(&right_accesses, rw) {
         return Ok(LogicalPlan::Project {
             input: Box::new(LogicalPlan::Join { left, right, kind, on, residual }),
             expressions,
@@ -818,19 +799,13 @@ fn push_project_into_join(plan: LogicalPlan) -> Result<LogicalPlan> {
             // only the base offset changes (lw → new_lw)
             e.rewrite(&|x| match x {
                 RowExpression::VariableReference { name, index, data_type } if index >= lw => {
-                    RowExpression::VariableReference {
-                        name,
-                        index: index - lw + new_lw,
-                        data_type,
-                    }
+                    RowExpression::VariableReference { name, index: index - lw + new_lw, data_type }
                 }
                 other => other,
             })
         } else {
-            let combined_right: Vec<RowExpression> = right_accesses
-                .iter()
-                .map(|a| shift_columns(a.clone(), lw as isize))
-                .collect();
+            let combined_right: Vec<RowExpression> =
+                right_accesses.iter().map(|a| shift_columns(a.clone(), lw as isize)).collect();
             replace_accesses(&e, &combined_right, new_lw)
         }
     };
@@ -838,10 +813,8 @@ fn push_project_into_join(plan: LogicalPlan) -> Result<LogicalPlan> {
     let new_on: Vec<(RowExpression, RowExpression)> =
         on.iter().map(|(l, r)| (remap_left(l), remap_right_local(r))).collect();
     let new_residual = residual.as_ref().map(&remap_combined);
-    let new_exprs: Vec<(String, RowExpression)> = expressions
-        .iter()
-        .map(|(n, e)| (n.clone(), remap_combined(e)))
-        .collect();
+    let new_exprs: Vec<(String, RowExpression)> =
+        expressions.iter().map(|(n, e)| (n.clone(), remap_combined(e))).collect();
     Ok(LogicalPlan::Project {
         input: Box::new(LogicalPlan::Join {
             left: new_left,
@@ -862,10 +835,8 @@ fn merge_projects(plan: LogicalPlan) -> Result<LogicalPlan> {
     let LogicalPlan::Project { input: inner, expressions: inner_exprs } = *input else {
         return Ok(LogicalPlan::Project { input, expressions });
     };
-    let composed: Vec<(String, RowExpression)> = expressions
-        .into_iter()
-        .map(|(n, e)| (n, inline_projection(&e, &inner_exprs)))
-        .collect();
+    let composed: Vec<(String, RowExpression)> =
+        expressions.into_iter().map(|(n, e)| (n, inline_projection(&e, &inner_exprs))).collect();
     Ok(LogicalPlan::Project { input: inner, expressions: composed })
 }
 
@@ -911,27 +882,20 @@ fn prune_scan_projection(plan: LogicalPlan, catalogs: &CatalogRegistry) -> Resul
             needed.push(p);
         }
     };
-    let mut exprs_to_scan: Vec<&RowExpression> =
-        expressions.iter().map(|(_, e)| e).collect();
+    let mut exprs_to_scan: Vec<&RowExpression> = expressions.iter().map(|(_, e)| e).collect();
     if let Some(f) = &filter {
         exprs_to_scan.push(f);
     }
     for e in &exprs_to_scan {
         for access in collect_accesses(e, &request) {
-            let access = if caps.nested_pruning {
-                access
-            } else {
-                ColumnPath::whole(access.column)
-            };
+            let access =
+                if caps.nested_pruning { access } else { ColumnPath::whole(access.column) };
             add_path(access);
         }
     }
     // Columns used whole subsume their nested paths.
-    let whole: Vec<String> = needed
-        .iter()
-        .filter(|p| p.path.is_empty())
-        .map(|p| p.column.clone())
-        .collect();
+    let whole: Vec<String> =
+        needed.iter().filter(|p| p.path.is_empty()).map(|p| p.column.clone()).collect();
     needed.retain(|p| p.path.is_empty() || !whole.contains(&p.column));
 
     // Build the rewrite map: each retained access path becomes a channel.
@@ -945,13 +909,8 @@ fn prune_scan_projection(plan: LogicalPlan, catalogs: &CatalogRegistry) -> Resul
         expressions.iter().map(|(n, e)| (n.clone(), rewrite(e))).collect();
     let new_filter = filter.as_ref().map(rewrite);
 
-    let scan = LogicalPlan::TableScan {
-        catalog,
-        schema,
-        table,
-        table_schema,
-        request: new_request,
-    };
+    let scan =
+        LogicalPlan::TableScan { catalog, schema, table, table_schema, request: new_request };
     let inner = match new_filter {
         Some(predicate) => LogicalPlan::Filter { input: Box::new(scan), predicate },
         None => scan,
@@ -997,9 +956,7 @@ fn rewrite_accesses(
         // exact path match, or fall back to the whole-column channel with
         // the dereference re-applied on top
         if let Some(idx) = new_columns.iter().position(|c| *c == path) {
-            let dt = path
-                .resolve_type(table_schema)
-                .unwrap_or(DataType::Varchar);
+            let dt = path.resolve_type(table_schema).unwrap_or(DataType::Varchar);
             return RowExpression::column(path.dotted(), idx, dt);
         }
         if let RowExpression::SpecialForm { form, args, return_type } = expr {
@@ -1014,9 +971,8 @@ fn rewrite_accesses(
             };
         }
         if let RowExpression::VariableReference { name, data_type, .. } = expr {
-            if let Some(idx) = new_columns
-                .iter()
-                .position(|c| c.path.is_empty() && c.column == path.column)
+            if let Some(idx) =
+                new_columns.iter().position(|c| c.path.is_empty() && c.column == path.column)
             {
                 return RowExpression::column(name.clone(), idx, data_type.clone());
             }
@@ -1051,16 +1007,14 @@ fn rewrite_accesses(
 /// supports aggregation becomes a pushed-down scan plus a final-over-partial
 /// aggregation (Fig 2's right-hand plan).
 fn push_aggregation(plan: LogicalPlan, catalogs: &CatalogRegistry) -> Result<LogicalPlan> {
-    let LogicalPlan::Aggregate { input, group_by, aggregates, step: AggregateStep::Single } =
-        plan
+    let LogicalPlan::Aggregate { input, group_by, aggregates, step: AggregateStep::Single } = plan
     else {
         return Ok(plan);
     };
-    let rebuild = |input: Box<LogicalPlan>,
-                   group_by: Vec<RowExpression>,
-                   aggregates: Vec<AggregateExpr>| {
-        LogicalPlan::Aggregate { input, group_by, aggregates, step: AggregateStep::Single }
-    };
+    let rebuild =
+        |input: Box<LogicalPlan>, group_by: Vec<RowExpression>, aggregates: Vec<AggregateExpr>| {
+            LogicalPlan::Aggregate { input, group_by, aggregates, step: AggregateStep::Single }
+        };
     // See through a pruning Project over the scan (inserted by projection
     // pushdown): inline its expressions into the aggregate's own.
     let (input, group_by, aggregates, original) = match *input {
@@ -1095,16 +1049,12 @@ fn push_aggregation(plan: LogicalPlan, catalogs: &CatalogRegistry) -> Result<Log
                         aggregates: Vec<AggregateExpr>| {
         match original {
             Some(orig) => orig,
-            None => LogicalPlan::Aggregate {
-                input,
-                group_by,
-                aggregates,
-                step: AggregateStep::Single,
-            },
+            None => {
+                LogicalPlan::Aggregate { input, group_by, aggregates, step: AggregateStep::Single }
+            }
         }
     };
-    let LogicalPlan::TableScan { catalog, schema, table, table_schema, request } = *input
-    else {
+    let LogicalPlan::TableScan { catalog, schema, table, table_schema, request } = *input else {
         return Ok(rebuild(input, group_by, aggregates));
     };
     let connector = catalogs.get(&catalog)?;
@@ -1112,8 +1062,7 @@ fn push_aggregation(plan: LogicalPlan, catalogs: &CatalogRegistry) -> Result<Log
         && request.aggregation.is_none()
         && request.limit.is_none();
     if !eligible {
-        let scan =
-            LogicalPlan::TableScan { catalog, schema, table, table_schema, request };
+        let scan = LogicalPlan::TableScan { catalog, schema, table, table_schema, request };
         return Ok(rebuild(Box::new(scan), group_by, aggregates));
     }
 
@@ -1124,8 +1073,7 @@ fn push_aggregation(plan: LogicalPlan, catalogs: &CatalogRegistry) -> Result<Log
         match deref_chain(g, &request) {
             Some(p) => group_paths.push(p),
             None => {
-                let scan =
-                    LogicalPlan::TableScan { catalog, schema, table, table_schema, request };
+                let scan = LogicalPlan::TableScan { catalog, schema, table, table_schema, request };
                 return Ok(rebuild(Box::new(scan), group_by, aggregates));
             }
         }
@@ -1145,20 +1093,14 @@ fn push_aggregation(plan: LogicalPlan, catalogs: &CatalogRegistry) -> Result<Log
             Some(arg) => match deref_chain(arg, &request) {
                 Some(p) => Some(p),
                 None => {
-                    let scan = LogicalPlan::TableScan {
-                        catalog,
-                        schema,
-                        table,
-                        table_schema,
-                        request,
-                    };
+                    let scan =
+                        LogicalPlan::TableScan { catalog, schema, table, table_schema, request };
                     return Ok(rebuild(Box::new(scan), group_by, aggregates));
                 }
             },
         };
         if !ok_fn {
-            let scan =
-                LogicalPlan::TableScan { catalog, schema, table, table_schema, request };
+            let scan = LogicalPlan::TableScan { catalog, schema, table, table_schema, request };
             return Ok(rebuild(Box::new(scan), group_by, aggregates));
         }
         agg_specs.push((a.function, arg_path));
@@ -1174,13 +1116,8 @@ fn push_aggregation(plan: LogicalPlan, catalogs: &CatalogRegistry) -> Result<Log
         ..request
     };
     let scan_schema = new_request.output_schema(&table_schema)?;
-    let scan = LogicalPlan::TableScan {
-        catalog,
-        schema,
-        table,
-        table_schema,
-        request: new_request,
-    };
+    let scan =
+        LogicalPlan::TableScan { catalog, schema, table, table_schema, request: new_request };
     // Final aggregation over the partial columns.
     let final_group: Vec<RowExpression> = (0..group_paths.len())
         .map(|i| {
@@ -1632,7 +1569,9 @@ mod tests {
         };
         let optimized =
             optimize(plan, &catalogs(), &evaluator(), &OptimizerConfig::default()).unwrap();
-        fn find_join(p: &LogicalPlan) -> Option<(&Vec<(RowExpression, RowExpression)>, &LogicalPlan)> {
+        fn find_join(
+            p: &LogicalPlan,
+        ) -> Option<(&Vec<(RowExpression, RowExpression)>, &LogicalPlan)> {
             match p {
                 LogicalPlan::Join { on, left, .. } => Some((on, left)),
                 _ => p.children().into_iter().find_map(find_join),

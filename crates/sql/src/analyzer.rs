@@ -102,31 +102,21 @@ impl Scope {
                 parts.join(".")
             ))),
             1 => Ok(matches.remove(0)),
-            _ => Err(PrestoError::Analysis(format!(
-                "column '{}' is ambiguous",
-                parts.join(".")
-            ))),
+            _ => Err(PrestoError::Analysis(format!("column '{}' is ambiguous", parts.join(".")))),
         }
     }
 }
 
 // -------------------------------------------------------------------- FROM
 
-fn analyze_table_ref(
-    table_ref: &TableRef,
-    ctx: &AnalyzerContext,
-) -> Result<(LogicalPlan, Scope)> {
+fn analyze_table_ref(table_ref: &TableRef, ctx: &AnalyzerContext) -> Result<(LogicalPlan, Scope)> {
     match table_ref {
         TableRef::Table { parts, alias } => {
             let (catalog, schema, table) = match parts.len() {
                 1 => (ctx.default_catalog.clone(), ctx.default_schema.clone(), parts[0].clone()),
                 2 => (ctx.default_catalog.clone(), parts[0].clone(), parts[1].clone()),
                 3 => (parts[0].clone(), parts[1].clone(), parts[2].clone()),
-                n => {
-                    return Err(PrestoError::Analysis(format!(
-                        "table name has {n} parts"
-                    )))
-                }
+                n => return Err(PrestoError::Analysis(format!("table name has {n} parts"))),
             };
             let table_schema = ctx.catalogs.table_schema(&catalog, &schema, &table)?;
             let request = ScanRequest::project(
@@ -144,13 +134,7 @@ fn analyze_table_ref(
                     })
                     .collect(),
             };
-            let plan = LogicalPlan::TableScan {
-                catalog,
-                schema,
-                table,
-                table_schema,
-                request,
-            };
+            let plan = LogicalPlan::TableScan { catalog, schema, table, table_schema, request };
             Ok((plan, scope))
         }
         TableRef::Subquery { query, alias } => {
@@ -279,11 +263,8 @@ fn analyze_expr(expr: &Expr, scope: &Scope, ctx: &AnalyzerContext) -> Result<Row
         Expr::Identifier(parts) => {
             let (channel, path) = scope.resolve(parts)?;
             let column = &scope.columns[channel];
-            let mut out = RowExpression::column(
-                column.name.clone(),
-                channel,
-                column.data_type.clone(),
-            );
+            let mut out =
+                RowExpression::column(column.name.clone(), channel, column.data_type.clone());
             // remaining parts dereference into nested structs (§V)
             for segment in &path {
                 let DataType::Row(fields) = out.data_type() else {
@@ -317,11 +298,7 @@ fn analyze_expr(expr: &Expr, scope: &Scope, ctx: &AnalyzerContext) -> Result<Row
                     require_boolean(&l, "AND/OR operand")?;
                     require_boolean(&r, "AND/OR operand")?;
                     Ok(RowExpression::SpecialForm {
-                        form: if *op == BinaryOp::And {
-                            SpecialForm::And
-                        } else {
-                            SpecialForm::Or
-                        },
+                        form: if *op == BinaryOp::And { SpecialForm::And } else { SpecialForm::Or },
                         args: vec![l, r],
                         return_type: DataType::Boolean,
                     })
@@ -342,8 +319,7 @@ fn analyze_expr(expr: &Expr, scope: &Scope, ctx: &AnalyzerContext) -> Result<Row
                         BinaryOp::Like => "like",
                         BinaryOp::And | BinaryOp::Or => unreachable!(),
                     };
-                    let handle =
-                        ctx.registry.resolve(name, &[l.data_type(), r.data_type()])?;
+                    let handle = ctx.registry.resolve(name, &[l.data_type(), r.data_type()])?;
                     Ok(RowExpression::Call { handle, args: vec![l, r] })
                 }
             }
@@ -365,10 +341,8 @@ fn analyze_expr(expr: &Expr, scope: &Scope, ctx: &AnalyzerContext) -> Result<Row
                     "aggregate function {name}() is not allowed here"
                 )));
             }
-            let analyzed: Vec<RowExpression> = args
-                .iter()
-                .map(|a| analyze_expr(a, scope, ctx))
-                .collect::<Result<Vec<_>>>()?;
+            let analyzed: Vec<RowExpression> =
+                args.iter().map(|a| analyze_expr(a, scope, ctx)).collect::<Result<Vec<_>>>()?;
             let arg_types: Vec<DataType> = analyzed.iter().map(|e| e.data_type()).collect();
             let handle = ctx.registry.resolve(name, &arg_types)?;
             Ok(RowExpression::Call { handle, args: analyzed })
@@ -428,20 +402,13 @@ fn analyze_expr(expr: &Expr, scope: &Scope, ctx: &AnalyzerContext) -> Result<Row
             Ok(RowExpression::Call { handle, args: vec![inner] })
         }
         Expr::Case { operand, branches, else_expr } => {
-            let operand = operand
-                .as_ref()
-                .map(|o| analyze_expr(o, scope, ctx))
-                .transpose()?;
+            let operand = operand.as_ref().map(|o| analyze_expr(o, scope, ctx)).transpose()?;
             let analyzed: Vec<(RowExpression, RowExpression)> = branches
                 .iter()
-                .map(|(w, t)| {
-                    Ok((analyze_expr(w, scope, ctx)?, analyze_expr(t, scope, ctx)?))
-                })
+                .map(|(w, t)| Ok((analyze_expr(w, scope, ctx)?, analyze_expr(t, scope, ctx)?)))
                 .collect::<Result<Vec<_>>>()?;
-            let else_analyzed = else_expr
-                .as_ref()
-                .map(|e| analyze_expr(e, scope, ctx))
-                .transpose()?;
+            let else_analyzed =
+                else_expr.as_ref().map(|e| analyze_expr(e, scope, ctx)).transpose()?;
             build_case(operand, analyzed, else_analyzed, ctx)
         }
     }
@@ -473,9 +440,8 @@ fn build_case(
             }
         }
     }
-    let result_type = result_type.ok_or_else(|| {
-        PrestoError::Analysis("CASE needs at least one non-NULL result".into())
-    })?;
+    let result_type = result_type
+        .ok_or_else(|| PrestoError::Analysis("CASE needs at least one non-NULL result".into()))?;
     let retype = |e: RowExpression| -> RowExpression {
         if is_null_literal(&e) {
             RowExpression::null(result_type.clone())
@@ -483,16 +449,12 @@ fn build_case(
             e
         }
     };
-    let mut acc = else_expr
-        .map(retype)
-        .unwrap_or_else(|| RowExpression::null(result_type.clone()));
+    let mut acc = else_expr.map(retype).unwrap_or_else(|| RowExpression::null(result_type.clone()));
     for (when, then) in branches.into_iter().rev() {
         let condition = match &operand {
             // CASE x WHEN v THEN ... ≡ IF(x = v, ...)
             Some(op) => {
-                let handle = ctx
-                    .registry
-                    .resolve("eq", &[op.data_type(), when.data_type()])?;
+                let handle = ctx.registry.resolve("eq", &[op.data_type(), when.data_type()])?;
                 RowExpression::Call { handle, args: vec![op.clone(), when] }
             }
             None => {
@@ -548,9 +510,7 @@ fn analyze_query(query: &Query, ctx: &AnalyzerContext) -> Result<(LogicalPlan, V
     // WHERE
     if let Some(where_expr) = &query.where_clause {
         if contains_aggregate(where_expr) {
-            return Err(PrestoError::Analysis(
-                "WHERE clause cannot contain aggregates".into(),
-            ));
+            return Err(PrestoError::Analysis("WHERE clause cannot contain aggregates".into()));
         }
         let predicate = analyze_expr(where_expr, &scope, ctx)?;
         require_boolean(&predicate, "WHERE clause")?;
@@ -605,16 +565,12 @@ fn analyze_query(query: &Query, ctx: &AnalyzerContext) -> Result<(LogicalPlan, V
                 other => other.clone(),
             };
             if contains_aggregate(&ast) {
-                return Err(PrestoError::Analysis(
-                    "GROUP BY cannot contain aggregates".into(),
-                ));
+                return Err(PrestoError::Analysis("GROUP BY cannot contain aggregates".into()));
             }
             group_asts.push(ast);
         }
-        let group_exprs: Vec<RowExpression> = group_asts
-            .iter()
-            .map(|g| analyze_expr(g, &scope, ctx))
-            .collect::<Result<Vec<_>>>()?;
+        let group_exprs: Vec<RowExpression> =
+            group_asts.iter().map(|g| analyze_expr(g, &scope, ctx)).collect::<Result<Vec<_>>>()?;
 
         // collect distinct aggregate calls across select/having/order by
         let mut agg_calls: Vec<Expr> = Vec::new();
@@ -637,9 +593,8 @@ fn analyze_query(query: &Query, ctx: &AnalyzerContext) -> Result<(LogicalPlan, V
             let function = if *is_star && name == "count" {
                 AggregateFunction::CountStar
             } else {
-                AggregateFunction::from_name(name).ok_or_else(|| {
-                    PrestoError::Analysis(format!("unknown aggregate '{name}'"))
-                })?
+                AggregateFunction::from_name(name)
+                    .ok_or_else(|| PrestoError::Analysis(format!("unknown aggregate '{name}'")))?
             };
             let argument = if *is_star {
                 None
@@ -762,9 +717,7 @@ fn resolve_order_key(
     if let Expr::Integer(n) = ast {
         let idx = *n as usize;
         if idx == 0 || idx > output_names.len() {
-            return Err(PrestoError::Analysis(format!(
-                "ORDER BY position {idx} is out of range"
-            )));
+            return Err(PrestoError::Analysis(format!("ORDER BY position {idx} is out of range")));
         }
         let field = schema.field_at(idx - 1);
         return Ok(RowExpression::column(field.name.clone(), idx - 1, field.data_type.clone()));
@@ -773,11 +726,7 @@ fn resolve_order_key(
         if parts.len() == 1 {
             if let Some(idx) = output_names.iter().position(|n| *n == parts[0]) {
                 let field = schema.field_at(idx);
-                return Ok(RowExpression::column(
-                    field.name.clone(),
-                    idx,
-                    field.data_type.clone(),
-                ));
+                return Ok(RowExpression::column(field.name.clone(), idx, field.data_type.clone()));
             }
         }
     }
@@ -807,9 +756,7 @@ fn contains_aggregate(e: &Expr) -> bool {
                 || AggregateFunction::from_name(name).is_some()
                 || args.iter().any(contains_aggregate)
         }
-        Expr::BinaryOp { left, right, .. } => {
-            contains_aggregate(left) || contains_aggregate(right)
-        }
+        Expr::BinaryOp { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
         Expr::Not(e) | Expr::Negate(e) => contains_aggregate(e),
         Expr::InList { expr, list, .. } => {
             contains_aggregate(expr) || list.iter().any(contains_aggregate)
@@ -821,9 +768,7 @@ fn contains_aggregate(e: &Expr) -> bool {
         Expr::Cast { expr, .. } => contains_aggregate(expr),
         Expr::Case { operand, branches, else_expr } => {
             operand.as_deref().is_some_and(contains_aggregate)
-                || branches
-                    .iter()
-                    .any(|(w, t)| contains_aggregate(w) || contains_aggregate(t))
+                || branches.iter().any(|(w, t)| contains_aggregate(w) || contains_aggregate(t))
                 || else_expr.as_deref().is_some_and(contains_aggregate)
         }
         _ => false,
@@ -898,11 +843,7 @@ impl PostAggResolver<'_> {
         if let Some(idx) = self.agg_calls.iter().position(|a| a == ast) {
             let channel = self.group_asts.len() + idx;
             let field = self.agg_schema.field_at(channel);
-            return Ok(RowExpression::column(
-                field.name.clone(),
-                channel,
-                field.data_type.clone(),
-            ));
+            return Ok(RowExpression::column(field.name.clone(), channel, field.data_type.clone()));
         }
         // recurse into compound expressions
         match ast {
@@ -917,11 +858,7 @@ impl PostAggResolver<'_> {
                 let r = self.resolve(right)?;
                 match op {
                     BinaryOp::And | BinaryOp::Or => Ok(RowExpression::SpecialForm {
-                        form: if *op == BinaryOp::And {
-                            SpecialForm::And
-                        } else {
-                            SpecialForm::Or
-                        },
+                        form: if *op == BinaryOp::And { SpecialForm::And } else { SpecialForm::Or },
                         args: vec![l, r],
                         return_type: DataType::Boolean,
                     }),
@@ -941,10 +878,8 @@ impl PostAggResolver<'_> {
                             BinaryOp::Like => "like",
                             _ => unreachable!(),
                         };
-                        let handle = self
-                            .ctx
-                            .registry
-                            .resolve(name, &[l.data_type(), r.data_type()])?;
+                        let handle =
+                            self.ctx.registry.resolve(name, &[l.data_type(), r.data_type()])?;
                         Ok(RowExpression::Call { handle, args: vec![l, r] })
                     }
                 }
@@ -966,27 +901,26 @@ impl PostAggResolver<'_> {
                 Ok(RowExpression::Call { handle, args: vec![inner] })
             }
             Expr::FunctionCall { name, args, is_star: false } => {
-                let analyzed: Vec<RowExpression> = args
-                    .iter()
-                    .map(|a| self.resolve(a))
-                    .collect::<Result<Vec<_>>>()?;
+                let analyzed: Vec<RowExpression> =
+                    args.iter().map(|a| self.resolve(a)).collect::<Result<Vec<_>>>()?;
                 let arg_types: Vec<DataType> = analyzed.iter().map(|e| e.data_type()).collect();
                 let handle = self.ctx.registry.resolve(name, &arg_types)?;
                 Ok(RowExpression::Call { handle, args: analyzed })
             }
             Expr::Case { operand, branches, else_expr } => {
-                let operand =
-                    operand.as_ref().map(|o| self.resolve(o)).transpose()?;
+                let operand = operand.as_ref().map(|o| self.resolve(o)).transpose()?;
                 let analyzed: Vec<(RowExpression, RowExpression)> = branches
                     .iter()
                     .map(|(w, t)| Ok((self.resolve(w)?, self.resolve(t)?)))
                     .collect::<Result<Vec<_>>>()?;
-                let else_analyzed =
-                    else_expr.as_ref().map(|e| self.resolve(e)).transpose()?;
+                let else_analyzed = else_expr.as_ref().map(|e| self.resolve(e)).transpose()?;
                 build_case(operand, analyzed, else_analyzed, self.ctx)
             }
             // literals pass through; bare identifiers must be group keys
-            Expr::Integer(_) | Expr::Float(_) | Expr::StringLit(_) | Expr::Boolean(_)
+            Expr::Integer(_)
+            | Expr::Float(_)
+            | Expr::StringLit(_)
+            | Expr::Boolean(_)
             | Expr::Null => analyze_expr(ast, self.scope, self.ctx),
             Expr::Identifier(parts) => Err(PrestoError::Analysis(format!(
                 "column '{}' must appear in GROUP BY or inside an aggregate",
@@ -1094,18 +1028,15 @@ mod tests {
         assert_eq!(plan.output_schema().unwrap().fields()[0].name, "price");
         // SELECT * over a join whose sides share column names must expand
         // with qualifiers, not die with a spurious ambiguity error
-        let plan = plan_for(
-            "SELECT * FROM cities a JOIN cities b ON a.city_id = b.city_id",
-        );
+        let plan = plan_for("SELECT * FROM cities a JOIN cities b ON a.city_id = b.city_id");
         let schema = plan.output_schema().unwrap();
         assert_eq!(schema.len(), 4);
     }
 
     #[test]
     fn group_by_ordinal_matches_paper_query() {
-        let plan = plan_for(
-            "SELECT datestr, count(*) FROM trips GROUP BY 1 ORDER BY 2 DESC LIMIT 5",
-        );
+        let plan =
+            plan_for("SELECT datestr, count(*) FROM trips GROUP BY 1 ORDER BY 2 DESC LIMIT 5");
         let schema = plan.output_schema().unwrap();
         assert_eq!(schema.fields()[0].name, "datestr");
         assert_eq!(schema.fields()[1].data_type, DataType::Bigint);
@@ -1128,9 +1059,7 @@ mod tests {
 
     #[test]
     fn join_on_becomes_filter_over_cross_join() {
-        let plan = plan_for(
-            "SELECT t.fare FROM trips t JOIN cities c ON base.city_id = c.city_id",
-        );
+        let plan = plan_for("SELECT t.fare FROM trips t JOIN cities c ON base.city_id = c.city_id");
         fn find_filter_over_join(p: &LogicalPlan) -> bool {
             match p {
                 LogicalPlan::Filter { input, .. } => {
@@ -1176,9 +1105,8 @@ mod tests {
 
     #[test]
     fn subquery_scopes() {
-        let plan = plan_for(
-            "SELECT s.d FROM (SELECT datestr AS d FROM trips LIMIT 10) s WHERE s.d = 'x'",
-        );
+        let plan =
+            plan_for("SELECT s.d FROM (SELECT datestr AS d FROM trips LIMIT 10) s WHERE s.d = 'x'");
         assert_eq!(plan.output_schema().unwrap().fields()[0].name, "d");
     }
 
@@ -1206,9 +1134,7 @@ mod tests {
         assert_eq!(schema.fields()[0].name, "bucket");
         assert_eq!(schema.fields()[0].data_type, DataType::Varchar);
         // mixed branch types are rejected (type-strict engine)
-        let err = analyze_err(
-            "SELECT CASE WHEN fare > 20.0 THEN 'high' ELSE 1 END FROM trips",
-        );
+        let err = analyze_err("SELECT CASE WHEN fare > 20.0 THEN 'high' ELSE 1 END FROM trips");
         assert!(err.message().contains("mixed types"), "{err}");
         // all-NULL CASE is meaningless
         assert!(analyze_err("SELECT CASE WHEN fare > 1.0 THEN null END FROM trips")

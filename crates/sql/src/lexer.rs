@@ -60,9 +60,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                             buf.push(b);
                             i += 1;
                         }
-                        None => {
-                            return Err(PrestoError::Parse("unterminated string".into()))
-                        }
+                        None => return Err(PrestoError::Parse("unterminated string".into())),
                     }
                 }
                 let s = String::from_utf8(buf)
@@ -82,9 +80,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                             buf.push(b);
                             i += 1;
                         }
-                        None => {
-                            return Err(PrestoError::Parse("unterminated identifier".into()))
-                        }
+                        None => return Err(PrestoError::Parse("unterminated identifier".into())),
                     }
                 }
                 let s = String::from_utf8(buf)
@@ -119,24 +115,23 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
                 let text = std::str::from_utf8(&bytes[start..i]).unwrap();
                 if is_float {
-                    tokens.push(Token::Float(text.parse().map_err(|_| {
-                        PrestoError::Parse(format!("bad number '{text}'"))
-                    })?));
+                    tokens.push(Token::Float(
+                        text.parse()
+                            .map_err(|_| PrestoError::Parse(format!("bad number '{text}'")))?,
+                    ));
                 } else {
-                    tokens.push(Token::Integer(text.parse().map_err(|_| {
-                        PrestoError::Parse(format!("bad number '{text}'"))
-                    })?));
+                    tokens.push(Token::Integer(
+                        text.parse()
+                            .map_err(|_| PrestoError::Parse(format!("bad number '{text}'")))?,
+                    ));
                 }
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
-                let word =
-                    std::str::from_utf8(&bytes[start..i]).unwrap().to_lowercase();
+                let word = std::str::from_utf8(&bytes[start..i]).unwrap().to_lowercase();
                 tokens.push(Token::Word(word));
             }
             b'<' if bytes.get(i + 1) == Some(&b'=') => {
@@ -255,10 +250,7 @@ mod tests {
         let tokens = tokenize("'Köln' \"Šibenik 市\"").unwrap();
         assert_eq!(
             tokens,
-            vec![
-                Token::StringLit("Köln".into()),
-                Token::QuotedIdent("Šibenik 市".into()),
-            ]
+            vec![Token::StringLit("Köln".into()), Token::QuotedIdent("Šibenik 市".into()),]
         );
     }
 

@@ -28,11 +28,7 @@ struct Parser {
 
 impl Parser {
     fn error(&self, msg: &str) -> PrestoError {
-        PrestoError::Parse(format!(
-            "{msg} at token {} ({:?})",
-            self.pos,
-            self.tokens.get(self.pos)
-        ))
+        PrestoError::Parse(format!("{msg} at token {} ({:?})", self.pos, self.tokens.get(self.pos)))
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -131,16 +127,8 @@ impl Parser {
         while self.eat_symbol(",") {
             select.push(self.parse_select_item()?);
         }
-        let from = if self.eat_keyword("from") {
-            Some(self.parse_table_ref()?)
-        } else {
-            None
-        };
-        let where_clause = if self.eat_keyword("where") {
-            Some(self.parse_expr()?)
-        } else {
-            None
-        };
+        let from = if self.eat_keyword("from") { Some(self.parse_table_ref()?) } else { None };
+        let where_clause = if self.eat_keyword("where") { Some(self.parse_expr()?) } else { None };
         let mut group_by = Vec::new();
         if self.eat_keyword("group") {
             self.expect_keyword("by")?;
@@ -149,11 +137,7 @@ impl Parser {
                 group_by.push(self.parse_expr()?);
             }
         }
-        let having = if self.eat_keyword("having") {
-            Some(self.parse_expr()?)
-        } else {
-            None
-        };
+        let having = if self.eat_keyword("having") { Some(self.parse_expr()?) } else { None };
         let mut order_by = Vec::new();
         if self.eat_keyword("order") {
             self.expect_keyword("by")?;
@@ -235,12 +219,7 @@ impl Parser {
                 self.expect_keyword("on")?;
                 Some(self.parse_expr()?)
             };
-            left = TableRef::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                kind,
-                on,
-            };
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
         }
         Ok(left)
     }
@@ -285,7 +264,8 @@ impl Parser {
         let mut left = self.parse_and()?;
         while self.eat_keyword("or") {
             let right = self.parse_and()?;
-            left = Expr::BinaryOp { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+            left =
+                Expr::BinaryOp { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -509,10 +489,42 @@ impl Parser {
 fn is_reserved(word: &str) -> bool {
     matches!(
         word,
-        "select" | "from" | "where" | "group" | "by" | "having" | "order" | "limit" | "join"
-            | "inner" | "left" | "right" | "outer" | "cross" | "on" | "and" | "or" | "not"
-            | "in" | "between" | "like" | "is" | "null" | "true" | "false" | "as" | "distinct"
-            | "cast" | "desc" | "asc" | "explain" | "union" | "all" | "case" | "when" | "then"
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "by"
+            | "having"
+            | "order"
+            | "limit"
+            | "join"
+            | "inner"
+            | "left"
+            | "right"
+            | "outer"
+            | "cross"
+            | "on"
+            | "and"
+            | "or"
+            | "not"
+            | "in"
+            | "between"
+            | "like"
+            | "is"
+            | "null"
+            | "true"
+            | "false"
+            | "as"
+            | "distinct"
+            | "cast"
+            | "desc"
+            | "asc"
+            | "explain"
+            | "union"
+            | "all"
+            | "case"
+            | "when"
+            | "then"
             | "end"
     )
 }
@@ -559,15 +571,13 @@ mod tests {
         );
         assert_eq!(q.group_by, vec![Expr::Integer(1)]);
         match &q.from {
-            Some(TableRef::Join { kind: JoinType::Inner, on: Some(on), .. }) => {
-                match on {
-                    Expr::FunctionCall { name, args, .. } => {
-                        assert_eq!(name, "st_contains");
-                        assert_eq!(args.len(), 2);
-                    }
-                    other => panic!("unexpected {other:?}"),
+            Some(TableRef::Join { kind: JoinType::Inner, on: Some(on), .. }) => match on {
+                Expr::FunctionCall { name, args, .. } => {
+                    assert_eq!(name, "st_contains");
+                    assert_eq!(args.len(), 2);
                 }
-            }
+                other => panic!("unexpected {other:?}"),
+            },
             other => panic!("unexpected {other:?}"),
         }
         match &q.select[1] {
@@ -643,7 +653,10 @@ mod tests {
             "SELECT CASE WHEN fare > 20 THEN 'high' WHEN fare > 10 THEN 'mid' ELSE 'low' END FROM t",
         );
         match &q.select[0] {
-            SelectItem::Expression { expr: Expr::Case { operand: None, branches, else_expr }, .. } => {
+            SelectItem::Expression {
+                expr: Expr::Case { operand: None, branches, else_expr },
+                ..
+            } => {
                 assert_eq!(branches.len(), 2);
                 assert!(else_expr.is_some());
             }
@@ -651,7 +664,10 @@ mod tests {
         }
         let q = query("SELECT CASE status WHEN 'done' THEN 1 END FROM t");
         match &q.select[0] {
-            SelectItem::Expression { expr: Expr::Case { operand: Some(_), branches, else_expr }, .. } => {
+            SelectItem::Expression {
+                expr: Expr::Case { operand: Some(_), branches, else_expr },
+                ..
+            } => {
                 assert_eq!(branches.len(), 1);
                 assert!(else_expr.is_none());
             }

@@ -94,8 +94,7 @@ impl HdfsFileSystem {
 
     fn charge_namenode(&self, entries: usize) {
         let outstanding = self.inflight_metadata.fetch_add(1, Ordering::Relaxed);
-        let base = self.config.namenode_base_latency
-            + self.config.list_per_entry * entries as u32;
+        let base = self.config.namenode_base_latency + self.config.list_per_entry * entries as u32;
         // Load-dependent degradation: each outstanding metadata call inflates
         // the cost. This is what makes uncached listFiles storms hurt (§VII).
         let multiplier = 1.0 + self.config.contention_factor * outstanding as f64;

@@ -11,6 +11,8 @@
 //!   Parquet reader use (`listFiles`, `getFileInfo`, ranged reads — the very
 //!   calls §VII's caches exist to avoid);
 //! - [`memory::InMemoryFileSystem`] — zero-latency backing store;
+//! - [`local::LocalFileSystem`] — a host-disk backing store (spill-to-disk
+//!   benchmarks pay real file I/O through it);
 //! - [`hdfs::HdfsFileSystem`] — an HDFS simulator with a single **NameNode**
 //!   whose metadata operations have a load-dependent cost model (reproducing
 //!   the "single NameNode listFiles performance degradation" of §VII);
@@ -25,10 +27,12 @@
 
 pub mod fs;
 pub mod hdfs;
+pub mod local;
 pub mod memory;
 pub mod s3;
 
 pub use fs::{FileStatus, FileSystem};
 pub use hdfs::{HdfsConfig, HdfsFileSystem};
+pub use local::LocalFileSystem;
 pub use memory::InMemoryFileSystem;
 pub use s3::{PrestoS3FileSystem, S3Config, S3ObjectStore};

@@ -1,0 +1,123 @@
+//! Local-disk filesystem, rooted at a host directory.
+//!
+//! Virtual `/a/b` paths map to `<root>/a/b` on the real disk. Spill-to-disk
+//! benchmarks use this (via [`LocalFileSystem::temp`]) so spilled partitions
+//! pay real file I/O; tests stay on [`crate::InMemoryFileSystem`].
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use presto_common::{PrestoError, Result};
+
+use crate::fs::{normalize, FileStatus, FileSystem};
+
+/// A [`FileSystem`] over a directory of the host filesystem.
+pub struct LocalFileSystem {
+    root: PathBuf,
+}
+
+impl LocalFileSystem {
+    /// Filesystem rooted at `root`; the directory is created if missing.
+    pub fn new(root: impl Into<PathBuf>) -> Result<LocalFileSystem> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_err("create root", &root, e))?;
+        Ok(LocalFileSystem { root })
+    }
+
+    /// Filesystem rooted at a fresh per-process directory under the system
+    /// temp dir (`presto-<label>-<pid>`).
+    pub fn temp(label: &str) -> Result<LocalFileSystem> {
+        let root = std::env::temp_dir().join(format!("presto-{label}-{}", std::process::id()));
+        LocalFileSystem::new(root)
+    }
+
+    /// The host directory backing this filesystem.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    /// Remove the whole backing directory (bench cleanup).
+    pub fn destroy(self) -> Result<()> {
+        fs::remove_dir_all(&self.root).map_err(|e| io_err("destroy", &self.root, e))
+    }
+
+    fn host_path(&self, path: &str) -> PathBuf {
+        self.root.join(normalize(path).trim_start_matches('/'))
+    }
+}
+
+fn io_err(op: &str, path: &std::path::Path, e: io::Error) -> PrestoError {
+    PrestoError::Storage(format!("{op} {}: {e}", path.display()))
+}
+
+impl FileSystem for LocalFileSystem {
+    fn list_files(&self, dir: &str) -> Result<Vec<FileStatus>> {
+        let host = self.host_path(dir);
+        let entries = fs::read_dir(&host).map_err(|e| io_err("list", &host, e))?;
+        let virt_dir = normalize(dir);
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list", &host, e))?;
+            let meta = entry.metadata().map_err(|e| io_err("stat", &entry.path(), e))?;
+            if meta.is_file() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                out.push(FileStatus {
+                    path: format!("{}/{}", virt_dir.trim_end_matches('/'), name),
+                    size: meta.len(),
+                });
+            }
+        }
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(out)
+    }
+
+    fn get_file_info(&self, path: &str) -> Result<FileStatus> {
+        let host = self.host_path(path);
+        let meta = fs::metadata(&host).map_err(|e| io_err("stat", &host, e))?;
+        Ok(FileStatus { path: normalize(path), size: meta.len() })
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let host = self.host_path(path);
+        let data = fs::read(&host).map_err(|e| io_err("read", &host, e))?;
+        let start = (offset as usize).min(data.len());
+        let end = (offset + len).min(data.len() as u64) as usize;
+        Ok(data[start..end].to_vec())
+    }
+
+    fn write(&self, path: &str, data: &[u8]) -> Result<()> {
+        let host = self.host_path(path);
+        if let Some(parent) = host.parent() {
+            fs::create_dir_all(parent).map_err(|e| io_err("mkdir", parent, e))?;
+        }
+        fs::write(&host, data).map_err(|e| io_err("write", &host, e))
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        let host = self.host_path(path);
+        fs::remove_file(&host).map_err(|e| io_err("delete", &host, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_list_delete_round_trip() {
+        let fs = LocalFileSystem::temp("local-fs-test").unwrap();
+        fs.write("/spill/q1/run-0.parquet", b"hello").unwrap();
+        fs.write("/spill/q1/run-1.parquet", b"world!").unwrap();
+        assert_eq!(fs.read("/spill/q1/run-0.parquet").unwrap(), b"hello");
+        assert_eq!(fs.read_range("/spill/q1/run-1.parquet", 1, 3).unwrap(), b"orl");
+        let listed = fs.list_files("/spill/q1").unwrap();
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].path, "/spill/q1/run-0.parquet");
+        assert_eq!(listed[1].size, 6);
+        fs.delete("/spill/q1/run-0.parquet").unwrap();
+        assert!(fs.get_file_info("/spill/q1/run-0.parquet").is_err());
+        assert!(fs.delete("/spill/q1/run-0.parquet").is_err());
+        fs.destroy().unwrap();
+    }
+}

@@ -455,9 +455,8 @@ impl S3InputStream {
             return Ok(out);
         }
         // Fetch: at least `want`, at most readahead.
-        let fetch = want.max(self.fs.config.readahead.min(
-            self.size.saturating_sub(self.pos) as usize,
-        ));
+        let fetch =
+            want.max(self.fs.config.readahead.min(self.size.saturating_sub(self.pos) as usize));
         self.buffer = self.fs.read_range(&self.path, self.pos, fetch as u64)?;
         self.buffer_start = self.pos;
         let out = self.buffer[..want].to_vec();
@@ -539,11 +538,7 @@ mod tests {
     #[test]
     fn multipart_upload_for_large_objects() {
         let fs = fs_with(
-            S3FsConfig {
-                multipart_threshold: 1024,
-                part_size: 400,
-                ..S3FsConfig::default()
-            },
+            S3FsConfig { multipart_threshold: 1024, part_size: 400, ..S3FsConfig::default() },
             S3Config::default(),
         );
         let data: Vec<u8> = (0..2000u32).map(|i| (i % 251) as u8).collect();
@@ -580,10 +575,8 @@ mod tests {
 
     #[test]
     fn stream_sequential_reads_use_readahead_buffer() {
-        let fs = fs_with(
-            S3FsConfig { readahead: 1000, ..S3FsConfig::default() },
-            S3Config::default(),
-        );
+        let fs =
+            fs_with(S3FsConfig { readahead: 1000, ..S3FsConfig::default() }, S3Config::default());
         fs.store().seed("/b/f", &vec![1u8; 10_000]);
         let mut stream = fs.open("/b/f").unwrap();
         for _ in 0..10 {

@@ -66,7 +66,11 @@ fn main() -> presto_common::Result<()> {
     let cluster = PrestoCluster::new(
         "cloud",
         engine,
-        ClusterConfig { initial_workers: 2, grace_period: Duration::from_secs(120), ..ClusterConfig::default() },
+        ClusterConfig {
+            initial_workers: 2,
+            grace_period: Duration::from_secs(120),
+            ..ClusterConfig::default()
+        },
         clock.clone(),
     );
     let session = Session::new("hive", "web");

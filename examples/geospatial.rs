@@ -35,10 +35,9 @@ fn main() -> presto_common::Result<()> {
 
     // Rewrite disabled: brute-force nested loop evaluating st_contains for
     // every (trip, city) pair — the Hive-MapReduce-style plan of §VI.C.
-    let brute_session = session.clone().with_optimizer(OptimizerConfig {
-        geo_rewrite: false,
-        ..OptimizerConfig::default()
-    });
+    let brute_session = session
+        .clone()
+        .with_optimizer(OptimizerConfig { geo_rewrite: false, ..OptimizerConfig::default() });
     println!("optimized plan (rewrite OFF → cross join + st_contains filter):");
     println!("{}", platform.engine.explain(sql, &brute_session)?);
     let start = Instant::now();

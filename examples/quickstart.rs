@@ -44,11 +44,7 @@ fn main() -> presto_common::Result<()> {
                     vec![presto_common::DataType::Bigint],
                     presto_common::DataType::Bigint,
                 ),
-                args: vec![RowExpression::column(
-                    "columnB",
-                    1,
-                    presto_common::DataType::Bigint,
-                )],
+                args: vec![RowExpression::column("columnB", 1, presto_common::DataType::Bigint)],
             },
         ),
         (

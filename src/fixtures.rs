@@ -63,9 +63,7 @@ pub fn demo_platform(trips_per_day: usize) -> DemoPlatform {
     let city_rows: Vec<Vec<Value>> = geo
         .cities
         .iter()
-        .map(|(id, g)| {
-            vec![Value::Bigint(*id), Value::Varchar(to_wkt(g))]
-        })
+        .map(|(id, g)| vec![Value::Bigint(*id), Value::Varchar(to_wkt(g))])
         .collect();
 
     // ---- hive: partitioned nested trips on HDFS
@@ -81,9 +79,7 @@ pub fn demo_platform(trips_per_day: usize) -> DemoPlatform {
     let base_type = trips_file_schema().field_at(0).data_type.clone();
     let statuses = ["completed", "canceled", "arrived"];
     for (d, (day, sealed)) in
-        [("2017-03-01", true), ("2017-03-02", true), ("2017-03-03", false)]
-            .into_iter()
-            .enumerate()
+        [("2017-03-01", true), ("2017-03-02", true), ("2017-03-03", false)].into_iter().enumerate()
     {
         hive.add_partition("rawdata", "trips", day, sealed).unwrap();
         let rows: Vec<Value> = (0..trips_per_day)
@@ -102,8 +98,7 @@ pub fn demo_platform(trips_per_day: usize) -> DemoPlatform {
                 ])
             })
             .collect();
-        let page =
-            Page::new(vec![Block::from_values(&base_type, &rows).unwrap()]).unwrap();
+        let page = Page::new(vec![Block::from_values(&base_type, &rows).unwrap()]).unwrap();
         hive.write_data_file(
             "rawdata",
             "trips",
@@ -178,10 +173,8 @@ mod tests {
     fn platform_builds_and_answers_queries() {
         let platform = demo_platform(300);
         let session = Session::new("hive", "rawdata");
-        let result = platform
-            .engine
-            .execute_with_session("SELECT count(*) FROM trips", &session)
-            .unwrap();
+        let result =
+            platform.engine.execute_with_session("SELECT count(*) FROM trips", &session).unwrap();
         assert_eq!(result.rows(), vec![vec![Value::Bigint(900)]]);
     }
 }

@@ -21,7 +21,11 @@ fn cluster(workers: u32) -> Arc<PrestoCluster> {
     PrestoCluster::new(
         "elastic",
         engine,
-        ClusterConfig { initial_workers: workers, grace_period: Duration::from_secs(120), ..ClusterConfig::default() },
+        ClusterConfig {
+            initial_workers: workers,
+            grace_period: Duration::from_secs(120),
+            ..ClusterConfig::default()
+        },
         SimClock::new(),
     )
 }
@@ -36,12 +40,8 @@ fn expansion_takes_effect_without_restart() {
     c.expand(3);
     c.execute("SELECT count(*) FROM t", &session).unwrap();
     // new workers picked up splits on the very next query
-    let newcomers: usize = c
-        .workers()
-        .iter()
-        .filter(|w| w.id > 0)
-        .map(|w| w.completed_tasks())
-        .sum();
+    let newcomers: usize =
+        c.workers().iter().filter(|w| w.id > 0).map(|w| w.completed_tasks()).sum();
     assert!(newcomers > 0);
 }
 
@@ -91,9 +91,8 @@ fn queries_running_during_shrink_never_fail() {
 fn distributed_results_match_single_node_engine() {
     let c = cluster(3);
     let session = Session::default();
-    let distributed = c
-        .execute("SELECT count(*), sum(x), min(x), max(x) FROM t", &session)
-        .unwrap();
+    let distributed =
+        c.execute("SELECT count(*), sum(x), min(x), max(x) FROM t", &session).unwrap();
     let local = c
         .engine()
         .execute_with_session("SELECT count(*), sum(x), min(x), max(x) FROM t", &session)

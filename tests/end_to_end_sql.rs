@@ -23,9 +23,8 @@ fn nested_predicate_and_projection() {
         )
         .unwrap();
     // oracle: day index d=0, city = (i*7+0)%25 == 12 → i ≡ 16 (mod 25)... walk it
-    let expected: Vec<usize> = (0..400)
-        .filter(|i| (i * 7) % 25 == 12 && 5.0 + (i % 50) as f64 >= 10.0)
-        .collect();
+    let expected: Vec<usize> =
+        (0..400).filter(|i| (i * 7) % 25 == 12 && 5.0 + (i % 50) as f64 >= 10.0).collect();
     assert_eq!(result.row_count(), expected.len());
     for (row, i) in result.rows().iter().zip(expected.iter()) {
         assert_eq!(row[0], Value::Varchar(format!("driver-2017-03-01-{i}")));
@@ -105,10 +104,9 @@ fn geospatial_rewrite_agrees_with_naive_st_contains() {
                ON st_contains(c.geo_shape, st_point(t.base.dest_lng, t.base.dest_lat)) \
                WHERE t.datestr = '2017-03-01' GROUP BY 1 ORDER BY 1";
     let rewritten = p.engine.execute_with_session(sql, &session).unwrap();
-    let naive_session = session.clone().with_optimizer(OptimizerConfig {
-        geo_rewrite: false,
-        ..OptimizerConfig::default()
-    });
+    let naive_session = session
+        .clone()
+        .with_optimizer(OptimizerConfig { geo_rewrite: false, ..OptimizerConfig::default() });
     let naive = p.engine.execute_with_session(sql, &naive_session).unwrap();
     assert_eq!(rewritten.rows(), naive.rows());
     assert!(rewritten.row_count() > 0, "some trips must land in geofences");

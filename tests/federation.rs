@@ -26,7 +26,11 @@ fn cluster_with_data(name: &str, marker: i64) -> Arc<PrestoCluster> {
     PrestoCluster::new(
         name,
         engine,
-        ClusterConfig { initial_workers: 2, grace_period: Duration::from_secs(5), ..ClusterConfig::default() },
+        ClusterConfig {
+            initial_workers: 2,
+            grace_period: Duration::from_secs(5),
+            ..ClusterConfig::default()
+        },
         SimClock::new(),
     )
 }
@@ -48,10 +52,7 @@ fn setup() -> (PrestoGateway, Vec<Arc<PrestoCluster>>) {
 }
 
 fn marker(gateway: &PrestoGateway, group: &str) -> i64 {
-    gateway
-        .submit(group, "SELECT marker FROM whoami", &Session::default())
-        .unwrap()
-        .rows()[0][0]
+    gateway.submit(group, "SELECT marker FROM whoami", &Session::default()).unwrap().rows()[0][0]
         .as_i64()
         .unwrap()
 }

@@ -100,10 +100,7 @@ fn arb_nested_value() -> BoxedStrategy<Value> {
         arb_scalar(&DataType::Varchar),
         proptest::collection::vec(arb_scalar(&DataType::Varchar), 0..4),
         inner,
-        proptest::collection::vec(
-            ("[a-c]", arb_scalar(&DataType::Double)),
-            0..3,
-        ),
+        proptest::collection::vec(("[a-c]", arb_scalar(&DataType::Double)), 0..3),
     )
         .prop_map(|(id, name, tags, inner, props)| {
             Value::Row(vec![
@@ -111,12 +108,7 @@ fn arb_nested_value() -> BoxedStrategy<Value> {
                 name,
                 Value::Array(tags),
                 inner,
-                Value::Map(
-                    props
-                        .into_iter()
-                        .map(|(k, v)| (Value::Varchar(k), v))
-                        .collect(),
-                ),
+                Value::Map(props.into_iter().map(|(k, v)| (Value::Varchar(k), v)).collect()),
             ])
         });
     prop_oneof![9 => row, 1 => Just(Value::Null)].boxed()

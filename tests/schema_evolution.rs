@@ -146,9 +146,7 @@ fn removed_field_is_ignored_when_reading_old_files() {
     let session = Session::new("hive", "rawdata");
     // §V.A: "When data is continuously ingested into the already removed
     // field, Presto just ignores them."
-    let result = engine
-        .execute_with_session("SELECT base FROM trips LIMIT 3", &session)
-        .unwrap();
+    let result = engine.execute_with_session("SELECT base FROM trips LIMIT 3", &session).unwrap();
     for row in result.rows() {
         match &row[0] {
             Value::Row(fields) => assert_eq!(fields.len(), 1, "only driver_uuid remains"),
@@ -179,9 +177,7 @@ fn type_change_is_rejected() {
     let engine = PrestoEngine::new();
     engine.register_catalog("hive", Arc::new(hive));
     let session = Session::new("hive", "rawdata");
-    let err = engine
-        .execute_with_session("SELECT base.city_id FROM trips", &session)
-        .unwrap_err();
+    let err = engine.execute_with_session("SELECT base.city_id FROM trips", &session).unwrap_err();
     // §V.A: "Field rename and type change are not allowed ... we do not
     // allow automatic type coercion"
     assert_eq!(err.code(), "SCHEMA_EVOLUTION_ERROR");
