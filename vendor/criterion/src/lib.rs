@@ -1,0 +1,120 @@
+//! Offline stand-in for the `criterion` crate (see `[patch.crates-io]` in
+//! the root manifest). Benches compile and run: each `bench_function`
+//! closure is timed over a handful of iterations and the mean is printed.
+//! No statistics, plots, or baselines — just enough to keep `cargo bench`
+//! targets working offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level bench context.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), throughput: None, sample_size: 10 }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of samples (iterations here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        for _ in 0..self.sample_size.min(5) {
+            f(&mut bencher);
+        }
+        let mean = if bencher.iters > 0 {
+            bencher.elapsed / bencher.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let rate = match (self.throughput, mean.as_secs_f64()) {
+            (Some(Throughput::Bytes(b)), s) if s > 0.0 => {
+                format!("  {:8.1} MiB/s", b as f64 / s / (1024.0 * 1024.0))
+            }
+            (Some(Throughput::Elements(e)), s) if s > 0.0 => {
+                format!("  {:8.0} elem/s", e as f64 / s)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {mean:?}{rate}", self.name);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Time one call of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Collect bench functions into a runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

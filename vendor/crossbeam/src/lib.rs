@@ -1,0 +1,14 @@
+//! Offline stand-in for the `crossbeam` crate (see `[patch.crates-io]` in
+//! the root manifest). The workspace currently declares the dependency but
+//! only uses std primitives; `thread::scope` is re-exported for parity.
+
+/// Scoped threads, backed by `std::thread::scope`.
+pub mod thread {
+    /// Spawn scoped threads (std-backed).
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
