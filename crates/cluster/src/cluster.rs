@@ -274,8 +274,10 @@ impl PrestoCluster {
             let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
             for (i, split) in splits.iter().enumerate() {
                 let w = if self.config.affinity_scheduling {
+                    // `workers` was checked non-empty above; fall back to
+                    // round-robin rather than panicking if that ever breaks.
                     affinity_worker(&split_identity(&split.payload), &worker_ids)
-                        .expect("workers is non-empty")
+                        .unwrap_or(i % workers.len())
                 } else {
                     i % workers.len()
                 };
@@ -322,7 +324,19 @@ impl PrestoCluster {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        // A panicking scan task must fail its query, not the
+                        // whole coordinator loop.
+                        h.join().unwrap_or_else(|_| {
+                            Err(PrestoError::Internal(format!(
+                                "scan task panicked on cluster {} (fragment {})",
+                                self.name, fragment.id
+                            )))
+                        })
+                    })
+                    .collect()
             });
             // splits stay ordered so results are deterministic
             let mut indexed: Vec<(usize, Vec<Page>)> = Vec::new();

@@ -26,6 +26,19 @@ fn is_insufficient(e: &PrestoError) -> bool {
     matches!(e, PrestoError::InsufficientResources(_))
 }
 
+/// The context's spill manager. Spill fallbacks only run after the caller
+/// observed `ctx.spill.is_some()`, so a miss here is an engine bug — but it
+/// must surface as an error with query context, not a panic that takes the
+/// whole engine loop down.
+fn spill_manager(ctx: &ExecutionContext) -> Result<std::sync::Arc<presto_resource::SpillManager>> {
+    ctx.spill.as_ref().cloned().ok_or_else(|| {
+        PrestoError::Internal(format!(
+            "query {}: spill fallback entered without a spill manager",
+            ctx.pool.query_id()
+        ))
+    })
+}
+
 /// Execute a plan to completion, returning its output pages.
 pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> {
     // An OOM-arbiter victim unwinds at the next operator boundary, freeing
@@ -261,7 +274,7 @@ fn spill_aggregate(
     step: AggregateStep,
     ctx: &ExecutionContext,
 ) -> Result<Vec<Vec<Value>>> {
-    let spill = ctx.spill.as_ref().expect("caller checked spill").clone();
+    let spill = spill_manager(ctx)?;
     let key_exprs: Vec<&RowExpression> = group_by.iter().collect();
     let parts = partition_pages(pages, &key_exprs, ctx)?;
     let mut files = Vec::with_capacity(SPILL_PARTITIONS);
@@ -474,7 +487,7 @@ fn grace_hash_join(
     right_plan: &LogicalPlan,
     ctx: &ExecutionContext,
 ) -> Result<Vec<Page>> {
-    let spill = ctx.spill.as_ref().expect("caller checked spill").clone();
+    let spill = spill_manager(ctx)?;
     let probe_exprs: Vec<&RowExpression> = on.iter().map(|(l, _)| l).collect();
     let build_exprs: Vec<&RowExpression> = on.iter().map(|(_, r)| r).collect();
     let probe_parts = partition_pages(probe_pages, &probe_exprs, ctx)?;
@@ -616,7 +629,7 @@ fn stitch_nullable(
     right_plan: &LogicalPlan,
 ) -> Result<Page> {
     if build_idx.iter().all(Option::is_some) {
-        let plain: Vec<usize> = build_idx.iter().map(|o| o.unwrap()).collect();
+        let plain: Vec<usize> = build_idx.iter().filter_map(|o| *o).collect();
         return stitch(probe, probe_idx, build, &plain);
     }
     let left = probe.take(probe_idx);
@@ -748,7 +761,7 @@ fn external_sort(
     schema: &presto_common::Schema,
     ctx: &ExecutionContext,
 ) -> Result<Page> {
-    let spill = ctx.spill.as_ref().expect("caller checked spill").clone();
+    let spill = spill_manager(ctx)?;
 
     // Phase 1: sorted runs. A page that alone exceeds the budget is halved
     // (recursively, in order — run order must stay the row order) until its

@@ -6,6 +6,8 @@
 //! geofences that do not contain target point ... Finally, we run
 //! st_contains for remaining geofences."
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use presto_common::{PrestoError, Result};
 
 use crate::geometry::{BoundingBox, Geometry, Point};
@@ -13,16 +15,17 @@ use crate::quadtree::QuadTree;
 use crate::wkt::parse_wkt;
 
 /// An immutable index over geofences, built on the fly per query.
+///
+/// The index is read-only after build; the call counter is atomic, so the
+/// type is `Sync` without any unsafe assertion (workers probe a shared
+/// index concurrently).
 pub struct GeofenceIndex {
     fences: Vec<(i64, Geometry)>,
     tree: QuadTree,
     /// `st_contains` evaluations performed through this index (filter
     /// effectiveness metric for the §VI experiment).
-    contains_calls: std::cell::Cell<u64>,
+    contains_calls: AtomicU64,
 }
-
-// The Cell is only a counter; the index itself is read-only after build.
-unsafe impl Sync for GeofenceIndex {}
 
 impl GeofenceIndex {
     /// Build from `(city_id, geometry)` pairs — the aggregation's finish
@@ -44,7 +47,7 @@ impl GeofenceIndex {
                 tree.insert(i as u32, b);
             }
         }
-        Ok(GeofenceIndex { fences, tree, contains_calls: std::cell::Cell::new(0) })
+        Ok(GeofenceIndex { fences, tree, contains_calls: AtomicU64::new(0) })
     }
 
     /// Build from `(city_id, wkt)` pairs — what the aggregation sees when
@@ -75,7 +78,7 @@ impl GeofenceIndex {
     /// exact `st_contains` on the survivors.
     pub fn find_containing(&self, p: &Point) -> Vec<i64> {
         let candidates = self.tree.query_point(p);
-        self.contains_calls.set(self.contains_calls.get() + candidates.len() as u64);
+        self.contains_calls.fetch_add(candidates.len() as u64, Ordering::Relaxed);
         candidates
             .into_iter()
             .filter(|&i| self.fences[i as usize].1.contains(p))
@@ -88,13 +91,13 @@ impl GeofenceIndex {
     /// proportional to the geofence's vertex count (no index, no
     /// bounding-box pre-filter).
     pub fn find_containing_brute_force(&self, p: &Point) -> Vec<i64> {
-        self.contains_calls.set(self.contains_calls.get() + self.fences.len() as u64);
+        self.contains_calls.fetch_add(self.fences.len() as u64, Ordering::Relaxed);
         self.fences.iter().filter(|(_, g)| g.contains_exhaustive(p)).map(|(id, _)| *id).collect()
     }
 
     /// Cumulative `st_contains` evaluations (both paths).
     pub fn contains_calls(&self) -> u64 {
-        self.contains_calls.get()
+        self.contains_calls.load(Ordering::Relaxed)
     }
 }
 

@@ -1,0 +1,321 @@
+//! File classification, test-region detection, suppression handling, and
+//! the workspace walker.
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed, TokKind};
+
+/// What kind of source a file is; decides which rules apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source under `crates/<name>/src/` (or the root facade's
+    /// `src/`). Carries the crate directory name (`"exec"`, `"root"`).
+    Lib(String),
+    /// Binary source (`src/main.rs`, `src/bin/**`) of a crate. Exempt from
+    /// the console-output rule (CLIs print by design) but not the rest.
+    Bin(String),
+    /// Integration tests, benches, and examples: exempt from style rules —
+    /// they are drivers, not engine code.
+    TestOrExample,
+}
+
+/// One diagnostic the tool reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`wall-clock`, `no-unwrap`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// A source file ready to check: lexed, classified, with suppression and
+/// safety-comment indexes built.
+pub struct FileCtx {
+    pub rel_path: String,
+    pub class: FileClass,
+    pub lexed: Lexed,
+    /// `// lint:allow(rule, ...)` comments: line -> suppressed rule ids.
+    allow: HashMap<u32, Vec<String>>,
+    /// Lines covered by a comment containing `SAFETY:`.
+    safety_lines: HashSet<u32>,
+    /// Token-index ranges inside `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileCtx {
+    /// Build a context from raw source text and its workspace-relative path.
+    pub fn new(rel_path: &str, src: &str) -> FileCtx {
+        let lexed = lex(src);
+        let mut allow: HashMap<u32, Vec<String>> = HashMap::new();
+        let mut safety_lines = HashSet::new();
+        for c in &lexed.comments {
+            for rule in parse_allow(&c.text) {
+                allow.entry(c.start_line).or_default().push(rule);
+            }
+            if c.text.contains("SAFETY:") {
+                for l in c.start_line..=c.end_line {
+                    safety_lines.insert(l);
+                }
+            }
+        }
+        let test_ranges = test_ranges(&lexed);
+        FileCtx {
+            rel_path: rel_path.to_string(),
+            class: classify(rel_path),
+            lexed,
+            allow,
+            safety_lines,
+            test_ranges,
+        }
+    }
+
+    /// The crate directory name, if this is crate code (`Lib` or `Bin`).
+    pub fn crate_name(&self) -> Option<&str> {
+        match &self.class {
+            FileClass::Lib(n) | FileClass::Bin(n) => Some(n),
+            FileClass::TestOrExample => None,
+        }
+    }
+
+    /// Is token `idx` inside a `#[cfg(test)]` module or `#[test]` function?
+    pub fn in_test_code(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| idx >= a && idx < b)
+    }
+
+    /// Is `rule` suppressed on `line` by a `// lint:allow(...)` on that
+    /// exact line? The directive never spills onto neighbouring lines.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allow.get(&line).is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+
+    /// Is `line` (or the two lines above it) covered by a `SAFETY:` comment?
+    /// The one-line slack lets an attribute sit between comment and item.
+    pub fn has_safety_comment(&self, line: u32) -> bool {
+        (line.saturating_sub(2)..=line).any(|l| self.safety_lines.contains(&l))
+    }
+}
+
+/// Parse every `lint:allow(a, b)` directive out of a comment.
+fn parse_allow(comment: &str) -> Vec<String> {
+    let mut rules = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        rest = &rest[pos + "lint:allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            for rule in rest[..end].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    rules.push(rule.to_string());
+                }
+            }
+            rest = &rest[end..];
+        } else {
+            break;
+        }
+    }
+    rules
+}
+
+/// Classify a workspace-relative path.
+fn classify(rel_path: &str) -> FileClass {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.as_slice() {
+        ["crates", name, "src", rest @ ..] => {
+            if rest == ["main.rs"] || rest.first() == Some(&"bin") {
+                FileClass::Bin((*name).to_string())
+            } else {
+                FileClass::Lib((*name).to_string())
+            }
+        }
+        ["crates", _, "tests" | "benches" | "examples", ..] => FileClass::TestOrExample,
+        ["src", rest @ ..] => {
+            if rest == ["main.rs"] || rest.first() == Some(&"bin") {
+                FileClass::Bin("root".to_string())
+            } else {
+                FileClass::Lib("root".to_string())
+            }
+        }
+        _ => FileClass::TestOrExample,
+    }
+}
+
+/// Find token ranges belonging to `#[cfg(test)]` / `#[test]` items by brace
+/// matching from the item's opening `{`.
+fn test_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // collect the attribute body between [ and its matching ]
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut idents = Vec::new();
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].kind == TokKind::Ident {
+                    idents.push(toks[j].text.as_str());
+                }
+                j += 1;
+            }
+            let is_test_attr = match idents.first() {
+                Some(&"test") => true,
+                Some(&"cfg") => idents.contains(&"test"),
+                _ => false,
+            };
+            if is_test_attr {
+                // The attributed item's body is the next `{ ... }` before a
+                // `;` at attribute level (an item like `#[cfg(test)] use x;`
+                // has no body).
+                let mut k = j + 1;
+                let mut open = None;
+                while k < toks.len() {
+                    if toks[k].is_punct('{') {
+                        open = Some(k);
+                        break;
+                    }
+                    if toks[k].is_punct(';') {
+                        break;
+                    }
+                    k += 1;
+                }
+                if let Some(start) = open {
+                    let mut braces = 0usize;
+                    let mut end = start;
+                    while end < toks.len() {
+                        if toks[end].is_punct('{') {
+                            braces += 1;
+                        } else if toks[end].is_punct('}') {
+                            braces -= 1;
+                            if braces == 0 {
+                                break;
+                            }
+                        }
+                        end += 1;
+                    }
+                    ranges.push((i, end + 1));
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Walk the workspace from `root`, collecting every `.rs` file the linter
+/// owns. Skips build output, vendored stand-ins, VCS metadata, and the
+/// linter's own deliberately-bad fixture corpus.
+pub fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, files: &mut Vec<(String, PathBuf)>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | "vendor" | ".git" | "fixtures") {
+                continue;
+            }
+            walk(root, &path, files)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/exec/src/executor.rs"), FileClass::Lib("exec".into()));
+        assert_eq!(classify("crates/bench/src/main.rs"), FileClass::Bin("bench".into()));
+        assert_eq!(classify("crates/geo/benches/quad.rs"), FileClass::TestOrExample);
+        assert_eq!(classify("src/lib.rs"), FileClass::Lib("root".into()));
+        assert_eq!(classify("tests/federation.rs"), FileClass::TestOrExample);
+        assert_eq!(classify("examples/quickstart.rs"), FileClass::TestOrExample);
+    }
+
+    #[test]
+    fn test_region_covers_cfg_test_module() {
+        let src = "fn lib_code() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn more_lib() {}\n";
+        let ctx = FileCtx::new("crates/exec/src/x.rs", src);
+        let toks = &ctx.lexed.tokens;
+        let helper = toks.iter().position(|t| t.is_ident("helper")).unwrap();
+        let lib = toks.iter().position(|t| t.is_ident("lib_code")).unwrap();
+        let more = toks.iter().position(|t| t.is_ident("more_lib")).unwrap();
+        assert!(ctx.in_test_code(helper));
+        assert!(!ctx.in_test_code(lib));
+        assert!(!ctx.in_test_code(more));
+    }
+
+    #[test]
+    fn cfg_test_on_bodyless_item_marks_nothing() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn real() {}\n";
+        let ctx = FileCtx::new("crates/exec/src/x.rs", src);
+        let toks = &ctx.lexed.tokens;
+        let real = toks.iter().position(|t| t.is_ident("real")).unwrap();
+        assert!(!ctx.in_test_code(real));
+    }
+
+    #[test]
+    fn allow_is_line_scoped() {
+        let src = "let a = 1; // lint:allow(no-unwrap)\nlet b = 2;\n";
+        let ctx = FileCtx::new("crates/exec/src/x.rs", src);
+        assert!(ctx.is_allowed("no-unwrap", 1));
+        assert!(!ctx.is_allowed("no-unwrap", 2));
+        assert!(!ctx.is_allowed("wall-clock", 1));
+    }
+
+    #[test]
+    fn allow_parses_multiple_rules() {
+        assert_eq!(
+            parse_allow("// lint:allow(wall-clock, no-unwrap)"),
+            vec!["wall-clock".to_string(), "no-unwrap".to_string()]
+        );
+        assert!(parse_allow("// nothing here").is_empty());
+    }
+
+    #[test]
+    fn safety_comment_coverage() {
+        let src = "// SAFETY: the counter is atomic\nunsafe impl Sync for X {}\n";
+        let ctx = FileCtx::new("crates/geo/src/x.rs", src);
+        assert!(ctx.has_safety_comment(2));
+        assert!(!ctx.has_safety_comment(5));
+    }
+}

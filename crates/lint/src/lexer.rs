@@ -1,0 +1,362 @@
+//! A minimal Rust lexer: just enough to walk `use` paths, attributes, and
+//! call sites without pulling in an external parser.
+//!
+//! The lexer strips string/char/byte literals and collects comments
+//! separately, so rules never false-positive on text inside literals or
+//! docs. It is deliberately permissive: malformed input produces a
+//! best-effort token stream rather than an error, because a file that does
+//! not lex will fail `cargo build` anyway.
+
+/// What a token is. Only the distinctions the rules need are kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `presto_common`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `{`, `#`, `!`, ...).
+    Punct(char),
+    /// The `::` path separator.
+    PathSep,
+    /// A lifetime (`'a`) — kept distinct so it is never confused with a
+    /// char literal.
+    Lifetime,
+    /// A numeric literal. String/char literals are dropped entirely.
+    Number,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Identifier text; empty for non-identifiers.
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this token the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Is this token the punctuation `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment with the 1-based line range it covers (inclusive).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub start_line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`, stripping literals and collecting comments.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    start_line: line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    start_line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+            }
+            b'\'' => {
+                // Lifetime `'a` vs char literal `'x'` / `'\n'`: a lifetime is
+                // `'` + ident chars with no closing quote.
+                let next = b.get(i + 1).copied();
+                let after = b.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if is_ident_char(n))
+                    && next != Some(b'\\')
+                    && after != Some(b'\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && is_ident_char(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Tok { kind: TokKind::Lifetime, text: String::new(), line });
+                } else {
+                    i = skip_char_literal(b, i, &mut line);
+                }
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                out.tokens.push(Tok { kind: TokKind::PathSep, text: String::new(), line });
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                // numbers, incl. `1_000u64`, `0xff`, `1.5` (but not `1..2`)
+                i += 1;
+                while i < b.len() {
+                    let fraction_dot = b[i] == b'.'
+                        && b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && b.get(i.wrapping_sub(1)) != Some(&b'.');
+                    if is_ident_char(b[i]) || fraction_dot {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Tok { kind: TokKind::Number, text: String::new(), line });
+            }
+            c if is_ident_start(c) => {
+                // Raw/byte string prefixes (`r"`, `r#"`, `b"`, `br#"`) and
+                // raw identifiers (`r#match`) start with ident characters.
+                if let Some(end) = try_raw_or_byte_string(b, i, &mut line) {
+                    i = end;
+                    continue;
+                }
+                if c == b'r'
+                    && b.get(i + 1) == Some(&b'#')
+                    && b.get(i + 2).is_some_and(|n| is_ident_start(*n))
+                {
+                    i += 2; // raw identifier: lex the ident part
+                }
+                let start = i;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Tok { kind: TokKind::Punct(c as char), text: String::new(), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Skip a normal (escaped) string literal starting at the opening `"`.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            // an escaped newline (line continuation) still ends a line
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a char/byte-char literal starting at the opening `'`.
+fn skip_char_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'\'' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// If position `i` starts a raw or byte string (`r"`, `r#*"`, `b"`, `br#*"`),
+/// skip it and return the index past its end.
+fn try_raw_or_byte_string(b: &[u8], i: usize, line: &mut u32) -> Option<usize> {
+    let mut j = i;
+    let mut raw = false;
+    match b[j] {
+        b'r' => {
+            raw = true;
+            j += 1;
+        }
+        b'b' => {
+            j += 1;
+            if b.get(j) == Some(&b'r') {
+                raw = true;
+                j += 1;
+            }
+        }
+        _ => return None,
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if b.get(j) != Some(&b'"') {
+            return None;
+        }
+        j += 1;
+        // scan for `"` followed by `hashes` hashes
+        while j < b.len() {
+            if b[j] == b'\n' {
+                *line += 1;
+                j += 1;
+                continue;
+            }
+            if b[j] == b'"'
+                && b[j + 1..].iter().take(hashes).filter(|&&h| h == b'#').count() == hashes
+            {
+                return Some(j + 1 + hashes);
+            }
+            j += 1;
+        }
+        Some(j)
+    } else {
+        // byte string `b"..."` with normal escapes, or byte char `b'x'`
+        match b.get(j) {
+            Some(&b'"') => Some(skip_string(b, j, line)),
+            Some(&b'\'') => Some(skip_char_literal(b, j, line)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn literals_are_stripped() {
+        let src = r##"let x = "Instant::now() unwrap()"; let y = 'u'; let z = r#"unsafe"#;"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "let", "y", "let", "z"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let n = '\\n';";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // the 'x' and '\n' literals are stripped, the lifetimes tokenized
+        let lifetimes = lex(src).tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "// one\nfn f() {}\n/* two\nspans */ fn g() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].start_line, 1);
+        assert_eq!(lexed.comments[1].start_line, 3);
+        assert_eq!(lexed.comments[1].end_line, 4);
+        // tokens after a multi-line comment carry the right line
+        let g = lexed.tokens.iter().find(|t| t.is_ident("g")).unwrap();
+        assert_eq!(g.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* nested */ still comment */ fn f() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("f")));
+    }
+
+    #[test]
+    fn path_sep_and_calls() {
+        let src = "Instant::now()";
+        let toks = lex(src).tokens;
+        assert!(toks[0].is_ident("Instant"));
+        assert_eq!(toks[1].kind, TokKind::PathSep);
+        assert!(toks[2].is_ident("now"));
+        assert!(toks[3].is_punct('('));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let src = "for i in 0..10 { let f = 1.5; let h = 0xff_u32; }";
+        let toks = lex(src).tokens;
+        let numbers = toks.iter().filter(|t| t.kind == TokKind::Number).count();
+        assert_eq!(numbers, 4);
+        // `..` survives as two puncts
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = lex("let r#type = 1;").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+    }
+}

@@ -1,0 +1,68 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p presto-lint -- --workspace         # lint the whole repo
+//! cargo run -p presto-lint -- --rules             # list the rules
+//! cargo run -p presto-lint -- crates/exec         # lint one subtree
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use presto_lint::{check_workspace, default_workspace_root, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "presto-lint: workspace invariant checker\n\n\
+             USAGE:\n  presto-lint --workspace          lint the whole workspace\n  \
+             presto-lint --rules              list rules\n  \
+             presto-lint <path>...            lint files/subtrees under the workspace root\n\n\
+             Suppress a single line with a trailing `// lint:allow(<rule-id>)` comment."
+        );
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--rules") {
+        for rule in RULES {
+            println!("{:<20} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = default_workspace_root();
+    let diagnostics = if args.is_empty() || args.iter().any(|a| a == "--workspace") {
+        match check_workspace(root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("presto-lint: cannot walk workspace at {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        // Explicit paths: restrict the workspace scan to the given prefixes
+        // so per-file classification (crate, lib vs test) still applies.
+        let prefixes: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
+        match check_workspace(root) {
+            Ok(d) => d
+                .into_iter()
+                .filter(|diag| prefixes.iter().any(|p| Path::new(&diag.path).starts_with(p)))
+                .collect(),
+            Err(e) => {
+                eprintln!("presto-lint: cannot walk workspace at {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        println!("presto-lint: clean ({} rules)", RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("presto-lint: {} violation(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,16 @@
+//! One suppressed violation, one bare violation, and one directive on the
+//! line *above* a violation (which must not suppress it).
+use std::collections::HashMap;
+
+pub fn suppressed(map: &HashMap<u32, String>) -> String {
+    map.get(&0).unwrap().clone() // lint:allow(no-unwrap)
+}
+
+pub fn bare(map: &HashMap<u32, String>) -> String {
+    map.get(&1).unwrap().clone()
+}
+
+pub fn directive_above(map: &HashMap<u32, String>) -> String {
+    // lint:allow(no-unwrap)
+    map.get(&2).unwrap().clone()
+}

@@ -1,0 +1,12 @@
+//! Bad: defeating RAII on a reservation guard.
+use std::mem;
+
+use presto_resource::Reservation;
+
+pub fn hold_forever(guard: Reservation) {
+    mem::forget(guard);
+}
+
+pub fn leak_state(state: Box<Vec<u8>>) -> &'static mut Vec<u8> {
+    Box::leak(state)
+}

@@ -1,0 +1,7 @@
+//! Clean: guards release through Drop, possibly early — never silently.
+use presto_resource::Reservation;
+
+pub fn release_now(mut guard: Reservation) {
+    guard.release_all();
+    drop(guard);
+}

@@ -1,0 +1,8 @@
+//! Bad (checked as a `storage` crate file): the storage layer reaching up
+//! into the executor and coordinator.
+use presto_exec::execute;
+
+pub fn run() {
+    let _ = presto_core::PrestoEngine::new();
+    let _ = execute;
+}

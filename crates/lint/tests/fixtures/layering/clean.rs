@@ -1,0 +1,7 @@
+//! Clean (checked as a `storage` crate file): storage sits directly above
+//! common and references nothing else.
+use presto_common::{PrestoError, Result};
+
+pub fn read(path: &str) -> Result<Vec<u8>> {
+    std::fs::read(path).map_err(|e| PrestoError::Storage(format!("{path}: {e}")))
+}

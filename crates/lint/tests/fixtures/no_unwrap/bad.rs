@@ -1,0 +1,10 @@
+//! Bad: panics in engine-loop code.
+use std::collections::HashMap;
+
+pub fn lookup(map: &HashMap<u32, String>, id: u32) -> String {
+    map.get(&id).unwrap().clone()
+}
+
+pub fn read_config(path: &str) -> String {
+    std::fs::read_to_string(path).expect("config must exist")
+}

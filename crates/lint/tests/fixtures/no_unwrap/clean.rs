@@ -1,0 +1,26 @@
+//! Clean: errors propagate as PrestoError; `unwrap_or` and test code are
+//! out of scope.
+use std::collections::HashMap;
+
+use presto_common::{PrestoError, Result};
+
+pub fn lookup(map: &HashMap<u32, String>, id: u32) -> Result<String> {
+    map.get(&id)
+        .cloned()
+        .ok_or_else(|| PrestoError::Internal(format!("query {id} not registered")))
+}
+
+pub fn fallback(map: &HashMap<u32, String>, id: u32) -> String {
+    map.get(&id).cloned().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: std::result::Result<u32, ()> = Ok(2);
+        assert_eq!(r.expect("ok"), 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! Bad: real sleeps and stdout writes in a library crate.
+use std::thread;
+use std::time::Duration;
+
+pub fn wait_for_worker() {
+    thread::sleep(Duration::from_millis(50));
+    println!("worker ready");
+}
+
+pub fn log_error(msg: &str) {
+    eprintln!("error: {msg}");
+}

@@ -1,0 +1,12 @@
+//! Bad: unsafe with no justification.
+use std::cell::Cell;
+
+pub struct Counter {
+    n: Cell<u64>,
+}
+
+unsafe impl Sync for Counter {}
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

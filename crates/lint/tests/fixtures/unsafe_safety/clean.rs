@@ -1,0 +1,16 @@
+//! Clean: every unsafe carries an audited SAFETY comment.
+use std::cell::Cell;
+
+pub struct Counter {
+    n: Cell<u64>,
+}
+
+// SAFETY: the Cell is only written under the build-phase &mut self; after
+// publication the index is read-only, so cross-thread reads never race.
+unsafe impl Sync for Counter {}
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: bounds asserted on the line above.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,11 @@
+//! Bad: engine code reading the wall clock.
+use std::time::{Instant, SystemTime};
+
+pub fn latency_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

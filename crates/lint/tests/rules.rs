@@ -1,0 +1,164 @@
+//! Per-rule fixture corpus: one known-bad and one known-clean snippet per
+//! rule, asserting exact rule ids and line numbers, plus the suppression
+//! and whole-workspace checks.
+
+use std::path::Path;
+
+use presto_lint::{check_source, check_workspace, default_workspace_root, Diagnostic, RULES};
+
+/// Load a fixture and check it under a synthetic workspace path (the path
+/// decides crate and class, so fixtures can live outside the real tree).
+fn check_fixture(fixture: &str, as_path: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(fixture);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    check_source(as_path, &src)
+}
+
+fn rule_lines(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
+    diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
+}
+
+#[test]
+fn wall_clock_bad_and_clean() {
+    let bad = check_fixture("wall_clock/bad.rs", "crates/exec/src/fixture.rs");
+    assert_eq!(rule_lines(&bad, "wall-clock"), vec![5, 10]);
+    assert_eq!(bad.len(), 2, "unexpected extra diagnostics: {bad:?}");
+
+    let clean = check_fixture("wall_clock/clean.rs", "crates/exec/src/fixture.rs");
+    assert!(clean.is_empty(), "clean fixture flagged: {clean:?}");
+}
+
+#[test]
+fn wall_clock_exemptions() {
+    let src = "pub fn now_impl() { let _ = Instant::now(); }";
+    // the virtual-clock module itself may read the wall clock
+    assert!(check_source("crates/common/src/clock.rs", src).is_empty());
+    // so may the benchmark crate, which measures real elapsed time
+    assert!(check_source("crates/bench/src/lib.rs", src).is_empty());
+    // any other library crate may not
+    assert_eq!(rule_lines(&check_source("crates/storage/src/x.rs", src), "wall-clock"), vec![1]);
+}
+
+#[test]
+fn no_unwrap_bad_and_clean() {
+    let bad = check_fixture("no_unwrap/bad.rs", "crates/exec/src/fixture.rs");
+    assert_eq!(rule_lines(&bad, "no-unwrap"), vec![5, 9]);
+    assert_eq!(bad.len(), 2);
+
+    let clean = check_fixture("no_unwrap/clean.rs", "crates/exec/src/fixture.rs");
+    assert!(clean.is_empty(), "clean fixture flagged: {clean:?}");
+}
+
+#[test]
+fn no_unwrap_only_guards_engine_crates() {
+    // the same panicky source is fine in a crate outside the engine loop
+    let clean = check_fixture("no_unwrap/bad.rs", "crates/parquet/src/fixture.rs");
+    assert!(rule_lines(&clean, "no-unwrap").is_empty());
+    // and in all four engine crates it is not
+    for krate in ["exec", "resource", "cluster", "core"] {
+        let path = format!("crates/{krate}/src/fixture.rs");
+        let bad = check_fixture("no_unwrap/bad.rs", &path);
+        assert_eq!(rule_lines(&bad, "no-unwrap"), vec![5, 9], "crate {krate}");
+    }
+}
+
+#[test]
+fn unsafe_needs_safety_bad_and_clean() {
+    let bad = check_fixture("unsafe_safety/bad.rs", "crates/geo/src/fixture.rs");
+    assert_eq!(rule_lines(&bad, "unsafe-needs-safety"), vec![8, 11]);
+    assert_eq!(bad.len(), 2);
+
+    let clean = check_fixture("unsafe_safety/clean.rs", "crates/geo/src/fixture.rs");
+    assert!(clean.is_empty(), "clean fixture flagged: {clean:?}");
+}
+
+#[test]
+fn layering_bad_and_clean() {
+    let bad = check_fixture("layering/bad.rs", "crates/storage/src/fixture.rs");
+    assert_eq!(rule_lines(&bad, "layering"), vec![3, 6]);
+    assert_eq!(bad.len(), 2);
+
+    let clean = check_fixture("layering/clean.rs", "crates/storage/src/fixture.rs");
+    assert!(clean.is_empty(), "clean fixture flagged: {clean:?}");
+}
+
+#[test]
+fn layering_connectors_must_not_reach_exec() {
+    let src = "use presto_exec::execute;";
+    let diags = check_source("crates/connectors/src/fixture.rs", src);
+    assert_eq!(rule_lines(&diags, "layering"), vec![1]);
+    // while exec itself may of course name exec
+    assert!(check_source("crates/exec/src/fixture.rs", "use presto_exec::execute;").is_empty());
+}
+
+#[test]
+fn sleep_print_bad_and_clean() {
+    let bad = check_fixture("sleep_print/bad.rs", "crates/cache/src/fixture.rs");
+    assert_eq!(rule_lines(&bad, "no-sleep-print"), vec![6, 7, 11]);
+    assert_eq!(bad.len(), 3);
+
+    let clean = check_fixture("sleep_print/clean.rs", "crates/cache/src/fixture.rs");
+    assert!(clean.is_empty(), "clean fixture flagged: {clean:?}");
+}
+
+#[test]
+fn guard_leak_bad_and_clean() {
+    let bad = check_fixture("guard_leak/bad.rs", "crates/resource/src/fixture.rs");
+    assert_eq!(rule_lines(&bad, "guard-leak"), vec![7, 11]);
+    assert_eq!(bad.len(), 2);
+
+    let clean = check_fixture("guard_leak/clean.rs", "crates/resource/src/fixture.rs");
+    assert!(clean.is_empty(), "clean fixture flagged: {clean:?}");
+}
+
+#[test]
+fn allow_suppresses_only_its_own_line() {
+    let diags = check_fixture("allow/mixed.rs", "crates/exec/src/fixture.rs");
+    // line 6 is suppressed by its trailing directive; line 10 is bare; the
+    // directive on line 14 does NOT cover the violation on line 15
+    assert_eq!(rule_lines(&diags, "no-unwrap"), vec![10, 15]);
+    assert_eq!(diags.len(), 2);
+}
+
+#[test]
+fn tests_benches_examples_are_exempt() {
+    let src = "pub fn f() { let _ = Instant::now(); let x: Option<u32> = None; x.unwrap(); }";
+    for path in [
+        "tests/integration.rs",
+        "examples/demo.rs",
+        "crates/geo/benches/b.rs",
+        "crates/exec/tests/t.rs",
+    ] {
+        assert!(check_source(path, src).is_empty(), "{path} should be exempt");
+    }
+}
+
+#[test]
+fn every_rule_has_fixture_coverage() {
+    // keep RULES, the fixture corpus, and this test in sync
+    let covered = [
+        "wall-clock",
+        "no-unwrap",
+        "unsafe-needs-safety",
+        "layering",
+        "no-sleep-print",
+        "guard-leak",
+    ];
+    assert_eq!(RULES.len(), covered.len());
+    for rule in RULES {
+        assert!(covered.contains(&rule.id), "rule {} lacks fixture coverage", rule.id);
+    }
+}
+
+/// The acceptance gate: the workspace itself must lint clean, the same way
+/// `cargo run -p presto-lint -- --workspace` checks it in CI.
+#[test]
+fn workspace_is_clean() {
+    let diags = check_workspace(default_workspace_root()).expect("workspace walk failed");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -135,7 +135,7 @@ impl AdmissionController {
             inner.clock.advance(Duration::from_millis(1));
             waited_ms += 1;
             inner.released.wait_for(&mut state, ROUND);
-            if Self::is_next(&inner.config, &state, seq)
+            if Self::is_next(&inner.config, &state, seq, user)?
                 && Self::capacity_free(&inner.config, &state, user)
             {
                 state.queue.retain(|w| w.seq != seq);
@@ -150,13 +150,20 @@ impl AdmissionController {
     /// Normal; within a lane, FIFO by sequence number. A waiter whose user
     /// is at their per-user cap is skipped over (head-of-line blocking on a
     /// throttled user would starve everyone else).
-    fn is_next(config: &AdmissionConfig, state: &AdmState, seq: u64) -> bool {
-        let me = state.queue.iter().find(|w| w.seq == seq).expect("still queued");
-        !state.queue.iter().any(|w| {
+    /// A waiter that is no longer in the queue was removed behind our back —
+    /// an engine bug, reported as an error (with the user and sequence
+    /// number for context) rather than a panic under the admission lock.
+    fn is_next(config: &AdmissionConfig, state: &AdmState, seq: u64, user: &str) -> Result<bool> {
+        let me = state.queue.iter().find(|w| w.seq == seq).ok_or_else(|| {
+            PrestoError::Internal(format!(
+                "admission waiter {seq} (user {user}) vanished from the queue while waiting"
+            ))
+        })?;
+        Ok(!state.queue.iter().any(|w| {
             w.seq != seq
                 && (priority_rank(w.priority), w.seq) < (priority_rank(me.priority), me.seq)
                 && Self::user_free(config, state, &w.user)
-        })
+        }))
     }
 
     fn user_free(config: &AdmissionConfig, state: &AdmState, user: &str) -> bool {

@@ -209,12 +209,20 @@ impl QueryPool {
                     )));
                 }
             }
+            // `Some(budget)` exactly when the cluster pool cannot take
+            // `bytes` more — carrying the budget into the arbiter branch
+            // avoids re-unwrapping it there.
             let over_cluster = match self.parent.budget {
-                Some(budget) => state.used + bytes > budget,
-                None => false,
+                Some(budget) if state.used + bytes > budget => Some(budget),
+                _ => None,
             };
-            if !over_cluster {
-                let slot = state.queries.get_mut(&self.id).expect("checked above");
+            let Some(budget) = over_cluster else {
+                let slot = state.queries.get_mut(&self.id).ok_or_else(|| {
+                    PrestoError::Internal(format!(
+                        "query {} vanished from the memory pool mid-reservation",
+                        self.id
+                    ))
+                })?;
                 slot.total += bytes;
                 slot.peak = slot.peak.max(slot.total);
                 if kind == ReservationKind::Revocable {
@@ -222,9 +230,8 @@ impl QueryPool {
                 }
                 state.used += bytes;
                 return Ok(());
-            }
+            };
             // ---- OOM arbiter (cluster pool exhausted) ----
-            let budget = self.parent.budget.expect("over_cluster implies budget");
             // 1. The requester itself holds revocable memory: tell it to
             //    spill (synchronously, by failing this reservation — the
             //    spill-capable operator retries after writing to disk).
@@ -250,11 +257,12 @@ impl QueryPool {
             } else {
                 // 3. Nothing revocable anywhere: kill the largest query.
                 let (victim_id, victim_flags, victim_total) = {
-                    let (qid, s) = state
-                        .queries
-                        .iter()
-                        .max_by_key(|(_, s)| s.total)
-                        .expect("self is registered");
+                    let Some((qid, s)) = state.queries.iter().max_by_key(|(_, s)| s.total) else {
+                        return Err(PrestoError::Internal(format!(
+                            "query {}: OOM arbiter ran with no queries registered in the pool",
+                            self.id
+                        )));
+                    };
                     (*qid, s.flags.clone(), s.total)
                 };
                 victim_flags.killed.store(true, Ordering::Relaxed);
