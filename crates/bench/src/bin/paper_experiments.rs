@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //! ```text
-//! paper-experiments [fig16|fig17|fig18|fig19|fig20|geo|cache|s3|shrink|gateway|resource|all]
+//! paper-experiments [fig16|fig17|fig18|fig19|fig20|geo|cache|s3|shrink|gateway|resource|chaos|all]
 //! ```
 //! Run `--release`; the reader/writer figures measure real CPU work.
 
@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use presto_bench::report::{mbps, ms, Table};
-use presto_bench::{cache_exp, fig16, fig17, geo_exp, resource_exp, s3_exp, writers};
+use presto_bench::{cache_exp, chaos, fig16, fig17, geo_exp, resource_exp, s3_exp, writers};
 use presto_cluster::{ClusterConfig, PrestoCluster, PrestoGateway};
 use presto_common::{Block, DataType, Field, Page, Schema, SimClock};
 use presto_connectors::memory::MemoryConnector;
@@ -19,9 +19,9 @@ use presto_connectors::mysql::MySqlConnector;
 use presto_core::{PrestoEngine, Session};
 use presto_parquet::Codec;
 
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "fig16", "fig17", "fig18", "fig19", "fig20", "geo", "cache", "s3", "shrink", "gateway",
-    "resource", "all",
+    "resource", "chaos", "all",
 ];
 
 fn main() {
@@ -65,6 +65,62 @@ fn main() {
     if all || arg == "resource" {
         run_resource();
     }
+    if all || arg == "chaos" {
+        run_chaos();
+    }
+}
+
+fn run_chaos() {
+    println!("\n=== §XII: chaos — fault injection vs coordinator recovery ===");
+    println!(
+        "40 queries x 12 splits on 6 workers; every task faults with probability p,\n\
+         worker 0 crashes at its 25th task; seed 42; backoff on the virtual clock\n"
+    );
+    let mut table = Table::new(
+        "split reassignment, attempt cap 4, blacklist after 4 consecutive failures",
+        &[
+            "fault rate",
+            "recovery",
+            "queries ok",
+            "split retries",
+            "worker failures",
+            "blacklisted",
+            "injected (crash/task)",
+            "virtual backoff",
+        ],
+    );
+    for rate in [0.0, 0.05, 0.10, 0.20] {
+        for recovery in [true, false] {
+            let r = chaos::run(&chaos::ChaosConfig {
+                fault_rate: rate,
+                recovery,
+                ..chaos::ChaosConfig::default()
+            });
+            table.row(vec![
+                format!("{:.0}%", rate * 100.0),
+                if recovery { "on".into() } else { "off".into() },
+                format!("{}/{} ({:.0}%)", r.succeeded, r.queries, r.success_rate() * 100.0),
+                r.split_retries.to_string(),
+                r.worker_failures.to_string(),
+                r.blacklisted_workers.to_string(),
+                format!("{}/{}", r.crashes_injected, r.task_faults_injected),
+                format!("{} ms", r.virtual_ms),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    let a = chaos::run(&chaos::ChaosConfig::default());
+    let b = chaos::run(&chaos::ChaosConfig::default());
+    println!(
+        "determinism: two seed-42 runs -> digests {:#018x} / {:#018x} ({})\n",
+        a.rows_digest,
+        b.rows_digest,
+        if a.rows_digest == b.rows_digest && a.split_retries == b.split_retries {
+            "identical"
+        } else {
+            "MISMATCH"
+        }
+    );
 }
 
 fn run_resource() {

@@ -1,0 +1,201 @@
+//! §XII chaos experiment: a query stream against a cluster under seeded
+//! fault injection, with and without coordinator fault recovery.
+//!
+//! Every task start may be failed (probability `fault_rate`) or turned into
+//! a worker crash by the declarative [`FaultPlan`]; all decisions are pure
+//! functions of `(seed, worker, task ordinal)`, and retry backoff advances
+//! the virtual clock, so one `(seed, config)` pair replays the exact same
+//! schedule — the experiment is a determinism check as much as a
+//! survival-rate one.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use presto_cluster::{ClusterConfig, PrestoCluster};
+use presto_common::{Block, DataType, FaultInjector, FaultPlan, Field, Page, Schema, SimClock};
+use presto_connectors::memory::MemoryConnector;
+use presto_core::{PrestoEngine, Session};
+
+/// Chaos run parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Workers in the cluster.
+    pub workers: u32,
+    /// Queries submitted serially.
+    pub queries: usize,
+    /// Per-task transient fault probability.
+    pub fault_rate: f64,
+    /// Injector seed — same seed, same schedule.
+    pub seed: u64,
+    /// Coordinator split-reassignment recovery on/off.
+    pub recovery: bool,
+    /// Also crash worker 0 when it starts its 25th task (exercises abrupt
+    /// node loss on top of the flaky-task noise).
+    pub crash_worker: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            workers: 6,
+            queries: 40,
+            fault_rate: 0.10,
+            seed: 42,
+            recovery: true,
+            crash_worker: true,
+        }
+    }
+}
+
+/// Outcome of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// The fault rate this run used.
+    pub fault_rate: f64,
+    /// Whether recovery was on.
+    pub recovery: bool,
+    /// Queries submitted.
+    pub queries: usize,
+    /// Queries that returned rows.
+    pub succeeded: usize,
+    /// `cluster.split_retries` at the end of the run.
+    pub split_retries: u64,
+    /// `cluster.worker_failures` at the end of the run.
+    pub worker_failures: u64,
+    /// `cluster.blacklisted_workers` at the end of the run.
+    pub blacklisted_workers: u64,
+    /// Worker crashes the injector fired.
+    pub crashes_injected: u64,
+    /// Transient task faults the injector fired.
+    pub task_faults_injected: u64,
+    /// Virtual time consumed by the run (admission waits + retry backoff).
+    pub virtual_ms: u64,
+    /// Order-sensitive digest over every successful query's rows — two runs
+    /// with the same seed must agree bit-for-bit.
+    pub rows_digest: u64,
+}
+
+impl ChaosResult {
+    /// Fraction of queries that completed.
+    pub fn success_rate(&self) -> f64 {
+        self.succeeded as f64 / self.queries.max(1) as f64
+    }
+}
+
+fn engine_with_table() -> PrestoEngine {
+    let engine = PrestoEngine::new();
+    let memory = MemoryConnector::new();
+    let schema = Schema::new(vec![Field::new("x", DataType::Bigint)])
+        .unwrap_or_else(|e| panic!("chaos schema: {e}"));
+    // 12 pages → 12 splits per query, spread over the workers
+    let pages: Vec<Page> = (0..12)
+        .map(|p| {
+            Page::new(vec![Block::bigint((p * 50..p * 50 + 50).collect())])
+                .unwrap_or_else(|e| panic!("chaos page: {e}"))
+        })
+        .collect();
+    memory
+        .create_table("default", "t", schema, pages)
+        .unwrap_or_else(|e| panic!("chaos table: {e}"));
+    engine.register_catalog("memory", Arc::new(memory));
+    engine
+}
+
+/// Run the chaos workload: `config.queries` aggregations over a 12-split
+/// table while the injector fails tasks (and optionally crashes a worker).
+pub fn run(config: &ChaosConfig) -> ChaosResult {
+    let mut plan = FaultPlan::new().fail_rate(config.fault_rate);
+    if config.crash_worker {
+        plan = plan.crash_on_task(0, 25);
+    }
+    let injector = FaultInjector::new(config.seed, plan);
+    let clock = SimClock::new();
+    let cluster = PrestoCluster::new(
+        "chaos",
+        engine_with_table(),
+        ClusterConfig {
+            initial_workers: config.workers,
+            fault_injector: injector.clone(),
+            fault_recovery: config.recovery,
+            max_split_attempts: 4,
+            // rate 0.2 would trip a 3-strike blacklist constantly; the
+            // experiment is about retries, so quarantine only real streaks
+            blacklist_after: 4,
+            ..ClusterConfig::default()
+        },
+        clock.clone(),
+    );
+    let session = Session::default();
+    let start = clock.now();
+    let mut succeeded = 0;
+    let mut digest = DefaultHasher::new();
+    for _ in 0..config.queries {
+        if let Ok(result) = cluster.execute("SELECT sum(x), count(*) FROM t", &session) {
+            succeeded += 1;
+            format!("{:?}", result.rows()).hash(&mut digest);
+        }
+    }
+    let virtual_ms = (clock.now() - start).as_millis() as u64;
+    ChaosResult {
+        fault_rate: config.fault_rate,
+        recovery: config.recovery,
+        queries: config.queries,
+        succeeded,
+        split_retries: cluster.metrics().get("cluster.split_retries"),
+        worker_failures: cluster.metrics().get("cluster.worker_failures"),
+        blacklisted_workers: cluster.metrics().get("cluster.blacklisted_workers"),
+        crashes_injected: injector.crashes_injected(),
+        task_faults_injected: injector.task_faults_injected(),
+        virtual_ms,
+        rows_digest: digest.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_materially_beats_no_recovery_at_ten_percent() {
+        let on = run(&ChaosConfig::default());
+        let off = run(&ChaosConfig { recovery: false, ..ChaosConfig::default() });
+        assert!(on.success_rate() >= 0.95, "recovery on: {}/{} queries", on.succeeded, on.queries);
+        assert!(on.split_retries > 0, "recovery must actually have retried splits");
+        assert!(
+            off.success_rate() <= on.success_rate() - 0.25,
+            "recovery off must be materially worse: {} vs {}",
+            off.success_rate(),
+            on.success_rate()
+        );
+        assert_eq!(off.split_retries, 0, "no recovery, no retries");
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let a = run(&ChaosConfig::default());
+        let b = run(&ChaosConfig::default());
+        assert_eq!(a.rows_digest, b.rows_digest);
+        assert_eq!(a.succeeded, b.succeeded);
+        assert_eq!(a.split_retries, b.split_retries);
+        assert_eq!(a.worker_failures, b.worker_failures);
+        assert_eq!(a.task_faults_injected, b.task_faults_injected);
+        assert_eq!(a.virtual_ms, b.virtual_ms);
+        // and a different seed gives a different schedule
+        let c = run(&ChaosConfig { seed: 43, ..ChaosConfig::default() });
+        assert_ne!(
+            (a.split_retries, a.task_faults_injected),
+            (c.split_retries, c.task_faults_injected)
+        );
+    }
+
+    #[test]
+    fn zero_fault_rate_is_failure_free_without_the_crash() {
+        let r =
+            run(&ChaosConfig { fault_rate: 0.0, crash_worker: false, ..ChaosConfig::default() });
+        assert_eq!(r.succeeded, r.queries);
+        assert_eq!(r.split_retries, 0);
+        assert_eq!(r.worker_failures, 0);
+        assert_eq!(r.crashes_injected, 0);
+    }
+}

@@ -12,6 +12,7 @@
 //! values are laptop-scale.
 
 pub mod cache_exp;
+pub mod chaos;
 pub mod fig16;
 pub mod fig17;
 pub mod geo_exp;

@@ -1,12 +1,21 @@
 //! One Presto cluster: a coordinator and N workers (§III), with graceful
-//! expansion and shrink (§IX).
+//! expansion and shrink (§IX) and crash recovery (§XII).
 //!
 //! Distributed execution model: the coordinator plans and fragments the
 //! query; each leaf (scan) fragment's connector splits are assigned
-//! round-robin to ACTIVE workers and executed on real threads; intermediate
-//! pages flow back as exchanges; the root fragment runs on the coordinator.
+//! round-robin (or by §VII affinity) to ACTIVE workers and executed on real
+//! threads; intermediate pages flow back as exchanges; the root fragment
+//! runs on the coordinator.
+//!
+//! Fault tolerance: every task start consults the cluster's
+//! [`FaultInjector`]; when a task fails with a *retryable* error (worker
+//! crash, injected fault, transient-retry exhaustion in storage) the
+//! coordinator reassigns only the unfinished splits to surviving workers —
+//! re-running the affinity hash over the shrunken fleet — under a per-split
+//! attempt cap and virtual-time exponential backoff. Flaky-but-alive
+//! workers are quarantined by the consecutive-failure blacklist.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,10 +24,10 @@ use std::collections::HashMap;
 use parking_lot::RwLock;
 use presto_cache::fragment::{affinity_worker, fingerprint, FragmentKey, FragmentResultCache};
 use presto_common::metrics::CounterSet;
-use presto_common::{Page, PrestoError, Result, SimClock};
-use presto_connectors::SplitPayload;
+use presto_common::{FaultDecision, FaultInjector, Page, PrestoError, Result, SimClock};
+use presto_connectors::{Connector, ConnectorSplit, ScanRequest, SplitPayload};
 use presto_core::{PrestoEngine, QueryResult, Session};
-use presto_plan::LogicalPlan;
+use presto_plan::{LogicalPlan, PlanFragment};
 use presto_resource::{AdmissionConfig, ResourceConfig, ResourceManager};
 
 use crate::worker::{Worker, WorkerState, DEFAULT_GRACE_PERIOD};
@@ -41,6 +50,22 @@ pub struct ClusterConfig {
     pub cluster_memory_bytes: Option<usize>,
     /// Coordinator admission control (defaults admit everything at once).
     pub admission: AdmissionConfig,
+    /// Deterministic fault harness consulted at every task start
+    /// (disabled by default — no faults, no lock contention).
+    pub fault_injector: Arc<FaultInjector>,
+    /// Recover from retryable task failures by reassigning the unfinished
+    /// splits to surviving workers (on by default). With recovery off, the
+    /// first task failure fails the whole query — the pre-§XII behaviour
+    /// the chaos experiment compares against.
+    pub fault_recovery: bool,
+    /// Times one split may be attempted before the query fails.
+    pub max_split_attempts: u32,
+    /// First retry backoff; doubles per retry round. Waits advance the
+    /// virtual [`SimClock`], never the wall clock.
+    pub retry_backoff_base: Duration,
+    /// Quarantine a worker after this many *consecutive* task failures
+    /// (0 = never blacklist).
+    pub blacklist_after: u32,
 }
 
 impl Default for ClusterConfig {
@@ -52,13 +77,22 @@ impl Default for ClusterConfig {
             fragment_cache_entries: 0,
             cluster_memory_bytes: None,
             admission: AdmissionConfig::default(),
+            fault_injector: FaultInjector::disabled(),
+            fault_recovery: true,
+            max_split_attempts: 4,
+            retry_backoff_base: Duration::from_millis(50),
+            blacklist_after: 3,
         }
     }
 }
 
 /// A cluster: coordinator state + worker pool.
 ///
-/// Counters: `cluster.queries`, `cluster.tasks`, `cluster.queries_failed`.
+/// Counters: `cluster.queries`, `cluster.tasks`, `cluster.queries_failed`
+/// (the query *started* and then died), `cluster.queries_rejected` (refused
+/// at the door — maintenance drain or admission queue full),
+/// `cluster.worker_failures`, `cluster.split_retries`, and
+/// `cluster.blacklisted_workers`.
 pub struct PrestoCluster {
     name: String,
     engine: PrestoEngine,
@@ -211,19 +245,37 @@ impl PrestoCluster {
     ///
     /// Queries pass the coordinator's admission queue first; the RAII
     /// permit is held for the query's whole distributed run.
+    ///
+    /// Refusals are not failures: a maintenance drain or a full admission
+    /// queue turns the query away *before it starts* and counts as
+    /// `cluster.queries_rejected`, so `cluster.queries_failed` is reserved
+    /// for queries that actually ran and died. The maintenance refusal is
+    /// [`PrestoError::ClusterUnavailable`] — retryable, so a gateway that
+    /// raced the drain can fail the query over to a healthy cluster.
     pub fn execute(&self, sql: &str, session: &Session) -> Result<QueryResult> {
         if self.in_maintenance() {
-            return Err(PrestoError::Execution(format!("cluster {} is in maintenance", self.name)));
+            self.metrics.incr("cluster.queries_rejected");
+            return Err(PrestoError::ClusterUnavailable(format!(
+                "cluster {} is in maintenance",
+                self.name
+            )));
         }
+        let query_metrics = CounterSet::new();
+        let permit = match self.engine.resources().admission().admit(
+            &session.user,
+            session.priority,
+            &query_metrics,
+        ) {
+            Ok(permit) => permit,
+            Err(e) => {
+                self.metrics.incr("cluster.queries_rejected");
+                return Err(e);
+            }
+        };
         self.queries_started.fetch_add(1, Ordering::Relaxed);
         self.metrics.incr("cluster.queries");
-        let query_metrics = CounterSet::new();
-        let result = self
-            .engine
-            .resources()
-            .admission()
-            .admit(&session.user, session.priority, &query_metrics)
-            .and_then(|_permit| self.execute_inner(sql, session, &query_metrics));
+        let result = self.execute_inner(sql, session, &query_metrics);
+        drop(permit);
         if result.is_err() {
             self.metrics.incr("cluster.queries_failed");
         }
@@ -257,94 +309,9 @@ impl PrestoCluster {
             };
             let connector = self.engine.catalogs().get(catalog)?;
             let splits = connector.splits(sch, table, request)?;
+            // distinct splits, not attempts: retries do not inflate the tally
             self.metrics.add("cluster.tasks", splits.len() as u64);
-
-            let workers = self.active_workers();
-            if workers.is_empty() {
-                return Err(PrestoError::Execution(format!(
-                    "cluster {} has no active workers",
-                    self.name
-                )));
-            }
-            // Split assignment: affinity scheduling (§VII) routes each split
-            // to a stable worker via rendezvous hashing; otherwise splits
-            // round-robin. Scan tasks run on real threads, one per worker (a
-            // worker's splits run serially on it).
-            let worker_ids: Vec<u32> = workers.iter().map(|w| w.id).collect();
-            let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
-            for (i, split) in splits.iter().enumerate() {
-                let w = if self.config.affinity_scheduling {
-                    // `workers` was checked non-empty above; fall back to
-                    // round-robin rather than panicking if that ever breaks.
-                    affinity_worker(&split_identity(&split.payload), &worker_ids)
-                        .unwrap_or(i % workers.len())
-                } else {
-                    i % workers.len()
-                };
-                per_worker[w].push(i);
-            }
-            let assignments: Vec<(Arc<Worker>, Vec<usize>)> =
-                workers.iter().cloned().zip(per_worker).collect();
-            // Pushdowns are part of the fragment identity: two queries only
-            // share cached results when their pushed-down scans agree.
-            let plan_fingerprint = fingerprint(&format!("{:?}", fragment.plan));
-            type SplitResults = Vec<Result<Vec<(usize, Vec<Page>)>>>;
-            let results: SplitResults = std::thread::scope(|scope| {
-                let handles: Vec<_> = assignments
-                    .iter()
-                    .map(|(worker, split_ids)| {
-                        let connector = connector.clone();
-                        let splits = &splits;
-                        let cache = self.fragment_caches.read().get(&worker.id).cloned();
-                        scope.spawn(move || {
-                            let mut out = Vec::new();
-                            for &i in split_ids {
-                                let _task = worker.begin_task()?;
-                                let key = FragmentKey {
-                                    plan_fingerprint,
-                                    split_identity: split_identity(&splits[i].payload),
-                                };
-                                let cacheable =
-                                    cache.is_some() && is_immutable_split(&splits[i].payload);
-                                if cacheable {
-                                    if let Some(hit) = cache.as_ref().and_then(|c| c.get(&key)) {
-                                        out.push((i, hit.as_ref().clone()));
-                                        continue;
-                                    }
-                                }
-                                let pages = connector.scan_split(&splits[i], request)?;
-                                if cacheable {
-                                    if let Some(c) = &cache {
-                                        c.put(key, pages.clone());
-                                    }
-                                }
-                                out.push((i, pages));
-                            }
-                            Ok(out)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        // A panicking scan task must fail its query, not the
-                        // whole coordinator loop.
-                        h.join().unwrap_or_else(|_| {
-                            Err(PrestoError::Internal(format!(
-                                "scan task panicked on cluster {} (fragment {})",
-                                self.name, fragment.id
-                            )))
-                        })
-                    })
-                    .collect()
-            });
-            // splits stay ordered so results are deterministic
-            let mut indexed: Vec<(usize, Vec<Page>)> = Vec::new();
-            for r in results {
-                indexed.extend(r?);
-            }
-            indexed.sort_by_key(|(i, _)| *i);
-            let pages: Vec<Page> = indexed.into_iter().flat_map(|(_, pages)| pages).collect();
+            let pages = self.run_scan_fragment(fragment, &splits, &connector, request)?;
             exchanges.push((fragment.id, pages));
         }
 
@@ -356,6 +323,297 @@ impl PrestoCluster {
             query_metrics,
         )?;
         Ok(QueryResult { schema, pages, metrics: query_metrics.clone() })
+    }
+
+    /// Run one scan fragment's splits across the active workers, recovering
+    /// from retryable task failures (§XII).
+    ///
+    /// Split assignment: affinity scheduling (§VII) routes each split to a
+    /// stable worker via rendezvous hashing; otherwise splits round-robin.
+    /// Scan tasks run on real threads, one per worker (a worker's splits run
+    /// serially on it). After each round, splits that failed with a
+    /// *retryable* error are reassigned to the surviving fleet — the
+    /// affinity hash re-runs over the shrunken worker set — under a
+    /// per-split attempt cap, with exponential backoff on the virtual clock
+    /// between rounds. A worker that crashed or got blacklisted also loses
+    /// its fragment result cache, like any worker-side memory.
+    fn run_scan_fragment(
+        &self,
+        fragment: &PlanFragment,
+        splits: &[ConnectorSplit],
+        connector: &Arc<dyn Connector>,
+        request: &ScanRequest,
+    ) -> Result<Vec<Page>> {
+        // Pushdowns are part of the fragment identity: two queries only
+        // share cached results when their pushed-down scans agree.
+        let plan_fingerprint = fingerprint(&format!("{:?}", fragment.plan));
+        let mut results: Vec<Option<Vec<Page>>> = splits.iter().map(|_| None).collect();
+        let mut attempts = vec![0u32; splits.len()];
+        let mut pending: Vec<usize> = (0..splits.len()).collect();
+        let mut backoff = self.config.retry_backoff_base;
+
+        while !pending.is_empty() {
+            let workers = self.active_workers();
+            if workers.is_empty() {
+                return Err(PrestoError::ClusterUnavailable(format!(
+                    "cluster {} has no active workers",
+                    self.name
+                )));
+            }
+            let worker_ids: Vec<u32> = workers.iter().map(|w| w.id).collect();
+            let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
+            for (k, &i) in pending.iter().enumerate() {
+                let w = if self.config.affinity_scheduling {
+                    // `workers` was checked non-empty above; fall back to
+                    // round-robin rather than panicking if that ever breaks.
+                    affinity_worker(&split_identity(&splits[i].payload), &worker_ids)
+                        .unwrap_or(k % workers.len())
+                } else {
+                    k % workers.len()
+                };
+                per_worker[w].push(i);
+            }
+            let assignments: Vec<(Arc<Worker>, Vec<usize>)> =
+                workers.iter().cloned().zip(per_worker).collect();
+            // Shared cancellation: once any task fails terminally, sibling
+            // workers stop picking up splits for the doomed query.
+            let cancel = AtomicBool::new(false);
+            type TaskOutcomes = Vec<(usize, Result<Vec<Page>>)>;
+            let round: Vec<(Arc<Worker>, TaskOutcomes)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = assignments
+                    .iter()
+                    .map(|(worker, split_ids)| {
+                        let connector = connector.clone();
+                        let cache = self.fragment_caches.read().get(&worker.id).cloned();
+                        let cancel = &cancel;
+                        scope.spawn(move || {
+                            self.run_worker_tasks(
+                                worker,
+                                split_ids,
+                                splits,
+                                &connector,
+                                request,
+                                plan_fingerprint,
+                                cache,
+                                cancel,
+                            )
+                        })
+                    })
+                    .collect();
+                assignments
+                    .iter()
+                    .zip(handles)
+                    .map(|((worker, split_ids), h)| {
+                        // A panicking scan task must fail its query, not the
+                        // whole coordinator loop.
+                        let outcomes = h.join().unwrap_or_else(|_| {
+                            split_ids
+                                .iter()
+                                .map(|&i| {
+                                    (
+                                        i,
+                                        Err(PrestoError::Internal(format!(
+                                            "scan task panicked on cluster {} (fragment {})",
+                                            self.name, fragment.id
+                                        ))),
+                                    )
+                                })
+                                .collect()
+                        });
+                        (worker.clone(), outcomes)
+                    })
+                    .collect()
+            });
+
+            let mut retry_now: Vec<usize> = Vec::new();
+            let mut terminal: Option<PrestoError> = None;
+            for (worker, outcomes) in round {
+                let mut worker_failed_here = false;
+                for (i, outcome) in outcomes {
+                    match outcome {
+                        Ok(pages) => results[i] = Some(pages),
+                        Err(e) if self.config.fault_recovery && e.is_retryable() => {
+                            worker_failed_here = true;
+                            attempts[i] += 1;
+                            if attempts[i] >= self.config.max_split_attempts {
+                                terminal.get_or_insert_with(|| {
+                                    attempts_exhausted(i, self.config.max_split_attempts, &e)
+                                });
+                            } else {
+                                self.metrics.incr("cluster.split_retries");
+                                retry_now.push(i);
+                            }
+                        }
+                        Err(e) => {
+                            worker_failed_here |= e.is_retryable();
+                            terminal.get_or_insert(e);
+                        }
+                    }
+                }
+                if worker_failed_here {
+                    self.metrics.incr("cluster.worker_failures");
+                }
+                if worker.state() == WorkerState::Crashed || worker.is_blacklisted() {
+                    // a dead or quarantined worker takes its in-memory
+                    // fragment cache with it
+                    self.fragment_caches.write().remove(&worker.id);
+                }
+            }
+            if let Some(e) = terminal {
+                return Err(e);
+            }
+            pending = retry_now;
+            if !pending.is_empty() {
+                // exponential backoff on the virtual clock before the next
+                // reassignment round
+                self.clock.advance(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+        }
+
+        // splits stay ordered so results are deterministic
+        let mut pages = Vec::new();
+        for (i, slot) in results.into_iter().enumerate() {
+            match slot {
+                Some(p) => pages.extend(p),
+                None => {
+                    return Err(PrestoError::Internal(format!(
+                        "split {i} never produced a result on cluster {}",
+                        self.name
+                    )))
+                }
+            }
+        }
+        Ok(pages)
+    }
+
+    /// Serial task loop for one worker in one scheduling round. Every task
+    /// start consults the fault injector *before* touching the worker or
+    /// the cache, so the fault schedule is a pure function of (seed,
+    /// worker, per-worker task ordinal). An injected crash kills the worker
+    /// for good — its remaining splits in this round are lost in flight —
+    /// while an injected task fault fails just that split.
+    #[allow(clippy::too_many_arguments)]
+    fn run_worker_tasks(
+        &self,
+        worker: &Arc<Worker>,
+        split_ids: &[usize],
+        splits: &[ConnectorSplit],
+        connector: &Arc<dyn Connector>,
+        request: &ScanRequest,
+        plan_fingerprint: u64,
+        cache: Option<FragmentResultCache>,
+        cancel: &AtomicBool,
+    ) -> Vec<(usize, Result<Vec<Page>>)> {
+        let mut out = Vec::new();
+        let mut crashed = false;
+        for &i in split_ids {
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            if crashed {
+                // the node is gone; everything still queued on it is lost
+                out.push((i, Err(worker_failed(worker.id, "crashed"))));
+                continue;
+            }
+            match self.config.fault_injector.on_task_start(worker.id, self.clock.now()) {
+                FaultDecision::CrashWorker => {
+                    worker.crash();
+                    crashed = true;
+                    let err = worker_failed(worker.id, "crashed (injected)");
+                    self.note_task_failure(worker, &err, cancel);
+                    out.push((i, Err(err)));
+                    continue;
+                }
+                FaultDecision::FailTask => {
+                    let err = worker_failed(worker.id, "dropped the task (injected fault)");
+                    self.note_task_failure(worker, &err, cancel);
+                    out.push((i, Err(err)));
+                    continue;
+                }
+                FaultDecision::None => {}
+            }
+            let outcome = self.execute_one_split(
+                worker,
+                &splits[i],
+                connector,
+                request,
+                plan_fingerprint,
+                cache.as_ref(),
+            );
+            match &outcome {
+                Ok(_) => worker.record_task_success(),
+                Err(e) => self.note_task_failure(worker, e, cancel),
+            }
+            out.push((i, outcome));
+        }
+        out
+    }
+
+    /// One split on one worker: task guard, fragment-cache lookup, connector
+    /// scan. Output from a worker that crashed while the task was in flight
+    /// is discarded — a dead node's partial results cannot be trusted.
+    fn execute_one_split(
+        &self,
+        worker: &Arc<Worker>,
+        split: &ConnectorSplit,
+        connector: &Arc<dyn Connector>,
+        request: &ScanRequest,
+        plan_fingerprint: u64,
+        cache: Option<&FragmentResultCache>,
+    ) -> Result<Vec<Page>> {
+        let _task = worker.begin_task()?;
+        let key = FragmentKey { plan_fingerprint, split_identity: split_identity(&split.payload) };
+        let cacheable = cache.is_some() && is_immutable_split(&split.payload);
+        if cacheable {
+            if let Some(hit) = cache.and_then(|c| c.get(&key)) {
+                return Ok(hit.as_ref().clone());
+            }
+        }
+        let pages = connector.scan_split(split, request)?;
+        if worker.state() == WorkerState::Crashed {
+            return Err(worker_failed(worker.id, "crashed while the task was in flight"));
+        }
+        if cacheable {
+            if let Some(c) = cache {
+                c.put(key, pages.clone());
+            }
+        }
+        Ok(pages)
+    }
+
+    /// Blacklist bookkeeping + cancellation for one failed task. Runs on
+    /// the worker's own thread (a worker's tasks are serial, so the
+    /// consecutive-failure streak is deterministic). Terminal failures —
+    /// non-retryable, or any failure while recovery is disabled — flip the
+    /// shared cancel flag so sibling workers stop scanning for a query that
+    /// is already doomed.
+    fn note_task_failure(&self, worker: &Arc<Worker>, e: &PrestoError, cancel: &AtomicBool) {
+        if worker.record_task_failure(self.config.blacklist_after) {
+            self.metrics.incr("cluster.blacklisted_workers");
+        }
+        if !(self.config.fault_recovery && e.is_retryable()) {
+            cancel.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A retryable infrastructure failure attributed to one worker.
+fn worker_failed(worker_id: u32, what: &str) -> PrestoError {
+    PrestoError::WorkerFailed { worker_id, message: format!("worker {worker_id} {what}") }
+}
+
+/// Wrap the last retryable error once a split's attempt budget is spent.
+/// The wrapper keeps the retryable *class*: this coordinator is giving up,
+/// but the gateway may still fail the whole query over to another cluster,
+/// where the split gets a fresh budget.
+fn attempts_exhausted(split: usize, cap: u32, last: &PrestoError) -> PrestoError {
+    let context = format!("split {split} failed {cap} attempts, giving up: {last}");
+    match last {
+        PrestoError::WorkerFailed { worker_id, .. } => {
+            PrestoError::WorkerFailed { worker_id: *worker_id, message: context }
+        }
+        _ => PrestoError::ClusterUnavailable(context),
     }
 }
 
@@ -383,7 +641,7 @@ mod tests {
     use presto_common::{Block, DataType, Field, Schema, Value};
     use presto_connectors::memory::MemoryConnector;
 
-    fn cluster() -> Arc<PrestoCluster> {
+    fn cluster_with(config: ClusterConfig) -> Arc<PrestoCluster> {
         let engine = PrestoEngine::new();
         let memory = MemoryConnector::new();
         let schema = Schema::new(vec![
@@ -403,16 +661,15 @@ mod tests {
             .collect();
         memory.create_table("default", "t", schema, pages).unwrap();
         engine.register_catalog("memory", Arc::new(memory));
-        PrestoCluster::new(
-            "test",
-            engine,
-            ClusterConfig {
-                initial_workers: 3,
-                grace_period: Duration::from_secs(2),
-                ..ClusterConfig::default()
-            },
-            SimClock::new(),
-        )
+        PrestoCluster::new("test", engine, config, SimClock::new())
+    }
+
+    fn cluster() -> Arc<PrestoCluster> {
+        cluster_with(ClusterConfig {
+            initial_workers: 3,
+            grace_period: Duration::from_secs(2),
+            ..ClusterConfig::default()
+        })
     }
 
     #[test]
@@ -543,6 +800,126 @@ mod tests {
         assert!(c.execute("SELECT 1", &Session::default()).is_err());
         c.set_maintenance(false);
         assert!(c.execute("SELECT 1", &Session::default()).is_ok());
+    }
+
+    #[test]
+    fn refusals_are_rejected_not_failed() {
+        let c = cluster();
+        c.set_maintenance(true);
+        let err = c.execute("SELECT count(*) FROM t", &Session::default()).unwrap_err();
+        assert_eq!(err.code(), "CLUSTER_UNAVAILABLE");
+        assert!(err.is_retryable(), "a gateway that raced the drain may re-route");
+        assert_eq!(c.metrics().get("cluster.queries_rejected"), 1);
+        assert_eq!(c.metrics().get("cluster.queries_failed"), 0);
+        assert_eq!(c.queries_started(), 0, "the query never started");
+    }
+
+    #[test]
+    fn admission_overflow_is_rejected_not_failed() {
+        let c = cluster_with(ClusterConfig {
+            initial_workers: 1,
+            admission: AdmissionConfig {
+                max_concurrent: Some(0),
+                max_queued: 0,
+                ..AdmissionConfig::default()
+            },
+            ..ClusterConfig::default()
+        });
+        let err = c.execute("SELECT 1", &Session::default()).unwrap_err();
+        assert_eq!(err.code(), "INSUFFICIENT_RESOURCES");
+        assert_eq!(c.metrics().get("cluster.queries_rejected"), 1);
+        assert_eq!(c.metrics().get("cluster.queries_failed"), 0);
+        assert_eq!(c.queries_started(), 0);
+    }
+
+    #[test]
+    fn injected_crash_recovers_via_split_reassignment() {
+        use presto_common::{FaultInjector, FaultPlan};
+        // worker 1 dies when it starts its second task; its unfinished
+        // splits move to the two survivors and the query still answers
+        // correctly.
+        let c = cluster_with(ClusterConfig {
+            initial_workers: 3,
+            fault_injector: FaultInjector::new(7, FaultPlan::new().crash_on_task(1, 2)),
+            ..ClusterConfig::default()
+        });
+        let result = c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+        assert_eq!(result.rows(), vec![vec![Value::Bigint(80)]]);
+        assert!(c.metrics().get("cluster.split_retries") >= 1);
+        assert_eq!(c.metrics().get("cluster.worker_failures"), 1);
+        assert_eq!(c.metrics().get("cluster.queries_failed"), 0);
+        let crashed: Vec<u32> = c
+            .workers()
+            .iter()
+            .filter(|w| w.state() == WorkerState::Crashed)
+            .map(|w| w.id)
+            .collect();
+        assert_eq!(crashed, vec![1]);
+    }
+
+    #[test]
+    fn recovery_off_fails_the_query_on_the_same_schedule() {
+        use presto_common::{FaultInjector, FaultPlan};
+        let c = cluster_with(ClusterConfig {
+            initial_workers: 3,
+            fault_injector: FaultInjector::new(7, FaultPlan::new().crash_on_task(1, 2)),
+            fault_recovery: false,
+            ..ClusterConfig::default()
+        });
+        let err = c.execute("SELECT count(*) FROM t", &Session::default()).unwrap_err();
+        assert_eq!(err.code(), "WORKER_FAILED");
+        assert_eq!(c.metrics().get("cluster.split_retries"), 0);
+        assert_eq!(c.metrics().get("cluster.queries_failed"), 1);
+    }
+
+    #[test]
+    fn attempt_cap_gives_up_with_a_retryable_error() {
+        use presto_common::{FaultInjector, FaultPlan};
+        // one worker that drops every task: the only candidate for every
+        // reattempt keeps failing until the per-split budget runs out
+        let c = cluster_with(ClusterConfig {
+            initial_workers: 1,
+            fault_injector: FaultInjector::new(3, FaultPlan::new().fail_rate(1.0)),
+            max_split_attempts: 3,
+            blacklist_after: 0, // keep the flaky worker schedulable
+            ..ClusterConfig::default()
+        });
+        let before = c.clock().now();
+        let err = c.execute("SELECT count(*) FROM t", &Session::default()).unwrap_err();
+        assert!(err.is_retryable(), "the gateway may still fail over: {err}");
+        assert!(err.message().contains("giving up"), "{err}");
+        assert_eq!(c.metrics().get("cluster.queries_failed"), 1);
+        // two retry rounds happened, with backoff on the virtual clock
+        assert!(c.metrics().get("cluster.split_retries") >= 2);
+        assert!(c.clock().now() > before, "backoff advances virtual time");
+    }
+
+    #[test]
+    fn flaky_worker_is_blacklisted_and_quarantined() {
+        use presto_common::{FaultInjector, FaultPlan};
+        // worker 0 drops its first three tasks, then would behave — but by
+        // then the consecutive-failure blacklist has quarantined it, so the
+        // retries (and every later query) run on workers 1 and 2.
+        let c = cluster_with(ClusterConfig {
+            initial_workers: 3,
+            fault_injector: FaultInjector::new(
+                5,
+                FaultPlan::new().fail_task(0, 1).fail_task(0, 2).fail_task(0, 3),
+            ),
+            blacklist_after: 3,
+            ..ClusterConfig::default()
+        });
+        let result = c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+        assert_eq!(result.rows(), vec![vec![Value::Bigint(80)]]);
+        assert_eq!(c.metrics().get("cluster.blacklisted_workers"), 1);
+        let w0 = &c.workers()[0];
+        assert!(w0.is_blacklisted());
+        assert_eq!(w0.state(), WorkerState::Active, "quarantined, not dead");
+        assert!(!w0.accepts_tasks());
+        // later queries never touch the quarantined worker
+        let done_before = w0.completed_tasks();
+        c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+        assert_eq!(w0.completed_tasks(), done_before);
     }
 
     #[test]

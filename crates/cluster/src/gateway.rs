@@ -61,7 +61,8 @@ impl PrestoGateway {
         })
     }
 
-    /// The counters (`gateway.redirects`, `gateway.rerouted_maintenance`).
+    /// The counters (`gateway.redirects`, `gateway.rerouted_maintenance`,
+    /// `gateway.retried_queries`).
     pub fn metrics(&self) -> &CounterSet {
         &self.metrics
     }
@@ -97,15 +98,9 @@ impl PrestoGateway {
     /// "redirect traffic ... to guarantee no downtime" work (§VIII).
     pub fn route(&self, group: &str) -> Result<Redirect> {
         self.metrics.incr("gateway.redirects");
-        let lookup = |g: &str| -> Result<Option<String>> {
-            Ok(self
-                .routing
-                .lookup(ROUTING_SCHEMA, ROUTING_TABLE, "user_group", &Value::Varchar(g.into()))?
-                .map(|row| row[1].as_str().unwrap_or_default().to_string()))
-        };
-        let primary = match lookup(group)? {
+        let primary = match self.lookup_route(group)? {
             Some(c) => c,
-            None => lookup(DEFAULT_GROUP)?.ok_or_else(|| {
+            None => self.lookup_route(DEFAULT_GROUP)?.ok_or_else(|| {
                 PrestoError::Execution(format!("no route for group '{group}' and no default route"))
             })?,
         };
@@ -114,9 +109,10 @@ impl PrestoGateway {
         if healthy(&primary) {
             return Ok(Redirect { cluster: primary });
         }
-        // primary down/draining: re-route to the shared default
+        // primary down/draining (or the route names a cluster that was
+        // never registered): re-route to the shared default
         self.metrics.incr("gateway.rerouted_maintenance");
-        let fallback = lookup(DEFAULT_GROUP)?.ok_or_else(|| {
+        let fallback = self.lookup_route(DEFAULT_GROUP)?.ok_or_else(|| {
             PrestoError::Execution(format!("cluster '{primary}' unavailable and no default route"))
         })?;
         if fallback != primary && healthy(&fallback) {
@@ -125,14 +121,66 @@ impl PrestoGateway {
         Err(PrestoError::Execution(format!("no healthy cluster for group '{group}'")))
     }
 
+    /// One routing-table lookup: the cluster mapped to `group`, if any.
+    fn lookup_route(&self, group: &str) -> Result<Option<String>> {
+        Ok(self
+            .routing
+            .lookup(ROUTING_SCHEMA, ROUTING_TABLE, "user_group", &Value::Varchar(group.into()))?
+            .map(|row| row[1].as_str().unwrap_or_default().to_string()))
+    }
+
     /// Client helper: resolve the redirect, then run the query *directly on
     /// the cluster* (the gateway never proxies data, §XII.B).
+    ///
+    /// §XII fault tolerance: when the cluster fails the query with a
+    /// *retryable* infrastructure error — it lost its last workers mid-query,
+    /// a split ran out of attempts, a maintenance drain raced the redirect —
+    /// the gateway fails over **once** to a healthy sibling cluster and
+    /// counts `gateway.retried_queries`. Non-retryable errors (bad SQL,
+    /// resource policy) propagate unchanged: they would fail anywhere.
     pub fn submit(&self, group: &str, sql: &str, session: &Session) -> Result<QueryResult> {
         let redirect = self.route(group)?;
-        let cluster = self.clusters.read().get(&redirect.cluster).cloned().ok_or_else(|| {
-            PrestoError::Execution(format!("unknown cluster '{}'", redirect.cluster))
-        })?;
-        cluster.execute(sql, session)
+        let cluster = self.cluster_named(&redirect.cluster)?;
+        match cluster.execute(sql, session) {
+            Err(e) if e.is_retryable() => {
+                let Some(fallback) = self.failover_target(&redirect.cluster) else {
+                    return Err(e);
+                };
+                self.metrics.incr("gateway.retried_queries");
+                fallback.execute(sql, session)
+            }
+            other => other,
+        }
+    }
+
+    fn cluster_named(&self, name: &str) -> Result<Arc<PrestoCluster>> {
+        self.clusters
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PrestoError::Execution(format!("unknown cluster '{name}'")))
+    }
+
+    /// Pick the failover cluster after `failed` lost a query: the default
+    /// route's cluster when it is healthy and is not the one that just
+    /// failed, otherwise the first healthy other cluster in name order.
+    /// Health here is stronger than routing health: a failover target must
+    /// have active workers, not merely be out of maintenance.
+    fn failover_target(&self, failed: &str) -> Option<Arc<PrestoCluster>> {
+        let healthy =
+            |c: &Arc<PrestoCluster>| !c.in_maintenance() && !c.active_workers().is_empty();
+        let clusters = self.clusters.read();
+        if let Ok(Some(default)) = self.lookup_route(DEFAULT_GROUP) {
+            if default != failed {
+                if let Some(c) = clusters.get(&default).filter(|c| healthy(c)) {
+                    return Some(c.clone());
+                }
+            }
+        }
+        clusters
+            .iter()
+            .find(|(name, c)| name.as_str() != failed && healthy(c))
+            .map(|(_, c)| c.clone())
     }
 }
 
@@ -147,9 +195,12 @@ mod tests {
     fn gateway_with_clusters() -> (PrestoGateway, Arc<PrestoCluster>, Arc<PrestoCluster>) {
         let gateway = PrestoGateway::new(MySqlConnector::new()).unwrap();
         let mk = |name: &str| {
+            let engine = PrestoEngine::new();
+            engine
+                .register_catalog("tpch", Arc::new(presto_connectors::tpch::TpchConnector::new()));
             PrestoCluster::new(
                 name,
-                PrestoEngine::new(),
+                engine,
                 ClusterConfig {
                     initial_workers: 2,
                     grace_period: Duration::from_secs(1),
@@ -208,5 +259,56 @@ mod tests {
     fn no_route_errors() {
         let gateway = PrestoGateway::new(MySqlConnector::new()).unwrap();
         assert!(gateway.route("anyone").is_err());
+    }
+
+    #[test]
+    fn route_to_unregistered_cluster_falls_back_to_default() {
+        let (gateway, _, _) = gateway_with_clusters();
+        // the routing table can point at a cluster the gateway never saw
+        // (decommissioned, typo'd by the administrator in MySQL)
+        gateway.set_route("x-team", "ghost").unwrap();
+        assert_eq!(gateway.route("x-team").unwrap().cluster, "shared");
+        assert_eq!(gateway.metrics().get("gateway.rerouted_maintenance"), 1);
+    }
+
+    #[test]
+    fn all_clusters_draining_is_a_routing_error() {
+        let (gateway, dedicated, shared) = gateway_with_clusters();
+        dedicated.set_maintenance(true);
+        shared.set_maintenance(true);
+        let err = gateway.route("ads").unwrap_err();
+        assert!(err.message().contains("no healthy cluster"), "{err}");
+        assert_eq!(gateway.metrics().get("gateway.rerouted_maintenance"), 1);
+        // the default group is just as stuck, and each attempt is counted
+        assert!(gateway.route("unknown-team").is_err());
+        assert_eq!(gateway.metrics().get("gateway.rerouted_maintenance"), 2);
+    }
+
+    #[test]
+    fn gateway_fails_over_when_the_cluster_dies_mid_query() {
+        let (gateway, dedicated, shared) = gateway_with_clusters();
+        // every worker on the dedicated cluster dies abruptly; routing
+        // cannot see that (health there is maintenance-only), so the query
+        // lands on the dead cluster, fails retryably, and fails over.
+        for w in dedicated.workers() {
+            w.crash();
+        }
+        let session = Session::new("tpch", "tiny");
+        let result = gateway.submit("ads", "SELECT count(*) FROM lineitem", &session).unwrap();
+        assert!(!result.rows().is_empty());
+        assert_eq!(gateway.metrics().get("gateway.retried_queries"), 1);
+        assert_eq!(shared.queries_started(), 1, "the fallback ran the query");
+        assert_eq!(dedicated.metrics().get("cluster.queries_failed"), 1);
+        // the routing layer was never involved in the failover
+        assert_eq!(gateway.metrics().get("gateway.rerouted_maintenance"), 0);
+    }
+
+    #[test]
+    fn non_retryable_errors_do_not_fail_over() {
+        let (gateway, _, shared) = gateway_with_clusters();
+        let err = gateway.submit("ads", "SELECT count(* FROM", &Session::default()).unwrap_err();
+        assert!(!err.is_retryable(), "{err}");
+        assert_eq!(gateway.metrics().get("gateway.retried_queries"), 0);
+        assert_eq!(shared.queries_started(), 0, "a doomed query is not re-run elsewhere");
     }
 }

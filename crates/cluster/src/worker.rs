@@ -1,4 +1,5 @@
-//! Worker nodes and the graceful-shutdown state machine (§IX).
+//! Worker nodes, the graceful-shutdown state machine (§IX), and the
+//! *impolite* failure modes the fleet must survive (§XII).
 //!
 //! "Upon receiving the command, presto worker will enter SHUTTING_DOWN
 //! state: sleep for shutdown.grace-period, which defaults to 2 minutes.
@@ -7,8 +8,14 @@
 //! complete. The worker will sleep for the grace period again in order to
 //! ensure the coordinator sees all tasks are complete. Finally, the presto
 //! worker will shut down."
+//!
+//! Unlike the polite drain, [`Worker::crash`] models abrupt node loss: no
+//! grace period, in-flight tasks are gone, and `begin_task` surfaces
+//! [`PrestoError::WorkerFailed`] so the coordinator can reassign the lost
+//! splits. A flaky-but-alive host is quarantined through the
+//! consecutive-failure blacklist ([`Worker::record_task_failure`]).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,6 +40,11 @@ pub enum WorkerState {
     ShuttingDownGrace2,
     /// Gone.
     Terminated,
+    /// Abrupt death (kernel panic, OOM-kill, injected fault): no grace
+    /// period, in-flight tasks lost. A crashed worker stays visible to the
+    /// operator (unlike [`WorkerState::Terminated`], it is never reaped as
+    /// a *planned* departure) but accepts no tasks.
+    Crashed,
 }
 
 struct WorkerInner {
@@ -48,6 +60,8 @@ pub struct Worker {
     inner: Mutex<WorkerInner>,
     active_tasks: AtomicUsize,
     completed_tasks: AtomicUsize,
+    consecutive_failures: AtomicU32,
+    blacklisted: AtomicBool,
     clock: SimClock,
     grace_period: Duration,
 }
@@ -63,6 +77,8 @@ impl Worker {
             }),
             active_tasks: AtomicUsize::new(0),
             completed_tasks: AtomicUsize::new(0),
+            consecutive_failures: AtomicU32::new(0),
+            blacklisted: AtomicBool::new(false),
             clock,
             grace_period,
         })
@@ -84,9 +100,53 @@ impl Worker {
     }
 
     /// Can the scheduler assign new tasks here? Only ACTIVE workers accept
-    /// ("the coordinator ... stops sending tasks to the worker").
+    /// ("the coordinator ... stops sending tasks to the worker"), and a
+    /// blacklisted worker is quarantined even while it reports ACTIVE.
     pub fn accepts_tasks(&self) -> bool {
-        self.state() == WorkerState::Active
+        self.state() == WorkerState::Active && !self.is_blacklisted()
+    }
+
+    /// Abrupt node death: the state machine jumps straight to
+    /// [`WorkerState::Crashed`] with no grace period. In-flight tasks are
+    /// lost — their results must not be trusted, and new `begin_task`
+    /// calls surface [`PrestoError::WorkerFailed`].
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock();
+        if inner.state != WorkerState::Terminated {
+            inner.state = WorkerState::Crashed;
+            inner.phase_started = self.clock.now();
+        }
+    }
+
+    /// Consecutive-failure bookkeeping for the blacklist: one more task on
+    /// this worker failed. Crossing `blacklist_after` consecutive failures
+    /// (0 = never) quarantines the worker; returns `true` exactly when this
+    /// call newly blacklisted it, so the caller can count the event.
+    pub fn record_task_failure(&self, blacklist_after: u32) -> bool {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if blacklist_after > 0
+            && failures >= blacklist_after
+            && !self.blacklisted.swap(true, Ordering::SeqCst)
+        {
+            return true;
+        }
+        false
+    }
+
+    /// A task completed successfully: the failure streak resets (the
+    /// blacklist targets *consecutive* failures, not a lifetime tally).
+    pub fn record_task_success(&self) {
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+    }
+
+    /// Consecutive task failures so far.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures.load(Ordering::SeqCst)
+    }
+
+    /// Is the worker quarantined by the consecutive-failure blacklist?
+    pub fn is_blacklisted(&self) -> bool {
+        self.blacklisted.load(Ordering::SeqCst)
     }
 
     /// Begin a task. Errors if the worker is not accepting.
@@ -101,6 +161,14 @@ impl Worker {
         // that is the point of the grace period.
         match inner.state {
             WorkerState::Active | WorkerState::ShuttingDownGrace1 => {}
+            WorkerState::Crashed => {
+                // infrastructure fault — retryable, unlike the polite
+                // refusals below which the scheduler should never hit
+                return Err(PrestoError::WorkerFailed {
+                    worker_id: self.id,
+                    message: format!("worker {} crashed", self.id),
+                });
+            }
             other => {
                 return Err(PrestoError::Execution(format!(
                     "worker {} is {:?}, cannot accept tasks",
@@ -154,6 +222,12 @@ impl Worker {
 /// RAII guard for a running task.
 pub struct TaskGuard<'a> {
     worker: &'a Worker,
+}
+
+impl std::fmt::Debug for TaskGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskGuard").field("worker", &self.worker.id).finish()
+    }
 }
 
 impl Drop for TaskGuard<'_> {
@@ -214,5 +288,47 @@ mod tests {
         worker.tick();
         // after grace 1, new tasks are refused
         assert!(worker.begin_task().is_err());
+    }
+
+    #[test]
+    fn crash_skips_every_grace_period() {
+        let clock = SimClock::new();
+        let worker = Worker::new(5, clock.clone(), Duration::from_secs(120));
+        let _task = worker.begin_task().unwrap();
+        worker.crash();
+        assert_eq!(worker.state(), WorkerState::Crashed);
+        assert!(!worker.accepts_tasks());
+        // no amount of ticking resurrects or terminates a crashed worker
+        clock.advance(Duration::from_secs(600));
+        assert_eq!(worker.tick(), WorkerState::Crashed);
+        // new tasks surface the retryable infrastructure error
+        let err = worker.begin_task().unwrap_err();
+        assert_eq!(err.code(), "WORKER_FAILED");
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn blacklist_trips_on_consecutive_failures_only() {
+        let worker = Worker::new(2, SimClock::new(), Duration::from_secs(1));
+        assert!(!worker.record_task_failure(3));
+        assert!(!worker.record_task_failure(3));
+        worker.record_task_success(); // streak broken
+        assert!(!worker.record_task_failure(3));
+        assert!(!worker.record_task_failure(3));
+        assert!(!worker.is_blacklisted());
+        assert!(worker.record_task_failure(3), "third consecutive failure trips");
+        assert!(worker.is_blacklisted());
+        assert!(!worker.accepts_tasks());
+        // the event fires once, even if failures keep coming
+        assert!(!worker.record_task_failure(3));
+    }
+
+    #[test]
+    fn blacklist_disabled_with_zero_threshold() {
+        let worker = Worker::new(2, SimClock::new(), Duration::from_secs(1));
+        for _ in 0..50 {
+            assert!(!worker.record_task_failure(0));
+        }
+        assert!(!worker.is_blacklisted());
     }
 }

@@ -38,6 +38,23 @@ pub enum PrestoError {
     /// as the victim: it held the most memory and nothing was revocable
     /// (spillable) anywhere, so killing it frees the most capacity.
     ExceededMemoryLimit(String),
+    /// A worker node died (crash, injected fault, lost heartbeat) while it
+    /// held tasks. Infrastructure, not the query's fault: the coordinator
+    /// may reassign the lost splits to surviving workers.
+    WorkerFailed {
+        /// The worker that failed.
+        worker_id: u32,
+        /// What happened.
+        message: String,
+    },
+    /// A whole cluster cannot serve the query right now (no active workers,
+    /// maintenance drain). The gateway may re-route to a healthy cluster.
+    ClusterUnavailable(String),
+    /// A transient-error retry budget ran out at this layer (e.g. the S3
+    /// exponential backoff gave up after N `503 SlowDown`s, §IX).
+    /// Non-retryable *here*, but retryable by the coordinator: the same
+    /// split rescheduled onto another worker gets a fresh budget.
+    TransientExhausted(String),
     /// Feature not supported by this reproduction.
     NotSupported(String),
     /// Invariant violation — a bug in the engine itself.
@@ -58,9 +75,26 @@ impl PrestoError {
             PrestoError::SchemaEvolution(_) => "SCHEMA_EVOLUTION_ERROR",
             PrestoError::InsufficientResources(_) => "INSUFFICIENT_RESOURCES",
             PrestoError::ExceededMemoryLimit(_) => "EXCEEDED_MEMORY_LIMIT",
+            PrestoError::WorkerFailed { .. } => "WORKER_FAILED",
+            PrestoError::ClusterUnavailable(_) => "CLUSTER_UNAVAILABLE",
+            PrestoError::TransientExhausted(_) => "TRANSIENT_EXHAUSTED",
             PrestoError::NotSupported(_) => "NOT_SUPPORTED",
             PrestoError::Internal(_) => "INTERNAL_ERROR",
         }
+    }
+
+    /// Is this an *infrastructure* fault a higher layer may retry on
+    /// different resources — the coordinator by reassigning the split to a
+    /// surviving worker, the gateway by re-routing the query to a healthy
+    /// cluster? User, plan, and resource-policy errors are **not**
+    /// retryable: re-running them elsewhere reproduces the same failure.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PrestoError::WorkerFailed { .. }
+                | PrestoError::ClusterUnavailable(_)
+                | PrestoError::TransientExhausted(_)
+        )
     }
 
     /// The human-readable message.
@@ -76,6 +110,9 @@ impl PrestoError {
             | PrestoError::SchemaEvolution(m)
             | PrestoError::InsufficientResources(m)
             | PrestoError::ExceededMemoryLimit(m)
+            | PrestoError::WorkerFailed { message: m, .. }
+            | PrestoError::ClusterUnavailable(m)
+            | PrestoError::TransientExhausted(m)
             | PrestoError::NotSupported(m)
             | PrestoError::Internal(m) => m,
         }
@@ -115,6 +152,9 @@ mod tests {
             PrestoError::SchemaEvolution(String::new()),
             PrestoError::InsufficientResources(String::new()),
             PrestoError::ExceededMemoryLimit(String::new()),
+            PrestoError::WorkerFailed { worker_id: 0, message: String::new() },
+            PrestoError::ClusterUnavailable(String::new()),
+            PrestoError::TransientExhausted(String::new()),
             PrestoError::NotSupported(String::new()),
             PrestoError::Internal(String::new()),
         ];
@@ -122,5 +162,33 @@ mod tests {
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn only_infrastructure_faults_are_retryable() {
+        assert!(
+            PrestoError::WorkerFailed { worker_id: 3, message: "crashed".into() }.is_retryable()
+        );
+        assert!(PrestoError::ClusterUnavailable("no active workers".into()).is_retryable());
+        assert!(PrestoError::TransientExhausted("gave up after 6 retries".into()).is_retryable());
+        // user / plan / policy errors reproduce identically elsewhere
+        for e in [
+            PrestoError::Parse("x".into()),
+            PrestoError::Analysis("x".into()),
+            PrestoError::Execution("x".into()),
+            PrestoError::InsufficientResources("x".into()),
+            PrestoError::ExceededMemoryLimit("x".into()),
+            PrestoError::Internal("x".into()),
+        ] {
+            assert!(!e.is_retryable(), "{e} must not be retryable");
+        }
+    }
+
+    #[test]
+    fn worker_failed_carries_the_worker_id() {
+        let e = PrestoError::WorkerFailed { worker_id: 7, message: "injected crash".into() };
+        assert_eq!(e.code(), "WORKER_FAILED");
+        assert_eq!(e.message(), "injected crash");
+        assert_eq!(e.to_string(), "WORKER_FAILED: injected crash");
     }
 }

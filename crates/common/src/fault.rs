@@ -1,0 +1,367 @@
+//! Deterministic fault injection for chaos experiments.
+//!
+//! The paper's operational claims (§VIII gateway re-routing, §IX elasticity,
+//! §XII lessons) are about *surviving* bad hosts and node loss, not just
+//! about the happy path. To test that reproducibly, this module provides a
+//! seeded [`FaultInjector`] the cluster consults at every task start through
+//! a cheap [`Arc`] handle. Faults are declared up front as a [`FaultPlan`]
+//! (crash worker W at virtual time T, fail the k-th task on worker W,
+//! probabilistic task faults at rate p) and every decision is a pure
+//! function of `(seed, worker, per-worker task sequence)` plus the virtual
+//! [`SimClock`](crate::SimClock) — never the wall clock and never a shared
+//! PRNG stream, so the same seed replays the same fault schedule no matter
+//! how the host interleaves worker threads.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// One declared fault. Task sequence numbers are **1-based and
+/// per-worker**: a worker's first task is sequence 1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// Crash worker `worker_id` at the first task it starts at or after
+    /// virtual time `at` (fires once).
+    CrashAt {
+        /// Target worker.
+        worker_id: u32,
+        /// Virtual time threshold.
+        at: Duration,
+    },
+    /// Crash worker `worker_id` when it starts its `task_seq`-th task.
+    CrashOnTask {
+        /// Target worker.
+        worker_id: u32,
+        /// 1-based task sequence number on that worker.
+        task_seq: u64,
+    },
+    /// Transiently fail the `task_seq`-th task on worker `worker_id` (the
+    /// worker survives — the flaky-host case).
+    FailTask {
+        /// Target worker.
+        worker_id: u32,
+        /// 1-based task sequence number on that worker.
+        task_seq: u64,
+    },
+    /// Every task on every worker fails with probability `rate`, decided by
+    /// a stateless hash of `(seed, worker, task sequence)` so the draw is
+    /// reproducible under any thread interleaving.
+    FailRate {
+        /// Probability in `[0, 1]` that a task fails.
+        rate: f64,
+    },
+}
+
+/// A declarative set of faults to inject, built up fluently:
+///
+/// ```
+/// use std::time::Duration;
+/// use presto_common::fault::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .crash_at(0, Duration::from_secs(5))
+///     .fail_task(2, 1)
+///     .fail_rate(0.05);
+/// assert_eq!(plan.specs().len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The declared faults.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Crash `worker_id` at the first task it starts at/after virtual `at`.
+    pub fn crash_at(mut self, worker_id: u32, at: Duration) -> FaultPlan {
+        self.specs.push(FaultSpec::CrashAt { worker_id, at });
+        self
+    }
+
+    /// Crash `worker_id` when it starts its `task_seq`-th task (1-based).
+    pub fn crash_on_task(mut self, worker_id: u32, task_seq: u64) -> FaultPlan {
+        self.specs.push(FaultSpec::CrashOnTask { worker_id, task_seq });
+        self
+    }
+
+    /// Transiently fail the `task_seq`-th task on `worker_id` (1-based).
+    pub fn fail_task(mut self, worker_id: u32, task_seq: u64) -> FaultPlan {
+        self.specs.push(FaultSpec::FailTask { worker_id, task_seq });
+        self
+    }
+
+    /// Fail every task with probability `rate`.
+    pub fn fail_rate(mut self, rate: f64) -> FaultPlan {
+        self.specs.push(FaultSpec::FailRate { rate });
+        self
+    }
+}
+
+/// What the injector decided for one task start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Run the task normally.
+    None,
+    /// The task fails transiently; the worker stays up.
+    FailTask,
+    /// The worker dies; this task and everything in flight on the worker
+    /// is lost.
+    CrashWorker,
+}
+
+/// Per-injector mutable state, guarded by one mutex so sequence draws are
+/// atomic with the once-only bookkeeping of timed crashes.
+#[derive(Default)]
+struct FaultState {
+    /// Next 1-based task sequence per worker.
+    task_seq: HashMap<u32, u64>,
+    /// Which [`FaultSpec::CrashAt`] entries already fired (by spec index).
+    fired: Vec<bool>,
+}
+
+/// The seeded fault-injection harness.
+///
+/// Sites call [`FaultInjector::on_task_start`] once per task; the injector
+/// advances that worker's private sequence counter and evaluates the plan.
+/// Construction returns an [`Arc`] so the handle is cheap to share with
+/// every scheduler and worker thread. [`FaultInjector::disabled`] is the
+/// no-fault default and short-circuits before taking any lock.
+pub struct FaultInjector {
+    seed: u64,
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+    crashes_injected: AtomicU64,
+    task_faults_injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector evaluating `plan` under `seed`.
+    pub fn new(seed: u64, plan: FaultPlan) -> Arc<FaultInjector> {
+        let fired = vec![false; plan.specs.len()];
+        Arc::new(FaultInjector {
+            seed,
+            plan,
+            state: Mutex::new(FaultState { task_seq: HashMap::new(), fired }),
+            crashes_injected: AtomicU64::new(0),
+            task_faults_injected: AtomicU64::new(0),
+        })
+    }
+
+    /// The no-fault injector (the production default).
+    pub fn disabled() -> Arc<FaultInjector> {
+        FaultInjector::new(0, FaultPlan::new())
+    }
+
+    /// Does the plan declare any fault at all?
+    pub fn is_enabled(&self) -> bool {
+        !self.plan.specs.is_empty()
+    }
+
+    /// Worker crashes injected so far.
+    pub fn crashes_injected(&self) -> u64 {
+        self.crashes_injected.load(Ordering::Relaxed)
+    }
+
+    /// Transient task faults injected so far.
+    pub fn task_faults_injected(&self) -> u64 {
+        self.task_faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// Consult the plan for the task `worker_id` is about to start at
+    /// virtual time `now`. Crash specs take precedence over transient
+    /// faults; among crashes, timed ones fire before sequence-numbered ones.
+    pub fn on_task_start(&self, worker_id: u32, now: Duration) -> FaultDecision {
+        if !self.is_enabled() {
+            return FaultDecision::None;
+        }
+        let mut state = self.state.lock();
+        let seq_entry = state.task_seq.entry(worker_id).or_insert(0);
+        *seq_entry += 1;
+        let seq = *seq_entry;
+
+        let mut decision = FaultDecision::None;
+        for (idx, spec) in self.plan.specs.iter().enumerate() {
+            let hit = match *spec {
+                FaultSpec::CrashAt { worker_id: w, at } => {
+                    if w == worker_id && now >= at && !state.fired[idx] {
+                        state.fired[idx] = true;
+                        FaultDecision::CrashWorker
+                    } else {
+                        FaultDecision::None
+                    }
+                }
+                FaultSpec::CrashOnTask { worker_id: w, task_seq } => {
+                    if w == worker_id && task_seq == seq {
+                        FaultDecision::CrashWorker
+                    } else {
+                        FaultDecision::None
+                    }
+                }
+                FaultSpec::FailTask { worker_id: w, task_seq } => {
+                    if w == worker_id && task_seq == seq {
+                        FaultDecision::FailTask
+                    } else {
+                        FaultDecision::None
+                    }
+                }
+                FaultSpec::FailRate { rate } => {
+                    if unit_draw(self.seed, worker_id, seq) < rate {
+                        FaultDecision::FailTask
+                    } else {
+                        FaultDecision::None
+                    }
+                }
+            };
+            // a crash dominates a transient fault for the same task
+            if rank(hit) > rank(decision) {
+                decision = hit;
+            }
+        }
+        drop(state);
+        match decision {
+            FaultDecision::CrashWorker => {
+                self.crashes_injected.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultDecision::FailTask => {
+                self.task_faults_injected.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultDecision::None => {}
+        }
+        decision
+    }
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("seed", &self.seed)
+            .field("specs", &self.plan.specs)
+            .field("crashes_injected", &self.crashes_injected())
+            .field("task_faults_injected", &self.task_faults_injected())
+            .finish()
+    }
+}
+
+fn rank(d: FaultDecision) -> u8 {
+    match d {
+        FaultDecision::None => 0,
+        FaultDecision::FailTask => 1,
+        FaultDecision::CrashWorker => 2,
+    }
+}
+
+/// SplitMix64 finalizer: well-distributed 64-bit mixing of the
+/// `(seed, worker, seq)` triple.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` that depends only on the triple — identical
+/// under any thread interleaving.
+fn unit_draw(seed: u64, worker_id: u32, seq: u64) -> f64 {
+    let mixed = mix(seed ^ mix(u64::from(worker_id)) ^ mix(seq));
+    (mixed >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_enabled());
+        for w in 0..4 {
+            for _ in 0..100 {
+                assert_eq!(inj.on_task_start(w, Duration::ZERO), FaultDecision::None);
+            }
+        }
+        assert_eq!(inj.crashes_injected(), 0);
+        assert_eq!(inj.task_faults_injected(), 0);
+    }
+
+    #[test]
+    fn timed_crash_fires_once_at_virtual_time() {
+        let inj = FaultInjector::new(7, FaultPlan::new().crash_at(1, Duration::from_secs(10)));
+        // before T: nothing
+        assert_eq!(inj.on_task_start(1, Duration::from_secs(9)), FaultDecision::None);
+        // other workers never crash
+        assert_eq!(inj.on_task_start(0, Duration::from_secs(11)), FaultDecision::None);
+        // at/after T: exactly one crash
+        assert_eq!(inj.on_task_start(1, Duration::from_secs(10)), FaultDecision::CrashWorker);
+        assert_eq!(inj.on_task_start(1, Duration::from_secs(11)), FaultDecision::None);
+        assert_eq!(inj.crashes_injected(), 1);
+    }
+
+    #[test]
+    fn kth_task_faults_are_per_worker() {
+        let inj = FaultInjector::new(7, FaultPlan::new().fail_task(2, 3).crash_on_task(0, 2));
+        // worker 2: third task fails
+        assert_eq!(inj.on_task_start(2, Duration::ZERO), FaultDecision::None);
+        assert_eq!(inj.on_task_start(2, Duration::ZERO), FaultDecision::None);
+        assert_eq!(inj.on_task_start(2, Duration::ZERO), FaultDecision::FailTask);
+        assert_eq!(inj.on_task_start(2, Duration::ZERO), FaultDecision::None);
+        // worker 0: second task crashes it — its own counter, not worker 2's
+        assert_eq!(inj.on_task_start(0, Duration::ZERO), FaultDecision::None);
+        assert_eq!(inj.on_task_start(0, Duration::ZERO), FaultDecision::CrashWorker);
+        assert_eq!(inj.task_faults_injected(), 1);
+        assert_eq!(inj.crashes_injected(), 1);
+    }
+
+    #[test]
+    fn rate_draws_are_deterministic_and_roughly_uniform() {
+        let draws = |seed: u64| -> Vec<FaultDecision> {
+            let inj = FaultInjector::new(seed, FaultPlan::new().fail_rate(0.25));
+            (0..400).map(|i| inj.on_task_start(i % 4, Duration::ZERO)).collect()
+        };
+        let a = draws(42);
+        let b = draws(42);
+        assert_eq!(a, b, "same seed, same schedule");
+        let hits = a.iter().filter(|d| **d == FaultDecision::FailTask).count();
+        assert!((50..150).contains(&hits), "rate 0.25 over 400 draws, got {hits}");
+        let c = draws(43);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn rate_draws_ignore_thread_interleaving() {
+        // Decisions for worker w depend only on w's own sequence numbers, so
+        // drawing workers in a different global order changes nothing.
+        let inj1 = FaultInjector::new(9, FaultPlan::new().fail_rate(0.5));
+        let mut order1 = Vec::new();
+        for w in [0u32, 1, 0, 1, 0, 1] {
+            order1.push((w, inj1.on_task_start(w, Duration::ZERO)));
+        }
+        let inj2 = FaultInjector::new(9, FaultPlan::new().fail_rate(0.5));
+        let mut order2 = Vec::new();
+        for w in [1u32, 1, 1, 0, 0, 0] {
+            order2.push((w, inj2.on_task_start(w, Duration::ZERO)));
+        }
+        let per_worker = |log: &[(u32, FaultDecision)], w: u32| -> Vec<FaultDecision> {
+            log.iter().filter(|(x, _)| *x == w).map(|(_, d)| *d).collect()
+        };
+        assert_eq!(per_worker(&order1, 0), per_worker(&order2, 0));
+        assert_eq!(per_worker(&order1, 1), per_worker(&order2, 1));
+    }
+
+    #[test]
+    fn crash_dominates_transient_fault_on_same_task() {
+        let inj = FaultInjector::new(1, FaultPlan::new().fail_task(3, 1).crash_on_task(3, 1));
+        assert_eq!(inj.on_task_start(3, Duration::ZERO), FaultDecision::CrashWorker);
+    }
+}

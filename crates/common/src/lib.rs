@@ -20,10 +20,13 @@
 //!   simulators so latency experiments are deterministic.
 //! - [`metrics::CounterSet`] — named counters used to report call-count
 //!   results (e.g. §VII's "listFiles calls reduced to less than 40%").
+//! - [`fault::FaultInjector`] — seeded, declarative fault injection so the
+//!   cluster's crash-recovery paths replay deterministically.
 
 pub mod block;
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod metrics;
 pub mod page;
@@ -33,6 +36,7 @@ pub mod value;
 pub use block::Block;
 pub use clock::SimClock;
 pub use error::{PrestoError, Result};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultSpec};
 pub use page::Page;
 pub use types::{DataType, Field, Schema};
 pub use value::Value;

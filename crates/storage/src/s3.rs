@@ -310,7 +310,11 @@ impl PrestoS3FileSystem {
                 Ok(v) => return Ok(v),
                 Err(PrestoError::Storage(msg)) if msg.contains("transient") => {
                     if attempt >= self.config.max_retries {
-                        return Err(PrestoError::Storage(format!(
+                        // Non-retryable at *this* layer — the local backoff
+                        // budget is spent — but classified retryable so the
+                        // coordinator may reschedule the split on another
+                        // worker, where it gets a fresh budget.
+                        return Err(PrestoError::TransientExhausted(format!(
                             "giving up after {attempt} retries: {msg}"
                         )));
                     }
@@ -533,6 +537,20 @@ mod tests {
         fs.store().seed("/b/f", b"data");
         let err = fs.read_range("/b/f", 0, 4).unwrap_err();
         assert!(err.to_string().contains("giving up"));
+    }
+
+    #[test]
+    fn retry_exhaustion_is_coordinator_retryable() {
+        let fs = fs_with(
+            S3FsConfig { max_retries: 2, ..S3FsConfig::default() },
+            S3Config { fail_every: 1, ..S3Config::default() }, // always fail
+        );
+        fs.store().seed("/b/f", b"data");
+        let err = fs.read_range("/b/f", 0, 4).unwrap_err();
+        // the local backoff budget is spent, but the error class tells the
+        // coordinator the split may be rescheduled on another worker
+        assert_eq!(err.code(), "TRANSIENT_EXHAUSTED");
+        assert!(err.is_retryable());
     }
 
     #[test]
