@@ -3,15 +3,18 @@
 //!
 //! Usage:
 //! ```text
-//! paper-experiments [fig16|fig17|fig18|fig19|fig20|geo|cache|s3|shrink|gateway|resource|chaos|all]
+//! paper-experiments [fig16|fig17|fig18|fig19|fig20|geo|cache|s3|shrink|gateway|resource|chaos|obs|all]
 //! ```
 //! Run `--release`; the reader/writer figures measure real CPU work.
+//!
+//! `chaos` and `obs` also dump machine-readable `BENCH_<experiment>.json`
+//! files into the current directory for CI to archive and diff.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use presto_bench::report::{mbps, ms, Table};
-use presto_bench::{cache_exp, chaos, fig16, fig17, geo_exp, resource_exp, s3_exp, writers};
+use presto_bench::report::{histogram_json, mbps, ms, write_bench_json, Json, Table};
+use presto_bench::{cache_exp, chaos, fig16, fig17, geo_exp, obs, resource_exp, s3_exp, writers};
 use presto_cluster::{ClusterConfig, PrestoCluster, PrestoGateway};
 use presto_common::{Block, DataType, Field, Page, Schema, SimClock};
 use presto_connectors::memory::MemoryConnector;
@@ -19,9 +22,9 @@ use presto_connectors::mysql::MySqlConnector;
 use presto_core::{PrestoEngine, Session};
 use presto_parquet::Codec;
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "fig16", "fig17", "fig18", "fig19", "fig20", "geo", "cache", "s3", "shrink", "gateway",
-    "resource", "chaos", "all",
+    "resource", "chaos", "obs", "all",
 ];
 
 fn main() {
@@ -68,6 +71,61 @@ fn main() {
     if all || arg == "chaos" {
         run_chaos();
     }
+    if all || arg == "obs" {
+        run_obs();
+    }
+}
+
+fn run_obs() {
+    println!("\n=== observability: latency quantiles, EXPLAIN ANALYZE, span tree ===");
+    let config = obs::ObsConfig::default();
+    println!(
+        "{} join+agg dashboard queries on {} workers ({} warm-up, discarded via clear())\n",
+        config.queries, config.workers, config.warmup
+    );
+    let r = obs::run(&config);
+    let mut table = Table::new(
+        "virtual-time latency distributions",
+        &["histogram", "count", "p50", "p95", "p99", "max"],
+    );
+    table.row(vec![
+        "query latency (µs)".into(),
+        r.latency.count().to_string(),
+        r.latency.quantile(0.50).to_string(),
+        r.latency.quantile(0.95).to_string(),
+        r.latency.quantile(0.99).to_string(),
+        r.latency.max().to_string(),
+    ]);
+    table.row(vec![
+        "admission queue wait (ms)".into(),
+        r.queue_wait.count().to_string(),
+        r.queue_wait.quantile(0.50).to_string(),
+        r.queue_wait.quantile(0.95).to_string(),
+        r.queue_wait.quantile(0.99).to_string(),
+        r.queue_wait.max().to_string(),
+    ]);
+    println!("{}", table.render());
+    println!("EXPLAIN ANALYZE (representative query):\n{}", r.explain);
+    println!(
+        "span tree ({} spans, digest {:#018x}):\n{}",
+        r.trace_spans, r.trace_digest, r.trace_render
+    );
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("obs".into())),
+        ("queries".into(), Json::U64(r.queries as u64)),
+        ("query_latency_us".into(), histogram_json(&r.latency)),
+        ("admission_queue_wait_ms".into(), histogram_json(&r.queue_wait)),
+        ("trace_spans".into(), Json::U64(r.trace_spans as u64)),
+        ("trace_digest".into(), Json::Str(format!("{:#018x}", r.trace_digest))),
+        (
+            "counters".into(),
+            Json::Obj(r.counters.iter().map(|(k, v)| (k.clone(), Json::U64(*v))).collect()),
+        ),
+    ]);
+    match write_bench_json("obs", &json) {
+        Ok(path) => println!("wrote {path}\n"),
+        Err(e) => eprintln!("could not write BENCH_obs.json: {e}"),
+    }
 }
 
 fn run_chaos() {
@@ -111,16 +169,36 @@ fn run_chaos() {
     println!("{}", table.render());
     let a = chaos::run(&chaos::ChaosConfig::default());
     let b = chaos::run(&chaos::ChaosConfig::default());
+    let identical = a.rows_digest == b.rows_digest
+        && a.trace_digest == b.trace_digest
+        && a.split_retries == b.split_retries;
     println!(
-        "determinism: two seed-42 runs -> digests {:#018x} / {:#018x} ({})\n",
+        "determinism: two seed-42 runs -> rows {:#018x} / {:#018x}, traces {:#018x} / {:#018x} ({})\n",
         a.rows_digest,
         b.rows_digest,
-        if a.rows_digest == b.rows_digest && a.split_retries == b.split_retries {
-            "identical"
-        } else {
-            "MISMATCH"
-        }
+        a.trace_digest,
+        b.trace_digest,
+        if identical { "identical" } else { "MISMATCH" }
     );
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("chaos".into())),
+        ("queries".into(), Json::U64(a.queries as u64)),
+        ("succeeded".into(), Json::U64(a.succeeded as u64)),
+        ("split_retries".into(), Json::U64(a.split_retries)),
+        ("worker_failures".into(), Json::U64(a.worker_failures)),
+        ("virtual_ms".into(), Json::U64(a.virtual_ms)),
+        ("rows_digest".into(), Json::Str(format!("{:#018x}", a.rows_digest))),
+        ("trace_digest".into(), Json::Str(format!("{:#018x}", a.trace_digest))),
+        ("deterministic".into(), Json::Bool(identical)),
+    ]);
+    match write_bench_json("chaos", &json) {
+        Ok(path) => println!("wrote {path}\n"),
+        Err(e) => eprintln!("could not write BENCH_chaos.json: {e}"),
+    }
+    if !identical {
+        eprintln!("chaos determinism check FAILED: same-seed runs diverged");
+        std::process::exit(1);
+    }
 }
 
 fn run_resource() {

@@ -13,6 +13,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use presto_cluster::{ClusterConfig, PrestoCluster};
+use presto_common::metrics::names;
 use presto_common::{Block, DataType, FaultInjector, FaultPlan, Field, Page, Schema, SimClock};
 use presto_connectors::memory::MemoryConnector;
 use presto_core::{PrestoEngine, Session};
@@ -74,6 +75,11 @@ pub struct ChaosResult {
     /// Order-sensitive digest over every successful query's rows — two runs
     /// with the same seed must agree bit-for-bit.
     pub rows_digest: u64,
+    /// Order-sensitive fold of every successful query's virtual-time trace
+    /// digest. Stronger than `rows_digest`: it pins not just *what* each
+    /// query answered but the whole span tree — which worker ran which
+    /// split, every injected failure, every retry round, every timestamp.
+    pub trace_digest: u64,
 }
 
 impl ChaosResult {
@@ -130,10 +136,14 @@ pub fn run(config: &ChaosConfig) -> ChaosResult {
     let start = clock.now();
     let mut succeeded = 0;
     let mut digest = DefaultHasher::new();
+    let mut trace_digest = DefaultHasher::new();
     for _ in 0..config.queries {
         if let Ok(result) = cluster.execute("SELECT sum(x), count(*) FROM t", &session) {
             succeeded += 1;
             format!("{:?}", result.rows()).hash(&mut digest);
+            // Only successful queries fold in: a doomed query's cancel flag
+            // races sibling workers, so its span count is timing-dependent.
+            result.info.trace.digest().hash(&mut trace_digest);
         }
     }
     let virtual_ms = (clock.now() - start).as_millis() as u64;
@@ -142,13 +152,14 @@ pub fn run(config: &ChaosConfig) -> ChaosResult {
         recovery: config.recovery,
         queries: config.queries,
         succeeded,
-        split_retries: cluster.metrics().get("cluster.split_retries"),
-        worker_failures: cluster.metrics().get("cluster.worker_failures"),
-        blacklisted_workers: cluster.metrics().get("cluster.blacklisted_workers"),
+        split_retries: cluster.metrics().get(names::CLUSTER_SPLIT_RETRIES),
+        worker_failures: cluster.metrics().get(names::CLUSTER_WORKER_FAILURES),
+        blacklisted_workers: cluster.metrics().get(names::CLUSTER_BLACKLISTED_WORKERS),
         crashes_injected: injector.crashes_injected(),
         task_faults_injected: injector.task_faults_injected(),
         virtual_ms,
         rows_digest: digest.finish(),
+        trace_digest: trace_digest.finish(),
     }
 }
 
@@ -176,6 +187,7 @@ mod tests {
         let a = run(&ChaosConfig::default());
         let b = run(&ChaosConfig::default());
         assert_eq!(a.rows_digest, b.rows_digest);
+        assert_eq!(a.trace_digest, b.trace_digest, "span trees must replay bit-for-bit");
         assert_eq!(a.succeeded, b.succeeded);
         assert_eq!(a.split_retries, b.split_retries);
         assert_eq!(a.worker_failures, b.worker_failures);

@@ -16,6 +16,7 @@ pub mod chaos;
 pub mod fig16;
 pub mod fig17;
 pub mod geo_exp;
+pub mod obs;
 pub mod report;
 pub mod resource_exp;
 pub mod s3_exp;

@@ -1,4 +1,7 @@
-//! Tiny text-table reporting helpers for `paper-experiments`.
+//! Tiny text-table and JSON reporting helpers for `paper-experiments`.
+
+use presto_common::metrics::Histogram;
+use presto_common::trace::json_escape;
 
 /// A printable experiment table.
 pub struct Table {
@@ -54,6 +57,70 @@ impl Table {
     }
 }
 
+/// A JSON value, hand-rolled (the workspace vendors no serde). Enough for
+/// the flat `BENCH_<experiment>.json` dumps CI diffs between runs.
+pub enum Json {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (rendered with Rust's shortest-roundtrip `Display`).
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// `true`/`false`.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved so dumps diff cleanly.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Render compactly (no whitespace), deterministically.
+    pub fn render(&self) -> String {
+        match self {
+            Json::U64(v) => v.to_string(),
+            Json::F64(v) if v.is_finite() => v.to_string(),
+            Json::F64(_) => "null".to_string(), // NaN/inf are not JSON
+            Json::Str(s) => format!("\"{}\"", json_escape(s)),
+            Json::Bool(b) => b.to_string(),
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Json::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Json::Obj(pairs) => {
+                let inner: Vec<String> = pairs
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+/// Summarize a [`Histogram`] as a JSON object with the quantiles the paper's
+/// dashboards watch (p50/p95/p99).
+pub fn histogram_json(h: &Histogram) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::U64(h.count())),
+        ("sum".into(), Json::U64(h.sum())),
+        ("mean".into(), Json::U64(h.mean())),
+        ("min".into(), Json::U64(h.min())),
+        ("max".into(), Json::U64(h.max())),
+        ("p50".into(), Json::U64(h.quantile(0.50))),
+        ("p95".into(), Json::U64(h.quantile(0.95))),
+        ("p99".into(), Json::U64(h.quantile(0.99))),
+    ])
+}
+
+/// Write `BENCH_<experiment>.json` into the current directory and return the
+/// file name. CI archives these so regressions show up as JSON diffs.
+pub fn write_bench_json(experiment: &str, json: &Json) -> std::io::Result<String> {
+    let path = format!("BENCH_{experiment}.json");
+    std::fs::write(&path, format!("{}\n", json.render()))?;
+    Ok(path)
+}
+
 /// Format a Duration as milliseconds with 2 decimals.
 pub fn ms(d: std::time::Duration) -> String {
     format!("{:.2}ms", d.as_secs_f64() * 1000.0)
@@ -67,6 +134,27 @@ pub fn mbps(bytes: usize, d: std::time::Duration) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_renders_escaped_and_ordered() {
+        let j = Json::Obj(vec![
+            ("name".into(), Json::Str("a \"quoted\" string".into())),
+            ("n".into(), Json::U64(3)),
+            ("xs".into(), Json::Arr(vec![Json::F64(1.5), Json::Bool(true)])),
+        ]);
+        assert_eq!(j.render(), r#"{"name":"a \"quoted\" string","n":3,"xs":[1.5,true]}"#);
+    }
+
+    #[test]
+    fn histogram_json_carries_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let text = histogram_json(&h).render();
+        assert!(text.contains("\"count\":100"), "{text}");
+        assert!(text.contains("\"p99\":"), "{text}");
+    }
 
     #[test]
     fn renders_aligned() {

@@ -17,7 +17,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet};
 use presto_common::Page;
 
 use crate::lru::LruCache;
@@ -52,11 +52,11 @@ impl FragmentResultCache {
     pub fn get(&self, key: &FragmentKey) -> Option<Arc<Vec<Page>>> {
         match self.cache.get(key) {
             Some(hit) => {
-                self.metrics.incr("frc.hits");
+                self.metrics.incr(names::FRC_HITS);
                 Some(hit)
             }
             None => {
-                self.metrics.incr("frc.misses");
+                self.metrics.incr(names::FRC_MISSES);
                 None
             }
         }

@@ -23,10 +23,12 @@ use std::collections::HashMap;
 
 use parking_lot::RwLock;
 use presto_cache::fragment::{affinity_worker, fingerprint, FragmentKey, FragmentResultCache};
-use presto_common::metrics::CounterSet;
+use presto_common::clock::SimStopwatch;
+use presto_common::metrics::{names, CounterSet, HistogramSet};
+use presto_common::trace::{SpanId, SpanKind, Trace};
 use presto_common::{FaultDecision, FaultInjector, Page, PrestoError, Result, SimClock};
 use presto_connectors::{Connector, ConnectorSplit, ScanRequest, SplitPayload};
-use presto_core::{PrestoEngine, QueryResult, Session};
+use presto_core::{PrestoEngine, QueryInfo, QueryResult, Session};
 use presto_plan::{LogicalPlan, PlanFragment};
 use presto_resource::{AdmissionConfig, ResourceConfig, ResourceManager};
 
@@ -101,6 +103,9 @@ pub struct PrestoCluster {
     clock: SimClock,
     config: ClusterConfig,
     metrics: CounterSet,
+    /// Latency/backoff distributions (`cluster.query_latency_us`,
+    /// `cluster.retry_backoff_us`).
+    histograms: HistogramSet,
     /// Administrators drain whole clusters for maintenance (§VIII); a
     /// draining cluster refuses new queries so the gateway re-routes.
     maintenance: RwLock<bool>,
@@ -136,6 +141,7 @@ impl PrestoCluster {
             clock,
             config,
             metrics: CounterSet::new(),
+            histograms: HistogramSet::new(),
             maintenance: RwLock::new(false),
             queries_started: AtomicU64::new(0),
             fragment_caches: RwLock::new(HashMap::new()),
@@ -163,6 +169,11 @@ impl PrestoCluster {
     /// The counters.
     pub fn metrics(&self) -> &CounterSet {
         &self.metrics
+    }
+
+    /// Latency and backoff distributions recorded by this cluster.
+    pub fn histograms(&self) -> &HistogramSet {
+        &self.histograms
     }
 
     /// §IX expansion: "we could simply add more workers, configured with
@@ -254,7 +265,7 @@ impl PrestoCluster {
     /// raced the drain can fail the query over to a healthy cluster.
     pub fn execute(&self, sql: &str, session: &Session) -> Result<QueryResult> {
         if self.in_maintenance() {
-            self.metrics.incr("cluster.queries_rejected");
+            self.metrics.incr(names::CLUSTER_QUERIES_REJECTED);
             return Err(PrestoError::ClusterUnavailable(format!(
                 "cluster {} is in maintenance",
                 self.name
@@ -268,18 +279,35 @@ impl PrestoCluster {
         ) {
             Ok(permit) => permit,
             Err(e) => {
-                self.metrics.incr("cluster.queries_rejected");
+                self.metrics.incr(names::CLUSTER_QUERIES_REJECTED);
                 return Err(e);
             }
         };
         self.queries_started.fetch_add(1, Ordering::Relaxed);
-        self.metrics.incr("cluster.queries");
-        let result = self.execute_inner(sql, session, &query_metrics);
+        self.metrics.incr(names::CLUSTER_QUERIES);
+        // The query trace runs on the cluster's shared virtual clock, so
+        // span timestamps line up with admission waits and retry backoffs.
+        let trace = Trace::new(self.clock.clone());
+        let root = trace.begin(SpanKind::Query, "query", None);
+        let watch = SimStopwatch::start(&self.clock);
+        let result = self.execute_inner(sql, session, &query_metrics, &trace, root);
         drop(permit);
-        if result.is_err() {
-            self.metrics.incr("cluster.queries_failed");
+        let latency = watch.elapsed();
+        trace.end(root);
+        match result {
+            Ok(mut ok) => {
+                self.histograms
+                    .record(names::HIST_CLUSTER_QUERY_LATENCY_US, latency.as_micros() as u64);
+                let peak_memory = query_metrics.get(names::MEMORY_RESERVED_PEAK) as usize;
+                ok.info = QueryInfo { trace, latency, peak_memory };
+                Ok(ok)
+            }
+            Err(e) => {
+                self.metrics.incr(names::CLUSTER_QUERIES_FAILED);
+                trace.set_attr(root, "error", 1);
+                Err(e)
+            }
         }
-        result
     }
 
     fn execute_inner(
@@ -287,6 +315,8 @@ impl PrestoCluster {
         sql: &str,
         session: &Session,
         query_metrics: &CounterSet,
+        trace: &Trace,
+        root: SpanId,
     ) -> Result<QueryResult> {
         let fragments = self.engine.fragment(sql, session)?;
         let schema = fragments[0].plan.output_schema()?;
@@ -294,35 +324,58 @@ impl PrestoCluster {
         // Execute leaf (scan) fragments with splits spread across workers.
         let mut exchanges: Vec<(u32, Vec<Page>)> = Vec::new();
         for fragment in &fragments[1..] {
+            let stage =
+                trace.begin(SpanKind::Stage, format!("fragment[{}]", fragment.id), Some(root));
             let LogicalPlan::TableScan { catalog, schema: sch, table, request, .. } =
                 &fragment.plan
             else {
                 // non-scan fragment (not produced by the current fragmenter)
-                let pages = self.engine.execute_fragment_with_metrics(
+                let pages = self.engine.execute_fragment_traced(
                     fragment,
                     vec![],
                     session,
                     query_metrics,
+                    trace,
+                    Some(stage),
                 )?;
+                trace.end(stage);
                 exchanges.push((fragment.id, pages));
                 continue;
             };
             let connector = self.engine.catalogs().get(catalog)?;
-            let splits = connector.splits(sch, table, request)?;
+            let splits = match connector.splits(sch, table, request) {
+                Ok(splits) => splits,
+                Err(e) => {
+                    trace.end(stage);
+                    return Err(e);
+                }
+            };
             // distinct splits, not attempts: retries do not inflate the tally
-            self.metrics.add("cluster.tasks", splits.len() as u64);
-            let pages = self.run_scan_fragment(fragment, &splits, &connector, request)?;
-            exchanges.push((fragment.id, pages));
+            self.metrics.add(names::CLUSTER_TASKS, splits.len() as u64);
+            let pages =
+                self.run_scan_fragment(fragment, &splits, &connector, request, trace, stage);
+            trace.end(stage);
+            exchanges.push((fragment.id, pages?));
         }
 
         // Root fragment runs on the coordinator.
-        let pages = self.engine.execute_fragment_with_metrics(
+        let stage =
+            trace.begin(SpanKind::Stage, format!("fragment[{}]", fragments[0].id), Some(root));
+        let pages = self.engine.execute_fragment_traced(
             &fragments[0],
             exchanges,
             session,
             query_metrics,
-        )?;
-        Ok(QueryResult { schema, pages, metrics: query_metrics.clone() })
+            trace,
+            Some(stage),
+        );
+        trace.end(stage);
+        Ok(QueryResult {
+            schema,
+            pages: pages?,
+            metrics: query_metrics.clone(),
+            info: QueryInfo::empty(),
+        })
     }
 
     /// Run one scan fragment's splits across the active workers, recovering
@@ -337,12 +390,15 @@ impl PrestoCluster {
     /// per-split attempt cap, with exponential backoff on the virtual clock
     /// between rounds. A worker that crashed or got blacklisted also loses
     /// its fragment result cache, like any worker-side memory.
+    #[allow(clippy::too_many_arguments)]
     fn run_scan_fragment(
         &self,
         fragment: &PlanFragment,
         splits: &[ConnectorSplit],
         connector: &Arc<dyn Connector>,
         request: &ScanRequest,
+        trace: &Trace,
+        stage: SpanId,
     ) -> Result<Vec<Page>> {
         // Pushdowns are part of the fragment identity: two queries only
         // share cached results when their pushed-down scans agree.
@@ -396,6 +452,8 @@ impl PrestoCluster {
                                 plan_fingerprint,
                                 cache,
                                 cancel,
+                                trace,
+                                stage,
                             )
                         })
                     })
@@ -440,7 +498,7 @@ impl PrestoCluster {
                                     attempts_exhausted(i, self.config.max_split_attempts, &e)
                                 });
                             } else {
-                                self.metrics.incr("cluster.split_retries");
+                                self.metrics.incr(names::CLUSTER_SPLIT_RETRIES);
                                 retry_now.push(i);
                             }
                         }
@@ -451,7 +509,7 @@ impl PrestoCluster {
                     }
                 }
                 if worker_failed_here {
-                    self.metrics.incr("cluster.worker_failures");
+                    self.metrics.incr(names::CLUSTER_WORKER_FAILURES);
                 }
                 if worker.state() == WorkerState::Crashed || worker.is_blacklisted() {
                     // a dead or quarantined worker takes its in-memory
@@ -466,6 +524,8 @@ impl PrestoCluster {
             if !pending.is_empty() {
                 // exponential backoff on the virtual clock before the next
                 // reassignment round
+                self.histograms
+                    .record(names::HIST_CLUSTER_RETRY_BACKOFF_US, backoff.as_micros() as u64);
                 self.clock.advance(backoff);
                 backoff = backoff.saturating_mul(2);
             }
@@ -504,6 +564,8 @@ impl PrestoCluster {
         plan_fingerprint: u64,
         cache: Option<FragmentResultCache>,
         cancel: &AtomicBool,
+        trace: &Trace,
+        stage: SpanId,
     ) -> Vec<(usize, Result<Vec<Page>>)> {
         let mut out = Vec::new();
         let mut crashed = false;
@@ -511,8 +573,16 @@ impl PrestoCluster {
             if cancel.load(Ordering::Relaxed) {
                 break;
             }
+            // Task spans are safe to record from worker threads: workers
+            // never advance the shared clock, so every span in a round
+            // carries the same timestamps and the digest's canonical
+            // (start, name) ordering removes thread interleaving.
+            let span = trace.begin(SpanKind::Task, format!("split[{i}]"), Some(stage));
+            trace.set_attr(span, "worker", u64::from(worker.id));
             if crashed {
                 // the node is gone; everything still queued on it is lost
+                trace.set_attr(span, "error", 1);
+                trace.end(span);
                 out.push((i, Err(worker_failed(worker.id, "crashed"))));
                 continue;
             }
@@ -522,12 +592,16 @@ impl PrestoCluster {
                     crashed = true;
                     let err = worker_failed(worker.id, "crashed (injected)");
                     self.note_task_failure(worker, &err, cancel);
+                    trace.set_attr(span, "error", 1);
+                    trace.end(span);
                     out.push((i, Err(err)));
                     continue;
                 }
                 FaultDecision::FailTask => {
                     let err = worker_failed(worker.id, "dropped the task (injected fault)");
                     self.note_task_failure(worker, &err, cancel);
+                    trace.set_attr(span, "error", 1);
+                    trace.end(span);
                     out.push((i, Err(err)));
                     continue;
                 }
@@ -542,9 +616,17 @@ impl PrestoCluster {
                 cache.as_ref(),
             );
             match &outcome {
-                Ok(_) => worker.record_task_success(),
-                Err(e) => self.note_task_failure(worker, e, cancel),
+                Ok(pages) => {
+                    worker.record_task_success();
+                    let rows: usize = pages.iter().map(|p| p.positions()).sum();
+                    trace.set_attr(span, "rows_out", rows as u64);
+                }
+                Err(e) => {
+                    self.note_task_failure(worker, e, cancel);
+                    trace.set_attr(span, "error", 1);
+                }
             }
+            trace.end(span);
             out.push((i, outcome));
         }
         out
@@ -590,7 +672,7 @@ impl PrestoCluster {
     /// is already doomed.
     fn note_task_failure(&self, worker: &Arc<Worker>, e: &PrestoError, cancel: &AtomicBool) {
         if worker.record_task_failure(self.config.blacklist_after) {
-            self.metrics.incr("cluster.blacklisted_workers");
+            self.metrics.incr(names::CLUSTER_BLACKLISTED_WORKERS);
         }
         if !(self.config.fault_recovery && e.is_retryable()) {
             cancel.store(true, Ordering::Relaxed);
@@ -920,6 +1002,53 @@ mod tests {
         let done_before = w0.completed_tasks();
         c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
         assert_eq!(w0.completed_tasks(), done_before);
+    }
+
+    #[test]
+    fn queries_record_traces_and_latency_histograms() {
+        let c = cluster();
+        let r = c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+        let spans = r.info.trace.spans();
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Query));
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Stage));
+        // one task span per split, parented under the scan stage
+        assert_eq!(spans.iter().filter(|s| s.kind == SpanKind::Task).count(), 8);
+        assert!(r.info.latency > Duration::ZERO, "the cost model advances virtual time");
+        let h = c.histograms().get(names::HIST_CLUSTER_QUERY_LATENCY_US);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), r.info.latency.as_micros() as u64);
+    }
+
+    #[test]
+    fn retry_backoff_lands_in_the_histogram() {
+        use presto_common::{FaultInjector, FaultPlan};
+        let c = cluster_with(ClusterConfig {
+            initial_workers: 3,
+            fault_injector: FaultInjector::new(7, FaultPlan::new().crash_on_task(1, 2)),
+            ..ClusterConfig::default()
+        });
+        c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+        let h = c.histograms().get(names::HIST_CLUSTER_RETRY_BACKOFF_US);
+        assert!(h.count() >= 1, "at least one backoff round ran");
+        assert!(h.min() >= c.config.retry_backoff_base.as_micros() as u64);
+    }
+
+    #[test]
+    fn same_seed_chaos_runs_produce_identical_trace_digests() {
+        use presto_common::{FaultInjector, FaultPlan};
+        let digest_of = || {
+            let c = cluster_with(ClusterConfig {
+                initial_workers: 3,
+                fault_injector: FaultInjector::new(
+                    7,
+                    FaultPlan::new().crash_on_task(1, 2).fail_task(0, 3),
+                ),
+                ..ClusterConfig::default()
+            });
+            let r = c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+            r.info.trace.digest()
+        };
+        assert_eq!(digest_of(), digest_of(), "trace digests must be bit-identical");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet, HistogramSet};
 use presto_common::{PrestoError, Result, Schema, Value};
 use presto_connectors::mysql::MySqlConnector;
 use presto_core::{QueryResult, Session};
@@ -41,6 +41,9 @@ pub struct PrestoGateway {
     routing: MySqlConnector,
     clusters: RwLock<BTreeMap<String, Arc<PrestoCluster>>>,
     metrics: CounterSet,
+    /// End-to-end submit latency as the client saw it
+    /// (`gateway.query_latency_us`), failovers included.
+    histograms: HistogramSet,
 }
 
 impl PrestoGateway {
@@ -58,6 +61,7 @@ impl PrestoGateway {
             routing,
             clusters: RwLock::new(BTreeMap::new()),
             metrics: CounterSet::new(),
+            histograms: HistogramSet::new(),
         })
     }
 
@@ -65,6 +69,11 @@ impl PrestoGateway {
     /// `gateway.retried_queries`).
     pub fn metrics(&self) -> &CounterSet {
         &self.metrics
+    }
+
+    /// Latency distributions recorded by this gateway.
+    pub fn histograms(&self) -> &HistogramSet {
+        &self.histograms
     }
 
     /// Register a cluster with the gateway.
@@ -97,7 +106,7 @@ impl PrestoGateway {
     /// maintenance fall back to the default (`*`) route, which is what makes
     /// "redirect traffic ... to guarantee no downtime" work (§VIII).
     pub fn route(&self, group: &str) -> Result<Redirect> {
-        self.metrics.incr("gateway.redirects");
+        self.metrics.incr(names::GATEWAY_REDIRECTS);
         let primary = match self.lookup_route(group)? {
             Some(c) => c,
             None => self.lookup_route(DEFAULT_GROUP)?.ok_or_else(|| {
@@ -111,7 +120,7 @@ impl PrestoGateway {
         }
         // primary down/draining (or the route names a cluster that was
         // never registered): re-route to the shared default
-        self.metrics.incr("gateway.rerouted_maintenance");
+        self.metrics.incr(names::GATEWAY_REROUTED_MAINTENANCE);
         let fallback = self.lookup_route(DEFAULT_GROUP)?.ok_or_else(|| {
             PrestoError::Execution(format!("cluster '{primary}' unavailable and no default route"))
         })?;
@@ -141,16 +150,23 @@ impl PrestoGateway {
     pub fn submit(&self, group: &str, sql: &str, session: &Session) -> Result<QueryResult> {
         let redirect = self.route(group)?;
         let cluster = self.cluster_named(&redirect.cluster)?;
-        match cluster.execute(sql, session) {
+        let result = match cluster.execute(sql, session) {
             Err(e) if e.is_retryable() => {
                 let Some(fallback) = self.failover_target(&redirect.cluster) else {
                     return Err(e);
                 };
-                self.metrics.incr("gateway.retried_queries");
+                self.metrics.incr(names::GATEWAY_RETRIED_QUERIES);
                 fallback.execute(sql, session)
             }
             other => other,
+        };
+        if let Ok(ok) = &result {
+            // failover is part of what the client waited through, so the
+            // winning attempt's latency stands in for the whole submit
+            self.histograms
+                .record(names::HIST_GATEWAY_QUERY_LATENCY_US, ok.info.latency.as_micros() as u64);
         }
+        result
     }
 
     fn cluster_named(&self, name: &str) -> Result<Arc<PrestoCluster>> {
@@ -301,6 +317,17 @@ mod tests {
         assert_eq!(dedicated.metrics().get("cluster.queries_failed"), 1);
         // the routing layer was never involved in the failover
         assert_eq!(gateway.metrics().get("gateway.rerouted_maintenance"), 0);
+    }
+
+    #[test]
+    fn submit_records_end_to_end_latency() {
+        let (gateway, _, _) = gateway_with_clusters();
+        let session = Session::new("tpch", "tiny");
+        gateway.submit("ads", "SELECT count(*) FROM lineitem", &session).unwrap();
+        gateway.submit("ads", "SELECT count(*) FROM lineitem", &session).unwrap();
+        let h = gateway.histograms().get(names::HIST_GATEWAY_QUERY_LATENCY_US);
+        assert_eq!(h.count(), 2);
+        assert!(h.max() > 0);
     }
 
     #[test]

@@ -19,9 +19,13 @@
 //! - [`clock::SimClock`] — a virtual clock used by the storage and cluster
 //!   simulators so latency experiments are deterministic.
 //! - [`metrics::CounterSet`] — named counters used to report call-count
-//!   results (e.g. §VII's "listFiles calls reduced to less than 40%").
+//!   results (e.g. §VII's "listFiles calls reduced to less than 40%"), plus
+//!   log-bucketed [`metrics::Histogram`]s for latency distributions.
 //! - [`fault::FaultInjector`] — seeded, declarative fault injection so the
 //!   cluster's crash-recovery paths replay deterministically.
+//! - [`trace::Trace`] — hierarchical virtual-time spans (query → stage →
+//!   task → operator) with a seed-deterministic digest, backing
+//!   `EXPLAIN ANALYZE` and the chaos suite's determinism check.
 
 pub mod block;
 pub mod clock;
@@ -30,6 +34,7 @@ pub mod fault;
 pub mod ids;
 pub mod metrics;
 pub mod page;
+pub mod trace;
 pub mod types;
 pub mod value;
 
@@ -37,6 +42,8 @@ pub use block::Block;
 pub use clock::SimClock;
 pub use error::{PrestoError, Result};
 pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultSpec};
+pub use metrics::{CounterSet, Histogram, HistogramSet};
 pub use page::Page;
+pub use trace::{OperatorStats, Span, SpanId, SpanKind, Trace};
 pub use types::{DataType, Field, Schema};
 pub use value::Value;

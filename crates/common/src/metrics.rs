@@ -1,15 +1,80 @@
-//! Named counters for reporting call-count experiments.
+//! Named counters and latency histograms for reporting experiments.
 //!
 //! Several of the paper's results are expressed as call-count reductions
 //! ("overall listFile calls is reduced to less than 40%", "almost 90% of
 //! getFileInfo calls could be reduced", §VII). Simulators increment counters
-//! here; experiments snapshot and compare them.
+//! here; experiments snapshot and compare them. The latency CDFs and
+//! crossover plots (§V, §VI) need distributions rather than counts, so
+//! [`Histogram`] keeps log-bucketed samples with `p(q)` quantile queries.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+
+/// Canonical counter and histogram names.
+///
+/// Every counter recorded by a library crate lives here, so a typo'd name
+/// becomes a compile error instead of a counter that silently reads 0.
+pub mod names {
+    /// Connector splits scheduled by the local executor.
+    pub const EXEC_SPLITS: &str = "exec.splits";
+    /// Rows produced by table scans.
+    pub const EXEC_ROWS_SCANNED: &str = "exec.rows_scanned";
+    /// Fences loaded into the geospatial QuadTree index.
+    pub const EXEC_GEO_INDEX_FENCES: &str = "exec.geo_index_fences";
+    /// `st_contains` evaluations performed by the geo join.
+    pub const EXEC_GEO_CONTAINS_CALLS: &str = "exec.geo_contains_calls";
+
+    /// Spill files written by blocking operators.
+    pub const SPILL_FILES: &str = "spill.files";
+    /// Bytes written to spill storage.
+    pub const SPILL_BYTES_WRITTEN: &str = "spill.bytes_written";
+    /// Peak bytes reserved by a query against its memory pool.
+    pub const MEMORY_RESERVED_PEAK: &str = "memory.reserved_peak";
+
+    /// Queries that had to wait in the admission queue (0/1 per query).
+    pub const ADMISSION_QUEUED: &str = "admission.queued";
+    /// Virtual milliseconds a query waited for admission.
+    pub const ADMISSION_WAIT_VIRTUAL_MS: &str = "admission.wait_virtual_ms";
+
+    /// Queries a cluster started.
+    pub const CLUSTER_QUERIES: &str = "cluster.queries";
+    /// Distinct scan tasks (splits) a cluster scheduled.
+    pub const CLUSTER_TASKS: &str = "cluster.tasks";
+    /// Queries that started and then died.
+    pub const CLUSTER_QUERIES_FAILED: &str = "cluster.queries_failed";
+    /// Queries refused at the door (maintenance drain, full queue).
+    pub const CLUSTER_QUERIES_REJECTED: &str = "cluster.queries_rejected";
+    /// Scheduling rounds in which a worker failed at least one task.
+    pub const CLUSTER_WORKER_FAILURES: &str = "cluster.worker_failures";
+    /// Splits reassigned to surviving workers after retryable failures.
+    pub const CLUSTER_SPLIT_RETRIES: &str = "cluster.split_retries";
+    /// Workers quarantined by the consecutive-failure blacklist.
+    pub const CLUSTER_BLACKLISTED_WORKERS: &str = "cluster.blacklisted_workers";
+
+    /// Redirects the federation gateway resolved.
+    pub const GATEWAY_REDIRECTS: &str = "gateway.redirects";
+    /// Redirects that fell back because the primary cluster was draining.
+    pub const GATEWAY_REROUTED_MAINTENANCE: &str = "gateway.rerouted_maintenance";
+    /// Queries the gateway failed over to a healthy sibling cluster.
+    pub const GATEWAY_RETRIED_QUERIES: &str = "gateway.retried_queries";
+
+    /// Fragment-result-cache hits.
+    pub const FRC_HITS: &str = "frc.hits";
+    /// Fragment-result-cache misses.
+    pub const FRC_MISSES: &str = "frc.misses";
+
+    /// Histogram: end-to-end virtual query latency on a cluster, in µs.
+    pub const HIST_CLUSTER_QUERY_LATENCY_US: &str = "cluster.query_latency_us";
+    /// Histogram: virtual backoff waited between split retry rounds, in µs.
+    pub const HIST_CLUSTER_RETRY_BACKOFF_US: &str = "cluster.retry_backoff_us";
+    /// Histogram: virtual milliseconds queries waited for admission.
+    pub const HIST_ADMISSION_QUEUE_WAIT_MS: &str = "admission.queue_wait_ms";
+    /// Histogram: end-to-end virtual latency of gateway-submitted queries, µs.
+    pub const HIST_GATEWAY_QUERY_LATENCY_US: &str = "gateway.query_latency_us";
+}
 
 /// A set of named, thread-safe monotonically increasing counters.
 ///
@@ -54,10 +119,170 @@ impl CounterSet {
     }
 
     /// Reset every counter to zero (between experiment phases).
+    ///
+    /// Keeps the counter names registered; a later [`CounterSet::snapshot`]
+    /// still lists them at value 0. Use [`CounterSet::clear`] to also drop
+    /// the names so a new phase's snapshot doesn't carry stale keys.
     pub fn reset(&self) {
         for c in self.counters.read().values() {
             c.store(0, Ordering::Relaxed);
         }
+    }
+
+    /// Drop every counter, names included.
+    ///
+    /// Unlike [`CounterSet::reset`], a subsequent snapshot is empty until
+    /// new counters are recorded — use this between experiment phases so
+    /// phase-B reports don't inherit phase-A keys.
+    pub fn clear(&self) {
+        self.counters.write().clear();
+    }
+}
+
+/// A log₂-bucketed latency/size histogram with quantile queries.
+///
+/// Values land in bucket `⌈log₂(v+1)⌉`: bucket 0 holds the value 0 and
+/// bucket `i ≥ 1` covers `[2^(i-1), 2^i − 1]`. Quantiles are answered to
+/// within one bucket (≤ 2× relative error), clamped to the observed
+/// min/max so `p(0) == min` and `p(1) == max` exactly. Merging two
+/// histograms adds buckets element-wise, which makes `merge` commutative
+/// and associative — safe to combine per-worker histograms in any order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, min: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// New, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Histogram::bucket_index(value)] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded observations, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Quantile estimate for `q ∈ [0, 1]`.
+    ///
+    /// Returns the inclusive upper bound of the bucket containing the
+    /// rank-`⌈q·count⌉` observation, clamped to `[min, max]`; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket i: 0 for bucket 0, else 2^i − 1.
+                let upper = if i == 0 { 0 } else { (1u64 << (i - 1)).saturating_mul(2) - 1 };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one (element-wise bucket add).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// A set of named, shared histograms. Cloning shares the underlying data.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSet {
+    inner: Arc<RwLock<BTreeMap<String, Histogram>>>,
+}
+
+impl HistogramSet {
+    /// New, empty histogram set.
+    pub fn new() -> HistogramSet {
+        HistogramSet::default()
+    }
+
+    /// Record one observation under `name`.
+    pub fn record(&self, name: &str, value: u64) {
+        self.inner.write().entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Copy of the histogram for `name` (empty if never recorded).
+    pub fn get(&self, name: &str) -> Histogram {
+        self.inner.read().get(name).cloned().unwrap_or_default()
+    }
+
+    /// Snapshot of all histograms.
+    pub fn snapshot(&self) -> BTreeMap<String, Histogram> {
+        self.inner.read().clone()
+    }
+
+    /// Drop every histogram, names included.
+    pub fn clear(&self) {
+        self.inner.write().clear();
     }
 }
 
@@ -86,6 +311,63 @@ mod tests {
         assert_eq!(m.get("x"), 1);
         m.reset();
         assert_eq!(alias.get("x"), 0);
+    }
+
+    #[test]
+    fn clear_drops_stale_names_while_reset_keeps_them() {
+        let m = CounterSet::new();
+        m.incr("phase_a.calls");
+        m.reset();
+        assert!(m.snapshot().contains_key("phase_a.calls"));
+        m.clear();
+        assert!(m.snapshot().is_empty());
+        m.incr("phase_b.calls");
+        assert_eq!(m.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        // Any quantile lies within [min, max] and within 2× of a real value.
+        let p50 = h.quantile(0.5);
+        assert!((1..=7).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn histogram_merge_matches_bulk_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [5u64, 9, 12] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 1 << 40] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn histogram_set_shares_state() {
+        let set = HistogramSet::new();
+        let alias = set.clone();
+        alias.record("lat", 10);
+        alias.record("lat", 20);
+        assert_eq!(set.get("lat").count(), 2);
+        assert_eq!(set.snapshot().len(), 1);
+        set.clear();
+        assert!(set.snapshot().is_empty());
     }
 
     #[test]

@@ -7,18 +7,46 @@
 //! [`presto_plan::fragment_plan`] to run fragments on simulated workers.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use presto_common::metrics::CounterSet;
+use presto_common::clock::SimStopwatch;
+use presto_common::metrics::{names, CounterSet};
+use presto_common::trace::{OperatorStats, SpanId, SpanKind, Trace};
 use presto_common::{Page, PrestoError, Result, Schema, Value};
 use presto_connectors::{CatalogRegistry, Connector};
 use presto_exec::{execute, ExecutionContext};
 use presto_expr::{Evaluator, FunctionRegistry};
-use presto_plan::{explain, fragment_plan, optimize, LogicalPlan, PlanFragment};
+use presto_plan::{explain, explain_analyze, fragment_plan, optimize, LogicalPlan, PlanFragment};
 use presto_resource::{QueryPool, ResourceManager, SpillManager};
 use presto_sql::{analyze, parse_sql, AnalyzerContext, Statement};
 
 use crate::plugin::register_geospatial_plugin;
 use crate::session::Session;
+
+/// Observability record of one executed query: its trace, end-to-end
+/// virtual latency, and peak memory — the repro of Presto's `QueryInfo`.
+#[derive(Debug, Clone)]
+pub struct QueryInfo {
+    /// The query's span tree (query → operator; the cluster runtime adds
+    /// stage and task levels).
+    pub trace: Trace,
+    /// End-to-end virtual latency.
+    pub latency: Duration,
+    /// Peak bytes reserved against the query's memory pool.
+    pub peak_memory: usize,
+}
+
+impl QueryInfo {
+    /// An empty record (plans that never executed, e.g. plain `EXPLAIN`).
+    pub fn empty() -> QueryInfo {
+        QueryInfo { trace: Trace::default(), latency: Duration::ZERO, peak_memory: 0 }
+    }
+
+    /// Per-operator runtime stats in plan pre-order.
+    pub fn operator_stats(&self) -> Vec<OperatorStats> {
+        self.trace.operator_stats()
+    }
+}
 
 /// A completed query's output.
 #[derive(Debug, Clone)]
@@ -31,6 +59,8 @@ pub struct QueryResult {
     /// `spill.files`, `admission.queued`, `admission.wait_virtual_ms`, plus
     /// the executor's `exec.*` counters.
     pub metrics: CounterSet,
+    /// Trace, latency, and memory observability for this query.
+    pub info: QueryInfo,
 }
 
 impl QueryResult {
@@ -59,6 +89,14 @@ impl QueryResult {
         }
         out
     }
+}
+
+/// One-column varchar result carrying rendered plan text (EXPLAIN variants).
+fn plan_text_result(text: String, metrics: CounterSet, info: QueryInfo) -> Result<QueryResult> {
+    let schema =
+        Schema::new(vec![presto_common::Field::new("plan", presto_common::DataType::Varchar)])?;
+    let block = presto_common::Block::varchar(&[text.as_str()]);
+    Ok(QueryResult { schema, pages: vec![Page::new(vec![block])?], metrics, info })
 }
 
 /// The engine: catalogs + functions + optimizer + executor.
@@ -151,7 +189,7 @@ impl PrestoEngine {
     pub fn plan(&self, sql: &str, session: &Session) -> Result<LogicalPlan> {
         let statement = parse_sql(sql)?;
         let query = match &statement {
-            Statement::Query(q) | Statement::Explain(q) => q,
+            Statement::Query(q) | Statement::Explain(q) | Statement::ExplainAnalyze(q) => q,
         };
         let analyzer_ctx = AnalyzerContext {
             catalogs: self.catalogs.clone(),
@@ -183,27 +221,44 @@ impl PrestoEngine {
         let statement = parse_sql(sql)?;
         if let Statement::Explain(_) = statement {
             let text = self.explain(sql, session)?;
-            let schema = Schema::new(vec![presto_common::Field::new(
-                "plan",
-                presto_common::DataType::Varchar,
-            )])?;
-            let block = presto_common::Block::varchar(&[text.as_str()]);
-            return Ok(QueryResult {
-                schema,
-                pages: vec![Page::new(vec![block])?],
-                metrics: CounterSet::new(),
-            });
+            return plan_text_result(text, CounterSet::new(), QueryInfo::empty());
         }
         let plan = self.plan(sql, session)?;
-        let schema = plan.output_schema()?;
         let metrics = CounterSet::new();
         let _permit =
             self.resources.admission().admit(&session.user, session.priority, &metrics)?;
-        let (ctx, pool) = self.execution_context(session, &metrics);
-        let result = execute(&plan, &ctx);
-        metrics.add("memory.reserved_peak", pool.peak() as u64);
+        let (result, info) = self.run_plan_traced(&plan, session, &metrics);
+        if let Statement::ExplainAnalyze(_) = statement {
+            // EXPLAIN ANALYZE runs the query, then reports the plan tree
+            // annotated with the operator stats the trace collected.
+            result?;
+            let text = explain_analyze(&plan, &info.operator_stats());
+            return plan_text_result(text, metrics, info);
+        }
+        let schema = plan.output_schema()?;
+        Ok(QueryResult { schema, pages: result?, metrics, info })
+    }
+
+    /// Execute an optimized plan under a fresh query span, timing it against
+    /// the engine's virtual clock. Returns the execution outcome alongside
+    /// the [`QueryInfo`] (populated even on failure, for postmortems).
+    fn run_plan_traced(
+        &self,
+        plan: &LogicalPlan,
+        session: &Session,
+        metrics: &CounterSet,
+    ) -> (Result<Vec<Page>>, QueryInfo) {
+        let trace = Trace::new(self.resources.clock().clone());
+        let root = trace.begin(SpanKind::Query, "query", None);
+        let watch = SimStopwatch::start(trace.clock());
+        let (ctx, pool) = self.execution_context(session, metrics);
+        let ctx = ctx.with_trace(trace.clone(), Some(root));
+        let result = execute(plan, &ctx);
+        metrics.add(names::MEMORY_RESERVED_PEAK, pool.peak() as u64);
         debug_assert_eq!(pool.reserved(), 0, "query left memory reserved after completion");
-        Ok(QueryResult { schema, pages: result?, metrics })
+        trace.end(root);
+        let info = QueryInfo { trace, latency: watch.elapsed(), peak_memory: pool.peak() };
+        (result, info)
     }
 
     /// Build a per-query execution context: a fresh query slice of the
@@ -251,12 +306,39 @@ impl PrestoEngine {
         session: &Session,
         metrics: &CounterSet,
     ) -> Result<Vec<Page>> {
+        // A private trace: worker-side fragment runs must not advance the
+        // shared virtual clock (concurrent advances would make span
+        // timestamps — and therefore trace digests — interleaving-dependent).
+        self.execute_fragment_traced(
+            fragment,
+            remote_inputs,
+            session,
+            metrics,
+            &Trace::default(),
+            None,
+        )
+    }
+
+    /// As [`PrestoEngine::execute_fragment_with_metrics`], recording the
+    /// fragment's operator spans into `trace` under `parent`. Only safe from
+    /// a single thread per trace clock — the cluster runtime uses this for
+    /// the coordinator-side root fragment.
+    pub fn execute_fragment_traced(
+        &self,
+        fragment: &PlanFragment,
+        remote_inputs: Vec<(u32, Vec<Page>)>,
+        session: &Session,
+        metrics: &CounterSet,
+        trace: &Trace,
+        parent: Option<SpanId>,
+    ) -> Result<Vec<Page>> {
         let (mut ctx, pool) = self.execution_context(session, metrics);
         for (id, pages) in remote_inputs {
             ctx.bind_remote_source(id, pages);
         }
+        let ctx = ctx.with_trace(trace.clone(), parent);
         let result = execute(&fragment.plan, &ctx);
-        metrics.add("memory.reserved_peak", pool.peak() as u64);
+        metrics.add(names::MEMORY_RESERVED_PEAK, pool.peak() as u64);
         debug_assert_eq!(pool.reserved(), 0, "fragment left memory reserved after completion");
         result
     }
@@ -402,6 +484,42 @@ mod tests {
         assert!(text.contains("TableScan"), "{text}");
         assert!(text.contains("predicate"), "{text}");
         assert!(text.contains("nested pruning"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_annotates_operators() {
+        let engine = engine_with_data();
+        let result = engine
+            .execute(
+                "EXPLAIN ANALYZE SELECT datestr, count(*) FROM trips \
+                 GROUP BY 1 ORDER BY 1",
+            )
+            .unwrap();
+        let text = result.rows()[0][0].to_string();
+        assert!(text.contains("TableScan"), "{text}");
+        assert!(text.contains("rows:"), "{text}");
+        assert!(text.contains("busy:"), "{text}");
+        assert!(text.contains("peak:"), "{text}");
+        assert!(text.contains("spilled:"), "{text}");
+        // every line of the tree carries an annotation: the whole plan ran
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            assert!(line.contains('{'), "unannotated operator: {line}");
+        }
+        assert!(!result.info.trace.is_empty());
+    }
+
+    #[test]
+    fn query_info_records_trace_and_latency() {
+        let engine = engine_with_data();
+        let result = engine.execute("SELECT count(*) FROM trips").unwrap();
+        let stats = result.info.operator_stats();
+        assert!(!stats.is_empty());
+        let scan = stats.iter().find(|s| s.name.starts_with("TableScan")).unwrap();
+        assert_eq!(scan.rows_in, 20);
+        assert!(result.info.latency > Duration::ZERO);
+        // same query, same engine state ⇒ same trace shape
+        let again = engine.execute("SELECT count(*) FROM trips").unwrap();
+        assert_eq!(result.info.trace.len(), again.info.trace.len());
     }
 
     #[test]

@@ -13,5 +13,5 @@ pub mod engine;
 pub mod plugin;
 pub mod session;
 
-pub use engine::{PrestoEngine, QueryResult};
+pub use engine::{PrestoEngine, QueryInfo, QueryResult};
 pub use session::Session;

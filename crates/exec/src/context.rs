@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use presto_common::metrics::CounterSet;
+use presto_common::trace::{SpanId, Trace};
 use presto_common::{Page, Result};
 use presto_connectors::CatalogRegistry;
 use presto_expr::{Evaluator, FunctionRegistry};
@@ -31,6 +32,13 @@ pub struct ExecutionContext {
     /// Spill manager for blocking operators; `None` disables spilling (the
     /// operator fails with `"Insufficient Resource"` instead).
     pub spill: Option<Arc<SpillManager>>,
+    /// Trace collecting operator spans for this execution. Standalone
+    /// contexts get a private trace on a private clock; the engine and
+    /// cluster install the query's shared trace instead.
+    pub trace: Trace,
+    /// Parent span for operator spans opened by the executor — the task or
+    /// query span this fragment runs under.
+    pub root_span: Option<SpanId>,
 }
 
 impl ExecutionContext {
@@ -52,7 +60,16 @@ impl ExecutionContext {
             metrics: CounterSet::new(),
             pool: MemoryPool::unbounded().register_query(None),
             spill: None,
+            trace: Trace::default(),
+            root_span: None,
         }
+    }
+
+    /// Install the query's shared trace; executor spans nest under `parent`.
+    pub fn with_trace(mut self, trace: Trace, parent: Option<SpanId>) -> ExecutionContext {
+        self.trace = trace;
+        self.root_span = parent;
+        self
     }
 
     /// Set the memory budget (standalone contexts: re-registers this query

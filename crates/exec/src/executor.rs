@@ -10,7 +10,10 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::time::Duration;
 
+use presto_common::metrics::names;
+use presto_common::trace::{SpanId, SpanKind};
 use presto_common::{Block, Page, PrestoError, Result, Value};
 use presto_expr::{Accumulator, AggregateFunction, RowExpression};
 use presto_geo::index::GeofenceIndex;
@@ -21,6 +24,14 @@ use crate::context::ExecutionContext;
 
 /// Fan-out of Grace partitioning when an operator spills.
 const SPILL_PARTITIONS: usize = 8;
+
+/// Virtual nanoseconds charged per operator invocation. The executor is the
+/// only simulator of CPU work, so it advances the trace's clock by a simple
+/// rows-processed cost model — this is what makes operator busy times and
+/// query-latency histograms non-zero *and* seed-deterministic.
+const OP_BASE_NANOS: u64 = 1_000;
+/// Virtual nanoseconds charged per output row.
+const OP_ROW_NANOS: u64 = 100;
 
 fn is_insufficient(e: &PrestoError) -> bool {
     matches!(e, PrestoError::InsufficientResources(_))
@@ -40,24 +51,72 @@ fn spill_manager(ctx: &ExecutionContext) -> Result<std::sync::Arc<presto_resourc
 }
 
 /// Execute a plan to completion, returning its output pages.
+///
+/// Every plan node gets an operator span in `ctx.trace`, nested under
+/// `ctx.root_span`, annotated with rows/bytes/pages out, peak memory growth,
+/// and spill bytes — the raw material of `EXPLAIN ANALYZE`.
 pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> {
+    execute_traced(plan, ctx, ctx.root_span)
+}
+
+fn execute_traced(
+    plan: &LogicalPlan,
+    ctx: &ExecutionContext,
+    parent: Option<SpanId>,
+) -> Result<Vec<Page>> {
     // An OOM-arbiter victim unwinds at the next operator boundary, freeing
     // its reservations for the queries that were starved.
     ctx.pool.check_killed()?;
+    let span = ctx.trace.begin(SpanKind::Operator, plan.label(), parent);
+    let spill_before = ctx.metrics.get(names::SPILL_BYTES_WRITTEN);
+    let peak_before = ctx.pool.peak();
+    match execute_node(plan, ctx, span) {
+        Ok(pages) => {
+            let rows_out: u64 = pages.iter().map(|p| p.positions() as u64).sum();
+            let bytes_out: u64 = pages.iter().map(|p| p.memory_size() as u64).sum();
+            ctx.trace.set_attr(span, "rows_out", rows_out);
+            ctx.trace.set_attr(span, "bytes_out", bytes_out);
+            ctx.trace.set_attr(span, "pages_out", pages.len() as u64);
+            if ctx.trace.attr(span, "rows_in").is_none() {
+                let from_children = ctx.trace.child_attr_sum(span, "rows_out");
+                ctx.trace.set_attr(span, "rows_in", from_children);
+            }
+            let spilled = ctx.metrics.get(names::SPILL_BYTES_WRITTEN) - spill_before;
+            ctx.trace.set_attr(span, "spill_bytes", spilled);
+            let peak_growth = ctx.pool.peak().saturating_sub(peak_before);
+            ctx.trace.set_attr(span, "peak_memory", peak_growth as u64);
+            let cost = OP_BASE_NANOS + OP_ROW_NANOS.saturating_mul(rows_out);
+            ctx.trace.clock().advance(Duration::from_nanos(cost));
+            ctx.trace.end(span);
+            Ok(pages)
+        }
+        Err(e) => {
+            ctx.trace.set_attr(span, "error", 1);
+            ctx.trace.end(span);
+            Err(e)
+        }
+    }
+}
+
+fn execute_node(plan: &LogicalPlan, ctx: &ExecutionContext, span: SpanId) -> Result<Vec<Page>> {
     match plan {
         LogicalPlan::TableScan { catalog, schema, table, request, .. } => {
             let connector = ctx.catalogs.get(catalog)?;
             let splits = connector.splits(schema, table, request)?;
-            ctx.metrics.add("exec.splits", splits.len() as u64);
+            ctx.metrics.add(names::EXEC_SPLITS, splits.len() as u64);
+            ctx.trace.set_attr(span, "splits", splits.len() as u64);
             let mut pages = Vec::new();
+            let mut scanned = 0u64;
             for split in &splits {
                 for page in connector.scan_split(split, request)? {
-                    ctx.metrics.add("exec.rows_scanned", page.positions() as u64);
+                    scanned += page.positions() as u64;
                     if !page.is_empty() {
                         pages.push(page);
                     }
                 }
             }
+            ctx.metrics.add(names::EXEC_ROWS_SCANNED, scanned);
+            ctx.trace.set_attr(span, "rows_in", scanned);
             Ok(pages)
         }
         LogicalPlan::Values { schema, rows } => {
@@ -76,7 +135,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> 
             }])
         }
         LogicalPlan::Filter { input, predicate } => {
-            let pages = execute(input, ctx)?;
+            let pages = execute_traced(input, ctx, Some(span))?;
             let mut out = Vec::with_capacity(pages.len());
             for page in pages {
                 let mask_block = ctx.evaluator.evaluate(predicate, &page)?;
@@ -91,7 +150,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> 
             Ok(out)
         }
         LogicalPlan::Project { input, expressions } => {
-            let pages = execute(input, ctx)?;
+            let pages = execute_traced(input, ctx, Some(span))?;
             let mut out = Vec::with_capacity(pages.len());
             for page in pages {
                 let mut blocks = Vec::with_capacity(expressions.len());
@@ -107,23 +166,23 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> 
             Ok(out)
         }
         LogicalPlan::Aggregate { input, group_by, aggregates, step } => {
-            execute_aggregate(input, group_by, aggregates, *step, plan, ctx)
+            execute_aggregate(input, group_by, aggregates, *step, plan, ctx, span)
         }
         LogicalPlan::Join { left, right, kind, on, residual } => {
-            execute_join(left, right, *kind, on, residual.as_ref(), ctx)
+            execute_join(left, right, *kind, on, residual.as_ref(), ctx, span)
         }
         LogicalPlan::GeoJoin { probe, fences, probe_lng, probe_lat, fence_shape } => {
-            execute_geo_join(probe, fences, probe_lng, probe_lat, fence_shape, ctx)
+            execute_geo_join(probe, fences, probe_lng, probe_lat, fence_shape, ctx, span)
         }
         LogicalPlan::Sort { input, keys } => {
-            let (page, indices) = sorted_indices(input, keys, ctx)?;
+            let (page, indices) = sorted_indices(input, keys, ctx, span)?;
             Ok(match page {
                 Some(p) => vec![p.take(&indices)],
                 None => Vec::new(),
             })
         }
         LogicalPlan::TopN { input, keys, count } => {
-            let (page, mut indices) = sorted_indices(input, keys, ctx)?;
+            let (page, mut indices) = sorted_indices(input, keys, ctx, span)?;
             indices.truncate(*count);
             Ok(match page {
                 Some(p) => vec![p.take(&indices)],
@@ -131,7 +190,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> 
             })
         }
         LogicalPlan::Limit { input, count } => {
-            let pages = execute(input, ctx)?;
+            let pages = execute_traced(input, ctx, Some(span))?;
             let mut out = Vec::new();
             let mut kept = 0;
             for page in pages {
@@ -144,11 +203,11 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> 
             }
             Ok(out)
         }
-        LogicalPlan::Output { input, .. } => execute(input, ctx),
+        LogicalPlan::Output { input, .. } => execute_traced(input, ctx, Some(span)),
         LogicalPlan::Union { inputs } => {
             let mut out = Vec::new();
             for input in inputs {
-                out.extend(execute(input, ctx)?);
+                out.extend(execute_traced(input, ctx, Some(span))?);
             }
             Ok(out)
         }
@@ -162,6 +221,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<Vec<Page>> 
 
 // ------------------------------------------------------------- aggregation
 
+#[allow(clippy::too_many_arguments)]
 fn execute_aggregate(
     input: &LogicalPlan,
     group_by: &[RowExpression],
@@ -169,8 +229,9 @@ fn execute_aggregate(
     step: AggregateStep,
     plan: &LogicalPlan,
     ctx: &ExecutionContext,
+    span: SpanId,
 ) -> Result<Vec<Page>> {
-    let pages = execute(input, ctx)?;
+    let pages = execute_traced(input, ctx, Some(span))?;
     let rows = match aggregate_rows(&pages, group_by, aggregates, step, ctx) {
         Ok(rows) => rows,
         // Grace fallback needs equi keys to partition on and columns to
@@ -316,6 +377,7 @@ fn emit_aggregate_rows(mut rows: Vec<Vec<Value>>, plan: &LogicalPlan) -> Result<
 
 // -------------------------------------------------------------------- join
 
+#[allow(clippy::too_many_arguments)]
 fn execute_join(
     left: &LogicalPlan,
     right: &LogicalPlan,
@@ -323,9 +385,10 @@ fn execute_join(
     on: &[(RowExpression, RowExpression)],
     residual: Option<&RowExpression>,
     ctx: &ExecutionContext,
+    span: SpanId,
 ) -> Result<Vec<Page>> {
-    let left_pages = execute(left, ctx)?;
-    let right_pages = execute(right, ctx)?;
+    let left_pages = execute_traced(left, ctx, Some(span))?;
+    let right_pages = execute_traced(right, ctx, Some(span))?;
     // Build side: the right input, materialized (distributed hash join is
     // the production default, §XII.A).
     let build = match right_pages.len() {
@@ -654,6 +717,7 @@ fn stitch_nullable(
 
 // ---------------------------------------------------------------- geo join
 
+#[allow(clippy::too_many_arguments)]
 fn execute_geo_join(
     probe: &LogicalPlan,
     fences: &LogicalPlan,
@@ -661,10 +725,11 @@ fn execute_geo_join(
     probe_lat: &RowExpression,
     fence_shape: &RowExpression,
     ctx: &ExecutionContext,
+    span: SpanId,
 ) -> Result<Vec<Page>> {
     // build_geo_index (§VI.E): consume the fence side, parse WKT shapes,
     // build the QuadTree on the fly.
-    let fence_pages = execute(fences, ctx)?;
+    let fence_pages = execute_traced(fences, ctx, Some(span))?;
     let fence_page = match fence_pages.len() {
         0 => empty_page(&fences.output_schema()?)?,
         _ => Page::concat(&fence_pages)?,
@@ -680,9 +745,9 @@ fn execute_geo_join(
         }
     }
     let index = GeofenceIndex::build_from_wkt(rows_with_shapes)?;
-    ctx.metrics.add("exec.geo_index_fences", index.len() as u64);
+    ctx.metrics.add(names::EXEC_GEO_INDEX_FENCES, index.len() as u64);
 
-    let probe_pages = execute(probe, ctx)?;
+    let probe_pages = execute_traced(probe, ctx, Some(span))?;
     let mut out = Vec::new();
     for page in &probe_pages {
         let lng = ctx.evaluator.evaluate(probe_lng, page)?;
@@ -698,7 +763,7 @@ fn execute_geo_join(
                 fence_idx.push(fence_row as usize);
             }
         }
-        ctx.metrics.add("exec.geo_contains_calls", index.contains_calls());
+        ctx.metrics.add(names::EXEC_GEO_CONTAINS_CALLS, index.contains_calls());
         let stitched = stitch(page, &probe_idx, &fence_page, &fence_idx)?;
         if !stitched.is_empty() {
             out.push(stitched);
@@ -713,8 +778,9 @@ fn sorted_indices(
     input: &LogicalPlan,
     keys: &[SortKey],
     ctx: &ExecutionContext,
+    span: SpanId,
 ) -> Result<(Option<Page>, Vec<usize>)> {
-    let pages = execute(input, ctx)?;
+    let pages = execute_traced(input, ctx, Some(span))?;
     if pages.is_empty() {
         return Ok((None, Vec::new()));
     }

@@ -1,5 +1,11 @@
 //! EXPLAIN-style plan rendering — how the Fig 2 / Fig 13 plan-shape claims
-//! are demonstrated in examples and tests.
+//! are demonstrated in examples and tests. `EXPLAIN ANALYZE` reuses the same
+//! tree shape, annotated with the [`OperatorStats`] the executor traced.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use presto_common::trace::OperatorStats;
 
 use crate::logical::LogicalPlan;
 
@@ -21,6 +27,55 @@ fn render(plan: &LogicalPlan, depth: usize, out: &mut String) {
     }
 }
 
+/// Render a plan tree annotated with per-operator runtime stats.
+///
+/// `stats` are the operator spans of the query's trace; each plan node is
+/// matched to a span by its label. A node may execute its children in a
+/// different order than [`LogicalPlan::children`] lists them (the geo join
+/// builds its fence index before running the probe side), so matching is by
+/// per-label FIFO queue rather than tree position. Nodes with no matching
+/// span (e.g. pruned or never-executed subtrees) render without an
+/// annotation.
+pub fn explain_analyze(plan: &LogicalPlan, stats: &[OperatorStats]) -> String {
+    let mut by_label: HashMap<&str, VecDeque<&OperatorStats>> = HashMap::new();
+    for s in stats {
+        by_label.entry(s.name.as_str()).or_default().push_back(s);
+    }
+    let mut out = String::new();
+    render_analyzed(plan, 0, &mut by_label, &mut out);
+    out
+}
+
+fn render_analyzed(
+    plan: &LogicalPlan,
+    depth: usize,
+    by_label: &mut HashMap<&str, VecDeque<&OperatorStats>>,
+    out: &mut String,
+) {
+    let label = plan.label();
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(&label);
+    if let Some(s) = by_label.get_mut(label.as_str()).and_then(VecDeque::pop_front) {
+        let _ = write!(
+            out,
+            "  {{rows: {} in, {} out, bytes: {}, pages: {}, busy: {}µs, peak: {} B, spilled: {} B}}",
+            s.rows_in,
+            s.rows_out,
+            s.bytes_out,
+            s.pages_out,
+            s.busy.as_micros(),
+            s.peak_memory,
+            s.spill_bytes
+        );
+    }
+    out.push('\n');
+    for child in plan.children() {
+        render_analyzed(child, depth + 1, by_label, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,6 +92,32 @@ mod tests {
         };
         let text = explain(&plan);
         assert!(text.starts_with("Limit[5]\n"));
+        assert!(text.contains("\n  Values[0 rows]\n"));
+    }
+
+    #[test]
+    fn analyze_annotates_matching_nodes() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Values {
+                schema: Schema::new(vec![Field::new("x", DataType::Bigint)]).unwrap(),
+                rows: vec![],
+            }),
+            count: 5,
+        };
+        let stats = vec![OperatorStats {
+            name: "Limit[5]".into(),
+            rows_in: 10,
+            rows_out: 5,
+            bytes_out: 40,
+            pages_out: 1,
+            busy: std::time::Duration::from_micros(12),
+            peak_memory: 0,
+            spill_bytes: 0,
+        }];
+        let text = explain_analyze(&plan, &stats);
+        assert!(text.contains("Limit[5]  {rows: 10 in, 5 out"), "got: {text}");
+        assert!(text.contains("busy: 12µs"));
+        // unmatched node renders bare
         assert!(text.contains("\n  Values[0 rows]\n"));
     }
 }

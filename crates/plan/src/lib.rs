@@ -28,7 +28,7 @@ pub mod fragment;
 pub mod logical;
 pub mod optimizer;
 
-pub use explain::explain;
+pub use explain::{explain, explain_analyze};
 pub use fragment::{fragment_plan, PlanFragment};
 pub use logical::{AggregateExpr, AggregateStep, JoinKind, LogicalPlan, SortKey};
 pub use optimizer::{optimize, OptimizerConfig};

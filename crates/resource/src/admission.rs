@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet, Histogram, HistogramSet};
 use presto_common::{PrestoError, Result, SimClock};
 
 /// Scheduling lane for a query.
@@ -66,6 +66,7 @@ struct AdmInner {
     state: Mutex<AdmState>,
     released: Condvar,
     clock: SimClock,
+    histograms: HistogramSet,
 }
 
 /// Real wait granularity per round (virtual time advances 1 ms per round).
@@ -86,8 +87,16 @@ impl AdmissionController {
                 state: Mutex::new(AdmState::default()),
                 released: Condvar::new(),
                 clock,
+                histograms: HistogramSet::new(),
             }),
         }
+    }
+
+    /// Distribution of virtual queue-wait (ms) across all admitted queries,
+    /// including the zero-wait ones — `p(q)` answers "how long do queries
+    /// wait at this concurrency limit" (§XII).
+    pub fn queue_wait_histogram(&self) -> Histogram {
+        self.inner.histograms.get(names::HIST_ADMISSION_QUEUE_WAIT_MS)
     }
 
     /// Queries currently running under a permit.
@@ -115,6 +124,7 @@ impl AdmissionController {
         let mut state = inner.state.lock();
         if state.queue.is_empty() && Self::capacity_free(&inner.config, &state, user) {
             Self::start(&mut state, user);
+            inner.histograms.record(names::HIST_ADMISSION_QUEUE_WAIT_MS, 0);
             return Ok(AdmissionPermit { inner: inner.clone(), user: user.to_string() });
         }
         if state.queue.len() >= inner.config.max_queued {
@@ -128,7 +138,7 @@ impl AdmissionController {
         let seq = state.next_seq;
         state.next_seq += 1;
         state.queue.push(Waiting { seq, priority, user: user.to_string() });
-        metrics.incr("admission.queued");
+        metrics.incr(names::ADMISSION_QUEUED);
         let mut waited_ms = 0u64;
         loop {
             // Virtual time: one millisecond of queue wait per round.
@@ -140,7 +150,8 @@ impl AdmissionController {
             {
                 state.queue.retain(|w| w.seq != seq);
                 Self::start(&mut state, user);
-                metrics.add("admission.wait_virtual_ms", waited_ms);
+                metrics.add(names::ADMISSION_WAIT_VIRTUAL_MS, waited_ms);
+                inner.histograms.record(names::HIST_ADMISSION_QUEUE_WAIT_MS, waited_ms);
                 return Ok(AdmissionPermit { inner: inner.clone(), user: user.to_string() });
             }
         }
@@ -273,6 +284,11 @@ mod tests {
         assert_eq!(m.get("admission.queued"), 1);
         assert!(m.get("admission.wait_virtual_ms") > 0);
         assert_eq!(c.running(), 0);
+        // the wait histogram saw both queries: one immediate, one waiting
+        let h = c.queue_wait_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert!(h.max() > 0);
     }
 
     #[test]

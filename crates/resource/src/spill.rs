@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet};
 use presto_common::{Field, Page, PrestoError, Result, Schema};
 use presto_parquet::reader_new;
 use presto_parquet::{
@@ -92,8 +92,8 @@ impl SpillManager {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         let path = format!("{}/run-{id}.parquet", self.dir);
         self.fs.write(&path, &bytes)?;
-        self.metrics.add("spill.bytes_written", bytes.len() as u64);
-        self.metrics.incr("spill.files");
+        self.metrics.add(names::SPILL_BYTES_WRITTEN, bytes.len() as u64);
+        self.metrics.incr(names::SPILL_FILES);
         Ok(SpillFile { path, schema: spill_schema, rows, bytes: bytes.len() })
     }
 

@@ -7,6 +7,9 @@ pub enum Statement {
     Query(QueryExpr),
     /// `EXPLAIN <query>`.
     Explain(QueryExpr),
+    /// `EXPLAIN ANALYZE <query>` — execute, then render the plan annotated
+    /// with per-operator runtime stats.
+    ExplainAnalyze(QueryExpr),
 }
 
 /// A query expression: one SELECT or a UNION ALL chain.

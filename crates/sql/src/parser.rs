@@ -10,7 +10,11 @@ pub fn parse_sql(sql: &str) -> Result<Statement> {
     let tokens = tokenize(sql)?;
     let mut parser = Parser { tokens, pos: 0 };
     let statement = if parser.eat_keyword("explain") {
-        Statement::Explain(parser.parse_query_expr()?)
+        if parser.eat_keyword("analyze") {
+            Statement::ExplainAnalyze(parser.parse_query_expr()?)
+        } else {
+            Statement::Explain(parser.parse_query_expr()?)
+        }
     } else {
         Statement::Query(parser.parse_query_expr()?)
     };
@@ -713,6 +717,15 @@ mod tests {
     #[test]
     fn explain_cast_and_errors() {
         assert!(matches!(parse_sql("EXPLAIN SELECT 1").unwrap(), Statement::Explain(_)));
+        assert!(matches!(
+            parse_sql("EXPLAIN ANALYZE SELECT 1").unwrap(),
+            Statement::ExplainAnalyze(_)
+        ));
+        // ANALYZE stays usable as a plain identifier elsewhere
+        assert!(matches!(
+            parse_sql("EXPLAIN SELECT analyze FROM t").unwrap(),
+            Statement::Explain(_)
+        ));
         let q = query("SELECT CAST(x AS bigint) FROM t");
         match &q.select[0] {
             SelectItem::Expression { expr: Expr::Cast { type_name, .. }, .. } => {
