@@ -199,6 +199,82 @@ fn run_chaos() {
         eprintln!("chaos determinism check FAILED: same-seed runs diverged");
         std::process::exit(1);
     }
+    run_speculation();
+}
+
+fn run_speculation() {
+    println!("=== §XII: stragglers — speculative execution on mid-stream stalls ===");
+    let config = chaos::StragglerConfig::default();
+    println!(
+        "{} queries x 12 splits on {} workers; each scan page stalls with p={:.0}% for {} ms;\n\
+         speculation duplicates any split past the p99 of its completed siblings\n",
+        config.queries,
+        config.workers,
+        config.stall_rate * 100.0,
+        config.stall.as_millis()
+    );
+    let on = chaos::run_straggler(&config);
+    let off =
+        chaos::run_straggler(&chaos::StragglerConfig { speculation: false, ..config.clone() });
+    let mut table = Table::new(
+        "query latency under injected stragglers (virtual µs)",
+        &["speculation", "queries ok", "p50", "p95", "p99", "launches", "wins", "wasted"],
+    );
+    for r in [&on, &off] {
+        table.row(vec![
+            if r.speculation { "on".into() } else { "off".into() },
+            format!("{}/{}", r.succeeded, r.queries),
+            r.p50_us.to_string(),
+            r.p95_us.to_string(),
+            r.p99_us.to_string(),
+            r.speculative_launches.to_string(),
+            r.speculative_wins.to_string(),
+            r.speculative_wasted.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "answers agree across modes: {} (rows {:#018x} / {:#018x})\n",
+        if on.rows_digest == off.rows_digest { "yes" } else { "NO" },
+        on.rows_digest,
+        off.rows_digest
+    );
+    let mode_json = |r: &chaos::StragglerResult| {
+        Json::Obj(vec![
+            ("succeeded".into(), Json::U64(r.succeeded as u64)),
+            ("p50_us".into(), Json::U64(r.p50_us)),
+            ("p95_us".into(), Json::U64(r.p95_us)),
+            ("p99_us".into(), Json::U64(r.p99_us)),
+            ("speculative_launches".into(), Json::U64(r.speculative_launches)),
+            ("speculative_wins".into(), Json::U64(r.speculative_wins)),
+            ("speculative_wasted".into(), Json::U64(r.speculative_wasted)),
+            ("stalls_injected".into(), Json::U64(r.stalls_injected)),
+            ("virtual_ms".into(), Json::U64(r.virtual_ms)),
+            ("rows_digest".into(), Json::Str(format!("{:#018x}", r.rows_digest))),
+            ("trace_digest".into(), Json::Str(format!("{:#018x}", r.trace_digest))),
+        ])
+    };
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("speculation".into())),
+        ("queries".into(), Json::U64(on.queries as u64)),
+        ("seed".into(), Json::U64(chaos::StragglerConfig::default().seed)),
+        ("speculation_on".into(), mode_json(&on)),
+        ("speculation_off".into(), mode_json(&off)),
+        ("answers_agree".into(), Json::Bool(on.rows_digest == off.rows_digest)),
+        ("tail_cut".into(), Json::Bool(on.p99_us < off.p99_us)),
+    ]);
+    match write_bench_json("speculation", &json) {
+        Ok(path) => println!("wrote {path}\n"),
+        Err(e) => eprintln!("could not write BENCH_speculation.json: {e}"),
+    }
+    if on.rows_digest != off.rows_digest {
+        eprintln!("speculation correctness check FAILED: modes returned different answers");
+        std::process::exit(1);
+    }
+    if on.p99_us >= off.p99_us {
+        eprintln!("speculation tail check FAILED: on p99 {} >= off p99 {}", on.p99_us, off.p99_us);
+        std::process::exit(1);
+    }
 }
 
 fn run_resource() {

@@ -11,8 +11,9 @@
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::time::Duration;
 
-use presto_cluster::{ClusterConfig, PrestoCluster};
+use presto_cluster::{ClusterConfig, PrestoCluster, SpeculationConfig};
 use presto_common::metrics::names;
 use presto_common::{Block, DataType, FaultInjector, FaultPlan, Field, Page, Schema, SimClock};
 use presto_connectors::memory::MemoryConnector;
@@ -163,6 +164,123 @@ pub fn run(config: &ChaosConfig) -> ChaosResult {
     }
 }
 
+/// Straggler scenario parameters: the same query stream, but instead of
+/// failing tasks the injector *stalls* scan pages mid-stream, turning a
+/// random subset of splits into stragglers hundreds of times slower than
+/// their siblings. Run twice — speculation on and off — on the same seed
+/// to measure what duplicate attempts buy at the tail.
+#[derive(Debug, Clone)]
+pub struct StragglerConfig {
+    /// Workers in the cluster.
+    pub workers: u32,
+    /// Queries submitted serially.
+    pub queries: usize,
+    /// Injector seed — same seed, same stall schedule.
+    pub seed: u64,
+    /// Per-scan-page stall probability.
+    pub stall_rate: f64,
+    /// Injected stall length (virtual time) — each stalled page costs this.
+    pub stall: Duration,
+    /// Speculative execution on/off.
+    pub speculation: bool,
+}
+
+impl Default for StragglerConfig {
+    fn default() -> Self {
+        StragglerConfig {
+            workers: 4,
+            queries: 30,
+            seed: 42,
+            stall_rate: 0.10,
+            stall: Duration::from_millis(20),
+            speculation: true,
+        }
+    }
+}
+
+/// Outcome of one straggler run.
+#[derive(Debug, Clone)]
+pub struct StragglerResult {
+    /// Whether speculation was on.
+    pub speculation: bool,
+    /// Queries submitted.
+    pub queries: usize,
+    /// Queries that returned rows.
+    pub succeeded: usize,
+    /// Query latency percentiles (virtual µs) over the whole stream.
+    pub p50_us: u64,
+    /// 95th percentile latency (virtual µs).
+    pub p95_us: u64,
+    /// 99th percentile latency (virtual µs).
+    pub p99_us: u64,
+    /// `cluster.speculative_launches` at the end of the run.
+    pub speculative_launches: u64,
+    /// `cluster.speculative_wins` at the end of the run.
+    pub speculative_wins: u64,
+    /// `cluster.speculative_wasted` at the end of the run.
+    pub speculative_wasted: u64,
+    /// Mid-stream stalls the injector fired.
+    pub stalls_injected: u64,
+    /// Virtual time consumed by the run.
+    pub virtual_ms: u64,
+    /// Order-sensitive digest over every successful query's rows.
+    pub rows_digest: u64,
+    /// Order-sensitive fold of every successful query's trace digest.
+    pub trace_digest: u64,
+}
+
+/// Run the straggler workload: `config.queries` aggregations over a
+/// 12-split table while the injector stalls scan pages mid-stream.
+pub fn run_straggler(config: &StragglerConfig) -> StragglerResult {
+    let injector = FaultInjector::new(
+        config.seed,
+        FaultPlan::new().scan_stall_rate(config.stall_rate, config.stall),
+    );
+    let clock = SimClock::new();
+    let cluster = PrestoCluster::new(
+        "straggler",
+        engine_with_table(),
+        ClusterConfig {
+            initial_workers: config.workers,
+            fault_injector: injector.clone(),
+            speculation: SpeculationConfig {
+                enabled: config.speculation,
+                ..SpeculationConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+        clock.clone(),
+    );
+    let session = Session::default();
+    let start = clock.now();
+    let mut succeeded = 0;
+    let mut digest = DefaultHasher::new();
+    let mut trace_digest = DefaultHasher::new();
+    for _ in 0..config.queries {
+        if let Ok(result) = cluster.execute("SELECT sum(x), count(*) FROM t", &session) {
+            succeeded += 1;
+            format!("{:?}", result.rows()).hash(&mut digest);
+            result.info.trace.digest().hash(&mut trace_digest);
+        }
+    }
+    let latency = cluster.histograms().get(names::HIST_CLUSTER_QUERY_LATENCY_US);
+    StragglerResult {
+        speculation: config.speculation,
+        queries: config.queries,
+        succeeded,
+        p50_us: latency.quantile(0.50),
+        p95_us: latency.quantile(0.95),
+        p99_us: latency.quantile(0.99),
+        speculative_launches: cluster.metrics().get(names::CLUSTER_SPECULATIVE_LAUNCHES),
+        speculative_wins: cluster.metrics().get(names::CLUSTER_SPECULATIVE_WINS),
+        speculative_wasted: cluster.metrics().get(names::CLUSTER_SPECULATIVE_WASTED),
+        stalls_injected: injector.stalls_injected(),
+        virtual_ms: (clock.now() - start).as_millis() as u64,
+        rows_digest: digest.finish(),
+        trace_digest: trace_digest.finish(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +327,37 @@ mod tests {
         assert_eq!(r.split_retries, 0);
         assert_eq!(r.worker_failures, 0);
         assert_eq!(r.crashes_injected, 0);
+    }
+
+    #[test]
+    fn speculation_beats_stragglers_at_the_tail() {
+        let on = run_straggler(&StragglerConfig::default());
+        let off = run_straggler(&StragglerConfig { speculation: false, ..Default::default() });
+        // every query answers either way — stalls delay, they don't fail
+        assert_eq!(on.succeeded, on.queries);
+        assert_eq!(off.succeeded, off.queries);
+        assert_eq!(on.rows_digest, off.rows_digest, "speculation must not change answers");
+        assert!(on.stalls_injected > 0, "the plan must actually stall pages");
+        assert!(on.speculative_launches > 0, "stalled splits must trigger duplicates");
+        assert!(on.speculative_wins > 0, "some duplicates must win their race");
+        assert_eq!(off.speculative_launches, 0, "speculation off launches nothing");
+        assert!(
+            on.p99_us < off.p99_us,
+            "speculation must cut tail latency: on p99 {} vs off p99 {}",
+            on.p99_us,
+            off.p99_us
+        );
+    }
+
+    #[test]
+    fn straggler_runs_replay_on_the_same_seed() {
+        let a = run_straggler(&StragglerConfig::default());
+        let b = run_straggler(&StragglerConfig::default());
+        assert_eq!(a.rows_digest, b.rows_digest);
+        assert_eq!(a.trace_digest, b.trace_digest, "span trees must replay bit-for-bit");
+        assert_eq!(a.speculative_launches, b.speculative_launches);
+        assert_eq!(a.speculative_wins, b.speculative_wins);
+        assert_eq!(a.stalls_injected, b.stalls_injected);
+        assert_eq!(a.virtual_ms, b.virtual_ms);
     }
 }

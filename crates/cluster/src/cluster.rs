@@ -9,30 +9,54 @@
 //!
 //! Fault tolerance: every task start consults the cluster's
 //! [`FaultInjector`]; when a task fails with a *retryable* error (worker
-//! crash, injected fault, transient-retry exhaustion in storage) the
-//! coordinator reassigns only the unfinished splits to surviving workers —
-//! re-running the affinity hash over the shrunken fleet — under a per-split
-//! attempt cap and virtual-time exponential backoff. Flaky-but-alive
-//! workers are quarantined by the consecutive-failure blacklist.
+//! crash, injected fault, mid-stream scan tear, transient-retry exhaustion
+//! in storage) the coordinator reassigns only the unfinished splits to
+//! surviving workers under a per-split attempt cap and virtual-time
+//! exponential backoff. Flaky-but-alive workers are quarantined by the
+//! consecutive-failure blacklist and re-admitted through a half-open
+//! probation window ([`crate::worker::WorkerHealth`]).
+//!
+//! Scheduling is a serial discrete-event simulation on the coordinator
+//! thread: every task attempt gets a virtual duration (fixed overhead +
+//! per-row cost + injected stalls) and completes at a virtual timestamp
+//! drawn from an event heap, so task interleaving, retries, and
+//! speculation are all pure functions of (seed, plan, cluster config).
+//!
+//! Speculative execution (straggler mitigation): once enough siblings of a
+//! scan fragment have completed, any running attempt whose elapsed virtual
+//! time exceeds a configurable quantile of the completed sibling runtimes
+//! gets a duplicate attempt on a different idle worker. First result wins;
+//! the loser is cancelled. Every decision is recorded —
+//! `cluster.speculative_launches` / `_wins` / `_wasted` counters and a
+//! `Speculate` trace span per launch.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-
-use std::collections::HashMap;
 
 use parking_lot::RwLock;
 use presto_cache::fragment::{affinity_worker, fingerprint, FragmentKey, FragmentResultCache};
 use presto_common::clock::SimStopwatch;
-use presto_common::metrics::{names, CounterSet, HistogramSet};
+use presto_common::metrics::{names, CounterSet, Histogram, HistogramSet};
 use presto_common::trace::{SpanId, SpanKind, Trace};
 use presto_common::{FaultDecision, FaultInjector, Page, PrestoError, Result, SimClock};
-use presto_connectors::{Connector, ConnectorSplit, ScanRequest, SplitPayload};
+use presto_connectors::{Connector, ConnectorSplit, ScanHooks, ScanRequest, SplitPayload};
 use presto_core::{PrestoEngine, QueryInfo, QueryResult, Session};
 use presto_plan::{LogicalPlan, PlanFragment};
-use presto_resource::{AdmissionConfig, ResourceConfig, ResourceManager};
+use presto_resource::{AdmissionConfig, QueryPriority, ResourceConfig, ResourceManager};
 
-use crate::worker::{Worker, WorkerState, DEFAULT_GRACE_PERIOD};
+use crate::worker::{
+    Worker, WorkerState, DEFAULT_GRACE_PERIOD, DEFAULT_PROBATION_WINDOW, DEFAULT_QUARANTINE_PERIOD,
+};
+
+/// Fixed virtual cost of one scan task (queueing, setup, page handoff).
+const SCAN_TASK_BASE: Duration = Duration::from_micros(100);
+
+/// Virtual per-row scan cost in nanoseconds.
+const SCAN_ROW_NANOS: u64 = 100;
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +92,37 @@ pub struct ClusterConfig {
     /// Quarantine a worker after this many *consecutive* task failures
     /// (0 = never blacklist).
     pub blacklist_after: u32,
+    /// How long a blacklisted worker sits in quarantine before probation.
+    pub quarantine_period: Duration,
+    /// Half-open probation window after quarantine: the worker serves only
+    /// low-priority splits; one failure re-quarantines it.
+    pub probation_window: Duration,
+    /// Straggler mitigation via speculative duplicate attempts.
+    pub speculation: SpeculationConfig,
+}
+
+/// Speculative execution of straggler splits.
+///
+/// When a running attempt's elapsed virtual time exceeds `quantile` of the
+/// completed sibling runtimes in the same scan fragment, the coordinator
+/// launches one duplicate attempt on a different idle worker; the first
+/// result wins and the loser is cancelled. At most one duplicate is live
+/// per split, and nothing is judged until `min_completed` siblings have
+/// finished (small fragments have no statistics worth trusting).
+#[derive(Debug, Clone)]
+pub struct SpeculationConfig {
+    /// Launch duplicates at all (on by default).
+    pub enabled: bool,
+    /// Sibling-runtime quantile a running attempt must *strictly* exceed.
+    pub quantile: f64,
+    /// Completed siblings required before stragglers can be judged.
+    pub min_completed: u64,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig { enabled: true, quantile: 0.99, min_completed: 3 }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -84,6 +139,9 @@ impl Default for ClusterConfig {
             max_split_attempts: 4,
             retry_backoff_base: Duration::from_millis(50),
             blacklist_after: 3,
+            quarantine_period: DEFAULT_QUARANTINE_PERIOD,
+            probation_window: DEFAULT_PROBATION_WINDOW,
+            speculation: SpeculationConfig::default(),
         }
     }
 }
@@ -184,7 +242,13 @@ impl PrestoCluster {
         let mut caches = self.fragment_caches.write();
         for _ in 0..count {
             let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
-            workers.push(Worker::new(id, self.clock.clone(), self.config.grace_period));
+            workers.push(Worker::with_health_windows(
+                id,
+                self.clock.clone(),
+                self.config.grace_period,
+                self.config.quarantine_period,
+                self.config.probation_window,
+            ));
             if self.config.fragment_cache_entries > 0 {
                 caches.insert(
                     id,
@@ -202,9 +266,15 @@ impl PrestoCluster {
         self.workers.read().clone()
     }
 
-    /// Workers currently accepting tasks.
+    /// Workers currently accepting tasks (at normal priority).
     pub fn active_workers(&self) -> Vec<Arc<Worker>> {
         self.workers.read().iter().filter(|w| w.accepts_tasks()).cloned().collect()
+    }
+
+    /// Workers eligible for a query at the given priority: probation
+    /// (half-open) workers only count for low-priority work.
+    fn eligible_workers(&self, priority: QueryPriority) -> Vec<Arc<Worker>> {
+        self.workers.read().iter().filter(|w| w.accepts_tasks_for(priority)).cloned().collect()
     }
 
     /// §IX shrink: send the shutdown command to one worker.
@@ -352,10 +422,18 @@ impl PrestoCluster {
             };
             // distinct splits, not attempts: retries do not inflate the tally
             self.metrics.add(names::CLUSTER_TASKS, splits.len() as u64);
-            let pages =
-                self.run_scan_fragment(fragment, &splits, &connector, request, trace, stage);
+            let pages = self.run_scan_fragment(
+                fragment,
+                &splits,
+                &connector,
+                request,
+                session.priority,
+                trace,
+                stage,
+            );
             trace.end(stage);
-            exchanges.push((fragment.id, pages?));
+            let pages = self.deliver_exchange(fragment.id, pages?)?;
+            exchanges.push((fragment.id, pages));
         }
 
         // Root fragment runs on the coordinator.
@@ -378,18 +456,18 @@ impl PrestoCluster {
         })
     }
 
-    /// Run one scan fragment's splits across the active workers, recovering
-    /// from retryable task failures (§XII).
+    /// Run one scan fragment's splits across the eligible workers as a
+    /// serial discrete-event simulation, recovering from retryable task
+    /// failures (§XII) and speculating on stragglers.
     ///
     /// Split assignment: affinity scheduling (§VII) routes each split to a
     /// stable worker via rendezvous hashing; otherwise splits round-robin.
-    /// Scan tasks run on real threads, one per worker (a worker's splits run
-    /// serially on it). After each round, splits that failed with a
-    /// *retryable* error are reassigned to the surviving fleet — the
-    /// affinity hash re-runs over the shrunken worker set — under a
-    /// per-split attempt cap, with exponential backoff on the virtual clock
-    /// between rounds. A worker that crashed or got blacklisted also loses
-    /// its fragment result cache, like any worker-side memory.
+    /// Each worker drains its queue serially in virtual time; attempt
+    /// completions come off an event heap ordered by (virtual time, launch
+    /// sequence), so every schedule — retries with exponential backoff,
+    /// straggler duplicates, first-result-wins races — is deterministic. A
+    /// worker that crashed or got blacklisted loses its fragment result
+    /// cache, like any worker-side memory.
     #[allow(clippy::too_many_arguments)]
     fn run_scan_fragment(
         &self,
@@ -397,143 +475,43 @@ impl PrestoCluster {
         splits: &[ConnectorSplit],
         connector: &Arc<dyn Connector>,
         request: &ScanRequest,
+        priority: QueryPriority,
         trace: &Trace,
         stage: SpanId,
     ) -> Result<Vec<Page>> {
-        // Pushdowns are part of the fragment identity: two queries only
-        // share cached results when their pushed-down scans agree.
-        let plan_fingerprint = fingerprint(&format!("{:?}", fragment.plan));
-        let mut results: Vec<Option<Vec<Page>>> = splits.iter().map(|_| None).collect();
-        let mut attempts = vec![0u32; splits.len()];
-        let mut pending: Vec<usize> = (0..splits.len()).collect();
-        let mut backoff = self.config.retry_backoff_base;
-
-        while !pending.is_empty() {
-            let workers = self.active_workers();
-            if workers.is_empty() {
-                return Err(PrestoError::ClusterUnavailable(format!(
-                    "cluster {} has no active workers",
-                    self.name
-                )));
-            }
-            let worker_ids: Vec<u32> = workers.iter().map(|w| w.id).collect();
-            let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
-            for (k, &i) in pending.iter().enumerate() {
-                let w = if self.config.affinity_scheduling {
-                    // `workers` was checked non-empty above; fall back to
-                    // round-robin rather than panicking if that ever breaks.
-                    affinity_worker(&split_identity(&splits[i].payload), &worker_ids)
-                        .unwrap_or(k % workers.len())
-                } else {
-                    k % workers.len()
-                };
-                per_worker[w].push(i);
-            }
-            let assignments: Vec<(Arc<Worker>, Vec<usize>)> =
-                workers.iter().cloned().zip(per_worker).collect();
-            // Shared cancellation: once any task fails terminally, sibling
-            // workers stop picking up splits for the doomed query.
-            let cancel = AtomicBool::new(false);
-            type TaskOutcomes = Vec<(usize, Result<Vec<Page>>)>;
-            let round: Vec<(Arc<Worker>, TaskOutcomes)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = assignments
-                    .iter()
-                    .map(|(worker, split_ids)| {
-                        let connector = connector.clone();
-                        let cache = self.fragment_caches.read().get(&worker.id).cloned();
-                        let cancel = &cancel;
-                        scope.spawn(move || {
-                            self.run_worker_tasks(
-                                worker,
-                                split_ids,
-                                splits,
-                                &connector,
-                                request,
-                                plan_fingerprint,
-                                cache,
-                                cancel,
-                                trace,
-                                stage,
-                            )
-                        })
-                    })
-                    .collect();
-                assignments
-                    .iter()
-                    .zip(handles)
-                    .map(|((worker, split_ids), h)| {
-                        // A panicking scan task must fail its query, not the
-                        // whole coordinator loop.
-                        let outcomes = h.join().unwrap_or_else(|_| {
-                            split_ids
-                                .iter()
-                                .map(|&i| {
-                                    (
-                                        i,
-                                        Err(PrestoError::Internal(format!(
-                                            "scan task panicked on cluster {} (fragment {})",
-                                            self.name, fragment.id
-                                        ))),
-                                    )
-                                })
-                                .collect()
-                        });
-                        (worker.clone(), outcomes)
-                    })
-                    .collect()
-            });
-
-            let mut retry_now: Vec<usize> = Vec::new();
-            let mut terminal: Option<PrestoError> = None;
-            for (worker, outcomes) in round {
-                let mut worker_failed_here = false;
-                for (i, outcome) in outcomes {
-                    match outcome {
-                        Ok(pages) => results[i] = Some(pages),
-                        Err(e) if self.config.fault_recovery && e.is_retryable() => {
-                            worker_failed_here = true;
-                            attempts[i] += 1;
-                            if attempts[i] >= self.config.max_split_attempts {
-                                terminal.get_or_insert_with(|| {
-                                    attempts_exhausted(i, self.config.max_split_attempts, &e)
-                                });
-                            } else {
-                                self.metrics.incr(names::CLUSTER_SPLIT_RETRIES);
-                                retry_now.push(i);
-                            }
-                        }
-                        Err(e) => {
-                            worker_failed_here |= e.is_retryable();
-                            terminal.get_or_insert(e);
-                        }
-                    }
-                }
-                if worker_failed_here {
-                    self.metrics.incr(names::CLUSTER_WORKER_FAILURES);
-                }
-                if worker.state() == WorkerState::Crashed || worker.is_blacklisted() {
-                    // a dead or quarantined worker takes its in-memory
-                    // fragment cache with it
-                    self.fragment_caches.write().remove(&worker.id);
-                }
-            }
-            if let Some(e) = terminal {
-                return Err(e);
-            }
-            pending = retry_now;
-            if !pending.is_empty() {
-                // exponential backoff on the virtual clock before the next
-                // reassignment round
-                self.histograms
-                    .record(names::HIST_CLUSTER_RETRY_BACKOFF_US, backoff.as_micros() as u64);
-                self.clock.advance(backoff);
-                backoff = backoff.saturating_mul(2);
-            }
+        let workers = self.eligible_workers(priority);
+        if workers.is_empty() {
+            return Err(self.no_active_workers());
         }
+        let mut sched = ScanScheduler {
+            cluster: self,
+            fragment,
+            splits,
+            connector,
+            request,
+            priority,
+            trace,
+            stage,
+            // Pushdowns are part of the fragment identity: two queries only
+            // share cached results when their pushed-down scans agree.
+            plan_fingerprint: fingerprint(&format!("{:?}", fragment.plan)),
+            queues: vec![VecDeque::new(); workers.len()],
+            busy: vec![None; workers.len()],
+            workers,
+            attempts: Vec::new(),
+            live: vec![Vec::new(); splits.len()],
+            results: vec![None; splits.len()],
+            failures: vec![0; splits.len()],
+            done: 0,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            sibling_us: Histogram::new(),
+        };
+        sched.run()?;
 
         // splits stay ordered so results are deterministic
         let mut pages = Vec::new();
-        for (i, slot) in results.into_iter().enumerate() {
+        for (i, slot) in sched.results.into_iter().enumerate() {
             match slot {
                 Some(p) => pages.extend(p),
                 None => {
@@ -547,94 +525,49 @@ impl PrestoCluster {
         Ok(pages)
     }
 
-    /// Serial task loop for one worker in one scheduling round. Every task
-    /// start consults the fault injector *before* touching the worker or
-    /// the cache, so the fault schedule is a pure function of (seed,
-    /// worker, per-worker task ordinal). An injected crash kills the worker
-    /// for good — its remaining splits in this round are lost in flight —
-    /// while an injected task fault fails just that split.
-    #[allow(clippy::too_many_arguments)]
-    fn run_worker_tasks(
-        &self,
-        worker: &Arc<Worker>,
-        split_ids: &[usize],
-        splits: &[ConnectorSplit],
-        connector: &Arc<dyn Connector>,
-        request: &ScanRequest,
-        plan_fingerprint: u64,
-        cache: Option<FragmentResultCache>,
-        cancel: &AtomicBool,
-        trace: &Trace,
-        stage: SpanId,
-    ) -> Vec<(usize, Result<Vec<Page>>)> {
-        let mut out = Vec::new();
-        let mut crashed = false;
-        for &i in split_ids {
-            if cancel.load(Ordering::Relaxed) {
-                break;
-            }
-            // Task spans are safe to record from worker threads: workers
-            // never advance the shared clock, so every span in a round
-            // carries the same timestamps and the digest's canonical
-            // (start, name) ordering removes thread interleaving.
-            let span = trace.begin(SpanKind::Task, format!("split[{i}]"), Some(stage));
-            trace.set_attr(span, "worker", u64::from(worker.id));
-            if crashed {
-                // the node is gone; everything still queued on it is lost
-                trace.set_attr(span, "error", 1);
-                trace.end(span);
-                out.push((i, Err(worker_failed(worker.id, "crashed"))));
-                continue;
-            }
-            match self.config.fault_injector.on_task_start(worker.id, self.clock.now()) {
-                FaultDecision::CrashWorker => {
-                    worker.crash();
-                    crashed = true;
-                    let err = worker_failed(worker.id, "crashed (injected)");
-                    self.note_task_failure(worker, &err, cancel);
-                    trace.set_attr(span, "error", 1);
-                    trace.end(span);
-                    out.push((i, Err(err)));
-                    continue;
-                }
-                FaultDecision::FailTask => {
-                    let err = worker_failed(worker.id, "dropped the task (injected fault)");
-                    self.note_task_failure(worker, &err, cancel);
-                    trace.set_attr(span, "error", 1);
-                    trace.end(span);
-                    out.push((i, Err(err)));
-                    continue;
-                }
-                FaultDecision::None => {}
-            }
-            let outcome = self.execute_one_split(
-                worker,
-                &splits[i],
-                connector,
-                request,
-                plan_fingerprint,
-                cache.as_ref(),
-            );
-            match &outcome {
-                Ok(pages) => {
-                    worker.record_task_success();
-                    let rows: usize = pages.iter().map(|p| p.positions()).sum();
-                    trace.set_attr(span, "rows_out", rows as u64);
-                }
-                Err(e) => {
-                    self.note_task_failure(worker, e, cancel);
-                    trace.set_attr(span, "error", 1);
-                }
-            }
-            trace.end(span);
-            out.push((i, outcome));
+    fn no_active_workers(&self) -> PrestoError {
+        PrestoError::ClusterUnavailable(format!("cluster {} has no active workers", self.name))
+    }
+
+    /// Deliver a finished scan fragment's pages across the simulated
+    /// exchange channel. A mid-stream tear fails the transfer with a
+    /// retryable error; the producer still buffers the pages, so the
+    /// coordinator retries the whole delivery (counted as
+    /// `cluster.exchange_retries`) under the split attempt cap with
+    /// virtual-time backoff. With recovery off the first tear is fatal.
+    fn deliver_exchange(&self, fragment: u32, pages: Vec<Page>) -> Result<Vec<Page>> {
+        let injector = &self.config.fault_injector;
+        if !injector.is_enabled() {
+            return Ok(pages);
         }
-        out
+        let mut backoff = self.config.retry_backoff_base;
+        let mut attempt = 1u64;
+        loop {
+            match presto_exec::exchange::deliver(injector, &self.clock, fragment, &pages, attempt) {
+                Ok(_stalled) => return Ok(pages),
+                Err(e)
+                    if self.config.fault_recovery
+                        && e.is_retryable()
+                        && attempt < u64::from(self.config.max_split_attempts.max(1)) =>
+                {
+                    self.metrics.incr(names::CLUSTER_EXCHANGE_RETRIES);
+                    self.histograms
+                        .record(names::HIST_CLUSTER_RETRY_BACKOFF_US, backoff.as_micros() as u64);
+                    self.clock.advance(backoff);
+                    backoff = backoff.saturating_mul(2);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// One split on one worker: task guard, fragment-cache lookup, connector
-    /// scan. Output from a worker that crashed while the task was in flight
-    /// is discarded — a dead node's partial results cannot be trusted.
+    /// scan with mid-stream fault hooks. Output from a worker that crashed
+    /// while the task was in flight is discarded — a dead node's partial
+    /// results cannot be trusted. Cache hits skip the connector entirely,
+    /// so mid-stream scan faults never fire for them.
+    #[allow(clippy::too_many_arguments)]
     fn execute_one_split(
         &self,
         worker: &Arc<Worker>,
@@ -643,6 +576,7 @@ impl PrestoCluster {
         request: &ScanRequest,
         plan_fingerprint: u64,
         cache: Option<&FragmentResultCache>,
+        hooks: &ScanHooks,
     ) -> Result<Vec<Page>> {
         let _task = worker.begin_task()?;
         let key = FragmentKey { plan_fingerprint, split_identity: split_identity(&split.payload) };
@@ -652,7 +586,7 @@ impl PrestoCluster {
                 return Ok(hit.as_ref().clone());
             }
         }
-        let pages = connector.scan_split(split, request)?;
+        let pages = connector.scan_split(split, request, hooks)?;
         if worker.state() == WorkerState::Crashed {
             return Err(worker_failed(worker.id, "crashed while the task was in flight"));
         }
@@ -663,20 +597,418 @@ impl PrestoCluster {
         }
         Ok(pages)
     }
+}
 
-    /// Blacklist bookkeeping + cancellation for one failed task. Runs on
-    /// the worker's own thread (a worker's tasks are serial, so the
-    /// consecutive-failure streak is deterministic). Terminal failures —
-    /// non-retryable, or any failure while recovery is disabled — flip the
-    /// shared cancel flag so sibling workers stop scanning for a query that
-    /// is already doomed.
-    fn note_task_failure(&self, worker: &Arc<Worker>, e: &PrestoError, cancel: &AtomicBool) {
-        if worker.record_task_failure(self.config.blacklist_after) {
-            self.metrics.incr(names::CLUSTER_BLACKLISTED_WORKERS);
+/// Scheduler event: an attempt reaching the end of its virtual duration,
+/// or a wake-up to re-run dispatch once a retry backoff deadline arrives.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum SchedEvent {
+    /// Attempt `.0` completes.
+    Complete(usize),
+    /// Nothing completes; just dispatch queued work.
+    Wake,
+}
+
+/// One launched task attempt (original or speculative duplicate). The
+/// outcome is computed eagerly at launch — legal because workers never
+/// advance the shared clock — and consumed when the completion event fires,
+/// so a cancelled loser's outcome is simply discarded.
+struct Attempt {
+    split: usize,
+    /// Index into the scheduler's worker snapshot.
+    worker: usize,
+    speculative: bool,
+    start: Duration,
+    duration: Duration,
+    span: SpanId,
+    outcome: Option<Result<Vec<Page>>>,
+    cancelled: bool,
+}
+
+/// A split waiting in a worker's queue; retries carry a backoff deadline.
+#[derive(Clone)]
+struct QueuedSplit {
+    split: usize,
+    not_before: Duration,
+}
+
+/// Serial discrete-event scheduler for one scan fragment: per-worker split
+/// queues, an event heap keyed by (virtual time, launch sequence), local
+/// sibling-runtime statistics for straggler detection, and
+/// first-result-wins races between originals and speculative duplicates.
+struct ScanScheduler<'a> {
+    cluster: &'a PrestoCluster,
+    fragment: &'a PlanFragment,
+    splits: &'a [ConnectorSplit],
+    connector: &'a Arc<dyn Connector>,
+    request: &'a ScanRequest,
+    priority: QueryPriority,
+    trace: &'a Trace,
+    stage: SpanId,
+    plan_fingerprint: u64,
+    workers: Vec<Arc<Worker>>,
+    queues: Vec<VecDeque<QueuedSplit>>,
+    /// Per worker: the attempt currently running on it.
+    busy: Vec<Option<usize>>,
+    attempts: Vec<Attempt>,
+    /// Per split: ids of attempts still in flight.
+    live: Vec<Vec<usize>>,
+    results: Vec<Option<Vec<Page>>>,
+    /// Per split: failed attempts so far (the retry budget).
+    failures: Vec<u32>,
+    done: usize,
+    heap: BinaryHeap<Reverse<(Duration, u64, SchedEvent)>>,
+    seq: u64,
+    /// Completed sibling runtimes (µs) — the straggler yardstick.
+    sibling_us: Histogram,
+}
+
+impl ScanScheduler<'_> {
+    fn run(&mut self) -> Result<()> {
+        // Initial assignment: affinity or round-robin over the eligible
+        // snapshot, same as the pre-speculation scheduler.
+        let worker_ids: Vec<u32> = self.workers.iter().map(|w| w.id).collect();
+        for i in 0..self.splits.len() {
+            let w = if self.cluster.config.affinity_scheduling {
+                // `workers` was checked non-empty by the caller; fall back
+                // to round-robin rather than panicking if that ever breaks.
+                affinity_worker(&split_identity(&self.splits[i].payload), &worker_ids)
+                    .unwrap_or(i % self.workers.len())
+            } else {
+                i % self.workers.len()
+            };
+            self.queues[w].push_back(QueuedSplit { split: i, not_before: Duration::ZERO });
         }
-        if !(self.config.fault_recovery && e.is_retryable()) {
-            cancel.store(true, Ordering::Relaxed);
+        self.dispatch(self.cluster.clock.now())?;
+        while let Some(Reverse((at, _seq, event))) = self.heap.pop() {
+            if self.done == self.splits.len() {
+                break;
+            }
+            let now = self.cluster.clock.now();
+            if at > now {
+                self.cluster.clock.advance(at - now);
+            }
+            let now = self.cluster.clock.now();
+            if let SchedEvent::Complete(id) = event {
+                self.complete(id, now)?;
+            }
+            self.dispatch(now)?;
+            self.check_stragglers(now);
         }
+        Ok(())
+    }
+
+    /// Start one attempt on an idle worker. The fault injector is consulted
+    /// *before* touching the worker or the cache, so the task-level fault
+    /// schedule stays a pure function of (seed, worker, per-worker task
+    /// ordinal); injected task faults take zero virtual time, real scans
+    /// cost base + per-row work + whatever mid-stream stalls were injected.
+    fn start_attempt(&mut self, wi: usize, split: usize, speculative: bool, now: Duration) {
+        let cluster = self.cluster;
+        let worker = self.workers[wi].clone();
+        let span = self.trace.begin(SpanKind::Task, format!("split[{split}]"), Some(self.stage));
+        self.trace.set_attr(span, "worker", u64::from(worker.id));
+        if speculative {
+            self.trace.set_attr(span, "speculative", 1);
+        }
+        let injector = &cluster.config.fault_injector;
+        let task = injector.begin_task(worker.id, cluster.clock.now());
+        let (outcome, duration) = match task.decision {
+            FaultDecision::CrashWorker => {
+                // abrupt node death: this attempt is lost instantly and the
+                // worker's still-queued splits get reassigned by dispatch
+                worker.crash();
+                (Err(worker_failed(worker.id, "crashed (injected)")), Duration::ZERO)
+            }
+            FaultDecision::FailTask => {
+                (Err(worker_failed(worker.id, "dropped the task (injected fault)")), Duration::ZERO)
+            }
+            FaultDecision::None => {
+                let cache = cluster.fragment_caches.read().get(&worker.id).cloned();
+                let hooks = ScanHooks::for_task(injector.clone(), worker.id, task.seq);
+                let splits = self.splits;
+                let connector = self.connector;
+                let request = self.request;
+                let plan_fingerprint = self.plan_fingerprint;
+                let fragment_id = self.fragment.id;
+                // a panicking scan task must fail its query, not the whole
+                // coordinator loop
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    cluster.execute_one_split(
+                        &worker,
+                        &splits[split],
+                        connector,
+                        request,
+                        plan_fingerprint,
+                        cache.as_ref(),
+                        &hooks,
+                    )
+                }))
+                .unwrap_or_else(|_| {
+                    Err(PrestoError::Internal(format!(
+                        "scan task panicked on cluster {} (fragment {})",
+                        cluster.name, fragment_id
+                    )))
+                });
+                let rows: u64 = result
+                    .as_ref()
+                    .map(|pages| pages.iter().map(|p| p.positions() as u64).sum())
+                    .unwrap_or(0);
+                let duration =
+                    SCAN_TASK_BASE + Duration::from_nanos(rows * SCAN_ROW_NANOS) + hooks.stalled();
+                (result, duration)
+            }
+        };
+        let id = self.attempts.len();
+        self.attempts.push(Attempt {
+            split,
+            worker: wi,
+            speculative,
+            start: now,
+            duration,
+            span,
+            outcome: Some(outcome),
+            cancelled: false,
+        });
+        self.busy[wi] = Some(id);
+        self.live[split].push(id);
+        self.push_event(now + duration, SchedEvent::Complete(id));
+    }
+
+    /// Process one attempt completion: the first successful attempt per
+    /// split wins and cancels any live duplicate; a retryable failure burns
+    /// one unit of the split's attempt budget and schedules a backoff
+    /// retry (unless a duplicate is still running); a terminal failure —
+    /// non-retryable, recovery off, or budget exhausted — cancels every
+    /// live attempt and fails the fragment.
+    fn complete(&mut self, id: usize, now: Duration) -> Result<()> {
+        if self.attempts[id].cancelled {
+            return Ok(());
+        }
+        let Some(outcome) = self.attempts[id].outcome.take() else {
+            return Ok(());
+        };
+        let (split, wi, speculative, duration, span) = {
+            let a = &self.attempts[id];
+            (a.split, a.worker, a.speculative, a.duration, a.span)
+        };
+        self.busy[wi] = None;
+        self.live[split].retain(|&x| x != id);
+        let worker = self.workers[wi].clone();
+        match outcome {
+            Ok(pages) => {
+                worker.record_task_success();
+                let rows: u64 = pages.iter().map(|p| p.positions() as u64).sum();
+                self.trace.set_attr(span, "rows_out", rows);
+                self.trace.end(span);
+                if self.results[split].is_some() {
+                    // the race was already decided (defensive: losers are
+                    // normally cancelled before their event fires)
+                    if speculative {
+                        self.cluster.metrics.incr(names::CLUSTER_SPECULATIVE_WASTED);
+                    }
+                    return Ok(());
+                }
+                let us = duration.as_micros() as u64;
+                self.sibling_us.record(us);
+                self.cluster.histograms.record(names::HIST_CLUSTER_TASK_RUNTIME_US, us);
+                if speculative {
+                    self.cluster.metrics.incr(names::CLUSTER_SPECULATIVE_WINS);
+                }
+                self.results[split] = Some(pages);
+                self.done += 1;
+                // first result wins: cancel the live loser(s) of the race
+                for loser in self.live[split].clone() {
+                    self.cancel_attempt(loser);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.trace.set_attr(span, "error", 1);
+                self.trace.end(span);
+                if e.is_retryable() {
+                    self.cluster.metrics.incr(names::CLUSTER_WORKER_FAILURES);
+                }
+                if worker.record_task_failure(self.cluster.config.blacklist_after) {
+                    self.cluster.metrics.incr(names::CLUSTER_BLACKLISTED_WORKERS);
+                }
+                if worker.state() == WorkerState::Crashed || worker.is_blacklisted() {
+                    // a dead or quarantined worker takes its in-memory
+                    // fragment cache with it
+                    self.cluster.fragment_caches.write().remove(&worker.id);
+                }
+                if !(self.cluster.config.fault_recovery && e.is_retryable()) {
+                    self.fail_all();
+                    return Err(e);
+                }
+                if speculative {
+                    self.cluster.metrics.incr(names::CLUSTER_SPECULATIVE_WASTED);
+                }
+                if self.results[split].is_some() {
+                    return Ok(());
+                }
+                self.failures[split] += 1;
+                if !self.live[split].is_empty() {
+                    // a duplicate of this split is still running; it will
+                    // schedule the retry itself if it also fails
+                    return Ok(());
+                }
+                if self.failures[split] >= self.cluster.config.max_split_attempts {
+                    let err = attempts_exhausted(split, self.cluster.config.max_split_attempts, &e);
+                    self.fail_all();
+                    return Err(err);
+                }
+                self.cluster.metrics.incr(names::CLUSTER_SPLIT_RETRIES);
+                let backoff = self
+                    .cluster
+                    .config
+                    .retry_backoff_base
+                    .saturating_mul(2u32.saturating_pow(self.failures[split] - 1));
+                self.cluster
+                    .histograms
+                    .record(names::HIST_CLUSTER_RETRY_BACKOFF_US, backoff.as_micros() as u64);
+                let target = self.choose_worker()?;
+                self.queues[target].push_back(QueuedSplit { split, not_before: now + backoff });
+                self.push_event(now + backoff, SchedEvent::Wake);
+                Ok(())
+            }
+        }
+    }
+
+    /// Start queued work on every idle eligible worker. A worker that can
+    /// no longer serve this query (crashed, draining, quarantined) loses
+    /// its queue: the never-started splits move silently to eligible
+    /// workers — they are reassignments, not retries.
+    fn dispatch(&mut self, now: Duration) -> Result<()> {
+        let mut displaced: Vec<QueuedSplit> = Vec::new();
+        for wi in 0..self.workers.len() {
+            if !self.workers[wi].accepts_tasks_for(self.priority) && !self.queues[wi].is_empty() {
+                displaced.extend(self.queues[wi].drain(..));
+            }
+        }
+        for q in displaced {
+            if self.results[q.split].is_some() {
+                continue;
+            }
+            let target = self.choose_worker()?;
+            self.queues[target].push_back(q);
+        }
+        for wi in 0..self.workers.len() {
+            while self.busy[wi].is_none() && self.workers[wi].accepts_tasks_for(self.priority) {
+                let Some(front) = self.queues[wi].front() else { break };
+                if front.not_before > now {
+                    // backoff deadline in the future: wake up then
+                    let at = front.not_before;
+                    self.push_event(at, SchedEvent::Wake);
+                    break;
+                }
+                let Some(q) = self.queues[wi].pop_front() else { break };
+                if self.results[q.split].is_some() {
+                    continue;
+                }
+                self.start_attempt(wi, q.split, false, now);
+            }
+        }
+        Ok(())
+    }
+
+    /// Straggler detection: once `min_completed` siblings have finished,
+    /// any sole live non-speculative attempt whose elapsed virtual time
+    /// *strictly* exceeds the configured quantile of completed sibling
+    /// runtimes gets one duplicate on a different idle eligible worker.
+    /// Every launch is recorded as a `Speculate` span and counted.
+    fn check_stragglers(&mut self, now: Duration) {
+        let spec = &self.cluster.config.speculation;
+        if !spec.enabled
+            || self.done == self.splits.len()
+            || self.sibling_us.count() < spec.min_completed.max(1)
+        {
+            return;
+        }
+        let threshold_us = self.sibling_us.quantile(spec.quantile);
+        for split in 0..self.splits.len() {
+            // one live original and no duplicate yet
+            if self.results[split].is_some() || self.live[split].len() != 1 {
+                continue;
+            }
+            let id = self.live[split][0];
+            if self.attempts[id].speculative {
+                continue;
+            }
+            let from = self.attempts[id].worker;
+            let elapsed_us = now.saturating_sub(self.attempts[id].start).as_micros() as u64;
+            if elapsed_us <= threshold_us {
+                continue;
+            }
+            // an idle eligible worker that is not the straggler's own
+            let Some(to) = (0..self.workers.len())
+                .filter(|&w| {
+                    w != from
+                        && self.busy[w].is_none()
+                        && self.queues[w].is_empty()
+                        && self.workers[w].accepts_tasks_for(self.priority)
+                })
+                .min_by_key(|&w| self.workers[w].id)
+            else {
+                continue;
+            };
+            self.cluster.metrics.incr(names::CLUSTER_SPECULATIVE_LAUNCHES);
+            let span =
+                self.trace.begin(SpanKind::Speculate, format!("split[{split}]"), Some(self.stage));
+            self.trace.set_attr(span, "from_worker", u64::from(self.workers[from].id));
+            self.trace.set_attr(span, "to_worker", u64::from(self.workers[to].id));
+            self.trace.set_attr(span, "elapsed_us", elapsed_us);
+            self.trace.set_attr(span, "threshold_us", threshold_us);
+            self.trace.end(span);
+            self.start_attempt(to, split, true, now);
+        }
+    }
+
+    /// Cancel a live attempt: close its span, free its worker, and discard
+    /// its eagerly-computed outcome. Cancelled duplicates count as wasted
+    /// speculative work.
+    fn cancel_attempt(&mut self, id: usize) {
+        if self.attempts[id].cancelled || self.attempts[id].outcome.is_none() {
+            return;
+        }
+        self.attempts[id].cancelled = true;
+        self.attempts[id].outcome = None;
+        self.trace.set_attr(self.attempts[id].span, "cancelled", 1);
+        self.trace.end(self.attempts[id].span);
+        if self.attempts[id].speculative {
+            self.cluster.metrics.incr(names::CLUSTER_SPECULATIVE_WASTED);
+        }
+        let wi = self.attempts[id].worker;
+        if self.busy[wi] == Some(id) {
+            self.busy[wi] = None;
+        }
+        let split = self.attempts[id].split;
+        self.live[split].retain(|&x| x != id);
+    }
+
+    /// Terminal failure: cancel everything still in flight so their spans
+    /// close before the fragment's error propagates.
+    fn fail_all(&mut self) {
+        let ids: Vec<usize> = self.live.iter().flatten().copied().collect();
+        for id in ids {
+            self.cancel_attempt(id);
+        }
+    }
+
+    /// Deterministic target for a retried or displaced split: the eligible
+    /// worker with the least pending work, ties broken by lowest id.
+    fn choose_worker(&self) -> Result<usize> {
+        (0..self.workers.len())
+            .filter(|&w| self.workers[w].accepts_tasks_for(self.priority))
+            .min_by_key(|&w| {
+                (self.queues[w].len() + usize::from(self.busy[w].is_some()), self.workers[w].id)
+            })
+            .ok_or_else(|| self.cluster.no_active_workers())
+    }
+
+    fn push_event(&mut self, at: Duration, event: SchedEvent) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, event)));
     }
 }
 

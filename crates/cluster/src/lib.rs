@@ -18,6 +18,6 @@ pub mod cluster;
 pub mod gateway;
 pub mod worker;
 
-pub use cluster::{ClusterConfig, PrestoCluster};
+pub use cluster::{ClusterConfig, PrestoCluster, SpeculationConfig};
 pub use gateway::{PrestoGateway, Redirect};
-pub use worker::{Worker, WorkerState};
+pub use worker::{Worker, WorkerHealth, WorkerState};

@@ -13,17 +13,47 @@
 //! grace period, in-flight tasks are gone, and `begin_task` surfaces
 //! [`PrestoError::WorkerFailed`] so the coordinator can reassign the lost
 //! splits. A flaky-but-alive host is quarantined through the
-//! consecutive-failure blacklist ([`Worker::record_task_failure`]).
+//! consecutive-failure blacklist ([`Worker::record_task_failure`]), and
+//! re-admitted through a **probation** half-open state: after the
+//! quarantine window the worker may serve only low-priority splits for a
+//! probation window; one more failure there re-quarantines it immediately,
+//! while surviving the window restores full health.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 use presto_common::{PrestoError, Result, SimClock};
+use presto_resource::QueryPriority;
 
 /// Default `shutdown.grace-period` (the paper's 2 minutes).
 pub const DEFAULT_GRACE_PERIOD: Duration = Duration::from_secs(120);
+
+/// Default quarantine window after the blacklist trips.
+pub const DEFAULT_QUARANTINE_PERIOD: Duration = Duration::from_secs(300);
+
+/// Default probation (half-open) window after quarantine expires.
+pub const DEFAULT_PROBATION_WINDOW: Duration = Duration::from_secs(60);
+
+/// Blacklist circuit-breaker health, orthogonal to [`WorkerState`] (a
+/// quarantined worker still reports `Active` — it is alive, just untrusted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerHealth {
+    /// Fully trusted.
+    Healthy,
+    /// Blacklisted: accepts nothing until `until` (virtual time).
+    Quarantined {
+        /// Virtual time the quarantine lifts into probation.
+        until: Duration,
+    },
+    /// Half-open: serves only low-priority splits until `until`; a single
+    /// failure here re-quarantines, surviving the window restores health.
+    Probation {
+        /// Virtual time full health returns.
+        until: Duration,
+    },
+}
 
 /// Worker lifecycle states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,14 +91,33 @@ pub struct Worker {
     active_tasks: AtomicUsize,
     completed_tasks: AtomicUsize,
     consecutive_failures: AtomicU32,
-    blacklisted: AtomicBool,
+    health: Mutex<WorkerHealth>,
     clock: SimClock,
     grace_period: Duration,
+    quarantine_period: Duration,
+    probation_window: Duration,
 }
 
 impl Worker {
     /// New active worker on a shared virtual clock.
     pub fn new(id: u32, clock: SimClock, grace_period: Duration) -> Arc<Worker> {
+        Worker::with_health_windows(
+            id,
+            clock,
+            grace_period,
+            DEFAULT_QUARANTINE_PERIOD,
+            DEFAULT_PROBATION_WINDOW,
+        )
+    }
+
+    /// New active worker with explicit blacklist quarantine/probation windows.
+    pub fn with_health_windows(
+        id: u32,
+        clock: SimClock,
+        grace_period: Duration,
+        quarantine_period: Duration,
+        probation_window: Duration,
+    ) -> Arc<Worker> {
         Arc::new(Worker {
             id,
             inner: Mutex::new(WorkerInner {
@@ -78,9 +127,11 @@ impl Worker {
             active_tasks: AtomicUsize::new(0),
             completed_tasks: AtomicUsize::new(0),
             consecutive_failures: AtomicU32::new(0),
-            blacklisted: AtomicBool::new(false),
+            health: Mutex::new(WorkerHealth::Healthy),
             clock,
             grace_period,
+            quarantine_period,
+            probation_window,
         })
     }
 
@@ -102,8 +153,23 @@ impl Worker {
     /// Can the scheduler assign new tasks here? Only ACTIVE workers accept
     /// ("the coordinator ... stops sending tasks to the worker"), and a
     /// blacklisted worker is quarantined even while it reports ACTIVE.
+    /// Equivalent to [`Worker::accepts_tasks_for`] at normal priority.
     pub fn accepts_tasks(&self) -> bool {
-        self.state() == WorkerState::Active && !self.is_blacklisted()
+        self.accepts_tasks_for(QueryPriority::Normal)
+    }
+
+    /// Priority-aware acceptance: a worker on probation is half-open and
+    /// serves only [`QueryPriority::Low`] splits, so a still-sick node can
+    /// never absorb a hot query's work on re-admission.
+    pub fn accepts_tasks_for(&self, priority: QueryPriority) -> bool {
+        if self.state() != WorkerState::Active {
+            return false;
+        }
+        match self.health() {
+            WorkerHealth::Healthy => true,
+            WorkerHealth::Quarantined { .. } => false,
+            WorkerHealth::Probation { .. } => priority == QueryPriority::Low,
+        }
     }
 
     /// Abrupt node death: the state machine jumps straight to
@@ -120,17 +186,31 @@ impl Worker {
 
     /// Consecutive-failure bookkeeping for the blacklist: one more task on
     /// this worker failed. Crossing `blacklist_after` consecutive failures
-    /// (0 = never) quarantines the worker; returns `true` exactly when this
-    /// call newly blacklisted it, so the caller can count the event.
+    /// (0 = never) quarantines the worker, and *any* failure while on
+    /// probation re-quarantines it immediately (the half-open circuit
+    /// re-opens on the first sign of sickness). Returns `true` exactly when
+    /// this call newly quarantined it, so the caller can count the event.
     pub fn record_task_failure(&self, blacklist_after: u32) -> bool {
         let failures = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
-        if blacklist_after > 0
-            && failures >= blacklist_after
-            && !self.blacklisted.swap(true, Ordering::SeqCst)
-        {
-            return true;
+        if blacklist_after == 0 {
+            return false;
         }
-        false
+        match self.health() {
+            WorkerHealth::Probation { .. } => {
+                self.quarantine();
+                true
+            }
+            WorkerHealth::Healthy if failures >= blacklist_after => {
+                self.quarantine();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn quarantine(&self) {
+        *self.health.lock() =
+            WorkerHealth::Quarantined { until: self.clock.now() + self.quarantine_period };
     }
 
     /// A task completed successfully: the failure streak resets (the
@@ -145,8 +225,28 @@ impl Worker {
     }
 
     /// Is the worker quarantined by the consecutive-failure blacklist?
+    /// A worker on probation is *not* blacklisted — it is half-open.
     pub fn is_blacklisted(&self) -> bool {
-        self.blacklisted.load(Ordering::SeqCst)
+        matches!(self.health(), WorkerHealth::Quarantined { .. })
+    }
+
+    /// Current blacklist health, lazily promoted against the virtual clock:
+    /// an expired quarantine becomes probation, an expired probation becomes
+    /// full health. Promotion is lazy because nothing else in the simulation
+    /// runs between events — the state is whatever the clock says it is.
+    pub fn health(&self) -> WorkerHealth {
+        let mut health = self.health.lock();
+        loop {
+            let now = self.clock.now();
+            let next = match *health {
+                WorkerHealth::Quarantined { until } if now >= until => {
+                    WorkerHealth::Probation { until: until + self.probation_window }
+                }
+                WorkerHealth::Probation { until } if now >= until => WorkerHealth::Healthy,
+                stable => return stable,
+            };
+            *health = next;
+        }
     }
 
     /// Begin a task. Errors if the worker is not accepting.
@@ -330,5 +430,57 @@ mod tests {
             assert!(!worker.record_task_failure(0));
         }
         assert!(!worker.is_blacklisted());
+    }
+
+    #[test]
+    fn quarantine_lifts_into_probation_then_full_health() {
+        let clock = SimClock::new();
+        let worker = Worker::with_health_windows(
+            7,
+            clock.clone(),
+            Duration::from_secs(1),
+            Duration::from_secs(300),
+            Duration::from_secs(60),
+        );
+        for _ in 0..3 {
+            worker.record_task_failure(3);
+        }
+        assert!(worker.is_blacklisted());
+        assert!(!worker.accepts_tasks_for(QueryPriority::Low));
+
+        // quarantine expires → half-open: low-priority work only
+        clock.advance(Duration::from_secs(300));
+        assert!(matches!(worker.health(), WorkerHealth::Probation { .. }));
+        assert!(!worker.is_blacklisted());
+        assert!(!worker.accepts_tasks());
+        assert!(!worker.accepts_tasks_for(QueryPriority::High));
+        assert!(worker.accepts_tasks_for(QueryPriority::Low));
+
+        // surviving the probation window restores full trust
+        clock.advance(Duration::from_secs(60));
+        assert_eq!(worker.health(), WorkerHealth::Healthy);
+        assert!(worker.accepts_tasks());
+    }
+
+    #[test]
+    fn failure_during_probation_requarantines_immediately() {
+        let clock = SimClock::new();
+        let worker = Worker::with_health_windows(
+            7,
+            clock.clone(),
+            Duration::from_secs(1),
+            Duration::from_secs(300),
+            Duration::from_secs(60),
+        );
+        for _ in 0..3 {
+            worker.record_task_failure(3);
+        }
+        clock.advance(Duration::from_secs(300));
+        assert!(matches!(worker.health(), WorkerHealth::Probation { .. }));
+        // one failure is enough — no need to rebuild a streak of 3
+        worker.record_task_success();
+        assert!(worker.record_task_failure(3), "probation failure re-quarantines");
+        assert!(worker.is_blacklisted());
+        assert!(!worker.accepts_tasks_for(QueryPriority::Low));
     }
 }

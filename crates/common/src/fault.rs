@@ -11,6 +11,15 @@
 //! [`SimClock`](crate::SimClock) — never the wall clock and never a shared
 //! PRNG stream, so the same seed replays the same fault schedule no matter
 //! how the host interleaves worker threads.
+//!
+//! Beyond task-start faults, the plan can also fire **mid-stream**: scan
+//! hooks ([`FaultInjector::on_scan_page`]) stall or tear a connector's page
+//! stream partway through a split, and exchange hooks
+//! ([`FaultInjector::on_exchange_page`]) do the same to pages in transit
+//! between fragments. Page-level decisions are stateless — pure in
+//! `(seed, worker, task ordinal, page ordinal)` for scans and
+//! `(seed, fragment, page ordinal, delivery attempt)` for exchanges — so
+//! they replay identically without any shared bookkeeping.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -52,6 +61,70 @@ pub enum FaultSpec {
     /// reproducible under any thread interleaving.
     FailRate {
         /// Probability in `[0, 1]` that a task fails.
+        rate: f64,
+    },
+    /// Stall the scan stream for `delay` of virtual time just before the
+    /// `page_ordinal`-th page (1-based) of the `task_seq`-th task on worker
+    /// `worker_id` — the slow-disk / hot-neighbour straggler case.
+    StallScanPage {
+        /// Target worker.
+        worker_id: u32,
+        /// 1-based task sequence number on that worker.
+        task_seq: u64,
+        /// 1-based page ordinal within the scan.
+        page_ordinal: u64,
+        /// Virtual-time stall to add to the scan.
+        delay: Duration,
+    },
+    /// Tear the scan stream at the `page_ordinal`-th page of the
+    /// `task_seq`-th task on worker `worker_id`: pages before the tear were
+    /// produced, the rest of the split is lost mid-stream.
+    TearScanPage {
+        /// Target worker.
+        worker_id: u32,
+        /// 1-based task sequence number on that worker.
+        task_seq: u64,
+        /// 1-based page ordinal at which the stream tears.
+        page_ordinal: u64,
+    },
+    /// Every scanned page stalls for `delay` with probability `rate`,
+    /// decided by a stateless hash of `(seed, worker, task, page ordinal)`.
+    ScanStallRate {
+        /// Probability in `[0, 1]` that a page stalls.
+        rate: f64,
+        /// Virtual-time stall per hit.
+        delay: Duration,
+    },
+    /// Every scanned page tears the stream with probability `rate`, decided
+    /// by a stateless hash of `(seed, worker, task, page ordinal)`.
+    ScanTearRate {
+        /// Probability in `[0, 1]` that a page tears the stream.
+        rate: f64,
+    },
+    /// Stall delivery of the `page_ordinal`-th page of fragment `fragment`'s
+    /// exchange for `delay` of virtual time (fires on the first delivery
+    /// attempt only, so a retried exchange proceeds at full speed).
+    StallExchangePage {
+        /// Producing fragment id.
+        fragment: u32,
+        /// 1-based page ordinal within the exchange.
+        page_ordinal: u64,
+        /// Virtual-time stall to add to delivery.
+        delay: Duration,
+    },
+    /// Tear the exchange of fragment `fragment` at the `page_ordinal`-th
+    /// page (first delivery attempt only — the retry succeeds).
+    TearExchangePage {
+        /// Producing fragment id.
+        fragment: u32,
+        /// 1-based page ordinal at which the exchange tears.
+        page_ordinal: u64,
+    },
+    /// Every exchange page tears with probability `rate`, decided by a
+    /// stateless hash of `(seed, fragment, page ordinal, delivery attempt)`
+    /// — the attempt is in the draw so retries can succeed.
+    ExchangeTearRate {
+        /// Probability in `[0, 1]` that a page tears the exchange.
         rate: f64,
     },
 }
@@ -107,6 +180,59 @@ impl FaultPlan {
         self.specs.push(FaultSpec::FailRate { rate });
         self
     }
+
+    /// Stall the given scan page (1-based task and page ordinals) by `delay`.
+    pub fn stall_scan_page(
+        mut self,
+        worker_id: u32,
+        task_seq: u64,
+        page_ordinal: u64,
+        delay: Duration,
+    ) -> FaultPlan {
+        self.specs.push(FaultSpec::StallScanPage { worker_id, task_seq, page_ordinal, delay });
+        self
+    }
+
+    /// Tear the scan stream at the given page (1-based ordinals).
+    pub fn tear_scan_page(mut self, worker_id: u32, task_seq: u64, page_ordinal: u64) -> FaultPlan {
+        self.specs.push(FaultSpec::TearScanPage { worker_id, task_seq, page_ordinal });
+        self
+    }
+
+    /// Stall every scanned page by `delay` with probability `rate`.
+    pub fn scan_stall_rate(mut self, rate: f64, delay: Duration) -> FaultPlan {
+        self.specs.push(FaultSpec::ScanStallRate { rate, delay });
+        self
+    }
+
+    /// Tear the scan stream at any page with probability `rate`.
+    pub fn scan_tear_rate(mut self, rate: f64) -> FaultPlan {
+        self.specs.push(FaultSpec::ScanTearRate { rate });
+        self
+    }
+
+    /// Stall delivery of the given exchange page by `delay` (first attempt).
+    pub fn stall_exchange_page(
+        mut self,
+        fragment: u32,
+        page_ordinal: u64,
+        delay: Duration,
+    ) -> FaultPlan {
+        self.specs.push(FaultSpec::StallExchangePage { fragment, page_ordinal, delay });
+        self
+    }
+
+    /// Tear the given exchange at the given page (first attempt only).
+    pub fn tear_exchange_page(mut self, fragment: u32, page_ordinal: u64) -> FaultPlan {
+        self.specs.push(FaultSpec::TearExchangePage { fragment, page_ordinal });
+        self
+    }
+
+    /// Tear any exchange page with probability `rate` (attempt-aware draw).
+    pub fn exchange_tear_rate(mut self, rate: f64) -> FaultPlan {
+        self.specs.push(FaultSpec::ExchangeTearRate { rate });
+        self
+    }
 }
 
 /// What the injector decided for one task start.
@@ -119,6 +245,30 @@ pub enum FaultDecision {
     /// The worker dies; this task and everything in flight on the worker
     /// is lost.
     CrashWorker,
+}
+
+/// What the injector decided for one mid-stream page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageFault {
+    /// Deliver the page normally.
+    None,
+    /// Deliver the page after this much extra virtual time.
+    Stall(Duration),
+    /// The stream tears here: this page and everything after it is lost
+    /// and the consumer sees a retryable failure.
+    Tear,
+}
+
+/// A task admission ticket: the worker-local 1-based task ordinal the
+/// injector assigned, plus its task-start decision. The ordinal keys all
+/// later mid-stream draws for the task via
+/// [`FaultInjector::on_scan_page`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskStart {
+    /// 1-based per-worker task sequence number assigned to this task.
+    pub seq: u64,
+    /// The task-start fault decision.
+    pub decision: FaultDecision,
 }
 
 /// Per-injector mutable state, guarded by one mutex so sequence draws are
@@ -144,6 +294,8 @@ pub struct FaultInjector {
     state: Mutex<FaultState>,
     crashes_injected: AtomicU64,
     task_faults_injected: AtomicU64,
+    stalls_injected: AtomicU64,
+    tears_injected: AtomicU64,
 }
 
 impl FaultInjector {
@@ -156,6 +308,8 @@ impl FaultInjector {
             state: Mutex::new(FaultState { task_seq: HashMap::new(), fired }),
             crashes_injected: AtomicU64::new(0),
             task_faults_injected: AtomicU64::new(0),
+            stalls_injected: AtomicU64::new(0),
+            tears_injected: AtomicU64::new(0),
         })
     }
 
@@ -179,17 +333,34 @@ impl FaultInjector {
         self.task_faults_injected.load(Ordering::Relaxed)
     }
 
+    /// Mid-stream page stalls injected so far (scan + exchange).
+    pub fn stalls_injected(&self) -> u64 {
+        self.stalls_injected.load(Ordering::Relaxed)
+    }
+
+    /// Mid-stream page tears injected so far (scan + exchange).
+    pub fn tears_injected(&self) -> u64 {
+        self.tears_injected.load(Ordering::Relaxed)
+    }
+
     /// Consult the plan for the task `worker_id` is about to start at
     /// virtual time `now`. Crash specs take precedence over transient
     /// faults; among crashes, timed ones fire before sequence-numbered ones.
     pub fn on_task_start(&self, worker_id: u32, now: Duration) -> FaultDecision {
-        if !self.is_enabled() {
-            return FaultDecision::None;
-        }
+        self.begin_task(worker_id, now).decision
+    }
+
+    /// Like [`FaultInjector::on_task_start`] but also returns the 1-based
+    /// per-worker task ordinal assigned, which keys mid-stream scan draws
+    /// ([`FaultInjector::on_scan_page`]) for the rest of the task.
+    pub fn begin_task(&self, worker_id: u32, now: Duration) -> TaskStart {
         let mut state = self.state.lock();
         let seq_entry = state.task_seq.entry(worker_id).or_insert(0);
         *seq_entry += 1;
         let seq = *seq_entry;
+        if !self.is_enabled() {
+            return TaskStart { seq, decision: FaultDecision::None };
+        }
 
         let mut decision = FaultDecision::None;
         for (idx, spec) in self.plan.specs.iter().enumerate() {
@@ -223,6 +394,14 @@ impl FaultInjector {
                         FaultDecision::None
                     }
                 }
+                // mid-stream specs never fire at task start
+                FaultSpec::StallScanPage { .. }
+                | FaultSpec::TearScanPage { .. }
+                | FaultSpec::ScanStallRate { .. }
+                | FaultSpec::ScanTearRate { .. }
+                | FaultSpec::StallExchangePage { .. }
+                | FaultSpec::TearExchangePage { .. }
+                | FaultSpec::ExchangeTearRate { .. } => FaultDecision::None,
             };
             // a crash dominates a transient fault for the same task
             if rank(hit) > rank(decision) {
@@ -239,7 +418,127 @@ impl FaultInjector {
             }
             FaultDecision::None => {}
         }
-        decision
+        TaskStart { seq, decision }
+    }
+
+    /// Consult the plan for the `page_ordinal`-th page (1-based) the
+    /// `task_seq`-th task on `worker_id` is about to emit. Stateless: the
+    /// answer is pure in `(seed, worker, task ordinal, page ordinal)`, so a
+    /// replayed task sees the identical stall/tear schedule. A tear
+    /// dominates a stall on the same page.
+    pub fn on_scan_page(&self, worker_id: u32, task_seq: u64, page_ordinal: u64) -> PageFault {
+        if !self.is_enabled() {
+            return PageFault::None;
+        }
+        let mut fault = PageFault::None;
+        for spec in self.plan.specs.iter() {
+            let hit = match *spec {
+                FaultSpec::StallScanPage { worker_id: w, task_seq: t, page_ordinal: p, delay } => {
+                    if w == worker_id && t == task_seq && p == page_ordinal {
+                        PageFault::Stall(delay)
+                    } else {
+                        PageFault::None
+                    }
+                }
+                FaultSpec::TearScanPage { worker_id: w, task_seq: t, page_ordinal: p } => {
+                    if w == worker_id && t == task_seq && p == page_ordinal {
+                        PageFault::Tear
+                    } else {
+                        PageFault::None
+                    }
+                }
+                FaultSpec::ScanStallRate { rate, delay } => {
+                    let draw = unit_draw(
+                        self.seed ^ SCAN_STALL_SALT,
+                        worker_id,
+                        mix(task_seq) ^ page_ordinal,
+                    );
+                    if draw < rate {
+                        PageFault::Stall(delay)
+                    } else {
+                        PageFault::None
+                    }
+                }
+                FaultSpec::ScanTearRate { rate } => {
+                    let draw = unit_draw(
+                        self.seed ^ SCAN_TEAR_SALT,
+                        worker_id,
+                        mix(task_seq) ^ page_ordinal,
+                    );
+                    if draw < rate {
+                        PageFault::Tear
+                    } else {
+                        PageFault::None
+                    }
+                }
+                _ => PageFault::None,
+            };
+            if page_rank(hit) > page_rank(fault) {
+                fault = hit;
+            }
+        }
+        self.note_page_fault(fault);
+        fault
+    }
+
+    /// Consult the plan for the `page_ordinal`-th page (1-based) of fragment
+    /// `fragment`'s exchange on delivery attempt `attempt` (1-based).
+    /// Stateless and pure in `(seed, fragment, page ordinal, attempt)`;
+    /// one-shot specs fire on the first attempt only so retries can succeed,
+    /// while rate specs include the attempt in the draw.
+    pub fn on_exchange_page(&self, fragment: u32, page_ordinal: u64, attempt: u64) -> PageFault {
+        if !self.is_enabled() {
+            return PageFault::None;
+        }
+        let mut fault = PageFault::None;
+        for spec in self.plan.specs.iter() {
+            let hit = match *spec {
+                FaultSpec::StallExchangePage { fragment: f, page_ordinal: p, delay } => {
+                    if f == fragment && p == page_ordinal && attempt == 1 {
+                        PageFault::Stall(delay)
+                    } else {
+                        PageFault::None
+                    }
+                }
+                FaultSpec::TearExchangePage { fragment: f, page_ordinal: p } => {
+                    if f == fragment && p == page_ordinal && attempt == 1 {
+                        PageFault::Tear
+                    } else {
+                        PageFault::None
+                    }
+                }
+                FaultSpec::ExchangeTearRate { rate } => {
+                    let draw = unit_draw(
+                        self.seed ^ EXCHANGE_TEAR_SALT,
+                        fragment,
+                        mix(page_ordinal) ^ attempt,
+                    );
+                    if draw < rate {
+                        PageFault::Tear
+                    } else {
+                        PageFault::None
+                    }
+                }
+                _ => PageFault::None,
+            };
+            if page_rank(hit) > page_rank(fault) {
+                fault = hit;
+            }
+        }
+        self.note_page_fault(fault);
+        fault
+    }
+
+    fn note_page_fault(&self, fault: PageFault) {
+        match fault {
+            PageFault::Stall(_) => {
+                self.stalls_injected.fetch_add(1, Ordering::Relaxed);
+            }
+            PageFault::Tear => {
+                self.tears_injected.fetch_add(1, Ordering::Relaxed);
+            }
+            PageFault::None => {}
+        }
     }
 }
 
@@ -250,6 +549,8 @@ impl fmt::Debug for FaultInjector {
             .field("specs", &self.plan.specs)
             .field("crashes_injected", &self.crashes_injected())
             .field("task_faults_injected", &self.task_faults_injected())
+            .field("stalls_injected", &self.stalls_injected())
+            .field("tears_injected", &self.tears_injected())
             .finish()
     }
 }
@@ -261,6 +562,20 @@ fn rank(d: FaultDecision) -> u8 {
         FaultDecision::CrashWorker => 2,
     }
 }
+
+fn page_rank(f: PageFault) -> u8 {
+    match f {
+        PageFault::None => 0,
+        PageFault::Stall(_) => 1,
+        PageFault::Tear => 2,
+    }
+}
+
+/// Domain-separation salts so scan-stall, scan-tear, and exchange-tear rate
+/// draws are independent streams even under the same seed.
+const SCAN_STALL_SALT: u64 = 0x5CA7_57A1_1000_0001;
+const SCAN_TEAR_SALT: u64 = 0x5CA7_7EA2_0000_0002;
+const EXCHANGE_TEAR_SALT: u64 = 0xE8C4_7EA2_0000_0003;
 
 /// SplitMix64 finalizer: well-distributed 64-bit mixing of the
 /// `(seed, worker, seq)` triple.
@@ -363,5 +678,114 @@ mod tests {
     fn crash_dominates_transient_fault_on_same_task() {
         let inj = FaultInjector::new(1, FaultPlan::new().fail_task(3, 1).crash_on_task(3, 1));
         assert_eq!(inj.on_task_start(3, Duration::ZERO), FaultDecision::CrashWorker);
+    }
+
+    #[test]
+    fn begin_task_hands_out_per_worker_ordinals() {
+        let inj = FaultInjector::new(5, FaultPlan::new().fail_task(1, 2));
+        assert_eq!(inj.begin_task(0, Duration::ZERO).seq, 1);
+        assert_eq!(inj.begin_task(1, Duration::ZERO).seq, 1);
+        assert_eq!(inj.begin_task(0, Duration::ZERO).seq, 2);
+        let t = inj.begin_task(1, Duration::ZERO);
+        assert_eq!(t.seq, 2);
+        assert_eq!(t.decision, FaultDecision::FailTask);
+    }
+
+    #[test]
+    fn targeted_scan_page_faults_hit_exact_ordinals() {
+        let delay = Duration::from_millis(40);
+        let inj = FaultInjector::new(
+            3,
+            FaultPlan::new().stall_scan_page(1, 2, 3, delay).tear_scan_page(0, 1, 2),
+        );
+        assert_eq!(inj.on_scan_page(1, 2, 3), PageFault::Stall(delay));
+        assert_eq!(inj.on_scan_page(1, 2, 2), PageFault::None);
+        assert_eq!(inj.on_scan_page(1, 1, 3), PageFault::None);
+        assert_eq!(inj.on_scan_page(2, 2, 3), PageFault::None);
+        assert_eq!(inj.on_scan_page(0, 1, 2), PageFault::Tear);
+        assert_eq!(inj.on_scan_page(0, 1, 1), PageFault::None);
+        assert_eq!(inj.stalls_injected(), 1);
+        assert_eq!(inj.tears_injected(), 1);
+    }
+
+    #[test]
+    fn scan_page_rate_draws_are_pure_in_the_quadruple() {
+        let plan =
+            FaultPlan::new().scan_stall_rate(0.3, Duration::from_millis(10)).scan_tear_rate(0.05);
+        let a = FaultInjector::new(11, plan.clone());
+        let b = FaultInjector::new(11, plan.clone());
+        // different call order, same per-coordinate answers
+        let mut hits = 0usize;
+        for w in 0..3u32 {
+            for t in 1..=4u64 {
+                for p in 1..=8u64 {
+                    let fa = a.on_scan_page(w, t, p);
+                    if fa != PageFault::None {
+                        hits += 1;
+                    }
+                    assert_eq!(fa, b.on_scan_page(w, t, p), "w={w} t={t} p={p}");
+                    // repeated query of the same coordinate: same answer
+                    assert_eq!(fa, a.on_scan_page(w, t, p));
+                }
+            }
+        }
+        assert!(hits > 0, "rates 0.3/0.05 over 96 pages should hit at least once");
+        // a different seed yields a different schedule somewhere
+        let c = FaultInjector::new(12, plan);
+        let differs = (1..=8u64).any(|p| a.on_scan_page(0, 1, p) != c.on_scan_page(0, 1, p))
+            || (1..=8u64).any(|p| a.on_scan_page(1, 2, p) != c.on_scan_page(1, 2, p))
+            || (1..=8u64).any(|p| a.on_scan_page(2, 3, p) != c.on_scan_page(2, 3, p));
+        assert!(differs, "seed must matter");
+    }
+
+    #[test]
+    fn one_shot_exchange_faults_spare_the_retry() {
+        let delay = Duration::from_millis(25);
+        let inj = FaultInjector::new(
+            9,
+            FaultPlan::new().stall_exchange_page(1, 2, delay).tear_exchange_page(1, 3),
+        );
+        assert_eq!(inj.on_exchange_page(1, 1, 1), PageFault::None);
+        assert_eq!(inj.on_exchange_page(1, 2, 1), PageFault::Stall(delay));
+        assert_eq!(inj.on_exchange_page(1, 3, 1), PageFault::Tear);
+        // second delivery attempt sails through
+        assert_eq!(inj.on_exchange_page(1, 2, 2), PageFault::None);
+        assert_eq!(inj.on_exchange_page(1, 3, 2), PageFault::None);
+        // other fragments untouched
+        assert_eq!(inj.on_exchange_page(2, 3, 1), PageFault::None);
+    }
+
+    #[test]
+    fn exchange_tear_rate_draw_includes_the_attempt() {
+        let plan = FaultPlan::new().exchange_tear_rate(0.5);
+        let inj = FaultInjector::new(21, plan.clone());
+        let replay = FaultInjector::new(21, plan);
+        let mut torn = 0usize;
+        let mut recovered = 0usize;
+        for p in 1..=64u64 {
+            let first = inj.on_exchange_page(1, p, 1);
+            assert_eq!(first, replay.on_exchange_page(1, p, 1), "page {p}");
+            if first == PageFault::Tear {
+                torn += 1;
+                if inj.on_exchange_page(1, p, 2) == PageFault::None {
+                    recovered += 1;
+                }
+            }
+        }
+        assert!(torn > 0, "rate 0.5 over 64 pages must tear at least once");
+        assert!(recovered > 0, "attempt is in the draw, so some retries must succeed");
+    }
+
+    #[test]
+    fn scan_and_exchange_draw_streams_are_independent() {
+        // Same rate for both: with domain-separated salts the hit patterns
+        // must not be identical across 64 coordinates.
+        let inj =
+            FaultInjector::new(33, FaultPlan::new().scan_tear_rate(0.4).exchange_tear_rate(0.4));
+        let scan: Vec<bool> =
+            (1..=64u64).map(|p| inj.on_scan_page(1, 1, p) == PageFault::Tear).collect();
+        let exch: Vec<bool> =
+            (1..=64u64).map(|p| inj.on_exchange_page(1, p, 1) == PageFault::Tear).collect();
+        assert_ne!(scan, exch);
     }
 }

@@ -53,6 +53,14 @@ pub mod names {
     pub const CLUSTER_SPLIT_RETRIES: &str = "cluster.split_retries";
     /// Workers quarantined by the consecutive-failure blacklist.
     pub const CLUSTER_BLACKLISTED_WORKERS: &str = "cluster.blacklisted_workers";
+    /// Duplicate attempts launched for straggling splits.
+    pub const CLUSTER_SPECULATIVE_LAUNCHES: &str = "cluster.speculative_launches";
+    /// Speculative attempts that finished before the original.
+    pub const CLUSTER_SPECULATIVE_WINS: &str = "cluster.speculative_wins";
+    /// Speculative attempts cancelled or failed after the original won.
+    pub const CLUSTER_SPECULATIVE_WASTED: &str = "cluster.speculative_wasted";
+    /// Exchange deliveries retried after a mid-stream tear.
+    pub const CLUSTER_EXCHANGE_RETRIES: &str = "cluster.exchange_retries";
 
     /// Redirects the federation gateway resolved.
     pub const GATEWAY_REDIRECTS: &str = "gateway.redirects";
@@ -70,6 +78,9 @@ pub mod names {
     pub const HIST_CLUSTER_QUERY_LATENCY_US: &str = "cluster.query_latency_us";
     /// Histogram: virtual backoff waited between split retry rounds, in µs.
     pub const HIST_CLUSTER_RETRY_BACKOFF_US: &str = "cluster.retry_backoff_us";
+    /// Histogram: virtual runtime of completed scan tasks, in µs — the
+    /// sibling distribution the speculation quantile rule consults.
+    pub const HIST_CLUSTER_TASK_RUNTIME_US: &str = "cluster.task_runtime_us";
     /// Histogram: virtual milliseconds queries waited for admission.
     pub const HIST_ADMISSION_QUEUE_WAIT_MS: &str = "admission.queue_wait_ms";
     /// Histogram: end-to-end virtual latency of gateway-submitted queries, µs.

@@ -45,6 +45,9 @@ pub enum SpanKind {
     Task,
     /// One operator of the local executor.
     Operator,
+    /// One speculative-execution decision: a duplicate attempt launched for
+    /// a straggling split.
+    Speculate,
 }
 
 impl SpanKind {
@@ -54,6 +57,7 @@ impl SpanKind {
             SpanKind::Stage => "stage",
             SpanKind::Task => "task",
             SpanKind::Operator => "operator",
+            SpanKind::Speculate => "speculate",
         }
     }
 }

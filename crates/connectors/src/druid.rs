@@ -35,7 +35,9 @@ pub fn druid_connector() -> RealtimeConnector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spi::{AggregationPushdown, ColumnPath, Connector, PushdownPredicate, ScanRequest};
+    use crate::spi::{
+        AggregationPushdown, ColumnPath, Connector, PushdownPredicate, ScanHooks, ScanRequest,
+    };
     use presto_common::{DataType, Field, Schema, Value};
     use presto_expr::AggregateFunction;
     use presto_parquet::ScalarPredicate;
@@ -80,7 +82,7 @@ mod tests {
         let mut partial_rows = 0usize;
         let mut total_count = 0i64;
         for split in &splits {
-            let pages = c.scan_split(split, &request).unwrap();
+            let pages = c.scan_split(split, &request, &ScanHooks::none()).unwrap();
             for p in &pages {
                 partial_rows += p.positions();
                 for i in 0..p.positions() {
@@ -109,7 +111,11 @@ mod tests {
         let total: usize = splits
             .iter()
             .map(|s| {
-                c.scan_split(s, &request).unwrap().iter().map(|p| p.positions()).sum::<usize>()
+                c.scan_split(s, &request, &ScanHooks::none())
+                    .unwrap()
+                    .iter()
+                    .map(|p| p.positions())
+                    .sum::<usize>()
             })
             .sum();
         // every 7th row is c3

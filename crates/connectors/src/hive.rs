@@ -29,8 +29,8 @@ use presto_storage::FileSystem;
 
 use crate::memory::{predicate_mask, project_column};
 use crate::spi::{
-    ColumnPath, Connector, ConnectorSplit, PushdownPredicate, ScanCapabilities, ScanRequest,
-    SplitPayload,
+    ColumnPath, Connector, ConnectorSplit, PushdownPredicate, ScanCapabilities, ScanHooks,
+    ScanRequest, SplitPayload,
 };
 
 /// A partition entry in the metastore.
@@ -324,7 +324,12 @@ impl Connector for HiveConnector {
         Ok(splits)
     }
 
-    fn scan_split(&self, split: &ConnectorSplit, request: &ScanRequest) -> Result<Vec<Page>> {
+    fn scan_split(
+        &self,
+        split: &ConnectorSplit,
+        request: &ScanRequest,
+        hooks: &ScanHooks,
+    ) -> Result<Vec<Page>> {
         if request.aggregation.is_some() {
             return Err(PrestoError::Connector(
                 "hive connector does not support aggregation pushdown".into(),
@@ -438,6 +443,9 @@ impl Connector for HiveConnector {
             );
             pages
         };
+        for _ in &pages {
+            hooks.on_page()?;
+        }
 
         // Limit pushdown: stop after `limit` rows.
         if let Some(limit) = request.limit {
@@ -585,7 +593,7 @@ mod tests {
             });
             splits
                 .iter()
-                .flat_map(|s| hive.scan_split(s, &request).unwrap())
+                .flat_map(|s| hive.scan_split(s, &request, &ScanHooks::none()).unwrap())
                 .flat_map(|p| p.rows())
                 .collect()
         };
@@ -606,7 +614,7 @@ mod tests {
         hive.metrics().reset();
         hive.set_reader_config(HiveReaderConfig::default());
         for s in &splits {
-            hive.scan_split(s, &request).unwrap();
+            hive.scan_split(s, &request, &ScanHooks::none()).unwrap();
         }
         let new_leaves = hive.metrics().get("hive.leaves_decoded");
 
@@ -616,7 +624,7 @@ mod tests {
             ..HiveReaderConfig::default()
         });
         for s in &splits {
-            hive.scan_split(s, &request).unwrap();
+            hive.scan_split(s, &request, &ScanHooks::none()).unwrap();
         }
         let old_leaves = hive.metrics().get("hive.leaves_decoded");
         assert!(
@@ -638,8 +646,10 @@ mod tests {
             aggregation: None,
         };
         let splits = hive.splits("rawdata", "trips", &request).unwrap();
-        let pages: Vec<Page> =
-            splits.iter().flat_map(|s| hive.scan_split(s, &request).unwrap()).collect();
+        let pages: Vec<Page> = splits
+            .iter()
+            .flat_map(|s| hive.scan_split(s, &request, &ScanHooks::none()).unwrap())
+            .collect();
         let rows: Vec<Vec<Value>> = pages.iter().flat_map(|p| p.rows()).collect();
         assert_eq!(rows.len(), 3); // limit pushdown
         for r in &rows {

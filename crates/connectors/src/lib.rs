@@ -33,5 +33,5 @@ pub mod tpch;
 pub use catalog::CatalogRegistry;
 pub use spi::{
     AggregationPushdown, ColumnPath, Connector, ConnectorSplit, PushdownPredicate,
-    ScanCapabilities, ScanRequest, SplitPayload,
+    ScanCapabilities, ScanHooks, ScanRequest, SplitPayload,
 };

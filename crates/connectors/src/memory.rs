@@ -9,8 +9,8 @@ use presto_common::ids::SplitId;
 use presto_common::{Page, PrestoError, Result, Schema, Value};
 
 use crate::spi::{
-    ColumnPath, Connector, ConnectorSplit, PushdownPredicate, ScanCapabilities, ScanRequest,
-    SplitPayload,
+    ColumnPath, Connector, ConnectorSplit, PushdownPredicate, ScanCapabilities, ScanHooks,
+    ScanRequest, SplitPayload,
 };
 
 struct MemoryTable {
@@ -109,7 +109,12 @@ impl Connector for MemoryConnector {
             .collect())
     }
 
-    fn scan_split(&self, split: &ConnectorSplit, request: &ScanRequest) -> Result<Vec<Page>> {
+    fn scan_split(
+        &self,
+        split: &ConnectorSplit,
+        request: &ScanRequest,
+        hooks: &ScanHooks,
+    ) -> Result<Vec<Page>> {
         let t = self.table(&split.schema, &split.table)?;
         let chunk = match &split.payload {
             SplitPayload::Memory { chunk } => *chunk,
@@ -122,6 +127,7 @@ impl Connector for MemoryConnector {
         let Some(page) = t.pages.get(chunk) else {
             return Ok(Vec::new());
         };
+        hooks.on_page()?;
         Ok(vec![apply_request(&t.schema, page, request)?])
     }
 }
@@ -267,7 +273,7 @@ mod tests {
             aggregation: None,
         };
         let splits = c.splits("default", "t", &request).unwrap();
-        let pages = c.scan_split(&splits[0], &request).unwrap();
+        let pages = c.scan_split(&splits[0], &request, &ScanHooks::none()).unwrap();
         assert_eq!(pages[0].positions(), 1); // limit applied
         assert_eq!(pages[0].column_count(), 1); // projection applied
         assert_eq!(pages[0].row(0), vec![Value::Bigint(1)]);

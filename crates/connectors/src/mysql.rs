@@ -21,7 +21,9 @@ use presto_common::metrics::CounterSet;
 use presto_common::{Block, Page, PrestoError, Result, Schema, Value};
 
 use crate::memory::{predicate_mask, project_column};
-use crate::spi::{Connector, ConnectorSplit, ScanCapabilities, ScanRequest, SplitPayload};
+use crate::spi::{
+    Connector, ConnectorSplit, ScanCapabilities, ScanHooks, ScanRequest, SplitPayload,
+};
 
 struct MySqlTable {
     schema: Schema,
@@ -220,7 +222,12 @@ impl Connector for MySqlConnector {
         }])
     }
 
-    fn scan_split(&self, split: &ConnectorSplit, request: &ScanRequest) -> Result<Vec<Page>> {
+    fn scan_split(
+        &self,
+        split: &ConnectorSplit,
+        request: &ScanRequest,
+        hooks: &ScanHooks,
+    ) -> Result<Vec<Page>> {
         if !matches!(split.payload, SplitPayload::MySql) {
             return Err(PrestoError::Connector("mysql connector got foreign split".into()));
         }
@@ -253,6 +260,7 @@ impl Connector for MySqlConnector {
         } else {
             Page::new(blocks)?
         };
+        hooks.on_page()?;
         self.metrics.add("mysql.rows_streamed", page.positions() as u64);
         Ok(vec![page])
     }
@@ -329,7 +337,7 @@ mod tests {
         };
         let splits = c.splits("presto", "routing", &request).unwrap();
         assert_eq!(splits.len(), 1);
-        let pages = c.scan_split(&splits[0], &request).unwrap();
+        let pages = c.scan_split(&splits[0], &request, &ScanHooks::none()).unwrap();
         assert_eq!(pages[0].positions(), 1);
         assert_eq!(pages[0].row(0), vec![Value::Varchar("shared".into())]);
         // only the matching row crossed the wire
@@ -346,7 +354,7 @@ mod tests {
             ..ScanRequest::default()
         };
         let splits = c.splits("presto", "routing", &request).unwrap();
-        let pages = c.scan_split(&splits[0], &request).unwrap();
+        let pages = c.scan_split(&splits[0], &request, &ScanHooks::none()).unwrap();
         assert_eq!(pages[0].positions(), 2);
         assert_eq!(c.metrics().get("mysql.rows_streamed"), 2);
     }

@@ -35,7 +35,7 @@ pub fn pinot_connector() -> RealtimeConnector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spi::{AggregationPushdown, ColumnPath, Connector, ScanRequest};
+    use crate::spi::{AggregationPushdown, ColumnPath, Connector, ScanHooks, ScanRequest};
     use presto_common::{DataType, Field, Schema, Value};
     use presto_expr::AggregateFunction;
 
@@ -76,7 +76,7 @@ mod tests {
         let splits = c.splits("eats", "orders_rt", &request).unwrap();
         let mut totals = std::collections::HashMap::new();
         for s in &splits {
-            for p in c.scan_split(s, &request).unwrap() {
+            for p in c.scan_split(s, &request, &ScanHooks::none()).unwrap() {
                 for i in 0..p.positions() {
                     let row = p.row(i);
                     *totals.entry(row[0].to_string()).or_insert(0i64) += row[1].as_i64().unwrap();

@@ -525,7 +525,9 @@ fn column_value(t: &RealtimeTable, seg: &Segment, column: &str, row: usize) -> R
 
 // --------------------------------------------------------------- connector
 
-use crate::spi::{Connector, ConnectorSplit, ScanCapabilities, ScanRequest, SplitPayload};
+use crate::spi::{
+    Connector, ConnectorSplit, ScanCapabilities, ScanHooks, ScanRequest, SplitPayload,
+};
 use presto_common::ids::SplitId;
 use presto_common::{Block, Page};
 
@@ -648,7 +650,12 @@ impl Connector for RealtimeConnector {
         Ok(splits)
     }
 
-    fn scan_split(&self, split: &ConnectorSplit, request: &ScanRequest) -> Result<Vec<Page>> {
+    fn scan_split(
+        &self,
+        split: &ConnectorSplit,
+        request: &ScanRequest,
+        hooks: &ScanHooks,
+    ) -> Result<Vec<Page>> {
         let (start, end) = match &split.payload {
             SplitPayload::Segments { start, end } => (*start, *end),
             other => {
@@ -684,6 +691,7 @@ impl Connector for RealtimeConnector {
                     Some((start, end)),
                 )?;
                 self.add_cost(ScanCost { filter: result.cost, stream: Duration::ZERO });
+                hooks.on_page()?;
                 let out_schema = request.output_schema(&table_schema)?;
                 Ok(vec![rows_to_page(&out_schema, &result.rows)?])
             }
@@ -699,6 +707,7 @@ impl Connector for RealtimeConnector {
                     Some((start, end)),
                 )?;
                 self.add_cost(cost);
+                hooks.on_page()?;
                 let out_schema = request.output_schema(&table_schema)?;
                 Ok(vec![rows_to_page(&out_schema, &rows)?])
             }

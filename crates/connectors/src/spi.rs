@@ -9,6 +9,11 @@
 //! them into Presto engine" pages). [`Connector`] carries all four roles,
 //! plus the pushdown contract of §IV.A/§IV.B.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use presto_common::fault::{FaultInjector, PageFault};
 use presto_common::ids::SplitId;
 use presto_common::{DataType, Page, PrestoError, Result, Schema};
 use presto_expr::AggregateFunction;
@@ -221,8 +226,85 @@ pub trait Connector: Send + Sync {
     ) -> Result<Vec<ConnectorSplit>>;
 
     /// ConnectorRecordSetProvider: stream one split as engine pages, with
-    /// every pushdown in `request` applied.
-    fn scan_split(&self, split: &ConnectorSplit, request: &ScanRequest) -> Result<Vec<Page>>;
+    /// every pushdown in `request` applied. Implementations call
+    /// [`ScanHooks::on_page`] once per emitted page so mid-stream faults
+    /// (stalls, torn streams) fire at realistic points inside the scan.
+    fn scan_split(
+        &self,
+        split: &ConnectorSplit,
+        request: &ScanRequest,
+        hooks: &ScanHooks,
+    ) -> Result<Vec<Page>>;
+}
+
+/// Mid-stream instrumentation threaded through [`Connector::scan_split`].
+///
+/// Connectors call [`ScanHooks::on_page`] once per page they are about to
+/// emit; the hook consults the task's [`FaultInjector`] with the page's
+/// 1-based ordinal. An injected stall is *accumulated* here (virtual time —
+/// the coordinator adds it to the task's runtime; scan code never touches
+/// the shared clock), and an injected tear surfaces as a retryable
+/// [`PrestoError::WorkerFailed`] so the split is reassigned like any other
+/// mid-flight worker loss. [`ScanHooks::none`] is the no-op default used by
+/// local (non-cluster) execution and unit tests.
+#[derive(Debug, Default)]
+pub struct ScanHooks {
+    injector: Option<Arc<FaultInjector>>,
+    worker_id: u32,
+    task_seq: u64,
+    pages: AtomicU64,
+    stalled_nanos: AtomicU64,
+}
+
+impl ScanHooks {
+    /// No-op hooks: pages are counted, nothing ever stalls or tears.
+    pub fn none() -> ScanHooks {
+        ScanHooks::default()
+    }
+
+    /// Hooks wired to `injector` for the `task_seq`-th task (1-based) on
+    /// worker `worker_id`.
+    pub fn for_task(injector: Arc<FaultInjector>, worker_id: u32, task_seq: u64) -> ScanHooks {
+        ScanHooks {
+            injector: injector.is_enabled().then_some(injector),
+            worker_id,
+            task_seq,
+            pages: AtomicU64::new(0),
+            stalled_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Announce the next page of the stream. Returns an error if the plan
+    /// tears the stream at this page; an injected stall is added to
+    /// [`ScanHooks::stalled`] and the scan proceeds.
+    pub fn on_page(&self) -> Result<()> {
+        let ordinal = self.pages.fetch_add(1, Ordering::Relaxed) + 1;
+        let Some(injector) = &self.injector else {
+            return Ok(());
+        };
+        match injector.on_scan_page(self.worker_id, self.task_seq, ordinal) {
+            PageFault::None => Ok(()),
+            PageFault::Stall(delay) => {
+                let nanos = u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX);
+                self.stalled_nanos.fetch_add(nanos, Ordering::Relaxed);
+                Ok(())
+            }
+            PageFault::Tear => Err(PrestoError::WorkerFailed {
+                worker_id: self.worker_id,
+                message: format!("scan stream tore at page {ordinal} (injected)"),
+            }),
+        }
+    }
+
+    /// Pages announced so far.
+    pub fn pages_emitted(&self) -> u64 {
+        self.pages.load(Ordering::Relaxed)
+    }
+
+    /// Total virtual stall time injected into this scan so far.
+    pub fn stalled(&self) -> Duration {
+        Duration::from_nanos(self.stalled_nanos.load(Ordering::Relaxed))
+    }
 }
 
 #[cfg(test)]

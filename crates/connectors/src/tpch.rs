@@ -11,7 +11,9 @@ use presto_common::{Block, DataType, Field, Page, PrestoError, Result, Schema, V
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::spi::{Connector, ConnectorSplit, ScanCapabilities, ScanRequest, SplitPayload};
+use crate::spi::{
+    Connector, ConnectorSplit, ScanCapabilities, ScanHooks, ScanRequest, SplitPayload,
+};
 
 /// The LINEITEM schema (TPC-H column order).
 pub fn lineitem_schema() -> Schema {
@@ -212,7 +214,12 @@ impl Connector for TpchConnector {
         Ok(splits)
     }
 
-    fn scan_split(&self, split: &ConnectorSplit, request: &ScanRequest) -> Result<Vec<Page>> {
+    fn scan_split(
+        &self,
+        split: &ConnectorSplit,
+        request: &ScanRequest,
+        hooks: &ScanHooks,
+    ) -> Result<Vec<Page>> {
         let (start, count) = match &split.payload {
             SplitPayload::Tpch { start, count } => (*start, *count),
             other => {
@@ -221,6 +228,7 @@ impl Connector for TpchConnector {
                 )))
             }
         };
+        hooks.on_page()?;
         let page = generate_lineitem(start, count, self.seed)?;
         let schema = lineitem_schema();
         Ok(vec![crate::memory::apply_request(&schema, &page, request)?])
@@ -373,7 +381,7 @@ mod tests {
         };
         let splits = c.splits("tiny", "lineitem", &request).unwrap();
         assert_eq!(splits.len(), 2);
-        let pages = c.scan_split(&splits[0], &request).unwrap();
+        let pages = c.scan_split(&splits[0], &request, &ScanHooks::none()).unwrap();
         assert_eq!(pages[0].positions(), 50);
         assert!(pages[0].rows().iter().all(|r| r[0] == Value::Varchar("R".into())));
         assert!(c.table_schema("huge", "lineitem").is_err());

@@ -1,0 +1,113 @@
+//! Exchange delivery: the simulated page channel between a leaf fragment's
+//! workers and the coordinator.
+//!
+//! In real Presto an exchange is an HTTP stream and can fail or stall
+//! mid-transfer, independently of the scan tasks that produced the pages.
+//! [`deliver`] models that: every page crossing the channel consults the
+//! cluster's [`FaultInjector`] mid-stream hooks
+//! ([`FaultInjector::on_exchange_page`]), so a chaos plan can stall a
+//! transfer (the delay lands on the virtual clock) or tear it (the
+//! delivery fails with a retryable error and the coordinator may retry the
+//! whole transfer — pages are still buffered on the producer side).
+//! Decisions are a pure function of (seed, fragment, page ordinal,
+//! attempt), so a retried delivery re-draws with its new attempt number
+//! instead of tearing forever.
+
+use std::time::Duration;
+
+use presto_common::fault::{FaultInjector, PageFault};
+use presto_common::{Page, PrestoError, Result, SimClock};
+
+/// Deliver one fragment's pages across the simulated exchange channel.
+///
+/// `attempt` is 1-based; retried deliveries pass 2, 3, … so one-shot
+/// exchange faults spare the retry. Stalls advance `clock` by their delay
+/// and the transfer continues; a tear aborts the delivery with
+/// [`PrestoError::TransientExhausted`] (retryable — the producer still has
+/// the pages). Returns the total stall time injected into this delivery.
+pub fn deliver(
+    injector: &FaultInjector,
+    clock: &SimClock,
+    fragment: u32,
+    pages: &[Page],
+    attempt: u64,
+) -> Result<Duration> {
+    let mut stalled = Duration::ZERO;
+    if !injector.is_enabled() {
+        return Ok(stalled);
+    }
+    for ordinal in 1..=pages.len() as u64 {
+        match injector.on_exchange_page(fragment, ordinal, attempt) {
+            PageFault::None => {}
+            PageFault::Stall(delay) => {
+                clock.advance(delay);
+                stalled += delay;
+            }
+            PageFault::Tear => {
+                return Err(PrestoError::TransientExhausted(format!(
+                    "exchange for fragment {fragment} tore at page {ordinal} (injected)"
+                )));
+            }
+        }
+    }
+    Ok(stalled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::fault::FaultPlan;
+    use presto_common::Block;
+
+    fn pages(n: usize) -> Vec<Page> {
+        (0..n).map(|i| Page::new(vec![Block::bigint(vec![i as i64])]).unwrap()).collect()
+    }
+
+    #[test]
+    fn disabled_injector_is_free() {
+        let injector = FaultInjector::disabled();
+        let clock = SimClock::new();
+        let stalled = deliver(&injector, &clock, 1, &pages(8), 1).unwrap();
+        assert_eq!(stalled, Duration::ZERO);
+        assert_eq!(clock.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stall_lands_on_the_virtual_clock() {
+        let injector = FaultInjector::new(
+            3,
+            FaultPlan::new().stall_exchange_page(1, 2, Duration::from_millis(40)),
+        );
+        let clock = SimClock::new();
+        let stalled = deliver(&injector, &clock, 1, &pages(4), 1).unwrap();
+        assert_eq!(stalled, Duration::from_millis(40));
+        assert_eq!(clock.now(), Duration::from_millis(40));
+        // a different fragment is untouched
+        assert_eq!(deliver(&injector, &clock, 2, &pages(4), 1).unwrap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn tear_is_retryable_and_spares_the_retry() {
+        let injector = FaultInjector::new(3, FaultPlan::new().tear_exchange_page(7, 3));
+        let clock = SimClock::new();
+        let err = deliver(&injector, &clock, 7, &pages(5), 1).unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+        assert!(err.message().contains("tore at page 3"), "{err}");
+        // one-shot spec: the second delivery attempt goes through
+        assert!(deliver(&injector, &clock, 7, &pages(5), 2).is_ok());
+    }
+
+    #[test]
+    fn rate_tears_are_pure_in_fragment_page_attempt() {
+        let draw = |fragment, attempt| {
+            let injector = FaultInjector::new(9, FaultPlan::new().exchange_tear_rate(0.5));
+            let clock = SimClock::new();
+            deliver(&injector, &clock, fragment, &pages(16), attempt).is_ok()
+        };
+        for fragment in 1..4 {
+            for attempt in 1..4 {
+                assert_eq!(draw(fragment, attempt), draw(fragment, attempt));
+            }
+        }
+    }
+}

@@ -107,8 +107,9 @@ fn execute_node(plan: &LogicalPlan, ctx: &ExecutionContext, span: SpanId) -> Res
             ctx.trace.set_attr(span, "splits", splits.len() as u64);
             let mut pages = Vec::new();
             let mut scanned = 0u64;
+            let hooks = presto_connectors::ScanHooks::none();
             for split in &splits {
-                for page in connector.scan_split(split, request)? {
+                for page in connector.scan_split(split, request, &hooks)? {
                     scanned += page.positions() as u64;
                     if !page.is_empty() {
                         pages.push(page);

@@ -15,6 +15,7 @@
 //! joining two large tables, Presto will return an error").
 
 pub mod context;
+pub mod exchange;
 pub mod executor;
 
 pub use context::ExecutionContext;

@@ -102,6 +102,7 @@ const LAYERING: &[(&str, &[&str])] = &[
             "presto_common",
             "presto_core",
             "presto_connectors",
+            "presto_exec",
             "presto_plan",
             "presto_cache",
             "presto_resource",

@@ -27,6 +27,9 @@ pub enum QueryPriority {
     Normal,
     /// Interactive traffic (dashboards): drains first.
     High,
+    /// Best-effort background work: drains last, and the only lane a
+    /// blacklisted worker on probation is allowed to serve.
+    Low,
 }
 
 /// Admission knobs.
@@ -203,6 +206,7 @@ fn priority_rank(p: QueryPriority) -> u8 {
     match p {
         QueryPriority::High => 0,
         QueryPriority::Normal => 1,
+        QueryPriority::Low => 2,
     }
 }
 
