@@ -22,9 +22,9 @@ use presto_connectors::mysql::MySqlConnector;
 use presto_core::{PrestoEngine, Session};
 use presto_parquet::Codec;
 
-const EXPERIMENTS: [&str; 14] = [
+const EXPERIMENTS: [&str; 15] = [
     "fig16", "fig17", "fig18", "fig19", "fig20", "geo", "cache", "s3", "shrink", "gateway",
-    "resource", "chaos", "obs", "all",
+    "resource", "chaos", "obs", "sim", "all",
 ];
 
 fn main() {
@@ -73,6 +73,178 @@ fn main() {
     }
     if all || arg == "obs" {
         run_obs();
+    }
+    if all || arg == "sim" {
+        run_sim();
+    }
+}
+
+fn run_sim() {
+    use presto_sim::{run_simulation, SchedulerMode, SimConfig, TenantClass};
+    println!("\n=== multi-tenant workload simulation: WFQ vs FIFO dispatch ===");
+    let config = SimConfig::default();
+    println!(
+        "{} tenants (zipf s={}), {} queries, diurnal rush over {} workers / {} slots; seed {}\n",
+        config.tenants,
+        config.zipf_exponent,
+        config.queries,
+        config.workers,
+        config.slots,
+        config.seed
+    );
+    let wfq = match run_simulation(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sim (wfq) failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wfq_again = match run_simulation(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sim (wfq, rerun) failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let fifo = match run_simulation(&SimConfig { mode: SchedulerMode::Fifo, ..config.clone() }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sim (fifo) failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let classes = [TenantClass::Interactive, TenantClass::Dashboard, TenantClass::Batch];
+    let mut table = Table::new(
+        "end-to-end latency by workload class (virtual µs)",
+        &["class", "queries", "fifo p50", "fifo p99", "wfq p50", "wfq p99", "slo p99"],
+    );
+    for class in classes {
+        let (f, w) = (&fifo.class_latency_us[class.name()], &wfq.class_latency_us[class.name()]);
+        table.row(vec![
+            class.name().into(),
+            w.count().to_string(),
+            f.quantile(0.5).to_string(),
+            f.quantile(0.99).to_string(),
+            w.quantile(0.5).to_string(),
+            w.quantile(0.99).to_string(),
+            config.slos.p99_target(class).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut slo_table = Table::new(
+        "per-tenant SLO attainment (busiest tenant per class + worst tenant)",
+        &["tenant", "class", "queries", "wfq p50", "wfq p99", "slo p99", "within"],
+    );
+    let mut shown: Vec<&presto_sim::TenantReport> = Vec::new();
+    for class in classes {
+        if let Some(busiest) = wfq.class_rows(class).max_by_key(|t| (t.queries, t.tenant)) {
+            shown.push(busiest);
+        }
+    }
+    if let Some(worst) = wfq.tenants.iter().find(|t| t.tenant == wfq.worst_tenant) {
+        if !shown.iter().any(|t| t.tenant == worst.tenant) {
+            shown.push(worst);
+        }
+    }
+    for t in shown {
+        slo_table.row(vec![
+            format!("t{}", t.tenant),
+            t.class.name().into(),
+            t.queries.to_string(),
+            t.p50_us.to_string(),
+            t.p99_us.to_string(),
+            t.slo_p99_us.to_string(),
+            if t.within_slo { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    println!("{}", slo_table.render());
+
+    let deterministic = wfq.digest == wfq_again.digest
+        && wfq.trace_digest == wfq_again.trace_digest
+        && wfq.tenant_latency_us == wfq_again.tenant_latency_us;
+    println!(
+        "worst-tenant p99: fifo {} µs (t{}) -> wfq {} µs (t{})",
+        fifo.worst_p99_us, fifo.worst_tenant, wfq.worst_p99_us, wfq.worst_tenant
+    );
+    println!(
+        "SLO violations: fifo {} tenants, wfq {} tenants (interactive lane clean: {})",
+        fifo.slo_violations,
+        wfq.slo_violations,
+        wfq.class_within_slo(TenantClass::Interactive)
+    );
+    println!(
+        "determinism: two seed-{} runs -> digests {:#018x} / {:#018x}, traces {:#018x} / {:#018x} ({})\n",
+        config.seed,
+        wfq.digest,
+        wfq_again.digest,
+        wfq.trace_digest,
+        wfq_again.trace_digest,
+        if deterministic { "identical" } else { "MISMATCH" }
+    );
+
+    let mode_json = |r: &presto_sim::SimReport| {
+        Json::Obj(vec![
+            ("completed".into(), Json::U64(r.completed)),
+            ("failed".into(), Json::U64(r.failed)),
+            ("makespan_us".into(), Json::U64(r.makespan_us)),
+            ("worst_tenant".into(), Json::U64(u64::from(r.worst_tenant))),
+            ("worst_tenant_p99_us".into(), Json::U64(r.worst_p99_us)),
+            ("slo_violations".into(), Json::U64(r.slo_violations)),
+            ("latency_us".into(), histogram_json(&r.latency_us)),
+            ("queue_wait_us".into(), histogram_json(&r.queue_wait_us)),
+            (
+                "class_p99_us".into(),
+                Json::Obj(
+                    r.class_latency_us
+                        .iter()
+                        .map(|(k, h)| ((*k).into(), Json::U64(h.quantile(0.99))))
+                        .collect(),
+                ),
+            ),
+            ("digest".into(), Json::Str(format!("{:#018x}", r.digest))),
+            ("trace_digest".into(), Json::Str(format!("{:#018x}", r.trace_digest))),
+        ])
+    };
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("sim".into())),
+        ("tenants".into(), Json::U64(u64::from(config.tenants))),
+        ("queries".into(), Json::U64(config.queries)),
+        ("wfq".into(), mode_json(&wfq)),
+        ("fifo".into(), mode_json(&fifo)),
+        ("deterministic".into(), Json::Bool(deterministic)),
+        ("wfq_improves_worst_tenant_p99".into(), Json::Bool(wfq.worst_p99_us < fifo.worst_p99_us)),
+        (
+            "interactive_within_slo".into(),
+            Json::Bool(wfq.class_within_slo(TenantClass::Interactive)),
+        ),
+    ]);
+    match write_bench_json("sim", &json) {
+        Ok(path) => println!("wrote {path}\n"),
+        Err(e) => eprintln!("could not write BENCH_sim.json: {e}"),
+    }
+    if !deterministic {
+        eprintln!("sim determinism check FAILED: same-seed runs diverged");
+        std::process::exit(1);
+    }
+    if wfq.worst_p99_us >= fifo.worst_p99_us {
+        eprintln!(
+            "sim fairness check FAILED: wfq worst-tenant p99 ({} µs) does not improve on fifo ({} µs)",
+            wfq.worst_p99_us, fifo.worst_p99_us
+        );
+        std::process::exit(1);
+    }
+    if !wfq.class_within_slo(TenantClass::Interactive) {
+        eprintln!("sim SLO check FAILED: an interactive tenant missed its p99 target under wfq");
+        std::process::exit(1);
+    }
+    if wfq.completed != config.queries || fifo.completed != config.queries {
+        eprintln!(
+            "sim completion check FAILED: wfq {} / fifo {} of {} queries completed",
+            wfq.completed, fifo.completed, config.queries
+        );
+        std::process::exit(1);
     }
 }
 

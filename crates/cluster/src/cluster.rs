@@ -117,11 +117,22 @@ pub struct SpeculationConfig {
     pub quantile: f64,
     /// Completed siblings required before stragglers can be judged.
     pub min_completed: u64,
+    /// Seed the sibling-runtime yardstick from the previous run of the
+    /// same plan fingerprint (on by default). A fragment with too few
+    /// splits to ever reach `min_completed` siblings — a single wave, or a
+    /// single split — can then speculate *in-wave* on its very first
+    /// straggler, using the runtimes the last identical fragment recorded.
+    pub seed_from_history: bool,
 }
 
 impl Default for SpeculationConfig {
     fn default() -> Self {
-        SpeculationConfig { enabled: true, quantile: 0.99, min_completed: 3 }
+        SpeculationConfig {
+            enabled: true,
+            quantile: 0.99,
+            min_completed: 3,
+            seed_from_history: true,
+        }
     }
 }
 
@@ -171,6 +182,10 @@ pub struct PrestoCluster {
     /// Per-worker fragment result caches (die with their worker, like any
     /// worker-side memory cache).
     fragment_caches: RwLock<HashMap<u32, FragmentResultCache>>,
+    /// Completed task runtimes per plan fingerprint, merged in after every
+    /// successful scan fragment. Seeds the next identical fragment's
+    /// straggler yardstick so single-wave fragments can speculate in-wave.
+    runtime_history: RwLock<HashMap<u64, Histogram>>,
 }
 
 impl PrestoCluster {
@@ -203,6 +218,7 @@ impl PrestoCluster {
             maintenance: RwLock::new(false),
             queries_started: AtomicU64::new(0),
             fragment_caches: RwLock::new(HashMap::new()),
+            runtime_history: RwLock::new(HashMap::new()),
         };
         let cluster = Arc::new(cluster);
         cluster.expand(cluster.config.initial_workers);
@@ -334,6 +350,25 @@ impl PrestoCluster {
     /// [`PrestoError::ClusterUnavailable`] — retryable, so a gateway that
     /// raced the drain can fail the query over to a healthy cluster.
     pub fn execute(&self, sql: &str, session: &Session) -> Result<QueryResult> {
+        let clock = self.clock.clone();
+        self.execute_clocked(sql, session, &clock)
+    }
+
+    /// [`PrestoCluster::execute`] on an explicit virtual clock.
+    ///
+    /// A multi-query simulator interleaves queries in virtual time by
+    /// giving each in-flight query a [`SimClock::fork`] of its master
+    /// timeline: the query's task waits and retry backoffs advance the
+    /// fork only, so two overlapping queries no longer serialize each
+    /// other's virtual costs through the cluster-wide clock. Admission
+    /// accounting still runs on the cluster clock; service time is a pure
+    /// function of the plan, so forked runs stay deterministic.
+    pub fn execute_clocked(
+        &self,
+        sql: &str,
+        session: &Session,
+        clock: &SimClock,
+    ) -> Result<QueryResult> {
         if self.in_maintenance() {
             self.metrics.incr(names::CLUSTER_QUERIES_REJECTED);
             return Err(PrestoError::ClusterUnavailable(format!(
@@ -355,12 +390,12 @@ impl PrestoCluster {
         };
         self.queries_started.fetch_add(1, Ordering::Relaxed);
         self.metrics.incr(names::CLUSTER_QUERIES);
-        // The query trace runs on the cluster's shared virtual clock, so
-        // span timestamps line up with admission waits and retry backoffs.
-        let trace = Trace::new(self.clock.clone());
+        // The query trace runs on the query's virtual clock, so span
+        // timestamps line up with task waits and retry backoffs.
+        let trace = Trace::new(clock.clone());
         let root = trace.begin(SpanKind::Query, "query", None);
-        let watch = SimStopwatch::start(&self.clock);
-        let result = self.execute_inner(sql, session, &query_metrics, &trace, root);
+        let watch = SimStopwatch::start(clock);
+        let result = self.execute_inner(sql, session, &query_metrics, &trace, root, clock);
         drop(permit);
         let latency = watch.elapsed();
         trace.end(root);
@@ -380,6 +415,7 @@ impl PrestoCluster {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute_inner(
         &self,
         sql: &str,
@@ -387,6 +423,7 @@ impl PrestoCluster {
         query_metrics: &CounterSet,
         trace: &Trace,
         root: SpanId,
+        clock: &SimClock,
     ) -> Result<QueryResult> {
         let fragments = self.engine.fragment(sql, session)?;
         let schema = fragments[0].plan.output_schema()?;
@@ -430,9 +467,10 @@ impl PrestoCluster {
                 session.priority,
                 trace,
                 stage,
+                clock,
             );
             trace.end(stage);
-            let pages = self.deliver_exchange(fragment.id, pages?)?;
+            let pages = self.deliver_exchange(fragment.id, pages?, clock)?;
             exchanges.push((fragment.id, pages));
         }
 
@@ -478,13 +516,45 @@ impl PrestoCluster {
         priority: QueryPriority,
         trace: &Trace,
         stage: SpanId,
+        clock: &SimClock,
     ) -> Result<Vec<Page>> {
         let workers = self.eligible_workers(priority);
         if workers.is_empty() {
             return Err(self.no_active_workers());
         }
+        // Pushdowns are part of the fragment identity: two queries only
+        // share cached results when their pushed-down scans agree.
+        let plan_fingerprint = fingerprint(&format!("{:?}", fragment.plan));
+        // Seed the straggler yardstick from the last run of this exact
+        // fragment, so a single-wave fragment (fewer splits than
+        // `min_completed`) can still judge its very first straggler. The
+        // seed is `min_completed` copies of the *median* historical
+        // runtime, not the raw histogram: a straggler that completed last
+        // run would otherwise drag the p99 yardstick up to its own runtime
+        // and grant every future straggler amnesty.
+        let spec = &self.config.speculation;
+        let sibling_us = if spec.enabled && spec.seed_from_history {
+            match self.runtime_history.read().get(&plan_fingerprint) {
+                Some(history) if history.count() > 0 => {
+                    let typical = history.quantile(0.5);
+                    let mut seeded = Histogram::new();
+                    for _ in 0..spec.min_completed.max(1) {
+                        seeded.record(typical);
+                    }
+                    seeded
+                }
+                _ => Histogram::new(),
+            }
+        } else {
+            Histogram::new()
+        };
+        if sibling_us.count() > 0 {
+            self.metrics.incr(names::CLUSTER_SPECULATION_SEEDED);
+            trace.set_attr(stage, "seeded_runtimes", sibling_us.count());
+        }
         let mut sched = ScanScheduler {
             cluster: self,
+            clock,
             fragment,
             splits,
             connector,
@@ -492,9 +562,7 @@ impl PrestoCluster {
             priority,
             trace,
             stage,
-            // Pushdowns are part of the fragment identity: two queries only
-            // share cached results when their pushed-down scans agree.
-            plan_fingerprint: fingerprint(&format!("{:?}", fragment.plan)),
+            plan_fingerprint,
             queues: vec![VecDeque::new(); workers.len()],
             busy: vec![None; workers.len()],
             workers,
@@ -505,9 +573,15 @@ impl PrestoCluster {
             done: 0,
             heap: BinaryHeap::new(),
             seq: 0,
-            sibling_us: Histogram::new(),
+            sibling_us,
+            fresh_us: Histogram::new(),
         };
         sched.run()?;
+        if sched.fresh_us.count() > 0 {
+            // Only *observed* runtimes feed the history — seeded values
+            // never re-enter, so stale estimates age out after one run.
+            self.runtime_history.write().insert(plan_fingerprint, sched.fresh_us.clone());
+        }
 
         // splits stay ordered so results are deterministic
         let mut pages = Vec::new();
@@ -535,7 +609,12 @@ impl PrestoCluster {
     /// coordinator retries the whole delivery (counted as
     /// `cluster.exchange_retries`) under the split attempt cap with
     /// virtual-time backoff. With recovery off the first tear is fatal.
-    fn deliver_exchange(&self, fragment: u32, pages: Vec<Page>) -> Result<Vec<Page>> {
+    fn deliver_exchange(
+        &self,
+        fragment: u32,
+        pages: Vec<Page>,
+        clock: &SimClock,
+    ) -> Result<Vec<Page>> {
         let injector = &self.config.fault_injector;
         if !injector.is_enabled() {
             return Ok(pages);
@@ -543,7 +622,7 @@ impl PrestoCluster {
         let mut backoff = self.config.retry_backoff_base;
         let mut attempt = 1u64;
         loop {
-            match presto_exec::exchange::deliver(injector, &self.clock, fragment, &pages, attempt) {
+            match presto_exec::exchange::deliver(injector, clock, fragment, &pages, attempt) {
                 Ok(_stalled) => return Ok(pages),
                 Err(e)
                     if self.config.fault_recovery
@@ -553,7 +632,7 @@ impl PrestoCluster {
                     self.metrics.incr(names::CLUSTER_EXCHANGE_RETRIES);
                     self.histograms
                         .record(names::HIST_CLUSTER_RETRY_BACKOFF_US, backoff.as_micros() as u64);
-                    self.clock.advance(backoff);
+                    clock.advance(backoff);
                     backoff = backoff.saturating_mul(2);
                     attempt += 1;
                 }
@@ -638,6 +717,9 @@ struct QueuedSplit {
 /// first-result-wins races between originals and speculative duplicates.
 struct ScanScheduler<'a> {
     cluster: &'a PrestoCluster,
+    /// The query's virtual timeline (a fork of the master clock when the
+    /// cluster runs under a multi-query simulator).
+    clock: &'a SimClock,
     fragment: &'a PlanFragment,
     splits: &'a [ConnectorSplit],
     connector: &'a Arc<dyn Connector>,
@@ -659,8 +741,12 @@ struct ScanScheduler<'a> {
     done: usize,
     heap: BinaryHeap<Reverse<(Duration, u64, SchedEvent)>>,
     seq: u64,
-    /// Completed sibling runtimes (µs) — the straggler yardstick.
+    /// Completed sibling runtimes (µs) — the straggler yardstick. May be
+    /// pre-seeded from the cluster's per-fingerprint runtime history.
     sibling_us: Histogram,
+    /// Runtimes observed *this* run only; merged back into the history so
+    /// seeded estimates never compound across runs.
+    fresh_us: Histogram,
 }
 
 impl ScanScheduler<'_> {
@@ -679,16 +765,16 @@ impl ScanScheduler<'_> {
             };
             self.queues[w].push_back(QueuedSplit { split: i, not_before: Duration::ZERO });
         }
-        self.dispatch(self.cluster.clock.now())?;
+        self.dispatch(self.clock.now())?;
         while let Some(Reverse((at, _seq, event))) = self.heap.pop() {
             if self.done == self.splits.len() {
                 break;
             }
-            let now = self.cluster.clock.now();
+            let now = self.clock.now();
             if at > now {
-                self.cluster.clock.advance(at - now);
+                self.clock.advance(at - now);
             }
-            let now = self.cluster.clock.now();
+            let now = self.clock.now();
             if let SchedEvent::Complete(id) = event {
                 self.complete(id, now)?;
             }
@@ -712,7 +798,7 @@ impl ScanScheduler<'_> {
             self.trace.set_attr(span, "speculative", 1);
         }
         let injector = &cluster.config.fault_injector;
-        let task = injector.begin_task(worker.id, cluster.clock.now());
+        let task = injector.begin_task(worker.id, self.clock.now());
         let (outcome, duration) = match task.decision {
             FaultDecision::CrashWorker => {
                 // abrupt node death: this attempt is lost instantly and the
@@ -811,6 +897,7 @@ impl ScanScheduler<'_> {
                 }
                 let us = duration.as_micros() as u64;
                 self.sibling_us.record(us);
+                self.fresh_us.record(us);
                 self.cluster.histograms.record(names::HIST_CLUSTER_TASK_RUNTIME_US, us);
                 if speculative {
                     self.cluster.metrics.incr(names::CLUSTER_SPECULATIVE_WINS);
@@ -938,6 +1025,15 @@ impl ScanScheduler<'_> {
             let from = self.attempts[id].worker;
             let elapsed_us = now.saturating_sub(self.attempts[id].start).as_micros() as u64;
             if elapsed_us <= threshold_us {
+                // Not a straggler *yet*: revisit at the instant it would
+                // cross the yardstick. Without this wake-up a quiet tail is
+                // never re-judged — a two-split fragment has exactly one
+                // sibling completion to piggyback on, and it lands before
+                // the straggler's elapsed time exceeds the threshold.
+                self.push_event(
+                    self.attempts[id].start + Duration::from_micros(threshold_us + 1),
+                    SchedEvent::Wake,
+                );
                 continue;
             }
             // an idle eligible worker that is not the straggler's own

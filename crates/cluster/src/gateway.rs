@@ -130,6 +130,53 @@ impl PrestoGateway {
         Err(PrestoError::Execution(format!("no healthy cluster for group '{group}'")))
     }
 
+    /// Resolve a redirect for a user group, steering around *load* as well
+    /// as maintenance: when the group's mapped cluster cannot start the
+    /// query immediately (all run slots busy, or a queue already formed at
+    /// its admission controller), the gateway redirects to the registered
+    /// healthy cluster with the shallowest admission queue that *can*.
+    ///
+    /// The depth check costs one lock per cluster and no proxying, so the
+    /// §XII.B lesson holds: the gateway still only issues redirects. Every
+    /// redirect that steered away from the mapped cluster is counted as
+    /// `gateway.load_balanced_routes`.
+    pub fn route_balanced(&self, group: &str) -> Result<Redirect> {
+        let primary = self.route(group)?;
+        let clusters = self.clusters.read();
+        let load_of = |c: &Arc<PrestoCluster>| {
+            let (running, queued) = c.engine().resources().admission().load();
+            // a backlog is worse than busy slots: it means queries are
+            // already waiting at that coordinator
+            (queued, running)
+        };
+        if let Some(c) = clusters.get(&primary.cluster) {
+            if c.engine().resources().admission().has_free_slot() {
+                return Ok(primary);
+            }
+        }
+        // mapped cluster is saturated: shallowest-queue healthy cluster
+        // with an immediately free slot, ties broken by name order
+        let healthy =
+            |c: &Arc<PrestoCluster>| !c.in_maintenance() && !c.active_workers().is_empty();
+        let target = clusters
+            .iter()
+            .filter(|(name, c)| {
+                name.as_str() != primary.cluster
+                    && healthy(c)
+                    && c.engine().resources().admission().has_free_slot()
+            })
+            .min_by_key(|(name, c)| (load_of(c), name.as_str().to_string()));
+        match target {
+            Some((name, _)) => {
+                self.metrics.incr(names::GATEWAY_LOAD_BALANCED_ROUTES);
+                Ok(Redirect { cluster: name.clone() })
+            }
+            // everyone is saturated: the mapped cluster's queue is as good
+            // a place to wait (or be refused) as any
+            None => Ok(primary),
+        }
+    }
+
     /// One routing-table lookup: the cluster mapped to `group`, if any.
     fn lookup_route(&self, group: &str) -> Result<Option<String>> {
         Ok(self
@@ -163,6 +210,36 @@ impl PrestoGateway {
         if let Ok(ok) = &result {
             // failover is part of what the client waited through, so the
             // winning attempt's latency stands in for the whole submit
+            self.histograms
+                .record(names::HIST_GATEWAY_QUERY_LATENCY_US, ok.info.latency.as_micros() as u64);
+        }
+        result
+    }
+
+    /// [`PrestoGateway::submit`] over [`PrestoGateway::route_balanced`]:
+    /// the client follows a depth-aware redirect instead of the static
+    /// mapping. An admission refusal (`INSUFFICIENT_RESOURCES`) is *not*
+    /// retryable — no failover saves a query the naive route drove into a
+    /// full queue — which is exactly why the depth check happens up front.
+    pub fn submit_balanced(
+        &self,
+        group: &str,
+        sql: &str,
+        session: &Session,
+    ) -> Result<QueryResult> {
+        let redirect = self.route_balanced(group)?;
+        let cluster = self.cluster_named(&redirect.cluster)?;
+        let result = match cluster.execute(sql, session) {
+            Err(e) if e.is_retryable() => {
+                let Some(fallback) = self.failover_target(&redirect.cluster) else {
+                    return Err(e);
+                };
+                self.metrics.incr(names::GATEWAY_RETRIED_QUERIES);
+                fallback.execute(sql, session)
+            }
+            other => other,
+        };
+        if let Ok(ok) = &result {
             self.histograms
                 .record(names::HIST_GATEWAY_QUERY_LATENCY_US, ok.info.latency.as_micros() as u64);
         }
@@ -328,6 +405,102 @@ mod tests {
         let h = gateway.histograms().get(names::HIST_GATEWAY_QUERY_LATENCY_US);
         assert_eq!(h.count(), 2);
         assert!(h.max() > 0);
+    }
+
+    #[test]
+    fn depth_aware_routing_steers_around_a_saturated_cluster() {
+        use presto_resource::{AdmissionConfig, QueryPriority};
+        let gateway = PrestoGateway::new(MySqlConnector::new()).unwrap();
+        let mk = |name: &str| {
+            let engine = PrestoEngine::new();
+            engine
+                .register_catalog("tpch", Arc::new(presto_connectors::tpch::TpchConnector::new()));
+            PrestoCluster::new(
+                name,
+                engine,
+                ClusterConfig {
+                    initial_workers: 2,
+                    admission: AdmissionConfig {
+                        max_concurrent: Some(1),
+                        max_queued: 0,
+                        ..AdmissionConfig::default()
+                    },
+                    ..ClusterConfig::default()
+                },
+                SimClock::new(),
+            )
+        };
+        let hot = mk("hot");
+        let spare = mk("spare");
+        gateway.add_cluster(hot.clone());
+        gateway.add_cluster(spare.clone());
+        gateway.set_route(DEFAULT_GROUP, "hot").unwrap();
+
+        // an analyst's long-running query holds hot's only run slot
+        let metrics = CounterSet::new();
+        let slot =
+            hot.engine().resources().admission().admit("analyst", QueryPriority::Normal, &metrics);
+        assert!(slot.is_ok());
+
+        // naive routing drives the next query into the full admission
+        // queue: a hard, non-retryable refusal failover cannot save
+        let session = Session::new("tpch", "tiny");
+        let err = gateway.submit("etl", "SELECT count(*) FROM lineitem", &session).unwrap_err();
+        assert_eq!(err.code(), "INSUFFICIENT_RESOURCES");
+        assert!(!err.is_retryable(), "{err}");
+        assert_eq!(hot.metrics().get("cluster.queries_rejected"), 1);
+        assert_eq!(spare.queries_started(), 0);
+
+        // the depth-aware route sees the saturation up front and redirects
+        // to the idle sibling instead
+        let result =
+            gateway.submit_balanced("etl", "SELECT count(*) FROM lineitem", &session).unwrap();
+        assert!(!result.rows().is_empty());
+        assert_eq!(spare.queries_started(), 1, "the idle cluster ran the query");
+        assert_eq!(gateway.metrics().get("gateway.load_balanced_routes"), 1);
+        assert_eq!(hot.metrics().get("cluster.queries_rejected"), 1, "no further refusals");
+
+        // slot freed: balanced routing goes straight back to the mapped
+        // cluster, without counting a steer
+        drop(slot);
+        gateway.submit_balanced("etl", "SELECT count(*) FROM lineitem", &session).unwrap();
+        assert_eq!(hot.queries_started(), 1);
+        assert_eq!(gateway.metrics().get("gateway.load_balanced_routes"), 1);
+    }
+
+    #[test]
+    fn balanced_routing_falls_back_to_the_mapped_cluster_when_everyone_is_full() {
+        use presto_resource::{AdmissionConfig, QueryPriority};
+        let gateway = PrestoGateway::new(MySqlConnector::new()).unwrap();
+        let mk = |name: &str| {
+            let engine = PrestoEngine::new();
+            let c = PrestoCluster::new(
+                name,
+                engine,
+                ClusterConfig {
+                    initial_workers: 1,
+                    admission: AdmissionConfig {
+                        max_concurrent: Some(1),
+                        max_queued: 0,
+                        ..AdmissionConfig::default()
+                    },
+                    ..ClusterConfig::default()
+                },
+                SimClock::new(),
+            );
+            gateway.add_cluster(c.clone());
+            c
+        };
+        let a = mk("a");
+        let b = mk("b");
+        gateway.set_route(DEFAULT_GROUP, "a").unwrap();
+        let metrics = CounterSet::new();
+        let _sa = a.engine().resources().admission().admit("x", QueryPriority::Normal, &metrics);
+        let _sb = b.engine().resources().admission().admit("y", QueryPriority::Normal, &metrics);
+        // nowhere has a free slot: wait (or be refused) at the mapped
+        // cluster rather than bouncing between equally full queues
+        assert_eq!(gateway.route_balanced("etl").unwrap().cluster, "a");
+        assert_eq!(gateway.metrics().get("gateway.load_balanced_routes"), 0);
     }
 
     #[test]

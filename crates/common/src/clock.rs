@@ -48,6 +48,17 @@ impl SimClock {
     pub fn advance_millis(&self, millis: u64) -> Duration {
         self.advance(Duration::from_millis(millis))
     }
+
+    /// An *independent* clock starting at this clock's current time.
+    ///
+    /// Forks let a multi-query simulator overlap work in virtual time:
+    /// each in-flight query advances its own fork while the master
+    /// timeline stays put, so two queries dispatched at the same instant
+    /// no longer serialize each other's virtual costs. Advancing the fork
+    /// never moves the parent (and vice versa).
+    pub fn fork(&self) -> SimClock {
+        SimClock { nanos: Arc::new(AtomicU64::new(self.nanos.load(Ordering::Relaxed))) }
+    }
 }
 
 /// A stopwatch over a [`SimClock`].
@@ -90,6 +101,18 @@ mod tests {
         let watch = SimStopwatch::start(&clock);
         clock.advance_millis(7);
         assert_eq!(watch.elapsed(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn forks_start_at_now_and_advance_independently() {
+        let master = SimClock::new();
+        master.advance_millis(3);
+        let fork = master.fork();
+        assert_eq!(fork.now(), Duration::from_millis(3));
+        fork.advance_millis(10);
+        master.advance_millis(1);
+        assert_eq!(fork.now(), Duration::from_millis(13));
+        assert_eq!(master.now(), Duration::from_millis(4));
     }
 
     #[test]

@@ -577,20 +577,16 @@ const SCAN_STALL_SALT: u64 = 0x5CA7_57A1_1000_0001;
 const SCAN_TEAR_SALT: u64 = 0x5CA7_7EA2_0000_0002;
 const EXCHANGE_TEAR_SALT: u64 = 0xE8C4_7EA2_0000_0003;
 
-/// SplitMix64 finalizer: well-distributed 64-bit mixing of the
-/// `(seed, worker, seq)` triple.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+/// Well-distributed 64-bit mixing of the `(seed, worker, seq)` triple —
+/// the shared [`crate::rng`] SplitMix64 finalizer.
+fn mix(z: u64) -> u64 {
+    crate::rng::mix64(z)
 }
 
 /// A uniform draw in `[0, 1)` that depends only on the triple — identical
-/// under any thread interleaving.
+/// under any thread interleaving. The worker id is the draw's stream.
 fn unit_draw(seed: u64, worker_id: u32, seq: u64) -> f64 {
-    let mixed = mix(seed ^ mix(u64::from(worker_id)) ^ mix(seq));
-    (mixed >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    crate::rng::unit_draw(seed, u64::from(worker_id), seq)
 }
 
 #[cfg(test)]

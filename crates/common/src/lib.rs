@@ -34,6 +34,7 @@ pub mod fault;
 pub mod ids;
 pub mod metrics;
 pub mod page;
+pub mod rng;
 pub mod trace;
 pub mod types;
 pub mod value;

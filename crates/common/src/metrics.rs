@@ -53,6 +53,9 @@ pub mod names {
     pub const CLUSTER_SPLIT_RETRIES: &str = "cluster.split_retries";
     /// Workers quarantined by the consecutive-failure blacklist.
     pub const CLUSTER_BLACKLISTED_WORKERS: &str = "cluster.blacklisted_workers";
+    /// Scan fragments whose sibling-runtime yardstick was pre-seeded from a
+    /// previous run of the same plan fingerprint (in-wave speculation).
+    pub const CLUSTER_SPECULATION_SEEDED: &str = "cluster.speculation_seeded_fragments";
     /// Duplicate attempts launched for straggling splits.
     pub const CLUSTER_SPECULATIVE_LAUNCHES: &str = "cluster.speculative_launches";
     /// Speculative attempts that finished before the original.
@@ -68,6 +71,8 @@ pub mod names {
     pub const GATEWAY_REROUTED_MAINTENANCE: &str = "gateway.rerouted_maintenance";
     /// Queries the gateway failed over to a healthy sibling cluster.
     pub const GATEWAY_RETRIED_QUERIES: &str = "gateway.retried_queries";
+    /// Depth-aware submits steered away from a loaded primary cluster.
+    pub const GATEWAY_LOAD_BALANCED_ROUTES: &str = "gateway.load_balanced_routes";
 
     /// Fragment-result-cache hits.
     pub const FRC_HITS: &str = "frc.hits";
@@ -85,6 +90,19 @@ pub mod names {
     pub const HIST_ADMISSION_QUEUE_WAIT_MS: &str = "admission.queue_wait_ms";
     /// Histogram: end-to-end virtual latency of gateway-submitted queries, µs.
     pub const HIST_GATEWAY_QUERY_LATENCY_US: &str = "gateway.query_latency_us";
+
+    /// Queries the workload simulator injected (arrival events).
+    pub const SIM_ARRIVALS: &str = "sim.arrivals";
+    /// Queries the workload simulator ran to completion.
+    pub const SIM_COMPLETED: &str = "sim.completed";
+    /// Simulated queries that failed (should be 0 in a fault-free workload).
+    pub const SIM_FAILED: &str = "sim.failed";
+    /// Histogram: virtual end-to-end latency (queue wait + service) of
+    /// simulated queries, in µs, recorded per tenant class.
+    pub const HIST_SIM_LATENCY_US: &str = "sim.latency_us";
+    /// Histogram: virtual time simulated queries spent queued before
+    /// dispatch, in µs.
+    pub const HIST_SIM_QUEUE_WAIT_US: &str = "sim.queue_wait_us";
 }
 
 /// A set of named, thread-safe monotonically increasing counters.

@@ -46,7 +46,7 @@ pub const RULES: &[Rule] = &[
 
 /// Crates whose non-test code must propagate `PrestoError` instead of
 /// panicking: the engine loop, resource manager, cluster, and coordinator.
-const NO_UNWRAP_CRATES: &[&str] = &["exec", "resource", "cluster", "core"];
+const NO_UNWRAP_CRATES: &[&str] = &["exec", "resource", "cluster", "core", "sim"];
 
 /// The declared crate DAG (mirrors each crate's `Cargo.toml`): which
 /// `presto_*` crates each crate may reference. `common` sits at the bottom;
@@ -107,6 +107,10 @@ const LAYERING: &[(&str, &[&str])] = &[
             "presto_cache",
             "presto_resource",
         ],
+    ),
+    (
+        "sim",
+        &["presto_common", "presto_core", "presto_connectors", "presto_cluster", "presto_resource"],
     ),
 ];
 

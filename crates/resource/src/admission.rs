@@ -112,6 +112,24 @@ impl AdmissionController {
         self.inner.state.lock().queue.len()
     }
 
+    /// Snapshot of the controller's load: `(running, queued)`. The
+    /// federation gateway polls this for depth-aware routing.
+    pub fn load(&self) -> (usize, usize) {
+        let state = self.inner.state.lock();
+        (state.running, state.queue.len())
+    }
+
+    /// Would a new query start immediately (a free run slot and an empty
+    /// queue ahead of it)?
+    pub fn has_free_slot(&self) -> bool {
+        let state = self.inner.state.lock();
+        state.queue.is_empty()
+            && match self.inner.config.max_concurrent {
+                Some(max) => state.running < max,
+                None => true,
+            }
+    }
+
     /// Block until this query may run; returns the RAII permit.
     ///
     /// Queue-wait accounting lands in `metrics` (the per-query counter set):

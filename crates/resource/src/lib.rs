@@ -10,6 +10,9 @@
 //!   that revokes spillable memory first and kills the largest query last;
 //! - [`admission`] — a bounded run queue with priority lanes and per-user
 //!   concurrency caps, accounting queue wait in deterministic virtual time;
+//! - [`wfq`] — virtual-time weighted fair queuing across tenants inside a
+//!   lane (plus the naive FIFO counterfactual), the dispatch discipline the
+//!   workload simulator drives;
 //! - [`spill`] — partition serialization for blocking operators through the
 //!   native Parquet writer onto any [`presto_storage::FileSystem`].
 //!
@@ -18,10 +21,12 @@
 pub mod admission;
 pub mod pool;
 pub mod spill;
+pub mod wfq;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, QueryPriority};
 pub use pool::{MemoryPool, QueryPool, Reservation, ReservationKind};
 pub use spill::{SpillFile, SpillManager};
+pub use wfq::{FifoQueue, QueuedQuery, WfqScheduler};
 
 use std::sync::Arc;
 

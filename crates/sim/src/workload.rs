@@ -1,0 +1,306 @@
+//! Deterministic workload generation: arrival processes, tenant skew, and
+//! the plan-template catalog.
+//!
+//! Every draw is a pure function of `(seed, stream, index)` through
+//! [`presto_common::rng`], so the workload a config describes is identical
+//! on every run and every host — the property the simulator's digests and
+//! the CI determinism gate rely on. The diurnal rate curve is a *triangle*
+//! wave rather than a sinusoid on purpose: it needs no transcendental
+//! functions beyond the `ln` already inside the exponential draw, keeping
+//! the bit pattern of every arrival time easy to reason about.
+
+use presto_common::rng::{exp_draw, unit_draw};
+use presto_resource::QueryPriority;
+
+/// RNG stream salts: one per decision kind, so adding a draw to one stream
+/// never shifts any other stream's sequence.
+const ARRIVAL_STREAM: u64 = 0x4152_5249_5645_5f53;
+const TENANT_STREAM: u64 = 0x5445_4e41_4e54_5f53;
+const TEMPLATE_STREAM: u64 = 0x504c_414e_5f53_414c;
+
+/// When queries arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate.
+    Poisson {
+        /// Mean gap between consecutive arrivals, in virtual µs.
+        mean_interarrival_us: f64,
+    },
+    /// Poisson arrivals whose *rate* follows a triangle-wave day: the rate
+    /// multiplier climbs linearly from `1 - amplitude` at the start of each
+    /// cycle to `1 + amplitude` at its midpoint and back, averaging 1 over
+    /// a full cycle. The peak models the morning dashboard rush that
+    /// transiently exceeds cluster capacity.
+    Diurnal {
+        /// Mean gap at the *average* rate, in virtual µs.
+        mean_interarrival_us: f64,
+        /// Peak-to-mean rate swing in `[0, 1)`.
+        amplitude: f64,
+        /// Length of one simulated day, in virtual µs.
+        cycle_us: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The gap (virtual µs) between arrival `index - 1` and arrival
+    /// `index`, with the process currently at virtual time `at_us`. Pure in
+    /// `(seed, index, at_us)`: the same inputs give the same gap, always.
+    pub fn gap_us(&self, seed: u64, index: u64, at_us: u64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { mean_interarrival_us } => {
+                exp_draw(seed, ARRIVAL_STREAM, index, mean_interarrival_us)
+            }
+            ArrivalProcess::Diurnal { mean_interarrival_us, amplitude, cycle_us } => {
+                let draw = exp_draw(seed, ARRIVAL_STREAM, index, mean_interarrival_us);
+                draw / diurnal_rate(at_us, amplitude, cycle_us)
+            }
+        }
+    }
+}
+
+/// The triangle-wave rate multiplier at `at_us`: `1 - amplitude` at the
+/// cycle boundary, `1 + amplitude` at the midpoint.
+fn diurnal_rate(at_us: u64, amplitude: f64, cycle_us: u64) -> f64 {
+    let cycle = cycle_us.max(1);
+    let phase = (at_us % cycle) as f64 / cycle as f64;
+    let triangle = 1.0 - (2.0 * phase - 1.0).abs();
+    let amplitude = amplitude.clamp(0.0, 0.99);
+    (1.0 - amplitude) + 2.0 * amplitude * triangle
+}
+
+/// Zipfian tenant picker: tenant `0` is the heaviest, with mass
+/// `∝ 1/(rank+1)^s`. Built once as a cumulative distribution; sampling is
+/// a binary search over a uniform draw.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Sampler over `tenants` tenants with exponent `s` (`s = 0` is
+    /// uniform; larger `s` concentrates load on the head).
+    pub fn new(tenants: u32, s: f64) -> ZipfSampler {
+        let n = tenants.max(1) as usize;
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Map a uniform draw in `[0, 1)` to a tenant id.
+    pub fn sample(&self, unit: f64) -> u32 {
+        let i = self.cdf.partition_point(|&c| c < unit);
+        i.min(self.cdf.len() - 1) as u32
+    }
+
+    /// The tenant a given query index lands on.
+    pub fn tenant_for(&self, seed: u64, index: u64) -> u32 {
+        self.sample(unit_draw(seed, TENANT_STREAM, index))
+    }
+}
+
+/// Workload class of a tenant, fixed by its popularity rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TenantClass {
+    /// Ad-hoc analysts: many light tenants, small queries, tight SLO.
+    Interactive,
+    /// Scheduled dashboards: the popular head tenants, medium queries.
+    Dashboard,
+    /// ETL pipelines: a band of heavy tenants, large scans, loose SLO.
+    Batch,
+}
+
+impl TenantClass {
+    /// Human-readable class name (report keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantClass::Interactive => "interactive",
+            TenantClass::Dashboard => "dashboard",
+            TenantClass::Batch => "batch",
+        }
+    }
+
+    /// Admission lane. Interactive rides the high-priority lane;
+    /// dashboards and batch share the normal lane and rely on weights —
+    /// parking batch in the low lane would let the fair queue starve it
+    /// outright under sustained dashboard load.
+    pub fn lane(self) -> QueryPriority {
+        match self {
+            TenantClass::Interactive => QueryPriority::High,
+            TenantClass::Dashboard | TenantClass::Batch => QueryPriority::Normal,
+        }
+    }
+
+    /// Fair-queuing base weight within the lane (scaled per tenant by
+    /// [`tenant_weight`]). Batch groups carry the largest base weight:
+    /// their queries hold the most slot-units, so an equal weight would
+    /// let the fair queue defer them almost indefinitely behind a stream
+    /// of cheap dashboard queries.
+    pub fn weight(self) -> u64 {
+        match self {
+            TenantClass::Interactive => 4,
+            TenantClass::Dashboard => 8,
+            TenantClass::Batch => 24,
+        }
+    }
+
+    /// Concurrent execution slot-units a query of this class holds while
+    /// running — the coordinator's stand-in for the memory-and-worker
+    /// grant a query of that size reserves. Large grants are what a naive
+    /// FIFO admission queue blocks on.
+    pub fn slot_units(self) -> usize {
+        match self {
+            TenantClass::Interactive => 1,
+            TenantClass::Dashboard => 2,
+            TenantClass::Batch => 5,
+        }
+    }
+}
+
+/// The provisioned scheduling weight of one tenant: its class's base
+/// weight scaled by a popularity boost that tracks the Zipf demand curve
+/// (heads get up to 8x). This mirrors how Presto resource groups are
+/// provisioned in practice — `schedulingWeight` is sized to the group's
+/// expected share, so a busy dashboard team owns a matching share of the
+/// cluster instead of being throttled to a 1/N sliver, while the floor of
+/// one base weight still guarantees every light tenant a share no heavy
+/// tenant can take away.
+pub fn tenant_weight(rank: u32, zipf_exponent: f64, class: TenantClass) -> u64 {
+    let boost = (16.0 / f64::from(rank + 1).powf(zipf_exponent)).ceil().clamp(1.0, 16.0);
+    class.weight() * boost as u64
+}
+
+/// A tenant's class from its Zipf rank: the popular head (top 10%) runs
+/// dashboards, the next 10% are batch pipelines, and the long tail is
+/// interactive analysts.
+pub fn tenant_class(rank: u32, tenants: u32) -> TenantClass {
+    let n = u64::from(tenants.max(1));
+    let r = u64::from(rank);
+    if r * 10 < n {
+        TenantClass::Dashboard
+    } else if r * 5 < n {
+        TenantClass::Batch
+    } else {
+        TenantClass::Interactive
+    }
+}
+
+/// One entry in the plan-template catalog: a SQL shape over one of the
+/// simulator's seeded tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanTemplate {
+    /// The query text.
+    pub sql: &'static str,
+    /// Pages (= splits) the scan covers; drives the virtual service time.
+    pub pages: usize,
+}
+
+/// Pages in the small / medium / large seeded tables.
+pub const SMALL_PAGES: usize = 4;
+/// Pages in the medium seeded table.
+pub const MEDIUM_PAGES: usize = 16;
+/// Pages in the large seeded table.
+pub const LARGE_PAGES: usize = 48;
+
+const INTERACTIVE_TEMPLATES: &[PlanTemplate] = &[
+    PlanTemplate { sql: "SELECT count(*) FROM sim_small", pages: SMALL_PAGES },
+    PlanTemplate { sql: "SELECT max(id) FROM sim_small", pages: SMALL_PAGES },
+];
+
+const DASHBOARD_TEMPLATES: &[PlanTemplate] = &[
+    PlanTemplate { sql: "SELECT count(*) FROM sim_medium", pages: MEDIUM_PAGES },
+    PlanTemplate { sql: "SELECT sum(id) FROM sim_medium", pages: MEDIUM_PAGES },
+];
+
+const BATCH_TEMPLATES: &[PlanTemplate] = &[
+    PlanTemplate { sql: "SELECT sum(id) FROM sim_large", pages: LARGE_PAGES },
+    PlanTemplate { sql: "SELECT count(*) FROM sim_large", pages: LARGE_PAGES },
+];
+
+/// The template catalog for one class.
+pub fn templates(class: TenantClass) -> &'static [PlanTemplate] {
+    match class {
+        TenantClass::Interactive => INTERACTIVE_TEMPLATES,
+        TenantClass::Dashboard => DASHBOARD_TEMPLATES,
+        TenantClass::Batch => BATCH_TEMPLATES,
+    }
+}
+
+/// The template query `index` runs, drawn uniformly from its class's
+/// catalog — pure in `(seed, index)`.
+pub fn pick_template(seed: u64, index: u64, class: TenantClass) -> PlanTemplate {
+    let catalog = templates(class);
+    let draw = unit_draw(seed, TEMPLATE_STREAM, index);
+    let i = ((draw * catalog.len() as f64) as usize).min(catalog.len() - 1);
+    catalog[i]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_gaps_are_pure_in_seed_and_index() {
+        let p = ArrivalProcess::Poisson { mean_interarrival_us: 100.0 };
+        assert_eq!(p.gap_us(7, 3, 0).to_bits(), p.gap_us(7, 3, 0).to_bits());
+        assert_ne!(p.gap_us(7, 3, 0).to_bits(), p.gap_us(8, 3, 0).to_bits());
+        // Poisson ignores the current time entirely
+        assert_eq!(p.gap_us(7, 3, 0).to_bits(), p.gap_us(7, 3, 999).to_bits());
+    }
+
+    #[test]
+    fn diurnal_peak_compresses_gaps() {
+        let d =
+            ArrivalProcess::Diurnal { mean_interarrival_us: 100.0, amplitude: 0.5, cycle_us: 1000 };
+        let trough = d.gap_us(7, 3, 0);
+        let peak = d.gap_us(7, 3, 500);
+        assert!(peak < trough, "peak gap {peak} should be under trough gap {trough}");
+        // same draw, scaled by the rate ratio (1.5 / 0.5)
+        assert!((trough / peak - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_head_dominates_the_tail() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut counts = vec![0u32; 100];
+        for i in 0..10_000 {
+            counts[z.tenant_for(42, i) as usize] += 1;
+        }
+        assert!(counts[0] > counts[50] * 10, "{} vs {}", counts[0], counts[50]);
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 50, "the tail still appears");
+    }
+
+    #[test]
+    fn classes_partition_the_rank_space() {
+        assert_eq!(tenant_class(0, 1000), TenantClass::Dashboard);
+        assert_eq!(tenant_class(99, 1000), TenantClass::Dashboard);
+        assert_eq!(tenant_class(100, 1000), TenantClass::Batch);
+        assert_eq!(tenant_class(199, 1000), TenantClass::Batch);
+        assert_eq!(tenant_class(200, 1000), TenantClass::Interactive);
+        assert_eq!(tenant_class(999, 1000), TenantClass::Interactive);
+    }
+
+    #[test]
+    fn provisioned_weights_track_the_demand_curve() {
+        let head = tenant_weight(0, 0.7, TenantClass::Dashboard);
+        let mid = tenant_weight(10, 0.7, TenantClass::Dashboard);
+        let tail = tenant_weight(900, 0.7, TenantClass::Interactive);
+        assert_eq!(head, 16 * TenantClass::Dashboard.weight(), "head gets the full boost");
+        assert!(head > mid, "boost decays with rank: {head} vs {mid}");
+        assert_eq!(tail, TenantClass::Interactive.weight(), "the tail keeps its base weight");
+    }
+
+    #[test]
+    fn template_picks_stay_inside_the_class_catalog() {
+        for i in 0..100 {
+            let t = pick_template(11, i, TenantClass::Batch);
+            assert!(templates(TenantClass::Batch).contains(&t));
+        }
+    }
+}

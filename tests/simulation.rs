@@ -1,0 +1,137 @@
+//! Property suite for the cluster-wide workload simulation: same-seed
+//! runs are bit-identical down to every per-tenant histogram and trace
+//! digest, the WFQ virtual-time invariant holds under arbitrary
+//! push/pop interleavings, and every workload draw is a pure function of
+//! `(seed, stream, index)`.
+
+use proptest::prelude::*;
+
+use presto_resource::{QueryPriority, WfqScheduler};
+use presto_sim::workload::tenant_weight;
+use presto_sim::{run_simulation, ArrivalProcess, SchedulerMode, SimConfig, ZipfSampler};
+
+/// A small-but-contended configuration so each proptest case stays cheap:
+/// a diurnal rush over few slots forces real queueing in every run.
+fn config(seed: u64, mode: SchedulerMode) -> SimConfig {
+    SimConfig {
+        seed,
+        tenants: 40,
+        queries: 250,
+        zipf_exponent: 0.9,
+        arrival: ArrivalProcess::Diurnal {
+            mean_interarrival_us: 120.0,
+            amplitude: 0.5,
+            cycle_us: 20_000,
+        },
+        workers: 4,
+        slots: 6,
+        mode,
+        slos: presto_sim::SloPolicy::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same seed ⇒ the two runs agree on *everything*: completion digest,
+    /// trace digest, makespan, and every tenant's full latency histogram,
+    /// bucket for bucket — under both queue disciplines.
+    #[test]
+    fn same_seed_runs_are_bit_identical_per_tenant(seed in 0u64..1_000) {
+        for mode in [SchedulerMode::Wfq, SchedulerMode::Fifo] {
+            let a = run_simulation(&config(seed, mode)).unwrap();
+            let b = run_simulation(&config(seed, mode)).unwrap();
+            prop_assert_eq!(a.digest, b.digest);
+            prop_assert_eq!(a.trace_digest, b.trace_digest);
+            prop_assert_eq!(a.makespan_us, b.makespan_us);
+            prop_assert_eq!(a.completed, b.completed);
+            prop_assert_eq!(&a.tenant_latency_us, &b.tenant_latency_us);
+            prop_assert_eq!(&a.tenants, &b.tenants);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Start-time fair queuing invariant: right after a tenant is served,
+    /// its finish tag may lead the global virtual time by at most one of
+    /// its weighted quanta — no tenant gets more than a quantum of service
+    /// ahead of its entitlement, regardless of interleaving or weights.
+    #[test]
+    fn wfq_finish_tag_lead_is_bounded_by_one_quantum(
+        pushes in proptest::collection::vec(
+            (0u32..8, 1u64..40, 10u64..2_000, 0u8..3),
+            1..120,
+        ),
+    ) {
+        let mut q = WfqScheduler::new();
+        for (i, &(tenant, weight, cost_us, lane)) in pushes.iter().enumerate() {
+            let lane = match lane {
+                0 => QueryPriority::High,
+                1 => QueryPriority::Normal,
+                _ => QueryPriority::Low,
+            };
+            q.push(tenant, weight, lane, cost_us, i as u64);
+        }
+        while let Some(served) = q.pop() {
+            let lead = q.served_finish(served.tenant).saturating_sub(q.vtime());
+            prop_assert!(
+                lead <= q.quantum(served.tenant),
+                "tenant {} finish tag leads virtual time by {} > quantum {}",
+                served.tenant,
+                lead,
+                q.quantum(served.tenant)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arrival gaps are pure in `(seed, index, at)`: two process values
+    /// built from the same parameters agree on every draw, re-asking never
+    /// changes an answer, and the Poisson gap ignores the current time.
+    #[test]
+    fn arrival_draws_are_pure_functions_of_seed_and_index(
+        seed in any::<u64>(),
+        mean in 10.0f64..5_000.0,
+        amplitude in 0.0f64..0.9,
+        index in 0u64..10_000,
+        at in 0u64..10_000_000,
+    ) {
+        let poisson = ArrivalProcess::Poisson { mean_interarrival_us: mean };
+        let diurnal = ArrivalProcess::Diurnal {
+            mean_interarrival_us: mean,
+            amplitude,
+            cycle_us: 200_000,
+        };
+        // purity: same (seed, index, at) → same gap, every time
+        prop_assert_eq!(
+            poisson.gap_us(seed, index, at).to_bits(),
+            poisson.gap_us(seed, index, at).to_bits()
+        );
+        prop_assert_eq!(
+            diurnal.gap_us(seed, index, at).to_bits(),
+            diurnal.gap_us(seed, index, at).to_bits()
+        );
+        // a memoryless process cannot care what time it is
+        prop_assert_eq!(
+            poisson.gap_us(seed, index, at).to_bits(),
+            poisson.gap_us(seed, index, at.wrapping_add(12_345)).to_bits()
+        );
+        // the tenant pick and the weight it implies are equally pure
+        let zipf = ZipfSampler::new(40, 0.9);
+        let t = zipf.tenant_for(seed, index);
+        prop_assert_eq!(t, zipf.tenant_for(seed, index));
+        let class = presto_sim::tenant_class(t, 40);
+        prop_assert_eq!(
+            tenant_weight(t, 0.9, class),
+            tenant_weight(t, 0.9, class)
+        );
+        // gaps are strictly positive: the event loop always advances
+        prop_assert!(poisson.gap_us(seed, index, at) >= 0.0);
+        prop_assert!(diurnal.gap_us(seed, index, at) >= 0.0);
+    }
+}

@@ -288,6 +288,94 @@ fn refailing_probation_worker_requarantines_without_absorbing_normal_splits() {
     assert_eq!(c.metrics().get(names::CLUSTER_QUERIES_FAILED), 0);
 }
 
+// --------------------------------------------- history-seeded yardstick
+
+/// 2-page table → 2 splits: fewer siblings than `min_completed = 3`, so an
+/// unseeded fragment can never judge a straggler within one run.
+fn narrow_engine() -> PrestoEngine {
+    let engine = PrestoEngine::new();
+    let memory = MemoryConnector::new();
+    let schema = Schema::new(vec![Field::new("x", DataType::Bigint)]).unwrap();
+    let pages: Vec<Page> = (0..2)
+        .map(|p| Page::new(vec![Block::bigint((p * 50..p * 50 + 50).collect())]).unwrap())
+        .collect();
+    memory.create_table("default", "narrow", schema, pages).unwrap();
+    engine.register_catalog("memory", Arc::new(memory));
+    engine
+}
+
+const NARROW_SQL: &str = "SELECT sum(x), count(*) FROM narrow";
+
+/// sum(0..100) = 4950 over 100 rows.
+fn narrow_rows() -> Vec<Vec<Value>> {
+    vec![vec![Value::Bigint(4_950), Value::Bigint(100)]]
+}
+
+/// One worker's split stalls 50 ms on the first *and* second query (task
+/// ordinals count per worker across queries, so both runs hit the stall).
+fn narrow_cluster(stalled_worker: u32, seed_from_history: bool) -> Arc<PrestoCluster> {
+    PrestoCluster::new(
+        "seeded",
+        narrow_engine(),
+        ClusterConfig {
+            initial_workers: 2,
+            fault_injector: FaultInjector::new(
+                7,
+                FaultPlan::new()
+                    .stall_scan_page(stalled_worker, 1, 1, Duration::from_millis(50))
+                    .stall_scan_page(stalled_worker, 2, 1, Duration::from_millis(50)),
+            ),
+            speculation: SpeculationConfig { seed_from_history, ..SpeculationConfig::default() },
+            ..ClusterConfig::default()
+        },
+        SimClock::new(),
+    )
+}
+
+/// The worker that affinity scheduling hands the stalled split to; the
+/// fast split must land on the other worker or the test means nothing.
+const NARROW_STALLED_WORKER: u32 = 0;
+
+#[test]
+fn runtime_history_seeds_speculation_for_single_wave_fragments() {
+    // regression: before history seeding, a fragment with fewer splits
+    // than `min_completed` could never speculate — the second identical
+    // run waited out the full stall exactly like the first
+    let c = narrow_cluster(NARROW_STALLED_WORKER, true);
+    let session = Session::default();
+
+    // run 1: no history yet → yardstick starts empty, 2 siblings < 3, so
+    // the stall is waited out and nothing speculates
+    assert_eq!(c.execute(NARROW_SQL, &session).unwrap().rows(), narrow_rows());
+    let after_first = c.clock().now();
+    assert!(after_first >= Duration::from_millis(50), "run 1 must wait out the stall");
+    assert_eq!(c.metrics().get(names::CLUSTER_SPECULATION_SEEDED), 0);
+    assert_eq!(c.metrics().get(names::CLUSTER_SPECULATIVE_LAUNCHES), 0);
+
+    // run 2: the yardstick is seeded from run 1's observed runtimes, so
+    // the returning straggler is judged and duplicated away
+    let result = c.execute(NARROW_SQL, &session).unwrap();
+    assert_eq!(result.rows(), narrow_rows());
+    let second = c.clock().now() - after_first;
+    assert!(c.metrics().get(names::CLUSTER_SPECULATION_SEEDED) >= 1, "yardstick never seeded");
+    assert!(c.metrics().get(names::CLUSTER_SPECULATIVE_LAUNCHES) >= 1, "straggler not speculated");
+    assert!(c.metrics().get(names::CLUSTER_SPECULATIVE_WINS) >= 1, "duplicate should win");
+    assert!(second < Duration::from_millis(50), "seeded run must dodge the stall, took {second:?}");
+}
+
+#[test]
+fn seeding_off_counterfactual_waits_out_the_stall_every_run() {
+    let c = narrow_cluster(NARROW_STALLED_WORKER, false);
+    let session = Session::default();
+    assert_eq!(c.execute(NARROW_SQL, &session).unwrap().rows(), narrow_rows());
+    let after_first = c.clock().now();
+    assert_eq!(c.execute(NARROW_SQL, &session).unwrap().rows(), narrow_rows());
+    let second = c.clock().now() - after_first;
+    assert!(second >= Duration::from_millis(50), "unseeded run 2 must stall again: {second:?}");
+    assert_eq!(c.metrics().get(names::CLUSTER_SPECULATION_SEEDED), 0);
+    assert_eq!(c.metrics().get(names::CLUSTER_SPECULATIVE_LAUNCHES), 0);
+}
+
 // ------------------------------------------------------------- properties
 
 /// Group the Task spans of one query trace by (stage, split name).
