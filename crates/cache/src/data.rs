@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet};
 use presto_common::Result;
 use presto_storage::fs::normalize;
 use presto_storage::{FileStatus, FileSystem};
@@ -98,11 +98,11 @@ impl FileSystem for CachedFileSystem {
         let norm = normalize(path);
         let key = RangeKey { path: norm.clone(), offset, len };
         if let Some(hit) = self.ranges.get(&key) {
-            self.metrics.incr("dc.hits");
-            self.metrics.add("dc.bytes_saved", len);
+            self.metrics.incr(names::DC_HITS);
+            self.metrics.add(names::DC_BYTES_SAVED, len);
             return Ok(hit.as_ref().clone());
         }
-        self.metrics.incr("dc.misses");
+        self.metrics.incr(names::DC_MISSES);
         let generation_before = self.by_path.lock().get(&norm).map(|s| s.generation).unwrap_or(0);
         let data = self.inner.read_range(path, offset, len)?;
         {
@@ -154,10 +154,10 @@ mod tests {
         for _ in 0..5 {
             assert_eq!(cached.read_range("/t/f", 10, 4).unwrap(), vec![10, 11, 12, 13]);
         }
-        assert_eq!(cached.metrics().get("dc.misses"), 1);
-        assert_eq!(cached.metrics().get("dc.hits"), 4);
-        assert_eq!(cached.metrics().get("dc.bytes_saved"), 16);
-        assert_eq!(hdfs.metrics().get("hdfs.read_ops"), 1);
+        assert_eq!(cached.metrics().get(names::DC_MISSES), 1);
+        assert_eq!(cached.metrics().get(names::DC_HITS), 4);
+        assert_eq!(cached.metrics().get(names::DC_BYTES_SAVED), 16);
+        assert_eq!(hdfs.metrics().get(names::HDFS_READ_OPS), 1);
     }
 
     #[test]
@@ -166,7 +166,7 @@ mod tests {
         cached.read_range("/t/f", 0, 8).unwrap();
         cached.read_range("/t/f", 8, 8).unwrap();
         cached.read_range("/t/f", 0, 8).unwrap();
-        assert_eq!(hdfs.metrics().get("hdfs.read_ops"), 2);
+        assert_eq!(hdfs.metrics().get(names::HDFS_READ_OPS), 2);
     }
 
     #[test]
@@ -182,7 +182,7 @@ mod tests {
         let (cached, hdfs) = cached_hdfs();
         cached.get_file_info("/t/f").unwrap();
         cached.get_file_info("/t/f").unwrap();
-        assert_eq!(hdfs.metrics().get("hdfs.get_file_info"), 2);
+        assert_eq!(hdfs.metrics().get(names::HDFS_GET_FILE_INFO), 2);
         assert_eq!(cached.list_files("/t").unwrap().len(), 1);
     }
 }

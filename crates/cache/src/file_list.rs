@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet};
 use presto_common::Result;
 use presto_storage::{FileStatus, FileSystem};
 
@@ -37,14 +37,14 @@ impl FileListCache {
             // Freshness over speed: micro-batch ingestion keeps appending
             // files to open partitions, so serving a stale list would hide
             // near-real-time data.
-            self.metrics.incr("flc.bypass_open_partition");
+            self.metrics.incr(names::FLC_BYPASS_OPEN_PARTITION);
             return Ok(Arc::new(self.fs.list_files(dir)?));
         }
         if let Some(cached) = self.cache.read().get(dir) {
-            self.metrics.incr("flc.hits");
+            self.metrics.incr(names::FLC_HITS);
             return Ok(cached.clone());
         }
-        self.metrics.incr("flc.misses");
+        self.metrics.incr(names::FLC_MISSES);
         let listed = Arc::new(self.fs.list_files(dir)?);
         self.cache.write().insert(dir.to_string(), listed.clone());
         Ok(listed)
@@ -92,10 +92,10 @@ mod tests {
             let files = cache.list_partition("/warehouse/trips/datestr=0", true).unwrap();
             assert_eq!(files.len(), 4);
         }
-        assert_eq!(cache.metrics().get("flc.misses"), 1);
-        assert_eq!(cache.metrics().get("flc.hits"), 9);
+        assert_eq!(cache.metrics().get(names::FLC_MISSES), 1);
+        assert_eq!(cache.metrics().get(names::FLC_HITS), 9);
         // the remote NameNode saw exactly one listFiles
-        assert_eq!(hdfs.metrics().get("hdfs.list_files"), 1);
+        assert_eq!(hdfs.metrics().get(names::HDFS_LIST_FILES), 1);
     }
 
     #[test]
@@ -108,7 +108,7 @@ mod tests {
         hdfs.backing_store().write(&format!("{open_dir}/part-new"), b"fresh").unwrap();
         // an open partition must see it immediately
         assert_eq!(cache.list_partition(open_dir, false).unwrap().len(), 5);
-        assert_eq!(cache.metrics().get("flc.bypass_open_partition"), 2);
+        assert_eq!(cache.metrics().get(names::FLC_BYPASS_OPEN_PARTITION), 2);
         assert_eq!(cache.cached_directories(), 0);
     }
 

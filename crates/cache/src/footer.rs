@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet};
 use presto_common::Result;
 use presto_parquet::reader::{read_metadata, FsSource};
 use presto_parquet::FileMetadata;
@@ -34,10 +34,10 @@ impl FileHandleCache {
     /// Stat a file, serving repeats from memory.
     pub fn get_file_info(&self, path: &str) -> Result<Arc<FileStatus>> {
         if let Some(hit) = self.cache.get(&path.to_string()) {
-            self.metrics.incr("fhc.hits");
+            self.metrics.incr(names::FHC_HITS);
             return Ok(hit);
         }
-        self.metrics.incr("fhc.misses");
+        self.metrics.incr(names::FHC_MISSES);
         let status = Arc::new(self.fs.get_file_info(path)?);
         self.cache.put(path.to_string(), status.clone());
         Ok(status)
@@ -80,10 +80,10 @@ impl FooterCache {
     /// Load a file's footer, serving repeats from memory.
     pub fn get_footer(&self, path: &str) -> Result<Arc<FileMetadata>> {
         if let Some(hit) = self.cache.get(&path.to_string()) {
-            self.metrics.incr("ftc.hits");
+            self.metrics.incr(names::FTC_HITS);
             return Ok(hit);
         }
-        self.metrics.incr("ftc.misses");
+        self.metrics.incr(names::FTC_MISSES);
         let status = self.handles.get_file_info(path)?;
         let source = FsSource::open_with_size(self.handles.filesystem().clone(), path, status.size);
         let meta = Arc::new(read_metadata(&source)?);
@@ -136,9 +136,9 @@ mod tests {
         for _ in 0..10 {
             assert!(cache.get_file_info("/t/f1").unwrap().size > 0);
         }
-        assert_eq!(cache.metrics().get("fhc.misses"), 1);
-        assert_eq!(cache.metrics().get("fhc.hits"), 9);
-        assert_eq!(hdfs.metrics().get("hdfs.get_file_info"), 1);
+        assert_eq!(cache.metrics().get(names::FHC_MISSES), 1);
+        assert_eq!(cache.metrics().get(names::FHC_HITS), 9);
+        assert_eq!(hdfs.metrics().get(names::HDFS_GET_FILE_INFO), 1);
     }
 
     #[test]
@@ -151,10 +151,10 @@ mod tests {
             let meta = footers.get_footer("/t/f1").unwrap();
             assert_eq!(meta.num_rows, 3);
         }
-        assert_eq!(metrics.get("ftc.misses"), 1);
-        assert_eq!(metrics.get("ftc.hits"), 9);
+        assert_eq!(metrics.get(names::FTC_MISSES), 1);
+        assert_eq!(metrics.get(names::FTC_HITS), 9);
         // footer bytes were read from storage exactly twice (tail + body)
-        assert_eq!(hdfs.metrics().get("hdfs.read_ops"), 2);
+        assert_eq!(hdfs.metrics().get(names::HDFS_READ_OPS), 2);
     }
 
     #[test]
@@ -167,7 +167,7 @@ mod tests {
         footers.get_footer("/t/f2").unwrap();
         footers.get_footer("/t/f3").unwrap(); // evicts f1
         footers.get_footer("/t/f1").unwrap(); // miss again
-        assert_eq!(metrics.get("ftc.misses"), 4);
+        assert_eq!(metrics.get(names::FTC_MISSES), 4);
     }
 
     #[test]
@@ -179,6 +179,6 @@ mod tests {
         footers.get_footer("/t/f1").unwrap();
         footers.invalidate("/t/f1");
         footers.get_footer("/t/f1").unwrap();
-        assert_eq!(metrics.get("ftc.misses"), 2);
+        assert_eq!(metrics.get(names::FTC_MISSES), 2);
     }
 }

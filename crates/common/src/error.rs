@@ -88,13 +88,32 @@ impl PrestoError {
     /// surviving worker, the gateway by re-routing the query to a healthy
     /// cluster? User, plan, and resource-policy errors are **not**
     /// retryable: re-running them elsewhere reproduces the same failure.
+    ///
+    /// The match is deliberately exhaustive with no wildcard (enforced by
+    /// the `error-taxonomy` lint): adding a variant forces whoever adds it
+    /// to decide, here, whether retry loops may act on it.
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
+        match self {
+            // infrastructure faults: fresh resources can succeed
             PrestoError::WorkerFailed { .. }
-                | PrestoError::ClusterUnavailable(_)
-                | PrestoError::TransientExhausted(_)
-        )
+            | PrestoError::ClusterUnavailable(_)
+            | PrestoError::TransientExhausted(_) => true,
+            // user errors: the query itself is wrong everywhere
+            PrestoError::Parse(_)
+            | PrestoError::Analysis(_)
+            | PrestoError::Plan(_)
+            | PrestoError::NotSupported(_) => false,
+            // deterministic runtime/substrate failures: same data, same crash
+            PrestoError::Execution(_)
+            | PrestoError::Storage(_)
+            | PrestoError::Connector(_)
+            | PrestoError::Format(_)
+            | PrestoError::SchemaEvolution(_) => false,
+            // resource-policy decisions: retrying would just re-trigger them
+            PrestoError::InsufficientResources(_) | PrestoError::ExceededMemoryLimit(_) => false,
+            // engine bugs must surface, never be papered over by retries
+            PrestoError::Internal(_) => false,
+        }
     }
 
     /// The human-readable message.

@@ -79,6 +79,82 @@ pub mod names {
     /// Fragment-result-cache misses.
     pub const FRC_MISSES: &str = "frc.misses";
 
+    /// Data-cache (worker-local block cache) hits.
+    pub const DC_HITS: &str = "dc.hits";
+    /// Data-cache misses.
+    pub const DC_MISSES: &str = "dc.misses";
+    /// Remote-storage bytes the data cache served locally instead.
+    pub const DC_BYTES_SAVED: &str = "dc.bytes_saved";
+
+    /// File-list-cache hits.
+    pub const FLC_HITS: &str = "flc.hits";
+    /// File-list-cache misses.
+    pub const FLC_MISSES: &str = "flc.misses";
+    /// Listings that bypassed the cache because the partition was open.
+    pub const FLC_BYPASS_OPEN_PARTITION: &str = "flc.bypass_open_partition";
+
+    /// File-handle (footer) cache hits.
+    pub const FHC_HITS: &str = "fhc.hits";
+    /// File-handle (footer) cache misses.
+    pub const FHC_MISSES: &str = "fhc.misses";
+    /// Stripe-footer cache hits.
+    pub const FTC_HITS: &str = "ftc.hits";
+    /// Stripe-footer cache misses.
+    pub const FTC_MISSES: &str = "ftc.misses";
+
+    /// Partitions the Hive connector pruned via partition filters.
+    pub const HIVE_PARTITIONS_PRUNED: &str = "hive.partitions_pruned";
+    /// Leaf column values the Hive connector decoded.
+    pub const HIVE_LEAVES_DECODED: &str = "hive.leaves_decoded";
+    /// Row groups skipped by min/max statistics.
+    pub const HIVE_ROW_GROUPS_SKIPPED: &str = "hive.row_groups_skipped";
+
+    /// Statements executed against the simulated MySQL metastore.
+    pub const MYSQL_STATEMENTS: &str = "mysql.statements";
+    /// Rows the MySQL connector scanned server-side.
+    pub const MYSQL_ROWS_SCANNED: &str = "mysql.rows_scanned";
+    /// Rows the MySQL connector streamed to the engine.
+    pub const MYSQL_ROWS_STREAMED: &str = "mysql.rows_streamed";
+
+    /// Queries answered natively by the realtime store.
+    pub const RT_NATIVE_QUERIES: &str = "rt.native_queries";
+    /// Rows matched by realtime-store index lookups.
+    pub const RT_ROWS_MATCHED: &str = "rt.rows_matched";
+    /// Rows the realtime connector streamed to the engine.
+    pub const RT_ROWS_STREAMED: &str = "rt.rows_streamed";
+
+    /// `listFiles` calls against the simulated HDFS namenode.
+    pub const HDFS_LIST_FILES: &str = "hdfs.list_files";
+    /// `getFileInfo` calls against the simulated HDFS namenode.
+    pub const HDFS_GET_FILE_INFO: &str = "hdfs.get_file_info";
+    /// HDFS read operations.
+    pub const HDFS_READ_OPS: &str = "hdfs.read_ops";
+    /// Bytes read from HDFS.
+    pub const HDFS_READ_BYTES: &str = "hdfs.read_bytes";
+    /// HDFS write operations.
+    pub const HDFS_WRITE_OPS: &str = "hdfs.write_ops";
+    /// HDFS delete operations.
+    pub const HDFS_DELETE_OPS: &str = "hdfs.delete_ops";
+
+    /// Requests issued to the simulated S3 service.
+    pub const S3_REQUESTS: &str = "s3.requests";
+    /// S3 requests that were answered with an injected fault.
+    pub const S3_FAULTS_INJECTED: &str = "s3.faults_injected";
+    /// Bytes downloaded from S3 (GET side).
+    pub const S3_BYTES_OUT: &str = "s3.bytes_out";
+    /// Bytes uploaded to S3 (PUT side).
+    pub const S3_BYTES_IN: &str = "s3.bytes_in";
+    /// Retries performed by the S3 filesystem's backoff loop.
+    pub const S3FS_RETRIES: &str = "s3fs.retries";
+    /// Virtual nanoseconds spent in exponential backoff against S3.
+    pub const S3FS_BACKOFF_NANOS: &str = "s3fs.backoff_nanos";
+    /// Multipart uploads started by the S3 filesystem.
+    pub const S3FS_MULTIPART_UPLOADS: &str = "s3fs.multipart_uploads";
+    /// Seeks issued through the buffered S3 reader.
+    pub const S3FS_SEEKS: &str = "s3fs.seeks";
+    /// Seeks satisfied from the read-ahead buffer without a refetch.
+    pub const S3FS_SEEK_FETCHES_AVOIDED: &str = "s3fs.seek_fetches_avoided";
+
     /// Histogram: end-to-end virtual query latency on a cluster, in µs.
     pub const HIST_CLUSTER_QUERY_LATENCY_US: &str = "cluster.query_latency_us";
     /// Histogram: virtual backoff waited between split retry rounds, in µs.

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use presto_cache::{FileHandleCache, FileListCache};
 use presto_common::ids::SplitId;
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet};
 use presto_common::{Block, Page, PrestoError, Result, Schema, Value};
 use presto_parquet::reader::FsSource;
 use presto_parquet::reader_new::{self, ProjectedColumn, ReadOptions};
@@ -309,7 +309,7 @@ impl Connector for HiveConnector {
                         .filter(|c| c.target.column == *col && c.target.path.is_empty())
                         .all(|c| c.predicate.matches(&Value::Varchar(p.value.clone())));
                     if !survives {
-                        self.metrics.incr("hive.partitions_pruned");
+                        self.metrics.incr(names::HIVE_PARTITIONS_PRUNED);
                         continue;
                     }
                     push_files(
@@ -389,7 +389,7 @@ impl Connector for HiveConnector {
                 .file_schema
                 .project(&top_columns.iter().map(String::as_str).collect::<Vec<_>>())?;
             let (raw_pages, stats) = reader_old::read(&source, &def.file_schema, &top_columns)?;
-            self.metrics.add("hive.leaves_decoded", stats.leaves_decoded as u64);
+            self.metrics.add(names::HIVE_LEAVES_DECODED, stats.leaves_decoded as u64);
             let mut out = Vec::with_capacity(raw_pages.len());
             for page in raw_pages {
                 let filtered = if file_predicates.is_empty() {
@@ -435,9 +435,9 @@ impl Connector for HiveConnector {
                 vectorized: config.vectorized,
             };
             let (pages, stats) = reader_new::read(&source, &def.file_schema, &options)?;
-            self.metrics.add("hive.leaves_decoded", stats.leaves_decoded as u64);
+            self.metrics.add(names::HIVE_LEAVES_DECODED, stats.leaves_decoded as u64);
             self.metrics.add(
-                "hive.row_groups_skipped",
+                names::HIVE_ROW_GROUPS_SKIPPED,
                 (stats.skipped_by_stats + stats.skipped_by_dictionary + stats.skipped_by_lazy)
                     as u64,
             );
@@ -577,7 +577,7 @@ mod tests {
         let request = paper_query_request();
         let splits = hive.splits("rawdata", "trips", &request).unwrap();
         assert_eq!(splits.len(), 1, "only the 2017-03-02 partition survives");
-        assert_eq!(hive.metrics().get("hive.partitions_pruned"), 2);
+        assert_eq!(hive.metrics().get(names::HIVE_PARTITIONS_PRUNED), 2);
     }
 
     #[test]
@@ -616,7 +616,7 @@ mod tests {
         for s in &splits {
             hive.scan_split(s, &request, &ScanHooks::none()).unwrap();
         }
-        let new_leaves = hive.metrics().get("hive.leaves_decoded");
+        let new_leaves = hive.metrics().get(names::HIVE_LEAVES_DECODED);
 
         hive.metrics().reset();
         hive.set_reader_config(HiveReaderConfig {
@@ -626,7 +626,7 @@ mod tests {
         for s in &splits {
             hive.scan_split(s, &request, &ScanHooks::none()).unwrap();
         }
-        let old_leaves = hive.metrics().get("hive.leaves_decoded");
+        let old_leaves = hive.metrics().get(names::HIVE_LEAVES_DECODED);
         assert!(
             new_leaves < old_leaves,
             "pruning+skipping must reduce decode work: {new_leaves} vs {old_leaves}"
@@ -704,6 +704,6 @@ mod tests {
         }
         // 2 sealed partitions: 1 listFiles each (cached after); 1 open
         // partition: 5 listFiles (bypass every time)
-        assert_eq!(hdfs.metrics().get("hdfs.list_files"), 2 + 5);
+        assert_eq!(hdfs.metrics().get(names::HDFS_LIST_FILES), 2 + 5);
     }
 }

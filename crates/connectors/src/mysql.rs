@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use presto_common::ids::SplitId;
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet};
 use presto_common::{Block, Page, PrestoError, Result, Schema, Value};
 
 use crate::memory::{predicate_mask, project_column};
@@ -52,7 +52,7 @@ impl MySqlConnector {
 
     /// `CREATE TABLE`.
     pub fn create_table(&self, schema_name: &str, table: &str, schema: Schema) -> Result<()> {
-        self.metrics.incr("mysql.statements");
+        self.metrics.incr(names::MYSQL_STATEMENTS);
         self.tables
             .write()
             .insert((schema_name.into(), table.into()), MySqlTable { schema, rows: Vec::new() });
@@ -61,7 +61,7 @@ impl MySqlConnector {
 
     /// `INSERT INTO ... VALUES ...` (multi-row).
     pub fn insert(&self, schema_name: &str, table: &str, rows: Vec<Vec<Value>>) -> Result<()> {
-        self.metrics.incr("mysql.statements");
+        self.metrics.incr(names::MYSQL_STATEMENTS);
         let mut tables = self.tables.write();
         let t = tables
             .get_mut(&(schema_name.to_string(), table.to_string()))
@@ -89,7 +89,7 @@ impl MySqlConnector {
         column: &str,
         value: &Value,
     ) -> Result<usize> {
-        self.metrics.incr("mysql.statements");
+        self.metrics.incr(names::MYSQL_STATEMENTS);
         let mut tables = self.tables.write();
         let t = tables
             .get_mut(&(schema_name.to_string(), table.to_string()))
@@ -114,7 +114,7 @@ impl MySqlConnector {
         where_col: &str,
         where_value: &Value,
     ) -> Result<usize> {
-        self.metrics.incr("mysql.statements");
+        self.metrics.incr(names::MYSQL_STATEMENTS);
         let mut tables = self.tables.write();
         let t = tables
             .get_mut(&(schema_name.to_string(), table.to_string()))
@@ -145,7 +145,7 @@ impl MySqlConnector {
         column: &str,
         value: &Value,
     ) -> Result<Option<Vec<Value>>> {
-        self.metrics.incr("mysql.statements");
+        self.metrics.incr(names::MYSQL_STATEMENTS);
         let tables = self.tables.read();
         let t = tables
             .get(&(schema_name.to_string(), table.to_string()))
@@ -235,7 +235,7 @@ impl Connector for MySqlConnector {
         let t = tables
             .get(&(split.schema.clone(), split.table.clone()))
             .ok_or_else(|| PrestoError::Connector(format!("no table {}", split.table)))?;
-        self.metrics.add("mysql.rows_scanned", t.rows.len() as u64);
+        self.metrics.add(names::MYSQL_ROWS_SCANNED, t.rows.len() as u64);
         let full = self.to_page(&t.schema, &t.rows)?;
 
         // WHERE → row filter server-side (predicate pushdown)
@@ -261,7 +261,7 @@ impl Connector for MySqlConnector {
             Page::new(blocks)?
         };
         hooks.on_page()?;
-        self.metrics.add("mysql.rows_streamed", page.positions() as u64);
+        self.metrics.add(names::MYSQL_ROWS_STREAMED, page.positions() as u64);
         Ok(vec![page])
     }
 }
@@ -341,8 +341,8 @@ mod tests {
         assert_eq!(pages[0].positions(), 1);
         assert_eq!(pages[0].row(0), vec![Value::Varchar("shared".into())]);
         // only the matching row crossed the wire
-        assert_eq!(c.metrics().get("mysql.rows_scanned"), 3);
-        assert_eq!(c.metrics().get("mysql.rows_streamed"), 1);
+        assert_eq!(c.metrics().get(names::MYSQL_ROWS_SCANNED), 3);
+        assert_eq!(c.metrics().get(names::MYSQL_ROWS_STREAMED), 1);
     }
 
     #[test]
@@ -356,6 +356,6 @@ mod tests {
         let splits = c.splits("presto", "routing", &request).unwrap();
         let pages = c.scan_split(&splits[0], &request, &ScanHooks::none()).unwrap();
         assert_eq!(pages[0].positions(), 2);
-        assert_eq!(c.metrics().get("mysql.rows_streamed"), 2);
+        assert_eq!(c.metrics().get(names::MYSQL_ROWS_STREAMED), 2);
     }
 }

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::RwLock;
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet};
 use presto_common::{DataType, PrestoError, Result, Schema, Value};
 use presto_expr::{Accumulator, AggregateFunction};
 use presto_parquet::ScalarPredicate;
@@ -281,7 +281,7 @@ impl RealtimeStore {
         query: &NativeQuery,
         segment_range: Option<(usize, usize)>,
     ) -> Result<NativeResult> {
-        self.metrics.incr("rt.native_queries");
+        self.metrics.incr(names::RT_NATIVE_QUERIES);
         let t = self.table(schema_name, table)?;
         let (start, end) = segment_range.unwrap_or((0, t.segments.len()));
         // Segments are scanned by parallel historicals: the query's latency
@@ -316,7 +316,7 @@ impl RealtimeStore {
                 }
             }
         }
-        self.metrics.add("rt.rows_matched", matched_total);
+        self.metrics.add(names::RT_ROWS_MATCHED, matched_total);
 
         let mut rows: Vec<Vec<Value>> = groups
             .into_iter()
@@ -374,7 +374,7 @@ impl RealtimeStore {
                 }
             }
         }
-        self.metrics.add("rt.rows_streamed", out.len() as u64);
+        self.metrics.add(names::RT_ROWS_STREAMED, out.len() as u64);
         let stream = self.cost.per_streamed_row * out.len() as u32;
         Ok((out, ScanCost { filter: filter_cost, stream }))
     }

@@ -316,13 +316,28 @@ fn aggregate_rows(
             .insert(Vec::new(), aggregates.iter().map(|a| a.function.new_accumulator()).collect());
     }
 
-    Ok(groups
+    // Materialize in sorted order: the hash table's iteration order varies
+    // run-to-run, and these rows feed operator row counts and (via the
+    // spill-concat path) downstream pages — every consumer must see the
+    // same sequence on every same-seed replay.
+    let mut rows: Vec<Vec<Value>> = groups
         .into_iter()
         .map(|(mut key, accs)| {
             key.extend(accs.iter().map(Accumulator::finish));
             key
         })
-        .collect())
+        .collect();
+    rows.sort_by(|a, b| cmp_rows(a, b));
+    Ok(rows)
+}
+
+/// Total order over result rows: lexicographic by column `total_cmp`.
+fn cmp_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x.total_cmp(y))
+        .find(|o| *o != std::cmp::Ordering::Equal)
+        .unwrap_or(std::cmp::Ordering::Equal)
 }
 
 /// Grace aggregation: hash-partition the input on the group keys, spill each
@@ -358,14 +373,10 @@ fn spill_aggregate(
 }
 
 /// Sort the result rows deterministically and lay them out as pages.
+/// (`aggregate_rows` already sorts its own output; this re-sort makes the
+/// spill path deterministic too, where per-partition results concatenate.)
 fn emit_aggregate_rows(mut rows: Vec<Vec<Value>>, plan: &LogicalPlan) -> Result<Vec<Page>> {
-    rows.sort_by(|a, b| {
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| x.total_cmp(y))
-            .find(|o| *o != std::cmp::Ordering::Equal)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    rows.sort_by(|a, b| cmp_rows(a, b));
 
     let schema = plan.output_schema()?;
     let mut blocks = Vec::with_capacity(schema.len());

@@ -1,7 +1,7 @@
 //! File classification, test-region detection, suppression handling, and
 //! the workspace walker.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{lex, Lexed, TokKind};
@@ -44,8 +44,10 @@ pub struct FileCtx {
     pub rel_path: String,
     pub class: FileClass,
     pub lexed: Lexed,
-    /// `// lint:allow(rule, ...)` comments: line -> suppressed rule ids.
-    allow: HashMap<u32, Vec<String>>,
+    /// `// lint:allow(rule, ...)` coverage: inclusive line ranges with the
+    /// rule ids they suppress. A trailing directive covers its own line; a
+    /// directive on a comment-only line covers exactly the next statement.
+    allow: Vec<(u32, u32, Vec<String>)>,
     /// Lines covered by a comment containing `SAFETY:`.
     safety_lines: HashSet<u32>,
     /// Token-index ranges inside `#[cfg(test)]` / `#[test]` items.
@@ -56,11 +58,24 @@ impl FileCtx {
     /// Build a context from raw source text and its workspace-relative path.
     pub fn new(rel_path: &str, src: &str) -> FileCtx {
         let lexed = lex(src);
-        let mut allow: HashMap<u32, Vec<String>> = HashMap::new();
+        let mut allow: Vec<(u32, u32, Vec<String>)> = Vec::new();
         let mut safety_lines = HashSet::new();
+        let token_lines: HashSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
         for c in &lexed.comments {
-            for rule in parse_allow(&c.text) {
-                allow.entry(c.start_line).or_default().push(rule);
+            let rules = parse_allow(&c.text);
+            if !rules.is_empty() {
+                let range = if token_lines.contains(&c.start_line) {
+                    // trailing directive: covers only the code on its line
+                    (c.start_line, c.start_line)
+                } else {
+                    // standalone directive: covers the next statement, however
+                    // many lines it spans — and nothing after it
+                    match lexed.tokens.iter().position(|t| t.line > c.end_line) {
+                        Some(first) => statement_line_range(&lexed.tokens, first),
+                        None => (c.start_line, c.start_line),
+                    }
+                };
+                allow.push((range.0, range.1, rules));
             }
             if c.text.contains("SAFETY:") {
                 for l in c.start_line..=c.end_line {
@@ -92,10 +107,13 @@ impl FileCtx {
         self.test_ranges.iter().any(|&(a, b)| idx >= a && idx < b)
     }
 
-    /// Is `rule` suppressed on `line` by a `// lint:allow(...)` on that
-    /// exact line? The directive never spills onto neighbouring lines.
+    /// Is `rule` suppressed on `line` by a `// lint:allow(...)` directive?
+    /// A trailing directive covers its own line; a directive on its own line
+    /// covers the next statement (all its lines) and never leaks past it.
     pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
-        self.allow.get(&line).is_some_and(|rules| rules.iter().any(|r| r == rule))
+        self.allow
+            .iter()
+            .any(|(a, b, rules)| line >= *a && line <= *b && rules.iter().any(|r| r == rule))
     }
 
     /// Is `line` (or the two lines above it) covered by a `SAFETY:` comment?
@@ -103,6 +121,49 @@ impl FileCtx {
     pub fn has_safety_comment(&self, line: u32) -> bool {
         (line.saturating_sub(2)..=line).any(|l| self.safety_lines.contains(&l))
     }
+}
+
+/// The inclusive line range of the statement starting at token `start`.
+///
+/// A statement ends at the first `;` at bracket depth 0 (relative to its
+/// first token), or at the `}` closing a block it opened at depth 0 (an
+/// `if`/`for`/`match`/fn item), or just before the `}` that closes the
+/// *enclosing* block. `else`-chains and method calls on a closed block
+/// continue the same statement.
+fn statement_line_range(toks: &[crate::lexer::Tok], start: usize) -> (u32, u32) {
+    let start_line = toks[start].line;
+    let mut depth = 0i32;
+    let mut last_line = start_line;
+    let mut i = start;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    // the enclosing block closed first: end on the previous token
+                    return (start_line, last_line);
+                }
+                if depth == 0 {
+                    // a statement-level block closed; the statement continues
+                    // only through `else`, a trailing `;`, or a method chain
+                    match toks.get(i + 1) {
+                        Some(n) if n.is_ident("else") => {}
+                        Some(n) if n.is_punct(';') => return (start_line, n.line),
+                        Some(n) if n.is_punct('.') => {}
+                        _ => return (start_line, t.line),
+                    }
+                }
+            }
+            TokKind::Punct(';') if depth == 0 => return (start_line, t.line),
+            _ => {}
+        }
+        last_line = t.line;
+        i += 1;
+    }
+    (start_line, last_line)
 }
 
 /// Parse every `lint:allow(a, b)` directive out of a comment.
@@ -294,12 +355,74 @@ mod tests {
     }
 
     #[test]
-    fn allow_is_line_scoped() {
+    fn trailing_allow_is_line_scoped() {
         let src = "let a = 1; // lint:allow(no-unwrap)\nlet b = 2;\n";
         let ctx = FileCtx::new("crates/exec/src/x.rs", src);
         assert!(ctx.is_allowed("no-unwrap", 1));
         assert!(!ctx.is_allowed("no-unwrap", 2));
         assert!(!ctx.is_allowed("wall-clock", 1));
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_multiline_statement_only() {
+        let src = "\
+fn f(map: &std::collections::HashMap<u32, String>) -> String {
+    // lint:allow(no-unwrap)
+    let v = map
+        .get(&1)
+        .unwrap()
+        .clone();
+    let w = map.get(&2).unwrap().clone();
+    v + &w
+}
+";
+        let ctx = FileCtx::new("crates/exec/src/x.rs", src);
+        // the whole covered statement, lines 3-6
+        for line in 3..=6 {
+            assert!(ctx.is_allowed("no-unwrap", line), "line {line} should be covered");
+        }
+        // never the statement after it, and never a different rule
+        assert!(!ctx.is_allowed("no-unwrap", 7));
+        assert!(!ctx.is_allowed("wall-clock", 4));
+    }
+
+    #[test]
+    fn standalone_allow_covers_a_block_statement() {
+        let src = "\
+fn f(xs: &[u32]) -> u32 {
+    let mut n = 0;
+    // lint:allow(map-iter-in-digest)
+    for x in xs {
+        n += x;
+    }
+    let after = xs.len() as u32;
+    n + after
+}
+";
+        let ctx = FileCtx::new("crates/exec/src/x.rs", src);
+        for line in 4..=6 {
+            assert!(ctx.is_allowed("map-iter-in-digest", line), "line {line}");
+        }
+        assert!(!ctx.is_allowed("map-iter-in-digest", 7));
+    }
+
+    #[test]
+    fn standalone_allow_stops_at_enclosing_block_close() {
+        // directive above the last statement of a block must not cover code
+        // after the block
+        let src = "\
+fn f() -> u32 {
+    // lint:allow(no-unwrap)
+    g()
+}
+fn g() -> u32 {
+    1
+}
+";
+        let ctx = FileCtx::new("crates/exec/src/x.rs", src);
+        assert!(ctx.is_allowed("no-unwrap", 3));
+        assert!(!ctx.is_allowed("no-unwrap", 5));
+        assert!(!ctx.is_allowed("no-unwrap", 6));
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Pass 2: the workspace-global lock-order graph.
+//!
+//! Nodes are canonical lock identities (`Struct::field`); an edge `A -> B`
+//! means some execution path acquires `B` while holding `A`. Edges come
+//! from two places:
+//!
+//! * **intra-function**: one body acquires both locks with overlapping
+//!   guard liveness (recorded in [`crate::summary::FnSummary::lock_edges`]);
+//! * **cross-function**: a body calls `g(...)` while holding `A`, and `g`
+//!   (resolved workspace-wide by name) transitively acquires `B`.
+//!
+//! Any cycle in this graph is a potential deadlock under concurrency: two
+//! threads entering the cycle from different points block each other
+//! forever. Each cycle is reported once, with a full witness path naming
+//! every file:line involved — which is what makes the diagnostic
+//! actionable when the two halves of the inversion live in different
+//! crates. Holding a guard across an `.await` is reported under the same
+//! rule: the task can be parked indefinitely mid-critical-section.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::engine::Diagnostic;
+use crate::summary::{FileSummary, FnSummary};
+
+/// How one edge was proven; rendered into the witness path.
+#[derive(Debug, Clone)]
+struct EdgeWitness {
+    /// Human-readable step, e.g.
+    /// "`cluster::PrestoCluster::rebalance` (crates/cluster/src/cluster.rs:88)
+    ///  acquires `PrestoCluster::workers` then `Worker::inner` (…:92)".
+    text: String,
+    /// Anchor for the diagnostic when this edge starts a cycle report.
+    file: String,
+    line: u32,
+}
+
+/// Run the lock-order analysis over all summaries.
+pub fn check(files: &[FileSummary]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let fns: Vec<&FnSummary> = files.iter().flat_map(|f| &f.fns).collect();
+    let by_name: BTreeMap<&str, Vec<usize>> = {
+        let mut m: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            m.entry(f.name.as_str()).or_default().push(i);
+        }
+        m
+    };
+
+    // Transitive lock sets per function, with a witness (file, line, qual)
+    // for where each lock is first acquired. Fixpoint over the call graph.
+    let mut tset: Vec<BTreeMap<String, (String, u32, String)>> = fns
+        .iter()
+        .map(|f| {
+            f.acquires
+                .iter()
+                .map(|a| (a.lock.clone(), (f.file.clone(), a.line, f.qual.clone())))
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            for call in &fns[i].calls {
+                let Some(callees) = by_name.get(call.callee.as_str()) else { continue };
+                for &c in callees {
+                    if c == i {
+                        continue;
+                    }
+                    let add: Vec<(String, (String, u32, String))> = tset[c]
+                        .iter()
+                        .filter(|(l, _)| !tset[i].contains_key(*l))
+                        .map(|(l, w)| (l.clone(), w.clone()))
+                        .collect();
+                    if !add.is_empty() {
+                        changed = true;
+                        tset[i].extend(add);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edge set with one (deterministic: first in BTreeMap order) witness each.
+    let mut edges: BTreeMap<(String, String), EdgeWitness> = BTreeMap::new();
+    for f in &fns {
+        for e in &f.lock_edges {
+            edges.entry((e.held.clone(), e.inner.clone())).or_insert_with(|| EdgeWitness {
+                text: format!(
+                    "`{}` ({}:{}) acquires `{}` then `{}` ({}:{})",
+                    f.qual, f.file, e.held_line, e.held, e.inner, f.file, e.inner_line
+                ),
+                file: f.file.clone(),
+                line: e.held_line,
+            });
+        }
+    }
+    for (i, f) in fns.iter().enumerate() {
+        for call in &fns[i].calls {
+            if call.holds.is_empty() {
+                continue;
+            }
+            let Some(callees) = by_name.get(call.callee.as_str()) else { continue };
+            for &c in callees {
+                if c == i {
+                    continue;
+                }
+                for (lock, (wfile, wline, wqual)) in &tset[c] {
+                    for held in &call.holds {
+                        if held.lock == *lock {
+                            continue;
+                        }
+                        edges
+                            .entry((held.lock.clone(), lock.clone()))
+                            .or_insert_with(|| EdgeWitness {
+                                text: format!(
+                                    "`{}` ({}:{}) holds `{}` and calls `{}` ({}:{}), which acquires `{}` via `{}` ({}:{})",
+                                    f.qual,
+                                    f.file,
+                                    held.line,
+                                    held.lock,
+                                    call.callee,
+                                    f.file,
+                                    call.line,
+                                    lock,
+                                    wqual,
+                                    wfile,
+                                    wline
+                                ),
+                                file: f.file.clone(),
+                                line: held.line,
+                            });
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection with rotation-deduplication: only start a DFS from
+    // the lexicographically smallest node of each cycle.
+    let adj: BTreeMap<&str, Vec<&str>> = {
+        let mut m: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            m.entry(a.as_str()).or_default().push(b.as_str());
+        }
+        m
+    };
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in adj.keys() {
+        let mut path = vec![*start];
+        find_cycle(start, start, &adj, &mut path, &mut reported, &edges, &mut out);
+    }
+
+    // Guards held across `.await`: same deadlock class, same rule.
+    for f in &fns {
+        for (lock, line) in &f.awaits_under_guard {
+            out.push(Diagnostic {
+                rule: "lock-order",
+                path: f.file.clone(),
+                line: *line,
+                message: format!(
+                    "`{}` holds the guard on `{lock}` across an .await; the task can be parked \
+                     indefinitely mid-critical-section — drop the guard before suspending",
+                    f.qual
+                ),
+            });
+        }
+    }
+
+    out
+}
+
+/// DFS for a simple cycle back to `start`, visiting only nodes >= `start`
+/// (so each cycle is found exactly once, anchored at its smallest node).
+#[allow(clippy::too_many_arguments)]
+fn find_cycle<'a>(
+    start: &'a str,
+    at: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    path: &mut Vec<&'a str>,
+    reported: &mut BTreeSet<Vec<String>>,
+    edges: &BTreeMap<(String, String), EdgeWitness>,
+    out: &mut Vec<Diagnostic>,
+) {
+    if path.len() > 8 {
+        return; // cycles longer than 8 locks: report on a shorter chord
+    }
+    let Some(nexts) = adj.get(at) else { return };
+    for &next in nexts {
+        if next == start {
+            let key: Vec<String> = {
+                let mut k: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+                k.sort();
+                k
+            };
+            if reported.insert(key) {
+                let mut ring: Vec<&str> = path.clone();
+                ring.push(start);
+                let witness: Vec<&str> = ring
+                    .windows(2)
+                    .filter_map(|w| {
+                        edges.get(&(w[0].to_string(), w[1].to_string())).map(|e| e.text.as_str())
+                    })
+                    .collect();
+                let anchor = edges
+                    .get(&(ring[0].to_string(), ring[1].to_string()))
+                    .expect("cycle edge must exist");
+                out.push(Diagnostic {
+                    rule: "lock-order",
+                    path: anchor.file.clone(),
+                    line: anchor.line,
+                    message: format!(
+                        "lock-order cycle {}: two threads entering from different points deadlock; \
+                         witness: {}",
+                        ring.join(" -> "),
+                        witness.join("; ")
+                    ),
+                });
+            }
+            continue;
+        }
+        if next < start || path.contains(&next) {
+            continue;
+        }
+        path.push(next);
+        find_cycle(start, next, adj, path, reported, edges, out);
+        path.pop();
+    }
+}

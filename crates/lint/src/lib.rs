@@ -2,8 +2,9 @@
 //!
 //! The paper's operational sections (§XII) describe keeping a very large
 //! Presto fleet correct; this reproduction encodes the same invariants
-//! (virtual clock, RAII memory reservations, a strict crate DAG) and this
-//! tool enforces them mechanically so every PR lands with them intact.
+//! (virtual clock, RAII memory reservations, a strict crate DAG, bit-
+//! identical same-seed digests) and this tool enforces them mechanically
+//! so every PR lands with them intact.
 //!
 //! Run it over the whole workspace:
 //!
@@ -11,41 +12,118 @@
 //! cargo run -p presto-lint -- --workspace
 //! ```
 //!
-//! It prints `file:line: [rule-id] message` diagnostics and exits nonzero
-//! if any are found. A violation that is genuinely intended can be
-//! suppressed for a single line with a trailing `// lint:allow(<rule-id>)`
-//! comment — the directive applies to its own line only.
+//! It prints `file:line: [rule-id] message` diagnostics (or a JSON array
+//! with `--format json`) and exits nonzero if any are found.
 //!
-//! The tool is dependency-free: a small lexer ([`lexer`]) strips comments
-//! and literals and produces a line-annotated token stream, the engine
-//! ([`engine`]) classifies files and test regions, and the rules
-//! ([`rules`]) pattern-match the tokens.
+//! The analyzer runs in **two passes**. Pass 1 lexes and classifies every
+//! file, runs the per-line token rules ([`rules`]), and builds per-function
+//! summaries ([`summary`]): locks acquired and in what order, guards live
+//! across `.await`/send boundaries, calls made under a held guard, string
+//! literals used as metric names, unordered-container iteration sites, and
+//! which bodies touch a digest sink. Pass 2 stitches the summaries into
+//! workspace-global diagnostics: the lock-order graph ([`graph`]), the
+//! nondeterminism taint ([`taint`]), and the metrics/error-taxonomy
+//! registries ([`rules::check_global`]).
+//!
+//! A violation that is genuinely intended can be suppressed with
+//! `// lint:allow(<rule-id>)`: trailing on a line it covers that line; on
+//! its own line it covers exactly the next statement (however many lines
+//! it spans) and never leaks past it.
+//!
+//! The tool is dependency-free: a small lexer ([`lexer`]) produces a
+//! line-annotated token stream (string literals kept as tokens, comments
+//! collected separately), and everything above it is token-pattern
+//! analysis.
 
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod summary;
+pub mod taint;
 
+use std::collections::HashMap;
 use std::path::Path;
 
 pub use engine::{Diagnostic, FileClass, FileCtx};
 pub use rules::{Rule, RULES};
 
+/// Check a set of sources together: per-file rules plus the workspace-
+/// global passes (lock-order graph, nondeterminism taint, registries).
+/// `files` holds `(workspace-relative path, source text)` pairs; global
+/// diagnostics can span files (a lock-order witness names every file on
+/// its cycle).
+pub fn check_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let ctxs: Vec<FileCtx> = files.iter().map(|(p, s)| FileCtx::new(p, s)).collect();
+    let mut out = Vec::new();
+    for ctx in &ctxs {
+        out.extend(rules::check(ctx));
+    }
+    let summaries = summary::summarize_all(&ctxs);
+    let mut global = rules::check_global(&summaries);
+    // suppression for global diagnostics: honor the owning file's allows
+    let by_path: HashMap<&str, &FileCtx> = ctxs.iter().map(|c| (c.rel_path.as_str(), c)).collect();
+    global.retain(|d| {
+        !by_path.get(d.path.as_str()).is_some_and(|ctx| ctx.is_allowed(d.rule, d.line))
+    });
+    out.extend(global);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out.dedup();
+    out
+}
+
 /// Check one file's source text under its workspace-relative path (the
-/// path decides which rules apply — see [`engine::FileClass`]).
+/// path decides which rules apply — see [`engine::FileClass`]). Global
+/// rules run too, scoped to this one file.
 pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
-    rules::check(&FileCtx::new(rel_path, src))
+    check_sources(&[(rel_path.to_string(), src.to_string())])
 }
 
 /// Check every `.rs` file in the workspace rooted at `root`, in a
-/// deterministic order.
+/// deterministic order, with the global passes seeing all files at once.
 pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
+    let mut files = Vec::new();
     for (rel, path) in engine::collect_workspace_files(root)? {
-        let src = std::fs::read_to_string(&path)?;
-        out.extend(check_source(&rel, &src));
+        files.push((rel, std::fs::read_to_string(&path)?));
     }
-    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(out)
+    Ok(check_sources(&files))
+}
+
+/// Render diagnostics as a JSON array (machine-readable CI artifact).
+/// Hand-rolled — the tool is dependency-free by design.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let items: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            format!(
+                r#"  {{"rule": "{}", "path": "{}", "line": {}, "message": "{}"}}"#,
+                esc(d.rule),
+                esc(&d.path),
+                d.line,
+                esc(&d.message)
+            )
+        })
+        .collect();
+    if items.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n]", items.join(",\n"))
+    }
 }
 
 /// The workspace root when running via `cargo run -p presto-lint`

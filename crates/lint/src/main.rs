@@ -1,25 +1,29 @@
 //! CLI for the workspace invariant checker.
 //!
 //! ```text
-//! cargo run -p presto-lint -- --workspace         # lint the whole repo
-//! cargo run -p presto-lint -- --rules             # list the rules
-//! cargo run -p presto-lint -- crates/exec         # lint one subtree
+//! cargo run -p presto-lint -- --workspace               # lint the whole repo
+//! cargo run -p presto-lint -- --workspace --format json # CI artifact output
+//! cargo run -p presto-lint -- --rules                   # list the rules
+//! cargo run -p presto-lint -- crates/exec               # lint one subtree
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use presto_lint::{check_workspace, default_workspace_root, RULES};
+use presto_lint::{check_workspace, default_workspace_root, to_json, RULES};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "presto-lint: workspace invariant checker\n\n\
+            "presto-lint: workspace invariant checker (two-pass: per-file rules + \
+             workspace-global lock-order/taint/registry analysis)\n\n\
              USAGE:\n  presto-lint --workspace          lint the whole workspace\n  \
              presto-lint --rules              list rules\n  \
+             presto-lint --format json        emit diagnostics as a JSON array\n  \
              presto-lint <path>...            lint files/subtrees under the workspace root\n\n\
-             Suppress a single line with a trailing `// lint:allow(<rule-id>)` comment."
+             Suppress with `// lint:allow(<rule-id>)`: trailing covers its line; on its own \
+             line it covers exactly the next statement."
         );
         return ExitCode::SUCCESS;
     }
@@ -29,40 +33,56 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    let json = args.windows(2).any(|w| w[0] == "--format" && w[1] == "json")
+        || args.iter().any(|a| a == "--format=json");
+
+    // lint:allow(wall-clock)
+    let t0 = std::time::Instant::now();
 
     let root = default_workspace_root();
-    let diagnostics = if args.is_empty() || args.iter().any(|a| a == "--workspace") {
-        match check_workspace(root) {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("presto-lint: cannot walk workspace at {}: {e}", root.display());
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
+    let paths: Vec<PathBuf> =
+        args.iter().filter(|a| !a.starts_with("--") && *a != "json").map(PathBuf::from).collect();
+    let diagnostics = match check_workspace(root) {
+        Ok(d) if paths.is_empty() => d,
         // Explicit paths: restrict the workspace scan to the given prefixes
-        // so per-file classification (crate, lib vs test) still applies.
-        let prefixes: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
-        match check_workspace(root) {
-            Ok(d) => d
-                .into_iter()
-                .filter(|diag| prefixes.iter().any(|p| Path::new(&diag.path).starts_with(p)))
-                .collect(),
-            Err(e) => {
-                eprintln!("presto-lint: cannot walk workspace at {}: {e}", root.display());
-                return ExitCode::FAILURE;
-            }
+        // (classification and the global passes still see the whole tree).
+        Ok(d) => d
+            .into_iter()
+            .filter(|diag| paths.iter().any(|p| Path::new(&diag.path).starts_with(p)))
+            .collect(),
+        Err(e) => {
+            eprintln!("presto-lint: cannot walk workspace at {}: {e}", root.display());
+            return ExitCode::FAILURE;
         }
     };
+    let elapsed = t0.elapsed();
 
-    for d in &diagnostics {
-        println!("{d}");
+    if json {
+        // stdout is the artifact; the human summary goes to stderr
+        println!("{}", to_json(&diagnostics));
+        eprintln!(
+            "presto-lint: {} violation(s), {} rules, {:.2}s",
+            diagnostics.len(),
+            RULES.len(),
+            elapsed.as_secs_f64()
+        );
+    } else {
+        for d in &diagnostics {
+            println!("{d}");
+        }
+        if diagnostics.is_empty() {
+            println!("presto-lint: clean ({} rules, {:.2}s)", RULES.len(), elapsed.as_secs_f64());
+        } else {
+            println!(
+                "presto-lint: {} violation(s) ({:.2}s)",
+                diagnostics.len(),
+                elapsed.as_secs_f64()
+            );
+        }
     }
     if diagnostics.is_empty() {
-        println!("presto-lint: clean ({} rules)", RULES.len());
         ExitCode::SUCCESS
     } else {
-        println!("presto-lint: {} violation(s)", diagnostics.len());
         ExitCode::FAILURE
     }
 }

@@ -4,6 +4,8 @@
 
 use crate::engine::{Diagnostic, FileClass, FileCtx};
 use crate::lexer::{Tok, TokKind};
+use crate::summary::FileSummary;
+use crate::{graph, taint};
 
 /// Metadata for one rule, used by `--rules` and the docs.
 pub struct Rule {
@@ -41,6 +43,29 @@ pub const RULES: &[Rule] = &[
         id: "guard-leak",
         summary: "no mem::forget/Box::leak in library code \
                   (leaking an RAII reservation guard silently loses pool memory)",
+    },
+    Rule {
+        id: "lock-order",
+        summary: "the workspace-global lock-order graph must be acyclic, and no guard may be \
+                  held across .await (a cycle means two threads can deadlock; the diagnostic \
+                  carries the full cross-file witness path)",
+    },
+    Rule {
+        id: "map-iter-in-digest",
+        summary: "no unordered HashMap/HashSet iteration reaching a digest/report sink without \
+                  an intervening sort (iteration order varies run-to-run and breaks the \
+                  same-seed digest CI gates)",
+    },
+    Rule {
+        id: "metrics-registry",
+        summary: "counter/histogram names at record sites must be metrics::names constants, \
+                  never string literals (a typo silently splits a metric), and registry \
+                  constants must not share values",
+    },
+    Rule {
+        id: "error-taxonomy",
+        summary: "every PrestoError variant must be explicitly classified in is_retryable \
+                  (no wildcard arm), so retry loops never meet an unclassified error",
     },
 ];
 
@@ -136,6 +161,112 @@ pub fn check(ctx: &FileCtx) -> Vec<Diagnostic> {
         guard_leak(ctx, toks, i, &mut out);
     }
     out.retain(|d| !ctx.is_allowed(d.rule, d.line));
+    out
+}
+
+/// Pass 2: the rules that need the whole workspace's summaries — the
+/// lock-order graph, the nondeterminism taint, and the metrics/error
+/// registries. Suppression is applied by the caller (it owns the
+/// per-file contexts).
+pub fn check_global(summaries: &[FileSummary]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(graph::check(summaries));
+    out.extend(taint::check(summaries));
+    out.extend(metrics_registry(summaries));
+    out.extend(error_taxonomy(summaries));
+    out
+}
+
+/// The file that owns the canonical metric-name registry.
+const METRICS_REGISTRY_FILE: &str = "crates/common/src/metrics.rs";
+
+/// `metrics-registry`: every counter/histogram name recorded anywhere must
+/// be a `metrics::names` constant — a string literal at a record site is a
+/// typo waiting to silently split a metric — and no two registry constants
+/// may share a value (that silently *merges* two metrics).
+fn metrics_registry(summaries: &[FileSummary]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in summaries {
+        if f.file == METRICS_REGISTRY_FILE || matches!(f.crate_name.as_str(), "lint" | "bench") {
+            continue;
+        }
+        for (method, name, line) in &f.metric_literals {
+            out.push(Diagnostic {
+                rule: "metrics-registry",
+                path: f.file.clone(),
+                line: *line,
+                message: format!(
+                    ".{method}(\"{name}\", ...) passes a string literal as a metric name; add a \
+                     constant to presto_common::metrics::names and use it (a typo here silently \
+                     splits the metric)"
+                ),
+            });
+        }
+    }
+    // duplicate values inside the registry itself
+    for f in summaries.iter().filter(|f| f.file == METRICS_REGISTRY_FILE) {
+        let mut seen: std::collections::BTreeMap<&str, &str> = std::collections::BTreeMap::new();
+        for (name, value, line) in &f.registry_consts {
+            if let Some(first) = seen.get(value.as_str()) {
+                out.push(Diagnostic {
+                    rule: "metrics-registry",
+                    path: f.file.clone(),
+                    line: *line,
+                    message: format!(
+                        "registry constant `{name}` duplicates the value \"{value}\" of `{first}`; \
+                         two constants naming one metric silently merge unrelated series"
+                    ),
+                });
+            } else {
+                seen.insert(value.as_str(), name.as_str());
+            }
+        }
+    }
+    out
+}
+
+/// `error-taxonomy`: in the file declaring `enum PrestoError`, every
+/// variant must be named in `is_retryable` (exhaustively — no `_ =>` arm),
+/// so a retry loop can never meet a variant nobody classified.
+fn error_taxonomy(summaries: &[FileSummary]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in summaries {
+        let Some(enum_line) = f.error_enum_line else { continue };
+        let Some(retryable) = &f.retryable else {
+            out.push(Diagnostic {
+                rule: "error-taxonomy",
+                path: f.file.clone(),
+                line: enum_line,
+                message: "enum PrestoError has no is_retryable in this file; every variant needs \
+                          an explicit retry classification"
+                    .to_string(),
+            });
+            continue;
+        };
+        if let Some(line) = retryable.wildcard_line {
+            out.push(Diagnostic {
+                rule: "error-taxonomy",
+                path: f.file.clone(),
+                line,
+                message: "is_retryable has a `_ =>` arm: a newly added PrestoError variant would \
+                          be classified silently — match every variant explicitly"
+                    .to_string(),
+            });
+        }
+        for (variant, line) in &f.error_variants {
+            if !retryable.idents.iter().any(|i| i == variant) {
+                out.push(Diagnostic {
+                    rule: "error-taxonomy",
+                    path: f.file.clone(),
+                    line: *line,
+                    message: format!(
+                        "PrestoError::{variant} is never named in is_retryable; classify it \
+                         explicitly so retry loops don't meet an unclassified error"
+                    ),
+                });
+            }
+        }
+    }
     out
 }
 

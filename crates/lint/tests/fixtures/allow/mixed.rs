@@ -1,5 +1,5 @@
-//! One suppressed violation, one bare violation, and one directive on the
-//! line *above* a violation (which must not suppress it).
+//! Trailing directives are line-scoped; a standalone directive covers the
+//! next statement — however many lines it spans — and nothing after it.
 use std::collections::HashMap;
 
 pub fn suppressed(map: &HashMap<u32, String>) -> String {
@@ -10,7 +10,12 @@ pub fn bare(map: &HashMap<u32, String>) -> String {
     map.get(&1).unwrap().clone()
 }
 
-pub fn directive_above(map: &HashMap<u32, String>) -> String {
+pub fn statement_scoped(map: &HashMap<u32, String>) -> String {
     // lint:allow(no-unwrap)
-    map.get(&2).unwrap().clone()
+    let first = map
+        .get(&2)
+        .unwrap()
+        .clone();
+    let second = map.get(&3).unwrap().clone();
+    format!("{first}{second}")
 }

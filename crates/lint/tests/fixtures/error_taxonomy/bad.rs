@@ -1,0 +1,14 @@
+//! A variant nobody classified, hidden behind a wildcard arm.
+pub enum PrestoError {
+    Parse(String),
+    Timeout(String),
+}
+
+impl PrestoError {
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            PrestoError::Parse(_) => false,
+            _ => true,
+        }
+    }
+}

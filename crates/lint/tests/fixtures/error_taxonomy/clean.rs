@@ -1,0 +1,14 @@
+//! Every variant explicitly classified; no wildcard to hide behind.
+pub enum PrestoError {
+    Parse(String),
+    Timeout(String),
+}
+
+impl PrestoError {
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            PrestoError::Parse(_) => false,
+            PrestoError::Timeout(_) => true,
+        }
+    }
+}

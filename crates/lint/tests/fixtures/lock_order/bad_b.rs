@@ -1,0 +1,11 @@
+//! Seeded deadlock, half 2: acquires `Pool::mem` then `Scheduler::queue` —
+//! the inverse of `bad_a.rs`. Together the two files form a cycle whose
+//! halves live in different files; the diagnostic's witness must name both.
+impl Pool {
+    pub fn reserve(&self, sched: &Scheduler) {
+        let m = self.mem.lock();
+        let q = sched.queue.lock();
+        drop(q);
+        drop(m);
+    }
+}

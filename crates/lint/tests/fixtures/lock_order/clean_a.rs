@@ -1,0 +1,19 @@
+//! Same structs, but every path agrees on the order queue -> mem.
+use parking_lot::Mutex;
+
+pub struct Scheduler {
+    pub queue: Mutex<Vec<u32>>,
+}
+
+pub struct Pool {
+    pub mem: Mutex<u64>,
+}
+
+impl Scheduler {
+    pub fn schedule(&self, pool: &Pool) {
+        let q = self.queue.lock();
+        let m = pool.mem.lock();
+        drop(m);
+        drop(q);
+    }
+}

@@ -1,0 +1,9 @@
+//! The second file also takes queue before mem: no inversion, no cycle.
+impl Pool {
+    pub fn reserve(&self, sched: &Scheduler) {
+        let q = sched.queue.lock();
+        let m = self.mem.lock();
+        drop(m);
+        drop(q);
+    }
+}

@@ -1,0 +1,9 @@
+//! Unordered iteration feeding a digest sink: HashMap iteration order
+//! varies run-to-run, so the accumulated value differs between replays.
+use std::collections::HashMap;
+
+pub fn digest_batch(rows: &HashMap<u64, u64>, acc: &mut u64) {
+    for (k, v) in rows.iter() {
+        *acc = mix64(*acc ^ *k ^ *v);
+    }
+}

@@ -1,0 +1,11 @@
+//! Sorted before digesting: the fold sees one canonical order, so the
+//! digest is identical on every same-seed run.
+use std::collections::HashMap;
+
+pub fn digest_batch(rows: &HashMap<u64, u64>, acc: &mut u64) {
+    let mut items: Vec<(u64, u64)> = rows.iter().map(|(k, v)| (*k, *v)).collect();
+    items.sort_unstable();
+    for (k, v) in items {
+        *acc = mix64(*acc ^ k ^ v);
+    }
+}

@@ -1,0 +1,7 @@
+//! A string literal at a record site: one typo away from silently
+//! splitting a metric into two series.
+use presto_common::metrics::CounterSet;
+
+pub fn touch(metrics: &CounterSet) {
+    metrics.incr("fixture.hits");
+}

@@ -1,0 +1,6 @@
+//! Record sites must pass `names::` constants, never literals.
+use presto_common::metrics::{names, CounterSet};
+
+pub fn touch(metrics: &CounterSet) {
+    metrics.incr(names::FRC_HITS);
+}

@@ -1,0 +1,7 @@
+//! Two registry constants with one value silently merge two series.
+pub mod names {
+    /// Cache hits.
+    pub const CACHE_HITS: &str = "cache.hits";
+    /// Oops: a copy-paste kept the old value.
+    pub const INDEX_HITS: &str = "cache.hits";
+}

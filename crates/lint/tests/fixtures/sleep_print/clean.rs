@@ -1,12 +1,12 @@
 //! Clean: virtual time and metrics instead of sleeps and prints.
 use std::time::Duration;
 
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet};
 use presto_common::SimClock;
 
 pub fn wait_for_worker(clock: &SimClock, metrics: &CounterSet) {
     clock.advance(Duration::from_millis(50));
-    metrics.incr("worker.ready");
+    metrics.incr(names::CLUSTER_TASKS);
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 //! Accounting is done in `u128` so an unbudgeted session may reserve
 //! near-`usize::MAX` without overflow (the legacy context API allowed it).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,7 +49,11 @@ struct QuerySlot {
 
 struct PoolState {
     used: u128,
-    queries: HashMap<u64, QuerySlot>,
+    /// Keyed by query id. A BTreeMap, not a HashMap: the OOM arbiter and
+    /// the revoke arbiter pick victims with `max_by_key` over this map, and
+    /// ties must break the same way on every same-seed run (highest query
+    /// id wins) or the set of killed queries diverges between replays.
+    queries: BTreeMap<u64, QuerySlot>,
 }
 
 struct PoolInner {
@@ -76,7 +80,7 @@ impl MemoryPool {
         MemoryPool {
             inner: Arc::new(PoolInner {
                 budget: budget.map(|b| b as u128),
-                state: Mutex::new(PoolState { used: 0, queries: HashMap::new() }),
+                state: Mutex::new(PoolState { used: 0, queries: BTreeMap::new() }),
                 freed: Condvar::new(),
                 next_query: AtomicU64::new(0),
             }),

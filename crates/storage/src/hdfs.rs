@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet};
 use presto_common::{Result, SimClock};
 
 use crate::fs::{FileStatus, FileSystem};
@@ -106,21 +106,21 @@ impl HdfsFileSystem {
 
 impl FileSystem for HdfsFileSystem {
     fn list_files(&self, dir: &str) -> Result<Vec<FileStatus>> {
-        self.metrics.incr("hdfs.list_files");
+        self.metrics.incr(names::HDFS_LIST_FILES);
         let listed = self.store.list_files(dir)?;
         self.charge_namenode(listed.len());
         Ok(listed)
     }
 
     fn get_file_info(&self, path: &str) -> Result<FileStatus> {
-        self.metrics.incr("hdfs.get_file_info");
+        self.metrics.incr(names::HDFS_GET_FILE_INFO);
         self.charge_namenode(1);
         self.store.get_file_info(path)
     }
 
     fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
-        self.metrics.incr("hdfs.read_ops");
-        self.metrics.add("hdfs.read_bytes", len);
+        self.metrics.incr(names::HDFS_READ_OPS);
+        self.metrics.add(names::HDFS_READ_BYTES, len);
         let per_mb = self.config.read_per_mb.as_nanos() as f64;
         let cost = per_mb * (len as f64 / (1024.0 * 1024.0));
         self.clock.advance(self.config.read_base_latency + Duration::from_nanos(cost as u64));
@@ -128,13 +128,13 @@ impl FileSystem for HdfsFileSystem {
     }
 
     fn write(&self, path: &str, data: &[u8]) -> Result<()> {
-        self.metrics.incr("hdfs.write_ops");
+        self.metrics.incr(names::HDFS_WRITE_OPS);
         self.charge_namenode(1);
         self.store.write(path, data)
     }
 
     fn delete(&self, path: &str) -> Result<()> {
-        self.metrics.incr("hdfs.delete_ops");
+        self.metrics.incr(names::HDFS_DELETE_OPS);
         self.charge_namenode(1);
         self.store.delete(path)
     }
@@ -154,10 +154,10 @@ mod tests {
         let listed = hdfs.list_files("/t/p1").unwrap();
         assert_eq!(listed.len(), 2);
         assert!(hdfs.clock().now() > before, "listFiles must cost virtual time");
-        assert_eq!(hdfs.metrics().get("hdfs.list_files"), 1);
+        assert_eq!(hdfs.metrics().get(names::HDFS_LIST_FILES), 1);
 
         hdfs.get_file_info("/t/p1/f1").unwrap();
-        assert_eq!(hdfs.metrics().get("hdfs.get_file_info"), 1);
+        assert_eq!(hdfs.metrics().get(names::HDFS_GET_FILE_INFO), 1);
     }
 
     #[test]
@@ -187,6 +187,6 @@ mod tests {
         let data = hdfs.read_range("/f", 0, 1024 * 1024).unwrap();
         assert_eq!(data.len(), 1024 * 1024);
         assert!(hdfs.clock().now() - t0 >= Duration::from_millis(7));
-        assert_eq!(hdfs.metrics().get("hdfs.read_bytes"), 1024 * 1024);
+        assert_eq!(hdfs.metrics().get(names::HDFS_READ_BYTES), 1024 * 1024);
     }
 }

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
-use presto_common::metrics::CounterSet;
+use presto_common::metrics::{names, CounterSet};
 use presto_common::{PrestoError, Result, SimClock};
 
 use crate::fs::{is_direct_child, normalize, FileStatus, FileSystem};
@@ -96,12 +96,12 @@ impl S3ObjectStore {
 
     /// Start a request: charge latency, maybe inject a transient fault.
     fn begin_request(&self, kind: &str) -> Result<()> {
-        self.metrics.incr("s3.requests");
+        self.metrics.incr(names::S3_REQUESTS);
         self.metrics.incr(&format!("s3.{kind}"));
         self.clock.advance(self.config.request_latency);
         let seq = self.request_seq.fetch_add(1, Ordering::Relaxed) + 1;
         if self.config.fail_every > 0 && seq.is_multiple_of(self.config.fail_every) {
-            self.metrics.incr("s3.faults_injected");
+            self.metrics.incr(names::S3_FAULTS_INJECTED);
             return Err(PrestoError::Storage("503 SlowDown (transient)".into()));
         }
         Ok(())
@@ -134,7 +134,7 @@ impl S3ObjectStore {
                 data[start..end].to_vec()
             }
         };
-        self.metrics.add("s3.bytes_out", out.len() as u64);
+        self.metrics.add(names::S3_BYTES_OUT, out.len() as u64);
         self.charge_transfer(out.len() as u64);
         Ok(out)
     }
@@ -142,7 +142,7 @@ impl S3ObjectStore {
     /// `PUT` a whole object.
     pub fn put_object(&self, key: &str, data: &[u8]) -> Result<()> {
         self.begin_request("put")?;
-        self.metrics.add("s3.bytes_in", data.len() as u64);
+        self.metrics.add(names::S3_BYTES_IN, data.len() as u64);
         self.charge_transfer(data.len() as u64);
         self.objects.write().insert(normalize(key), Arc::new(data.to_vec()));
         Ok(())
@@ -206,7 +206,7 @@ impl S3ObjectStore {
             out.push('\n');
         }
         let bytes = out.into_bytes();
-        self.metrics.add("s3.bytes_out", bytes.len() as u64);
+        self.metrics.add(names::S3_BYTES_OUT, bytes.len() as u64);
         self.charge_transfer(bytes.len() as u64);
         Ok(bytes)
     }
@@ -218,7 +218,7 @@ impl S3ObjectStore {
     /// the largest part.
     pub fn upload_part(&self, key: &str, part_number: u32, data: &[u8]) -> Result<()> {
         self.begin_request("upload_part")?;
-        self.metrics.add("s3.bytes_in", data.len() as u64);
+        self.metrics.add(names::S3_BYTES_IN, data.len() as u64);
         self.pending_multipart
             .lock()
             .entry(normalize(key))
@@ -318,8 +318,8 @@ impl PrestoS3FileSystem {
                             "giving up after {attempt} retries: {msg}"
                         )));
                     }
-                    metrics.incr("s3fs.retries");
-                    metrics.add("s3fs.backoff_nanos", wait.as_nanos() as u64);
+                    metrics.incr(names::S3FS_RETRIES);
+                    metrics.add(names::S3FS_BACKOFF_NANOS, wait.as_nanos() as u64);
                     clock.advance(wait);
                     if self.config.exponential_backoff {
                         wait *= 2;
@@ -364,7 +364,7 @@ impl FileSystem for PrestoS3FileSystem {
             // §IX opt 4: split into parts uploaded in parallel. Request
             // latency is charged per part by the store; transfer time is
             // parallel, so charge only the largest part's transfer here.
-            self.store.metrics().incr("s3fs.multipart_uploads");
+            self.store.metrics().incr(names::S3FS_MULTIPART_UPLOADS);
             let mut largest = 0usize;
             for (i, chunk) in data.chunks(self.config.part_size).enumerate() {
                 let part_number = i as u32 + 1;
@@ -413,12 +413,12 @@ impl S3InputStream {
     /// Seek to `pos`.
     pub fn seek(&mut self, pos: u64) -> Result<()> {
         let metrics = self.fs.store.metrics().clone();
-        metrics.incr("s3fs.seeks");
+        metrics.incr(names::S3FS_SEEKS);
         if self.fs.config.lazy_seek {
             // Defer: if another seek or a buffered read supersedes this, no
             // request is ever issued.
             if self.pending_seek.is_some() {
-                metrics.incr("s3fs.seek_fetches_avoided");
+                metrics.incr(names::S3FS_SEEK_FETCHES_AVOIDED);
             }
             self.pending_seek = Some(pos);
             Ok(())
@@ -524,8 +524,8 @@ mod tests {
         for _ in 0..8 {
             assert_eq!(fs.read_range("/b/f", 0, 4).unwrap(), b"data");
         }
-        assert!(fs.store().metrics().get("s3fs.retries") > 0);
-        assert!(fs.store().metrics().get("s3.faults_injected") > 0);
+        assert!(fs.store().metrics().get(names::S3FS_RETRIES) > 0);
+        assert!(fs.store().metrics().get(names::S3_FAULTS_INJECTED) > 0);
     }
 
     #[test]
@@ -561,7 +561,7 @@ mod tests {
         );
         let data: Vec<u8> = (0..2000u32).map(|i| (i % 251) as u8).collect();
         fs.write("/b/big", &data).unwrap();
-        assert_eq!(fs.store().metrics().get("s3fs.multipart_uploads"), 1);
+        assert_eq!(fs.store().metrics().get(names::S3FS_MULTIPART_UPLOADS), 1);
         assert_eq!(fs.store().metrics().get("s3.upload_part"), 5);
         assert_eq!(fs.read("/b/big").unwrap(), data);
 
