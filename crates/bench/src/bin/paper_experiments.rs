@@ -22,9 +22,9 @@ use presto_connectors::mysql::MySqlConnector;
 use presto_core::{PrestoEngine, Session};
 use presto_parquet::Codec;
 
-const EXPERIMENTS: [&str; 15] = [
+const EXPERIMENTS: [&str; 16] = [
     "fig16", "fig17", "fig18", "fig19", "fig20", "geo", "cache", "s3", "shrink", "gateway",
-    "resource", "chaos", "obs", "sim", "all",
+    "resource", "chaos", "obs", "sim", "elastic", "all",
 ];
 
 fn main() {
@@ -76,6 +76,166 @@ fn main() {
     }
     if all || arg == "sim" {
         run_sim();
+    }
+    if all || arg == "elastic" {
+        run_elastic();
+    }
+}
+
+fn run_elastic() {
+    use presto_bench::elastic;
+    use presto_sim::run_simulation;
+    println!("\n=== elastic lifecycle: autoscaler, graceful decommission, revocation storm ===");
+    println!(
+        "multi-tenant diurnal load; scenarios run twice each to check same-seed digests;\n\
+         gates: zero failed queries in every scenario, storm recovery within {} virtual ms\n",
+        elastic::RECOVERY_BOUND_US / 1_000
+    );
+
+    let scenarios: [(&str, presto_sim::SimConfig); 3] = [
+        ("scale-down", elastic::scale_down_config(7)),
+        ("storm", elastic::storm_config(7)),
+        ("rush-lull", elastic::rush_lull_config(7)),
+    ];
+    let mut table = Table::new(
+        "lifecycle scenarios (2000 queries each, virtual time)",
+        &[
+            "scenario",
+            "ok/failed",
+            "peak/final workers",
+            "out/in",
+            "drained",
+            "revoked",
+            "recovery",
+            "deterministic",
+        ],
+    );
+    let mut json_rows: Vec<(String, Json)> = Vec::new();
+    let mut gate_failed = false;
+    for (name, config) in &scenarios {
+        let (a, b) = match (run_simulation(config), run_simulation(config)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("elastic scenario '{name}' failed to run: {e}");
+                std::process::exit(1);
+            }
+        };
+        let deterministic =
+            a.digest == b.digest && a.trace_digest == b.trace_digest && a.elastic == b.elastic;
+        let Some(e) = a.elastic.clone() else {
+            eprintln!("elastic scenario '{name}' produced no elastic report");
+            std::process::exit(1);
+        };
+        let recovery = match (e.storm_at_us, e.recovered_at_us) {
+            (None, _) => "n/a".to_string(),
+            (Some(storm), Some(rec)) => format!("{} µs", rec.saturating_sub(storm)),
+            (Some(_), None) => "NEVER".to_string(),
+        };
+        table.row(vec![
+            (*name).into(),
+            format!("{}/{}", a.completed, a.failed),
+            format!("{}/{}", e.peak_workers, e.final_workers),
+            format!("{}/{}", e.scale_outs, e.scale_ins),
+            e.workers_decommissioned.to_string(),
+            e.workers_revoked.to_string(),
+            recovery,
+            if deterministic { "yes".into() } else { "NO".into() },
+        ]);
+        if a.failed > 0 {
+            eprintln!("elastic gate FAILED: scenario '{name}' failed {} queries", a.failed);
+            gate_failed = true;
+        }
+        if !deterministic {
+            eprintln!("elastic gate FAILED: scenario '{name}' same-seed digests diverged");
+            gate_failed = true;
+        }
+        if !e.recovered_within_bound() {
+            eprintln!(
+                "elastic gate FAILED: scenario '{name}' did not recover from the storm \
+                 within {} virtual µs: {e:?}",
+                e.recovery_bound_us
+            );
+            gate_failed = true;
+        }
+        json_rows.push((
+            (*name).to_string(),
+            Json::Obj(vec![
+                ("completed".into(), Json::U64(a.completed)),
+                ("failed".into(), Json::U64(a.failed)),
+                ("makespan_us".into(), Json::U64(a.makespan_us)),
+                ("scale_outs".into(), Json::U64(e.scale_outs)),
+                ("scale_ins".into(), Json::U64(e.scale_ins)),
+                ("workers_added".into(), Json::U64(e.workers_added)),
+                ("workers_decommissioned".into(), Json::U64(e.workers_decommissioned)),
+                ("workers_revoked".into(), Json::U64(e.workers_revoked)),
+                ("splits_handed_off".into(), Json::U64(e.splits_handed_off)),
+                ("cache_entries_migrated".into(), Json::U64(e.cache_entries_migrated)),
+                ("peak_workers".into(), Json::U64(e.peak_workers as u64)),
+                ("final_workers".into(), Json::U64(e.final_workers as u64)),
+                (
+                    "recovered_us".into(),
+                    match (e.storm_at_us, e.recovered_at_us) {
+                        (Some(storm), Some(rec)) => Json::U64(rec.saturating_sub(storm)),
+                        (Some(_), None) => Json::Str("never".into()),
+                        (None, _) => Json::Str("n/a".into()),
+                    },
+                ),
+                ("recovered_within_bound".into(), Json::Bool(e.recovered_within_bound())),
+                ("digest".into(), Json::Str(format!("{:#018x}", a.digest))),
+                ("deterministic".into(), Json::Bool(deterministic)),
+            ]),
+        ));
+    }
+    println!("{}", table.render());
+
+    let migration = match elastic::run_cache_migration() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("elastic cache-migration check failed to run: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "cache migration (tpch, drain mid-query): {} entries migrated, {} splits handed off,\n\
+         frc hits {} -> {}, answers match: {}, failed queries: {}\n",
+        migration.entries_migrated,
+        migration.splits_handed_off,
+        migration.warm_hits,
+        migration.hits_after_drain,
+        migration.rows_match,
+        migration.queries_failed,
+    );
+    if !migration.rows_match
+        || migration.queries_failed > 0
+        || migration.entries_migrated == 0
+        || migration.workers_decommissioned != 1
+    {
+        eprintln!("elastic gate FAILED: cache migration check: {migration:?}");
+        gate_failed = true;
+    }
+
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("elastic".into())),
+        ("scenarios".into(), Json::Obj(json_rows)),
+        (
+            "cache_migration".into(),
+            Json::Obj(vec![
+                ("entries_migrated".into(), Json::U64(migration.entries_migrated)),
+                ("splits_handed_off".into(), Json::U64(migration.splits_handed_off)),
+                ("warm_hits".into(), Json::U64(migration.warm_hits)),
+                ("hits_after_drain".into(), Json::U64(migration.hits_after_drain)),
+                ("rows_match".into(), Json::Bool(migration.rows_match)),
+                ("queries_failed".into(), Json::U64(migration.queries_failed)),
+            ]),
+        ),
+        ("gates_passed".into(), Json::Bool(!gate_failed)),
+    ]);
+    match write_bench_json("elastic", &json) {
+        Ok(path) => println!("wrote {path}\n"),
+        Err(e) => eprintln!("could not write BENCH_elastic.json: {e}"),
+    }
+    if gate_failed {
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,239 @@
+//! Elastic-lifecycle experiments: graceful scale-down under live load, a
+//! spot-revocation storm with autoscaler backfill, and an autoscaling
+//! rush/lull cycle — all on the multi-tenant workload simulation — plus a
+//! direct fragment-cache-migration check on a TPC-H cluster.
+//!
+//! The `paper-experiments elastic` subcommand drives these, runs every
+//! scenario twice to check same-seed digests, and fails the build when a
+//! query fails during graceful decommission, when recovery from the
+//! 50%-fleet storm exceeds the configured virtual-time bound, or when
+//! same-seed digests diverge.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use presto_cluster::{AutoscalerConfig, ClusterConfig, PrestoCluster};
+use presto_common::metrics::names;
+use presto_common::{Result, SimClock};
+use presto_core::{PrestoEngine, Session};
+use presto_sim::{ArrivalProcess, ElasticPlan, SchedulerMode, SimConfig, SloPolicy};
+
+/// Virtual instant of the revocation storm in [`storm_config`].
+pub const STORM_AT_US: u64 = 40_000;
+
+/// Recovery budget after the storm (virtual µs): active capacity must be
+/// back at the pre-storm level within one virtual second.
+pub const RECOVERY_BOUND_US: u64 = 1_000_000;
+
+/// The shared workload every scenario runs: a diurnal multi-tenant rush
+/// with enough contention that queues actually form.
+fn base_config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        tenants: 120,
+        queries: 2_000,
+        zipf_exponent: 0.8,
+        arrival: ArrivalProcess::Diurnal {
+            mean_interarrival_us: 130.0,
+            amplitude: 0.6,
+            cycle_us: 50_000,
+        },
+        workers: 6,
+        slots: 8,
+        mode: SchedulerMode::Wfq,
+        slos: SloPolicy::default(),
+        elastic: None,
+    }
+}
+
+/// Scenario A — graceful scale-down under live load: three scheduled
+/// decommissions drain the coldest worker each, mid-run, while the rush is
+/// in flight. The gate: zero failed queries, all drains reaped.
+pub fn scale_down_config(seed: u64) -> SimConfig {
+    let mut config = base_config(seed);
+    config.elastic = Some(ElasticPlan {
+        decommission_at_us: vec![20_000, 40_000, 60_000],
+        ..ElasticPlan::default()
+    });
+    config
+}
+
+/// Scenario B — the spot-revocation storm: half the fleet is preemptible
+/// (4 on-demand + 4 spot), the whole spot class is revoked at
+/// [`STORM_AT_US`], and the queue-driven autoscaler must backfill on-demand
+/// capacity within [`RECOVERY_BOUND_US`] — with every query still
+/// succeeding via retry on the survivors.
+pub fn storm_config(seed: u64) -> SimConfig {
+    let mut config = base_config(seed);
+    config.workers = 4;
+    config.elastic = Some(ElasticPlan {
+        autoscaler: Some(AutoscalerConfig {
+            min_workers: 2,
+            // capped at the provisioned fleet so recovery is a real
+            // backfill: the autoscaler cannot bank spare capacity before
+            // the storm and coast through it
+            max_workers: 8,
+            high_water_depth: 2,
+            low_water_depth: 0,
+            scale_out_after: Duration::from_micros(500),
+            scale_in_after: Duration::from_millis(500),
+            scale_out_step: 2,
+            cooldown: Duration::from_micros(1_000),
+            worker_class: "ondemand".to_string(),
+        }),
+        spot_workers: 4,
+        revoke_spot_at_us: Some(STORM_AT_US),
+        recovery_bound_us: RECOVERY_BOUND_US,
+        ..ElasticPlan::default()
+    });
+    config
+}
+
+/// Scenario C — rush and lull: a strongly diurnal arrival process over a
+/// small starting fleet, with the autoscaler free to grow during the rush
+/// and shrink (gracefully) during the lull. The gate: at least one
+/// scale-out *and* one scale-in, zero failed queries.
+pub fn rush_lull_config(seed: u64) -> SimConfig {
+    let mut config = base_config(seed);
+    config.workers = 3;
+    config.arrival =
+        ArrivalProcess::Diurnal { mean_interarrival_us: 150.0, amplitude: 0.95, cycle_us: 50_000 };
+    config.elastic = Some(ElasticPlan {
+        autoscaler: Some(AutoscalerConfig {
+            min_workers: 2,
+            max_workers: 12,
+            high_water_depth: 3,
+            low_water_depth: 0,
+            scale_out_after: Duration::from_micros(500),
+            scale_in_after: Duration::from_micros(5_000),
+            scale_out_step: 2,
+            cooldown: Duration::from_micros(2_000),
+            worker_class: "ondemand".to_string(),
+        }),
+        ..ElasticPlan::default()
+    });
+    config
+}
+
+/// What the fragment-cache migration check measured.
+#[derive(Debug, Clone)]
+pub struct MigrationResult {
+    /// `frc.hits` after the warm-up run (affinity owners populated).
+    pub warm_hits: u64,
+    /// `frc.hits` after the post-drain run — successors serve migrated
+    /// entries, so this must exceed `warm_hits`.
+    pub hits_after_drain: u64,
+    /// Entries copied to consistent successors when the drain began.
+    pub entries_migrated: u64,
+    /// Queued splits displaced off the draining worker mid-query.
+    pub splits_handed_off: u64,
+    /// Drained workers that ran the full state machine to the reaper.
+    pub workers_decommissioned: u64,
+    /// Queries the cluster failed (must stay 0 throughout).
+    pub queries_failed: u64,
+    /// Every run returned identical rows.
+    pub rows_match: bool,
+}
+
+/// Drain a cache-owning worker *mid-query* on a TPC-H cluster with
+/// affinity scheduling and fragment result caches: its queued splits are
+/// handed off to survivors, its cache entries migrate to each split's
+/// consistent successor, and the answers never change.
+pub fn run_cache_migration() -> Result<MigrationResult> {
+    // tpch "small" scans 10 splits (~1.1ms of virtual work each), so a
+    // drain scheduled into wave 2 lands while the victim still has splits
+    // queued — exercising the handoff path, not just the migration path
+    const QUERY: &str = "SELECT count(*) FROM lineitem";
+    let engine = PrestoEngine::new();
+    engine.register_catalog("tpch", Arc::new(presto_connectors::tpch::TpchConnector::new()));
+    let clock = SimClock::new();
+    let cluster = PrestoCluster::new(
+        "elastic-cache",
+        engine,
+        ClusterConfig {
+            initial_workers: 2,
+            affinity_scheduling: true,
+            fragment_cache_entries: 64,
+            grace_period: Duration::from_micros(200),
+            ..ClusterConfig::default()
+        },
+        clock.clone(),
+    );
+    let session = Session::new("tpch", "small");
+    let baseline = cluster.execute(QUERY, &session)?;
+    // warm: affinity routes each split to its owner, populating its cache
+    cluster.execute(QUERY, &session)?;
+    let warm_hits = cluster.metrics().get(names::FRC_HITS);
+
+    // the drain comes due during the scan's second wave, so the worker
+    // flips to Draining while it still has splits queued
+    cluster.schedule_decommission(0, clock.now() + Duration::from_micros(1_500));
+    let during = cluster.execute(QUERY, &session)?;
+
+    // let the drain run Grace1 → Draining → Grace2 → Terminated, then
+    // reap; each grace phase restarts its timer, so tick twice
+    for _ in 0..2 {
+        clock.advance(Duration::from_millis(5));
+        cluster.tick();
+    }
+    let after = cluster.execute(QUERY, &session)?;
+
+    Ok(MigrationResult {
+        warm_hits,
+        hits_after_drain: cluster.metrics().get(names::FRC_HITS),
+        entries_migrated: cluster.metrics().get(names::CLUSTER_CACHE_ENTRIES_MIGRATED),
+        splits_handed_off: cluster.metrics().get(names::CLUSTER_SPLITS_HANDED_OFF),
+        workers_decommissioned: cluster.metrics().get(names::CLUSTER_WORKERS_DECOMMISSIONED),
+        queries_failed: cluster.metrics().get(names::CLUSTER_QUERIES_FAILED),
+        rows_match: baseline.rows() == during.rows() && baseline.rows() == after.rows(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_sim::run_simulation;
+
+    fn shrunk(mut config: SimConfig) -> SimConfig {
+        config.queries = 600;
+        config
+    }
+
+    #[test]
+    fn scale_down_scenario_meets_its_gates() {
+        let r = run_simulation(&shrunk(scale_down_config(7))).unwrap();
+        assert_eq!(r.failed, 0);
+        let e = r.elastic.unwrap();
+        assert_eq!(e.workers_decommissioned, 3);
+        assert_eq!(e.final_workers, 3);
+    }
+
+    #[test]
+    fn storm_scenario_recovers_in_bound() {
+        let r = run_simulation(&shrunk(storm_config(7))).unwrap();
+        assert_eq!(r.failed, 0);
+        let e = r.elastic.unwrap();
+        assert_eq!(e.workers_revoked, 4);
+        assert!(e.recovered_within_bound(), "{e:?}");
+    }
+
+    #[test]
+    fn rush_lull_scenario_scales_both_ways() {
+        let r = run_simulation(&shrunk(rush_lull_config(7))).unwrap();
+        assert_eq!(r.failed, 0);
+        let e = r.elastic.unwrap();
+        assert!(e.scale_outs > 0, "{e:?}");
+        assert!(e.scale_ins > 0, "{e:?}");
+    }
+
+    #[test]
+    fn cache_migration_preserves_answers_and_moves_entries() {
+        let m = run_cache_migration().unwrap();
+        assert!(m.rows_match);
+        assert_eq!(m.queries_failed, 0);
+        assert!(m.entries_migrated > 0, "{m:?}");
+        assert!(m.splits_handed_off > 0, "{m:?}");
+        assert!(m.hits_after_drain > m.warm_hits, "{m:?}");
+        assert_eq!(m.workers_decommissioned, 1, "{m:?}");
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod cache_exp;
 pub mod chaos;
+pub mod elastic;
 pub mod fig16;
 pub mod fig17;
 pub mod geo_exp;

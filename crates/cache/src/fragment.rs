@@ -69,6 +69,23 @@ impl FragmentResultCache {
         self.cache.put(key, Arc::new(pages));
     }
 
+    /// Store an already-shared result without re-allocating — the cache
+    /// migration path when a decommissioning worker hands its entries to
+    /// the consistent successor.
+    pub fn put_shared(&self, key: FragmentKey, pages: Arc<Vec<Page>>) {
+        self.cache.put(key, pages);
+    }
+
+    /// Snapshot of every cached entry, **sorted by key** so iteration is
+    /// deterministic (the backing LRU map is unordered).
+    pub fn entries(&self) -> Vec<(FragmentKey, Arc<Vec<Page>>)> {
+        let mut entries = self.cache.entries();
+        entries.sort_by(|(a, _), (b, _)| {
+            (a.plan_fingerprint, &a.split_identity).cmp(&(b.plan_fingerprint, &b.split_identity))
+        });
+        entries
+    }
+
     /// Drop every cached result for a split (e.g. after compaction rewrote
     /// the file).
     pub fn invalidate_split(&self, _split_identity: &str) {
@@ -160,6 +177,24 @@ mod tests {
         cache.put(key.clone(), sample_pages());
         cache.invalidate_split("/t/part-0");
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn entries_are_sorted_and_put_shared_reuses_the_arc() {
+        let cache = FragmentResultCache::new(16, CounterSet::new());
+        let b = FragmentKey { plan_fingerprint: 2, split_identity: "/t/part-0".into() };
+        let a = FragmentKey { plan_fingerprint: 1, split_identity: "/t/part-9".into() };
+        let a2 = FragmentKey { plan_fingerprint: 1, split_identity: "/t/part-1".into() };
+        cache.put(b.clone(), sample_pages());
+        cache.put(a.clone(), sample_pages());
+        cache.put(a2.clone(), sample_pages());
+        let keys: Vec<FragmentKey> = cache.entries().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![a2, a.clone(), b]);
+
+        let successor = FragmentResultCache::new(16, CounterSet::new());
+        let pages = cache.get(&a).unwrap();
+        successor.put_shared(a.clone(), pages.clone());
+        assert!(Arc::ptr_eq(&successor.get(&a).unwrap(), &pages));
     }
 
     #[test]

@@ -69,6 +69,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.inner.lock().map.remove(key);
     }
 
+    /// Snapshot of every entry, without touching recency.
+    ///
+    /// The order is the backing map's iteration order and therefore
+    /// unspecified — callers that need a stable order (e.g. deterministic
+    /// cache migration on worker decommission) must sort by key.
+    pub fn entries(&self) -> Vec<(K, Arc<V>)> {
+        self.inner.lock().map.iter().map(|(k, (v, _))| (k.clone(), v.clone())).collect()
+    }
+
     /// Current number of entries.
     pub fn len(&self) -> usize {
         self.inner.lock().map.len()

@@ -33,11 +33,11 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use presto_cache::fragment::{affinity_worker, fingerprint, FragmentKey, FragmentResultCache};
 use presto_common::clock::SimStopwatch;
 use presto_common::metrics::{names, CounterSet, Histogram, HistogramSet};
@@ -49,7 +49,8 @@ use presto_plan::{LogicalPlan, PlanFragment};
 use presto_resource::{AdmissionConfig, QueryPriority, ResourceConfig, ResourceManager};
 
 use crate::worker::{
-    Worker, WorkerState, DEFAULT_GRACE_PERIOD, DEFAULT_PROBATION_WINDOW, DEFAULT_QUARANTINE_PERIOD,
+    Worker, WorkerLifecycle, WorkerState, DEFAULT_GRACE_PERIOD, DEFAULT_PROBATION_WINDOW,
+    DEFAULT_QUARANTINE_PERIOD, DEFAULT_WORKER_CLASS,
 };
 
 /// Fixed virtual cost of one scan task (queueing, setup, page handoff).
@@ -177,8 +178,14 @@ pub struct PrestoCluster {
     histograms: HistogramSet,
     /// Administrators drain whole clusters for maintenance (§VIII); a
     /// draining cluster refuses new queries so the gateway re-routes.
-    maintenance: RwLock<bool>,
+    /// A single flag — an atomic, not a lock, so it never shows up in the
+    /// lock-order analysis.
+    maintenance: AtomicBool,
     queries_started: AtomicU64,
+    /// Graceful decommissions scheduled for a future virtual instant,
+    /// fired by [`PrestoCluster::poll_lifecycle`] — the scan scheduler
+    /// polls mid-query, so a drain can land while splits are queued.
+    pending_drains: Mutex<Vec<(Duration, u32)>>,
     /// Per-worker fragment result caches (die with their worker, like any
     /// worker-side memory cache).
     fragment_caches: RwLock<HashMap<u32, FragmentResultCache>>,
@@ -215,8 +222,9 @@ impl PrestoCluster {
             config,
             metrics: CounterSet::new(),
             histograms: HistogramSet::new(),
-            maintenance: RwLock::new(false),
+            maintenance: AtomicBool::new(false),
             queries_started: AtomicU64::new(0),
+            pending_drains: Mutex::new(Vec::new()),
             fragment_caches: RwLock::new(HashMap::new()),
             runtime_history: RwLock::new(HashMap::new()),
         };
@@ -254,16 +262,26 @@ impl PrestoCluster {
     /// the same coordinator. New workers are automatically added to the
     /// existing cluster."
     pub fn expand(&self, count: u32) {
+        self.expand_class(count, DEFAULT_WORKER_CLASS);
+    }
+
+    /// [`PrestoCluster::expand`] with an explicit capacity class — e.g.
+    /// `"spot"` workers that a [`FaultSpec::RevokeClass`] storm can take
+    /// out en masse.
+    ///
+    /// [`FaultSpec::RevokeClass`]: presto_common::fault::FaultSpec::RevokeClass
+    pub fn expand_class(&self, count: u32, class: &str) {
         let mut workers = self.workers.write();
         let mut caches = self.fragment_caches.write();
         for _ in 0..count {
             let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
-            workers.push(Worker::with_health_windows(
+            workers.push(Worker::with_class(
                 id,
                 self.clock.clone(),
                 self.config.grace_period,
                 self.config.quarantine_period,
                 self.config.probation_window,
+                class,
             ));
             if self.config.fragment_cache_entries > 0 {
                 caches.insert(
@@ -293,44 +311,186 @@ impl PrestoCluster {
         self.workers.read().iter().filter(|w| w.accepts_tasks_for(priority)).cloned().collect()
     }
 
-    /// §IX shrink: send the shutdown command to one worker.
+    /// §IX shrink: send the shutdown command to one worker. Equivalent to
+    /// [`PrestoCluster::decommission_worker`] — the graceful path always
+    /// migrates the departing worker's cache entries.
     pub fn request_worker_shutdown(&self, worker_id: u32) -> Result<()> {
+        self.decommission_worker(worker_id)
+    }
+
+    /// Gracefully decommission one worker (`Active → Draining →
+    /// Decommissioned`): migrate its fragment-cache entries to each entry's
+    /// consistent successor (counted as `cluster.cache_entries_migrated`),
+    /// then start the §IX shutdown state machine. The draining worker
+    /// accepts no new splits; its queued splits are handed off by the scan
+    /// scheduler (`cluster.splits_handed_off`). A worker that is not
+    /// `Active` is left alone — its drain is already underway or it is
+    /// gone. Errors only for an unknown worker id.
+    pub fn decommission_worker(&self, worker_id: u32) -> Result<()> {
         let workers = self.workers.read();
         let worker = workers
             .iter()
             .find(|w| w.id == worker_id)
             .ok_or_else(|| PrestoError::Execution(format!("no worker {worker_id}")))?;
+        if worker.state() != WorkerState::Active {
+            return Ok(());
+        }
+        // Successor set for cache migration: every *other* worker still in
+        // Active state — the fleet the rendezvous hash will see once this
+        // worker is gone.
+        let survivors: Vec<u32> = workers
+            .iter()
+            .filter(|w| w.id != worker_id && w.state() == WorkerState::Active)
+            .map(|w| w.id)
+            .collect();
         worker.request_shutdown();
+        drop(workers);
+        self.migrate_caches(worker_id, &survivors);
         Ok(())
     }
 
-    /// Advance worker state machines; reap terminated workers. Returns the
-    /// number of live workers remaining.
+    /// Schedule a graceful decommission of `worker_id` at virtual time
+    /// `at`, fired by [`PrestoCluster::poll_lifecycle`]. Because the scan
+    /// scheduler polls as its event loop advances, a scheduled drain lands
+    /// mid-query and exercises the queued-split handoff path.
+    pub fn schedule_decommission(&self, worker_id: u32, at: Duration) {
+        self.pending_drains.lock().push((at, worker_id));
+    }
+
+    /// Abruptly lose every worker of `class` that is still in the fleet —
+    /// the spot revocation storm. In-flight tasks on those workers are
+    /// lost, their queued splits get reassigned to survivors by the scan
+    /// scheduler's retry machinery, and their worker-side caches die with
+    /// them. Returns how many workers were revoked (counted as
+    /// `cluster.workers_revoked`).
+    pub fn revoke_class(&self, class: &str) -> usize {
+        let workers = self.workers.read();
+        let mut revoked: Vec<u32> = Vec::new();
+        for w in workers.iter() {
+            if w.class() == class
+                && !matches!(w.state(), WorkerState::Crashed | WorkerState::Terminated)
+            {
+                w.crash();
+                revoked.push(w.id);
+            }
+        }
+        drop(workers);
+        if !revoked.is_empty() {
+            self.metrics.add(names::CLUSTER_WORKERS_REVOKED, revoked.len() as u64);
+            let mut caches = self.fragment_caches.write();
+            for id in &revoked {
+                caches.remove(id);
+            }
+        }
+        revoked.len()
+    }
+
+    /// Any revocation specs or scheduled drains that could fire as virtual
+    /// time advances? Cheap guard so the scan scheduler's hot loop skips
+    /// the poll entirely in the common (no-elasticity) case.
+    pub fn has_lifecycle_events(&self) -> bool {
+        self.config.fault_injector.has_revocations() || !self.pending_drains.lock().is_empty()
+    }
+
+    /// Fire every lifecycle event due by virtual time `now`: revocation
+    /// storms declared in the fault plan and scheduled graceful
+    /// decommissions. Called by [`PrestoCluster::tick`] on the master
+    /// clock and by the scan scheduler on the query clock, so storms and
+    /// drains land mid-query too. Each event fires exactly once.
+    pub fn poll_lifecycle(&self, now: Duration) {
+        let injector = &self.config.fault_injector;
+        if injector.has_revocations() {
+            for class in injector.revocations_due(now) {
+                self.revoke_class(&class);
+            }
+        }
+        let due: Vec<u32> = {
+            let mut drains = self.pending_drains.lock();
+            if drains.is_empty() {
+                Vec::new()
+            } else {
+                let mut due = Vec::new();
+                drains.retain(|&(at, id)| {
+                    let fire = now >= at;
+                    if fire {
+                        due.push(id);
+                    }
+                    !fire
+                });
+                due
+            }
+        };
+        for id in due {
+            // the worker may already be gone (revoked, reaped) — fine
+            let _ = self.decommission_worker(id);
+        }
+    }
+
+    /// Copy a departing worker's fragment-cache entries to each entry's
+    /// rendezvous successor among `survivors`. Entries iterate in key
+    /// order, so any LRU evictions the copies cause downstream are
+    /// deterministic. The source cache stays in place — the draining
+    /// worker may still serve grace-period tasks from it — and dies with
+    /// the worker at reap time.
+    fn migrate_caches(&self, from: u32, survivors: &[u32]) {
+        if survivors.is_empty() {
+            return;
+        }
+        let caches = self.fragment_caches.read();
+        let Some(source) = caches.get(&from) else { return };
+        let mut migrated = 0u64;
+        for (key, pages) in source.entries() {
+            let Some(idx) = affinity_worker(&key.split_identity, survivors) else { continue };
+            if let Some(successor) = caches.get(&survivors[idx]) {
+                successor.put_shared(key, pages);
+                migrated += 1;
+            }
+        }
+        drop(caches);
+        if migrated > 0 {
+            self.metrics.add(names::CLUSTER_CACHE_ENTRIES_MIGRATED, migrated);
+        }
+    }
+
+    /// Advance worker state machines; reap terminated workers (counted as
+    /// `cluster.workers_decommissioned` — only the polite path reaches
+    /// `Terminated`). Fires due lifecycle events first. Returns the number
+    /// of live workers remaining.
     pub fn tick(&self) -> usize {
+        self.poll_lifecycle(self.clock.now());
         let mut workers = self.workers.write();
         for w in workers.iter() {
             w.tick();
         }
         let mut caches = self.fragment_caches.write();
+        let mut decommissioned = 0u64;
         workers.retain(|w| {
             let live = w.state() != WorkerState::Terminated;
             if !live {
-                // a terminated worker takes its in-memory caches with it
+                // a terminated worker takes its in-memory caches with it;
+                // anything worth keeping was migrated when the drain began
                 caches.remove(&w.id);
+                decommissioned += 1;
             }
             live
         });
-        workers.len()
+        drop(caches);
+        let remaining = workers.len();
+        drop(workers);
+        if decommissioned > 0 {
+            self.metrics.add(names::CLUSTER_WORKERS_DECOMMISSIONED, decommissioned);
+        }
+        remaining
     }
 
     /// Enter/exit maintenance (drain) mode.
     pub fn set_maintenance(&self, on: bool) {
-        *self.maintenance.write() = on;
+        self.maintenance.store(on, Ordering::Relaxed);
     }
 
     /// Is the cluster refusing new queries?
     pub fn in_maintenance(&self) -> bool {
-        *self.maintenance.read()
+        self.maintenance.load(Ordering::Relaxed)
     }
 
     /// Queries executed so far.
@@ -765,6 +925,12 @@ impl ScanScheduler<'_> {
             };
             self.queues[w].push_back(QueuedSplit { split: i, not_before: Duration::ZERO });
         }
+        // Lifecycle events (revocation storms, scheduled drains) that are
+        // already due must fire before the first wave launches.
+        let poll_lifecycle = self.cluster.has_lifecycle_events();
+        if poll_lifecycle {
+            self.cluster.poll_lifecycle(self.clock.now());
+        }
         self.dispatch(self.clock.now())?;
         while let Some(Reverse((at, _seq, event))) = self.heap.pop() {
             if self.done == self.splits.len() {
@@ -775,6 +941,11 @@ impl ScanScheduler<'_> {
                 self.clock.advance(at - now);
             }
             let now = self.clock.now();
+            if poll_lifecycle {
+                // a storm or drain whose instant just passed lands *inside*
+                // this query: dispatch below reassigns the victims' queues
+                self.cluster.poll_lifecycle(now);
+            }
             if let SchedEvent::Complete(id) = event {
                 self.complete(id, now)?;
             }
@@ -881,6 +1052,16 @@ impl ScanScheduler<'_> {
         self.busy[wi] = None;
         self.live[split].retain(|&x| x != id);
         let worker = self.workers[wi].clone();
+        // The outcome was computed eagerly at launch; if the worker was
+        // revoked while the attempt was notionally in flight, its result
+        // cannot be trusted — convert to the retryable infrastructure
+        // failure so the split re-runs on a survivor.
+        let outcome = match outcome {
+            Ok(_) if worker.state() == WorkerState::Crashed => {
+                Err(worker_failed(worker.id, "was revoked while the task was in flight"))
+            }
+            other => other,
+        };
         match outcome {
             Ok(pages) => {
                 worker.record_task_success();
@@ -970,6 +1151,12 @@ impl ScanScheduler<'_> {
         let mut displaced: Vec<QueuedSplit> = Vec::new();
         for wi in 0..self.workers.len() {
             if !self.workers[wi].accepts_tasks_for(self.priority) && !self.queues[wi].is_empty() {
+                if self.workers[wi].lifecycle() == WorkerLifecycle::Draining {
+                    // a polite handoff, not a crash reassignment
+                    self.cluster
+                        .metrics
+                        .add(names::CLUSTER_SPLITS_HANDED_OFF, self.queues[wi].len() as u64);
+                }
                 displaced.extend(self.queues[wi].drain(..));
             }
         }

@@ -140,6 +140,12 @@ impl PrestoGateway {
     /// §XII.B lesson holds: the gateway still only issues redirects. Every
     /// redirect that steered away from the mapped cluster is counted as
     /// `gateway.load_balanced_routes`.
+    ///
+    /// When no cluster can start the query immediately, the gateway still
+    /// refuses to dead-end a query: a mapped cluster whose admission lane is
+    /// **saturated** (the next query would be refused outright) is skipped
+    /// in favor of a healthy sibling with queue room, counted as
+    /// `gateway.skipped_saturated`.
     pub fn route_balanced(&self, group: &str) -> Result<Redirect> {
         let primary = self.route(group)?;
         let clusters = self.clusters.read();
@@ -166,15 +172,35 @@ impl PrestoGateway {
                     && c.engine().resources().admission().has_free_slot()
             })
             .min_by_key(|(name, c)| (load_of(c), name.as_str().to_string()));
-        match target {
-            Some((name, _)) => {
-                self.metrics.incr(names::GATEWAY_LOAD_BALANCED_ROUTES);
-                Ok(Redirect { cluster: name.clone() })
-            }
-            // everyone is saturated: the mapped cluster's queue is as good
-            // a place to wait (or be refused) as any
-            None => Ok(primary),
+        if let Some((name, _)) = target {
+            self.metrics.incr(names::GATEWAY_LOAD_BALANCED_ROUTES);
+            return Ok(Redirect { cluster: name.clone() });
         }
+        // No one has a free slot. Queueing at the mapped cluster is fine —
+        // unless its admission lane is *saturated* (the very next query is
+        // refused outright). Then any healthy sibling with queue room left
+        // beats a guaranteed refusal, even if the query must wait there.
+        let primary_saturated = clusters
+            .get(&primary.cluster)
+            .map(|c| c.engine().resources().admission().is_saturated())
+            .unwrap_or(false);
+        if primary_saturated {
+            let unsaturated = clusters
+                .iter()
+                .filter(|(name, c)| {
+                    name.as_str() != primary.cluster
+                        && healthy(c)
+                        && !c.engine().resources().admission().is_saturated()
+                })
+                .min_by_key(|(name, c)| (load_of(c), name.as_str().to_string()));
+            if let Some((name, _)) = unsaturated {
+                self.metrics.incr(names::GATEWAY_SKIPPED_SATURATED);
+                return Ok(Redirect { cluster: name.clone() });
+            }
+        }
+        // everyone is saturated: the mapped cluster's queue is as good
+        // a place to wait (or be refused) as any
+        Ok(primary)
     }
 
     /// One routing-table lookup: the cluster mapped to `group`, if any.
@@ -501,6 +527,53 @@ mod tests {
         // cluster rather than bouncing between equally full queues
         assert_eq!(gateway.route_balanced("etl").unwrap().cluster, "a");
         assert_eq!(gateway.metrics().get("gateway.load_balanced_routes"), 0);
+    }
+
+    #[test]
+    fn saturated_cluster_is_skipped_for_a_sibling_with_queue_room() {
+        use presto_resource::{AdmissionConfig, QueryPriority};
+        let gateway = PrestoGateway::new(MySqlConnector::new()).unwrap();
+        let mk = |name: &str, max_queued: usize| {
+            let engine = PrestoEngine::new();
+            engine
+                .register_catalog("tpch", Arc::new(presto_connectors::tpch::TpchConnector::new()));
+            let c = PrestoCluster::new(
+                name,
+                engine,
+                ClusterConfig {
+                    initial_workers: 1,
+                    admission: AdmissionConfig {
+                        max_concurrent: Some(1),
+                        max_queued,
+                        ..AdmissionConfig::default()
+                    },
+                    ..ClusterConfig::default()
+                },
+                SimClock::new(),
+            );
+            gateway.add_cluster(c.clone());
+            c
+        };
+        // mapped cluster: slot held and zero queue room → saturated
+        let full = mk("full", 0);
+        // sibling: slot also held, but its queue can absorb the query
+        let roomy = mk("roomy", 8);
+        gateway.set_route(DEFAULT_GROUP, "full").unwrap();
+        let metrics = CounterSet::new();
+        let _sf = full.engine().resources().admission().admit("x", QueryPriority::Normal, &metrics);
+        let _sr =
+            roomy.engine().resources().admission().admit("y", QueryPriority::Normal, &metrics);
+
+        // neither has a free slot, but only "full" would refuse outright
+        let redirect = gateway.route_balanced("etl").unwrap();
+        assert_eq!(redirect.cluster, "roomy");
+        assert_eq!(gateway.metrics().get("gateway.skipped_saturated"), 1);
+        assert_eq!(gateway.metrics().get("gateway.load_balanced_routes"), 0);
+
+        // once the mapped cluster has queue room again it keeps its traffic
+        drop(_sf);
+        assert_eq!(gateway.route_balanced("etl").unwrap().cluster, "full");
+        assert_eq!(gateway.metrics().get("gateway.skipped_saturated"), 1);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //!   semantics, user/group → cluster routing stored in the MySQL simulator,
 //!   dynamic re-routing for zero-downtime maintenance.
 
+pub mod autoscaler;
 pub mod cluster;
 pub mod gateway;
 pub mod worker;
 
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision};
 pub use cluster::{ClusterConfig, PrestoCluster, SpeculationConfig};
 pub use gateway::{PrestoGateway, Redirect};
-pub use worker::{Worker, WorkerHealth, WorkerState};
+pub use worker::{Worker, WorkerHealth, WorkerLifecycle, WorkerState};

@@ -36,6 +36,28 @@ pub const DEFAULT_QUARANTINE_PERIOD: Duration = Duration::from_secs(300);
 /// Default probation (half-open) window after quarantine expires.
 pub const DEFAULT_PROBATION_WINDOW: Duration = Duration::from_secs(60);
 
+/// Default worker class — stable on-demand capacity, never revoked.
+pub const DEFAULT_WORKER_CLASS: &str = "ondemand";
+
+/// The coarse elastic lifecycle, the view the autoscaler and the
+/// decommission machinery reason about. It collapses the fine-grained §IX
+/// shutdown phases: `Active → Draining → Decommissioned` is the polite
+/// path, `Revoked` is abrupt loss (crash or spot revocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerLifecycle {
+    /// In the fleet, eligible for new splits.
+    Active,
+    /// Leaving politely: accepts no new splits, finishes or hands off its
+    /// queued work (any `ShuttingDown*` state).
+    Draining,
+    /// Left the fleet as a planned departure.
+    Decommissioned,
+    /// Lost abruptly — crash or spot revocation. In-flight work is gone;
+    /// rejoining the fleet goes through probation, never straight to
+    /// full health.
+    Revoked,
+}
+
 /// Blacklist circuit-breaker health, orthogonal to [`WorkerState`] (a
 /// quarantined worker still reports `Active` — it is alive, just untrusted).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +118,9 @@ pub struct Worker {
     grace_period: Duration,
     quarantine_period: Duration,
     probation_window: Duration,
+    /// Capacity class (e.g. `"ondemand"`, `"spot"`) — the unit a
+    /// revocation storm targets.
+    class: String,
 }
 
 impl Worker {
@@ -118,6 +143,25 @@ impl Worker {
         quarantine_period: Duration,
         probation_window: Duration,
     ) -> Arc<Worker> {
+        Worker::with_class(
+            id,
+            clock,
+            grace_period,
+            quarantine_period,
+            probation_window,
+            DEFAULT_WORKER_CLASS,
+        )
+    }
+
+    /// New active worker of an explicit capacity class.
+    pub fn with_class(
+        id: u32,
+        clock: SimClock,
+        grace_period: Duration,
+        quarantine_period: Duration,
+        probation_window: Duration,
+        class: &str,
+    ) -> Arc<Worker> {
         Arc::new(Worker {
             id,
             inner: Mutex::new(WorkerInner {
@@ -132,12 +176,30 @@ impl Worker {
             grace_period,
             quarantine_period,
             probation_window,
+            class: class.to_string(),
         })
     }
 
     /// Current state.
     pub fn state(&self) -> WorkerState {
         self.inner.lock().state
+    }
+
+    /// The coarse elastic lifecycle view of [`Worker::state`].
+    pub fn lifecycle(&self) -> WorkerLifecycle {
+        match self.state() {
+            WorkerState::Active => WorkerLifecycle::Active,
+            WorkerState::ShuttingDownGrace1
+            | WorkerState::ShuttingDownDraining
+            | WorkerState::ShuttingDownGrace2 => WorkerLifecycle::Draining,
+            WorkerState::Terminated => WorkerLifecycle::Decommissioned,
+            WorkerState::Crashed => WorkerLifecycle::Revoked,
+        }
+    }
+
+    /// Capacity class (e.g. `"ondemand"`, `"spot"`).
+    pub fn class(&self) -> &str {
+        &self.class
     }
 
     /// Tasks currently running.
@@ -281,6 +343,26 @@ impl Worker {
         Ok(TaskGuard { worker: self })
     }
 
+    /// A revoked (crashed) worker comes back — the spot instance was
+    /// re-granted or the host rebooted. It re-enters the fleet **on
+    /// probation**, never at full health: in-flight work was lost when it
+    /// died, so it serves only low-priority splits for the probation window
+    /// and one failure there re-quarantines it. No-op unless the worker is
+    /// currently [`WorkerState::Crashed`].
+    pub fn rejoin(&self) {
+        {
+            let mut inner = self.inner.lock();
+            if inner.state != WorkerState::Crashed {
+                return;
+            }
+            inner.state = WorkerState::Active;
+            inner.phase_started = self.clock.now();
+        }
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        *self.health.lock() =
+            WorkerHealth::Probation { until: self.clock.now() + self.probation_window };
+    }
+
     /// Administrator command: begin graceful shutdown.
     pub fn request_shutdown(&self) {
         let mut inner = self.inner.lock();
@@ -405,6 +487,75 @@ mod tests {
         let err = worker.begin_task().unwrap_err();
         assert_eq!(err.code(), "WORKER_FAILED");
         assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn lifecycle_collapses_the_shutdown_phases() {
+        let clock = SimClock::new();
+        let grace = Duration::from_secs(10);
+        let worker = Worker::new(1, clock.clone(), grace);
+        assert_eq!(worker.lifecycle(), WorkerLifecycle::Active);
+        assert_eq!(worker.class(), DEFAULT_WORKER_CLASS);
+        worker.request_shutdown();
+        assert_eq!(worker.lifecycle(), WorkerLifecycle::Draining);
+        clock.advance(grace);
+        worker.tick();
+        assert_eq!(worker.lifecycle(), WorkerLifecycle::Draining); // grace 2
+        clock.advance(grace);
+        worker.tick();
+        assert_eq!(worker.lifecycle(), WorkerLifecycle::Decommissioned);
+
+        let lost = Worker::with_class(
+            2,
+            clock,
+            grace,
+            Duration::from_secs(300),
+            Duration::from_secs(60),
+            "spot",
+        );
+        assert_eq!(lost.class(), "spot");
+        lost.crash();
+        assert_eq!(lost.lifecycle(), WorkerLifecycle::Revoked);
+    }
+
+    #[test]
+    fn rejoin_enters_probation_not_full_health() {
+        let clock = SimClock::new();
+        let worker = Worker::with_health_windows(
+            3,
+            clock.clone(),
+            Duration::from_secs(1),
+            Duration::from_secs(300),
+            Duration::from_secs(60),
+        );
+        worker.crash();
+        assert_eq!(worker.lifecycle(), WorkerLifecycle::Revoked);
+        worker.rejoin();
+        assert_eq!(worker.state(), WorkerState::Active);
+        assert!(matches!(worker.health(), WorkerHealth::Probation { .. }));
+        // half-open: low-priority work only
+        assert!(!worker.accepts_tasks());
+        assert!(worker.accepts_tasks_for(QueryPriority::Low));
+        // surviving the window restores full health
+        clock.advance(Duration::from_secs(60));
+        assert_eq!(worker.health(), WorkerHealth::Healthy);
+        assert!(worker.accepts_tasks());
+    }
+
+    #[test]
+    fn rejoin_is_a_noop_for_live_or_terminated_workers() {
+        let clock = SimClock::new();
+        let worker = Worker::new(4, clock.clone(), Duration::from_secs(1));
+        worker.rejoin();
+        assert_eq!(worker.health(), WorkerHealth::Healthy, "live worker untouched");
+        worker.request_shutdown();
+        clock.advance(Duration::from_secs(2));
+        worker.tick();
+        clock.advance(Duration::from_secs(2));
+        worker.tick();
+        assert_eq!(worker.state(), WorkerState::Terminated);
+        worker.rejoin();
+        assert_eq!(worker.state(), WorkerState::Terminated, "planned departures stay gone");
     }
 
     #[test]

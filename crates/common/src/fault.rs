@@ -127,6 +127,17 @@ pub enum FaultSpec {
         /// Probability in `[0, 1]` that a page tears the exchange.
         rate: f64,
     },
+    /// Revoke an entire worker class at virtual time `at` — the
+    /// spot-instance storm. Unlike the task-start faults this spec is
+    /// *polled*: the cluster calls [`FaultInjector::revocations_due`] as
+    /// virtual time advances and abruptly loses every worker of the class
+    /// the first time `now >= at` (fires once).
+    RevokeClass {
+        /// Worker class to revoke (e.g. `"spot"`).
+        class: String,
+        /// Virtual instant at which the class is lost.
+        at: Duration,
+    },
 }
 
 /// A declarative set of faults to inject, built up fluently:
@@ -233,6 +244,17 @@ impl FaultPlan {
         self.specs.push(FaultSpec::ExchangeTearRate { rate });
         self
     }
+
+    /// Revoke every worker of `class` at virtual time `at` (fires once).
+    pub fn revoke_class(mut self, class: &str, at: Duration) -> FaultPlan {
+        self.specs.push(FaultSpec::RevokeClass { class: class.to_string(), at });
+        self
+    }
+
+    /// Does the plan declare any [`FaultSpec::RevokeClass`] spec?
+    pub fn has_revocations(&self) -> bool {
+        self.specs.iter().any(|s| matches!(s, FaultSpec::RevokeClass { .. }))
+    }
 }
 
 /// What the injector decided for one task start.
@@ -296,6 +318,7 @@ pub struct FaultInjector {
     task_faults_injected: AtomicU64,
     stalls_injected: AtomicU64,
     tears_injected: AtomicU64,
+    revocations_injected: AtomicU64,
 }
 
 impl FaultInjector {
@@ -310,6 +333,7 @@ impl FaultInjector {
             task_faults_injected: AtomicU64::new(0),
             stalls_injected: AtomicU64::new(0),
             tears_injected: AtomicU64::new(0),
+            revocations_injected: AtomicU64::new(0),
         })
     }
 
@@ -341,6 +365,41 @@ impl FaultInjector {
     /// Mid-stream page tears injected so far (scan + exchange).
     pub fn tears_injected(&self) -> u64 {
         self.tears_injected.load(Ordering::Relaxed)
+    }
+
+    /// Worker-class revocations fired so far.
+    pub fn revocations_injected(&self) -> u64 {
+        self.revocations_injected.load(Ordering::Relaxed)
+    }
+
+    /// Does the plan declare any class revocation? Cheap enough to guard a
+    /// per-event poll in the scan scheduler's hot loop.
+    pub fn has_revocations(&self) -> bool {
+        self.plan.has_revocations()
+    }
+
+    /// Worker classes whose revocation instant has arrived by virtual time
+    /// `now`. Each [`FaultSpec::RevokeClass`] fires exactly once: the first
+    /// poll at/after its `at` returns the class, later polls do not. Classes
+    /// are returned in spec-declaration order, so the storm schedule is pure
+    /// in `(plan, poll instants)`.
+    pub fn revocations_due(&self, now: Duration) -> Vec<String> {
+        if !self.has_revocations() {
+            return Vec::new();
+        }
+        let mut state = self.state.lock();
+        let mut due = Vec::new();
+        for (idx, spec) in self.plan.specs.iter().enumerate() {
+            if let FaultSpec::RevokeClass { class, at } = spec {
+                if now >= *at && !state.fired[idx] {
+                    state.fired[idx] = true;
+                    due.push(class.clone());
+                }
+            }
+        }
+        drop(state);
+        self.revocations_injected.fetch_add(due.len() as u64, Ordering::Relaxed);
+        due
     }
 
     /// Consult the plan for the task `worker_id` is about to start at
@@ -394,14 +453,15 @@ impl FaultInjector {
                         FaultDecision::None
                     }
                 }
-                // mid-stream specs never fire at task start
+                // mid-stream and polled specs never fire at task start
                 FaultSpec::StallScanPage { .. }
                 | FaultSpec::TearScanPage { .. }
                 | FaultSpec::ScanStallRate { .. }
                 | FaultSpec::ScanTearRate { .. }
                 | FaultSpec::StallExchangePage { .. }
                 | FaultSpec::TearExchangePage { .. }
-                | FaultSpec::ExchangeTearRate { .. } => FaultDecision::None,
+                | FaultSpec::ExchangeTearRate { .. }
+                | FaultSpec::RevokeClass { .. } => FaultDecision::None,
             };
             // a crash dominates a transient fault for the same task
             if rank(hit) > rank(decision) {
@@ -551,6 +611,7 @@ impl fmt::Debug for FaultInjector {
             .field("task_faults_injected", &self.task_faults_injected())
             .field("stalls_injected", &self.stalls_injected())
             .field("tears_injected", &self.tears_injected())
+            .field("revocations_injected", &self.revocations_injected())
             .finish()
     }
 }
@@ -770,6 +831,33 @@ mod tests {
         }
         assert!(torn > 0, "rate 0.5 over 64 pages must tear at least once");
         assert!(recovered > 0, "attempt is in the draw, so some retries must succeed");
+    }
+
+    #[test]
+    fn class_revocation_fires_once_at_virtual_time() {
+        let inj = FaultInjector::new(
+            5,
+            FaultPlan::new()
+                .revoke_class("spot", Duration::from_millis(10))
+                .revoke_class("preemptible", Duration::from_millis(30)),
+        );
+        assert!(inj.has_revocations());
+        assert!(inj.revocations_due(Duration::from_millis(9)).is_empty());
+        assert_eq!(inj.revocations_due(Duration::from_millis(10)), vec!["spot".to_string()]);
+        // already fired: later polls stay quiet until the next spec is due
+        assert!(inj.revocations_due(Duration::from_millis(20)).is_empty());
+        assert_eq!(inj.revocations_due(Duration::from_millis(30)), vec!["preemptible".to_string()]);
+        assert!(inj.revocations_due(Duration::from_secs(60)).is_empty());
+        assert_eq!(inj.revocations_injected(), 2);
+    }
+
+    #[test]
+    fn revocation_specs_never_fire_at_task_start() {
+        let inj = FaultInjector::new(5, FaultPlan::new().revoke_class("spot", Duration::ZERO));
+        assert_eq!(inj.on_task_start(0, Duration::from_secs(1)), FaultDecision::None);
+        assert_eq!(inj.crashes_injected(), 0);
+        // a poll past the instant still fires exactly once
+        assert_eq!(inj.revocations_due(Duration::from_secs(1)), vec!["spot".to_string()]);
     }
 
     #[test]

@@ -64,6 +64,22 @@ pub mod names {
     pub const CLUSTER_SPECULATIVE_WASTED: &str = "cluster.speculative_wasted";
     /// Exchange deliveries retried after a mid-stream tear.
     pub const CLUSTER_EXCHANGE_RETRIES: &str = "cluster.exchange_retries";
+    /// Workers that completed the graceful decommission lifecycle
+    /// (Active → Draining → Decommissioned) and left the fleet.
+    pub const CLUSTER_WORKERS_DECOMMISSIONED: &str = "cluster.workers_decommissioned";
+    /// Queued splits a draining worker handed off to surviving workers.
+    pub const CLUSTER_SPLITS_HANDED_OFF: &str = "cluster.splits_handed_off";
+    /// Fragment-cache entries migrated to the consistent successor before
+    /// a draining worker left.
+    pub const CLUSTER_CACHE_ENTRIES_MIGRATED: &str = "cluster.cache_entries_migrated";
+    /// Workers abruptly lost to a spot-instance revocation.
+    pub const CLUSTER_WORKERS_REVOKED: &str = "cluster.workers_revoked";
+    /// Autoscaler scale-out actions (batches of workers added).
+    pub const CLUSTER_SCALE_OUTS: &str = "cluster.autoscaler_scale_outs";
+    /// Autoscaler scale-in actions (workers gracefully decommissioned).
+    pub const CLUSTER_SCALE_INS: &str = "cluster.autoscaler_scale_ins";
+    /// Workers the autoscaler added across all scale-out actions.
+    pub const CLUSTER_SCALE_OUT_WORKERS: &str = "cluster.autoscaler_workers_added";
 
     /// Redirects the federation gateway resolved.
     pub const GATEWAY_REDIRECTS: &str = "gateway.redirects";
@@ -73,6 +89,9 @@ pub mod names {
     pub const GATEWAY_RETRIED_QUERIES: &str = "gateway.retried_queries";
     /// Depth-aware submits steered away from a loaded primary cluster.
     pub const GATEWAY_LOAD_BALANCED_ROUTES: &str = "gateway.load_balanced_routes";
+    /// Submits routed past a cluster whose admission lanes were saturated
+    /// (the next admit would have been refused outright).
+    pub const GATEWAY_SKIPPED_SATURATED: &str = "gateway.skipped_saturated";
 
     /// Fragment-result-cache hits.
     pub const FRC_HITS: &str = "frc.hits";
@@ -166,6 +185,9 @@ pub mod names {
     pub const HIST_ADMISSION_QUEUE_WAIT_MS: &str = "admission.queue_wait_ms";
     /// Histogram: end-to-end virtual latency of gateway-submitted queries, µs.
     pub const HIST_GATEWAY_QUERY_LATENCY_US: &str = "gateway.query_latency_us";
+    /// Histogram: admission-queue depth observed at each autoscaler
+    /// evaluation tick — the hysteresis signal.
+    pub const HIST_CLUSTER_QUEUE_DEPTH: &str = "cluster.autoscaler_queue_depth";
 
     /// Queries the workload simulator injected (arrival events).
     pub const SIM_ARRIVALS: &str = "sim.arrivals";

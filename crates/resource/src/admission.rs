@@ -130,6 +130,22 @@ impl AdmissionController {
             }
     }
 
+    /// Would a new query (from an otherwise-unthrottled user) be refused
+    /// outright? Mirrors [`AdmissionController::admit`]'s fast-fail path:
+    /// no immediate start is possible *and* the wait queue is already at
+    /// `max_queued`. The federation gateway polls this so it can route
+    /// around clusters whose admission lanes are saturated instead of
+    /// bouncing queries off a full queue.
+    pub fn is_saturated(&self) -> bool {
+        let state = self.inner.state.lock();
+        let immediate = state.queue.is_empty()
+            && match self.inner.config.max_concurrent {
+                Some(max) => state.running < max,
+                None => true,
+            };
+        !immediate && state.queue.len() >= self.inner.config.max_queued
+    }
+
     /// Block until this query may run; returns the RAII permit.
     ///
     /// Queue-wait accounting lands in `metrics` (the per-query counter set):
@@ -362,6 +378,29 @@ mod tests {
         let err = c.admit("bob", QueryPriority::Normal, &m).unwrap_err();
         assert_eq!(err.code(), "INSUFFICIENT_RESOURCES");
         assert!(err.message().contains("admission queue is full"), "{err}");
+    }
+
+    #[test]
+    fn saturation_tracks_the_fast_fail_condition() {
+        let c = AdmissionController::new(
+            AdmissionConfig {
+                max_concurrent: Some(1),
+                max_queued: 0,
+                ..AdmissionConfig::default()
+            },
+            SimClock::new(),
+        );
+        let m = CounterSet::new();
+        assert!(!c.is_saturated(), "idle controller admits immediately");
+        let permit = c.admit("alice", QueryPriority::Normal, &m).unwrap();
+        assert!(c.is_saturated(), "slot held and zero queue room");
+        assert!(c.admit("bob", QueryPriority::Normal, &m).is_err());
+        drop(permit);
+        assert!(!c.is_saturated(), "slot free again");
+        // unbounded concurrency is never saturated
+        let open = AdmissionController::new(AdmissionConfig::default(), SimClock::new());
+        let _p = open.admit("alice", QueryPriority::Normal, &m).unwrap();
+        assert!(!open.is_saturated());
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub mod sim;
 pub mod slo;
 pub mod workload;
 
-pub use sim::{run_simulation, SchedulerMode, SimConfig, SimReport, TenantReport};
+pub use sim::{
+    run_simulation, ElasticPlan, ElasticReport, SchedulerMode, SimConfig, SimReport, TenantReport,
+    SPOT_CLASS,
+};
 pub use slo::SloPolicy;
 pub use workload::{tenant_class, ArrivalProcess, PlanTemplate, TenantClass, ZipfSampler};

@@ -14,8 +14,12 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
+use std::time::Duration;
 
-use presto_cluster::{ClusterConfig, PrestoCluster, SpeculationConfig};
+use presto_cluster::{
+    Autoscaler, AutoscalerConfig, ClusterConfig, PrestoCluster, SpeculationConfig, WorkerLifecycle,
+};
+use presto_common::fault::{FaultInjector, FaultPlan};
 use presto_common::metrics::{names, CounterSet, Histogram, HistogramSet};
 use presto_common::rng::mix64;
 use presto_common::{Block, DataType, Field, Page, PrestoError, Result, Schema, SimClock};
@@ -67,6 +71,97 @@ impl SchedulerMode {
     }
 }
 
+/// The class name spot (preemptible) capacity runs under. A
+/// [`ElasticPlan::revoke_spot_at_us`] storm flips every worker of this
+/// class to `Revoked` at one virtual instant.
+pub const SPOT_CLASS: &str = "spot";
+
+/// Elastic-lifecycle events layered onto a simulation run: periodic
+/// lifecycle ticks, an optional queue-driven autoscaler, scheduled graceful
+/// decommissions, and an optional spot-revocation storm. All times are
+/// virtual µs on the master timeline, so the whole scenario stays a pure
+/// function of `(seed, config)`.
+#[derive(Debug, Clone)]
+pub struct ElasticPlan {
+    /// Autoscaler policy; `None` runs a fixed fleet (plus the events below).
+    pub autoscaler: Option<AutoscalerConfig>,
+    /// Lifecycle cadence: the cluster is ticked (drain phases advanced,
+    /// terminated workers reaped, due revocations fired) and the autoscaler
+    /// evaluated every this-many virtual µs.
+    pub tick_every_us: u64,
+    /// Preemptible workers added to the fleet at start, class [`SPOT_CLASS`].
+    pub spot_workers: u32,
+    /// Revoke the whole spot class at this virtual instant (the storm).
+    pub revoke_spot_at_us: Option<u64>,
+    /// Gracefully decommission the coldest active worker at each of these
+    /// virtual instants (scale-down under live load).
+    pub decommission_at_us: Vec<u64>,
+    /// Recovery budget after the storm: the report flags whether active
+    /// capacity returned to its pre-storm level within this many virtual µs.
+    pub recovery_bound_us: u64,
+    /// `shutdown.grace-period` for the simulated cluster, in virtual µs —
+    /// short, so drains run to `Terminated` within the simulation window
+    /// (the paper's 2-minute default would outlive the whole run).
+    pub grace_period_us: u64,
+}
+
+impl Default for ElasticPlan {
+    fn default() -> Self {
+        ElasticPlan {
+            autoscaler: None,
+            tick_every_us: 500,
+            spot_workers: 0,
+            revoke_spot_at_us: None,
+            decommission_at_us: Vec::new(),
+            recovery_bound_us: 5_000_000,
+            grace_period_us: 200,
+        }
+    }
+}
+
+/// What the elastic lifecycle did during one run (all counters come from
+/// the cluster's own metrics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElasticReport {
+    /// Autoscaler scale-out actions.
+    pub scale_outs: u64,
+    /// Workers the autoscaler added in total.
+    pub workers_added: u64,
+    /// Autoscaler scale-in actions (graceful decommissions).
+    pub scale_ins: u64,
+    /// Workers that completed the full drain and were reaped.
+    pub workers_decommissioned: u64,
+    /// Workers lost abruptly to revocation.
+    pub workers_revoked: u64,
+    /// Queued splits displaced off draining workers onto survivors.
+    pub splits_handed_off: u64,
+    /// Fragment-cache entries migrated to consistent successors.
+    pub cache_entries_migrated: u64,
+    /// The storm instant, when one was planned.
+    pub storm_at_us: Option<u64>,
+    /// First tick at/after the storm where active capacity was back at its
+    /// pre-storm level (`None` = never recovered within the run).
+    pub recovered_at_us: Option<u64>,
+    /// The declared recovery budget.
+    pub recovery_bound_us: u64,
+    /// Largest active fleet observed at any tick.
+    pub peak_workers: usize,
+    /// Active fleet when the run ended.
+    pub final_workers: usize,
+}
+
+impl ElasticReport {
+    /// Did capacity recover from the storm within the declared budget?
+    /// Vacuously true when no storm was planned.
+    pub fn recovered_within_bound(&self) -> bool {
+        match (self.storm_at_us, self.recovered_at_us) {
+            (None, _) => true,
+            (Some(storm), Some(rec)) => rec.saturating_sub(storm) <= self.recovery_bound_us,
+            (Some(_), None) => false,
+        }
+    }
+}
+
 /// Simulation parameters. The default is the paper-scale experiment: a
 /// thousand Zipf-skewed tenants, ten thousand queries, a diurnal rush that
 /// transiently exceeds the dispatch capacity.
@@ -94,6 +189,9 @@ pub struct SimConfig {
     pub mode: SchedulerMode,
     /// Declared per-class latency SLOs.
     pub slos: SloPolicy,
+    /// Elastic-lifecycle events layered onto the run (`None` = the fixed
+    /// fleet the queueing experiments assume).
+    pub elastic: Option<ElasticPlan>,
 }
 
 impl Default for SimConfig {
@@ -112,6 +210,7 @@ impl Default for SimConfig {
             slots: 8,
             mode: SchedulerMode::Wfq,
             slos: SloPolicy::default(),
+            elastic: None,
         }
     }
 }
@@ -173,6 +272,8 @@ pub struct SimReport {
     pub metrics: CounterSet,
     /// `sim.latency_us` / `sim.queue_wait_us` under the shared names.
     pub histograms: HistogramSet,
+    /// Elastic-lifecycle outcome, when the config planned one.
+    pub elastic: Option<ElasticReport>,
 }
 
 impl SimReport {
@@ -206,6 +307,10 @@ enum Event {
     Arrive(u64),
     /// Query `.0` finishes service.
     Complete(u64),
+    /// Lifecycle tick: advance drains, fire due revocations and scheduled
+    /// decommissions, evaluate the autoscaler. Only scheduled when the
+    /// config carries an [`ElasticPlan`].
+    Tick,
 }
 
 enum Queue {
@@ -218,6 +323,14 @@ impl Queue {
         match self {
             Queue::Wfq(q) => q.push(tenant, weight, class.lane(), cost_us, item),
             Queue::Fifo(q) => q.push(QueuedQuery { tenant, lane: class.lane(), item }),
+        }
+    }
+
+    /// Queries waiting — the autoscaler's queue-depth signal.
+    fn len(&self) -> usize {
+        match self {
+            Queue::Wfq(q) => q.len(),
+            Queue::Fifo(q) => q.len(),
         }
     }
 }
@@ -246,17 +359,39 @@ fn build_cluster(config: &SimConfig, clock: &SimClock) -> Result<Arc<PrestoClust
         memory.create_table("default", table, schema.clone(), data)?;
     }
     engine.register_catalog("memory", Arc::new(memory));
-    Ok(PrestoCluster::new(
-        "sim",
-        engine,
-        ClusterConfig {
-            initial_workers: config.workers.max(1),
-            admission: AdmissionConfig::default(),
-            speculation: SpeculationConfig { enabled: false, ..SpeculationConfig::default() },
-            ..ClusterConfig::default()
-        },
-        clock.clone(),
-    ))
+    let mut cluster_config = ClusterConfig {
+        initial_workers: config.workers.max(1),
+        admission: AdmissionConfig::default(),
+        speculation: SpeculationConfig { enabled: false, ..SpeculationConfig::default() },
+        ..ClusterConfig::default()
+    };
+    if let Some(plan) = &config.elastic {
+        cluster_config.grace_period = Duration::from_micros(plan.grace_period_us);
+        if let Some(at) = plan.revoke_spot_at_us {
+            cluster_config.fault_injector = FaultInjector::new(
+                config.seed,
+                FaultPlan::new().revoke_class(SPOT_CLASS, Duration::from_micros(at)),
+            );
+        }
+    }
+    Ok(PrestoCluster::new("sim", engine, cluster_config, clock.clone()))
+}
+
+/// Workers currently in the `Active` lifecycle state.
+fn active_fleet(cluster: &PrestoCluster) -> usize {
+    cluster.workers().iter().filter(|w| w.lifecycle() == WorkerLifecycle::Active).count()
+}
+
+/// The coldest active worker: fewest completed tasks, ties to the newest.
+/// Scheduled decommissions target it, mirroring the autoscaler's scale-in
+/// choice.
+fn coldest_worker(cluster: &PrestoCluster) -> Option<u32> {
+    cluster
+        .workers()
+        .iter()
+        .filter(|w| w.lifecycle() == WorkerLifecycle::Active)
+        .min_by_key(|w| (w.completed_tasks(), Reverse(w.id)))
+        .map(|w| w.id)
 }
 
 /// Run one simulation to completion and report.
@@ -280,6 +415,26 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport> {
     let zipf = ZipfSampler::new(config.tenants, config.zipf_exponent);
     let metrics = CounterSet::new();
     let histograms = HistogramSet::new();
+
+    // Elastic lifecycle: spot capacity, scheduled drains, the autoscaler.
+    let scaler = config
+        .elastic
+        .as_ref()
+        .and_then(|plan| plan.autoscaler.clone().map(|cfg| Autoscaler::new(cluster.clone(), cfg)));
+    let mut decommissions: Vec<u64> =
+        config.elastic.as_ref().map(|p| p.decommission_at_us.clone()).unwrap_or_default();
+    decommissions.sort_unstable();
+    let mut next_decommission = 0usize;
+    if let Some(plan) = &config.elastic {
+        if plan.spot_workers > 0 {
+            cluster.expand_class(plan.spot_workers, SPOT_CLASS);
+        }
+    }
+    // The storm-recovery target is the fleet as provisioned, captured
+    // before any lifecycle event can fire.
+    let pre_storm_target = active_fleet(&cluster);
+    let mut peak_workers = pre_storm_target;
+    let mut recovered_at_us: Option<u64> = None;
 
     let mut queue = match config.mode {
         SchedulerMode::Wfq => Queue::Wfq(WfqScheduler::new()),
@@ -322,6 +477,9 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport> {
 
     let first_gap = config.arrival.gap_us(config.seed, 0, 0) as u64;
     push_event(&mut heap, &mut heap_seq, first_gap, Event::Arrive(0));
+    if let Some(plan) = &config.elastic {
+        push_event(&mut heap, &mut heap_seq, plan.tick_every_us.max(1), Event::Tick);
+    }
 
     while let Some(Reverse((at, _seq, event))) = heap.pop() {
         let now_us = clock.now().as_micros() as u64;
@@ -364,6 +522,47 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport> {
                 digest = mix64(digest ^ mix64(idx) ^ mix64(u64::from(m.tenant)) ^ mix64(latency));
                 completed += 1;
                 metrics.incr(names::SIM_COMPLETED);
+            }
+            Event::Tick => {
+                // `config.elastic` is always Some here — ticks are only
+                // ever scheduled under a plan.
+                if let Some(plan) = &config.elastic {
+                    // advance drain phases, reap terminated workers, fire
+                    // any revocation that came due on the master timeline
+                    cluster.tick();
+                    // scheduled graceful scale-downs: drain the coldest
+                    // active worker at each planned instant
+                    while next_decommission < decommissions.len()
+                        && decommissions[next_decommission] <= now_us
+                    {
+                        next_decommission += 1;
+                        if let Some(victim) = coldest_worker(&cluster) {
+                            let _ = cluster.decommission_worker(victim);
+                        }
+                    }
+                    if let Some(scaler) = &scaler {
+                        scaler.evaluate_with_depth(queue.len());
+                    }
+                    let active = active_fleet(&cluster);
+                    peak_workers = peak_workers.max(active);
+                    if let Some(storm) = plan.revoke_spot_at_us {
+                        if recovered_at_us.is_none()
+                            && now_us >= storm
+                            && cluster.metrics().get(names::CLUSTER_WORKERS_REVOKED) > 0
+                            && active >= pre_storm_target
+                        {
+                            recovered_at_us = Some(now_us);
+                        }
+                    }
+                    if completed + failed < config.queries {
+                        push_event(
+                            &mut heap,
+                            &mut heap_seq,
+                            now_us + plan.tick_every_us.max(1),
+                            Event::Tick,
+                        );
+                    }
+                }
             }
         }
 
@@ -498,6 +697,21 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport> {
         });
     }
 
+    let elastic = config.elastic.as_ref().map(|plan| ElasticReport {
+        scale_outs: cluster.metrics().get(names::CLUSTER_SCALE_OUTS),
+        workers_added: cluster.metrics().get(names::CLUSTER_SCALE_OUT_WORKERS),
+        scale_ins: cluster.metrics().get(names::CLUSTER_SCALE_INS),
+        workers_decommissioned: cluster.metrics().get(names::CLUSTER_WORKERS_DECOMMISSIONED),
+        workers_revoked: cluster.metrics().get(names::CLUSTER_WORKERS_REVOKED),
+        splits_handed_off: cluster.metrics().get(names::CLUSTER_SPLITS_HANDED_OFF),
+        cache_entries_migrated: cluster.metrics().get(names::CLUSTER_CACHE_ENTRIES_MIGRATED),
+        storm_at_us: plan.revoke_spot_at_us,
+        recovered_at_us,
+        recovery_bound_us: plan.recovery_bound_us,
+        peak_workers,
+        final_workers: active_fleet(&cluster),
+    });
+
     Ok(SimReport {
         mode: config.mode,
         arrivals: metrics.get(names::SIM_ARRIVALS),
@@ -516,6 +730,7 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport> {
         slo_violations,
         metrics,
         histograms,
+        elastic,
     })
 }
 
@@ -538,6 +753,7 @@ mod tests {
             slots: 6,
             mode,
             slos: SloPolicy::default(),
+            elastic: None,
         }
     }
 
@@ -583,6 +799,83 @@ mod tests {
         assert_eq!(wfq.completed, fifo.completed);
         // same queries, different order → different latency digests
         assert_ne!(wfq.digest, fifo.digest);
+    }
+
+    fn elastic_config(plan: ElasticPlan) -> SimConfig {
+        SimConfig {
+            seed: 23,
+            tenants: 30,
+            queries: 400,
+            zipf_exponent: 0.8,
+            arrival: ArrivalProcess::Diurnal {
+                mean_interarrival_us: 120.0,
+                amplitude: 0.5,
+                cycle_us: 20_000,
+            },
+            workers: 4,
+            slots: 6,
+            mode: SchedulerMode::Wfq,
+            slos: SloPolicy::default(),
+            elastic: Some(plan),
+        }
+    }
+
+    fn storm_plan() -> ElasticPlan {
+        ElasticPlan {
+            autoscaler: Some(AutoscalerConfig {
+                min_workers: 2,
+                max_workers: 16,
+                high_water_depth: 2,
+                low_water_depth: 0,
+                scale_out_after: Duration::from_micros(500),
+                scale_in_after: Duration::from_millis(200),
+                scale_out_step: 2,
+                cooldown: Duration::from_micros(1_000),
+                worker_class: "ondemand".to_string(),
+            }),
+            spot_workers: 4,
+            revoke_spot_at_us: Some(8_000),
+            recovery_bound_us: 2_000_000,
+            ..ElasticPlan::default()
+        }
+    }
+
+    #[test]
+    fn graceful_decommission_mid_run_fails_nothing() {
+        let report = run_simulation(&elastic_config(ElasticPlan {
+            decommission_at_us: vec![5_000, 12_000],
+            ..ElasticPlan::default()
+        }))
+        .unwrap();
+        assert_eq!(report.failed, 0, "graceful drains must not fail queries");
+        assert_eq!(report.completed, 400);
+        let e = report.elastic.unwrap();
+        assert_eq!(e.workers_decommissioned, 2, "both drains ran to the reaper");
+        assert_eq!(e.final_workers, 2);
+    }
+
+    #[test]
+    fn spot_storm_recovers_within_bound_with_zero_failures() {
+        let report = run_simulation(&elastic_config(storm_plan())).unwrap();
+        assert_eq!(report.failed, 0, "survivors plus retries must absorb the storm");
+        assert_eq!(report.completed, 400);
+        let e = report.elastic.unwrap();
+        assert_eq!(e.workers_revoked, 4, "the whole spot class went down");
+        assert!(e.scale_outs > 0, "the autoscaler must backfill");
+        assert!(
+            e.recovered_at_us.is_some() && e.recovered_within_bound(),
+            "capacity must return to the pre-storm level within the budget: {e:?}"
+        );
+    }
+
+    #[test]
+    fn elastic_runs_are_deterministic() {
+        let a = run_simulation(&elastic_config(storm_plan())).unwrap();
+        let b = run_simulation(&elastic_config(storm_plan())).unwrap();
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.trace_digest, b.trace_digest);
+        assert_eq!(a.makespan_us, b.makespan_us);
+        assert_eq!(a.elastic, b.elastic);
     }
 
     #[test]

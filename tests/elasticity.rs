@@ -1,0 +1,196 @@
+//! Elastic-lifecycle suite: the half-open probation contract under spot
+//! revocation (a revoked worker that rejoins enters probation, never full
+//! health, and one probation failure re-quarantines it), the revocation
+//! storm end to end (half the fleet dies mid-query, every answer still
+//! lands via retry on the survivors), and a property test that graceful
+//! decommission of *any* single worker mid-run is invisible to queries.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use presto_cluster::{ClusterConfig, PrestoCluster, WorkerHealth, WorkerLifecycle};
+use presto_common::metrics::names;
+use presto_common::{
+    Block, DataType, FaultInjector, FaultPlan, Field, Page, Schema, SimClock, Value,
+};
+use presto_connectors::memory::MemoryConnector;
+use presto_core::{PrestoEngine, Session};
+use presto_resource::QueryPriority;
+
+/// 12-page table → 12 splits per scan, spread across the workers.
+fn engine_with_table() -> PrestoEngine {
+    let engine = PrestoEngine::new();
+    let memory = MemoryConnector::new();
+    let schema = Schema::new(vec![Field::new("x", DataType::Bigint)]).unwrap();
+    let pages: Vec<Page> = (0..12)
+        .map(|p| Page::new(vec![Block::bigint((p * 50..p * 50 + 50).collect())]).unwrap())
+        .collect();
+    memory.create_table("default", "t", schema, pages).unwrap();
+    engine.register_catalog("memory", Arc::new(memory));
+    engine
+}
+
+fn cluster(config: ClusterConfig) -> Arc<PrestoCluster> {
+    PrestoCluster::new("elastic", engine_with_table(), config, SimClock::new())
+}
+
+const SUM_SQL: &str = "SELECT sum(x), count(*) FROM t";
+
+/// sum(0..600) = 179700 over 600 rows — the answer every scenario must agree on.
+fn expected_rows() -> Vec<Vec<Value>> {
+    vec![vec![Value::Bigint(179_700), Value::Bigint(600)]]
+}
+
+// --------------------------------------------- rejoin lands in probation
+
+#[test]
+fn revoked_worker_rejoins_on_probation_not_at_full_health() {
+    let probation = Duration::from_secs(60);
+    let c = cluster(ClusterConfig { probation_window: probation, ..ClusterConfig::default() });
+    let session = Session::default();
+
+    // spot revocation takes worker 0 out abruptly; the query rides the
+    // survivors and the fleet sees the loss as `Revoked`, not a drain
+    let w0 = c.workers()[0].clone();
+    w0.crash();
+    assert_eq!(w0.lifecycle(), WorkerLifecycle::Revoked);
+    assert_eq!(c.execute(SUM_SQL, &session).unwrap().rows(), expected_rows());
+    assert_eq!(c.metrics().get(names::CLUSTER_QUERIES_FAILED), 0);
+
+    // the instance is re-granted: back to Active, but only half-open —
+    // its in-flight work died with it, so trust is earned back first
+    w0.rejoin();
+    assert_eq!(w0.lifecycle(), WorkerLifecycle::Active);
+    assert!(matches!(w0.health(), WorkerHealth::Probation { .. }), "{:?}", w0.health());
+    assert!(!w0.accepts_tasks_for(QueryPriority::Normal));
+    assert!(w0.accepts_tasks_for(QueryPriority::Low));
+
+    // normal-priority traffic keeps avoiding it while on probation
+    let before = w0.completed_tasks();
+    assert_eq!(c.execute(SUM_SQL, &session).unwrap().rows(), expected_rows());
+    assert_eq!(w0.completed_tasks(), before, "normal splits on a probation worker");
+
+    // a clean probation window restores full health
+    c.clock().advance(probation);
+    assert_eq!(w0.health(), WorkerHealth::Healthy);
+    assert!(w0.accepts_tasks_for(QueryPriority::Normal));
+}
+
+#[test]
+fn probation_failure_after_rejoin_requarantines_immediately() {
+    // the rejoined worker's very first task fails: one strike must send it
+    // straight back to quarantine even though blacklist_after = 2
+    let c = cluster(ClusterConfig {
+        fault_injector: FaultInjector::new(11, FaultPlan::new().fail_task(0, 1)),
+        blacklist_after: 2,
+        quarantine_period: Duration::from_secs(300),
+        probation_window: Duration::from_secs(60),
+        ..ClusterConfig::default()
+    });
+    let w0 = c.workers()[0].clone();
+    w0.crash();
+    w0.rejoin();
+    assert!(matches!(w0.health(), WorkerHealth::Probation { .. }));
+
+    // the low-priority probe hits the injected failure: the query still
+    // answers (split retried elsewhere) and the worker is re-quarantined
+    let low = Session::default().with_priority(QueryPriority::Low);
+    assert_eq!(c.execute(SUM_SQL, &low).unwrap().rows(), expected_rows());
+    assert!(w0.is_blacklisted(), "probation failure must re-quarantine immediately");
+    assert_eq!(c.metrics().get(names::CLUSTER_BLACKLISTED_WORKERS), 1);
+    assert_eq!(c.metrics().get(names::CLUSTER_QUERIES_FAILED), 0);
+
+    // and the relapsed worker absorbs no normal-priority splits
+    let before = w0.completed_tasks();
+    assert_eq!(c.execute(SUM_SQL, &Session::default()).unwrap().rows(), expected_rows());
+    assert_eq!(w0.completed_tasks(), before);
+}
+
+// ------------------------------------------------ storm hits mid-query
+
+#[test]
+fn revocation_storm_mid_query_answers_on_the_survivors() {
+    // 4 on-demand + 4 spot; the whole spot class is revoked 50 virtual µs
+    // in — while their first-wave splits are still in flight
+    let c = cluster(ClusterConfig {
+        fault_injector: FaultInjector::new(
+            13,
+            FaultPlan::new().revoke_class("spot", Duration::from_micros(50)),
+        ),
+        ..ClusterConfig::default()
+    });
+    c.expand_class(4, "spot");
+    assert_eq!(c.workers().len(), 8);
+
+    let result = c.execute(SUM_SQL, &Session::default()).unwrap();
+    assert_eq!(result.rows(), expected_rows());
+    assert_eq!(c.metrics().get(names::CLUSTER_WORKERS_REVOKED), 4);
+    assert_eq!(c.metrics().get(names::CLUSTER_QUERIES_FAILED), 0);
+    let revoked = c.workers().iter().filter(|w| w.lifecycle() == WorkerLifecycle::Revoked).count();
+    assert_eq!(revoked, 4, "every spot worker must be revoked, no on-demand ones");
+
+    // the survivors keep answering after the storm
+    assert_eq!(c.execute(SUM_SQL, &Session::default()).unwrap().rows(), expected_rows());
+    assert_eq!(c.metrics().get(names::CLUSTER_QUERIES_FAILED), 0);
+}
+
+// ----------------------------------- decommission is invisible to queries
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Gracefully decommissioning any single worker mid-run never changes
+    /// a query answer and never increments `cluster.queries_failed` — the
+    /// drain hands queued splits to survivors and the state machine runs
+    /// to the reaper without a query ever noticing.
+    #[test]
+    fn graceful_decommission_of_any_worker_is_invisible(
+        seed in 0u64..1_000,
+        victim in 0u32..4,
+        drain_after_us in 50u64..400,
+    ) {
+        // the seed varies the (deterministic) fault-injector stream both
+        // clusters carry; no faults are planned, so both runs stay clean
+        let grace = Duration::from_micros(100);
+        let baseline = cluster(ClusterConfig {
+            grace_period: grace,
+            fault_injector: FaultInjector::new(seed, FaultPlan::new()),
+            ..ClusterConfig::default()
+        });
+        let subject = cluster(ClusterConfig {
+            grace_period: grace,
+            fault_injector: FaultInjector::new(seed, FaultPlan::new()),
+            ..ClusterConfig::default()
+        });
+
+        let session = Session::default();
+        subject.schedule_decommission(
+            victim,
+            subject.clock().now() + Duration::from_micros(drain_after_us),
+        );
+        for _ in 0..3 {
+            let a = baseline.execute(SUM_SQL, &session).unwrap();
+            let b = subject.execute(SUM_SQL, &session).unwrap();
+            prop_assert_eq!(a.rows(), b.rows());
+        }
+        prop_assert_eq!(subject.metrics().get(names::CLUSTER_QUERIES_FAILED), 0);
+
+        // the drain runs to the reaper; each grace phase restarts its
+        // timer, so two advance+tick cycles are needed
+        for _ in 0..2 {
+            subject.clock().advance(Duration::from_millis(1));
+            subject.tick();
+        }
+        prop_assert_eq!(subject.metrics().get(names::CLUSTER_WORKERS_DECOMMISSIONED), 1);
+        prop_assert_eq!(subject.workers().len(), 3);
+
+        // and the shrunken fleet still answers correctly
+        prop_assert_eq!(
+            subject.execute(SUM_SQL, &session).unwrap().rows(),
+            expected_rows()
+        );
+        prop_assert_eq!(subject.metrics().get(names::CLUSTER_QUERIES_FAILED), 0);
+    }
+}

@@ -27,6 +27,7 @@ fn config(seed: u64, mode: SchedulerMode) -> SimConfig {
         slots: 6,
         mode,
         slos: presto_sim::SloPolicy::default(),
+        elastic: None,
     }
 }
 
