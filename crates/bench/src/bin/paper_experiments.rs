@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //! ```text
-//! paper-experiments [fig16|fig17|fig18|fig19|fig20|geo|cache|s3|shrink|gateway|resource|chaos|obs|all]
+//! paper-experiments [fig16|fig17|fig18|fig19|fig20|geo|cache|s3|shrink|gateway|resource|chaos|obs|sim|elastic|telemetry|all]
 //! ```
 //! Run `--release`; the reader/writer figures measure real CPU work.
 //!
@@ -22,9 +22,24 @@ use presto_connectors::mysql::MySqlConnector;
 use presto_core::{PrestoEngine, Session};
 use presto_parquet::Codec;
 
-const EXPERIMENTS: [&str; 16] = [
-    "fig16", "fig17", "fig18", "fig19", "fig20", "geo", "cache", "s3", "shrink", "gateway",
-    "resource", "chaos", "obs", "sim", "elastic", "all",
+const EXPERIMENTS: [&str; 17] = [
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "geo",
+    "cache",
+    "s3",
+    "shrink",
+    "gateway",
+    "resource",
+    "chaos",
+    "obs",
+    "sim",
+    "elastic",
+    "telemetry",
+    "all",
 ];
 
 fn main() {
@@ -79,6 +94,154 @@ fn main() {
     }
     if all || arg == "elastic" {
         run_elastic();
+    }
+    if all || arg == "telemetry" {
+        run_telemetry();
+    }
+}
+
+fn run_telemetry() {
+    use presto_bench::telemetry;
+    use presto_common::metrics::names;
+    use presto_sim::run_simulation;
+    println!(
+        "\n=== queryable telemetry: sampled replay + busy-vs-queue autoscaler counterfactual ==="
+    );
+    println!(
+        "rush/lull workload replayed under two autoscaler policies (seed 7, same arrivals);\n\
+         every variant runs twice to check same-seed telemetry digests;\n\
+         gates: sampling happened, digests bit-identical, busy-signal action trace diverges\n"
+    );
+
+    let variants: [(&str, presto_sim::SimConfig); 2] = [
+        ("queue-depth", telemetry::queue_only_config(7)),
+        ("busy-fraction", telemetry::busy_signal_config(7)),
+    ];
+    let mut table = Table::new(
+        "autoscaler policies on identical arrivals (2000 queries, virtual time)",
+        &[
+            "policy",
+            "ok/failed",
+            "out/in",
+            "actions",
+            "peak/final workers",
+            "snapshots",
+            "peak busy",
+            "deterministic",
+        ],
+    );
+    let mut gate_failed = false;
+    let mut action_traces: Vec<Vec<(u64, i64)>> = Vec::new();
+    let mut json_rows: Vec<(String, Json)> = Vec::new();
+    for (name, config) in &variants {
+        let (a, b) = match (run_simulation(config), run_simulation(config)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("telemetry variant '{name}' failed to run: {e}");
+                std::process::exit(1);
+            }
+        };
+        let deterministic = a.digest == b.digest
+            && a.trace_digest == b.trace_digest
+            && a.telemetry_digest == b.telemetry_digest
+            && a.elastic == b.elastic;
+        let Some(e) = a.elastic.clone() else {
+            eprintln!("telemetry variant '{name}' produced no elastic report");
+            std::process::exit(1);
+        };
+        let busy_series = a.telemetry_series.get(names::TS_FLEET_BUSY_PCT).cloned();
+        let depth_series = a.telemetry_series.get(names::TS_QUEUE_DEPTH).cloned();
+        let peak_busy = busy_series.as_ref().map(|s| s.peak()).unwrap_or(0);
+        table.row(vec![
+            (*name).into(),
+            format!("{}/{}", a.completed, a.failed),
+            format!("{}/{}", e.scale_outs, e.scale_ins),
+            e.actions.len().to_string(),
+            format!("{}/{}", e.peak_workers, e.final_workers),
+            a.telemetry_snapshots.to_string(),
+            format!("{peak_busy}%"),
+            if deterministic { "yes".into() } else { "NO".into() },
+        ]);
+        if a.failed > 0 {
+            eprintln!("telemetry gate FAILED: variant '{name}' failed {} queries", a.failed);
+            gate_failed = true;
+        }
+        if !deterministic {
+            eprintln!("telemetry gate FAILED: variant '{name}' same-seed digests diverged");
+            gate_failed = true;
+        }
+        if a.telemetry_snapshots == 0 || busy_series.as_ref().is_none_or(|s| s.samples() == 0) {
+            eprintln!("telemetry gate FAILED: variant '{name}' sampled nothing");
+            gate_failed = true;
+        }
+        let series_json = |series: &Option<presto_common::TimeSeries>| match series {
+            Some(s) => Json::Arr(
+                s.points()
+                    .into_iter()
+                    .map(|(at_us, v)| Json::Arr(vec![Json::U64(at_us), Json::U64(v)]))
+                    .collect(),
+            ),
+            None => Json::Arr(Vec::new()),
+        };
+        json_rows.push((
+            (*name).to_string(),
+            Json::Obj(vec![
+                ("completed".into(), Json::U64(a.completed)),
+                ("failed".into(), Json::U64(a.failed)),
+                ("makespan_us".into(), Json::U64(a.makespan_us)),
+                ("scale_outs".into(), Json::U64(e.scale_outs)),
+                ("scale_ins".into(), Json::U64(e.scale_ins)),
+                ("peak_workers".into(), Json::U64(e.peak_workers as u64)),
+                ("final_workers".into(), Json::U64(e.final_workers as u64)),
+                ("snapshots".into(), Json::U64(a.telemetry_snapshots)),
+                ("telemetry_digest".into(), Json::Str(format!("{:#018x}", a.telemetry_digest))),
+                ("deterministic".into(), Json::Bool(deterministic)),
+                (
+                    "actions".into(),
+                    Json::Arr(
+                        e.actions
+                            .iter()
+                            .map(|&(at_us, delta)| {
+                                Json::Arr(vec![Json::U64(at_us), Json::Str(delta.to_string())])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("fleet_busy_pct".into(), series_json(&busy_series)),
+                ("queue_depth".into(), series_json(&depth_series)),
+            ]),
+        ));
+        action_traces.push(e.actions);
+    }
+    println!("{}", table.render());
+
+    let diverged = action_traces.first() != action_traces.last();
+    if !diverged {
+        eprintln!(
+            "telemetry gate FAILED: the busy-fraction policy produced the same action trace \
+             as the queue-depth-only counterfactual — the second signal changed nothing"
+        );
+        gate_failed = true;
+    } else {
+        println!(
+            "busy-vs-queue counterfactual: action traces diverge ({} vs {} actions)\n",
+            action_traces.first().map(Vec::len).unwrap_or(0),
+            action_traces.last().map(Vec::len).unwrap_or(0),
+        );
+    }
+
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("telemetry".into())),
+        ("variants".into(), Json::Obj(json_rows)),
+        ("counterfactual_diverged".into(), Json::Bool(diverged)),
+        ("gates_passed".into(), Json::Bool(!gate_failed)),
+    ]);
+    match write_bench_json("telemetry", &json) {
+        Ok(path) => println!("wrote {path}\n"),
+        Err(e) => eprintln!("could not write BENCH_telemetry.json: {e}"),
+    }
+    if gate_failed {
+        std::process::exit(1);
     }
 }
 

@@ -80,6 +80,9 @@ pub fn storm_config(seed: u64) -> SimConfig {
             scale_out_step: 2,
             cooldown: Duration::from_micros(1_000),
             worker_class: "ondemand".to_string(),
+            busy_signal: false,
+            busy_high_water_pct: 80,
+            busy_low_water_pct: 20,
         }),
         spot_workers: 4,
         revoke_spot_at_us: Some(STORM_AT_US),
@@ -109,6 +112,9 @@ pub fn rush_lull_config(seed: u64) -> SimConfig {
             scale_out_step: 2,
             cooldown: Duration::from_micros(2_000),
             worker_class: "ondemand".to_string(),
+            busy_signal: false,
+            busy_high_water_pct: 80,
+            busy_low_water_pct: 20,
         }),
         ..ElasticPlan::default()
     });

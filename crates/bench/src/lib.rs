@@ -21,4 +21,5 @@ pub mod obs;
 pub mod report;
 pub mod resource_exp;
 pub mod s3_exp;
+pub mod telemetry;
 pub mod writers;

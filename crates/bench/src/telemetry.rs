@@ -1,0 +1,93 @@
+//! Telemetry replay experiment: the rush/lull autoscaling workload runs
+//! while the cluster's lifecycle ticks sample busy-fraction, queue-depth,
+//! memory and cache time series into the [`TelemetryRegistry`] — then the
+//! busy-fraction-fed autoscaler is compared against the queue-depth-only
+//! counterfactual on identical seeded arrivals.
+//!
+//! Gates (driven by `paper-experiments telemetry`):
+//!
+//! - same-seed runs must be bit-identical: workload digest, trace digest,
+//!   telemetry digest, and the autoscaler's action trace;
+//! - sampling must actually happen: snapshots > 0 and a populated fleet
+//!   busy-fraction series;
+//! - the busy-signal policy must **diverge** from the queue-depth-only
+//!   counterfactual on the same arrivals — if the second signal never
+//!   changes a decision it is dead weight.
+//!
+//! [`TelemetryRegistry`]: presto_common::telemetry::TelemetryRegistry
+
+use presto_sim::SimConfig;
+
+use crate::elastic::rush_lull_config;
+
+/// Busy-fraction high-water mark the busy-signal variant runs with: a
+/// fleet at/above this percentage counts as pressure even when the
+/// dispatch queue is shallow.
+pub const BUSY_HIGH_WATER_PCT: u64 = 60;
+
+/// Busy-fraction low-water mark: scale-in additionally needs the busy
+/// window's p95 at/below this.
+pub const BUSY_LOW_WATER_PCT: u64 = 20;
+
+/// The queue-depth-only policy on the seeded rush/lull workload — the
+/// counterfactual baseline.
+pub fn queue_only_config(seed: u64) -> SimConfig {
+    rush_lull_config(seed)
+}
+
+/// The same seeded workload with the busy-fraction signal enabled on the
+/// autoscaler. Everything else — arrivals, fleet, water marks, windows —
+/// is identical to [`queue_only_config`], so any divergence in the action
+/// trace is attributable to the second signal alone.
+pub fn busy_signal_config(seed: u64) -> SimConfig {
+    let mut config = rush_lull_config(seed);
+    if let Some(plan) = &mut config.elastic {
+        if let Some(auto) = &mut plan.autoscaler {
+            auto.busy_signal = true;
+            auto.busy_high_water_pct = BUSY_HIGH_WATER_PCT;
+            auto.busy_low_water_pct = BUSY_LOW_WATER_PCT;
+        }
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::metrics::names;
+    use presto_sim::run_simulation;
+
+    fn shrunk(mut config: SimConfig) -> SimConfig {
+        config.queries = 600;
+        config.tenants = 60;
+        config
+    }
+
+    #[test]
+    fn sampling_runs_and_same_seed_telemetry_digests_agree() {
+        let config = shrunk(queue_only_config(7));
+        let a = run_simulation(&config).unwrap();
+        let b = run_simulation(&config).unwrap();
+        assert!(a.telemetry_snapshots > 0, "lifecycle ticks must sample");
+        assert_eq!(a.telemetry_digest, b.telemetry_digest);
+        assert_eq!(a.telemetry_snapshots, b.telemetry_snapshots);
+        let busy = &a.telemetry_series[names::TS_FLEET_BUSY_PCT];
+        assert!(busy.samples() > 0, "fleet busy series must be populated");
+        assert!(a.telemetry_series.contains_key(names::TS_QUEUE_DEPTH));
+    }
+
+    #[test]
+    fn busy_signal_diverges_from_queue_only_on_the_same_seed() {
+        let queue = run_simulation(&shrunk(queue_only_config(7))).unwrap();
+        let busy = run_simulation(&shrunk(busy_signal_config(7))).unwrap();
+        assert_eq!(queue.failed, 0);
+        assert_eq!(busy.failed, 0);
+        let queue_actions = queue.elastic.unwrap().actions;
+        let busy_actions = busy.elastic.unwrap().actions;
+        assert!(!queue_actions.is_empty(), "baseline must actually scale");
+        assert_ne!(
+            queue_actions, busy_actions,
+            "the busy-fraction signal must change at least one decision"
+        );
+    }
+}

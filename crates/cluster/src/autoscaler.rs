@@ -26,6 +26,17 @@
 //! `cluster.autoscaler_queue_depth` histogram, and actions are counted as
 //! `cluster.autoscaler_scale_outs` / `cluster.autoscaler_scale_ins` /
 //! `cluster.autoscaler_workers_added`.
+//!
+//! With `busy_signal` enabled the autoscaler consults a **second signal**:
+//! the fleet busy-fraction gauge the telemetry sampler maintains
+//! (`telemetry.fleet_busy_now_pct`). A fleet running hot
+//! (`busy >= busy_high_water_pct`) counts as pressure even while the queue
+//! is shallow — short queries drain the queue between ticks yet saturate
+//! the workers — and scale-in additionally requires the busy-fraction
+//! window since the last action to be calm (p95 at/below
+//! `busy_low_water_pct`), so a drained queue over a still-hot fleet never
+//! shrinks it. With the flag off, decisions are bit-identical to the
+//! queue-depth-only policy.
 
 use std::cmp::Reverse;
 use std::sync::Arc;
@@ -58,6 +69,14 @@ pub struct AutoscalerConfig {
     pub cooldown: Duration,
     /// Capacity class of workers the autoscaler adds.
     pub worker_class: String,
+    /// Consult the fleet busy-fraction gauge as a second signal.
+    pub busy_signal: bool,
+    /// With `busy_signal`: fleet busy-fraction at/above this percentage
+    /// counts as pressure even when the queue is shallow.
+    pub busy_high_water_pct: u64,
+    /// With `busy_signal`: scale-in additionally requires the busy-fraction
+    /// window since the last action to sit at/below this (p95).
+    pub busy_low_water_pct: u64,
 }
 
 impl Default for AutoscalerConfig {
@@ -72,6 +91,9 @@ impl Default for AutoscalerConfig {
             scale_out_step: 2,
             cooldown: Duration::from_millis(10),
             worker_class: DEFAULT_WORKER_CLASS.to_string(),
+            busy_signal: false,
+            busy_high_water_pct: 80,
+            busy_low_water_pct: 20,
         }
     }
 }
@@ -104,6 +126,9 @@ struct AutoState {
     /// Depth samples since the last action — the scale-in confidence
     /// check consults its p95 so one quiet sample can't shrink the fleet.
     window: Histogram,
+    /// Fleet busy-fraction samples since the last action (`busy_signal`
+    /// only): scale-in also requires this window's p95 to be calm.
+    busy_window: Histogram,
 }
 
 /// The queue-driven autoscaler. Cheap to share; all state is internal.
@@ -124,6 +149,7 @@ impl Autoscaler {
                 below_since: None,
                 last_action: None,
                 window: Histogram::new(),
+                busy_window: Histogram::new(),
             }),
         }
     }
@@ -147,6 +173,11 @@ impl Autoscaler {
         let cfg = &self.config;
         let now = self.cluster.clock().now();
         self.cluster.histograms().record(names::HIST_CLUSTER_QUEUE_DEPTH, depth as u64);
+        let busy = self.cluster.telemetry().gauge(names::GAUGE_FLEET_BUSY_PCT);
+        if cfg.busy_signal {
+            self.cluster.histograms().record(names::HIST_CLUSTER_BUSY_PCT, busy);
+        }
+        let hot = cfg.busy_signal && busy >= cfg.busy_high_water_pct;
         let active = self
             .cluster
             .workers()
@@ -157,8 +188,9 @@ impl Autoscaler {
         let decision = {
             let mut st = self.state.lock();
             st.window.record(depth as u64);
+            st.busy_window.record(busy);
             let cooling = st.last_action.is_some_and(|t| now.saturating_sub(t) < cfg.cooldown);
-            if depth > cfg.high_water_depth {
+            if depth > cfg.high_water_depth || hot {
                 st.below_since = None;
                 let since = *st.above_since.get_or_insert(now);
                 if !cooling
@@ -169,6 +201,7 @@ impl Autoscaler {
                     st.above_since = None;
                     st.last_action = Some(now);
                     st.window = Histogram::new();
+                    st.busy_window = Histogram::new();
                     ScaleDecision::Out { added }
                 } else {
                     ScaleDecision::Hold
@@ -177,13 +210,16 @@ impl Autoscaler {
                 st.above_since = None;
                 let since = *st.below_since.get_or_insert(now);
                 let sustained = now.saturating_sub(since) >= cfg.scale_in_after;
-                let calm = st.window.quantile(0.95) <= cfg.low_water_depth as u64;
+                let calm = st.window.quantile(0.95) <= cfg.low_water_depth as u64
+                    && (!cfg.busy_signal
+                        || st.busy_window.quantile(0.95) <= cfg.busy_low_water_pct);
                 if !cooling && sustained && calm && active > cfg.min_workers {
                     match self.coldest_active_worker() {
                         Some(worker_id) => {
                             st.below_since = None;
                             st.last_action = Some(now);
                             st.window = Histogram::new();
+                            st.busy_window = Histogram::new();
                             ScaleDecision::In { worker_id }
                         }
                         None => ScaleDecision::Hold,
@@ -370,6 +406,62 @@ mod tests {
         assert_eq!(scaler.evaluate_with_depth(10), ScaleDecision::Hold, "cooling down");
         cluster.clock().advance(Duration::from_millis(5));
         assert!(matches!(scaler.evaluate_with_depth(10), ScaleDecision::Out { .. }));
+    }
+
+    #[test]
+    fn hot_fleet_scales_out_even_with_a_shallow_queue() {
+        let cfg = AutoscalerConfig {
+            busy_signal: true,
+            busy_high_water_pct: 80,
+            high_water_depth: 8,
+            scale_out_after: Duration::from_millis(2),
+            scale_out_step: 1,
+            cooldown: Duration::ZERO,
+            ..AutoscalerConfig::default()
+        };
+        let (cluster, scaler) = harness(4, cfg.clone());
+        // every worker pegged: busy-fraction pressure with an empty queue
+        cluster.telemetry().set_gauge(names::GAUGE_FLEET_BUSY_PCT, 97);
+        assert_eq!(scaler.evaluate_with_depth(0), ScaleDecision::Hold, "not sustained yet");
+        cluster.clock().advance(Duration::from_millis(2));
+        assert_eq!(scaler.evaluate_with_depth(0), ScaleDecision::Out { added: 1 });
+        assert_eq!(active(&cluster), 5);
+        assert!(cluster.histograms().get(names::HIST_CLUSTER_BUSY_PCT).count() >= 2);
+
+        // the queue-depth-only counterfactual holds on the same samples
+        let (cluster, scaler) = harness(4, AutoscalerConfig { busy_signal: false, ..cfg });
+        cluster.telemetry().set_gauge(names::GAUGE_FLEET_BUSY_PCT, 97);
+        assert_eq!(scaler.evaluate_with_depth(0), ScaleDecision::Hold);
+        cluster.clock().advance(Duration::from_millis(2));
+        assert_eq!(scaler.evaluate_with_depth(0), ScaleDecision::Hold);
+        assert_eq!(active(&cluster), 4);
+    }
+
+    #[test]
+    fn warm_fleet_blocks_scale_in_that_queue_depth_alone_would_take() {
+        let cfg = AutoscalerConfig {
+            busy_signal: true,
+            busy_low_water_pct: 20,
+            min_workers: 2,
+            low_water_depth: 0,
+            scale_in_after: Duration::from_millis(3),
+            cooldown: Duration::ZERO,
+            ..AutoscalerConfig::default()
+        };
+        let (cluster, scaler) = harness(3, cfg.clone());
+        // queue drained but the fleet is still half busy: no shrink
+        cluster.telemetry().set_gauge(names::GAUGE_FLEET_BUSY_PCT, 55);
+        assert_eq!(scaler.evaluate_with_depth(0), ScaleDecision::Hold);
+        cluster.clock().advance(Duration::from_millis(4));
+        assert_eq!(scaler.evaluate_with_depth(0), ScaleDecision::Hold, "busy window is warm");
+        assert_eq!(active(&cluster), 3);
+
+        // queue-depth-only counterfactual shrinks on the same samples
+        let (cluster, scaler) = harness(3, AutoscalerConfig { busy_signal: false, ..cfg });
+        cluster.telemetry().set_gauge(names::GAUGE_FLEET_BUSY_PCT, 55);
+        assert_eq!(scaler.evaluate_with_depth(0), ScaleDecision::Hold);
+        cluster.clock().advance(Duration::from_millis(4));
+        assert!(matches!(scaler.evaluate_with_depth(0), ScaleDecision::In { .. }));
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! `Speculate` trace span per launch.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,9 +41,12 @@ use parking_lot::{Mutex, RwLock};
 use presto_cache::fragment::{affinity_worker, fingerprint, FragmentKey, FragmentResultCache};
 use presto_common::clock::SimStopwatch;
 use presto_common::metrics::{names, CounterSet, Histogram, HistogramSet};
+use presto_common::telemetry::{QueryRow, TaskRow, TelemetryRegistry, WorkerRow};
 use presto_common::trace::{SpanId, SpanKind, Trace};
 use presto_common::{FaultDecision, FaultInjector, Page, PrestoError, Result, SimClock};
-use presto_connectors::{Connector, ConnectorSplit, ScanHooks, ScanRequest, SplitPayload};
+use presto_connectors::{
+    Connector, ConnectorSplit, ScanHooks, ScanRequest, SplitPayload, SystemConnector,
+};
 use presto_core::{PrestoEngine, QueryInfo, QueryResult, Session};
 use presto_plan::{LogicalPlan, PlanFragment};
 use presto_resource::{AdmissionConfig, QueryPriority, ResourceConfig, ResourceManager};
@@ -193,6 +196,32 @@ pub struct PrestoCluster {
     /// successful scan fragment. Seeds the next identical fragment's
     /// straggler yardstick so single-wave fragments can speculate in-wave.
     runtime_history: RwLock<HashMap<u64, Histogram>>,
+    /// Cluster-wide telemetry: per-worker busy-fraction series, queue/
+    /// memory/cache samples, and the row sets the `system` catalog exposes.
+    /// Shared with the engine (EXPLAIN ANALYZE footer) and the `system`
+    /// connector.
+    telemetry: Arc<TelemetryRegistry>,
+    /// Per-worker cumulative-busy baselines from the previous telemetry
+    /// snapshot, so each snapshot attributes only the delta.
+    sampler: Mutex<TelemetrySampler>,
+    /// Monotone task sequence feeding `system.runtime.tasks`.
+    next_task_id: AtomicU64,
+}
+
+#[derive(Default)]
+struct TelemetrySampler {
+    last_at_us: u64,
+    last_busy: BTreeMap<u32, u64>,
+}
+
+/// The lowercase lifecycle strings `system.runtime.workers` exposes.
+fn lifecycle_str(lifecycle: WorkerLifecycle) -> &'static str {
+    match lifecycle {
+        WorkerLifecycle::Active => "active",
+        WorkerLifecycle::Draining => "draining",
+        WorkerLifecycle::Decommissioned => "decommissioned",
+        WorkerLifecycle::Revoked => "revoked",
+    }
 }
 
 impl PrestoCluster {
@@ -213,6 +242,12 @@ impl PrestoCluster {
             },
             clock.clone(),
         ));
+        // The telemetry registry is shared three ways: the cluster writes
+        // snapshots into it, the engine reads it for the EXPLAIN ANALYZE
+        // footer, and the `system` catalog exposes it back through SQL.
+        let telemetry = Arc::new(TelemetryRegistry::new());
+        let engine = engine.with_telemetry(telemetry.clone());
+        engine.register_catalog("system", Arc::new(SystemConnector::new(telemetry.clone())));
         let cluster = PrestoCluster {
             name: name.into(),
             engine,
@@ -227,6 +262,9 @@ impl PrestoCluster {
             pending_drains: Mutex::new(Vec::new()),
             fragment_caches: RwLock::new(HashMap::new()),
             runtime_history: RwLock::new(HashMap::new()),
+            telemetry,
+            sampler: Mutex::new(TelemetrySampler::default()),
+            next_task_id: AtomicU64::new(0),
         };
         let cluster = Arc::new(cluster);
         cluster.expand(cluster.config.initial_workers);
@@ -258,6 +296,12 @@ impl PrestoCluster {
         &self.histograms
     }
 
+    /// The cluster's telemetry registry — the store behind the `system`
+    /// catalog's tables.
+    pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
+        &self.telemetry
+    }
+
     /// §IX expansion: "we could simply add more workers, configured with
     /// the same coordinator. New workers are automatically added to the
     /// existing cluster."
@@ -271,8 +315,10 @@ impl PrestoCluster {
     ///
     /// [`FaultSpec::RevokeClass`]: presto_common::fault::FaultSpec::RevokeClass
     pub fn expand_class(&self, count: u32, class: &str) {
-        let mut workers = self.workers.write();
+        // lock order: fragment_caches before workers, matching the scan
+        // path (which reads a worker's cache before dispatching to it)
         let mut caches = self.fragment_caches.write();
+        let mut workers = self.workers.write();
         for _ in 0..count {
             let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
             workers.push(Worker::with_class(
@@ -458,12 +504,14 @@ impl PrestoCluster {
     /// of live workers remaining.
     pub fn tick(&self) -> usize {
         self.poll_lifecycle(self.clock.now());
+        // lock order: fragment_caches before workers (see expand_class)
+        let mut caches = self.fragment_caches.write();
         let mut workers = self.workers.write();
         for w in workers.iter() {
             w.tick();
         }
-        let mut caches = self.fragment_caches.write();
         let mut decommissioned = 0u64;
+        let mut reaped: Vec<Arc<Worker>> = Vec::new();
         workers.retain(|w| {
             let live = w.state() != WorkerState::Terminated;
             if !live {
@@ -471,6 +519,7 @@ impl PrestoCluster {
                 // anything worth keeping was migrated when the drain began
                 caches.remove(&w.id);
                 decommissioned += 1;
+                reaped.push(w.clone());
             }
             live
         });
@@ -480,7 +529,85 @@ impl PrestoCluster {
         if decommissioned > 0 {
             self.metrics.add(names::CLUSTER_WORKERS_DECOMMISSIONED, decommissioned);
         }
+        // reaped workers keep a terminal row in system.runtime.workers
+        for w in reaped {
+            self.telemetry.record_worker(WorkerRow {
+                worker_id: w.id,
+                class: w.class().to_string(),
+                lifecycle: lifecycle_str(WorkerLifecycle::Decommissioned).to_string(),
+                active_tasks: 0,
+                completed_tasks: w.completed_tasks() as u64,
+                busy_pct: 0,
+            });
+        }
+        self.sample_telemetry();
         remaining
+    }
+
+    /// Take one cluster-wide telemetry snapshot at the current virtual
+    /// instant: per-worker busy fraction over the window since the last
+    /// snapshot, queue depth, memory-pool utilization, fragment-cache hit
+    /// rate, and one `system.runtime.workers` row per live worker.
+    fn sample_telemetry(&self) {
+        let now = self.clock.now();
+        let now_us = u64::try_from(now.as_micros()).unwrap_or(u64::MAX);
+        let workers = self.workers();
+        let mut sampler = self.sampler.lock();
+        let elapsed = now_us.saturating_sub(sampler.last_at_us);
+        if elapsed == 0 {
+            // same virtual instant as the last snapshot: there is no
+            // window to attribute busy time to, so resampling would only
+            // duplicate buckets
+            return;
+        }
+        sampler.last_at_us = now_us;
+        let mut fleet_sum = 0u64;
+        let mut active = 0u64;
+        let mut rows = Vec::with_capacity(workers.len());
+        for w in &workers {
+            let total = w.busy_micros();
+            let prev = sampler.last_busy.insert(w.id, total).unwrap_or(0);
+            let busy_pct = (total.saturating_sub(prev).saturating_mul(100) / elapsed).min(100);
+            let lifecycle = w.lifecycle();
+            if lifecycle == WorkerLifecycle::Active {
+                fleet_sum += busy_pct;
+                active += 1;
+            }
+            rows.push(WorkerRow {
+                worker_id: w.id,
+                class: w.class().to_string(),
+                lifecycle: lifecycle_str(lifecycle).to_string(),
+                active_tasks: w.active_tasks() as u64,
+                completed_tasks: w.completed_tasks() as u64,
+                busy_pct,
+            });
+        }
+        sampler.last_busy.retain(|id, _| workers.iter().any(|w| w.id == *id));
+        drop(sampler);
+        for row in rows {
+            self.telemetry.sample_for(names::TS_WORKER_BUSY_PCT, row.worker_id, now, row.busy_pct);
+            self.telemetry.record_worker(row);
+        }
+        let fleet_busy = fleet_sum.checked_div(active).unwrap_or(0);
+        self.telemetry.sample(names::TS_FLEET_BUSY_PCT, now, fleet_busy);
+        self.telemetry.set_gauge(names::GAUGE_FLEET_BUSY_PCT, fleet_busy);
+        self.telemetry.set_gauge(names::GAUGE_ACTIVE_WORKERS, active);
+        let resources = self.engine.resources();
+        let depth = resources.admission().queued() as u64;
+        self.telemetry.sample(names::TS_QUEUE_DEPTH, now, depth);
+        let pool = resources.pool();
+        let mem_pct = match pool.budget() {
+            Some(budget) if budget > 0 => {
+                ((pool.used() as u64).saturating_mul(100) / budget as u64).min(100)
+            }
+            _ => 0,
+        };
+        self.telemetry.sample(names::TS_MEMORY_UTIL_PCT, now, mem_pct);
+        let hits = self.metrics.get(names::FRC_HITS);
+        let lookups = hits + self.metrics.get(names::FRC_MISSES);
+        let hit_pct = hits.saturating_mul(100).checked_div(lookups).unwrap_or(0);
+        self.telemetry.sample(names::TS_CACHE_HIT_PCT, now, hit_pct);
+        self.telemetry.note_snapshot();
     }
 
     /// Enter/exit maintenance (drain) mode.
@@ -548,22 +675,32 @@ impl PrestoCluster {
                 return Err(e);
             }
         };
-        self.queries_started.fetch_add(1, Ordering::Relaxed);
+        let query_id = self.queries_started.fetch_add(1, Ordering::Relaxed) + 1;
         self.metrics.incr(names::CLUSTER_QUERIES);
         // The query trace runs on the query's virtual clock, so span
         // timestamps line up with task waits and retry backoffs.
         let trace = Trace::new(clock.clone());
         let root = trace.begin(SpanKind::Query, "query", None);
         let watch = SimStopwatch::start(clock);
-        let result = self.execute_inner(sql, session, &query_metrics, &trace, root, clock);
+        let result =
+            self.execute_inner(sql, session, query_id, &query_metrics, &trace, root, clock);
         drop(permit);
         let latency = watch.elapsed();
         trace.end(root);
+        let failed = result.is_err();
+        let peak_memory = query_metrics.get(names::MEMORY_RESERVED_PEAK) as usize;
+        self.telemetry.record_query(QueryRow {
+            query_id,
+            state: if failed { "failed" } else { "finished" }.to_string(),
+            latency_us: u64::try_from(latency.as_micros()).unwrap_or(u64::MAX),
+            peak_memory_bytes: peak_memory as u64,
+            peak_busy_pct: self.telemetry.series().get(names::TS_FLEET_BUSY_PCT).peak(),
+            snapshots: self.telemetry.snapshots(),
+        });
         match result {
             Ok(mut ok) => {
                 self.histograms
                     .record(names::HIST_CLUSTER_QUERY_LATENCY_US, latency.as_micros() as u64);
-                let peak_memory = query_metrics.get(names::MEMORY_RESERVED_PEAK) as usize;
                 ok.info = QueryInfo { trace, latency, peak_memory };
                 Ok(ok)
             }
@@ -580,6 +717,7 @@ impl PrestoCluster {
         &self,
         sql: &str,
         session: &Session,
+        query_id: u64,
         query_metrics: &CounterSet,
         trace: &Trace,
         root: SpanId,
@@ -625,6 +763,7 @@ impl PrestoCluster {
                 &connector,
                 request,
                 session.priority,
+                query_id,
                 trace,
                 stage,
                 clock,
@@ -674,6 +813,7 @@ impl PrestoCluster {
         connector: &Arc<dyn Connector>,
         request: &ScanRequest,
         priority: QueryPriority,
+        query_id: u64,
         trace: &Trace,
         stage: SpanId,
         clock: &SimClock,
@@ -720,6 +860,7 @@ impl PrestoCluster {
             connector,
             request,
             priority,
+            query_id,
             trace,
             stage,
             plan_fingerprint,
@@ -885,6 +1026,8 @@ struct ScanScheduler<'a> {
     connector: &'a Arc<dyn Connector>,
     request: &'a ScanRequest,
     priority: QueryPriority,
+    /// Cluster-assigned query sequence, stamped onto telemetry task rows.
+    query_id: u64,
     trace: &'a Trace,
     stage: SpanId,
     plan_fingerprint: u64,
@@ -1065,6 +1208,9 @@ impl ScanScheduler<'_> {
         match outcome {
             Ok(pages) => {
                 worker.record_task_success();
+                // the attempt occupied the worker's virtual timeline whether
+                // or not it wins the race below — busy time accrues here
+                worker.add_busy_micros(duration.as_micros() as u64);
                 let rows: u64 = pages.iter().map(|p| p.positions() as u64).sum();
                 self.trace.set_attr(span, "rows_out", rows);
                 self.trace.end(span);
@@ -1080,6 +1226,14 @@ impl ScanScheduler<'_> {
                 self.sibling_us.record(us);
                 self.fresh_us.record(us);
                 self.cluster.histograms.record(names::HIST_CLUSTER_TASK_RUNTIME_US, us);
+                let task_id = self.cluster.next_task_id.fetch_add(1, Ordering::Relaxed) + 1;
+                self.cluster.telemetry.record_task(TaskRow {
+                    task_id,
+                    query_id: self.query_id,
+                    worker_id: worker.id,
+                    state: "finished".to_string(),
+                    runtime_us: us,
+                });
                 if speculative {
                     self.cluster.metrics.incr(names::CLUSTER_SPECULATIVE_WINS);
                 }
@@ -1322,12 +1476,14 @@ fn split_identity(payload: &SplitPayload) -> String {
         SplitPayload::MySql => "mysql".to_string(),
         SplitPayload::Segments { start, end } => format!("segments:{start}-{end}"),
         SplitPayload::Tpch { start, count } => format!("tpch:{start}+{count}"),
+        SplitPayload::System => "system".to_string(),
     }
 }
 
 /// Only splits over immutable data may be result-cached: warehouse files
 /// never change in place, generated TPC-H data is deterministic. Memory and
-/// MySQL tables mutate; real-time segments keep arriving.
+/// MySQL tables mutate; real-time segments keep arriving — and `system`
+/// tables are live telemetry, different on every snapshot.
 fn is_immutable_split(payload: &SplitPayload) -> bool {
     matches!(payload, SplitPayload::HiveFile { .. } | SplitPayload::Tpch { .. })
 }

@@ -19,7 +19,7 @@
 //! probation window; one more failure there re-quarantines it immediately,
 //! while surviving the window restores full health.
 
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -112,6 +112,10 @@ pub struct Worker {
     inner: Mutex<WorkerInner>,
     active_tasks: AtomicUsize,
     completed_tasks: AtomicUsize,
+    /// Cumulative virtual µs this worker spent running tasks — the raw
+    /// series behind the telemetry busy-fraction samples (each snapshot
+    /// takes the delta since the previous one).
+    busy_us: AtomicU64,
     consecutive_failures: AtomicU32,
     health: Mutex<WorkerHealth>,
     clock: SimClock,
@@ -170,6 +174,7 @@ impl Worker {
             }),
             active_tasks: AtomicUsize::new(0),
             completed_tasks: AtomicUsize::new(0),
+            busy_us: AtomicU64::new(0),
             consecutive_failures: AtomicU32::new(0),
             health: Mutex::new(WorkerHealth::Healthy),
             clock,
@@ -210,6 +215,16 @@ impl Worker {
     /// Tasks completed over the worker's lifetime.
     pub fn completed_tasks(&self) -> usize {
         self.completed_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Account `us` virtual µs of task runtime to this worker.
+    pub fn add_busy_micros(&self, us: u64) {
+        self.busy_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Cumulative virtual µs spent running tasks.
+    pub fn busy_micros(&self) -> u64 {
+        self.busy_us.load(Ordering::Relaxed)
     }
 
     /// Can the scheduler assign new tasks here? Only ACTIVE workers accept

@@ -35,6 +35,7 @@ pub mod ids;
 pub mod metrics;
 pub mod page;
 pub mod rng;
+pub mod telemetry;
 pub mod trace;
 pub mod types;
 pub mod value;
@@ -43,8 +44,9 @@ pub use block::Block;
 pub use clock::SimClock;
 pub use error::{PrestoError, Result};
 pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultSpec};
-pub use metrics::{CounterSet, Histogram, HistogramSet};
+pub use metrics::{CounterSet, GaugeSet, Histogram, HistogramSet, TimeSeries, TimeSeriesSet};
 pub use page::Page;
+pub use telemetry::{QueryRow, TaskRow, TelemetryRegistry, WorkerRow};
 pub use trace::{OperatorStats, Span, SpanId, SpanKind, Trace};
 pub use types::{DataType, Field, Schema};
 pub use value::Value;

@@ -189,6 +189,27 @@ pub mod names {
     /// evaluation tick — the hysteresis signal.
     pub const HIST_CLUSTER_QUEUE_DEPTH: &str = "cluster.autoscaler_queue_depth";
 
+    /// Time series: per-worker busy fraction (percent of the sampling
+    /// window spent running tasks), one series per worker id.
+    pub const TS_WORKER_BUSY_PCT: &str = "telemetry.worker_busy_pct";
+    /// Time series: mean busy fraction across the active fleet, percent.
+    pub const TS_FLEET_BUSY_PCT: &str = "telemetry.fleet_busy_pct";
+    /// Time series: admission-queue depth at each telemetry snapshot.
+    pub const TS_QUEUE_DEPTH: &str = "telemetry.queue_depth";
+    /// Time series: cluster memory-pool utilization, percent of budget
+    /// (0 when the pool is unbounded).
+    pub const TS_MEMORY_UTIL_PCT: &str = "telemetry.memory_util_pct";
+    /// Time series: fragment-result-cache hit rate, percent of lookups.
+    pub const TS_CACHE_HIT_PCT: &str = "telemetry.cache_hit_pct";
+    /// Gauge: most recent fleet-mean busy fraction, percent — the signal
+    /// the utilization-aware autoscaler reads between snapshots.
+    pub const GAUGE_FLEET_BUSY_PCT: &str = "telemetry.fleet_busy_now_pct";
+    /// Gauge: workers in the `Active` lifecycle at the last snapshot.
+    pub const GAUGE_ACTIVE_WORKERS: &str = "telemetry.active_workers";
+    /// Histogram: fleet busy-fraction observed at each autoscaler
+    /// evaluation tick — the utilization hysteresis signal.
+    pub const HIST_CLUSTER_BUSY_PCT: &str = "cluster.autoscaler_busy_pct";
+
     /// Queries the workload simulator injected (arrival events).
     pub const SIM_ARRIVALS: &str = "sim.arrivals";
     /// Queries the workload simulator ran to completion.
@@ -380,6 +401,299 @@ impl Histogram {
     }
 }
 
+/// A fixed-interval time series over a bounded ring of buckets.
+///
+/// Samples are stamped with a *virtual* instant (always taken from a
+/// `SimClock`, never the wall clock) and land in bucket
+/// `⌊at / interval⌋`. Buckets within one interval accumulate; when the
+/// ring exceeds its capacity the oldest buckets fall off the front, so the
+/// series always covers the most recent `capacity · interval` of virtual
+/// time. A sample older than the retained window is dropped — re-recording
+/// the past would make the series order-dependent.
+///
+/// Merging adds buckets element-wise over *absolute* bucket indexes and
+/// keeps the last `capacity` buckets ending at the later series' end —
+/// commutative and associative by construction, like [`Histogram::merge`],
+/// so per-worker series can be folded in any order. The digest folds the
+/// canonical state (interval, window start, bucket values, sample count)
+/// with the same FNV-1a the trace digests use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeSeries {
+    interval_us: u64,
+    capacity: usize,
+    /// Absolute index of `values[0]` (bucket 0 starts at virtual t = 0).
+    first: u64,
+    values: Vec<u64>,
+    samples: u64,
+}
+
+impl TimeSeries {
+    /// New, empty series: `capacity` buckets of `interval_us` each.
+    /// Zero-valued parameters are clamped to 1.
+    pub fn new(interval_us: u64, capacity: usize) -> TimeSeries {
+        TimeSeries {
+            interval_us: interval_us.max(1),
+            capacity: capacity.max(1),
+            first: 0,
+            values: Vec::new(),
+            samples: 0,
+        }
+    }
+
+    /// The bucket width in virtual microseconds.
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// Maximum number of retained buckets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples accepted over the series' lifetime (dropped-as-too-old
+    /// samples are not counted; wrapped-away buckets still are).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Retained bucket count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// No buckets retained?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Record one observation at virtual instant `at`. Values landing in
+    /// the same bucket accumulate; an observation older than the retained
+    /// window is dropped.
+    pub fn record(&mut self, at: std::time::Duration, value: u64) {
+        let micros = u64::try_from(at.as_micros()).unwrap_or(u64::MAX);
+        let bucket = micros / self.interval_us;
+        if self.values.is_empty() {
+            self.first = bucket;
+            self.values.push(value);
+            self.samples += 1;
+            return;
+        }
+        if bucket < self.first {
+            return; // older than the retained window
+        }
+        let idx = (bucket - self.first) as usize;
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, 0);
+        }
+        self.values[idx] = self.values[idx].saturating_add(value);
+        self.samples += 1;
+        self.evict();
+    }
+
+    fn evict(&mut self) {
+        if self.values.len() > self.capacity {
+            let drop = self.values.len() - self.capacity;
+            self.values.drain(..drop);
+            self.first += drop as u64;
+        }
+    }
+
+    /// Retained points as `(bucket_start_us, value)` in time order.
+    pub fn points(&self) -> Vec<(u64, u64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((self.first + i as u64) * self.interval_us, v))
+            .collect()
+    }
+
+    /// Largest retained bucket value, or 0 when empty.
+    pub fn peak(&self) -> u64 {
+        self.values.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fold another series into this one (element-wise bucket add over
+    /// absolute indexes; both series must share `interval_us`). The result
+    /// keeps the last `capacity` buckets ending at the later end.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        debug_assert_eq!(self.interval_us, other.interval_us, "merging mismatched intervals");
+        if other.values.is_empty() {
+            return;
+        }
+        if self.values.is_empty() {
+            let samples = self.samples + other.samples;
+            *self = other.clone();
+            self.samples = samples;
+            return;
+        }
+        let first = self.first.min(other.first);
+        let end =
+            (self.first + self.values.len() as u64).max(other.first + other.values.len() as u64);
+        let mut values = vec![0u64; (end - first) as usize];
+        for (i, &v) in self.values.iter().enumerate() {
+            values[(self.first - first) as usize + i] = v;
+        }
+        for (i, &v) in other.values.iter().enumerate() {
+            let slot = &mut values[(other.first - first) as usize + i];
+            *slot = slot.saturating_add(v);
+        }
+        self.first = first;
+        self.values = values;
+        self.samples += other.samples;
+        self.evict();
+    }
+
+    /// Canonical FNV-1a digest of the series state — bit-identical across
+    /// same-seed runs, like trace digests.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(self.interval_us);
+        h.write(self.first);
+        h.write(self.values.len() as u64);
+        for &v in &self.values {
+            h.write(v);
+        }
+        h.write(self.samples);
+        h.finish()
+    }
+}
+
+/// The FNV-1a fold every digest in the workspace shares.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// Start at the FNV offset basis.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold one 64-bit word, byte by byte.
+    pub fn write(&mut self, value: u64) {
+        for b in value.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Fold a string's bytes.
+    pub fn write_str(&mut self, s: &str) {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A set of named, last-write-wins gauges. Cloning shares the data.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeSet {
+    inner: Arc<RwLock<BTreeMap<String, u64>>>,
+}
+
+impl GaugeSet {
+    /// New, empty gauge set.
+    pub fn new() -> GaugeSet {
+        GaugeSet::default()
+    }
+
+    /// Set `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        self.inner.write().insert(name.to_string(), value);
+    }
+
+    /// Current value of `name` (0 if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.inner.read().get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all gauges.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.inner.read().clone()
+    }
+}
+
+/// A set of named, shared time series with a common interval/capacity.
+/// Cloning shares the underlying data.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesSet {
+    interval_us: u64,
+    capacity: usize,
+    inner: Arc<RwLock<BTreeMap<String, TimeSeries>>>,
+}
+
+impl TimeSeriesSet {
+    /// New, empty set; every series it creates uses `capacity` buckets of
+    /// `interval_us` each.
+    pub fn new(interval_us: u64, capacity: usize) -> TimeSeriesSet {
+        TimeSeriesSet {
+            interval_us: interval_us.max(1),
+            capacity: capacity.max(1),
+            inner: Arc::new(RwLock::new(BTreeMap::new())),
+        }
+    }
+
+    /// Record one observation under `name` at virtual instant `at`.
+    pub fn sample(&self, name: &str, at: std::time::Duration, value: u64) {
+        self.inner
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| TimeSeries::new(self.interval_us, self.capacity))
+            .record(at, value);
+    }
+
+    /// Record one observation under the `id`-keyed variant of `name`
+    /// (`name[id]`) — the per-worker form of [`TimeSeriesSet::sample`].
+    pub fn sample_for(&self, name: &str, id: u32, at: std::time::Duration, value: u64) {
+        let keyed = format!("{name}[{id}]");
+        self.inner
+            .write()
+            .entry(keyed)
+            .or_insert_with(|| TimeSeries::new(self.interval_us, self.capacity))
+            .record(at, value);
+    }
+
+    /// Copy of the series for `name` (empty if never sampled).
+    pub fn get(&self, name: &str) -> TimeSeries {
+        self.inner
+            .read()
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| TimeSeries::new(self.interval_us, self.capacity))
+    }
+
+    /// Copy of the `id`-keyed series for `name`.
+    pub fn get_for(&self, name: &str, id: u32) -> TimeSeries {
+        self.get(&format!("{name}[{id}]"))
+    }
+
+    /// Snapshot of all series, in name order.
+    pub fn snapshot(&self) -> BTreeMap<String, TimeSeries> {
+        self.inner.read().clone()
+    }
+
+    /// Canonical digest over every named series, folded in BTree order.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for (name, ts) in self.inner.read().iter() {
+            h.write_str(name);
+            h.write(ts.digest());
+        }
+        h.finish()
+    }
+}
+
 /// A set of named, shared histograms. Cloning shares the underlying data.
 #[derive(Debug, Clone, Default)]
 pub struct HistogramSet {
@@ -495,6 +809,75 @@ mod tests {
         assert_eq!(set.snapshot().len(), 1);
         set.clear();
         assert!(set.snapshot().is_empty());
+    }
+
+    #[test]
+    fn time_series_buckets_accumulate_and_wrap() {
+        use std::time::Duration;
+        let mut ts = TimeSeries::new(100, 4);
+        ts.record(Duration::from_micros(10), 1);
+        ts.record(Duration::from_micros(90), 2); // same bucket
+        ts.record(Duration::from_micros(250), 5);
+        assert_eq!(ts.points(), vec![(0, 3), (100, 0), (200, 5)]);
+        assert_eq!(ts.samples(), 3);
+        // advancing past capacity drops the oldest buckets
+        ts.record(Duration::from_micros(550), 7);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.points()[0], (200, 5));
+        assert_eq!(ts.points()[3], (500, 7));
+        // a sample older than the window is dropped, not re-bucketed
+        let before = ts.clone();
+        ts.record(Duration::from_micros(10), 9);
+        assert_eq!(ts, before);
+        assert_eq!(ts.peak(), 7);
+    }
+
+    #[test]
+    fn time_series_merge_matches_bulk_recording() {
+        use std::time::Duration;
+        let mut a = TimeSeries::new(50, 8);
+        let mut b = TimeSeries::new(50, 8);
+        let mut all = TimeSeries::new(50, 8);
+        for (us, v) in [(0u64, 3u64), (120, 4)] {
+            a.record(Duration::from_micros(us), v);
+            all.record(Duration::from_micros(us), v);
+        }
+        for (us, v) in [(60u64, 1u64), (300, 9)] {
+            b.record(Duration::from_micros(us), v);
+            all.record(Duration::from_micros(us), v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.digest(), all.digest());
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let g = GaugeSet::new();
+        let alias = g.clone();
+        alias.set_gauge("busy", 40);
+        alias.set_gauge("busy", 75);
+        assert_eq!(g.gauge("busy"), 75);
+        assert_eq!(g.gauge("missing"), 0);
+    }
+
+    #[test]
+    fn time_series_set_keys_per_worker_series() {
+        use std::time::Duration;
+        let set = TimeSeriesSet::new(100, 16);
+        set.sample("fleet", Duration::from_micros(10), 2);
+        set.sample_for("busy", 3, Duration::from_micros(10), 50);
+        set.sample_for("busy", 7, Duration::from_micros(10), 90);
+        assert_eq!(set.get("fleet").samples(), 1);
+        assert_eq!(set.get_for("busy", 3).points(), vec![(0, 50)]);
+        assert_eq!(set.get_for("busy", 7).points(), vec![(0, 90)]);
+        assert_eq!(set.snapshot().len(), 3);
+        // digest is stable across identical replays
+        let replay = TimeSeriesSet::new(100, 16);
+        replay.sample("fleet", Duration::from_micros(10), 2);
+        replay.sample_for("busy", 3, Duration::from_micros(10), 50);
+        replay.sample_for("busy", 7, Duration::from_micros(10), 90);
+        assert_eq!(set.digest(), replay.digest());
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod mysql;
 pub mod pinot;
 pub mod realtime;
 pub mod spi;
+pub mod system;
 pub mod tpch;
 
 pub use catalog::CatalogRegistry;
@@ -35,3 +36,4 @@ pub use spi::{
     AggregationPushdown, ColumnPath, Connector, ConnectorSplit, PushdownPredicate,
     ScanCapabilities, ScanHooks, ScanRequest, SplitPayload,
 };
+pub use system::SystemConnector;

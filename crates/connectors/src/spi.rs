@@ -182,6 +182,10 @@ pub enum SplitPayload {
         /// Row count.
         count: usize,
     },
+    /// A whole `system` table, materialized from live cluster telemetry at
+    /// scan time (one split per table; never cacheable — the rows change
+    /// between snapshots).
+    System,
 }
 
 /// A schedulable unit of scan work.

@@ -1,0 +1,258 @@
+//! The `system` connector: live cluster telemetry as ordinary SQL tables.
+//!
+//! Presto exposes its own runtime state back through SQL — operators run
+//! `SELECT * FROM system.runtime.queries` against the very cluster serving
+//! them. This connector reproduces that loop over the deterministic
+//! [`TelemetryRegistry`]: `system.runtime.queries`, `system.runtime.tasks`
+//! and `system.runtime.workers` materialize the registry's row sets, and
+//! `system.metrics` (schema `default`, like Presto's flat
+//! `system.metrics`) lists every time series and gauge. Rows come out of
+//! `BTreeMap`s in key order, so the same seed always yields bit-identical
+//! pages — system tables are queryable *and* replayable.
+
+use std::sync::Arc;
+
+use presto_common::ids::SplitId;
+use presto_common::telemetry::TelemetryRegistry;
+use presto_common::{Block, DataType, Field, Page, PrestoError, Result, Schema};
+
+use crate::memory::apply_request;
+use crate::spi::{
+    Connector, ConnectorSplit, ScanCapabilities, ScanHooks, ScanRequest, SplitPayload,
+};
+
+/// Schema holding the runtime tables (`queries`, `tasks`, `workers`).
+pub const RUNTIME_SCHEMA: &str = "runtime";
+
+/// Schema holding the flat `metrics` table.
+pub const DEFAULT_SCHEMA: &str = "default";
+
+/// The `system` catalog connector, reading a shared [`TelemetryRegistry`].
+pub struct SystemConnector {
+    telemetry: Arc<TelemetryRegistry>,
+}
+
+impl SystemConnector {
+    /// Connector over the cluster's shared telemetry registry.
+    pub fn new(telemetry: Arc<TelemetryRegistry>) -> SystemConnector {
+        SystemConnector { telemetry }
+    }
+
+    fn schema_of(table_schema: &str, table: &str) -> Result<Schema> {
+        match (table_schema, table) {
+            (RUNTIME_SCHEMA, "workers") => Schema::new(vec![
+                Field::new("worker_id", DataType::Bigint),
+                Field::new("class", DataType::Varchar),
+                Field::new("lifecycle", DataType::Varchar),
+                Field::new("active_tasks", DataType::Bigint),
+                Field::new("completed_tasks", DataType::Bigint),
+                Field::new("busy_pct", DataType::Bigint),
+            ]),
+            (RUNTIME_SCHEMA, "queries") => Schema::new(vec![
+                Field::new("query_id", DataType::Bigint),
+                Field::new("state", DataType::Varchar),
+                Field::new("latency_us", DataType::Bigint),
+                Field::new("peak_memory_bytes", DataType::Bigint),
+                Field::new("peak_busy_pct", DataType::Bigint),
+                Field::new("snapshots", DataType::Bigint),
+            ]),
+            (RUNTIME_SCHEMA, "tasks") => Schema::new(vec![
+                Field::new("task_id", DataType::Bigint),
+                Field::new("query_id", DataType::Bigint),
+                Field::new("worker_id", DataType::Bigint),
+                Field::new("state", DataType::Varchar),
+                Field::new("runtime_us", DataType::Bigint),
+            ]),
+            (DEFAULT_SCHEMA, "metrics") => Schema::new(vec![
+                Field::new("name", DataType::Varchar),
+                Field::new("kind", DataType::Varchar),
+                Field::new("value", DataType::Bigint),
+                Field::new("samples", DataType::Bigint),
+            ]),
+            _ => Err(PrestoError::Analysis(format!(
+                "table system.{table_schema}.{table} does not exist"
+            ))),
+        }
+    }
+
+    /// Materialize a table's full page in canonical (BTree) row order.
+    fn page_of(&self, table_schema: &str, table: &str) -> Result<Page> {
+        match (table_schema, table) {
+            (RUNTIME_SCHEMA, "workers") => {
+                let rows = self.telemetry.workers();
+                Page::new(vec![
+                    Block::bigint(rows.iter().map(|w| i64::from(w.worker_id)).collect()),
+                    Block::varchar(&rows.iter().map(|w| w.class.as_str()).collect::<Vec<_>>()),
+                    Block::varchar(&rows.iter().map(|w| w.lifecycle.as_str()).collect::<Vec<_>>()),
+                    Block::bigint(rows.iter().map(|w| w.active_tasks as i64).collect()),
+                    Block::bigint(rows.iter().map(|w| w.completed_tasks as i64).collect()),
+                    Block::bigint(rows.iter().map(|w| w.busy_pct as i64).collect()),
+                ])
+            }
+            (RUNTIME_SCHEMA, "queries") => {
+                let rows = self.telemetry.queries();
+                Page::new(vec![
+                    Block::bigint(rows.iter().map(|q| q.query_id as i64).collect()),
+                    Block::varchar(&rows.iter().map(|q| q.state.as_str()).collect::<Vec<_>>()),
+                    Block::bigint(rows.iter().map(|q| q.latency_us as i64).collect()),
+                    Block::bigint(rows.iter().map(|q| q.peak_memory_bytes as i64).collect()),
+                    Block::bigint(rows.iter().map(|q| q.peak_busy_pct as i64).collect()),
+                    Block::bigint(rows.iter().map(|q| q.snapshots as i64).collect()),
+                ])
+            }
+            (RUNTIME_SCHEMA, "tasks") => {
+                let rows = self.telemetry.tasks();
+                Page::new(vec![
+                    Block::bigint(rows.iter().map(|t| t.task_id as i64).collect()),
+                    Block::bigint(rows.iter().map(|t| t.query_id as i64).collect()),
+                    Block::bigint(rows.iter().map(|t| i64::from(t.worker_id)).collect()),
+                    Block::varchar(&rows.iter().map(|t| t.state.as_str()).collect::<Vec<_>>()),
+                    Block::bigint(rows.iter().map(|t| t.runtime_us as i64).collect()),
+                ])
+            }
+            (DEFAULT_SCHEMA, "metrics") => {
+                let rows = self.telemetry.metric_rows();
+                Page::new(vec![
+                    Block::varchar(&rows.iter().map(|(n, _, _, _)| n.as_str()).collect::<Vec<_>>()),
+                    Block::varchar(&rows.iter().map(|(_, k, _, _)| k.as_str()).collect::<Vec<_>>()),
+                    Block::bigint(rows.iter().map(|&(_, _, v, _)| v as i64).collect()),
+                    Block::bigint(rows.iter().map(|&(_, _, _, s)| s as i64).collect()),
+                ])
+            }
+            _ => Err(PrestoError::Analysis(format!(
+                "table system.{table_schema}.{table} does not exist"
+            ))),
+        }
+    }
+}
+
+impl Connector for SystemConnector {
+    fn name(&self) -> &str {
+        "system"
+    }
+
+    fn list_schemas(&self) -> Vec<String> {
+        vec![DEFAULT_SCHEMA.to_string(), RUNTIME_SCHEMA.to_string()]
+    }
+
+    fn list_tables(&self, schema: &str) -> Result<Vec<String>> {
+        match schema {
+            RUNTIME_SCHEMA => {
+                Ok(vec!["queries".to_string(), "tasks".to_string(), "workers".to_string()])
+            }
+            DEFAULT_SCHEMA => Ok(vec!["metrics".to_string()]),
+            other => Err(PrestoError::Analysis(format!("schema system.{other} does not exist"))),
+        }
+    }
+
+    fn table_schema(&self, schema: &str, table: &str) -> Result<Schema> {
+        SystemConnector::schema_of(schema, table)
+    }
+
+    fn capabilities(&self) -> ScanCapabilities {
+        ScanCapabilities {
+            projection: true,
+            nested_pruning: false,
+            predicate: true,
+            limit: true,
+            aggregation: false,
+        }
+    }
+
+    fn splits(
+        &self,
+        schema: &str,
+        table: &str,
+        _request: &ScanRequest,
+    ) -> Result<Vec<ConnectorSplit>> {
+        SystemConnector::schema_of(schema, table)?;
+        // one split per table: the rows are a point-in-time view of shared
+        // state, and a single materialization keeps that view consistent
+        Ok(vec![ConnectorSplit {
+            id: SplitId(0),
+            schema: schema.to_string(),
+            table: table.to_string(),
+            payload: SplitPayload::System,
+        }])
+    }
+
+    fn scan_split(
+        &self,
+        split: &ConnectorSplit,
+        request: &ScanRequest,
+        hooks: &ScanHooks,
+    ) -> Result<Vec<Page>> {
+        if split.payload != SplitPayload::System {
+            return Err(PrestoError::Connector(format!(
+                "system connector got foreign split {:?}",
+                split.payload
+            )));
+        }
+        let schema = SystemConnector::schema_of(&split.schema, &split.table)?;
+        let page = self.page_of(&split.schema, &split.table)?;
+        hooks.on_page()?;
+        Ok(vec![apply_request(&schema, &page, request)?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::telemetry::WorkerRow;
+    use presto_common::Value;
+
+    fn registry() -> Arc<TelemetryRegistry> {
+        let t = TelemetryRegistry::new();
+        for (id, lifecycle, busy) in [(0, "active", 80), (1, "draining", 15), (2, "active", 55)] {
+            t.record_worker(WorkerRow {
+                worker_id: id,
+                class: "ondemand".to_string(),
+                lifecycle: lifecycle.to_string(),
+                active_tasks: 0,
+                completed_tasks: 4,
+                busy_pct: busy,
+            });
+        }
+        Arc::new(t)
+    }
+
+    #[test]
+    fn metadata_lists_all_four_tables() {
+        let c = SystemConnector::new(registry());
+        assert_eq!(c.list_schemas(), vec!["default", "runtime"]);
+        let mut runtime = c.list_tables(RUNTIME_SCHEMA).unwrap();
+        runtime.sort();
+        assert_eq!(runtime, vec!["queries", "tasks", "workers"]);
+        assert_eq!(c.list_tables(DEFAULT_SCHEMA).unwrap(), vec!["metrics"]);
+        assert!(c.list_tables("nope").is_err());
+        assert!(c.table_schema(RUNTIME_SCHEMA, "workers").is_ok());
+        assert!(c.table_schema(RUNTIME_SCHEMA, "nope").is_err());
+    }
+
+    #[test]
+    fn workers_scan_applies_pushdowns_in_key_order() {
+        let c = SystemConnector::new(registry());
+        let request = ScanRequest::project(vec![
+            crate::spi::ColumnPath::whole("worker_id"),
+            crate::spi::ColumnPath::whole("lifecycle"),
+        ]);
+        let splits = c.splits(RUNTIME_SCHEMA, "workers", &request).unwrap();
+        assert_eq!(splits.len(), 1);
+        let pages = c.scan_split(&splits[0], &request, &ScanHooks::none()).unwrap();
+        assert_eq!(pages[0].positions(), 3);
+        assert_eq!(pages[0].row(0), vec![Value::Bigint(0), Value::Varchar("active".into())]);
+        assert_eq!(pages[0].row(1), vec![Value::Bigint(1), Value::Varchar("draining".into())]);
+    }
+
+    #[test]
+    fn foreign_split_is_refused() {
+        let c = SystemConnector::new(registry());
+        let split = ConnectorSplit {
+            id: SplitId(0),
+            schema: RUNTIME_SCHEMA.to_string(),
+            table: "workers".to_string(),
+            payload: SplitPayload::Memory { chunk: 0 },
+        };
+        assert!(c.scan_split(&split, &ScanRequest::default(), &ScanHooks::none()).is_err());
+    }
+}

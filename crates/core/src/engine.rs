@@ -11,6 +11,7 @@ use std::time::Duration;
 
 use presto_common::clock::SimStopwatch;
 use presto_common::metrics::{names, CounterSet};
+use presto_common::telemetry::TelemetryRegistry;
 use presto_common::trace::{OperatorStats, SpanId, SpanKind, Trace};
 use presto_common::{Page, PrestoError, Result, Schema, Value};
 use presto_connectors::{CatalogRegistry, Connector};
@@ -136,6 +137,7 @@ pub struct PrestoEngine {
     catalogs: CatalogRegistry,
     registry: FunctionRegistry,
     resources: ResourceManager,
+    telemetry: Arc<TelemetryRegistry>,
 }
 
 impl Default for PrestoEngine {
@@ -155,6 +157,7 @@ impl PrestoEngine {
             catalogs: CatalogRegistry::new(),
             registry,
             resources: ResourceManager::unbounded(),
+            telemetry: Arc::new(TelemetryRegistry::new()),
         }
     }
 
@@ -163,6 +166,19 @@ impl PrestoEngine {
     pub fn with_resources(mut self, resources: ResourceManager) -> PrestoEngine {
         self.resources = resources;
         self
+    }
+
+    /// Swap in a shared telemetry registry (the cluster runtime injects the
+    /// one its snapshots land in, so `EXPLAIN ANALYZE` footers and the
+    /// `system` catalog read live fleet state). Clones share it.
+    pub fn with_telemetry(mut self, telemetry: Arc<TelemetryRegistry>) -> PrestoEngine {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The engine's telemetry registry.
+    pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
+        &self.telemetry
     }
 
     /// The engine's resource manager.
@@ -230,9 +246,16 @@ impl PrestoEngine {
         let (result, info) = self.run_plan_traced(&plan, session, &metrics);
         if let Statement::ExplainAnalyze(_) = statement {
             // EXPLAIN ANALYZE runs the query, then reports the plan tree
-            // annotated with the operator stats the trace collected.
+            // annotated with the operator stats the trace collected, plus a
+            // telemetry footer: how hot the fleet ran while this query was
+            // sampled, and how many snapshots back the claim.
             result?;
-            let text = explain_analyze(&plan, &info.operator_stats());
+            let mut text = explain_analyze(&plan, &info.operator_stats());
+            let snapshots = self.telemetry.snapshots();
+            let peak_busy = self.telemetry.series().get(names::TS_FLEET_BUSY_PCT).peak();
+            text.push_str(&format!(
+                "Telemetry  {{snapshots: {snapshots}, peak busy: {peak_busy}%}}\n"
+            ));
             return plan_text_result(text, metrics, info);
         }
         let schema = plan.output_schema()?;

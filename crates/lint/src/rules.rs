@@ -58,9 +58,10 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "metrics-registry",
-        summary: "counter/histogram names at record sites must be metrics::names constants, \
-                  never string literals (a typo silently splits a metric), and registry \
-                  constants must not share values",
+        summary: "counter/histogram/time-series/gauge names at record sites (incr, add, record, \
+                  observe, sample, sample_for, set_gauge, gauge) must be metrics::names \
+                  constants, never string literals (a typo silently splits a metric), and \
+                  registry constants must not share values",
     },
     Rule {
         id: "error-taxonomy",

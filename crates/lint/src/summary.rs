@@ -352,11 +352,22 @@ pub fn summarize_file(ctx: &FileCtx, fields: &FieldMap) -> FileSummary {
     }
 
     // Metric-name literals anywhere in non-test code:
-    // `.incr("x"` / `.add("x"` / `.record("x"` / `.observe("x"`.
+    // `.incr("x"` / `.add("x"` / `.record("x"` / `.observe("x"` plus the
+    // telemetry record sites `.sample("x"` / `.sample_for("x"` /
+    // `.set_gauge("x"` / `.gauge("x"`.
     for j in 0..toks.len() {
         if let Some(m) = ident_at(toks, j) {
-            if matches!(m, "incr" | "add" | "record" | "observe")
-                && j > 0
+            if matches!(
+                m,
+                "incr"
+                    | "add"
+                    | "record"
+                    | "observe"
+                    | "sample"
+                    | "sample_for"
+                    | "set_gauge"
+                    | "gauge"
+            ) && j > 0
                 && toks[j - 1].is_punct('.')
                 && is_punct(toks, j + 1, '(')
                 && toks.get(j + 2).is_some_and(|t| t.is_str())

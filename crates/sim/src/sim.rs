@@ -17,10 +17,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use presto_cluster::{
-    Autoscaler, AutoscalerConfig, ClusterConfig, PrestoCluster, SpeculationConfig, WorkerLifecycle,
+    Autoscaler, AutoscalerConfig, ClusterConfig, PrestoCluster, ScaleDecision, SpeculationConfig,
+    WorkerLifecycle,
 };
 use presto_common::fault::{FaultInjector, FaultPlan};
-use presto_common::metrics::{names, CounterSet, Histogram, HistogramSet};
+use presto_common::metrics::{names, CounterSet, Histogram, HistogramSet, TimeSeries};
 use presto_common::rng::mix64;
 use presto_common::{Block, DataType, Field, Page, PrestoError, Result, Schema, SimClock};
 use presto_connectors::memory::MemoryConnector;
@@ -148,6 +149,10 @@ pub struct ElasticReport {
     pub peak_workers: usize,
     /// Active fleet when the run ended.
     pub final_workers: usize,
+    /// Every autoscaler action in timeline order: `(virtual µs, delta)`
+    /// where delta is `+added` for a scale-out and `-1` for a scale-in.
+    /// This is the trace the busy-vs-queue counterfactual compares.
+    pub actions: Vec<(u64, i64)>,
 }
 
 impl ElasticReport {
@@ -274,6 +279,17 @@ pub struct SimReport {
     pub histograms: HistogramSet,
     /// Elastic-lifecycle outcome, when the config planned one.
     pub elastic: Option<ElasticReport>,
+    /// FNV fold of the cluster's [`TelemetryRegistry`] at end of run —
+    /// workers, queries, tasks, every time series and gauge. Bit-identical
+    /// across same-seed runs.
+    ///
+    /// [`TelemetryRegistry`]: presto_common::telemetry::TelemetryRegistry
+    pub telemetry_digest: u64,
+    /// Telemetry snapshots the cluster took (one per lifecycle tick).
+    pub telemetry_snapshots: u64,
+    /// End-of-run copy of every named time series the sampler maintained
+    /// (fleet busy-fraction, queue depth, memory/cache utilization, …).
+    pub telemetry_series: BTreeMap<String, TimeSeries>,
 }
 
 impl SimReport {
@@ -435,6 +451,7 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport> {
     let pre_storm_target = active_fleet(&cluster);
     let mut peak_workers = pre_storm_target;
     let mut recovered_at_us: Option<u64> = None;
+    let mut scale_actions: Vec<(u64, i64)> = Vec::new();
 
     let mut queue = match config.mode {
         SchedulerMode::Wfq => Queue::Wfq(WfqScheduler::new()),
@@ -541,7 +558,13 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport> {
                         }
                     }
                     if let Some(scaler) = &scaler {
-                        scaler.evaluate_with_depth(queue.len());
+                        match scaler.evaluate_with_depth(queue.len()) {
+                            ScaleDecision::Out { added } => {
+                                scale_actions.push((now_us, i64::from(added)));
+                            }
+                            ScaleDecision::In { .. } => scale_actions.push((now_us, -1)),
+                            ScaleDecision::Hold => {}
+                        }
                     }
                     let active = active_fleet(&cluster);
                     peak_workers = peak_workers.max(active);
@@ -710,6 +733,7 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport> {
         recovery_bound_us: plan.recovery_bound_us,
         peak_workers,
         final_workers: active_fleet(&cluster),
+        actions: scale_actions,
     });
 
     Ok(SimReport {
@@ -731,6 +755,9 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport> {
         metrics,
         histograms,
         elastic,
+        telemetry_digest: cluster.telemetry().digest(),
+        telemetry_snapshots: cluster.telemetry().snapshots(),
+        telemetry_series: cluster.telemetry().series().snapshot(),
     })
 }
 
@@ -832,6 +859,9 @@ mod tests {
                 scale_out_step: 2,
                 cooldown: Duration::from_micros(1_000),
                 worker_class: "ondemand".to_string(),
+                busy_signal: false,
+                busy_high_water_pct: 80,
+                busy_low_water_pct: 20,
             }),
             spot_workers: 4,
             revoke_spot_at_us: Some(8_000),

@@ -112,13 +112,24 @@ impl Scope {
 fn analyze_table_ref(table_ref: &TableRef, ctx: &AnalyzerContext) -> Result<(LogicalPlan, Scope)> {
     match table_ref {
         TableRef::Table { parts, alias } => {
-            let (catalog, schema, table) = match parts.len() {
+            let (mut catalog, mut schema, table) = match parts.len() {
                 1 => (ctx.default_catalog.clone(), ctx.default_schema.clone(), parts[0].clone()),
                 2 => (ctx.default_catalog.clone(), parts[0].clone(), parts[1].clone()),
                 3 => (parts[0].clone(), parts[1].clone(), parts[2].clone()),
                 n => return Err(PrestoError::Analysis(format!("table name has {n} parts"))),
             };
-            let table_schema = ctx.catalogs.table_schema(&catalog, &schema, &table)?;
+            let mut resolved = ctx.catalogs.table_schema(&catalog, &schema, &table);
+            if resolved.is_err() && parts.len() == 2 && ctx.catalogs.get(&parts[0]).is_ok() {
+                // `a.b` resolved as schema.table failed, but `a` names a
+                // registered catalog — retry as catalog.default.table, the
+                // reading `system.metrics` relies on.
+                if let Ok(s) = ctx.catalogs.table_schema(&parts[0], "default", &table) {
+                    catalog = parts[0].clone();
+                    schema = "default".to_string();
+                    resolved = Ok(s);
+                }
+            }
+            let table_schema = resolved?;
             let request = ScanRequest::project(
                 table_schema.fields().iter().map(|f| ColumnPath::whole(&f.name)).collect(),
             );

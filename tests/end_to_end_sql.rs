@@ -222,3 +222,46 @@ fn case_when_end_to_end_over_warehouse() {
     assert_eq!(total, 1200); // 3 partitions x 400 rows
     assert_eq!(result.rows().len(), 3);
 }
+
+#[test]
+fn system_runtime_tables_answer_sql_on_a_live_cluster() {
+    use presto_cluster::{ClusterConfig, PrestoCluster};
+    use presto_common::SimClock;
+    use std::time::Duration;
+
+    // the whole demo platform, lifted onto a cluster: the system catalog
+    // rides along and exposes the cluster's own runtime state through SQL
+    let p = platform();
+    let clock = SimClock::new();
+    let cluster = PrestoCluster::new(
+        "e2e-system",
+        p.engine,
+        ClusterConfig { initial_workers: 3, ..ClusterConfig::default() },
+        clock.clone(),
+    );
+    let session = Session::new("hive", "rawdata");
+    cluster.execute("SELECT count(*) FROM trips WHERE datestr = '2017-03-01'", &session).unwrap();
+    cluster.tick();
+    clock.advance(Duration::from_millis(1));
+    cluster.tick();
+
+    let workers = cluster
+        .execute("SELECT worker_id, lifecycle FROM system.runtime.workers", &session)
+        .unwrap();
+    assert_eq!(workers.rows().len(), 3);
+    let queries = cluster
+        .execute(
+            "SELECT query_id, state FROM system.runtime.queries WHERE state = 'finished'",
+            &session,
+        )
+        .unwrap();
+    assert!(!queries.rows().is_empty(), "the trips query must appear as finished");
+    let tasks = cluster.execute("SELECT count(*) FROM system.runtime.tasks", &session).unwrap();
+    assert!(tasks.rows()[0][0].as_i64().unwrap() > 0, "scan tasks must be recorded");
+    let metrics =
+        cluster.execute("SELECT name, value FROM system.metrics ORDER BY name", &session).unwrap();
+    assert!(
+        metrics.rows().iter().any(|r| r[0] == Value::Varchar("telemetry.active_workers".into())),
+        "system.metrics must list the sampler's gauges"
+    );
+}

@@ -149,11 +149,18 @@ fn explain_analyze_annotates_every_operator_of_a_join_agg() {
     for operator in ["TableScan", "InnerJoin", "Aggregate", "Sort"] {
         assert!(text.contains(operator), "missing {operator} in:\n{text}");
     }
-    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+    // every line is either an annotated operator or the telemetry footer
+    let (footer, operators): (Vec<&str>, Vec<&str>) = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .partition(|l| l.trim_start().starts_with("Telemetry"));
+    for line in operators {
         for stat in ["rows:", "busy:", "peak:", "spilled:"] {
             assert!(line.contains(stat), "operator missing {stat}: {line}");
         }
     }
+    assert_eq!(footer.len(), 1, "exactly one telemetry footer:\n{text}");
+    assert!(footer[0].contains("snapshots:") && footer[0].contains("peak busy:"), "{}", footer[0]);
     // EXPLAIN ANALYZE really ran the query: the scans saw the table's rows
     assert!(text.contains("120 in"), "orders scan should read 120 rows:\n{text}");
 }
@@ -185,6 +192,47 @@ fn cluster_trace_covers_query_stage_task_operator() {
     assert!(result.info.latency > Duration::ZERO);
     let h = cluster.histograms().get(names::HIST_CLUSTER_QUERY_LATENCY_US);
     assert_eq!(h.count(), 1);
+}
+
+#[test]
+fn explain_analyze_footer_reports_cluster_telemetry_after_ticks() {
+    let clock = SimClock::new();
+    let cluster = PrestoCluster::new(
+        "obs-telemetry",
+        engine_with_orders(),
+        ClusterConfig { initial_workers: 3, ..ClusterConfig::default() },
+        clock.clone(),
+    );
+    // before any lifecycle tick: the footer exists but shows zero snapshots
+    let cold = cluster.engine().execute(&format!("EXPLAIN ANALYZE {JOIN_AGG}")).unwrap().rows()[0]
+        [0]
+    .to_string();
+    assert!(cold.contains("snapshots: 0"), "{cold}");
+
+    // run load, then take two telemetry snapshots on the cluster clock
+    for _ in 0..3 {
+        cluster.execute(JOIN_AGG, &Session::default()).unwrap();
+    }
+    cluster.tick();
+    clock.advance(Duration::from_millis(2));
+    cluster.tick();
+
+    let text = cluster.engine().execute(&format!("EXPLAIN ANALYZE {JOIN_AGG}")).unwrap().rows()[0]
+        [0]
+    .to_string();
+    let footer = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("Telemetry"))
+        .expect("EXPLAIN ANALYZE must end with a telemetry footer");
+    assert!(footer.contains("snapshots: 2"), "{footer}");
+    // the fleet ran real (virtual-time) work before the first snapshot, so
+    // the sampled peak busy-fraction is a live nonzero percentage
+    assert!(!footer.contains("peak busy: 0%"), "{footer}");
+    assert_eq!(
+        cluster.telemetry().snapshots(),
+        2,
+        "footer and registry must agree on the snapshot count"
+    );
 }
 
 #[test]
