@@ -1,0 +1,332 @@
+//! Distributed-cache bench: a Zipfian table-popularity trace replayed
+//! against the cluster-wide tiered cache at a sweep of capacities.
+//!
+//! What the `paper-experiments cache` gate checks, per sweep point:
+//!
+//! - **Monotonicity**: a bigger data tier never hits less on the same
+//!   trace (LRU inclusion holds per shard, and the shard layout is fixed
+//!   by the ring, so the sweep must be monotone).
+//! - **Shadow accuracy**: the key-only [`ShadowCache`] predicts the
+//!   hit-rate-vs-capacity curve of a real LRU replay of the same trace to
+//!   within a small tolerance (Mattson's stack-distance argument makes the
+//!   single-LRU comparison *exact*; the gate allows 5% slack so the bench
+//!   stays robust to future admission-policy changes).
+//! - **Determinism**: the same seed produces bit-identical cache digests
+//!   across two full replays.
+//! - **Minimal remap**: removing one worker from a fleet of `n` remaps
+//!   only the keys that worker owned — about `keys/n`, never more than
+//!   `keys/n` plus slack — for every fleet size in 2..=32.
+//!
+//! Everything is driven by `presto_common::rng` draws, so the trace is a
+//! pure function of the seed — no wall-clock, no global RNG.
+
+use presto_cache::{ChunkKey, DistributedCache, DistributedCacheConfig, LruCache, ShadowCache};
+use presto_common::metrics::{names, CounterSet};
+use presto_common::rng::unit_draw;
+use presto_common::{HashRing, SimClock};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Trace and sweep parameters.
+#[derive(Debug, Clone)]
+pub struct CacheBenchConfig {
+    /// Seed for the whole trace.
+    pub seed: u64,
+    /// Workers on the ring during the sweep.
+    pub workers: u32,
+    /// Tables in the warehouse, ranked by popularity.
+    pub tables: usize,
+    /// Zipf exponent over table rank (1.0 ≈ classic web skew).
+    pub zipf_s: f64,
+    /// Files per table.
+    pub files_per_table: usize,
+    /// Row groups per file.
+    pub row_groups: u32,
+    /// Columns per row group.
+    pub columns: u32,
+    /// Chunk accesses in the trace.
+    pub accesses: usize,
+    /// Per-shard data-tier capacities to sweep.
+    pub capacities: Vec<usize>,
+}
+
+impl Default for CacheBenchConfig {
+    fn default() -> Self {
+        CacheBenchConfig {
+            seed: 7,
+            workers: 4,
+            tables: 20,
+            zipf_s: 1.0,
+            files_per_table: 8,
+            row_groups: 4,
+            columns: 3,
+            accesses: 6_000,
+            capacities: vec![16, 32, 64, 128, 256],
+        }
+    }
+}
+
+/// One capacity point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityPoint {
+    /// Per-shard data-tier capacity.
+    pub capacity: usize,
+    /// Data-tier hits over the trace.
+    pub hits: u64,
+    /// Data-tier misses over the trace.
+    pub misses: u64,
+    /// End-of-trace cache digest (determinism gate).
+    pub digest: u64,
+    /// Shadow-predicted hit percent at the trace's *aggregate* capacity
+    /// (shard capacity × workers).
+    pub shadow_predicted_pct: f64,
+    /// Measured hit percent of a single LRU of that aggregate capacity
+    /// replaying the same key stream — the curve the shadow estimates.
+    pub lru_measured_pct: f64,
+}
+
+impl CapacityPoint {
+    /// Measured distributed hit percent.
+    pub fn hit_pct(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses).max(1) as f64 * 100.0
+    }
+
+    /// |shadow − measured| for the aggregate-LRU curve.
+    pub fn shadow_error_pct(&self) -> f64 {
+        (self.shadow_predicted_pct - self.lru_measured_pct).abs()
+    }
+}
+
+/// One fleet size of the minimal-remap check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemapPoint {
+    /// Workers before the removal.
+    pub fleet: u32,
+    /// Keys probed.
+    pub keys: usize,
+    /// Keys whose owner changed after removing one worker.
+    pub moved: usize,
+    /// Keys the removed worker owned (the only ones allowed to move).
+    pub owned_by_victim: usize,
+    /// The `keys/n + slack` ceiling the gate enforces.
+    pub bound: usize,
+}
+
+impl RemapPoint {
+    /// Does the minimal-remap property hold at this fleet size?
+    pub fn holds(&self) -> bool {
+        self.moved == self.owned_by_victim && self.moved <= self.bound
+    }
+}
+
+/// Everything one bench run produced.
+#[derive(Debug, Clone)]
+pub struct CacheBenchResult {
+    /// The capacity sweep, ascending.
+    pub sweep: Vec<CapacityPoint>,
+    /// Second-replay digests matched the first at every capacity.
+    pub deterministic: bool,
+    /// Minimal-remap results for fleets of 2..=32.
+    pub remap: Vec<RemapPoint>,
+}
+
+impl CacheBenchResult {
+    /// Hit rate never decreases as capacity grows (small float slack).
+    pub fn monotone(&self) -> bool {
+        self.sweep.windows(2).all(|w| w[1].hit_pct() + 1e-9 >= w[0].hit_pct())
+    }
+
+    /// Largest |shadow − measured| across the sweep.
+    pub fn worst_shadow_error_pct(&self) -> f64 {
+        self.sweep.iter().map(CapacityPoint::shadow_error_pct).fold(0.0, f64::max)
+    }
+
+    /// Every fleet size kept the minimal-remap property.
+    pub fn remap_holds(&self) -> bool {
+        self.remap.iter().all(RemapPoint::holds)
+    }
+}
+
+/// The Zipfian chunk trace: access `i` draws a table by rank-popularity,
+/// then a uniform (file, row group, column) within it.
+pub fn trace(config: &CacheBenchConfig) -> Vec<ChunkKey> {
+    // CDF over table ranks: weight(rank r, 1-based) = 1 / r^s
+    let weights: Vec<f64> =
+        (1..=config.tables).map(|r| 1.0 / (r as f64).powf(config.zipf_s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(config.tables);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..config.accesses)
+        .map(|i| {
+            let u = unit_draw(config.seed, 1, i as u64);
+            let table = cdf.iter().position(|&c| u <= c).unwrap_or(config.tables - 1);
+            let file = (unit_draw(config.seed, 2, i as u64) * config.files_per_table as f64)
+                as usize
+                % config.files_per_table;
+            let rg = (unit_draw(config.seed, 3, i as u64) * f64::from(config.row_groups)) as u32
+                % config.row_groups;
+            let col = (unit_draw(config.seed, 4, i as u64) * f64::from(config.columns)) as u32
+                % config.columns;
+            ChunkKey {
+                file: format!("/warehouse/t{table}/part-{file}"),
+                row_group: rg,
+                column: col,
+            }
+        })
+        .collect()
+}
+
+/// Replay `keys` against a distributed cache with per-shard `capacity`.
+/// Returns (hits, misses, digest).
+fn replay(config: &CacheBenchConfig, keys: &[ChunkKey], capacity: usize) -> (u64, u64, u64) {
+    let cache = DistributedCache::standalone(
+        DistributedCacheConfig {
+            chunk_capacity: capacity,
+            shadow_capacity: aggregate_capacity(config),
+            metadata_ttl: Duration::from_secs(3600),
+            ..DistributedCacheConfig::default()
+        },
+        HashRing::with_workers_default(0..config.workers),
+        SimClock::new(),
+        CounterSet::new(),
+    );
+    for key in keys {
+        // the scheduler sends the split to the key's ring owner — placement
+        // and ownership agree, so every lookup lands on the owning shard
+        let Some(owner) = cache.owner(key) else { continue };
+        if cache.get(owner, key).is_none() {
+            cache.put(owner, key.clone(), vec![0u8; 8]);
+        }
+    }
+    let hits = cache.metrics().get(names::DIST_DATA_HITS);
+    let misses = cache.metrics().get(names::DIST_DATA_MISSES);
+    (hits, misses, cache.digest())
+}
+
+/// Largest aggregate capacity the sweep reaches (shards × largest point).
+fn aggregate_capacity(config: &CacheBenchConfig) -> usize {
+    config.capacities.iter().copied().max().unwrap_or(1) * config.workers as usize
+}
+
+/// Run the full bench: sweep, shadow comparison, determinism replay, and
+/// the minimal-remap check.
+pub fn run(config: &CacheBenchConfig) -> CacheBenchResult {
+    let keys = trace(config);
+
+    // one shadow pass over the whole trace gives the entire curve
+    let shadow = ShadowCache::new(aggregate_capacity(config), CounterSet::new());
+    for key in &keys {
+        shadow.access(&key.ring_key());
+    }
+
+    let mut sweep = Vec::with_capacity(config.capacities.len());
+    let mut deterministic = true;
+    let mut capacities = config.capacities.clone();
+    capacities.sort_unstable();
+    for capacity in capacities {
+        let (hits, misses, digest) = replay(config, &keys, capacity);
+        let (_, _, digest2) = replay(config, &keys, capacity);
+        deterministic &= digest == digest2;
+
+        // the aggregate-LRU curve the shadow estimates, measured directly
+        let aggregate = capacity * config.workers as usize;
+        let lru: LruCache<String, ()> = LruCache::new(aggregate);
+        let mut lru_hits = 0u64;
+        for key in &keys {
+            let k = key.ring_key();
+            if lru.get(&k).is_some() {
+                lru_hits += 1;
+            } else {
+                lru.put(k, Arc::new(()));
+            }
+        }
+        let lru_measured_pct = lru_hits as f64 / keys.len().max(1) as f64 * 100.0;
+        let shadow_predicted_pct = shadow.predicted_hit_rate(aggregate) * 100.0;
+        sweep.push(CapacityPoint {
+            capacity,
+            hits,
+            misses,
+            digest,
+            shadow_predicted_pct,
+            lru_measured_pct,
+        });
+    }
+
+    CacheBenchResult { sweep, deterministic, remap: remap_sweep(&keys) }
+}
+
+/// Minimal-remap across fleets of 2..=32: removing one worker must move
+/// exactly the keys it owned, and never more than `keys/n` plus slack.
+fn remap_sweep(keys: &[ChunkKey]) -> Vec<RemapPoint> {
+    let mut points = Vec::new();
+    for fleet in 2u32..=32 {
+        let before = HashRing::with_workers_default(0..fleet);
+        // deterministic victim: mid-fleet, so both wrap and non-wrap arcs move
+        let victim = fleet / 2;
+        let mut after = before.clone();
+        after.remove(victim);
+        let mut moved = 0usize;
+        let mut owned_by_victim = 0usize;
+        for key in keys {
+            let k = key.ring_key();
+            let owner_before = before.owner(&k);
+            if owner_before == Some(victim) {
+                owned_by_victim += 1;
+            }
+            if owner_before != after.owner(&k) {
+                moved += 1;
+            }
+        }
+        // expected share is keys/n; allow 3x slack for vnode placement
+        // variance at small fleets (the property gate is moved ==
+        // owned_by_victim; the bound catches gross imbalance)
+        let bound = keys.len() * 3 / fleet as usize;
+        points.push(RemapPoint { fleet, keys: keys.len(), moved, owned_by_victim, bound });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CacheBenchConfig {
+        CacheBenchConfig {
+            accesses: 1_500,
+            capacities: vec![8, 32, 128],
+            ..CacheBenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_and_deterministic() {
+        let result = run(&quick());
+        assert!(result.monotone(), "{:?}", result.sweep);
+        assert!(result.deterministic);
+        // the trace is skewed enough that caching pays at all
+        assert!(result.sweep.last().unwrap().hit_pct() > 20.0);
+    }
+
+    #[test]
+    fn shadow_tracks_the_measured_curve() {
+        let result = run(&quick());
+        assert!(
+            result.worst_shadow_error_pct() < 5.0,
+            "shadow off by {:.2}%",
+            result.worst_shadow_error_pct()
+        );
+    }
+
+    #[test]
+    fn remap_is_minimal_for_every_fleet_size() {
+        let result = run(&quick());
+        assert_eq!(result.remap.len(), 31);
+        for point in &result.remap {
+            assert!(point.holds(), "{point:?}");
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! and report the *relative* numbers (who wins, by what factor); absolute
 //! values are laptop-scale.
 
+pub mod cache_bench;
 pub mod cache_exp;
 pub mod chaos;
 pub mod elastic;

@@ -1,0 +1,554 @@
+//! The cluster-wide tiered cache keyed by consistent hashing.
+//!
+//! §VII's worker-side caches only pay off if the scheduler keeps sending a
+//! split to the worker that cached its chunks. This module is the cache
+//! half of that contract: chunk ownership is decided by the same
+//! [`HashRing`] the affinity scheduler consults, so placement and
+//! ownership agree *by construction* — there is no second hash path.
+//!
+//! Three tiers:
+//!
+//! - **Data**: column chunks (key = file + row-group + column), one LRU
+//!   shard per worker, fronted by [`LruCache`]. Admission is owner-aware —
+//!   a put on a worker that does not own the key is refused (counted, not
+//!   an error), except that *hot* keys (accessed at least
+//!   [`DistributedCacheConfig::hot_threshold`] times) may also be admitted
+//!   at their second-choice ring successor, so one popular partition does
+//!   not bottleneck a single worker.
+//! - **Metadata**: file lists, footers, partition values with TTL +
+//!   table-version invalidation ([`MetadataCache`]).
+//! - **Shadow**: a key-only ghost LRU ([`ShadowCache`]) fed by every data
+//!   lookup, estimating the hit-rate-vs-capacity curve without payloads.
+//!
+//! Lifecycle: the ring is shared with the owner (`Arc<RwLock<HashRing>>`),
+//! and membership changes flow through [`DistributedCache::worker_joined`]
+//! / [`worker_removed`](DistributedCache::worker_removed), which migrate
+//! (graceful drain) or drop (revocation) the departing shard and rebalance
+//! entries whose ownership moved — every move counted as `dist.remapped`.
+//! Lock order: `ring` before `shards` (and never the reverse), so the
+//! workspace lock graph stays acyclic.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use presto_common::metrics::{names, CounterSet, Fnv};
+use presto_common::{HashRing, SimClock};
+
+use crate::lru::LruCache;
+use crate::metadata::MetadataCache;
+use crate::shadow::ShadowCache;
+
+/// Key of one cached column chunk: the paper's Alluxio-style data cache
+/// keys on (file, row-group, column) so two queries projecting different
+/// columns of one row group share nothing but what they both read.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkKey {
+    /// File path (immutable once written — warehouse files never change
+    /// in place; rewrites get new paths).
+    pub file: String,
+    /// Row group within the file.
+    pub row_group: u32,
+    /// Column ordinal within the row group.
+    pub column: u32,
+}
+
+impl ChunkKey {
+    /// Canonical string form — the ring key. The same string must be used
+    /// for placement and for ownership, which is why it lives here.
+    pub fn ring_key(&self) -> String {
+        format!("{}#{}#{}", self.file, self.row_group, self.column)
+    }
+}
+
+/// Distributed-cache knobs.
+#[derive(Debug, Clone)]
+pub struct DistributedCacheConfig {
+    /// Data-tier entries per worker shard.
+    pub chunk_capacity: usize,
+    /// Accesses at which a key counts as hot and earns a second-choice
+    /// replica (0 disables replication).
+    pub hot_threshold: u64,
+    /// Metadata-tier entries.
+    pub metadata_capacity: usize,
+    /// Metadata TTL (virtual time).
+    pub metadata_ttl: Duration,
+    /// Largest capacity the shadow curve resolves.
+    pub shadow_capacity: usize,
+}
+
+impl Default for DistributedCacheConfig {
+    fn default() -> Self {
+        DistributedCacheConfig {
+            chunk_capacity: 256,
+            hot_threshold: 4,
+            metadata_capacity: 1024,
+            metadata_ttl: Duration::from_secs(60),
+            shadow_capacity: 4096,
+        }
+    }
+}
+
+struct DataState {
+    /// Per-worker data shards — a `BTreeMap` so rebalances and digests walk
+    /// workers in id order (bit-identical same-seed runs).
+    shards: BTreeMap<u32, LruCache<ChunkKey, Vec<u8>>>,
+    /// Access heat per ring key, for second-choice replication. Reset
+    /// wholesale when it outgrows its bound — a deterministic decay.
+    heat: BTreeMap<String, u64>,
+}
+
+/// The cluster-wide tiered cache. Cloning shares all tiers.
+///
+/// Counters: `dist.data_hits` / `_misses` / `_evictions` / `_rejected` /
+/// `_replicated`, `dist.meta_*`, `dist.remapped_entries`,
+/// `dist.dropped_entries`, `shadow.accesses`.
+#[derive(Clone)]
+pub struct DistributedCache {
+    config: DistributedCacheConfig,
+    /// The one ring placement and ownership share. Writes happen on
+    /// lifecycle events only; the scan path reads.
+    ring: Arc<RwLock<HashRing>>,
+    data: Arc<Mutex<DataState>>,
+    meta: MetadataCache<Vec<u8>>,
+    shadow: Arc<ShadowCache>,
+    metrics: CounterSet,
+}
+
+/// Heat entries tolerated before the tracker resets (deterministic decay).
+const HEAT_BOUND: usize = 1 << 16;
+
+impl DistributedCache {
+    /// A cache sharing `ring` with its owner (typically the cluster's
+    /// affinity scheduler). Workers already on the ring get shards.
+    pub fn new(
+        config: DistributedCacheConfig,
+        ring: Arc<RwLock<HashRing>>,
+        clock: SimClock,
+        metrics: CounterSet,
+    ) -> DistributedCache {
+        let shards = ring
+            .read()
+            .workers()
+            .into_iter()
+            .map(|w| (w, LruCache::new(config.chunk_capacity)))
+            .collect();
+        let meta = MetadataCache::new(
+            config.metadata_capacity,
+            config.metadata_ttl,
+            clock,
+            metrics.clone(),
+        );
+        let shadow = Arc::new(ShadowCache::new(config.shadow_capacity, metrics.clone()));
+        DistributedCache {
+            config,
+            ring,
+            data: Arc::new(Mutex::new(DataState { shards, heat: BTreeMap::new() })),
+            meta,
+            shadow,
+            metrics,
+        }
+    }
+
+    /// A standalone cache over its own private ring (benches, tests).
+    pub fn standalone(
+        config: DistributedCacheConfig,
+        ring: HashRing,
+        clock: SimClock,
+        metrics: CounterSet,
+    ) -> DistributedCache {
+        DistributedCache::new(config, Arc::new(RwLock::new(ring)), clock, metrics)
+    }
+
+    /// The shared ring handle (the scheduler side of the contract).
+    pub fn ring(&self) -> &Arc<RwLock<HashRing>> {
+        &self.ring
+    }
+
+    /// The metadata tier.
+    pub fn metadata(&self) -> &MetadataCache<Vec<u8>> {
+        &self.meta
+    }
+
+    /// The shadow (ghost) cache fed by every data lookup.
+    pub fn shadow(&self) -> &ShadowCache {
+        &self.shadow
+    }
+
+    /// The shared counters.
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+
+    /// The worker that owns `key` under the current ring.
+    pub fn owner(&self, key: &ChunkKey) -> Option<u32> {
+        self.ring.read().owner(&key.ring_key())
+    }
+
+    /// Workers allowed to admit `key` right now: the owner, plus the
+    /// second-choice successor once the key is hot.
+    pub fn admitting_workers(&self, key: &ChunkKey) -> Vec<u32> {
+        let ring_key = key.ring_key();
+        let ring = self.ring.read();
+        let hot = self.config.hot_threshold > 0
+            && self.data.lock().heat.get(&ring_key).copied().unwrap_or(0)
+                >= self.config.hot_threshold;
+        ring.successors(&ring_key, if hot { 2 } else { 1 })
+    }
+
+    /// Look up a chunk on `worker`'s shard, feeding the shadow cache and
+    /// the heat tracker. A lookup on a worker with no shard (departed,
+    /// never joined) is a plain miss.
+    pub fn get(&self, worker: u32, key: &ChunkKey) -> Option<Arc<Vec<u8>>> {
+        let ring_key = key.ring_key();
+        self.shadow.access(&ring_key);
+        let mut data = self.data.lock();
+        if data.heat.len() >= HEAT_BOUND {
+            data.heat.clear();
+        }
+        *data.heat.entry(ring_key).or_insert(0) += 1;
+        let hit = data.shards.get(&worker).and_then(|shard| shard.get(key));
+        drop(data);
+        match hit {
+            Some(bytes) => {
+                self.metrics.incr(names::DIST_DATA_HITS);
+                Some(bytes)
+            }
+            None => {
+                self.metrics.incr(names::DIST_DATA_MISSES);
+                None
+            }
+        }
+    }
+
+    /// Store a chunk on `worker`'s shard, subject to owner-aware admission:
+    /// refused (returns false, counted `dist.data_rejected`) unless
+    /// `worker` owns the key — or is its second-choice successor and the
+    /// key is hot (counted `dist.data_replicated`). Evictions the admit
+    /// causes are counted `dist.data_evictions`.
+    pub fn put(&self, worker: u32, key: ChunkKey, bytes: Vec<u8>) -> bool {
+        // lock order: ring before the data state, matching every other path
+        let admitters = self.admitting_workers(&key);
+        let Some(&primary) = admitters.first() else {
+            self.metrics.incr(names::DIST_DATA_REJECTED);
+            return false;
+        };
+        if !admitters.contains(&worker) {
+            self.metrics.incr(names::DIST_DATA_REJECTED);
+            return false;
+        }
+        let replica = worker != primary;
+        let data = self.data.lock();
+        let Some(shard) = data.shards.get(&worker) else {
+            drop(data);
+            self.metrics.incr(names::DIST_DATA_REJECTED);
+            return false;
+        };
+        let evicts = shard.len() >= self.config.chunk_capacity
+            && !shard.entries().iter().any(|(k, _)| *k == key);
+        shard.put(key, Arc::new(bytes));
+        drop(data);
+        if evicts {
+            self.metrics.incr(names::DIST_DATA_EVICTIONS);
+        }
+        if replica {
+            self.metrics.incr(names::DIST_DATA_REPLICATED);
+        }
+        true
+    }
+
+    /// Entries resident across every data shard.
+    pub fn len(&self) -> usize {
+        self.data.lock().shards.values().map(LruCache::len).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sorted snapshot of one shard's keys (tests, migration audits).
+    pub fn shard_keys(&self, worker: u32) -> Vec<ChunkKey> {
+        let mut keys: Vec<ChunkKey> = self
+            .data
+            .lock()
+            .shards
+            .get(&worker)
+            .map(|s| s.entries().into_iter().map(|(k, _)| k).collect())
+            .unwrap_or_default();
+        keys.sort();
+        keys
+    }
+
+    /// Lifecycle: `worker` joined the fleet (the caller has already added
+    /// it to the shared ring). Gives it an empty shard, then migrates every
+    /// entry whose ownership moved to it — counted `dist.remapped_entries`.
+    /// Returns the number migrated.
+    pub fn worker_joined(&self, worker: u32) -> u64 {
+        // lock order: ring before the data state; ownership is computed
+        // against a ring *clone* with no guard held, so the lock graph
+        // keeps its single ring → data direction
+        let ring_guard = self.ring.read();
+        let ring = ring_guard.clone();
+        drop(ring_guard);
+        let mut remapped = 0u64;
+        let snapshot: Vec<(u32, ChunkKey, Arc<Vec<u8>>)> = {
+            let data = self.data.lock();
+            let mut all = Vec::new();
+            for (&from, shard) in &data.shards {
+                if from == worker {
+                    continue;
+                }
+                let mut entries = shard.entries();
+                entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+                for (key, bytes) in entries {
+                    all.push((from, key, bytes));
+                }
+            }
+            all
+        };
+        let moves: Vec<(u32, ChunkKey, Arc<Vec<u8>>)> = snapshot
+            .into_iter()
+            .filter(|(_, key, _)| ring.owner(&key.ring_key()) == Some(worker))
+            .collect();
+        // clone the shared shard handles out of the map so every put and
+        // invalidate below runs with no data guard held
+        let mut data = self.data.lock();
+        let target = data
+            .shards
+            .entry(worker)
+            .or_insert_with(|| LruCache::new(self.config.chunk_capacity))
+            .clone();
+        let sources: BTreeMap<u32, LruCache<ChunkKey, Vec<u8>>> = moves
+            .iter()
+            .filter_map(|(from, _, _)| data.shards.get(from).map(|s| (*from, s.clone())))
+            .collect();
+        drop(data);
+        for (from, key, bytes) in moves {
+            if let Some(source) = sources.get(&from) {
+                source.invalidate(&key);
+            }
+            target.put(key, bytes);
+            remapped += 1;
+        }
+        if remapped > 0 {
+            self.metrics.add(names::DIST_REMAPPED, remapped);
+        }
+        remapped
+    }
+
+    /// Lifecycle: `worker` left the fleet (the caller has already removed
+    /// it from the shared ring). `graceful` migrates its entries to each
+    /// key's ring successor (`dist.remapped_entries`); a revocation drops
+    /// them (`dist.dropped_entries`). Returns entries migrated or dropped.
+    pub fn worker_removed(&self, worker: u32, graceful: bool) -> u64 {
+        // lock order: ring before the data state; successor lookups happen
+        // against a ring *clone* with no guard held (single ring → data
+        // direction in the lock graph)
+        let ring_guard = self.ring.read();
+        let ring = ring_guard.clone();
+        drop(ring_guard);
+        let mut data = self.data.lock();
+        let Some(shard) = data.shards.remove(&worker) else { return 0 };
+        drop(data);
+        let mut entries = shard.entries();
+        if !graceful {
+            let dropped = entries.len() as u64;
+            if dropped > 0 {
+                self.metrics.add(names::DIST_DROPPED, dropped);
+            }
+            return dropped;
+        }
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let moves: Vec<(u32, ChunkKey, Arc<Vec<u8>>)> = entries
+            .into_iter()
+            .filter_map(|(key, bytes)| {
+                ring.owner(&key.ring_key()).map(|successor| (successor, key, bytes))
+            })
+            .collect();
+        // clone the shared target handles so the puts below run with no
+        // data guard held
+        let targets: BTreeMap<u32, LruCache<ChunkKey, Vec<u8>>> = {
+            let data = self.data.lock();
+            moves
+                .iter()
+                .filter_map(|(to, _, _)| data.shards.get(to).map(|s| (*to, s.clone())))
+                .collect()
+        };
+        let mut migrated = 0u64;
+        for (successor, key, bytes) in moves {
+            if let Some(target) = targets.get(&successor) {
+                target.put(key, bytes);
+                migrated += 1;
+            }
+        }
+        if migrated > 0 {
+            self.metrics.add(names::DIST_REMAPPED, migrated);
+        }
+        migrated
+    }
+
+    /// Canonical FNV fold of every tier: ring membership, per-shard keys in
+    /// (worker, key) order, heat, metadata, and shadow state. Bit-identical
+    /// across same-seed runs — the revocation-storm determinism check.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        // fold a ring clone so no guard is held across the digest calls
+        let ring_guard = self.ring.read();
+        let ring = ring_guard.clone();
+        drop(ring_guard);
+        h.write(ring.digest());
+        let data = self.data.lock();
+        h.write(data.shards.len() as u64);
+        for (&worker, shard) in &data.shards {
+            let mut keys: Vec<ChunkKey> = shard.entries().into_iter().map(|(k, _)| k).collect();
+            keys.sort();
+            h.write(u64::from(worker));
+            h.write(keys.len() as u64);
+            for key in keys {
+                h.write_str(&key.ring_key());
+            }
+        }
+        h.write(data.heat.len() as u64);
+        for (key, count) in &data.heat {
+            h.write_str(key);
+            h.write(*count);
+        }
+        drop(data);
+        h.write(self.meta.digest());
+        h.write(self.shadow.digest());
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::ring::{DEFAULT_RING_SEED, DEFAULT_VNODES};
+
+    fn chunk(i: usize) -> ChunkKey {
+        ChunkKey {
+            file: format!("/warehouse/t/part-{}", i % 40),
+            row_group: (i % 4) as u32,
+            column: (i % 3) as u32,
+        }
+    }
+
+    fn cache_over(workers: std::ops::Range<u32>) -> DistributedCache {
+        DistributedCache::standalone(
+            DistributedCacheConfig::default(),
+            HashRing::with_workers(DEFAULT_RING_SEED, DEFAULT_VNODES, workers),
+            SimClock::new(),
+            CounterSet::new(),
+        )
+    }
+
+    #[test]
+    fn only_the_owner_admits_a_cold_key() {
+        let cache = cache_over(0..4);
+        let key = chunk(0);
+        let owner = cache.owner(&key).unwrap();
+        let stranger = (0..4).find(|w| *w != owner).unwrap();
+        assert!(!cache.put(stranger, key.clone(), vec![1]));
+        assert!(cache.put(owner, key.clone(), vec![1]));
+        assert!(cache.get(owner, &key).is_some());
+        assert!(cache.get(stranger, &key).is_none());
+        assert_eq!(cache.metrics().get(names::DIST_DATA_REJECTED), 1);
+    }
+
+    #[test]
+    fn hot_keys_earn_a_second_choice_replica() {
+        let cache = cache_over(0..4);
+        let key = chunk(7);
+        let ring_key = key.ring_key();
+        let succ = cache.ring().read().successors(&ring_key, 2);
+        let (owner, second) = (succ[0], succ[1]);
+        // cold: the second choice is refused
+        assert!(!cache.put(second, key.clone(), vec![2]));
+        // heat it past the threshold
+        for _ in 0..DistributedCacheConfig::default().hot_threshold {
+            cache.get(owner, &key);
+        }
+        assert!(cache.put(second, key.clone(), vec![2]), "hot key must replicate");
+        assert_eq!(cache.metrics().get(names::DIST_DATA_REPLICATED), 1);
+        assert!(cache.get(second, &key).is_some());
+    }
+
+    #[test]
+    fn graceful_removal_migrates_to_ring_successors() {
+        let cache = cache_over(0..4);
+        // fill each key at its owner
+        let keys: Vec<ChunkKey> = (0..60).map(chunk).collect();
+        for key in &keys {
+            let owner = cache.owner(key).unwrap();
+            assert!(cache.put(owner, key.clone(), vec![0]));
+        }
+        let total = cache.len();
+        let victim = 2u32;
+        let victim_entries = cache.shard_keys(victim).len() as u64;
+        cache.ring().write().remove(victim);
+        let migrated = cache.worker_removed(victim, true);
+        assert_eq!(migrated, victim_entries);
+        assert_eq!(cache.len(), total, "graceful drain loses nothing");
+        // every entry now lives on its post-removal owner
+        for w in [0u32, 1, 3] {
+            for key in cache.shard_keys(w) {
+                assert_eq!(cache.owner(&key), Some(w), "{key:?} on the wrong shard");
+            }
+        }
+        assert_eq!(cache.metrics().get(names::DIST_REMAPPED), victim_entries);
+    }
+
+    #[test]
+    fn revocation_drops_the_shard() {
+        let cache = cache_over(0..3);
+        for key in (0..30).map(chunk) {
+            let owner = cache.owner(&key).unwrap();
+            cache.put(owner, key, vec![0]);
+        }
+        let victim_entries = cache.shard_keys(1).len() as u64;
+        assert!(victim_entries > 0);
+        cache.ring().write().remove(1);
+        let dropped = cache.worker_removed(1, false);
+        assert_eq!(dropped, victim_entries);
+        assert_eq!(cache.metrics().get(names::DIST_DROPPED), victim_entries);
+    }
+
+    #[test]
+    fn join_rebalances_moved_ownership() {
+        let cache = cache_over(0..3);
+        for key in (0..60).map(chunk) {
+            let owner = cache.owner(&key).unwrap();
+            cache.put(owner, key, vec![0]);
+        }
+        let total = cache.len();
+        cache.ring().write().insert(9);
+        let remapped = cache.worker_joined(9);
+        assert!(remapped > 0, "a new worker must take over some keys");
+        assert_eq!(cache.len(), total);
+        for w in [0u32, 1, 2, 9] {
+            for key in cache.shard_keys(w) {
+                assert_eq!(cache.owner(&key), Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn same_trace_same_digest() {
+        let run = || {
+            let cache = cache_over(0..4);
+            for i in 0..200 {
+                let key = chunk(i);
+                let owner = cache.owner(&key).unwrap();
+                if cache.get(owner, &key).is_none() {
+                    cache.put(owner, key, vec![i as u8]);
+                }
+            }
+            cache.ring().write().remove(1);
+            cache.worker_removed(1, true);
+            cache.digest()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -8,17 +8,21 @@
 //!   fragment produced for one (fragment, split) pair. Dashboards re-issue
 //!   the same scan shapes against the same sealed splits all day; a hit
 //!   skips the connector entirely.
-//! - [`affinity_worker`]: rendezvous (highest-random-weight) hashing of
-//!   splits onto workers, so a given split lands on the same worker across
-//!   queries — without it, per-worker caches are useless the moment the
-//!   worker set changes, because round-robin reshuffles everything.
+//! - [`affinity_worker`]: consistent hashing of splits onto workers via the
+//!   workspace-wide [`HashRing`], so a given split lands on the same worker
+//!   across queries — without it, per-worker caches are useless the moment
+//!   the worker set changes, because round-robin reshuffles everything.
+//!   There used to be a second, rendezvous-hash path here; it was deleted
+//!   so the scheduler and every cache tier share one hashing module and
+//!   cannot disagree about ownership.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use presto_common::metrics::{names, CounterSet};
-use presto_common::Page;
+use presto_common::metrics::{names, CounterSet, Fnv};
+use presto_common::ring::{DEFAULT_RING_SEED, DEFAULT_VNODES};
+use presto_common::{HashRing, Page};
 
 use crate::lru::LruCache;
 
@@ -110,6 +114,22 @@ impl FragmentResultCache {
     pub fn metrics(&self) -> &CounterSet {
         &self.metrics
     }
+
+    /// Canonical FNV fold of the resident entries (key-sorted, so the fold
+    /// is independent of the backing map's iteration order). Entries are
+    /// represented by key + page count — enough to catch divergent
+    /// placement or eviction between two same-seed runs.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        let entries = self.entries();
+        h.write(entries.len() as u64);
+        for (key, pages) in entries {
+            h.write(key.plan_fingerprint);
+            h.write_str(&key.split_identity);
+            h.write(pages.len() as u64);
+        }
+        h.finish()
+    }
 }
 
 /// Stable hash helper for fingerprints.
@@ -119,24 +139,24 @@ pub fn fingerprint<T: Hash>(value: &T) -> u64 {
     hasher.finish()
 }
 
-/// Affinity scheduling: pick the worker for a split by rendezvous hashing.
+/// Affinity scheduling: pick the worker for a split by consistent hashing
+/// on the workspace [`HashRing`] (default seed and vnode count, so every
+/// caller that builds a ring the same way agrees on ownership).
 ///
-/// Returns the index into `workers` (identified by stable ids) with the
-/// highest hash weight for this split. Properties the paper's affinity
-/// scheduler needs: deterministic (same split → same worker while the fleet
-/// is stable) and minimally disruptive (adding/removing one worker only
-/// moves the splits that hashed to it).
+/// Returns the index into `workers` (identified by stable ids) of the
+/// split's ring owner. Properties the paper's affinity scheduler needs:
+/// deterministic (same split → same worker while the fleet is stable) and
+/// minimally disruptive (adding/removing one worker only moves the splits
+/// that hashed to it).
+///
+/// Convenience wrapper over [`HashRing::owner`] for callers holding a flat
+/// id slice; hot paths that place many splits against one fleet should
+/// build the ring once and query it directly.
 pub fn affinity_worker(split_identity: &str, worker_ids: &[u32]) -> Option<usize> {
-    worker_ids
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &worker)| {
-            let mut hasher = DefaultHasher::new();
-            split_identity.hash(&mut hasher);
-            worker.hash(&mut hasher);
-            hasher.finish()
-        })
-        .map(|(index, _)| index)
+    let ring =
+        HashRing::with_workers(DEFAULT_RING_SEED, DEFAULT_VNODES, worker_ids.iter().copied());
+    let owner = ring.owner(split_identity)?;
+    worker_ids.iter().position(|&w| w == owner)
 }
 
 #[cfg(test)]

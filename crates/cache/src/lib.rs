@@ -19,15 +19,31 @@
 //! §VII also names a "fragment result cache", an "affinity scheduler", and
 //! the "Alluxio data cache": the first two live in [`fragment`], the last is
 //! [`data::CachedFileSystem`].
+//!
+//! On top of those worker-local tiers sits the **cluster-wide** cache keyed
+//! by consistent hashing ([`distributed::DistributedCache`]): a column-chunk
+//! data tier with owner-aware admission and second-choice replication for
+//! hot keys, a metadata tier ([`metadata::MetadataCache`]) with TTL +
+//! table-version invalidation, and a key-only shadow cache
+//! ([`shadow::ShadowCache`]) estimating hit-rate-vs-capacity curves. All
+//! ownership decisions route through `presto_common::HashRing` — the same
+//! ring the affinity scheduler consults, so placement and ownership agree
+//! by construction.
 
 pub mod data;
+pub mod distributed;
 pub mod file_list;
 pub mod footer;
 pub mod fragment;
 pub mod lru;
+pub mod metadata;
+pub mod shadow;
 
 pub use data::CachedFileSystem;
+pub use distributed::{ChunkKey, DistributedCache, DistributedCacheConfig};
 pub use file_list::FileListCache;
 pub use footer::{FileHandleCache, FooterCache};
 pub use fragment::{affinity_worker, FragmentKey, FragmentResultCache};
 pub use lru::LruCache;
+pub use metadata::{MetaKind, MetadataCache};
+pub use shadow::ShadowCache;

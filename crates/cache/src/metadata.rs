@@ -1,0 +1,300 @@
+//! The distributed metadata tier: file lists, footers, and partition
+//! values under TTL + table-version invalidation.
+//!
+//! *Metadata Caching in Presto* treats metadata as its own cache tier with
+//! its own consistency rules, distinct from data chunks: metadata is tiny,
+//! read on every query, and **goes stale by table mutation, not by byte
+//! churn**. Two staleness guards compose here:
+//!
+//! - **TTL**: every entry expires `ttl` after it was stored (virtual
+//!   clock), bounding how long a missed invalidation can linger.
+//! - **Table version**: each table carries a monotonic version; DDL
+//!   (schema bump, partition add, compaction) calls
+//!   [`MetadataCache::bump_table_version`] and every entry stored under
+//!   the old version is refused on its next lookup. This is what makes a
+//!   schema bump *immediately* invisible to cached footers — the property
+//!   `tests/cache_distribution.rs` pins.
+//!
+//! Entries are stored in a `BTreeMap` (not a hash map): eviction scans and
+//! digests iterate in key order, so same-seed runs are bit-identical.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use presto_common::metrics::{names, CounterSet, Fnv};
+use presto_common::SimClock;
+
+/// What kind of metadata an entry holds. Part of the key: a table's file
+/// list and one of its footers may share a path string without colliding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetaKind {
+    /// A partition's file listing (§VII.A).
+    FileList,
+    /// A file's decoded footer / file-level metadata (§VII.A).
+    Footer,
+    /// A table's partition values (what the planner prunes against).
+    PartitionValues,
+}
+
+impl MetaKind {
+    fn tag(self) -> u64 {
+        match self {
+            MetaKind::FileList => 1,
+            MetaKind::Footer => 2,
+            MetaKind::PartitionValues => 3,
+        }
+    }
+}
+
+struct MetaEntry<V> {
+    value: Arc<V>,
+    /// Table version at store time; refused once the table moves on.
+    version: u64,
+    /// Virtual instant the entry was stored; refused once `ttl` passes.
+    stored_at: Duration,
+    /// Recency for capacity eviction.
+    tick: u64,
+}
+
+struct MetaState<V> {
+    entries: std::collections::BTreeMap<(String, MetaKind, String), MetaEntry<V>>,
+    versions: std::collections::BTreeMap<String, u64>,
+    tick: u64,
+}
+
+/// The metadata tier. Generic over the cached value (file lists, decoded
+/// parquet footers, partition-value vectors all share the policy).
+/// Cloning shares the cache.
+///
+/// Counters: `dist.meta_hits`, `dist.meta_misses`, `dist.meta_expired`,
+/// `dist.meta_stale`, `dist.meta_invalidations`.
+pub struct MetadataCache<V> {
+    state: Arc<Mutex<MetaState<V>>>,
+    clock: SimClock,
+    ttl: Duration,
+    capacity: usize,
+    metrics: CounterSet,
+}
+
+impl<V> Clone for MetadataCache<V> {
+    fn clone(&self) -> Self {
+        MetadataCache {
+            state: self.state.clone(),
+            clock: self.clock.clone(),
+            ttl: self.ttl,
+            capacity: self.capacity,
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+impl<V> MetadataCache<V> {
+    /// A tier holding at most `capacity` entries, each valid for `ttl` of
+    /// virtual time and for the storing table version only.
+    pub fn new(
+        capacity: usize,
+        ttl: Duration,
+        clock: SimClock,
+        metrics: CounterSet,
+    ) -> MetadataCache<V> {
+        MetadataCache {
+            state: Arc::new(Mutex::new(MetaState {
+                entries: std::collections::BTreeMap::new(),
+                versions: std::collections::BTreeMap::new(),
+                tick: 0,
+            })),
+            clock,
+            ttl,
+            capacity: capacity.max(1),
+            metrics,
+        }
+    }
+
+    /// The current version of `table` (0 until first bumped).
+    pub fn table_version(&self, table: &str) -> u64 {
+        self.state.lock().versions.get(table).copied().unwrap_or(0)
+    }
+
+    /// Declare that `table` changed (schema bump, partition add,
+    /// compaction): every entry cached under the old version is refused on
+    /// its next lookup. Returns the new version.
+    pub fn bump_table_version(&self, table: &str) -> u64 {
+        let mut state = self.state.lock();
+        let v = state.versions.entry(table.to_string()).or_insert(0);
+        *v += 1;
+        let v = *v;
+        drop(state);
+        self.metrics.incr(names::DIST_META_INVALIDATIONS);
+        v
+    }
+
+    /// Store metadata for `(table, kind, path)`, stamped with the table's
+    /// current version and the current virtual instant.
+    pub fn put(&self, table: &str, kind: MetaKind, path: &str, value: V) {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        let version = state.versions.get(table).copied().unwrap_or(0);
+        if state.entries.len() >= self.capacity
+            && !state.entries.contains_key(&(table.to_string(), kind, path.to_string()))
+        {
+            // evict the stalest entry; ticks are unique so the victim is too
+            if let Some(victim) =
+                state.entries.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k.clone())
+            {
+                state.entries.remove(&victim);
+            }
+        }
+        state.entries.insert(
+            (table.to_string(), kind, path.to_string()),
+            MetaEntry { value: Arc::new(value), version, stored_at: now, tick },
+        );
+    }
+
+    /// Look up metadata. Absent, TTL-expired, and version-stale entries
+    /// all miss (expired/stale ones are dropped and separately counted), so
+    /// a stale footer can never be served after a schema bump.
+    pub fn get(&self, table: &str, kind: MetaKind, path: &str) -> Option<Arc<V>> {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        let key = (table.to_string(), kind, path.to_string());
+        let current = state.versions.get(table).copied().unwrap_or(0);
+        let verdict = match state.entries.get_mut(&key) {
+            None => None,
+            Some(e) if e.version != current => Some(false),
+            Some(e) if now.saturating_sub(e.stored_at) > self.ttl => Some(true),
+            Some(e) => {
+                e.tick = tick;
+                let value = e.value.clone();
+                drop(state);
+                self.metrics.incr(names::DIST_META_HITS);
+                return Some(value);
+            }
+        };
+        if let Some(expired) = verdict {
+            state.entries.remove(&key);
+            self.metrics.incr(if expired {
+                names::DIST_META_EXPIRED
+            } else {
+                names::DIST_META_STALE
+            });
+        }
+        drop(state);
+        self.metrics.incr(names::DIST_META_MISSES);
+        None
+    }
+
+    /// Entries currently resident (stale ones included until touched).
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared counters.
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+
+    /// Canonical FNV fold of keys, versions, and timestamps — iteration is
+    /// over ordered maps, so same-seed runs fold bit-identically. Values
+    /// are represented by their stamp, not their bytes, keeping the digest
+    /// value-type agnostic.
+    pub fn digest(&self) -> u64 {
+        let state = self.state.lock();
+        let mut h = Fnv::new();
+        h.write(state.entries.len() as u64);
+        for ((table, kind, path), e) in &state.entries {
+            h.write_str(table);
+            h.write(kind.tag());
+            h.write_str(path);
+            h.write(e.version);
+            h.write(e.stored_at.as_micros() as u64);
+        }
+        h.write(state.versions.len() as u64);
+        for (table, v) in &state.versions {
+            h.write_str(table);
+            h.write(*v);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(ttl_us: u64) -> (MetadataCache<Vec<String>>, SimClock) {
+        let clock = SimClock::new();
+        (
+            MetadataCache::new(8, Duration::from_micros(ttl_us), clock.clone(), CounterSet::new()),
+            clock,
+        )
+    }
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let (cache, clock) = cache(100);
+        cache.put("t", MetaKind::FileList, "/t/p=1", vec!["a".into()]);
+        clock.advance(Duration::from_micros(100));
+        assert!(cache.get("t", MetaKind::FileList, "/t/p=1").is_some(), "at the TTL edge");
+        clock.advance(Duration::from_micros(1));
+        assert!(cache.get("t", MetaKind::FileList, "/t/p=1").is_none(), "past the TTL");
+        assert_eq!(cache.metrics().get(names::DIST_META_EXPIRED), 1);
+    }
+
+    #[test]
+    fn version_bump_invalidates_immediately() {
+        let (cache, _clock) = cache(1_000_000);
+        cache.put("t", MetaKind::Footer, "/t/f0", vec!["v1-footer".into()]);
+        assert!(cache.get("t", MetaKind::Footer, "/t/f0").is_some());
+        cache.bump_table_version("t");
+        assert!(cache.get("t", MetaKind::Footer, "/t/f0").is_none(), "stale version served");
+        assert_eq!(cache.metrics().get(names::DIST_META_STALE), 1);
+        // re-stored under the new version it serves again
+        cache.put("t", MetaKind::Footer, "/t/f0", vec!["v2-footer".into()]);
+        let hit = cache.get("t", MetaKind::Footer, "/t/f0").expect("fresh entry");
+        assert_eq!(hit[0], "v2-footer");
+    }
+
+    #[test]
+    fn bump_only_touches_its_own_table() {
+        let (cache, _clock) = cache(1_000_000);
+        cache.put("a", MetaKind::PartitionValues, "", vec!["p=1".into()]);
+        cache.put("b", MetaKind::PartitionValues, "", vec!["p=9".into()]);
+        cache.bump_table_version("a");
+        assert!(cache.get("a", MetaKind::PartitionValues, "").is_none());
+        assert!(cache.get("b", MetaKind::PartitionValues, "").is_some());
+    }
+
+    #[test]
+    fn kinds_do_not_collide_and_capacity_evicts() {
+        let (cache, _clock) = cache(1_000_000);
+        cache.put("t", MetaKind::FileList, "/t/x", vec!["list".into()]);
+        cache.put("t", MetaKind::Footer, "/t/x", vec!["footer".into()]);
+        assert_eq!(cache.get("t", MetaKind::FileList, "/t/x").expect("list")[0], "list");
+        assert_eq!(cache.get("t", MetaKind::Footer, "/t/x").expect("footer")[0], "footer");
+        for i in 0..10 {
+            cache.put("t", MetaKind::Footer, &format!("/t/f{i}"), vec![]);
+        }
+        assert!(cache.len() <= 8);
+    }
+
+    #[test]
+    fn digest_tracks_state() {
+        let (a, _ca) = cache(50);
+        let (b, _cb) = cache(50);
+        a.put("t", MetaKind::FileList, "/t", vec!["x".into()]);
+        b.put("t", MetaKind::FileList, "/t", vec!["x".into()]);
+        assert_eq!(a.digest(), b.digest());
+        b.bump_table_version("t");
+        assert_ne!(a.digest(), b.digest());
+    }
+}

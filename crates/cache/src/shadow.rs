@@ -1,0 +1,203 @@
+//! Shadow cache: key-only ghost entries that estimate the hit-rate-vs-
+//! capacity curve of an LRU cache without holding any data.
+//!
+//! *Data Caching for Enterprise-Grade Petabyte-Scale OLAP* sizes working
+//! sets this way: run the real access stream through a ghost LRU that
+//! remembers only key fingerprints, record each re-access's **stack
+//! distance** (its position in the recency order), and the classic Mattson
+//! inclusion property does the rest — an LRU of capacity `C` hits exactly
+//! the accesses whose stack distance is `< C`, so one pass yields the whole
+//! curve for every capacity up to the ghost list's bound.
+
+use parking_lot::Mutex;
+use presto_common::metrics::{names, CounterSet, Fnv};
+
+struct ShadowState {
+    /// Ghost entries, most recent first — key fingerprints only.
+    stack: Vec<u64>,
+    /// `distances[d]` = re-accesses observed at stack distance exactly `d`.
+    distances: Vec<u64>,
+    total: u64,
+}
+
+/// A ghost LRU recording stack distances. Cloning is not provided — one
+/// shadow per cache; share it behind the owning cache's handle.
+///
+/// Counter: `shadow.accesses`.
+pub struct ShadowCache {
+    state: Mutex<ShadowState>,
+    max_capacity: usize,
+    metrics: CounterSet,
+}
+
+impl ShadowCache {
+    /// A shadow resolving hit rates for capacities up to `max_capacity`
+    /// entries (clamped to at least 1). Memory cost: one `u64` per ghost
+    /// entry plus the distance histogram — no payloads.
+    pub fn new(max_capacity: usize, metrics: CounterSet) -> ShadowCache {
+        let max_capacity = max_capacity.max(1);
+        ShadowCache {
+            state: Mutex::new(ShadowState {
+                stack: Vec::new(),
+                distances: vec![0; max_capacity],
+                total: 0,
+            }),
+            max_capacity,
+            metrics,
+        }
+    }
+
+    /// The largest capacity this shadow can estimate.
+    pub fn max_capacity(&self) -> usize {
+        self.max_capacity
+    }
+
+    /// Fingerprint of a key (workspace FNV fold).
+    fn fingerprint(key: &str) -> u64 {
+        let mut h = Fnv::new();
+        h.write_str(key);
+        h.finish()
+    }
+
+    /// Record one access. O(list length) — the ghost list is bounded by
+    /// `max_capacity` and holds only fingerprints.
+    pub fn access(&self, key: &str) {
+        let fp = Self::fingerprint(key);
+        let mut state = self.state.lock();
+        state.total += 1;
+        match state.stack.iter().position(|&g| g == fp) {
+            Some(d) => {
+                state.distances[d] += 1;
+                state.stack.remove(d);
+                state.stack.insert(0, fp);
+            }
+            None => {
+                state.stack.insert(0, fp);
+                state.stack.truncate(self.max_capacity);
+            }
+        }
+        self.metrics.incr(names::SHADOW_ACCESSES);
+    }
+
+    /// Accesses recorded so far.
+    pub fn total_accesses(&self) -> u64 {
+        self.state.lock().total
+    }
+
+    /// Predicted hits an LRU of `capacity` entries would have served on the
+    /// trace seen so far (capacities beyond `max_capacity` saturate).
+    pub fn predicted_hits(&self, capacity: usize) -> u64 {
+        let state = self.state.lock();
+        state.distances.iter().take(capacity).sum()
+    }
+
+    /// Predicted hit rate at `capacity`, in `[0, 1]` (0 on an empty trace).
+    pub fn predicted_hit_rate(&self, capacity: usize) -> f64 {
+        let state = self.state.lock();
+        if state.total == 0 {
+            return 0.0;
+        }
+        let hits: u64 = state.distances.iter().take(capacity).sum();
+        hits as f64 / state.total as f64
+    }
+
+    /// The whole estimated curve at the given capacities.
+    pub fn curve(&self, capacities: &[usize]) -> Vec<(usize, f64)> {
+        capacities.iter().map(|&c| (c, self.predicted_hit_rate(c))).collect()
+    }
+
+    /// Canonical FNV fold of the shadow state — bit-identical across
+    /// same-seed runs (the ghost list is a deterministic function of the
+    /// access order).
+    pub fn digest(&self) -> u64 {
+        let state = self.state.lock();
+        let mut h = Fnv::new();
+        h.write(state.total);
+        h.write(state.stack.len() as u64);
+        for &g in &state.stack {
+            h.write(g);
+        }
+        for &d in &state.distances {
+            h.write(d);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruCache;
+    use std::sync::Arc;
+
+    /// Replay `trace` through a real LRU of `capacity`, counting hits.
+    fn measured_hits(trace: &[String], capacity: usize) -> u64 {
+        let lru: LruCache<String, ()> = LruCache::new(capacity);
+        let mut hits = 0;
+        for key in trace {
+            if lru.get(key).is_some() {
+                hits += 1;
+            } else {
+                lru.put(key.clone(), Arc::new(()));
+            }
+        }
+        hits
+    }
+
+    fn cyclic_trace() -> Vec<String> {
+        // heavy head + scanning tail: a curve with real shape
+        let mut t = Vec::new();
+        for round in 0..50u64 {
+            for hot in 0..4u64 {
+                t.push(format!("hot-{hot}"));
+            }
+            t.push(format!("cold-{}", round % 16));
+        }
+        t
+    }
+
+    #[test]
+    fn shadow_matches_a_real_lru_exactly_on_the_same_trace() {
+        let trace = cyclic_trace();
+        let shadow = ShadowCache::new(64, CounterSet::new());
+        for key in &trace {
+            shadow.access(key);
+        }
+        for capacity in [1usize, 2, 4, 8, 16, 32] {
+            assert_eq!(
+                shadow.predicted_hits(capacity),
+                measured_hits(&trace, capacity),
+                "capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone_in_capacity() {
+        let trace = cyclic_trace();
+        let shadow = ShadowCache::new(64, CounterSet::new());
+        for key in &trace {
+            shadow.access(key);
+        }
+        let curve = shadow.curve(&[1, 2, 4, 8, 16, 32, 64]);
+        for pair in curve.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "{curve:?}");
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_counts_flow() {
+        let metrics = CounterSet::new();
+        let a = ShadowCache::new(8, metrics.clone());
+        let b = ShadowCache::new(8, CounterSet::new());
+        for key in ["x", "y", "x", "z", "x"] {
+            a.access(key);
+            b.access(key);
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.total_accesses(), 5);
+        assert_eq!(metrics.get(names::SHADOW_ACCESSES), 5);
+        // "x" re-accessed twice at distances 1 and 2 → hits at capacity ≥ 3
+        assert_eq!(a.predicted_hits(8), 2);
+    }
+}

@@ -38,11 +38,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
-use presto_cache::fragment::{affinity_worker, fingerprint, FragmentKey, FragmentResultCache};
+use presto_cache::fragment::{fingerprint, FragmentKey, FragmentResultCache};
+use presto_cache::{DistributedCache, DistributedCacheConfig};
 use presto_common::clock::SimStopwatch;
-use presto_common::metrics::{names, CounterSet, Histogram, HistogramSet};
+use presto_common::metrics::{names, CounterSet, Fnv, Histogram, HistogramSet};
+use presto_common::ring::{DEFAULT_RING_SEED, DEFAULT_VNODES};
 use presto_common::telemetry::{QueryRow, TaskRow, TelemetryRegistry, WorkerRow};
 use presto_common::trace::{SpanId, SpanKind, Trace};
+use presto_common::HashRing;
 use presto_common::{FaultDecision, FaultInjector, Page, PrestoError, Result, SimClock};
 use presto_connectors::{
     Connector, ConnectorSplit, ScanHooks, ScanRequest, SplitPayload, SystemConnector,
@@ -61,6 +64,11 @@ const SCAN_TASK_BASE: Duration = Duration::from_micros(100);
 
 /// Virtual per-row scan cost in nanoseconds.
 const SCAN_ROW_NANOS: u64 = 100;
+
+/// Scheduler estimate of the worker memory one in-flight split occupies.
+/// Reservations made with it are a *placement score* input, not
+/// enforcement — the cluster-wide [`presto_resource::MemoryPool`] enforces.
+const SPLIT_MEMORY_ESTIMATE: u64 = 1 << 20;
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -103,6 +111,21 @@ pub struct ClusterConfig {
     pub probation_window: Duration,
     /// Straggler mitigation via speculative duplicate attempts.
     pub speculation: SpeculationConfig,
+    /// Seed of the consistent-hash ring both the affinity scheduler and
+    /// the distributed cache consult. Override on both sides together or
+    /// not at all — sharing one ring is what makes placement and cache
+    /// ownership agree by construction.
+    pub ring_seed: u64,
+    /// Virtual nodes per worker on the ring.
+    pub ring_vnodes: u32,
+    /// Cluster-wide tiered cache (`None` = disabled). Shares the
+    /// scheduler's ring; its shards follow worker lifecycle (graceful
+    /// drains migrate entries to ring successors, revocations drop them).
+    pub distributed_cache: Option<DistributedCacheConfig>,
+    /// Per-worker memory budget the affinity placement score respects
+    /// (`None` = headroom ignored): an owner whose headroom cannot fit
+    /// the next split is skipped in favour of its ring successor.
+    pub worker_memory_bytes: Option<u64>,
 }
 
 /// Speculative execution of straggler splits.
@@ -157,6 +180,10 @@ impl Default for ClusterConfig {
             quarantine_period: DEFAULT_QUARANTINE_PERIOD,
             probation_window: DEFAULT_PROBATION_WINDOW,
             speculation: SpeculationConfig::default(),
+            ring_seed: DEFAULT_RING_SEED,
+            ring_vnodes: DEFAULT_VNODES,
+            distributed_cache: None,
+            worker_memory_bytes: None,
         }
     }
 }
@@ -190,8 +217,18 @@ pub struct PrestoCluster {
     /// polls mid-query, so a drain can land while splits are queued.
     pending_drains: Mutex<Vec<(Duration, u32)>>,
     /// Per-worker fragment result caches (die with their worker, like any
-    /// worker-side memory cache).
-    fragment_caches: RwLock<HashMap<u32, FragmentResultCache>>,
+    /// worker-side memory cache). A `BTreeMap`, not a `HashMap`: cache
+    /// digests and migrations walk it, and same-seed runs must walk it in
+    /// the same order.
+    fragment_caches: RwLock<BTreeMap<u32, FragmentResultCache>>,
+    /// The consistent-hash ring over `Active` worker ids — the one source
+    /// of placement truth, shared with the distributed cache. Updated by
+    /// lifecycle events (expand, drain, revoke, probation recovery) while
+    /// holding no other cluster lock.
+    ring: Arc<RwLock<HashRing>>,
+    /// The cluster-wide tiered cache, when configured. Its shards follow
+    /// the ring through every lifecycle event.
+    dist_cache: Option<DistributedCache>,
     /// Completed task runtimes per plan fingerprint, merged in after every
     /// successful scan fragment. Seeds the next identical fragment's
     /// straggler yardstick so single-wave fragments can speculate in-wave.
@@ -248,6 +285,14 @@ impl PrestoCluster {
         let telemetry = Arc::new(TelemetryRegistry::new());
         let engine = engine.with_telemetry(telemetry.clone());
         engine.register_catalog("system", Arc::new(SystemConnector::new(telemetry.clone())));
+        // One ring serves both the affinity scheduler and the distributed
+        // cache — membership flows in via the same lifecycle events, so
+        // placement and cache ownership cannot disagree.
+        let metrics = CounterSet::new();
+        let ring = Arc::new(RwLock::new(HashRing::new(config.ring_seed, config.ring_vnodes)));
+        let dist_cache = config.distributed_cache.clone().map(|dist_config| {
+            DistributedCache::new(dist_config, ring.clone(), clock.clone(), metrics.clone())
+        });
         let cluster = PrestoCluster {
             name: name.into(),
             engine,
@@ -255,12 +300,14 @@ impl PrestoCluster {
             next_worker_id: AtomicU32::new(0),
             clock,
             config,
-            metrics: CounterSet::new(),
+            metrics,
             histograms: HistogramSet::new(),
             maintenance: AtomicBool::new(false),
             queries_started: AtomicU64::new(0),
             pending_drains: Mutex::new(Vec::new()),
-            fragment_caches: RwLock::new(HashMap::new()),
+            fragment_caches: RwLock::new(BTreeMap::new()),
+            ring,
+            dist_cache,
             runtime_history: RwLock::new(HashMap::new()),
             telemetry,
             sampler: Mutex::new(TelemetrySampler::default()),
@@ -319,6 +366,7 @@ impl PrestoCluster {
         // path (which reads a worker's cache before dispatching to it)
         let mut caches = self.fragment_caches.write();
         let mut workers = self.workers.write();
+        let mut joined = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
             workers.push(Worker::with_class(
@@ -329,6 +377,7 @@ impl PrestoCluster {
                 self.config.probation_window,
                 class,
             ));
+            joined.push(id);
             if self.config.fragment_cache_entries > 0 {
                 caches.insert(
                     id,
@@ -337,6 +386,17 @@ impl PrestoCluster {
                         self.metrics.clone(),
                     ),
                 );
+            }
+        }
+        drop(workers);
+        drop(caches);
+        // Ring membership follows — with the cluster guards already
+        // released, so ring edges never overlap fragment_caches/workers in
+        // the lock graph.
+        for id in joined {
+            self.ring.write().insert(id);
+            if let Some(dist) = &self.dist_cache {
+                dist.worker_joined(id);
             }
         }
     }
@@ -391,6 +451,13 @@ impl PrestoCluster {
             .collect();
         worker.request_shutdown();
         drop(workers);
+        // Ring first, then the distributed cache (which migrates the
+        // departing shard to each key's post-removal owner), then the
+        // fragment caches. All with the workers guard released.
+        self.ring.write().remove(worker_id);
+        if let Some(dist) = &self.dist_cache {
+            dist.worker_removed(worker_id, true);
+        }
         self.migrate_caches(worker_id, &survivors);
         Ok(())
     }
@@ -426,6 +493,15 @@ impl PrestoCluster {
             let mut caches = self.fragment_caches.write();
             for id in &revoked {
                 caches.remove(id);
+            }
+            drop(caches);
+            // A revoked worker's distributed shard dies with it — nothing
+            // to migrate, the entries are simply gone (dist.dropped_entries).
+            for id in &revoked {
+                self.ring.write().remove(*id);
+                if let Some(dist) = &self.dist_cache {
+                    dist.worker_removed(*id, false);
+                }
             }
         }
         revoked.len()
@@ -473,21 +549,28 @@ impl PrestoCluster {
     }
 
     /// Copy a departing worker's fragment-cache entries to each entry's
-    /// rendezvous successor among `survivors`. Entries iterate in key
-    /// order, so any LRU evictions the copies cause downstream are
-    /// deterministic. The source cache stays in place — the draining
-    /// worker may still serve grace-period tasks from it — and dies with
-    /// the worker at reap time.
+    /// consistent-hash successor among `survivors` — the owner a
+    /// survivors-only ring assigns, i.e. exactly where the affinity
+    /// scheduler will send the split next. Entries iterate in key order,
+    /// so any LRU evictions the copies cause downstream are deterministic.
+    /// The source cache stays in place — the draining worker may still
+    /// serve grace-period tasks from it — and dies with the worker at reap
+    /// time.
     fn migrate_caches(&self, from: u32, survivors: &[u32]) {
         if survivors.is_empty() {
             return;
         }
+        let ring = HashRing::with_workers(
+            self.config.ring_seed,
+            self.config.ring_vnodes,
+            survivors.iter().copied(),
+        );
         let caches = self.fragment_caches.read();
         let Some(source) = caches.get(&from) else { return };
         let mut migrated = 0u64;
         for (key, pages) in source.entries() {
-            let Some(idx) = affinity_worker(&key.split_identity, survivors) else { continue };
-            if let Some(successor) = caches.get(&survivors[idx]) {
+            let Some(owner) = ring.owner(&key.split_identity) else { continue };
+            if let Some(successor) = caches.get(&owner) {
                 successor.put_shared(key, pages);
                 migrated += 1;
             }
@@ -525,7 +608,10 @@ impl PrestoCluster {
         });
         drop(caches);
         let remaining = workers.len();
+        let ring_should_hold: Vec<u32> =
+            workers.iter().filter(|w| w.state() == WorkerState::Active).map(|w| w.id).collect();
         drop(workers);
+        self.reconcile_ring(&ring_should_hold);
         if decommissioned > 0 {
             self.metrics.add(names::CLUSTER_WORKERS_DECOMMISSIONED, decommissioned);
         }
@@ -542,6 +628,61 @@ impl PrestoCluster {
         }
         self.sample_telemetry();
         remaining
+    }
+
+    /// Reconcile ring membership with the set of workers that should hold
+    /// ring positions (state `Active`). The lifecycle hooks (expand, drain,
+    /// revoke) update the ring eagerly; this catches the paths that bypass
+    /// them — a crashed worker detected mid-query, a revoked worker
+    /// rejoining through probation. Called with no other cluster lock held.
+    fn reconcile_ring(&self, should_hold: &[u32]) {
+        let current = self.ring.read().workers();
+        for id in &current {
+            if !should_hold.contains(id) {
+                self.ring.write().remove(*id);
+                if let Some(dist) = &self.dist_cache {
+                    // bypassed the graceful path ⇒ its shard is gone
+                    dist.worker_removed(*id, false);
+                }
+            }
+        }
+        for id in should_hold {
+            if !current.contains(id) {
+                self.ring.write().insert(*id);
+                if let Some(dist) = &self.dist_cache {
+                    dist.worker_joined(*id);
+                }
+            }
+        }
+    }
+
+    /// The shared consistent-hash ring (scheduler + distributed cache).
+    pub fn ring(&self) -> &Arc<RwLock<HashRing>> {
+        &self.ring
+    }
+
+    /// The cluster-wide tiered cache, when configured.
+    pub fn distributed_cache(&self) -> Option<&DistributedCache> {
+        self.dist_cache.as_ref()
+    }
+
+    /// Canonical FNV fold of every cache layer: per-worker fragment caches
+    /// (in worker-id order) and the distributed tiers. Bit-identical across
+    /// same-seed runs — the revocation-storm determinism check folds this
+    /// into the run digest.
+    pub fn cache_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        let caches = self.fragment_caches.read();
+        h.write(caches.len() as u64);
+        for (worker, cache) in caches.iter() {
+            h.write(u64::from(*worker));
+            h.write(cache.digest());
+        }
+        drop(caches);
+        if let Some(dist) = &self.dist_cache {
+            h.write(dist.digest());
+        }
+        h.finish()
     }
 
     /// Take one cluster-wide telemetry snapshot at the current virtual
@@ -607,6 +748,13 @@ impl PrestoCluster {
         let lookups = hits + self.metrics.get(names::FRC_MISSES);
         let hit_pct = hits.saturating_mul(100).checked_div(lookups).unwrap_or(0);
         self.telemetry.sample(names::TS_CACHE_HIT_PCT, now, hit_pct);
+        if let Some(dist) = &self.dist_cache {
+            let dist_hits = self.metrics.get(names::DIST_DATA_HITS);
+            let dist_lookups = dist_hits + self.metrics.get(names::DIST_DATA_MISSES);
+            let dist_pct = dist_hits.saturating_mul(100).checked_div(dist_lookups).unwrap_or(0);
+            self.telemetry.sample(names::TS_DIST_CACHE_HIT_PCT, now, dist_pct);
+            self.telemetry.set_gauge(names::GAUGE_DIST_CACHE_ENTRIES, dist.len() as u64);
+        }
         self.telemetry.note_snapshot();
     }
 
@@ -1055,17 +1203,33 @@ struct ScanScheduler<'a> {
 impl ScanScheduler<'_> {
     fn run(&mut self) -> Result<()> {
         // Initial assignment: affinity or round-robin over the eligible
-        // snapshot, same as the pre-speculation scheduler.
-        let worker_ids: Vec<u32> = self.workers.iter().map(|w| w.id).collect();
+        // snapshot, same as the pre-speculation scheduler. The affinity
+        // path builds one ring for the whole fragment — same seed, vnodes,
+        // and membership rule as the cluster ring the distributed cache
+        // consults, so placement and cache ownership agree by construction.
+        let ring = self.cluster.config.affinity_scheduling.then(|| {
+            HashRing::with_workers(
+                self.cluster.config.ring_seed,
+                self.cluster.config.ring_vnodes,
+                self.workers.iter().map(|w| w.id),
+            )
+        });
+        // Bytes this placement pass has already promised per worker, so a
+        // burst of same-owner splits spills to successors instead of
+        // stacking on one worker before any attempt starts.
+        let mut assigned = vec![0u64; self.workers.len()];
         for i in 0..self.splits.len() {
-            let w = if self.cluster.config.affinity_scheduling {
-                // `workers` was checked non-empty by the caller; fall back
-                // to round-robin rather than panicking if that ever breaks.
-                affinity_worker(&split_identity(&self.splits[i].payload), &worker_ids)
-                    .unwrap_or(i % self.workers.len())
-            } else {
-                i % self.workers.len()
+            let w = match &ring {
+                Some(ring) => {
+                    // `workers` was checked non-empty by the caller; fall
+                    // back to round-robin rather than panicking if that
+                    // ever breaks.
+                    let identity = split_identity(&self.splits[i].payload);
+                    self.place_split(ring, &identity, &assigned).unwrap_or(i % self.workers.len())
+                }
+                None => i % self.workers.len(),
             };
+            assigned[w] = assigned[w].saturating_add(SPLIT_MEMORY_ESTIMATE);
             self.queues[w].push_back(QueuedSplit { split: i, not_before: Duration::ZERO });
         }
         // Lifecycle events (revocation storms, scheduled drains) that are
@@ -1106,6 +1270,9 @@ impl ScanScheduler<'_> {
     fn start_attempt(&mut self, wi: usize, split: usize, speculative: bool, now: Duration) {
         let cluster = self.cluster;
         let worker = self.workers[wi].clone();
+        // headroom accounting: held for the attempt's lifetime, released
+        // exactly once on completion or cancellation
+        worker.reserve_memory(SPLIT_MEMORY_ESTIMATE);
         let span = self.trace.begin(SpanKind::Task, format!("split[{split}]"), Some(self.stage));
         self.trace.set_attr(span, "worker", u64::from(worker.id));
         if speculative {
@@ -1195,6 +1362,7 @@ impl ScanScheduler<'_> {
         self.busy[wi] = None;
         self.live[split].retain(|&x| x != id);
         let worker = self.workers[wi].clone();
+        worker.release_memory(SPLIT_MEMORY_ESTIMATE);
         // The outcome was computed eagerly at launch; if the worker was
         // revoked while the attempt was notionally in flight, its result
         // cannot be trusted — convert to the retryable infrastructure
@@ -1256,8 +1424,13 @@ impl ScanScheduler<'_> {
                 }
                 if worker.state() == WorkerState::Crashed || worker.is_blacklisted() {
                     // a dead or quarantined worker takes its in-memory
-                    // fragment cache with it
+                    // fragment cache with it — and leaves the ring, so the
+                    // distributed cache drops (not migrates) its shard
                     self.cluster.fragment_caches.write().remove(&worker.id);
+                    self.cluster.ring.write().remove(worker.id);
+                    if let Some(dist) = &self.cluster.dist_cache {
+                        dist.worker_removed(worker.id, false);
+                    }
                 }
                 if !(self.cluster.config.fault_recovery && e.is_retryable()) {
                     self.fail_all();
@@ -1410,6 +1583,7 @@ impl ScanScheduler<'_> {
         }
         self.attempts[id].cancelled = true;
         self.attempts[id].outcome = None;
+        self.workers[self.attempts[id].worker].release_memory(SPLIT_MEMORY_ESTIMATE);
         self.trace.set_attr(self.attempts[id].span, "cancelled", 1);
         self.trace.end(self.attempts[id].span);
         if self.attempts[id].speculative {
@@ -1430,6 +1604,40 @@ impl ScanScheduler<'_> {
         for id in ids {
             self.cancel_attempt(id);
         }
+    }
+
+    /// Affinity placement with the memory-headroom score folded in: the
+    /// split goes to its ring owner unless the owner's headroom (per-worker
+    /// budget minus live reservations minus what this pass already
+    /// promised) cannot fit another split — then the ring successors are
+    /// walked in order and the first with room wins (counted as
+    /// `cluster.splits_diverted`). With no budget configured, or when no
+    /// worker has room, the primary owner gets the split anyway: headroom
+    /// shapes placement, the cluster-wide memory pool enforces.
+    fn place_split(&self, ring: &HashRing, identity: &str, assigned: &[u64]) -> Option<usize> {
+        let owners = ring.successors(identity, self.workers.len());
+        let index_of = |id: u32| self.workers.iter().position(|w| w.id == id);
+        let Some(budget) = self.cluster.config.worker_memory_bytes else {
+            return owners.first().copied().and_then(index_of);
+        };
+        let mut primary = None;
+        for owner in owners {
+            let Some(wi) = index_of(owner) else { continue };
+            if primary.is_none() {
+                primary = Some(wi);
+            }
+            let promised = self.workers[wi]
+                .memory_reserved()
+                .saturating_add(assigned[wi])
+                .saturating_add(SPLIT_MEMORY_ESTIMATE);
+            if promised <= budget {
+                if primary != Some(wi) {
+                    self.cluster.metrics.incr(names::CLUSTER_SPLITS_DIVERTED);
+                }
+                return Some(wi);
+            }
+        }
+        primary
     }
 
     /// Deterministic target for a retried or displaced split: the eligible
@@ -1644,6 +1852,145 @@ mod tests {
             affinity_hits > rr_hits,
             "affinity ({affinity_hits}) must beat round-robin ({rr_hits})"
         );
+    }
+
+    #[test]
+    fn headroom_diverts_splits_off_saturated_owners() {
+        // A budget of one split per worker: the first split a placement
+        // pass promises each owner fits, every later same-owner split must
+        // walk the ring to a successor — and the query still succeeds.
+        let c = cluster_with(ClusterConfig {
+            initial_workers: 3,
+            affinity_scheduling: true,
+            worker_memory_bytes: Some(SPLIT_MEMORY_ESTIMATE),
+            ..ClusterConfig::default()
+        });
+        let result = c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+        assert_eq!(result.rows(), vec![vec![Value::Bigint(80)]]);
+        // 8 splits over 3 single-split budgets cannot avoid diverting
+        assert!(c.metrics().get(names::CLUSTER_SPLITS_DIVERTED) > 0);
+        // reservations drain once the query finishes
+        for w in c.workers() {
+            assert_eq!(w.memory_reserved(), 0, "worker {} leaked a reservation", w.id);
+        }
+    }
+
+    #[test]
+    fn memory_reservations_release_even_with_faults() {
+        use presto_common::fault::FaultPlan;
+        let c = cluster_with(ClusterConfig {
+            initial_workers: 3,
+            affinity_scheduling: true,
+            worker_memory_bytes: Some(4 * SPLIT_MEMORY_ESTIMATE),
+            fault_injector: FaultInjector::new(7, FaultPlan::new().fail_rate(0.3)),
+            ..ClusterConfig::default()
+        });
+        c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+        for w in c.workers() {
+            assert_eq!(w.memory_reserved(), 0, "worker {} leaked a reservation", w.id);
+        }
+    }
+
+    #[test]
+    fn distributed_cache_follows_the_lifecycle() {
+        let c = cluster_with(ClusterConfig {
+            initial_workers: 3,
+            grace_period: Duration::from_secs(2),
+            affinity_scheduling: true,
+            distributed_cache: Some(DistributedCacheConfig::default()),
+            ..ClusterConfig::default()
+        });
+        let dist = c.distributed_cache().expect("configured").clone();
+        assert_eq!(c.ring().read().len(), 3, "initial workers join the ring");
+        // fill each key at its owner
+        for i in 0..48u32 {
+            let key = presto_cache::ChunkKey {
+                file: format!("/warehouse/t/part-{}", i % 12),
+                row_group: i % 4,
+                column: 0,
+            };
+            let owner = dist.owner(&key).expect("ring is non-empty");
+            assert!(dist.put(owner, key, vec![i as u8]));
+        }
+        let before = dist.len();
+
+        // a graceful decommission migrates the departing shard
+        c.decommission_worker(0).unwrap();
+        assert!(!c.ring().read().contains(0));
+        assert_eq!(dist.len(), before, "graceful drain loses nothing");
+        assert!(c.metrics().get(names::DIST_REMAPPED) > 0);
+        for w in [1u32, 2] {
+            for key in dist.shard_keys(w) {
+                assert_eq!(dist.owner(&key), Some(w), "{key:?} on the wrong shard");
+            }
+        }
+
+        // scale-out rebalances moved ownership onto the new worker
+        c.expand(1);
+        let new_id = 3u32;
+        assert!(c.ring().read().contains(new_id));
+        assert_eq!(dist.len(), before, "rebalance moves, never drops");
+        for key in dist.shard_keys(new_id) {
+            assert_eq!(dist.owner(&key), Some(new_id));
+        }
+    }
+
+    #[test]
+    fn revocation_drops_the_distributed_shard() {
+        let c = cluster_with(ClusterConfig {
+            initial_workers: 2,
+            distributed_cache: Some(DistributedCacheConfig::default()),
+            ..ClusterConfig::default()
+        });
+        c.expand_class(1, "spot");
+        let spot_id = 2u32;
+        let dist = c.distributed_cache().expect("configured").clone();
+        for i in 0..60u32 {
+            let key = presto_cache::ChunkKey {
+                file: format!("/warehouse/t/part-{i}"),
+                row_group: 0,
+                column: 0,
+            };
+            let owner = dist.owner(&key).expect("ring is non-empty");
+            dist.put(owner, key, vec![1]);
+        }
+        let spot_entries = dist.shard_keys(spot_id).len() as u64;
+        assert!(spot_entries > 0, "the spot worker should own some keys");
+        let before = dist.len() as u64;
+        assert_eq!(c.revoke_class("spot"), 1);
+        assert!(!c.ring().read().contains(spot_id));
+        assert_eq!(c.metrics().get(names::DIST_DROPPED), spot_entries);
+        assert_eq!(dist.len() as u64, before - spot_entries, "revoked entries are gone");
+    }
+
+    #[test]
+    fn cache_digest_is_identical_across_same_seed_runs() {
+        let run = || {
+            let c = cluster_with(ClusterConfig {
+                initial_workers: 3,
+                grace_period: Duration::from_secs(2),
+                affinity_scheduling: true,
+                fragment_cache_entries: 64,
+                distributed_cache: Some(DistributedCacheConfig::default()),
+                ..ClusterConfig::default()
+            });
+            let dist = c.distributed_cache().expect("configured").clone();
+            for i in 0..40u32 {
+                let key = presto_cache::ChunkKey {
+                    file: format!("/warehouse/t/part-{}", i % 10),
+                    row_group: i % 2,
+                    column: i % 3,
+                };
+                let owner = dist.owner(&key).expect("ring is non-empty");
+                if dist.get(owner, &key).is_none() {
+                    dist.put(owner, key, vec![i as u8]);
+                }
+            }
+            c.execute("SELECT count(*) FROM t", &Session::default()).unwrap();
+            c.decommission_worker(1).unwrap();
+            c.cache_digest()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -116,6 +116,13 @@ pub struct Worker {
     /// series behind the telemetry busy-fraction samples (each snapshot
     /// takes the delta since the previous one).
     busy_us: AtomicU64,
+    /// Bytes of worker memory currently reserved by in-flight work — the
+    /// per-worker [`MemoryPool`] headroom signal the affinity placement
+    /// score folds in. Reservations are estimates made by the scheduler,
+    /// not enforcement (the cluster-wide pool enforces).
+    ///
+    /// [`MemoryPool`]: presto_resource::MemoryPool
+    memory_reserved: AtomicU64,
     consecutive_failures: AtomicU32,
     health: Mutex<WorkerHealth>,
     clock: SimClock,
@@ -175,6 +182,7 @@ impl Worker {
             active_tasks: AtomicUsize::new(0),
             completed_tasks: AtomicUsize::new(0),
             busy_us: AtomicU64::new(0),
+            memory_reserved: AtomicU64::new(0),
             consecutive_failures: AtomicU32::new(0),
             health: Mutex::new(WorkerHealth::Healthy),
             clock,
@@ -225,6 +233,32 @@ impl Worker {
     /// Cumulative virtual µs spent running tasks.
     pub fn busy_micros(&self) -> u64 {
         self.busy_us.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `bytes` of this worker's memory (scheduler estimate).
+    pub fn reserve_memory(&self, bytes: u64) {
+        self.memory_reserved.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Release a prior [`Worker::reserve_memory`] reservation.
+    pub fn release_memory(&self, bytes: u64) {
+        // saturate rather than wrap if a release ever races a reset
+        let _ = self.memory_reserved.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            Some(cur.saturating_sub(bytes))
+        });
+    }
+
+    /// Bytes currently reserved on this worker.
+    pub fn memory_reserved(&self) -> u64 {
+        self.memory_reserved.load(Ordering::Relaxed)
+    }
+
+    /// Headroom under a per-worker budget: `budget - reserved`, floored at
+    /// zero. The affinity scheduler skips owners whose headroom cannot fit
+    /// the next split, walking the ring to a successor instead — hot
+    /// workers stop becoming OOM-arbiter hotspots.
+    pub fn memory_headroom(&self, budget: u64) -> u64 {
+        budget.saturating_sub(self.memory_reserved())
     }
 
     /// Can the scheduler assign new tasks here? Only ACTIVE workers accept

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod ids;
 pub mod metrics;
 pub mod page;
+pub mod ring;
 pub mod rng;
 pub mod telemetry;
 pub mod trace;
@@ -46,6 +47,7 @@ pub use error::{PrestoError, Result};
 pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultSpec};
 pub use metrics::{CounterSet, GaugeSet, Histogram, HistogramSet, TimeSeries, TimeSeriesSet};
 pub use page::Page;
+pub use ring::HashRing;
 pub use telemetry::{QueryRow, TaskRow, TelemetryRegistry, WorkerRow};
 pub use trace::{OperatorStats, Span, SpanId, SpanKind, Trace};
 pub use types::{DataType, Field, Schema};

@@ -69,6 +69,9 @@ pub mod names {
     pub const CLUSTER_WORKERS_DECOMMISSIONED: &str = "cluster.workers_decommissioned";
     /// Queued splits a draining worker handed off to surviving workers.
     pub const CLUSTER_SPLITS_HANDED_OFF: &str = "cluster.splits_handed_off";
+    /// Splits the affinity scheduler placed on a ring successor because
+    /// the owner's memory headroom could not fit another split.
+    pub const CLUSTER_SPLITS_DIVERTED: &str = "cluster.splits_diverted";
     /// Fragment-cache entries migrated to the consistent successor before
     /// a draining worker left.
     pub const CLUSTER_CACHE_ENTRIES_MIGRATED: &str = "cluster.cache_entries_migrated";
@@ -120,6 +123,33 @@ pub mod names {
     pub const FTC_HITS: &str = "ftc.hits";
     /// Stripe-footer cache misses.
     pub const FTC_MISSES: &str = "ftc.misses";
+
+    /// Distributed column-chunk data-tier hits.
+    pub const DIST_DATA_HITS: &str = "dist.data_hits";
+    /// Distributed column-chunk data-tier misses.
+    pub const DIST_DATA_MISSES: &str = "dist.data_misses";
+    /// Distributed data-tier entries evicted by LRU pressure.
+    pub const DIST_DATA_EVICTIONS: &str = "dist.data_evictions";
+    /// Puts the owner-aware admission policy refused (wrong worker).
+    pub const DIST_DATA_REJECTED: &str = "dist.data_rejected";
+    /// Hot-key copies admitted at the second-choice replica.
+    pub const DIST_DATA_REPLICATED: &str = "dist.data_replicated";
+    /// Distributed metadata-tier hits.
+    pub const DIST_META_HITS: &str = "dist.meta_hits";
+    /// Distributed metadata-tier misses (absent, expired, or stale).
+    pub const DIST_META_MISSES: &str = "dist.meta_misses";
+    /// Metadata entries refused because their TTL had expired.
+    pub const DIST_META_EXPIRED: &str = "dist.meta_expired";
+    /// Metadata entries refused because their table version was stale.
+    pub const DIST_META_STALE: &str = "dist.meta_stale";
+    /// Table-version bumps (schema changes, partition adds).
+    pub const DIST_META_INVALIDATIONS: &str = "dist.meta_invalidations";
+    /// Entries migrated to their ring successor on worker removal.
+    pub const DIST_REMAPPED: &str = "dist.remapped_entries";
+    /// Entries dropped with an abruptly revoked worker.
+    pub const DIST_DROPPED: &str = "dist.dropped_entries";
+    /// Key-only accesses the shadow cache recorded.
+    pub const SHADOW_ACCESSES: &str = "shadow.accesses";
 
     /// Partitions the Hive connector pruned via partition filters.
     pub const HIVE_PARTITIONS_PRUNED: &str = "hive.partitions_pruned";
@@ -201,6 +231,11 @@ pub mod names {
     pub const TS_MEMORY_UTIL_PCT: &str = "telemetry.memory_util_pct";
     /// Time series: fragment-result-cache hit rate, percent of lookups.
     pub const TS_CACHE_HIT_PCT: &str = "telemetry.cache_hit_pct";
+    /// Time series: distributed data-tier hit rate, percent of lookups
+    /// (sampled only when the distributed cache is configured).
+    pub const TS_DIST_CACHE_HIT_PCT: &str = "telemetry.dist_cache_hit_pct";
+    /// Gauge: entries resident across every distributed data-tier shard.
+    pub const GAUGE_DIST_CACHE_ENTRIES: &str = "telemetry.dist_cache_entries";
     /// Gauge: most recent fleet-mean busy fraction, percent — the signal
     /// the utilization-aware autoscaler reads between snapshots.
     pub const GAUGE_FLEET_BUSY_PCT: &str = "telemetry.fleet_busy_now_pct";

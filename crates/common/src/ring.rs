@@ -1,0 +1,303 @@
+//! Consistent hashing over worker ids: the one ring every placement
+//! decision in the workspace shares.
+//!
+//! §VII's affinity scheduler and the distributed cache tiers must agree
+//! about who owns a key *by construction*, not by convention — the paper's
+//! soft-affinity design only keeps worker-side caches warm if the
+//! scheduler routes a split to the same worker the cache believes owns its
+//! chunks. Both sides therefore consult a [`HashRing`] built with the same
+//! `(seed, vnodes)` parameters over the same worker set; there is no second
+//! hash path to drift out of sync.
+//!
+//! The ring is the classic virtual-node construction: each worker
+//! contributes `vnodes` points on a `u64` circle, a key is hashed to a
+//! point, and its owner is the worker whose next point clockwise covers it.
+//! Properties the caches and the elasticity machinery rely on:
+//!
+//! - **Deterministic**: point positions are pure functions of
+//!   `(seed, worker, replica)` via [`crate::rng::mix64`], and key positions
+//!   of `(seed, key bytes)` via the workspace FNV fold — same inputs, same
+//!   ring, on every host and in every same-seed replay.
+//! - **Order-independent**: membership is a set; inserting workers in any
+//!   order builds bit-identical state (point collisions, should they ever
+//!   happen, keep the smaller worker id).
+//! - **Minimal remap**: removing one worker only reassigns the keys that
+//!   worker owned — everything else keeps its owner, which is exactly the
+//!   property `tests/cache_distribution.rs` pins with a proptest.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::metrics::Fnv;
+use crate::rng::mix64;
+
+/// Virtual nodes per worker when callers have no reason to choose: enough
+/// that a four-worker fleet stays within a few percent of even shares,
+/// small enough that a 32-worker ring is ~2k points.
+pub const DEFAULT_VNODES: u32 = 64;
+
+/// Ring seed used when callers have no reason to choose. Every consumer
+/// that must agree on ownership (scan scheduler, distributed cache,
+/// fragment-cache migration) uses this default unless its config overrides
+/// both sides together.
+pub const DEFAULT_RING_SEED: u64 = 0x5EED_0F1E_1D5E;
+
+/// A seeded, deterministic, virtual-node consistent-hash ring over worker
+/// ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: u32,
+    /// point on the circle → owning worker.
+    points: BTreeMap<u64, u32>,
+    workers: BTreeSet<u32>,
+}
+
+impl HashRing {
+    /// An empty ring. `vnodes` is clamped to at least 1.
+    pub fn new(seed: u64, vnodes: u32) -> HashRing {
+        HashRing { seed, vnodes: vnodes.max(1), points: BTreeMap::new(), workers: BTreeSet::new() }
+    }
+
+    /// A ring pre-populated with `workers` (duplicates are fine).
+    pub fn with_workers(
+        seed: u64,
+        vnodes: u32,
+        workers: impl IntoIterator<Item = u32>,
+    ) -> HashRing {
+        let mut ring = HashRing::new(seed, vnodes);
+        for w in workers {
+            ring.insert(w);
+        }
+        ring
+    }
+
+    /// [`HashRing::with_workers`] under the workspace defaults
+    /// ([`DEFAULT_RING_SEED`], [`DEFAULT_VNODES`]) — what every consumer
+    /// that has no config of its own should build.
+    pub fn with_workers_default(workers: impl IntoIterator<Item = u32>) -> HashRing {
+        HashRing::with_workers(DEFAULT_RING_SEED, DEFAULT_VNODES, workers)
+    }
+
+    /// The position of one of `worker`'s virtual nodes on the circle.
+    fn vnode_point(&self, worker: u32, replica: u32) -> u64 {
+        mix64(self.seed ^ mix64((u64::from(worker) << 32) | u64::from(replica)))
+    }
+
+    /// The position a key hashes to on the circle.
+    pub fn key_point(&self, key: &str) -> u64 {
+        let mut h = Fnv::new();
+        h.write_str(key);
+        mix64(self.seed ^ h.finish())
+    }
+
+    /// Add a worker. Returns false if it was already on the ring.
+    pub fn insert(&mut self, worker: u32) -> bool {
+        if !self.workers.insert(worker) {
+            return false;
+        }
+        for replica in 0..self.vnodes {
+            let point = self.vnode_point(worker, replica);
+            // On the (astronomically unlikely) collision, the smaller id
+            // keeps the point — a rule of the *values*, not the insertion
+            // order, so membership order never changes the ring.
+            self.points
+                .entry(point)
+                .and_modify(|w| {
+                    if worker < *w {
+                        *w = worker;
+                    }
+                })
+                .or_insert(worker);
+        }
+        true
+    }
+
+    /// Remove a worker. Returns false if it was not on the ring.
+    pub fn remove(&mut self, worker: u32) -> bool {
+        if !self.workers.remove(&worker) {
+            return false;
+        }
+        self.points.retain(|_, w| *w != worker);
+        // Re-insert points a collision may have suppressed: rebuild each
+        // survivor's vnode set (idempotent for existing points).
+        let survivors: Vec<u32> = self.workers.iter().copied().collect();
+        for w in survivors {
+            for replica in 0..self.vnodes {
+                let point = self.vnode_point(w, replica);
+                self.points
+                    .entry(point)
+                    .and_modify(|cur| {
+                        if w < *cur {
+                            *cur = w;
+                        }
+                    })
+                    .or_insert(w);
+            }
+        }
+        true
+    }
+
+    /// Is the worker on the ring?
+    pub fn contains(&self, worker: u32) -> bool {
+        self.workers.contains(&worker)
+    }
+
+    /// Workers on the ring, ascending.
+    pub fn workers(&self) -> Vec<u32> {
+        self.workers.iter().copied().collect()
+    }
+
+    /// Number of workers on the ring.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when no workers are on the ring.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The worker that owns `key`: the first virtual node at or clockwise
+    /// of the key's point. `None` on an empty ring.
+    pub fn owner(&self, key: &str) -> Option<u32> {
+        let point = self.key_point(key);
+        self.points.range(point..).next().or_else(|| self.points.iter().next()).map(|(_, &w)| w)
+    }
+
+    /// Up to `n` *distinct* workers in ring order starting at the key's
+    /// owner — the owner first, then each successor clockwise. This is the
+    /// walk both second-choice replication (hot keys spill to
+    /// `successors(key, 2)[1]`) and decommission migration (entries move to
+    /// `successors(key, 1)` on the survivor ring) take.
+    pub fn successors(&self, key: &str, n: usize) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::with_capacity(n.min(self.workers.len()));
+        if n == 0 || self.points.is_empty() {
+            return out;
+        }
+        let point = self.key_point(key);
+        for (_, &w) in self.points.range(point..).chain(self.points.range(..point)) {
+            if !out.contains(&w) {
+                out.push(w);
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Canonical FNV fold of the ring state (seed, vnodes, membership) —
+    /// bit-identical across same-seed runs, insertion-order independent.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(self.seed);
+        h.write(u64::from(self.vnodes));
+        h.write(self.workers.len() as u64);
+        for &w in &self.workers {
+            h.write(u64::from(w));
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("/warehouse/t/part-{i}")).collect()
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_membership_order_independent() {
+        let a = HashRing::with_workers(7, DEFAULT_VNODES, [0, 1, 2, 3]);
+        let b = HashRing::with_workers(7, DEFAULT_VNODES, [3, 1, 0, 2, 1]);
+        assert_eq!(a, b);
+        for k in keys(200) {
+            assert_eq!(a.owner(&k), b.owner(&k));
+            assert!(a.owner(&k).is_some());
+        }
+    }
+
+    #[test]
+    fn shares_are_roughly_balanced() {
+        let ring = HashRing::with_workers(DEFAULT_RING_SEED, DEFAULT_VNODES, [0, 1, 2, 3]);
+        let mut counts = [0usize; 4];
+        for k in keys(4000) {
+            counts[ring.owner(&k).unwrap() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 600, "expected a rough quarter of 4000, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_worker_only_remaps_its_own_keys() {
+        let full = HashRing::with_workers(11, DEFAULT_VNODES, 0..8);
+        let mut without = full.clone();
+        without.remove(5);
+        for k in keys(2000) {
+            let before = full.owner(&k).unwrap();
+            if before != 5 {
+                assert_eq!(without.owner(&k), Some(before), "{k} moved without cause");
+            } else {
+                assert_ne!(without.owner(&k), Some(5));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_after_remove_restores_the_ring() {
+        let base = HashRing::with_workers(3, 16, 0..6);
+        let mut churned = base.clone();
+        churned.remove(2);
+        churned.remove(4);
+        churned.insert(4);
+        churned.insert(2);
+        assert_eq!(base, churned);
+        assert_eq!(base.digest(), churned.digest());
+    }
+
+    #[test]
+    fn successors_start_at_the_owner_and_are_distinct() {
+        let ring = HashRing::with_workers(19, DEFAULT_VNODES, 0..6);
+        for k in keys(300) {
+            let succ = ring.successors(&k, 3);
+            assert_eq!(succ.len(), 3);
+            assert_eq!(succ[0], ring.owner(&k).unwrap());
+            let mut sorted = succ.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "successors must be distinct: {succ:?}");
+        }
+    }
+
+    #[test]
+    fn successor_walk_matches_the_post_removal_owner() {
+        // the second successor *is* the owner once the first is removed —
+        // the identity decommission migration relies on
+        let ring = HashRing::with_workers(23, DEFAULT_VNODES, 0..5);
+        for k in keys(500) {
+            let succ = ring.successors(&k, 2);
+            let mut without = ring.clone();
+            without.remove(succ[0]);
+            assert_eq!(without.owner(&k), Some(succ[1]));
+        }
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(1, 8);
+        assert_eq!(ring.owner("/x"), None);
+        assert!(ring.successors("/x", 2).is_empty());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_disagree() {
+        let a = HashRing::with_workers(1, DEFAULT_VNODES, 0..8);
+        let b = HashRing::with_workers(2, DEFAULT_VNODES, 0..8);
+        let moved = keys(1000).iter().filter(|k| a.owner(k) != b.owner(k)).count();
+        assert!(moved > 500, "seeds must shuffle ownership, moved {moved}");
+    }
+}

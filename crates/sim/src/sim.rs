@@ -285,6 +285,11 @@ pub struct SimReport {
     ///
     /// [`TelemetryRegistry`]: presto_common::telemetry::TelemetryRegistry
     pub telemetry_digest: u64,
+    /// FNV fold of every cache layer at end of run — per-worker fragment
+    /// caches plus the distributed tiers when configured. The
+    /// revocation-storm determinism test pins this bit-identical across
+    /// same-seed runs: a storm must tear caches down the same way twice.
+    pub cache_digest: u64,
     /// Telemetry snapshots the cluster took (one per lifecycle tick).
     pub telemetry_snapshots: u64,
     /// End-of-run copy of every named time series the sampler maintained
@@ -756,6 +761,7 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport> {
         histograms,
         elastic,
         telemetry_digest: cluster.telemetry().digest(),
+        cache_digest: cluster.cache_digest(),
         telemetry_snapshots: cluster.telemetry().snapshots(),
         telemetry_series: cluster.telemetry().series().snapshot(),
     })
@@ -906,6 +912,7 @@ mod tests {
         assert_eq!(a.trace_digest, b.trace_digest);
         assert_eq!(a.makespan_us, b.makespan_us);
         assert_eq!(a.elastic, b.elastic);
+        assert_eq!(a.cache_digest, b.cache_digest, "storms must tear caches down identically");
     }
 
     #[test]
